@@ -1,0 +1,89 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* refusal mode: the deterministic wholesale refusals (§4.3's
+  determinism argument) vs. Definition 12's literal single refusal;
+* counterexamples per iteration: the paper's conclusion proposes
+  deriving several counterexamples per check — measures verification
+  rounds traded against test executions;
+* fast conflict detection on/off;
+* context-relevant scaling: the chain-server family where the learned
+  part *must* grow (complement of claim C2's flat curve).
+"""
+
+import pytest
+
+from repro import railcab
+from repro.logic import parse
+from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.workloads import chain_server, ping_client
+
+
+def synthesize(component, **kwargs):
+    defaults = dict(
+        labeler=railcab.rear_state_labeler,
+        port="rearRole",
+    )
+    defaults.update(kwargs)
+    return IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        component,
+        railcab.PATTERN_CONSTRAINT,
+        **defaults,
+    ).run()
+
+
+@pytest.mark.parametrize("mode", ["deterministic", "conservative"])
+def test_ablation_refusal_mode(benchmark, mode):
+    result = benchmark(
+        lambda: synthesize(railcab.correct_rear_shuttle(convoy_ticks=1), refusal_mode=mode)
+    )
+    assert result.verdict is Verdict.PROVEN
+    if mode == "conservative":
+        reference = synthesize(railcab.correct_rear_shuttle(convoy_ticks=1))
+        # Definition 12's literal mode converges too, but never faster.
+        assert result.iteration_count >= reference.iteration_count
+
+
+@pytest.mark.parametrize("per_iteration", [1, 3, 5])
+def test_ablation_counterexample_batching(benchmark, per_iteration):
+    result = benchmark(
+        lambda: synthesize(
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            counterexamples_per_iteration=per_iteration,
+        )
+    )
+    assert result.verdict is Verdict.PROVEN
+    if per_iteration > 1:
+        reference = synthesize(railcab.correct_rear_shuttle(convoy_ticks=1))
+        # Fewer (or equal) verification rounds — the paper's conjecture.
+        assert result.iteration_count <= reference.iteration_count
+
+
+@pytest.mark.parametrize("fast", [True, False])
+def test_ablation_fast_conflict(benchmark, fast):
+    result = benchmark(lambda: synthesize(railcab.faulty_rear_shuttle(), fast_conflict=fast))
+    assert result.verdict is Verdict.REAL_VIOLATION
+    final = result.iterations[-1]
+    if fast:
+        assert final.tests_executed == 0
+    else:
+        assert final.tests_executed > 0
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_ablation_context_relevant_scaling(benchmark, length):
+    """When the context exercises everything, learning must scale."""
+    component = chain_server(length)
+
+    def run():
+        return IntegrationSynthesizer(
+            ping_client(),
+            chain_server(length),
+            parse("AG (client.waiting -> AF[1,3] client.idle)"),
+            labeler=lambda s: {f"server.{s}"},
+        ).run()
+
+    result = benchmark(run)
+    assert result.verdict is Verdict.PROVEN
+    # All 2·length states are context-relevant and get learned.
+    assert result.learned_states == component.state_bound

@@ -1,0 +1,54 @@
+"""E-auto: the second case study (AUTOSAR-style supplier integration).
+
+The paper's introduction motivates the scheme with automotive supplier
+components; this benchmark times the full workflow on the
+BrakeCoordination scenario: pattern verification, supplier-A proof,
+supplier-B rejection, and the architecture-level ``integrate`` façade.
+"""
+
+from repro import automotive
+from repro.integration import integrate
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+
+def test_pattern_verification(benchmark):
+    result = benchmark(lambda: automotive.brake_coordination_pattern().verify())
+    assert result.ok
+
+
+def test_supplier_a_proven(benchmark):
+    def run():
+        return IntegrationSynthesizer(
+            automotive.coordinator_automaton(),
+            automotive.supplier_a_acc(),
+            automotive.BRAKE_CONSTRAINT,
+            labeler=automotive.acc_state_labeler,
+        ).run()
+
+    result = benchmark(run)
+    assert result.verdict is Verdict.PROVEN
+
+
+def test_supplier_b_rejected(benchmark):
+    def run():
+        return IntegrationSynthesizer(
+            automotive.coordinator_automaton(),
+            automotive.supplier_b_acc(),
+            automotive.BRAKE_CONSTRAINT,
+            labeler=automotive.acc_state_labeler,
+        ).run()
+
+    result = benchmark(run)
+    assert result.verdict is Verdict.REAL_VIOLATION
+
+
+def test_full_integration_workflow(benchmark):
+    def run():
+        return integrate(
+            automotive.acc_architecture(),
+            {"acc": automotive.supplier_a_acc()},
+            labelers={"acc": automotive.acc_state_labeler},
+        )
+
+    report = benchmark(run)
+    assert report.ok

@@ -1,0 +1,71 @@
+"""E-conf: the equivalence-query cost the paper's approach avoids (§6).
+
+Conformance testing is the practical realisation of equivalence queries
+(Chow's W-method); Vasilevskii's bound ``O(k²·l·|Σ|^{l−k+1})`` is
+exponential in the state-count uncertainty ``l − k``.  Regenerated
+here: actual W-method suite sizes against the analytic bound, and the
+blow-up as the assumed implementation bound grows.
+"""
+
+import pytest
+
+from repro import railcab
+from repro.baselines import (
+    LStarLearner,
+    MembershipOracle,
+    PerfectEquivalenceOracle,
+    vasilevskii_bound,
+    w_method_suite,
+)
+from repro.legacy import interface_of
+
+
+def learned_hypothesis():
+    component = railcab.correct_rear_shuttle(convoy_ticks=1)
+    universe = interface_of(component).universe()
+    learner = LStarLearner(
+        MembershipOracle(component),
+        universe,
+        PerfectEquivalenceOracle(component._hidden, universe),
+    )
+    return learner.learn(), universe
+
+
+@pytest.mark.parametrize("slack", [0, 1, 2])
+def test_w_method_suite_size_vs_bound(benchmark, slack, record_artifact):
+    dfa, universe = learned_hypothesis()
+    bound = dfa.size + slack
+
+    suite = benchmark(lambda: w_method_suite(dfa, universe, state_bound=bound))
+
+    analytic = vasilevskii_bound(dfa.size, bound, len(universe))
+    assert len(suite) <= analytic
+    record_artifact(
+        f"W-method, k={dfa.size}, l={bound}, |Σ|={len(universe)}",
+        f"suite size = {len(suite)}, Vasilevskii bound = {analytic}",
+    )
+
+
+def test_exponential_blowup_shape(benchmark):
+    """The suite grows geometrically with the state-count slack."""
+    dfa, universe = learned_hypothesis()
+
+    def sweep():
+        return [len(w_method_suite(dfa, universe, state_bound=dfa.size + s)) for s in (0, 1, 2)]
+
+    sizes = benchmark(sweep)
+    # Strictly growing and by at least the alphabet factor asymptotically.
+    assert sizes[0] < sizes[1] < sizes[2]
+    assert sizes[2] / sizes[1] >= len(universe) / 2
+
+
+def test_our_scheme_has_no_equivalence_cost(benchmark):
+    """The synthesis never runs an equivalence query at all: its total
+    test count stays below even the smallest conformance suite."""
+    from conftest import run_synthesis
+
+    dfa, universe = learned_hypothesis()
+    smallest_suite = len(w_method_suite(dfa, universe, state_bound=dfa.size))
+    result = benchmark(lambda: run_synthesis(railcab.correct_rear_shuttle(convoy_ticks=1)))
+    assert result.proven
+    assert result.total_tests < smallest_suite

@@ -1,0 +1,29 @@
+"""E-fig3: the chaotic automaton of Figure 3 (Definition 8).
+
+Paper artifact: the two-state maximal behavior — ``s_all`` accepts
+every interaction and may always fall into the all-blocking
+``s_delta``; both states are initial.
+"""
+
+from repro import railcab
+from repro.automata import S_ALL, S_DELTA, chaotic_automaton, to_dot
+from repro.legacy import interface_of
+
+
+def build():
+    interface = interface_of(railcab.correct_rear_shuttle())
+    universe = interface.universe()
+    return chaotic_automaton(universe), universe
+
+
+def test_fig3_chaotic_automaton(benchmark, record_artifact):
+    chaos, universe = benchmark(build)
+    # Figure 3's structure:
+    assert chaos.states == frozenset({S_ALL, S_DELTA})
+    assert chaos.initial == frozenset({S_ALL, S_DELTA})
+    assert chaos.is_deadlock(S_DELTA)
+    # s_all supports every interaction ('*' in the figure), twice (stay
+    # chaotic or block forever).
+    assert chaos.enabled(S_ALL) == frozenset(universe)
+    assert len(chaos.transitions) == 2 * len(universe)
+    record_artifact("Figure 3 — chaotic automaton (DOT)", to_dot(chaos))

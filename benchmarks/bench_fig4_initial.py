@@ -1,0 +1,66 @@
+"""E-fig4: initial behavior synthesis (Figure 4(a)/(b), §3, Lemma 4).
+
+Paper artifact: the trivial incomplete automaton capturing only the
+known initial state ``noConvoy::default`` (4(a)), and its chaotic
+closure (4(b)) — the initial state doubled, one copy wired to both
+chaotic states by every interaction.  Lemma 4: the closure is a safe
+abstraction of the real shuttle.
+"""
+
+from repro import railcab
+from repro.automata import (
+    CHAOS_PROPOSITION,
+    ClosureState,
+    S_ALL,
+    S_DELTA,
+    chaos_tolerant_labels,
+    is_chaos_state,
+    refines,
+    to_dot,
+)
+from repro.legacy import interface_of
+from repro.synthesis import initial_abstraction, initial_model
+
+
+def build():
+    shuttle = railcab.correct_rear_shuttle()
+    interface = interface_of(shuttle)
+    model = initial_model(interface, labeler=railcab.rear_state_labeler)
+    closure = initial_abstraction(
+        interface,
+        interface.universe(),
+        labeler=railcab.rear_state_labeler,
+        deterministic_implementation=False,  # the literal Definition 9
+    )
+    return shuttle, interface, model, closure
+
+
+def test_fig4_initial_synthesis(benchmark, record_artifact):
+    shuttle, interface, model, closure = benchmark(build)
+
+    # Figure 4(a): exactly the initial state, no transitions, no refusals.
+    assert model.states == frozenset({"noConvoy::default"})
+    assert model.transitions == frozenset()
+    assert model.refusals == frozenset()
+
+    # Figure 4(b): doubled initial state plus the chaotic core.
+    initial_0 = ClosureState("noConvoy::default", False)
+    initial_1 = ClosureState("noConvoy::default", True)
+    assert closure.states == frozenset({initial_0, initial_1, S_ALL, S_DELTA})
+    assert closure.initial == frozenset({initial_0, initial_1})
+    # The extended copy reaches both chaotic states on '*'.
+    universe = interface.universe()
+    escapes = [t for t in closure.transitions_from(initial_1) if is_chaos_state(t.target)]
+    assert len(escapes) == 2 * len(universe)
+    # The not-extended copy blocks (it may already deadlock).
+    assert closure.is_deadlock(initial_0)
+
+    # Lemma 4: M_r ⊑ M_a^0.
+    hidden = shuttle._hidden.with_labels(railcab.rear_state_labeler)
+    assert refines(
+        hidden,
+        closure,
+        label_match=chaos_tolerant_labels(CHAOS_PROPOSITION),
+        universe=universe,
+    )
+    record_artifact("Figure 4(b) — chaos(M_l^0) (DOT)", to_dot(closure))

@@ -1,0 +1,52 @@
+"""E-fig5: the known context behavior (Figure 5).
+
+Paper artifact: the front role automaton — ``noConvoy`` until a
+``convoyProposal`` arrives, then ``answer`` (nondeterministic reject or
+start), ``convoy`` until a ``breakConvoyProposal``, which is accepted
+or rejected.  Regenerated here by unfolding the role's Real-Time
+Statechart.
+"""
+
+from repro import railcab
+from repro.automata import Interaction, to_dot
+from repro.logic import check, parse
+from repro.rtsc import unfold, validate
+
+
+def build():
+    chart = railcab.front_role_statechart()
+    report = validate(chart)
+    automaton = railcab.front_role_automaton()
+    return chart, report, automaton
+
+
+def test_fig5_context_behavior(benchmark, record_artifact):
+    chart, report, automaton = benchmark(build)
+    assert report.ok
+
+    # Figure 5's states and message flow.
+    assert automaton.states == frozenset(
+        {"noConvoy::default", "noConvoy::answer", "convoy::default", "convoy::break"}
+    )
+    receive = Interaction(["convoyProposal"], None)
+    assert any(
+        t.interaction == receive and t.target == "noConvoy::answer"
+        for t in automaton.transitions_from("noConvoy::default")
+    )
+    answers = {
+        tuple(sorted(t.outputs)) for t in automaton.transitions_from("noConvoy::answer") if t.outputs
+    }
+    assert ("convoyProposalRejected",) in answers
+    assert ("startConvoy",) in answers
+    break_answers = {
+        tuple(sorted(t.outputs)) for t in automaton.transitions_from("convoy::break") if t.outputs
+    }
+    assert ("breakConvoyAccepted",) in break_answers
+    assert ("breakConvoyRejected",) in break_answers
+
+    # The context itself is live and never claims convoy while noConvoy.
+    assert check(automaton, parse("AG not deadlock")).holds
+    assert check(
+        automaton, parse("AG not (frontRole.convoy and frontRole.noConvoy)")
+    ).holds
+    record_artifact("Figure 5 — front role behavior (DOT)", to_dot(automaton))

@@ -1,0 +1,81 @@
+"""E-l11: the first verification counterexample (Listing 1.1, §4.1).
+
+Paper artifact: checking ``M_a^c ∥ M_a^0 ⊨ φ_weak ∧ ¬δ`` fails, and the
+run of Listing 1.1 — proposal, rejection, proposal again, startConvoy,
+breakConvoyProposal, ending deadlocked in ``s_delta`` — is a
+counterexample of that check.  Model checkers may return *any*
+counterexample (ours prefers the shortest; the paper's conclusion
+discusses exactly this strategy choice), so the reproduction asserts
+both: our checker produces some valid counterexample, and the paper's
+specific Listing 1.1 run is a valid deadlock run of the composition.
+"""
+
+from repro import railcab
+from repro.automata import Interaction, Run, S_DELTA, chaotic_closure, compose
+from repro.legacy import interface_of
+from repro.logic import DEADLOCK_FREE, ModelChecker, counterexample, weaken_for_chaos
+from repro.synthesis import initial_model, render_counterexample_listing
+
+
+def build():
+    shuttle = railcab.correct_rear_shuttle()
+    interface = interface_of(shuttle)
+    closure = chaotic_closure(
+        initial_model(interface, labeler=railcab.rear_state_labeler),
+        interface.universe(),
+    )
+    composed = compose(railcab.front_role_automaton(), closure)
+    checker = ModelChecker(composed)
+    weakened = weaken_for_chaos(railcab.PATTERN_CONSTRAINT)
+    holds_property = checker.holds(weakened)
+    holds_deadlock = checker.holds(DEADLOCK_FREE)
+    witness = counterexample(composed, DEADLOCK_FREE, checker=checker)
+    return composed, holds_property, holds_deadlock, witness
+
+
+def _listing_1_1_run(composed) -> Run | None:
+    """Re-trace the paper's exact Listing 1.1 interaction sequence."""
+    sequence = [
+        Interaction(["convoyProposal"], ["convoyProposal"]),
+        Interaction(["convoyProposalRejected"], ["convoyProposalRejected"]),
+        Interaction(["convoyProposal"], ["convoyProposal"]),
+        Interaction(["startConvoy"], ["startConvoy"]),
+        Interaction(["breakConvoyProposal"], ["breakConvoyProposal"]),
+    ]
+    frontier = {state: Run(state) for state in composed.initial}
+    for interaction in sequence:
+        next_frontier = {}
+        for state, run in frontier.items():
+            for transition in composed.transitions_from(state):
+                if transition.interaction == interaction and transition.target not in next_frontier:
+                    next_frontier[transition.target] = run.extend(interaction, transition.target)
+        frontier = next_frontier
+        if not frontier:
+            return None
+    for state, run in sorted(frontier.items(), key=lambda item: repr(item[0])):
+        if state[1] == S_DELTA and composed.is_deadlock(state):
+            return run
+    return None
+
+
+def test_listing_1_1_initial_counterexample(benchmark, record_artifact):
+    composed, holds_property, holds_deadlock, witness = benchmark(build)
+
+    # The first check must fail on the deadlock half of φ ∧ ¬δ.
+    assert not holds_deadlock
+    assert witness is not None
+    assert witness.is_run_of(composed)
+    assert composed.is_deadlock(witness.last_state)
+
+    # The paper's Listing 1.1 run exists verbatim and deadlocks in s_delta.
+    listing = _listing_1_1_run(composed)
+    assert listing is not None
+    assert listing.is_run_of(composed)
+    record_artifact(
+        "Listing 1.1 — initial counterexample",
+        render_counterexample_listing(
+            listing,
+            legacy_inputs=railcab.FRONT_TO_REAR,
+            legacy_outputs=railcab.REAR_TO_FRONT,
+        ),
+    )

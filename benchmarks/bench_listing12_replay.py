@@ -1,0 +1,82 @@
+"""E-l12/13: monitored traces and deterministic replay (Listings 1.2/1.3, §5).
+
+Paper artifacts: executing the Listing 1.1 counterexample as a test
+records, under *minimal* instrumentation, only the port messages
+(Listing 1.2); deterministic replay with *full* instrumentation then
+adds ``[CurrentState]`` and ``[Timing]`` records (Listing 1.3 for the
+faulty shuttle, Listing 1.5 for the correct one) without suffering the
+probe effect.
+"""
+
+from repro import railcab
+from repro.automata import Interaction
+from repro.testing import (
+    MessageEvent,
+    StateEvent,
+    TestVerdict,
+    TimingEvent,
+    execute_test,
+    render_events,
+    replay,
+)
+from repro.testing import test_case_from_trace as case_from_trace
+
+LISTING_1_1_PROJECTION = [
+    Interaction(None, ["convoyProposal"]),
+    Interaction(["convoyProposalRejected"], None),
+    Interaction(None, ["convoyProposal"]),
+    Interaction(["startConvoy"], None),
+    Interaction(None, ["breakConvoyProposal"]),
+]
+
+
+def build():
+    shuttle = railcab.faulty_rear_shuttle()
+    case = case_from_trace(LISTING_1_1_PROJECTION, name="listing-1.1")
+    execution = execute_test(shuttle, case, port="rearRole")
+    result = replay(shuttle, execution.recording, port="rearRole")
+    return shuttle, execution, result
+
+
+def test_listing_1_2_and_1_3_record_replay(benchmark, record_artifact):
+    shuttle, execution, result = benchmark(build)
+
+    # The faulty shuttle diverges (Listing 1.3's conflict): it reports
+    # state "convoy" right after proposing.
+    assert execution.verdict is TestVerdict.DIVERGED
+
+    # Listing 1.2 shape: the minimal recording contains message events
+    # only — the outgoing proposal and the incoming rejection.
+    assert MessageEvent("convoyProposal", "rearRole", "outgoing", 1) in execution.events
+    assert MessageEvent("convoyProposalRejected", "rearRole", "incoming", 2) in execution.events
+    assert not any(isinstance(event, StateEvent) for event in execution.events)
+
+    # Listing 1.3 shape: replay adds states and timing, probe-effect-free.
+    assert result.probe_effect_free
+    kinds = {type(event) for event in result.events}
+    assert StateEvent in kinds and TimingEvent in kinds and MessageEvent in kinds
+    states = [event.name for event in result.events if isinstance(event, StateEvent)]
+    assert states[0] == "noConvoy"
+    assert "convoy" in states  # the faulty mode switch the paper shows
+
+    # Replaying never perturbed the live component's timing.
+    assert not shuttle.probe_effect_active
+    record_artifact("Listing 1.2 — minimal record", render_events(list(execution.events)))
+    record_artifact("Listing 1.3 — full replay", render_events(list(result.events)))
+
+
+def test_listing_1_5_successful_learning_trace(benchmark, record_artifact):
+    def run_correct():
+        shuttle = railcab.correct_rear_shuttle()
+        case = case_from_trace(LISTING_1_1_PROJECTION, name="listing-1.1")
+        execution = execute_test(shuttle, case, port="rearRole")
+        return execution, replay(shuttle, execution.recording, port="rearRole")
+
+    execution, result = benchmark(run_correct)
+    # The correct shuttle follows the counterexample until the break
+    # proposal; Listing 1.5's trace ends in state convoy.
+    states = [event.name for event in result.events if isinstance(event, StateEvent)]
+    assert states[0] == "noConvoy::default"
+    assert "noConvoy::wait" in states
+    assert any(state.startswith("convoy") for state in states)
+    record_artifact("Listing 1.5 — monitored learning trace", render_events(list(result.events)))

@@ -1,0 +1,102 @@
+"""E-substrate: throughput of the verification substrate.
+
+Infrastructure benchmarks: parallel composition, model checking with
+bounded operators, chaotic-closure construction, and RTSC unfolding on
+scaled inputs.  These back the DESIGN.md ablation notes — the iterative
+loop's cost is dominated by repeated compose+check rounds.
+"""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    IncompleteAutomaton,
+    InteractionUniverse,
+    Transition,
+    Interaction,
+    chaotic_closure,
+    compose,
+)
+from repro.logic import ModelChecker, parse
+from repro.rtsc import ClockConstraint, Statechart, unfold
+
+
+def ring(n: int, name: str, signal_in: str, signal_out: str) -> Automaton:
+    """A ring of n states passing one token per revolution."""
+    transitions = []
+    for index in range(n):
+        target = (index + 1) % n
+        if index == 0:
+            interaction = Interaction([signal_in], None)
+        elif index == n - 1:
+            interaction = Interaction(None, [signal_out])
+        else:
+            interaction = Interaction()
+        transitions.append(Transition(f"{name}{index}", interaction, f"{name}{target}"))
+        transitions.append(Transition(f"{name}{index}", Interaction(), f"{name}{index}"))
+    return Automaton(
+        inputs={signal_in},
+        outputs={signal_out},
+        transitions=transitions,
+        initial=[f"{name}0"],
+        labels={f"{name}0": {f"{name}.home"}},
+        name=name,
+    )
+
+
+@pytest.mark.parametrize("size", [10, 40])
+def test_composition_throughput(benchmark, size):
+    left = ring(size, "L", "a", "b")
+    right = ring(size, "R", "b", "a")
+    composed = benchmark(lambda: compose(left, right))
+    assert composed.states
+
+
+@pytest.mark.parametrize("size", [10, 40])
+def test_model_checking_throughput(benchmark, size):
+    left = ring(size, "L", "a", "b")
+    right = ring(size, "R", "b", "a")
+    composed = compose(left, right)
+    formula = parse(f"AG (L.home -> AF[0,{4 * size}] R.home)")
+
+    def check():
+        return ModelChecker(composed).check(formula)
+
+    result = benchmark(check)
+    assert isinstance(result.holds, bool)
+
+
+@pytest.mark.parametrize("states,alphabet", [(5, 4), (20, 8)])
+def test_closure_construction_throughput(benchmark, states, alphabet):
+    inputs = [f"i{k}" for k in range(alphabet // 2)]
+    outputs = [f"o{k}" for k in range(alphabet // 2)]
+    universe = InteractionUniverse.singletons(inputs, outputs)
+    transitions = [
+        (f"s{i}", (), (outputs[0],), f"s{(i + 1) % states}") for i in range(states)
+    ]
+    model = IncompleteAutomaton(
+        inputs=inputs,
+        outputs=outputs,
+        transitions=transitions,
+        initial=["s0"],
+        name="learned",
+    )
+    closure = benchmark(
+        lambda: chaotic_closure(model, universe, deterministic_implementation=True)
+    )
+    assert len(closure.states) == 2 * states + 2
+
+
+@pytest.mark.parametrize("horizon", [5, 20])
+def test_rtsc_unfolding_throughput(benchmark, horizon):
+    chart = Statechart("timer", outputs={"tick"}, clocks={"c"})
+    waiting = chart.location(
+        "waiting", initial=True, invariant=ClockConstraint.at_most("c", horizon)
+    )
+    fire = chart.location("fire")
+    chart.transition(
+        waiting, fire, raised="tick", guard=ClockConstraint.at_least("c", horizon), resets={"c"}
+    )
+    chart.transition(fire, waiting, resets={"c"})
+    automaton = benchmark(lambda: unfold(chart))
+    assert len(automaton.states) >= horizon

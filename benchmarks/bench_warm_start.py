@@ -1,0 +1,78 @@
+"""E-warm: knowledge reuse across properties and sessions.
+
+Not in the paper, but a direct consequence of its design: the learned
+model is property-independent (it is a safe abstraction of the
+component, full stop), so a model learned while proving one constraint
+warm-starts the verification of the next — typically to a zero-test,
+single-iteration proof.  Measured here together with the validation
+cost of re-executing persisted knowledge against the live component.
+"""
+
+from repro import railcab
+from repro.logic import parse
+from repro.persistence import incomplete_from_dict, incomplete_to_dict
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+AGREEMENT = parse("AG (rearRole.convoy -> frontRole.convoy)")
+
+
+def cold_result():
+    return IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        railcab.correct_rear_shuttle(convoy_ticks=1),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+    ).run()
+
+
+def test_warm_start_zero_tests(benchmark):
+    knowledge = cold_result().final_model
+
+    def warm():
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            AGREEMENT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=knowledge,
+        ).run()
+
+    result = benchmark(warm)
+    assert result.verdict is Verdict.PROVEN
+    assert result.iteration_count == 1
+    assert result.total_tests == 0
+
+
+def test_warm_vs_cold_cost(benchmark):
+    knowledge = cold_result().final_model
+
+    def both():
+        cold = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            AGREEMENT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        warm = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            AGREEMENT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=knowledge,
+        ).run()
+        return cold, warm
+
+    cold, warm = benchmark(both)
+    assert cold.verdict is Verdict.PROVEN and warm.verdict is Verdict.PROVEN
+    assert warm.iteration_count < cold.iteration_count
+    assert warm.total_tests < cold.total_tests
+
+
+def test_persistence_round_trip_fidelity(benchmark):
+    knowledge = cold_result().final_model
+
+    def round_trip():
+        return incomplete_from_dict(incomplete_to_dict(knowledge))
+
+    reloaded = benchmark(round_trip)
+    assert reloaded == knowledge

@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-artifact benchmarks.
+
+Every benchmark regenerates one figure/listing of the paper (or one of
+the quantitative claims) and asserts the *shape* reported by the paper
+— who wins, which verdict, how many iterations — while pytest-benchmark
+records the runtime of the reproduced pipeline stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import railcab
+from repro.synthesis import IntegrationSynthesizer
+
+
+def run_synthesis(component, *, fast_conflict: bool = True, max_iterations: int = 500):
+    return IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        component,
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+        fast_conflict=fast_conflict,
+        max_iterations=max_iterations,
+        port="rearRole",
+    ).run()
+
+
+@pytest.fixture
+def record_artifact(request, capsys):
+    """Print a regenerated artifact under a banner (visible with -s)."""
+
+    def _record(title: str, text: str) -> None:
+        print(f"\n===== {title} =====")
+        print(text)
+
+    return _record

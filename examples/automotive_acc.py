@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Automotive scenario: integrating a supplier's cruise-control unit.
+
+The paper's introduction motivates the scheme with automotive software:
+"components from different suppliers and vendors can technically
+interoperate [via AUTOSAR-style interfaces] — however, also a correct
+integration at the application level is needed."  This example plays
+that scenario:
+
+* the OEM models a **brake coordinator** (context): it arbitrates
+  between driver braking and the adaptive cruise control (ACC), and its
+  safety property is a hard real-time constraint — whenever the
+  coordinator requests deceleration, braking must be in effect within
+  two periods, and the system must never deadlock;
+* the supplier ships the **ACC unit** as a binary (legacy component):
+  it receives distance alerts and brake acknowledgements and issues
+  deceleration requests and releases;
+* supplier A's unit is correct; supplier B's unit has a race — after a
+  distance alert it re-arms without awaiting the brake acknowledgement,
+  so a second alert arrives while the unit is deaf and the vehicle
+  misses its deceleration window.
+
+Run with::
+
+    python examples/automotive_acc.py
+"""
+
+from repro import automotive
+from repro.automata import Automaton
+from repro.legacy import LegacyComponent
+from repro.logic import parse
+from repro.synthesis import (
+    IntegrationSynthesizer,
+    Verdict,
+    render_iteration_table,
+    summarize,
+)
+
+# Signals, from the ACC unit's perspective:
+#   in : distanceAlert (radar), brakeAck (coordinator confirms braking)
+#   out: decelRequest, decelRelease
+ACC_INPUTS = frozenset({"distanceAlert", "brakeAck"})
+ACC_OUTPUTS = frozenset({"decelRequest", "decelRelease"})
+
+
+def brake_coordinator() -> Automaton:
+    """The OEM's modeled context: radar + brake arbitration.
+
+    In ``cruising`` it may raise a distance alert (radar decides).  A
+    ``decelRequest`` from the ACC moves it to ``braking`` — it
+    acknowledges within one period and waits for the release.
+    """
+    return Automaton(
+        inputs=ACC_OUTPUTS,
+        outputs=ACC_INPUTS,
+        transitions=[
+            ("cruising", (), (), "cruising"),
+            ("cruising", (), ("distanceAlert",), "alerted"),
+            ("alerted", ("decelRequest",), (), "braking"),
+            ("alerted", (), (), "alerted"),
+            ("braking", (), ("brakeAck",), "decelerating"),
+            ("decelerating", ("decelRelease",), (), "cruising"),
+            ("decelerating", (), (), "decelerating"),
+        ],
+        initial=["cruising"],
+        labels={
+            "cruising": {"coord.cruising"},
+            "alerted": {"coord.alerted"},
+            "braking": {"coord.braking"},
+            "decelerating": {"coord.braking"},
+        },
+        name="brakeCoordinator",
+    )
+
+
+def supplier_a_acc() -> LegacyComponent:
+    """Correct unit: alert → request deceleration → await ack → release."""
+    hidden = Automaton(
+        inputs=ACC_INPUTS,
+        outputs=ACC_OUTPUTS,
+        transitions=[
+            ("armed", (), (), "armed"),
+            ("armed", ("distanceAlert",), (), "reacting"),
+            ("reacting", (), ("decelRequest",), "requested"),
+            ("requested", ("brakeAck",), (), "decelerating"),
+            ("requested", (), (), "requested"),
+            ("decelerating", (), ("decelRelease",), "armed"),
+        ],
+        initial=["armed"],
+        name="ACC(supplier-A)",
+    )
+    return LegacyComponent(hidden, name="acc")
+
+
+def supplier_b_acc() -> LegacyComponent:
+    """Racy unit: re-arms immediately after requesting deceleration.
+
+    It never consumes the brake acknowledgement in its ``armed`` state;
+    when the coordinator is mid-handshake the unit is deaf and the
+    composition jams — a real integration error at the application
+    level, although every interface signature matches.
+    """
+    hidden = Automaton(
+        inputs=ACC_INPUTS,
+        outputs=ACC_OUTPUTS,
+        transitions=[
+            ("armed", (), (), "armed"),
+            ("armed", ("distanceAlert",), (), "reacting"),
+            # The race: requests deceleration and re-arms in one period,
+            # without tracking the outstanding handshake.
+            ("reacting", (), ("decelRequest",), "armed"),
+        ],
+        initial=["armed"],
+        name="ACC(supplier-B)",
+    )
+    return LegacyComponent(hidden, name="acc")
+
+
+SAFETY = parse("AG (coord.alerted -> AF[1,3] coord.braking)")
+
+
+def integrate(component: LegacyComponent, title: str):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    result = IntegrationSynthesizer(
+        brake_coordinator(),
+        component,
+        SAFETY,
+        labeler=lambda state: {f"acc.{state}"},
+        port="accPort",
+    ).run()
+    print(summarize(result))
+    print(render_iteration_table(result))
+    return result
+
+
+def main() -> None:
+    # The same scenario is available as a first-class case study in
+    # ``repro.automotive`` (pattern, architecture, suppliers); this
+    # example keeps the inline definitions for readability and checks
+    # they agree with the library module.
+    assert automotive.supplier_a_acc()._hidden.is_strongly_deterministic()
+    result = integrate(supplier_a_acc(), "Supplier A: expect PROVEN")
+    assert result.verdict is Verdict.PROVEN
+
+    result = integrate(supplier_b_acc(), "Supplier B: expect REAL-VIOLATION")
+    assert result.verdict is Verdict.REAL_VIOLATION
+    print(f"\nthe violation is real ({result.violation_kind}); witness:")
+    print(f"  {result.violation_witness}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Incremental integration: learned knowledge survives across runs.
+
+Integration is not a one-shot activity: properties get added, contexts
+get revised, legacy components get patched.  This example shows the
+library's workflow support around the paper's scheme:
+
+1. a cold run learns the rear shuttle's context-relevant behavior and
+   proves the distance constraint;
+2. the learned model is *persisted* to JSON;
+3. a second property (convoy agreement) is proven from the warm-started
+   model with **zero** additional test executions;
+4. after a (simulated) component update, the stale knowledge is
+   *detected and rejected* — the validation re-executes the model
+   against the live component before trusting it — and a fresh run
+   converges on the new behavior.
+
+Run with::
+
+    python examples/incremental_integration.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import railcab
+from repro.errors import SynthesisError
+from repro.logic import parse
+from repro.persistence import load_model, save_model
+from repro.synthesis import IntegrationSynthesizer, Verdict, summarize
+
+AGREEMENT = parse("AG (rearRole.convoy -> frontRole.convoy)")
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    context = railcab.front_role_automaton()
+
+    banner("1. Cold run: prove the distance constraint")
+    cold = IntegrationSynthesizer(
+        context,
+        railcab.correct_rear_shuttle(convoy_ticks=1),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+    ).run()
+    assert cold.verdict is Verdict.PROVEN
+    print(summarize(cold))
+
+    banner("2. Persist the learned model")
+    store = Path(tempfile.mkdtemp()) / "rear-shuttle.json"
+    save_model(cold.final_model, store)
+    print(f"saved {cold.final_model!r}\n  -> {store}")
+
+    banner("3. Warm run: a NEW property, zero new tests")
+    warm = IntegrationSynthesizer(
+        context,
+        railcab.correct_rear_shuttle(convoy_ticks=1),
+        AGREEMENT,
+        labeler=railcab.rear_state_labeler,
+        initial_knowledge=load_model(store),
+    ).run()
+    assert warm.verdict is Verdict.PROVEN
+    print(summarize(warm))
+    print(f"tests executed on the warm run: {warm.total_tests}")
+
+    banner("4. Component update: stale knowledge is rejected")
+    updated_component = railcab.correct_rear_shuttle(convoy_ticks=3)  # new firmware
+    try:
+        IntegrationSynthesizer(
+            context,
+            updated_component,
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=load_model(store),
+        )
+    except SynthesisError as error:
+        print(f"rejected as expected: {error}")
+    else:
+        raise AssertionError("stale knowledge was not detected")
+
+    fresh = IntegrationSynthesizer(
+        context,
+        railcab.correct_rear_shuttle(convoy_ticks=3),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+    ).run()
+    assert fresh.verdict is Verdict.PROVEN
+    print(f"\nfresh run against the updated component: {fresh.verdict.value} "
+          f"({fresh.iteration_count} iterations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compositional pattern verification in Mechatronic UML ([24], §1).
+
+Before any legacy component enters the picture, Mechatronic UML
+verifies the coordination patterns themselves: role invariants against
+role behavior, and the pattern constraint plus deadlock freedom against
+the composed roles.  This example:
+
+1. verifies the DistanceCoordination pattern of Figure 1;
+2. breaks the front role (it forgets to tell the rear shuttle that the
+   convoy started) and shows the verification catching the deadlock;
+3. builds a shuttle component whose ports refine the pattern roles and
+   checks port conformance (refinement per Definition 4);
+4. shows a connector with QoS: a unit-delay channel between the roles.
+
+Run with::
+
+    python examples/pattern_verification.py
+"""
+
+from repro import railcab
+from repro.automata import Automaton
+from repro.logic import parse
+from repro.muml import Component, CoordinationPattern, Port, Role, unit_delay_channel
+from repro.rtsc import Statechart, unfold
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def verify_distance_coordination() -> None:
+    banner("1. DistanceCoordination pattern (Figure 1)")
+    pattern = railcab.distance_coordination_pattern()
+    result = pattern.verify()
+    print(f"pattern constraint {pattern.constraint}: {result.constraint_result.holds}")
+    print(f"deadlock freedom: {result.deadlock_result.holds}")
+    for role, check in result.invariant_results.items():
+        print(f"role invariant of {role}: {check.holds}")
+    print(f"composed pattern: {result.composition}")
+    assert result.ok
+
+
+def verify_broken_pattern() -> None:
+    banner("2. A broken front role: agrees to the convoy but forgets it")
+    chart = Statechart(
+        "frontRole",
+        inputs=railcab.REAR_TO_FRONT,
+        outputs=railcab.FRONT_TO_REAR,
+    )
+    no_convoy = chart.location("noConvoy", initial=True)
+    default = chart.location("default", parent=no_convoy, initial=True)
+    answer = chart.location("answer", parent=no_convoy)
+    chart.transition(default, answer, trigger="convoyProposal")
+    chart.transition(answer, default, raised="convoyProposalRejected")
+    # The defect: it sends startConvoy but stays in noConvoy mode,
+    # remaining free to brake with full force.
+    chart.transition(answer, default, raised="startConvoy")
+    broken_front = Role("frontRole", unfold(chart))
+    rear = Role("rearRole", railcab.rear_role_automaton())
+    pattern = CoordinationPattern(
+        "DistanceCoordination(broken)",
+        [broken_front, rear],
+        constraint=railcab.PATTERN_CONSTRAINT,
+    )
+    result = pattern.verify()
+    print(f"pattern constraint: {result.constraint_result.holds}")
+    print(f"deadlock freedom: {result.deadlock_result.holds}")
+    if result.counterexample_run is not None:
+        print("witness run:")
+        print(f"  {result.counterexample_run}")
+    assert not result.ok
+
+
+def check_component_conformance() -> None:
+    banner("3. Shuttle component: port refinement (Definition 4)")
+    pattern = railcab.distance_coordination_pattern()
+    rear_role = pattern.role("rearRole")
+
+    conforming_port = Port("rearRole", rear_role, railcab.rear_role_automaton())
+    shuttle = Component("shuttle", [conforming_port])
+    for name, result in shuttle.check_conformance().items():
+        print(
+            f"port {name}: refines role = {result.refines_role}, "
+            f"invariant respected = {result.respects_invariant}"
+        )
+        assert result.ok
+
+    # A port that adds behavior the role forbids: proposing a convoy
+    # and *immediately* driving in convoy mode (the faulty shuttle).
+    faulty_behavior = Automaton(
+        inputs=railcab.FRONT_TO_REAR,
+        outputs=railcab.REAR_TO_FRONT,
+        transitions=[
+            ("noConvoy", (), ("convoyProposal",), "convoy"),
+            ("convoy", ("convoyProposalRejected",), (), "convoy"),
+            ("convoy", (), (), "convoy"),
+        ],
+        initial=["noConvoy"],
+        labels={
+            "noConvoy": {"rearRole.noConvoy", "rearRole.fullBraking"},
+            "convoy": {"rearRole.convoy", "rearRole.reducedBraking"},
+        },
+        name="faultyPort",
+    )
+    faulty_port = Port("rearRole", rear_role, faulty_behavior)
+    check = faulty_port.check_conformance(
+        contract_propositions=railcab.PATTERN_CONSTRAINT.propositions()
+    )
+    print(f"faulty port refines role: {check.refines_role}")
+    if check.refinement_witness is not None:
+        print(f"refinement violation witness: {check.refinement_witness}")
+    assert not check.refines_role
+
+
+def connector_with_qos() -> None:
+    banner("4. Roles over a unit-delay connector")
+    channel = unit_delay_channel(["job"], name="wire")
+    producer = Automaton(
+        inputs=set(),
+        outputs={"job"},
+        transitions=[
+            ("make", (), ("job",), "cool"),
+            ("cool", (), (), "make"),
+        ],
+        initial=["make"],
+        labels={"make": {"producer.make"}, "cool": {"producer.cool"}},
+        name="producer",
+    )
+    consumer = Automaton(
+        inputs={"job~"},
+        outputs=set(),
+        transitions=[
+            ("wait", ("job~",), (), "work"),
+            ("wait", (), (), "wait"),
+            ("work", (), (), "wait"),
+        ],
+        initial=["wait"],
+        labels={"wait": {"consumer.wait"}, "work": {"consumer.work"}},
+        name="consumer",
+    )
+    pattern = CoordinationPattern(
+        "Produce",
+        [Role("producer", producer), Role("consumer", consumer)],
+        constraint=parse("AG (producer.make -> AF[1,4] consumer.work)"),
+        connector=channel,
+    )
+    result = pattern.verify()
+    print(f"composed: {result.composition}")
+    print(f"bounded-delivery constraint: {result.constraint_result.holds}")
+    print(f"deadlock freedom: {result.deadlock_result.holds}")
+    assert result.ok
+
+
+def main() -> None:
+    verify_distance_coordination()
+    verify_broken_pattern()
+    check_component_conformance()
+    connector_with_qos()
+
+
+if __name__ == "__main__":
+    main()

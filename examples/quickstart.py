@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: verify the integration of a tiny legacy server.
+
+A modeled client expects a ping/pong protocol; the legacy server is an
+executable black box.  We run the paper's verify → test → learn loop
+twice — once against a conforming server (the integration is *proven*)
+and once against a server that stops answering after two pongs (a real
+deadlock is *pin-pointed*).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.automata import Automaton
+from repro.legacy import LegacyComponent
+from repro.logic import parse
+from repro.synthesis import IntegrationSynthesizer, render_iteration_table, summarize
+
+
+def client() -> Automaton:
+    """The context: sends ping, waits for pong, repeats (or idles)."""
+    return Automaton(
+        inputs={"pong"},
+        outputs={"ping"},
+        transitions=[
+            ("idle", (), (), "idle"),
+            ("idle", (), ("ping",), "waiting"),
+            ("waiting", ("pong",), (), "idle"),
+            ("waiting", (), (), "waiting"),
+        ],
+        initial=["idle"],
+        labels={"idle": {"client.idle"}, "waiting": {"client.waiting"}},
+        name="client",
+    )
+
+
+def good_server() -> LegacyComponent:
+    """Always answers the next period with a pong."""
+    hidden = Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        name="server(good)",
+    )
+    return LegacyComponent(hidden, name="server")
+
+
+def tired_server() -> LegacyComponent:
+    """Answers two pings, then ignores everything — a real deadlock."""
+    transitions = [
+        ("ready0", ("ping",), (), "busy0"),
+        ("ready0", (), (), "ready0"),
+        ("busy0", (), ("pong",), "ready1"),
+        ("ready1", ("ping",), (), "busy1"),
+        ("ready1", (), (), "ready1"),
+        ("busy1", (), ("pong",), "tired"),
+        # "tired" refuses pings and does not even idle: the component
+        # halts (e.g. a crashed thread) — no reaction to anything.
+    ]
+    hidden = Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=transitions,
+        initial=["ready0"],
+        name="server(tired)",
+    )
+    return LegacyComponent(hidden, name="server")
+
+
+def integrate(component: LegacyComponent, title: str) -> None:
+    print(f"=== {title} " + "=" * max(0, 60 - len(title)))
+    synthesizer = IntegrationSynthesizer(
+        client(),
+        component,
+        parse("AG (client.waiting -> AF[1,3] client.idle)"),
+        labeler=lambda state: {f"server.{state}"},
+        port="serverPort",
+    )
+    result = synthesizer.run()
+    print(summarize(result))
+    print(render_iteration_table(result))
+    print()
+
+
+def main() -> None:
+    integrate(good_server(), "good server: expect PROVEN")
+    integrate(tired_server(), "tired server: expect REAL-VIOLATION")
+
+
+if __name__ == "__main__":
+    main()

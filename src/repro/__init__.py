@@ -1,0 +1,120 @@
+"""repro — Correct legacy component integration in Mechatronic UML.
+
+A from-scratch reproduction of Giese, Henkler, Hirsch: *Combining
+Formal Verification and Testing for Correct Legacy Component
+Integration in Mechatronic UML* (Architecting Dependable Systems V,
+LNCS 5135, 2008; presented at DSN 2007 WADS).
+
+The library answers one question: *given a component-based real-time
+architecture that embeds a legacy component whose behavior model is
+unknown, is the integration correct?* — without reverse-engineering or
+learning the whole legacy component.  The scheme combines:
+
+* **compositional formal verification** of the context composed with a
+  *safe over-approximation* (chaotic closure) of the legacy component,
+* **counterexample-based testing** with deterministic replay against
+  the real component, and
+* **learning** of the observed behavior into ever more precise safe
+  abstractions, until the property is proven or a real failure found.
+
+Quickstart::
+
+    from repro import railcab
+    from repro.synthesis import IntegrationSynthesizer, Verdict
+
+    synthesizer = IntegrationSynthesizer(
+        railcab.front_role_automaton(),          # the context M_a^c
+        railcab.faulty_rear_shuttle(),           # the legacy component M_r
+        railcab.PATTERN_CONSTRAINT,              # the property φ
+        labeler=railcab.rear_state_labeler,
+    )
+    result = synthesizer.run()
+    assert result.verdict is Verdict.REAL_VIOLATION
+
+Subpackages
+-----------
+``repro.automata``
+    Discrete-time I/O automata, composition, refinement, chaotic closure.
+``repro.logic``
+    CCTL formulas, model checking, counterexamples, compositionality.
+``repro.rtsc``
+    Real-Time Statecharts and their unfolding semantics.
+``repro.muml``
+    Coordination patterns, connectors, components, architectures.
+``repro.legacy``
+    The executable black-box legacy component harness.
+``repro.testing``
+    Counterexample-based testing and deterministic replay.
+``repro.synthesis``
+    The iterative verify → test → learn loop (the paper's contribution).
+``repro.baselines``
+    Angluin's L*, W-method conformance testing, black-box checking.
+``repro.railcab``
+    The RailCab shuttle running example.
+"""
+
+from . import (
+    automata,
+    automotive,
+    codegen,
+    integration,
+    legacy,
+    logic,
+    muml,
+    persistence,
+    railcab,
+    rtsc,
+    synthesis,
+    testing,
+    workloads,
+)
+from .integration import IntegrationReport, integrate
+from .errors import (
+    BudgetExceededError,
+    CompositionError,
+    CounterexampleError,
+    ExecutionError,
+    FormulaError,
+    LearningError,
+    ModelError,
+    NotCompositionalError,
+    ParseError,
+    RefinementError,
+    ReplayError,
+    ReproError,
+    SynthesisError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "automata",
+    "logic",
+    "rtsc",
+    "muml",
+    "legacy",
+    "testing",
+    "synthesis",
+    "railcab",
+    "automotive",
+    "workloads",
+    "persistence",
+    "integration",
+    "codegen",
+    "integrate",
+    "IntegrationReport",
+    "ReproError",
+    "ModelError",
+    "CompositionError",
+    "RefinementError",
+    "FormulaError",
+    "ParseError",
+    "NotCompositionalError",
+    "CounterexampleError",
+    "ExecutionError",
+    "ReplayError",
+    "SynthesisError",
+    "LearningError",
+    "BudgetExceededError",
+    "__version__",
+]

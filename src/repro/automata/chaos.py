@@ -1,0 +1,200 @@
+"""Chaotic automaton and chaotic closure (Definitions 8 and 9, §2.7).
+
+The *chaotic automaton* is the maximal behavior over given signal sets:
+state ``s_∀`` accepts every interaction (and may at any point move to
+``s_δ``), and ``s_δ`` blocks everything.  Both are initial.
+
+The *chaotic closure* ``chaos(M)`` of an incomplete automaton ``M``
+interprets everything ``M`` does not know pessimistically: every known
+state ``s`` is doubled into ``(s, 0)`` — "no further extension exists,
+this state may already block" — and ``(s, 1)`` — "any extension may
+exist", from which every interaction not explicitly refused by ``T̄``
+escapes into the chaotic automaton.  By Theorem 1, ``chaos(M)`` is a
+safe abstraction of every deterministic implementation that ``M`` is
+observation-conforming to: ``M_r ⊑ chaos(M)``.
+
+Instead of duplicating the chaos states per subset of the proposition
+set, both chaos states carry the fresh proposition
+:data:`CHAOS_PROPOSITION` and formulas are weakened accordingly
+(``p ↦ p ∨ chaos``, ``¬p ↦ ¬p ∨ chaos`` — see
+:func:`repro.logic.compositional.weaken_for_chaos`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from .automaton import Automaton, State, Transition
+from .incomplete import IncompleteAutomaton
+from .interaction import InteractionUniverse
+from .runs import Run
+
+__all__ = [
+    "CHAOS_PROPOSITION",
+    "ClosureState",
+    "ChaosState",
+    "S_ALL",
+    "S_DELTA",
+    "chaotic_automaton",
+    "chaotic_closure",
+    "is_chaos_state",
+    "closure_base_state",
+    "run_stays_in_learned_part",
+]
+
+#: The fresh proposition ``p'`` of §2.7 carried by the chaos states.
+CHAOS_PROPOSITION = "chaos"
+
+
+@dataclass(frozen=True, slots=True)
+class ClosureState:
+    """A doubled state ``(s, 0)`` or ``(s, 1)`` of Definition 9."""
+
+    base: State
+    extended: bool
+
+    def __repr__(self) -> str:
+        return f"({self.base!r},{1 if self.extended else 0})"
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosState:
+    """One of the two chaotic states ``s_∀`` / ``s_δ`` of Definition 8."""
+
+    kind: str
+
+    def __repr__(self) -> str:
+        return self.kind
+
+
+#: The all-accepting chaotic state (``s_∀``, rendered ``s_all``).
+S_ALL = ChaosState("s_all")
+#: The all-blocking chaotic state (``s_δ``, rendered ``s_delta``).
+S_DELTA = ChaosState("s_delta")
+
+
+def is_chaos_state(state: State) -> bool:
+    """True for ``s_∀`` and ``s_δ`` (also inside composed tuple states)."""
+    return isinstance(state, ChaosState)
+
+
+def closure_base_state(state: State) -> State | None:
+    """The original ``M`` state behind a closure state, ``None`` for chaos."""
+    if isinstance(state, ClosureState):
+        return state.base
+    if isinstance(state, ChaosState):
+        return None
+    raise ModelError(f"{state!r} is not a chaotic-closure state")
+
+
+def run_stays_in_learned_part(run: Run) -> bool:
+    """Does a closure run avoid ``s_∀``/``s_δ`` entirely?
+
+    §4.2: a counterexample that never visits the chaotic states maps
+    one-to-one onto a run of the learned (hence real, for a
+    deterministic implementation) behavior — it proves a conflict
+    without further testing ("fast conflict detection").
+    """
+    return not any(is_chaos_state(state) for state in run.states)
+
+
+def chaotic_automaton(universe: InteractionUniverse, *, name: str = "M_c") -> Automaton:
+    """The chaotic automaton of Definition 8 over the given alphabet."""
+    transitions = []
+    for interaction in universe:
+        transitions.append(Transition(S_ALL, interaction, S_ALL))
+        transitions.append(Transition(S_ALL, interaction, S_DELTA))
+    return Automaton(
+        states=[S_ALL, S_DELTA],
+        inputs=universe.inputs,
+        outputs=universe.outputs,
+        transitions=transitions,
+        initial=[S_ALL, S_DELTA],
+        labels={S_ALL: {CHAOS_PROPOSITION}, S_DELTA: {CHAOS_PROPOSITION}},
+        name=name,
+    )
+
+
+def chaotic_closure(
+    incomplete: IncompleteAutomaton,
+    universe: InteractionUniverse,
+    *,
+    deterministic_implementation: bool = False,
+    name: str | None = None,
+) -> Automaton:
+    """``chaos(M)`` of Definition 9.
+
+    The alphabet of the closure is fixed by ``universe``, which plays the
+    role of "all possible input and output combinations" in the
+    definition; it must range over exactly the incomplete automaton's
+    signal sets.
+
+    With ``deterministic_implementation=True`` the ``(s,1)`` escapes are
+    built only for interactions that are *unknown* at ``s`` — neither in
+    ``T`` nor in ``T̄``.  Definition 9 literally escapes for everything
+    not in ``T̄``, but for a §2.6-deterministic implementation an
+    interaction already recorded in ``T`` has a unique, known successor,
+    so escaping for it adds no behavior the implementation can exhibit
+    (Theorem 1 still holds) while it *would* let the model checker keep
+    producing counterexamples the learner can extract nothing new from.
+    The iterative synthesis therefore uses this variant — it is what
+    makes every learning step strictly increase ``|T| + |T̄|`` (§4.4's
+    termination measure).
+    """
+    if universe.inputs != incomplete.inputs or universe.outputs != incomplete.outputs:
+        raise ModelError(
+            f"universe signals (I={sorted(universe.inputs)}, O={sorted(universe.outputs)}) do not "
+            f"match automaton {incomplete.name!r} "
+            f"(I={sorted(incomplete.inputs)}, O={sorted(incomplete.outputs)})"
+        )
+
+    transitions: list[Transition] = []
+    # 1) Known transitions, doubled over the (·,0)/(·,1) tags.
+    for transition in incomplete.transitions:
+        for src_tag in (False, True):
+            for dst_tag in (False, True):
+                transitions.append(
+                    Transition(
+                        ClosureState(transition.source, src_tag),
+                        transition.interaction,
+                        ClosureState(transition.target, dst_tag),
+                    )
+                )
+    # 2) Escapes to chaos from every (s,1) for interactions not refused by T̄
+    #    (and, for deterministic implementations, not already known in T).
+    for state in incomplete.states:
+        refused = incomplete.refused(state)
+        known = (
+            frozenset(t.interaction for t in incomplete.automaton.transitions_from(state))
+            if deterministic_implementation
+            else frozenset()
+        )
+        for interaction in universe:
+            if interaction in refused or interaction in known:
+                continue
+            source = ClosureState(state, True)
+            transitions.append(Transition(source, interaction, S_ALL))
+            transitions.append(Transition(source, interaction, S_DELTA))
+    # 3) The chaotic core itself.
+    for interaction in universe:
+        transitions.append(Transition(S_ALL, interaction, S_ALL))
+        transitions.append(Transition(S_ALL, interaction, S_DELTA))
+
+    states = [ClosureState(s, tag) for s in incomplete.states for tag in (False, True)]
+    states.extend([S_ALL, S_DELTA])
+    labels: dict[State, frozenset[str]] = {
+        ClosureState(s, tag): incomplete.labels(s) for s in incomplete.states for tag in (False, True)
+    }
+    labels[S_ALL] = frozenset({CHAOS_PROPOSITION})
+    labels[S_DELTA] = frozenset({CHAOS_PROPOSITION})
+    initial = [ClosureState(q, tag) for q in incomplete.initial for tag in (False, True)]
+    return Automaton(
+        states=states,
+        inputs=incomplete.inputs,
+        outputs=incomplete.outputs,
+        transitions=transitions,
+        initial=initial,
+        labels=labels,
+        name=name if name is not None else f"chaos({incomplete.name})",
+    )

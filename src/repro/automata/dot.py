@@ -1,0 +1,69 @@
+"""Graphviz DOT export for automata and incomplete automata.
+
+The rendering mirrors the paper's figures: initial states are drawn with
+a double border (Figure 4's double circle), chaos states as the figures'
+``s_all``/``s_delta`` nodes, and refusals of an incomplete automaton as
+dashed edges to a small "blocked" marker.
+"""
+
+from __future__ import annotations
+
+from .automaton import Automaton, State
+from .chaos import is_chaos_state
+from .incomplete import IncompleteAutomaton
+
+__all__ = ["to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _state_label(state: State) -> str:
+    return str(state) if isinstance(state, str) else repr(state)
+
+
+def _interaction_label(interaction) -> str:
+    def side(signals, mark):
+        return " ".join(f"{s}{mark}" for s in sorted(signals))
+
+    received = side(interaction.inputs, "?")
+    sent = side(interaction.outputs, "!")
+    if not received and not sent:
+        return "τ"
+    return " / ".join(part for part in (received, sent) if part)
+
+
+def to_dot(model: Automaton | IncompleteAutomaton, *, rankdir: str = "LR") -> str:
+    """Render an automaton (or incomplete automaton) as a DOT digraph."""
+    automaton = model.automaton if isinstance(model, IncompleteAutomaton) else model
+    lines = [f"digraph {_quote(automaton.name)} {{", f"  rankdir={rankdir};"]
+    node_ids = {state: f"n{i}" for i, state in enumerate(sorted(automaton.states, key=repr))}
+    for state, node_id in node_ids.items():
+        attrs = [f"label={_quote(_state_label(state))}"]
+        if state in automaton.initial:
+            attrs.append("peripheries=2")
+        if is_chaos_state(state):
+            attrs.append("style=filled")
+            attrs.append("fillcolor=lightgray")
+        labels = automaton.labels(state)
+        if labels:
+            attrs.append(f"tooltip={_quote(','.join(sorted(labels)))}")
+        lines.append(f"  {node_ids[state]} [{', '.join(attrs)}];")
+    for transition in sorted(
+        automaton.transitions,
+        key=lambda t: (repr(t.source), t.interaction.sort_key(), repr(t.target)),
+    ):
+        lines.append(
+            f"  {node_ids[transition.source]} -> {node_ids[transition.target]} "
+            f"[label={_quote(_interaction_label(transition.interaction))}];"
+        )
+    if isinstance(model, IncompleteAutomaton) and model.refusals:
+        lines.append('  blocked [label="⊘", shape=plaintext];')
+        for refusal in sorted(model.refusals, key=lambda r: (repr(r.state), r.interaction.sort_key())):
+            lines.append(
+                f"  {node_ids[refusal.state]} -> blocked "
+                f"[label={_quote(_interaction_label(refusal.interaction))}, style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

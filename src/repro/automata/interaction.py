@@ -1,0 +1,197 @@
+"""Interactions: the input/output alphabet of the paper's automata.
+
+Definition 1 of the paper types transitions as
+``T ⊆ S × ℘(I) × ℘(O) × S`` — a transition consumes a *set* of input
+signals ``A ⊆ I`` and produces a *set* of output signals ``B ⊆ O``
+within one discrete time unit.  We package such an ``(A, B)`` pair as an
+:class:`Interaction`.
+
+Because the full power-set alphabet ``℘(I) × ℘(O)`` grows exponentially
+with the signal sets, the library also provides
+:class:`InteractionUniverse` — an explicit, finite enumeration of the
+interactions a model is allowed to use.  The paper's chaotic closure
+(Definition 9) quantifies over "all possible input and output
+combinations"; the universe makes that quantification explicit and lets
+callers trade the literal power-set semantics (``full``) against the
+message-passing alphabet actually used by Real-Time Statecharts
+(``singletons``: at most one message consumed and at most one produced
+per time unit).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from itertools import chain, combinations
+
+__all__ = ["Interaction", "InteractionUniverse", "IDLE"]
+
+
+def _freeze(signals: Iterable[str] | None) -> frozenset[str]:
+    if signals is None:
+        return frozenset()
+    if isinstance(signals, str):
+        raise TypeError(
+            f"expected an iterable of signal names, got the string {signals!r}; "
+            "wrap single signals in a list or set"
+        )
+    frozen = frozenset(signals)
+    for signal in frozen:
+        if not isinstance(signal, str) or not signal:
+            raise TypeError(f"signal names must be non-empty strings, got {signal!r}")
+    return frozen
+
+
+@dataclass(frozen=True, slots=True)
+class Interaction:
+    """One synchronous I/O step: consume ``inputs``, produce ``outputs``.
+
+    Instances are immutable and hashable so they can serve as alphabet
+    symbols for composition, learning, and the L* baseline alike.
+    """
+
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+
+    def __init__(self, inputs: Iterable[str] | None = None, outputs: Iterable[str] | None = None):
+        object.__setattr__(self, "inputs", _freeze(inputs))
+        object.__setattr__(self, "outputs", _freeze(outputs))
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is consumed and nothing is produced."""
+        return not self.inputs and not self.outputs
+
+    @property
+    def signals(self) -> frozenset[str]:
+        """All signal names mentioned by this interaction."""
+        return self.inputs | self.outputs
+
+    def union(self, other: "Interaction") -> "Interaction":
+        """Point-wise union, used when combining synchronized transitions."""
+        return Interaction(self.inputs | other.inputs, self.outputs | other.outputs)
+
+    def restrict(self, inputs: frozenset[str], outputs: frozenset[str]) -> "Interaction":
+        """Project onto the given signal sets (used for run projection)."""
+        return Interaction(self.inputs & inputs, self.outputs & outputs)
+
+    def __str__(self) -> str:
+        def fmt(signals: frozenset[str]) -> str:
+            return "{" + ",".join(sorted(signals)) + "}" if signals else "{}"
+
+        return f"{fmt(self.inputs)}/{fmt(self.outputs)}"
+
+    def __repr__(self) -> str:
+        return f"Interaction({sorted(self.inputs)!r}, {sorted(self.outputs)!r})"
+
+    def sort_key(self) -> tuple:
+        """Deterministic, hashable ordering key for stable iteration."""
+        return (tuple(sorted(self.inputs)), tuple(sorted(self.outputs)))
+
+
+#: The interaction that consumes and produces nothing — one idle time unit.
+IDLE = Interaction()
+
+
+def _powerset(signals: frozenset[str]) -> Iterator[frozenset[str]]:
+    ordered = sorted(signals)
+    for subset in chain.from_iterable(combinations(ordered, r) for r in range(len(ordered) + 1)):
+        yield frozenset(subset)
+
+
+class InteractionUniverse:
+    """A finite set of interactions over fixed input/output signal sets.
+
+    The universe pins down what "all possible input and output
+    combinations" (the ``*`` edges of Figures 3 and 4 in the paper) means
+    for a given model.  Construct one with :meth:`full` for the paper's
+    literal power-set alphabet, :meth:`singletons` for message-passing
+    models, or :meth:`explicit` for a hand-picked alphabet.
+    """
+
+    def __init__(self, inputs: Iterable[str], outputs: Iterable[str], interactions: Iterable[Interaction]):
+        self.inputs = _freeze(inputs)
+        self.outputs = _freeze(outputs)
+        self._interactions = tuple(sorted(set(interactions), key=Interaction.sort_key))
+        for interaction in self._interactions:
+            if not interaction.inputs <= self.inputs:
+                raise ValueError(f"{interaction} consumes signals outside the inputs {sorted(self.inputs)}")
+            if not interaction.outputs <= self.outputs:
+                raise ValueError(f"{interaction} produces signals outside the outputs {sorted(self.outputs)}")
+
+    @classmethod
+    def full(cls, inputs: Iterable[str], outputs: Iterable[str]) -> "InteractionUniverse":
+        """The literal ``℘(I) × ℘(O)`` alphabet of Definition 1."""
+        frozen_inputs, frozen_outputs = _freeze(inputs), _freeze(outputs)
+        interactions = [
+            Interaction(a, b) for a in _powerset(frozen_inputs) for b in _powerset(frozen_outputs)
+        ]
+        return cls(frozen_inputs, frozen_outputs, interactions)
+
+    @classmethod
+    def singletons(
+        cls,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        *,
+        allow_simultaneous: bool = False,
+        include_idle: bool = True,
+    ) -> "InteractionUniverse":
+        """At most one message consumed and one produced per time unit.
+
+        This is the alphabet induced by the Real-Time Statechart models of
+        the paper's running example, where each transition is triggered by
+        at most one message and raises at most one message.  With
+        ``allow_simultaneous`` the combined receive-and-send interactions
+        are included as well.
+        """
+        frozen_inputs, frozen_outputs = _freeze(inputs), _freeze(outputs)
+        interactions: list[Interaction] = []
+        if include_idle:
+            interactions.append(IDLE)
+        interactions.extend(Interaction([i], None) for i in frozen_inputs)
+        interactions.extend(Interaction(None, [o]) for o in frozen_outputs)
+        if allow_simultaneous:
+            interactions.extend(
+                Interaction([i], [o]) for i in frozen_inputs for o in frozen_outputs
+            )
+        return cls(frozen_inputs, frozen_outputs, interactions)
+
+    @classmethod
+    def explicit(
+        cls, interactions: Iterable[Interaction], *, inputs: Iterable[str] | None = None, outputs: Iterable[str] | None = None
+    ) -> "InteractionUniverse":
+        """A hand-picked alphabet; signal sets default to the union used."""
+        interactions = tuple(interactions)
+        if inputs is None:
+            inputs = frozenset().union(*(i.inputs for i in interactions)) if interactions else frozenset()
+        if outputs is None:
+            outputs = frozenset().union(*(i.outputs for i in interactions)) if interactions else frozenset()
+        return cls(inputs, outputs, interactions)
+
+    def __iter__(self) -> Iterator[Interaction]:
+        return iter(self._interactions)
+
+    def __len__(self) -> int:
+        return len(self._interactions)
+
+    def __contains__(self, interaction: object) -> bool:
+        return interaction in set(self._interactions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InteractionUniverse):
+            return NotImplemented
+        return (
+            self.inputs == other.inputs
+            and self.outputs == other.outputs
+            and self._interactions == other._interactions
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.inputs, self.outputs, self._interactions))
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionUniverse(|I|={len(self.inputs)}, |O|={len(self.outputs)}, "
+            f"|Σ|={len(self._interactions)})"
+        )

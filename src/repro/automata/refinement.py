@@ -1,0 +1,233 @@
+"""Refinement ``⊑`` and simulation ``≼`` (Definition 4, Lemmas 1–3).
+
+Definition 4 demands two things of a refinement ``M ⊑ M'``:
+
+1. every run of ``M`` is matched by a run of ``M'`` with the same
+   observable trace and point-wise equal state labels, and
+2. every *deadlock* run of ``M`` is also a possible deadlock run of
+   ``M'`` (reactivity preservation — this is what makes ``⊑`` stronger
+   than plain simulation and lets Lemma 1 transport deadlock freedom).
+
+The decision procedure used here is a determinisation (subset
+construction) of the abstract automaton: for every run of ``M`` we track
+the *set* of ``M'`` states reachable by a run with the same trace.
+Condition 1 holds iff some tracked state always label-matches;
+condition 2 is implemented in its *failures* reading (the paper's
+footnote 4 relates deadlock runs to CSP failures/refusals): the whole
+refusal set of an ``M`` state must be matched by a *single*
+trace-equivalent ``M'`` state.  This is the reading under which the
+paper's Lemma 1 is sound — matching each refused interaction by a
+different specification state would admit refinements that introduce
+fresh deadlocks, contradicting Lemma 1's proof ("from M' deadlock free
+follows that s' will have at least one outgoing transition and due to
+condition 2 s also").  The procedure terminates because both state sets
+are finite.
+
+A plain simulation checker is provided as well; simulation implies the
+trace-matching half of refinement and is cheaper (polynomial), which is
+useful for the large closures produced during iterative synthesis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from ..errors import RefinementError
+from .automaton import Automaton, State
+from .interaction import Interaction
+from .runs import Run
+
+__all__ = [
+    "LabelMatch",
+    "exact_labels",
+    "chaos_tolerant_labels",
+    "simulation_relation",
+    "simulates",
+    "refines",
+    "refinement_counterexample",
+]
+
+#: Predicate deciding whether an implementation label set is matched by a
+#: specification label set.  Definition 4 uses equality; Theorem 1's
+#: proof "lets s_δ and s_∀ fulfil all positive and negative propositions",
+#: which :func:`chaos_tolerant_labels` captures.
+LabelMatch = Callable[[frozenset[str], frozenset[str]], bool]
+
+
+def exact_labels(impl_labels: frozenset[str], spec_labels: frozenset[str]) -> bool:
+    """Definition 4's literal requirement ``L(s) = L'(s')``."""
+    return impl_labels == spec_labels
+
+
+def chaos_tolerant_labels(chaos_proposition: str) -> LabelMatch:
+    """Label matching that lets chaos states match any labeling.
+
+    §2.7 replaces per-subset chaos states by a single fresh proposition
+    ``p'`` and weakens formulas accordingly; for refinement checking the
+    equivalent move is to let any specification state carrying the chaos
+    proposition match every implementation labeling.
+    """
+
+    def match(impl_labels: frozenset[str], spec_labels: frozenset[str]) -> bool:
+        return chaos_proposition in spec_labels or impl_labels == spec_labels
+
+    return match
+
+
+def _check_compatible(impl: Automaton, spec: Automaton) -> None:
+    if impl.inputs != spec.inputs or impl.outputs != spec.outputs:
+        raise RefinementError(
+            f"refinement between {impl.name!r} and {spec.name!r} needs identical signal sets; "
+            f"got I={sorted(impl.inputs)}/{sorted(spec.inputs)}, "
+            f"O={sorted(impl.outputs)}/{sorted(spec.outputs)}"
+        )
+
+
+# --------------------------------------------------------------------- simulation
+
+
+def simulation_relation(
+    impl: Automaton,
+    spec: Automaton,
+    *,
+    label_match: LabelMatch = exact_labels,
+) -> frozenset[tuple[State, State]]:
+    """The greatest simulation relation of ``spec`` over ``impl``.
+
+    ``(s, s')`` is in the result iff ``s'`` simulates ``s``: labels
+    match and every move of ``s`` can be answered by ``s'`` with the
+    same interaction into a related pair.
+    """
+    _check_compatible(impl, spec)
+    relation = {
+        (s, s2)
+        for s in impl.states
+        for s2 in spec.states
+        if label_match(impl.labels(s), spec.labels(s2))
+    }
+    changed = True
+    while changed:
+        changed = False
+        for pair in tuple(relation):
+            s, s2 = pair
+            for move in impl.transitions_from(s):
+                answered = any(
+                    reply.interaction == move.interaction and (move.target, reply.target) in relation
+                    for reply in spec.transitions_from(s2)
+                )
+                if not answered:
+                    relation.discard(pair)
+                    changed = True
+                    break
+    return frozenset(relation)
+
+
+def simulates(
+    spec: Automaton,
+    impl: Automaton,
+    *,
+    label_match: LabelMatch = exact_labels,
+) -> bool:
+    """``impl ≼ spec``: every initial impl state simulated by an initial spec state."""
+    relation = simulation_relation(impl, spec, label_match=label_match)
+    return all(any((q, q2) in relation for q2 in spec.initial) for q in impl.initial)
+
+
+# --------------------------------------------------------------------- refinement
+
+
+def _blocked(automaton: Automaton, state: State, universe: tuple[Interaction, ...]) -> set[Interaction]:
+    enabled = automaton.enabled(state)
+    return {interaction for interaction in universe if interaction not in enabled}
+
+
+def _refinement_search(
+    impl: Automaton,
+    spec: Automaton,
+    *,
+    label_match: LabelMatch,
+    universe: Iterable[Interaction] | None,
+) -> Run | None:
+    """Core subset-construction search.
+
+    Returns ``None`` when ``impl ⊑ spec`` holds, otherwise a run of
+    ``impl`` witnessing the violation (a run the specification cannot
+    match, or a deadlock run the specification cannot refuse).
+    """
+    _check_compatible(impl, spec)
+    if universe is None:
+        candidates = tuple(sorted(impl.interactions | spec.interactions, key=Interaction.sort_key))
+    else:
+        candidates = tuple(sorted(set(universe), key=Interaction.sort_key))
+
+    seen: set[tuple[State, frozenset[State]]] = set()
+    queue: deque[tuple[State, frozenset[State], Run]] = deque()
+    spec_initial = frozenset(spec.initial)
+    for q in sorted(impl.initial, key=repr):
+        key = (q, spec_initial)
+        if key not in seen:
+            seen.add(key)
+            queue.append((q, spec_initial, Run(q)))
+
+    while queue:
+        impl_state, tracked, run = queue.popleft()
+        # Condition 1: some trace-equal spec run ends in a label-matching state.
+        if not any(label_match(impl.labels(impl_state), spec.labels(s2)) for s2 in tracked):
+            return run
+        # Condition 2, failures-style (footnote 4 relates deadlock runs to
+        # CSP failures/refusals, and Lemma 1's proof needs this reading):
+        # a single trace-equal spec state must refuse *everything* the
+        # implementation state refuses — equivalently, offer no more than
+        # the implementation state offers within the candidate universe.
+        blocked = _blocked(impl, impl_state, candidates)
+        if blocked:
+            matched = any(
+                all(t.interaction not in blocked for t in spec.transitions_from(s2))
+                for s2 in tracked
+            )
+            if not matched:
+                witness = sorted(blocked, key=Interaction.sort_key)[0]
+                return run.block(witness)
+        for move in impl.transitions_from(impl_state):
+            next_tracked = frozenset(
+                reply.target
+                for s2 in tracked
+                for reply in spec.transitions_from(s2)
+                if reply.interaction == move.interaction
+            )
+            key = (move.target, next_tracked)
+            if key not in seen:
+                seen.add(key)
+                queue.append((move.target, next_tracked, run.extend(move.interaction, move.target)))
+    return None
+
+
+def refines(
+    impl: Automaton,
+    spec: Automaton,
+    *,
+    label_match: LabelMatch = exact_labels,
+    universe: Iterable[Interaction] | None = None,
+) -> bool:
+    """Decide ``impl ⊑ spec`` per Definition 4.
+
+    ``universe`` bounds the interactions considered as candidates for
+    blocked (deadlock-run) tails; it defaults to every interaction that
+    occurs in either automaton.  Definition 2 technically quantifies over
+    the full power-set alphabet, but an interaction occurring in neither
+    automaton is blocked everywhere on both sides and can never separate
+    them.
+    """
+    return _refinement_search(impl, spec, label_match=label_match, universe=universe) is None
+
+
+def refinement_counterexample(
+    impl: Automaton,
+    spec: Automaton,
+    *,
+    label_match: LabelMatch = exact_labels,
+    universe: Iterable[Interaction] | None = None,
+) -> Run | None:
+    """A run of ``impl`` that ``spec`` cannot match, or ``None``."""
+    return _refinement_search(impl, spec, label_match=label_match, universe=universe)

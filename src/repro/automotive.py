@@ -1,0 +1,179 @@
+"""Second case study: AUTOSAR-style supplier integration (§1's motivation).
+
+The paper's introduction motivates the whole scheme with automotive
+software: standard interfaces (AUTOSAR) make supplier components
+*technically* interoperable, "however, also a correct integration at
+the application level is needed."  This module is that scenario as a
+first-class Mechatronic UML model:
+
+* the ``BrakeCoordination`` pattern between a ``coordinator`` role (the
+  OEM's brake arbitration) and an ``accUnit`` role (the adaptive cruise
+  control), with the hard real-time pattern constraint that an alerted
+  vehicle is braking within three periods;
+* an architecture with the coordinator modeled and the ACC unit as a
+  legacy placement;
+* executable supplier units: supplier A's correct implementation and
+  supplier B's racy one (it re-arms without awaiting the brake
+  acknowledgement — every signature matches, the application-level
+  handshake does not).
+
+Used by ``examples/automotive_acc.py``, the test suite, and the
+benchmarks as the second full integration scenario next to RailCab.
+"""
+
+from __future__ import annotations
+
+from .automata.automaton import Automaton
+from .legacy.component import LegacyComponent
+from .logic.formulas import Formula
+from .logic.parser import parse
+from .muml.architecture import Architecture
+from .muml.component import Component, Port
+from .muml.pattern import CoordinationPattern, Role
+
+__all__ = [
+    "ACC_INPUTS",
+    "ACC_OUTPUTS",
+    "BRAKE_CONSTRAINT",
+    "coordinator_automaton",
+    "acc_role_automaton",
+    "brake_coordination_pattern",
+    "acc_architecture",
+    "acc_state_labeler",
+    "supplier_a_acc",
+    "supplier_b_acc",
+]
+
+#: Signals from the ACC unit's perspective.
+ACC_INPUTS = frozenset({"distanceAlert", "brakeAck"})
+ACC_OUTPUTS = frozenset({"decelRequest", "decelRelease"})
+
+#: The hard real-time pattern constraint: an alerted vehicle must be
+#: braking within three periods (radar alert → deceleration in effect).
+BRAKE_CONSTRAINT: Formula = parse("AG (coordinator.alerted -> AF[1,3] coordinator.braking)")
+
+
+def coordinator_automaton() -> Automaton:
+    """The OEM's brake coordinator (the modeled context)."""
+    return Automaton(
+        inputs=ACC_OUTPUTS,
+        outputs=ACC_INPUTS,
+        transitions=[
+            ("cruising", (), (), "cruising"),
+            ("cruising", (), ("distanceAlert",), "alerted"),
+            ("alerted", ("decelRequest",), (), "braking"),
+            ("alerted", (), (), "alerted"),
+            ("braking", (), ("brakeAck",), "decelerating"),
+            ("decelerating", ("decelRelease",), (), "cruising"),
+            ("decelerating", (), (), "decelerating"),
+        ],
+        initial=["cruising"],
+        labels={
+            "cruising": {"coordinator.cruising"},
+            "alerted": {"coordinator.alerted"},
+            "braking": {"coordinator.braking"},
+            "decelerating": {"coordinator.braking"},
+        },
+        name="brakeCoordinator",
+    )
+
+
+def acc_role_automaton() -> Automaton:
+    """The ACC *role* protocol: what any supplier unit must refine."""
+    return Automaton(
+        inputs=ACC_INPUTS,
+        outputs=ACC_OUTPUTS,
+        transitions=[
+            ("armed", (), (), "armed"),
+            ("armed", ("distanceAlert",), (), "reacting"),
+            ("reacting", (), ("decelRequest",), "requested"),
+            ("requested", ("brakeAck",), (), "decelerating"),
+            ("requested", (), (), "requested"),
+            # Release is urgent: a deterministic unit cannot both dally
+            # and release, and the protocol wants the release prompt.
+            ("decelerating", (), ("decelRelease",), "armed"),
+        ],
+        initial=["armed"],
+        labels={
+            "armed": {"accUnit.armed"},
+            "reacting": {"accUnit.engaging"},
+            "requested": {"accUnit.engaging"},
+            "decelerating": {"accUnit.engaged"},
+        },
+        name="accRole",
+    )
+
+
+def brake_coordination_pattern() -> CoordinationPattern:
+    """The BrakeCoordination pattern: coordinator × ACC unit."""
+    coordinator = Role(
+        "coordinator",
+        coordinator_automaton(),
+        invariant=parse("AG (coordinator.braking -> not coordinator.cruising)"),
+    )
+    acc = Role("accUnit", acc_role_automaton())
+    return CoordinationPattern(
+        "BrakeCoordination",
+        [coordinator, acc],
+        constraint=BRAKE_CONSTRAINT,
+    )
+
+
+def acc_architecture() -> Architecture:
+    """Coordinator modeled, ACC unit as a legacy placement."""
+    pattern = brake_coordination_pattern()
+    port = Port("brakes", pattern.role("coordinator"), coordinator_automaton())
+    architecture = Architecture("vehicle")
+    architecture.add_component(Component("oem", [port]))
+    architecture.add_legacy("acc")
+    architecture.instantiate(
+        pattern,
+        {"coordinator": ("oem", "brakes"), "accUnit": ("acc", None)},
+        name="brakeCoordination",
+    )
+    return architecture
+
+
+def acc_state_labeler(state) -> frozenset[str]:
+    """Monitored ACC states → propositions (for learned models)."""
+    return frozenset({f"accUnit.{state}"})
+
+
+def supplier_a_acc() -> LegacyComponent:
+    """Supplier A: the correct unit (refines the ACC role)."""
+    hidden = Automaton(
+        inputs=ACC_INPUTS,
+        outputs=ACC_OUTPUTS,
+        transitions=[
+            ("armed", (), (), "armed"),
+            ("armed", ("distanceAlert",), (), "reacting"),
+            ("reacting", (), ("decelRequest",), "requested"),
+            ("requested", ("brakeAck",), (), "decelerating"),
+            ("requested", (), (), "requested"),
+            ("decelerating", (), ("decelRelease",), "armed"),
+        ],
+        initial=["armed"],
+        name="ACC(supplier-A)",
+    )
+    return LegacyComponent(hidden, name="acc")
+
+
+def supplier_b_acc() -> LegacyComponent:
+    """Supplier B: the racy unit (re-arms mid-handshake).
+
+    Interface-compatible with the role, but it never consumes the brake
+    acknowledgement: once the coordinator is mid-handshake the unit is
+    deaf and the composition jams.
+    """
+    hidden = Automaton(
+        inputs=ACC_INPUTS,
+        outputs=ACC_OUTPUTS,
+        transitions=[
+            ("armed", (), (), "armed"),
+            ("armed", ("distanceAlert",), (), "reacting"),
+            ("reacting", (), ("decelRequest",), "armed"),
+        ],
+        initial=["armed"],
+        name="ACC(supplier-B)",
+    )
+    return LegacyComponent(hidden, name="acc")

@@ -1,0 +1,41 @@
+"""Baseline algorithms from the paper's related work (§6).
+
+Angluin's L* regular inference, W-method conformance testing as the
+practical equivalence oracle, and black-box checking — the approaches
+the paper positions its context-guided over-approximation scheme
+against.  Benchmarks compare their query/test counts with the
+synthesis loop on identical components.
+"""
+
+from .angluin import LStarDFA, LStarLearner, LStarStatistics, hypothesis_to_automaton
+from .bbc import BBCResult, BBCVerdict, BlackBoxChecker
+from .conformance import (
+    characterization_set,
+    transition_cover,
+    vasilevskii_bound,
+    w_method_suite,
+)
+from .teacher import (
+    ConformanceEquivalenceOracle,
+    MembershipOracle,
+    PerfectEquivalenceOracle,
+    Word,
+)
+
+__all__ = [
+    "LStarLearner",
+    "LStarDFA",
+    "LStarStatistics",
+    "hypothesis_to_automaton",
+    "MembershipOracle",
+    "PerfectEquivalenceOracle",
+    "ConformanceEquivalenceOracle",
+    "Word",
+    "transition_cover",
+    "characterization_set",
+    "w_method_suite",
+    "vasilevskii_bound",
+    "BlackBoxChecker",
+    "BBCResult",
+    "BBCVerdict",
+]

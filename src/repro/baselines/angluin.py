@@ -1,0 +1,276 @@
+"""Angluin's L* — the classic regular-inference baseline (§6, [1]).
+
+L* learns the component's *whole* trace language from membership and
+equivalence queries, maintaining an observation table whose rows are
+access prefixes and whose columns are distinguishing suffixes.  This is
+the under-approximation strategy the paper contrasts its scheme with:
+query complexity is ``O(|Σ| · n² · m)`` membership queries and at most
+``n`` equivalence queries for an ``n``-state minimal DFA, *regardless
+of how little of the machine the integration context actually touches*.
+
+The learned object is a complete DFA over the interaction alphabet; a
+word is accepted iff the component can execute it (prefix-closed).
+:func:`hypothesis_to_automaton` converts the accepting part back into
+the library's automaton model, so a learned hypothesis can be composed
+and model-checked like any other behavior (as black-box checking does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata.automaton import Automaton, Transition
+from ..automata.interaction import Interaction, InteractionUniverse
+from ..errors import SynthesisError
+from .teacher import MembershipOracle, Word
+
+__all__ = ["LStarDFA", "LStarStatistics", "LStarLearner", "hypothesis_to_automaton"]
+
+
+@dataclass(frozen=True)
+class LStarDFA:
+    """A complete DFA over the interaction alphabet."""
+
+    states: tuple[int, ...]
+    alphabet: tuple[Interaction, ...]
+    initial: int
+    accepting: frozenset[int]
+    delta: dict[tuple[int, Interaction], int]
+    access: dict[int, Word]  # a representative access word per state
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def run(self, word: Word) -> int:
+        return self.run_from(self.initial, word)
+
+    def run_from(self, state: int, word: Word) -> int:
+        for symbol in word:
+            state = self.delta[(state, symbol)]
+        return state
+
+    def accepts(self, word: Word) -> bool:
+        return self.run(word) in self.accepting
+
+
+@dataclass
+class LStarStatistics:
+    """Query accounting for one L* run."""
+
+    membership_queries: int = 0
+    equivalence_queries: int = 0
+    rounds: int = 0
+    counterexamples: list[Word] = field(default_factory=list)
+
+
+class LStarLearner:
+    """Angluin's L* with the classic all-prefixes counterexample handling.
+
+    Parameters
+    ----------
+    membership:
+        The membership oracle (executes the component).
+    universe:
+        The interaction alphabet Σ.
+    equivalence:
+        An object with ``find_counterexample(hypothesis) -> Word | None``.
+    max_rounds:
+        Safety budget on equivalence rounds.
+    """
+
+    def __init__(
+        self,
+        membership: MembershipOracle,
+        universe: InteractionUniverse,
+        equivalence,
+        *,
+        max_rounds: int = 200,
+        counterexample_handling: str = "all-prefixes",
+    ):
+        if counterexample_handling not in ("all-prefixes", "rivest-schapire"):
+            raise SynthesisError(
+                f"unknown counterexample handling {counterexample_handling!r}"
+            )
+        self.membership = membership
+        self.alphabet = tuple(universe)
+        self.equivalence = equivalence
+        self.max_rounds = max_rounds
+        self.counterexample_handling = counterexample_handling
+        self.prefixes: list[Word] = [()]
+        self.suffixes: list[Word] = [()]
+        self.statistics = LStarStatistics()
+
+    # ---------------------------------------------------------------- table
+
+    def _ask(self, word: Word) -> bool:
+        before = self.membership.queries
+        answer = self.membership.query(word)
+        self.statistics.membership_queries += self.membership.queries - before
+        return answer
+
+    def _row(self, prefix: Word) -> tuple[bool, ...]:
+        return tuple(self._ask(prefix + suffix) for suffix in self.suffixes)
+
+    def _close(self) -> None:
+        """Make the table closed and consistent (loop until stable)."""
+        while True:
+            rows = {self._row(prefix) for prefix in self.prefixes}
+            # Closedness: every one-symbol extension row must exist in S.
+            extension = next(
+                (
+                    prefix + (symbol,)
+                    for prefix in self.prefixes
+                    for symbol in self.alphabet
+                    if self._row(prefix + (symbol,)) not in rows
+                ),
+                None,
+            )
+            if extension is not None:
+                self.prefixes.append(extension)
+                continue
+            # Consistency: equal rows must stay equal under every symbol.
+            fixed = False
+            for i, first in enumerate(self.prefixes):
+                for second in self.prefixes[i + 1 :]:
+                    if self._row(first) != self._row(second):
+                        continue
+                    for symbol in self.alphabet:
+                        row_a = self._row(first + (symbol,))
+                        row_b = self._row(second + (symbol,))
+                        if row_a != row_b:
+                            column = next(
+                                index for index in range(len(row_a)) if row_a[index] != row_b[index]
+                            )
+                            self.suffixes.append((symbol,) + self.suffixes[column])
+                            fixed = True
+                            break
+                    if fixed:
+                        break
+                if fixed:
+                    break
+            if not fixed:
+                return
+
+    def _hypothesis(self) -> LStarDFA:
+        row_to_state: dict[tuple[bool, ...], int] = {}
+        access: dict[int, Word] = {}
+        for prefix in self.prefixes:
+            row = self._row(prefix)
+            if row not in row_to_state:
+                row_to_state[row] = len(row_to_state)
+                access[row_to_state[row]] = prefix
+        delta: dict[tuple[int, Interaction], int] = {}
+        for row, state in row_to_state.items():
+            prefix = access[state]
+            for symbol in self.alphabet:
+                target_row = self._row(prefix + (symbol,))
+                if target_row not in row_to_state:
+                    raise SynthesisError("observation table is not closed")  # pragma: no cover
+                delta[(state, symbol)] = row_to_state[target_row]
+        accepting = frozenset(
+            state for row, state in row_to_state.items() if row[self.suffixes.index(())]
+        )
+        return LStarDFA(
+            states=tuple(range(len(row_to_state))),
+            alphabet=self.alphabet,
+            initial=row_to_state[self._row(())],
+            accepting=accepting,
+            delta=delta,
+            access=access,
+        )
+
+    # ------------------------------------------------- counterexample handling
+
+    def _absorb_all_prefixes(self, counterexample: Word) -> None:
+        """Angluin's original treatment: every prefix becomes an access word."""
+        for length in range(1, len(counterexample) + 1):
+            prefix = counterexample[:length]
+            if prefix not in self.prefixes:
+                self.prefixes.append(prefix)
+
+    def _absorb_rivest_schapire(self, hypothesis: LStarDFA, counterexample: Word) -> None:
+        """Rivest–Schapire: binary-search the split point, add ONE suffix.
+
+        Let ``αᵢ = M(access(δ̂(w[:i])) · w[i:])``.  ``α₀`` is the real
+        verdict on the counterexample and ``α_n`` the hypothesis's, so
+        the sequence flips somewhere; binary search finds an ``i`` with
+        ``αᵢ ≠ αᵢ₊₁`` and the distinguishing suffix ``w[i+1:]`` joins
+        ``E``.  Exponentially fewer membership queries per
+        counterexample than the all-prefixes treatment.
+        """
+
+        def alpha(index: int) -> bool:
+            access = hypothesis.access[hypothesis.run(counterexample[:index])]
+            return self._ask(access + counterexample[index:])
+
+        low, high = 0, len(counterexample)
+        alpha_low = alpha(low)
+        if alpha_low == alpha(high):
+            # Degenerate (can happen when the table was already refined by
+            # an earlier suffix this round): fall back to all-prefixes.
+            self._absorb_all_prefixes(counterexample)
+            return
+        while high - low > 1:
+            middle = (low + high) // 2
+            if alpha(middle) == alpha_low:
+                low = middle
+            else:
+                high = middle
+        suffix = counterexample[high:]
+        if suffix not in self.suffixes:
+            self.suffixes.append(suffix)
+        # The access word of the split state must be present as a prefix so
+        # the new suffix can separate rows.
+        prefix = counterexample[:high]
+        if prefix not in self.prefixes:
+            self.prefixes.append(prefix)
+
+    # ----------------------------------------------------------------- learn
+
+    def learn(self) -> LStarDFA:
+        """Run L* to completion and return the final hypothesis."""
+        for _ in range(self.max_rounds):
+            self.statistics.rounds += 1
+            self._close()
+            hypothesis = self._hypothesis()
+            self.statistics.equivalence_queries += 1
+            counterexample = self.equivalence.find_counterexample(hypothesis)
+            if counterexample is None:
+                return hypothesis
+            self.statistics.counterexamples.append(counterexample)
+            if self.counterexample_handling == "rivest-schapire" and counterexample:
+                self._absorb_rivest_schapire(hypothesis, counterexample)
+            else:
+                self._absorb_all_prefixes(counterexample)
+        raise SynthesisError(f"L* did not converge within {self.max_rounds} rounds")
+
+
+def hypothesis_to_automaton(hypothesis: LStarDFA, *, name: str = "L*-hypothesis") -> Automaton:
+    """The accepting part of an L* DFA as a library automaton.
+
+    Reject states (and transitions into them) are dropped: they encode
+    "the component cannot do this", which the automaton model expresses
+    by the absence of transitions.
+    """
+    accepting = hypothesis.accepting
+    if hypothesis.initial not in accepting:
+        raise SynthesisError("hypothesis rejects the empty word — no behavior at all")
+    inputs: set[str] = set()
+    outputs: set[str] = set()
+    for symbol in hypothesis.alphabet:
+        inputs |= symbol.inputs
+        outputs |= symbol.outputs
+    transitions = [
+        Transition(state, symbol, target)
+        for (state, symbol), target in hypothesis.delta.items()
+        if state in accepting and target in accepting
+    ]
+    return Automaton(
+        states=accepting,
+        inputs=inputs,
+        outputs=outputs,
+        transitions=transitions,
+        initial=[hypothesis.initial],
+        name=name,
+    )

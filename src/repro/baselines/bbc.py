@@ -1,0 +1,168 @@
+"""Black-box checking (Peled, Vardi, Yannakakis [43]) as a baseline (§6).
+
+BBC interleaves L* with model checking: each intermediate hypothesis is
+composed with the context and checked; a counterexample is executed on
+the real component — confirmed means a real error, refuted means the
+hypothesis was wrong and the trace feeds back into the learner.  When a
+hypothesis satisfies the property, an (expensive, conformance-based or
+perfect) equivalence query decides whether learning must continue.
+
+Contrast with the paper's scheme: BBC's hypotheses are *neither over-
+nor under-approximations*, so a passing check proves nothing until the
+equivalence oracle has vouched for the hypothesis — i.e. until the
+whole machine has been identified.  The paper's chaotic-closure series
+is always a safe over-approximation, so the first passing check is
+already a proof (Lemma 5), and no equivalence query ever runs.
+
+To keep the comparison fair, hypothesis states are labeled by replaying
+their access words with full instrumentation — the same grey-box state
+monitoring the paper's approach uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..automata.automaton import Automaton
+from ..automata.composition import compose
+from ..automata.interaction import InteractionUniverse
+from ..automata.runs import Run
+from ..errors import SynthesisError
+from ..legacy.component import Instrumentation, LegacyComponent
+from ..logic.checker import ModelChecker
+from ..logic.compositional import assert_compositional
+from ..logic.counterexample import counterexample
+from ..logic.formulas import Formula
+from ..synthesis.initial import StateLabeler
+from .angluin import LStarDFA, LStarLearner, hypothesis_to_automaton
+from .teacher import MembershipOracle, Word
+
+__all__ = ["BBCVerdict", "BBCResult", "BlackBoxChecker"]
+
+
+class BBCVerdict(Enum):
+    SATISFIED = "satisfied"
+    VIOLATED = "violated"
+    BUDGET_EXCEEDED = "budget-exceeded"
+
+
+@dataclass
+class BBCResult:
+    verdict: BBCVerdict
+    rounds: int
+    membership_queries: int
+    equivalence_queries: int
+    hypothesis_sizes: list[int] = field(default_factory=list)
+    witness: Word | None = None
+    witness_run: Run | None = None
+
+
+class BlackBoxChecker:
+    """Adaptive model checking of a black-box component against a context.
+
+    Parameters mirror :class:`repro.synthesis.IntegrationSynthesizer`
+    so benchmarks can run both on identical inputs.  The equivalence
+    oracle must expose ``find_counterexample(hypothesis)``.
+    """
+
+    def __init__(
+        self,
+        context: Automaton,
+        component: LegacyComponent,
+        property: Formula,
+        *,
+        universe: InteractionUniverse,
+        equivalence,
+        labeler: StateLabeler | None = None,
+        max_rounds: int = 100,
+    ):
+        assert_compositional(property)
+        self.context = context
+        self.component = component
+        self.property = property
+        self.universe = universe
+        self.labeler = labeler
+        self.equivalence = equivalence
+        self.max_rounds = max_rounds
+        self.membership = MembershipOracle(component)
+
+    # ------------------------------------------------------------- labeling
+
+    def _label_states(self, hypothesis: LStarDFA, automaton: Automaton) -> Automaton:
+        if self.labeler is None:
+            return automaton
+        labels = {}
+        for state in automaton.states:
+            access = hypothesis.access.get(state)
+            if access is None:
+                continue
+            self.component.reset()
+            with self.component.instrumented(Instrumentation.FULL, live=False):
+                for symbol in access:
+                    outcome = self.component.step(symbol.inputs)
+                    if outcome.blocked or outcome.outputs != symbol.outputs:
+                        raise SynthesisError(
+                            f"access word of hypothesis state {state} is not executable — "
+                            "the hypothesis disagrees with the component"
+                        )
+                observed = self.component.monitor_state()
+            labels[state] = frozenset(self.labeler(observed))
+        return automaton.replace(labels=labels)
+
+    # ----------------------------------------------------------------- main
+
+    def _confirm(self, word: Word) -> bool:
+        return self.membership.query(word)
+
+    def run(self) -> BBCResult:
+        learner = LStarLearner(self.membership, self.universe, self.equivalence)
+        result = BBCResult(
+            verdict=BBCVerdict.BUDGET_EXCEEDED,
+            rounds=0,
+            membership_queries=0,
+            equivalence_queries=0,
+        )
+        for _ in range(self.max_rounds):
+            result.rounds += 1
+            learner._close()
+            hypothesis = learner._hypothesis()
+            result.hypothesis_sizes.append(hypothesis.size)
+            automaton = self._label_states(
+                hypothesis, hypothesis_to_automaton(hypothesis)
+            )
+            composed = compose(self.context, automaton, semantics="strict")
+            checker = ModelChecker(composed)
+            if not checker.holds(self.property):
+                run = counterexample(composed, self.property, checker=checker)
+                assert run is not None
+                word = tuple(
+                    interaction.restrict(self.universe.inputs, self.universe.outputs)
+                    for interaction, _ in run.steps
+                )
+                if self._confirm(word):
+                    result.verdict = BBCVerdict.VIOLATED
+                    result.witness = word
+                    result.witness_run = run
+                    break
+                # Spurious: the hypothesis predicted behavior the real
+                # component refuses — a separating word for the learner.
+                for length in range(1, len(word) + 1):
+                    prefix = word[:length]
+                    if prefix not in learner.prefixes:
+                        learner.prefixes.append(prefix)
+                continue
+            # Hypothesis satisfies the property: only equivalence can
+            # promote that into a statement about the real component.
+            learner.statistics.equivalence_queries += 1
+            separating = self.equivalence.find_counterexample(hypothesis)
+            if separating is None:
+                result.verdict = BBCVerdict.SATISFIED
+                break
+            for length in range(1, len(separating) + 1):
+                prefix = separating[:length]
+                if prefix not in learner.prefixes:
+                    learner.prefixes.append(prefix)
+        result.membership_queries = learner.statistics.membership_queries
+        result.equivalence_queries = learner.statistics.equivalence_queries
+        return result

@@ -1,0 +1,112 @@
+"""Conformance testing: the W-method and Vasilevskii's bound (§6).
+
+Regular-inference equivalence queries are realized in practice via
+conformance testing (Chow [11], Vasilevskii [47]).  Given a hypothesis
+DFA with ``k`` states and an assumed implementation bound of ``l``
+states, the W-method executes the suite ``P · Σ^{≤ l−k} · W`` (with
+``P`` a transition cover and ``W`` a characterization set); Vasilevskii
+gives the total-length upper bound ``O(k² · l · |Σ|^{l−k+1})`` — the
+exponential dependence on the state-count uncertainty that the paper's
+approach avoids by never needing an equivalence check at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product
+
+from ..automata.interaction import InteractionUniverse
+from .angluin import LStarDFA
+from .teacher import Word
+
+__all__ = [
+    "transition_cover",
+    "characterization_set",
+    "w_method_suite",
+    "vasilevskii_bound",
+]
+
+
+def transition_cover(hypothesis: LStarDFA, universe: InteractionUniverse) -> list[Word]:
+    """``P``: access words for every state, extended by every symbol."""
+    access: dict[int, Word] = {hypothesis.initial: ()}
+    queue: deque[int] = deque([hypothesis.initial])
+    while queue:
+        state = queue.popleft()
+        for symbol in universe:
+            target = hypothesis.delta[(state, symbol)]
+            if target not in access:
+                access[target] = access[state] + (symbol,)
+                queue.append(target)
+    cover: list[Word] = [()]
+    for state in sorted(access):
+        for symbol in universe:
+            cover.append(access[state] + (symbol,))
+    return cover
+
+
+def characterization_set(hypothesis: LStarDFA, universe: InteractionUniverse) -> list[Word]:
+    """``W``: suffixes distinguishing every pair of hypothesis states.
+
+    Computed by backwards partition refinement: start from the
+    accept/reject split and, as long as some pair is undistinguished,
+    find a symbol leading the pair into an already-distinguished pair.
+    """
+    states = list(hypothesis.states)
+    distinguishing: dict[tuple[int, int], Word] = {}
+    for a_index, a in enumerate(states):
+        for b in states[a_index + 1 :]:
+            if (a in hypothesis.accepting) != (b in hypothesis.accepting):
+                distinguishing[(a, b)] = ()
+                distinguishing[(b, a)] = ()
+    changed = True
+    while changed:
+        changed = False
+        for a_index, a in enumerate(states):
+            for b in states[a_index + 1 :]:
+                if (a, b) in distinguishing:
+                    continue
+                for symbol in universe:
+                    next_pair = (hypothesis.delta[(a, symbol)], hypothesis.delta[(b, symbol)])
+                    if next_pair[0] == next_pair[1]:
+                        continue
+                    if next_pair in distinguishing:
+                        word = (symbol,) + distinguishing[next_pair]
+                        distinguishing[(a, b)] = word
+                        distinguishing[(b, a)] = word
+                        changed = True
+                        break
+    words = {word for word in distinguishing.values()}
+    words.add(())
+    return sorted(words, key=lambda w: (len(w), [s.sort_key() for s in w]))
+
+
+def w_method_suite(
+    hypothesis: LStarDFA, universe: InteractionUniverse, *, state_bound: int
+) -> list[Word]:
+    """The W-method test suite ``P · Σ^{≤ l−k} · W`` (deduplicated).
+
+    ``state_bound`` is the assumed upper bound ``l`` on the number of
+    implementation states; the common assumption ``l ≥ k`` (§6, [4]) is
+    enforced by clamping the middle-part depth at zero.
+    """
+    symbols = tuple(universe)
+    depth = max(0, state_bound - hypothesis.size)
+    cover = transition_cover(hypothesis, universe)
+    characterize = characterization_set(hypothesis, universe)
+    middles: list[Word] = [()]
+    for length in range(1, depth + 1):
+        middles.extend(tuple(word) for word in product(symbols, repeat=length))
+    suite: dict[Word, None] = {}
+    for prefix in cover:
+        for middle in middles:
+            for suffix in characterize:
+                suite[prefix + middle + suffix] = None
+    return list(suite)
+
+
+def vasilevskii_bound(k: int, l: int, alphabet_size: int) -> int:
+    """Vasilevskii's upper bound ``k² · l · |Σ|^{l−k+1}`` on suite length."""
+    if k < 1 or l < k or alphabet_size < 1:
+        raise ValueError("need 1 <= k <= l and a non-empty alphabet")
+    return k * k * l * alphabet_size ** (l - k + 1)

@@ -1,0 +1,164 @@
+"""Teachers and oracles for regular-inference baselines (§6).
+
+Regular inference views the system as a black box and asks a *Teacher*
+membership queries ("is this word in the language?") and an *Oracle*
+equivalence queries ("is this hypothesis the whole language?").  This
+module provides both for executable legacy components:
+
+* :class:`MembershipOracle` answers by executing the word on the
+  component (reset + step per symbol) and caches answers;
+* :class:`PerfectEquivalenceOracle` compares the hypothesis against the
+  component's hidden behavior directly — a benchmark device that makes
+  L* terminate exactly, so query counts can be compared fairly;
+* :class:`ConformanceEquivalenceOracle` realizes the practical choice
+  (§6: "conformance testing provides a systematic way of achieving an
+  answer to an equivalence query") via the W-method with an assumed
+  implementation state bound.
+
+The *word* alphabet is the interaction universe: each symbol is one
+``(inputs, outputs)`` pair executed in one period; a word is in the
+component's language iff every symbol reacts with exactly the given
+outputs.  The language is prefix-closed by construction.
+"""
+
+from __future__ import annotations
+
+from ..automata.automaton import Automaton, State
+from ..automata.interaction import Interaction, InteractionUniverse
+from ..legacy.component import LegacyComponent
+
+__all__ = [
+    "Word",
+    "MembershipOracle",
+    "PerfectEquivalenceOracle",
+    "ConformanceEquivalenceOracle",
+]
+
+#: A query word: a sequence of interaction symbols.
+Word = tuple[Interaction, ...]
+
+
+class MembershipOracle:
+    """Answers membership queries by executing the component."""
+
+    def __init__(self, component: LegacyComponent):
+        self.component = component
+        self.queries = 0
+        self.cache_hits = 0
+        self._cache: dict[Word, bool] = {}
+
+    def query(self, word: Word) -> bool:
+        word = tuple(word)
+        if word in self._cache:
+            self.cache_hits += 1
+            return self._cache[word]
+        self.queries += 1
+        self.component.reset()
+        accepted = True
+        for symbol in word:
+            outcome = self.component.step(symbol.inputs)
+            if outcome.blocked or outcome.outputs != symbol.outputs:
+                accepted = False
+                break
+        self._cache[word] = accepted
+        return accepted
+
+
+def _automaton_accepts(automaton: Automaton, word: Word) -> bool:
+    """Does the (deterministic) automaton execute the word?"""
+    state = next(iter(automaton.initial))
+    for symbol in word:
+        matching = [
+            t for t in automaton.transitions_from(state) if t.interaction == symbol
+        ]
+        if not matching:
+            return False
+        state = matching[0].target
+    return True
+
+
+class PerfectEquivalenceOracle:
+    """An exact oracle comparing a hypothesis with the true behavior.
+
+    Only benchmarks use this: it inspects the hidden automaton (via a
+    white-box handle the learner itself never receives) and returns a
+    shortest separating word, which is what lets us count L*'s ideal
+    query complexity without conflating it with conformance-test cost.
+    """
+
+    def __init__(self, truth: Automaton, universe: InteractionUniverse):
+        self.truth = truth
+        self.universe = universe
+        self.queries = 0
+
+    def find_counterexample(self, hypothesis) -> Word | None:
+        """Shortest separating word via a product breadth-first search.
+
+        Explores pairs of (truth state or reject-``None``, hypothesis
+        state); a pair where exactly one side accepts yields the word.
+        """
+        from collections import deque
+
+        self.queries += 1
+        start = (next(iter(self.truth.initial)), hypothesis.initial)
+        queue: deque[tuple[State | None, int, Word]] = deque([(start[0], start[1], ())])
+        seen: set[tuple[State | None, int]] = {start}
+        while queue:
+            truth_state, hyp_state, word = queue.popleft()
+            truth_accepts = truth_state is not None
+            if truth_accepts != (hyp_state in hypothesis.accepting):
+                return word
+            for symbol in self.universe:
+                if truth_state is None:
+                    truth_target: State | None = None
+                else:
+                    matching = [
+                        t
+                        for t in self.truth.transitions_from(truth_state)
+                        if t.interaction == symbol
+                    ]
+                    truth_target = matching[0].target if matching else None
+                hyp_target = hypothesis.delta[(hyp_state, symbol)]
+                key = (truth_target, hyp_target)
+                if key not in seen:
+                    seen.add(key)
+                    queue.append((truth_target, hyp_target, (*word, symbol)))
+        return None
+
+
+class ConformanceEquivalenceOracle:
+    """Equivalence via W-method conformance testing (Chow/Vasilevskii).
+
+    Executes the generated test suite on the component; the first test
+    whose pass/fail disagrees with the hypothesis is the counterexample.
+    The suite size is exponential in ``state_bound - |hypothesis|``,
+    which is exactly the cost the paper's approach avoids by starting
+    from an over-approximation (§6 "Conclusion" of the related work).
+    """
+
+    def __init__(
+        self,
+        component: LegacyComponent,
+        universe: InteractionUniverse,
+        *,
+        state_bound: int,
+    ):
+        self.membership = MembershipOracle(component)
+        self.universe = universe
+        self.state_bound = state_bound
+        self.queries = 0
+        self.tests_executed = 0
+
+    def find_counterexample(self, hypothesis) -> Word | None:
+        """``hypothesis`` is an L* DFA (see :mod:`repro.baselines.angluin`)."""
+        from .conformance import w_method_suite
+
+        self.queries += 1
+        suite = w_method_suite(hypothesis, self.universe, state_bound=self.state_bound)
+        for word in suite:
+            self.tests_executed += 1
+            real = self.membership.query(word)
+            predicted = hypothesis.accepts(word)
+            if real != predicted:
+                return word
+        return None

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """An automaton, statechart, or architecture model is ill-formed."""
+
+
+class CompositionError(ModelError):
+    """Two automata cannot be composed (e.g. they are not composable)."""
+
+
+class RefinementError(ModelError):
+    """A refinement check was invoked on incompatible automata."""
+
+
+class FormulaError(ReproError):
+    """A temporal-logic formula is syntactically or semantically invalid."""
+
+
+class ParseError(FormulaError):
+    """A textual formula could not be parsed."""
+
+
+class NotCompositionalError(FormulaError):
+    """A formula outside the compositional (ACTL) fragment was used where
+    Definition 5 of the paper requires a compositional constraint."""
+
+
+class CounterexampleError(ReproError):
+    """No counterexample could be extracted for a violated property."""
+
+
+class ExecutionError(ReproError):
+    """A legacy component could not execute a requested step."""
+
+
+class ReplayError(ExecutionError):
+    """Deterministic replay diverged from the recorded execution."""
+
+
+class SynthesisError(ReproError):
+    """The iterative behavior synthesis entered an inconsistent state."""
+
+
+class LearningError(SynthesisError):
+    """An observed run could not be merged into the incomplete automaton."""
+
+
+class BudgetExceededError(SynthesisError):
+    """The iterative synthesis exceeded its configured iteration budget."""

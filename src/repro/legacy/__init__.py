@@ -1,0 +1,18 @@
+"""Executable legacy components: black-box harness and interfaces.
+
+Wraps a concrete (hidden) behavior behind the execution/monitoring
+protocol the paper assumes: reset, per-period stepping, port
+observation, and state probes gated by instrumentation level with a
+probe-effect model for live monitoring.
+"""
+
+from .component import Instrumentation, LegacyComponent, StepOutcome
+from .interface import InterfaceDescription, interface_of
+
+__all__ = [
+    "LegacyComponent",
+    "StepOutcome",
+    "Instrumentation",
+    "InterfaceDescription",
+    "interface_of",
+]

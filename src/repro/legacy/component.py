@@ -1,0 +1,201 @@
+"""The legacy component under integration: an executable black box.
+
+The paper's legacy component is a deterministic software component with
+hidden internals: only its structural interface is known, and it can be
+*executed* — fed input messages period by period and observed at its
+ports.  This module wraps a hidden automaton behind exactly that
+protocol.  The synthesis loop never inspects the hidden automaton; the
+access-counting attributes let tests assert black-box discipline.
+
+Instrumentation (§5): observing messages at the ports is always
+possible (``MINIMAL``); observing the *state* additionally requires
+``FULL`` instrumentation.  Running fully instrumented **live** suffers
+the probe effect [42] — here modeled as a cumulative timing skew per
+state probe, so live-full timing records are wrong.  Deterministic
+replay (``live=False``) re-executes a recorded run offline where probes
+are free, which is precisely why the paper's two-phase record/replay
+scheme exists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from enum import Enum
+
+from ..automata.automaton import Automaton, State
+from ..automata.interaction import Interaction
+from ..errors import ExecutionError, ModelError
+
+__all__ = ["Instrumentation", "StepOutcome", "LegacyComponent"]
+
+
+class Instrumentation(Enum):
+    """How deeply the running component is instrumented."""
+
+    MINIMAL = "minimal"  # port messages and period numbers only
+    FULL = "full"  # additionally state changes and per-event timing
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """The observable result of executing one period.
+
+    ``blocked`` means the component had no reaction to the offered
+    inputs in its current state — the attempted interaction deadlocked
+    (Definition 2's blocked tail); the component's state is unchanged.
+    """
+
+    period: int
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+    blocked: bool
+
+    @property
+    def interaction(self) -> Interaction:
+        return Interaction(self.inputs, self.outputs)
+
+
+class LegacyComponent:
+    """An executable, strongly deterministic, hidden-state component.
+
+    Parameters
+    ----------
+    hidden:
+        The concrete behavior ``M_r``.  It must be strongly
+        deterministic — a unique reaction (outputs and successor) per
+        (state, inputs) pair — because §4.3 requires the implementation
+        to exclude "any non-determinism or pseudo non-determinism".
+    name:
+        Component name used in reports.
+    """
+
+    def __init__(self, hidden: Automaton, *, name: str | None = None):
+        if len(hidden.initial) != 1:
+            raise ModelError(f"legacy component {hidden.name!r} must have exactly one initial state")
+        if not hidden.is_strongly_deterministic():
+            raise ModelError(
+                f"legacy component {hidden.name!r} is not strongly deterministic: "
+                "ambiguous reaction to some (state, inputs) pair"
+            )
+        self._hidden = hidden
+        self.name = name if name is not None else hidden.name
+        self._state: State = next(iter(hidden.initial))
+        self._period = 0
+        self._instrumentation = Instrumentation.MINIMAL
+        self._live = True
+        self._timing_skew = 0
+        # Black-box discipline counters (for tests and reports).
+        self.steps_executed = 0
+        self.resets = 0
+        self.state_probes = 0
+
+    # ----------------------------------------------------------- structural
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        """Structural interface: the input signals (always known)."""
+        return self._hidden.inputs
+
+    @property
+    def outputs(self) -> frozenset[str]:
+        """Structural interface: the output signals (always known)."""
+        return self._hidden.outputs
+
+    @property
+    def initial_state(self) -> State:
+        """The initial state identifier (reverse-engineered, §3)."""
+        return next(iter(self._hidden.initial))
+
+    @property
+    def state_bound(self) -> int:
+        """A reverse-engineered upper bound on the state count (§3)."""
+        return len(self._hidden.states)
+
+    # ------------------------------------------------------------ execution
+
+    def reset(self) -> None:
+        """Restart the component in its initial state, period zero."""
+        self._state = next(iter(self._hidden.initial))
+        self._period = 0
+        self._timing_skew = 0
+        self.resets += 1
+
+    @property
+    def period(self) -> int:
+        """The current period number, as visible to the monitor.
+
+        Under live full instrumentation this includes the probe-effect
+        skew — the monitor reads *wrong* timing, which is the point.
+        """
+        if self._live and self._instrumentation is Instrumentation.FULL:
+            return self._period + self._timing_skew
+        return self._period
+
+    def step(self, inputs: Iterable[str] = ()) -> StepOutcome:
+        """Execute one period with the given input messages.
+
+        Returns the produced outputs, or a blocked outcome when the
+        component has no reaction (its state does not change then).
+        """
+        offered = frozenset(inputs)
+        unknown = offered - self._hidden.inputs
+        if unknown:
+            raise ExecutionError(
+                f"component {self.name!r} has no input ports for {sorted(unknown)}"
+            )
+        self.steps_executed += 1
+        matching = self._hidden.transitions_on(self._state, offered)
+        if not matching:
+            return StepOutcome(self.period, offered, frozenset(), blocked=True)
+        transition = matching[0]  # unique by strong determinism
+        self._state = transition.target
+        self._period += 1
+        return StepOutcome(self.period, offered, transition.outputs, blocked=False)
+
+    # -------------------------------------------------------- instrumentation
+
+    @contextmanager
+    def instrumented(self, level: Instrumentation, *, live: bool):
+        """Scope a monitoring configuration.
+
+        ``live=True`` models execution in the real environment (probes
+        cost time); ``live=False`` models deterministic replay on a host
+        where additional instrumentation "has no effects on the
+        execution" (§5).
+        """
+        previous = (self._instrumentation, self._live)
+        self._instrumentation = level
+        self._live = live
+        try:
+            yield self
+        finally:
+            self._instrumentation, self._live = previous
+
+    def monitor_state(self) -> State:
+        """Observe the current state — needs FULL instrumentation.
+
+        A live probe additionally skews the component's visible timing
+        by one period (the probe effect); replay probes are free.
+        """
+        if self._instrumentation is not Instrumentation.FULL:
+            raise ExecutionError(
+                f"state observation on {self.name!r} requires FULL instrumentation "
+                "(the minimal probes record messages and periods only)"
+            )
+        self.state_probes += 1
+        if self._live:
+            self._timing_skew += 1
+        return self._state
+
+    @property
+    def probe_effect_active(self) -> bool:
+        """Has live full instrumentation skewed the visible timing?"""
+        return self._live and self._timing_skew > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"LegacyComponent(name={self.name!r}, |I|={len(self.inputs)}, "
+            f"|O|={len(self.outputs)}, state_bound={self.state_bound})"
+        )

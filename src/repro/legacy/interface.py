@@ -1,0 +1,79 @@
+"""Structural interface descriptions of legacy components (§3).
+
+The initial behavior synthesis needs only the *structural* interface —
+input and output signal sets, the initial state, and a reverse-
+engineered upper bound on the number of relevant states.  "The
+interface description can be taken from the context or reverse-
+engineered straightforwardly from the legacy component" (§3); this
+module packages exactly that information and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.automaton import State
+from ..automata.interaction import InteractionUniverse
+from ..errors import ModelError
+from .component import LegacyComponent
+
+__all__ = ["InterfaceDescription", "interface_of"]
+
+
+@dataclass(frozen=True)
+class InterfaceDescription:
+    """What is structurally known about a legacy component.
+
+    Attributes
+    ----------
+    name:
+        The component name.
+    inputs, outputs:
+        The port signal sets ``I`` and ``O``.
+    initial_state:
+        The identifier of the initial state ``s₀`` (§3: "we simply build
+        an ``M_l^0`` by determining the initial state ``s₀`` of ``M_r``").
+    state_bound:
+        Optional reverse-engineered upper bound on the relevant state
+        count; used for termination diagnostics and by baselines.
+    """
+
+    name: str
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+    initial_state: State
+    state_bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.inputs & self.outputs:
+            raise ModelError(
+                f"interface of {self.name!r}: inputs and outputs overlap on "
+                f"{sorted(self.inputs & self.outputs)}"
+            )
+
+    def universe(
+        self, *, full: bool = False, allow_simultaneous: bool = False
+    ) -> InteractionUniverse:
+        """The interaction alphabet induced by this interface.
+
+        ``full=True`` yields the literal power-set alphabet of
+        Definition 1; the default is the message-passing alphabet (at
+        most one message consumed and one produced per time unit), which
+        is what RTSC-modeled contexts actually use.
+        """
+        if full:
+            return InteractionUniverse.full(self.inputs, self.outputs)
+        return InteractionUniverse.singletons(
+            self.inputs, self.outputs, allow_simultaneous=allow_simultaneous
+        )
+
+
+def interface_of(component: LegacyComponent, *, with_state_bound: bool = True) -> InterfaceDescription:
+    """Extract the structural interface from an executable component."""
+    return InterfaceDescription(
+        name=component.name,
+        inputs=component.inputs,
+        outputs=component.outputs,
+        initial_state=component.initial_state,
+        state_bound=component.state_bound if with_state_bound else None,
+    )

@@ -1,0 +1,82 @@
+"""Temporal logic: CCTL formulas, model checking, counterexamples (§2.1).
+
+Properties are written in clocked CTL; the compositional (ACTL)
+fragment of Definition 5 is what the integration scheme verifies, and
+violated checks yield witness runs that double as test inputs.
+"""
+
+from .checker import CheckResult, ModelChecker, check
+from .compositional import (
+    assert_compositional,
+    is_compositional,
+    is_universal,
+    to_nnf,
+    weaken_for_chaos,
+)
+from .counterexample import counterexample, counterexamples, deadlock_counterexample
+from .formulas import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    DEADLOCK,
+    DEADLOCK_FREE,
+    Deadlock,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    FalseF,
+    Formula,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Prop,
+    TRUE,
+    TrueF,
+    conjunction,
+    disjunction,
+)
+from .parser import parse
+
+__all__ = [
+    "Formula",
+    "Interval",
+    "TrueF",
+    "FalseF",
+    "Prop",
+    "Deadlock",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "AX",
+    "EX",
+    "AF",
+    "EF",
+    "AG",
+    "EG",
+    "AU",
+    "EU",
+    "TRUE",
+    "FALSE",
+    "DEADLOCK",
+    "DEADLOCK_FREE",
+    "conjunction",
+    "disjunction",
+    "parse",
+    "ModelChecker",
+    "CheckResult",
+    "check",
+    "counterexample",
+    "counterexamples",
+    "deadlock_counterexample",
+    "to_nnf",
+    "is_universal",
+    "is_compositional",
+    "assert_compositional",
+    "weaken_for_chaos",
+]

@@ -1,0 +1,298 @@
+"""CTL/CCTL model checking over labeled automata (§2.1, §4.1).
+
+The checker evaluates formulas over the automaton's state graph with
+*maximal path* semantics: a path is maximal when it is infinite or ends
+in a deadlock state.  This matters because the paper's verification
+obligation is always ``φ ∧ ¬δ`` — deadlock states are first-class
+citizens, not semantic accidents:
+
+* ``AX φ`` is vacuously true in a deadlock state;
+* ``AF φ`` fails in a deadlock state unless ``φ`` already holds there;
+* ``EG φ`` is satisfied by a path that deadlocks while ``φ`` holds.
+
+Unbounded operators use the standard least/greatest fixpoint
+characterisations; bounded (CCTL) operators use a backward dynamic
+program over the remaining window, exploiting that every transition
+takes exactly one time unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.automaton import Automaton, State
+from ..errors import FormulaError
+from .formulas import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    Deadlock,
+    EF,
+    EG,
+    EU,
+    EX,
+    FalseF,
+    Formula,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Prop,
+    TrueF,
+)
+
+__all__ = ["CheckResult", "ModelChecker", "check"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one formula against one automaton."""
+
+    formula: Formula
+    holds: bool
+    satisfying: frozenset[State]
+    violating_initial: frozenset[State]
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class ModelChecker:
+    """A reusable checker for one automaton.
+
+    Satisfaction sets are memoised per (sub)formula, so checking several
+    properties — or re-explaining subformulas during counterexample
+    construction — does not repeat fixpoint computations.
+    """
+
+    def __init__(self, automaton: Automaton):
+        self.automaton = automaton
+        self._successors: dict[State, tuple[State, ...]] = {
+            state: tuple(sorted({t.target for t in automaton.transitions_from(state)}, key=repr))
+            for state in automaton.states
+        }
+        self._deadlocks = frozenset(s for s, succ in self._successors.items() if not succ)
+        self._cache: dict[Formula, frozenset[State]] = {}
+
+    # ------------------------------------------------------------- public API
+
+    def sat(self, formula: Formula) -> frozenset[State]:
+        """The set of states satisfying ``formula``."""
+        cached = self._cache.get(formula)
+        if cached is None:
+            cached = self._evaluate(formula)
+            self._cache[formula] = cached
+        return cached
+
+    def holds(self, formula: Formula) -> bool:
+        """``M ⊨ φ``: every initial state satisfies the formula."""
+        satisfying = self.sat(formula)
+        return all(q in satisfying for q in self.automaton.initial)
+
+    def check(self, formula: Formula) -> CheckResult:
+        satisfying = self.sat(formula)
+        violating = frozenset(q for q in self.automaton.initial if q not in satisfying)
+        return CheckResult(formula, not violating, satisfying, violating)
+
+    @property
+    def deadlock_states(self) -> frozenset[State]:
+        return self._deadlocks
+
+    def successors(self, state: State) -> tuple[State, ...]:
+        return self._successors[state]
+
+    # ------------------------------------------------------------ evaluation
+
+    def _evaluate(self, formula: Formula) -> frozenset[State]:
+        states = self.automaton.states
+        if isinstance(formula, TrueF):
+            return states
+        if isinstance(formula, FalseF):
+            return frozenset()
+        if isinstance(formula, Prop):
+            return frozenset(s for s in states if formula.name in self.automaton.labels(s))
+        if isinstance(formula, Deadlock):
+            return self._deadlocks
+        if isinstance(formula, Not):
+            return states - self.sat(formula.operand)
+        if isinstance(formula, And):
+            return self.sat(formula.left) & self.sat(formula.right)
+        if isinstance(formula, Or):
+            return self.sat(formula.left) | self.sat(formula.right)
+        if isinstance(formula, Implies):
+            return (states - self.sat(formula.left)) | self.sat(formula.right)
+        if isinstance(formula, AX):
+            operand = self.sat(formula.operand)
+            return frozenset(s for s in states if all(t in operand for t in self._successors[s]))
+        if isinstance(formula, EX):
+            operand = self.sat(formula.operand)
+            return frozenset(s for s in states if any(t in operand for t in self._successors[s]))
+        if isinstance(formula, (AF, EF, AG, EG)):
+            operand = self.sat(formula.operand)
+            if formula.interval is not None:
+                return self._bounded_unary(type(formula).__name__, operand, formula.interval)
+            return self._unbounded_unary(type(formula).__name__, operand)
+        if isinstance(formula, (AU, EU)):
+            left, right = self.sat(formula.left), self.sat(formula.right)
+            universal = isinstance(formula, AU)
+            if formula.interval is not None:
+                return self._bounded_until(left, right, formula.interval, universal=universal)
+            return self._unbounded_until(left, right, universal=universal)
+        raise FormulaError(f"unknown formula node {formula!r}")
+
+    # ------------------------------------------------------- unbounded cases
+
+    def _pre_exists(self, target: frozenset[State]) -> frozenset[State]:
+        return frozenset(
+            s for s, succ in self._successors.items() if any(t in target for t in succ)
+        )
+
+    def _pre_forall(self, target: frozenset[State]) -> frozenset[State]:
+        return frozenset(
+            s for s, succ in self._successors.items() if all(t in target for t in succ)
+        )
+
+    def _unbounded_unary(self, operator: str, operand: frozenset[State]) -> frozenset[State]:
+        states = self.automaton.states
+        if operator == "EF":  # lfp Z = φ ∪ pre∃(Z)
+            current: frozenset[State] = frozenset()
+            while True:
+                updated = operand | self._pre_exists(current)
+                if updated == current:
+                    return current
+                current = updated
+        if operator == "AF":  # lfp Z = φ ∪ (¬δ ∩ pre∀(Z))
+            current = frozenset()
+            live = states - self._deadlocks
+            while True:
+                updated = operand | (live & self._pre_forall(current))
+                if updated == current:
+                    return current
+                current = updated
+        if operator == "AG":  # gfp Z = φ ∩ pre∀(Z)
+            current = states
+            while True:
+                updated = operand & self._pre_forall(current)
+                if updated == current:
+                    return current
+                current = updated
+        if operator == "EG":  # gfp Z = φ ∩ (δ ∪ pre∃(Z))
+            current = states
+            while True:
+                updated = operand & (self._deadlocks | self._pre_exists(current))
+                if updated == current:
+                    return current
+                current = updated
+        raise AssertionError(operator)
+
+    def _unbounded_until(
+        self, left: frozenset[State], right: frozenset[State], *, universal: bool
+    ) -> frozenset[State]:
+        live = self.automaton.states - self._deadlocks
+        current: frozenset[State] = frozenset()
+        while True:
+            if universal:
+                updated = right | (left & live & self._pre_forall(current))
+            else:
+                updated = right | (left & self._pre_exists(current))
+            if updated == current:
+                return current
+            current = updated
+
+    # --------------------------------------------------------- bounded cases
+
+    def bounded_layers(
+        self, operator: str, operand: frozenset[State], interval: Interval
+    ) -> list[frozenset[State]]:
+        """Backward DP layers for a bounded unary operator.
+
+        ``layers[k]`` is the satisfaction set of the operator with the
+        window shifted ``k`` steps into the past, i.e. with remaining
+        window ``[max(low-k, 0), high-k]``.  ``layers[0]`` is the
+        satisfaction set of the operator itself; deeper layers are used
+        by the counterexample generator to steer failing paths.
+        """
+        low, high = interval.low, interval.high
+        states = self.automaton.states
+
+        def active(k: int) -> bool:  # is position k inside the window?
+            return max(low - k, 0) == 0
+
+        layers: list[frozenset[State]] = [frozenset()] * (high + 1)
+        for k in range(high, -1, -1):
+            satisfied: set[State] = set()
+            last = k == high
+            for state in states:
+                here = state in operand
+                successors = self._successors[state]
+                if operator == "AF":
+                    if active(k) and here:
+                        ok = True
+                    elif last or not successors:
+                        ok = False
+                    else:
+                        ok = all(t in layers[k + 1] for t in successors)
+                elif operator == "EF":
+                    if active(k) and here:
+                        ok = True
+                    elif last:
+                        ok = False
+                    else:
+                        ok = any(t in layers[k + 1] for t in successors)
+                elif operator == "AG":
+                    ok = (not active(k) or here) and (
+                        last or all(t in layers[k + 1] for t in successors)
+                    )
+                elif operator == "EG":
+                    ok = (not active(k) or here) and (
+                        last or not successors or any(t in layers[k + 1] for t in successors)
+                    )
+                else:
+                    raise AssertionError(operator)
+                if ok:
+                    satisfied.add(state)
+            layers[k] = frozenset(satisfied)
+        return layers
+
+    def _bounded_unary(
+        self, operator: str, operand: frozenset[State], interval: Interval
+    ) -> frozenset[State]:
+        return self.bounded_layers(operator, operand, interval)[0]
+
+    def _bounded_until(
+        self,
+        left: frozenset[State],
+        right: frozenset[State],
+        interval: Interval,
+        *,
+        universal: bool,
+    ) -> frozenset[State]:
+        low, high = interval.low, interval.high
+        states = self.automaton.states
+        layers: list[frozenset[State]] = [frozenset()] * (high + 1)
+        for k in range(high, -1, -1):
+            satisfied: set[State] = set()
+            last = k == high
+            for state in states:
+                window_open = max(low - k, 0) == 0
+                if window_open and state in right:
+                    satisfied.add(state)
+                    continue
+                if last or state not in left:
+                    continue
+                successors = self._successors[state]
+                if universal:
+                    if successors and all(t in layers[k + 1] for t in successors):
+                        satisfied.add(state)
+                else:
+                    if any(t in layers[k + 1] for t in successors):
+                        satisfied.add(state)
+            layers[k] = frozenset(satisfied)
+        return layers[0]
+
+
+def check(automaton: Automaton, formula: Formula) -> CheckResult:
+    """One-shot convenience wrapper around :class:`ModelChecker`."""
+    return ModelChecker(automaton).check(formula)

@@ -1,0 +1,103 @@
+"""Compositional constraints (Definition 5) and the §2.7 chaos weakening.
+
+Definition 5 singles out the constraints that survive (a) composition
+with automata over disjoint label sets and (b) refinement.  §2.4 shows
+that ACTL formulas — only universal path quantifiers, negation applied
+to atoms only — together with deadlock freedom are compositional, while
+existential properties ("a specific state is eventually reached") are
+not.  The iterative synthesis refuses non-compositional constraints up
+front, because Lemma 5 (the soundness of a successful verification)
+would not hold for them.
+
+§2.7's proposition weakening replaces the per-subset chaos states by a
+single fresh proposition: every positive literal ``p`` becomes
+``p ∨ chaos`` and every negative literal ``¬p`` becomes ``¬p ∨ chaos``,
+so the chaotic states satisfy every (weakened) literal and the closure
+stays a safe abstraction for labeled properties.
+"""
+
+from __future__ import annotations
+
+from ..automata.chaos import CHAOS_PROPOSITION
+from ..errors import FormulaError, NotCompositionalError
+from .formulas import (
+    Deadlock,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    FalseF,
+    Formula,
+    Not,
+    Or,
+    Prop,
+    TRUE,
+    TrueF,
+)
+
+__all__ = [
+    "to_nnf",
+    "is_universal",
+    "is_compositional",
+    "assert_compositional",
+    "weaken_for_chaos",
+]
+
+
+def _identity(atom: Formula, negated: bool) -> Formula:
+    if isinstance(atom, TrueF):
+        return FALSE if negated else TRUE
+    if isinstance(atom, FalseF):
+        return TRUE if negated else FALSE
+    return Not(atom) if negated else atom
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed onto the atoms."""
+    return formula.map_atoms(_identity)
+
+
+def is_universal(formula: Formula) -> bool:
+    """Is the formula in ACTL (no existential path quantifier in NNF)?"""
+    try:
+        normalised = to_nnf(formula)
+    except FormulaError:
+        return False
+    return not any(isinstance(node, (EX, EF, EG, EU)) for node in normalised.walk())
+
+
+def is_compositional(formula: Formula) -> bool:
+    """Definition 5 via §2.4: the ACTL fragment is compositional."""
+    return is_universal(formula)
+
+
+def assert_compositional(formula: Formula) -> None:
+    """Raise :class:`NotCompositionalError` for non-ACTL constraints."""
+    if not is_compositional(formula):
+        raise NotCompositionalError(
+            f"{formula} is not a compositional constraint (Definition 5): it contains an "
+            "existential path quantifier, so neither Lemma 5 (verification soundness) nor "
+            "refinement preservation applies — rewrite it in the ACTL fragment"
+        )
+
+
+def weaken_for_chaos(formula: Formula, *, chaos_proposition: str = CHAOS_PROPOSITION) -> Formula:
+    """§2.7's weakening ``p ↦ (p ∨ p')`` / ``¬p ↦ (¬p ∨ p')``.
+
+    The ``deadlock`` atom is deliberately *not* weakened: ``s_δ`` really
+    is a deadlock state of the closure, and the chaotic part must remain
+    able to signal potential deadlocks (that is what drives the paper's
+    Listing 1.1 counterexample).
+    """
+    chaos = Prop(chaos_proposition)
+
+    def transform(atom: Formula, negated: bool) -> Formula:
+        if isinstance(atom, Prop) and atom.name != chaos_proposition:
+            literal: Formula = Not(atom) if negated else atom
+            return Or(literal, chaos)
+        if isinstance(atom, Deadlock):
+            return Not(atom) if negated else atom
+        return _identity(atom, negated)
+
+    return formula.map_atoms(transform)

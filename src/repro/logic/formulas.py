@@ -1,0 +1,396 @@
+"""CTL / ACTL / CCTL formula abstract syntax (§2.1 of the paper).
+
+Properties are specified in clocked CTL (CCTL): standard CTL operators
+plus discrete-time bounded variants such as ``AF_[1,d] p`` — "on every
+path, ``p`` holds after at least 1 and at most ``d`` time units".  Since
+every transition of the automaton model takes exactly one time unit
+(§2), time bounds are simply step bounds.
+
+Formulas are immutable trees.  Atoms are propositions (matched against
+state labels) plus the special :class:`Deadlock` atom, which holds in
+states without outgoing transitions — ``EF deadlock`` is the paper's
+``M ⊨ δ`` and ``AG not deadlock`` its ``M ⊨ ¬δ``.
+
+The ACTL subset (only universal path quantifiers, negation only applied
+to atoms) is what Definition 5 calls *compositional* constraints; see
+:mod:`repro.logic.compositional`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import FormulaError
+
+__all__ = [
+    "Formula",
+    "Interval",
+    "TrueF",
+    "FalseF",
+    "Prop",
+    "Deadlock",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "AX",
+    "EX",
+    "AF",
+    "EF",
+    "AG",
+    "EG",
+    "AU",
+    "EU",
+    "TRUE",
+    "FALSE",
+    "DEADLOCK",
+    "DEADLOCK_FREE",
+    "conjunction",
+    "disjunction",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A discrete time window ``[low, high]`` in time units (steps)."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise FormulaError(f"invalid interval [{self.low},{self.high}]")
+
+    def __str__(self) -> str:
+        return f"[{self.low},{self.high}]"
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    # ---------------------------------------------------------- conveniences
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    def propositions(self) -> frozenset[str]:
+        """``𝓛(φ)``: the atomic propositions occurring in the formula."""
+        props: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Prop):
+                props.add(node.name)
+        return frozenset(props)
+
+    def walk(self) -> Iterator["Formula"]:
+        """All nodes of the formula tree, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def map_atoms(self, transform: Callable[["Formula", bool], "Formula"]) -> "Formula":
+        """Rebuild the formula with atoms rewritten in negation-normal form.
+
+        ``transform(atom, negated)`` receives each :class:`Prop` /
+        :class:`Deadlock` / boolean-constant leaf together with its
+        polarity and returns the replacement subformula.  Temporal
+        operators and their intervals are preserved; ``Implies`` is
+        expanded and ``Not`` is pushed down to the atoms, which is
+        exactly the shape the §2.7 chaos weakening needs.
+        """
+        return _map_atoms(self, transform, negated=False)
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+
+    def _key(self) -> tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class TrueF(Formula):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class FalseF(Formula):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+class Prop(Formula):
+    """An atomic proposition, satisfied when it appears in ``L(s)``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise FormulaError(f"proposition name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Deadlock(Formula):
+    """The special ``δ`` atom: true in states without outgoing transitions."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "deadlock"
+
+
+class _Unary(Formula):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        if not isinstance(operand, Formula):
+            raise FormulaError(f"expected a Formula, got {operand!r}")
+        self.operand = operand
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+
+class Not(_Unary):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+class _Binary(Formula):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula):
+        for operand in (left, right):
+            if not isinstance(operand, Formula):
+                raise FormulaError(f"expected a Formula, got {operand!r}")
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+
+class And(_Binary):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+class Or(_Binary):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+class Implies(_Binary):
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+class _Temporal(_Unary):
+    """A unary temporal operator with an optional CCTL time window."""
+
+    __slots__ = ("interval",)
+    _symbol = "?"
+
+    def __init__(self, operand: Formula, interval: Interval | None = None):
+        super().__init__(operand)
+        if interval is not None and not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        self.interval = interval
+
+    def _key(self) -> tuple:
+        return (self.operand, self.interval)
+
+    def __str__(self) -> str:
+        window = str(self.interval) if self.interval is not None else ""
+        return f"({self._symbol}{window} {self.operand})"
+
+
+class AX(_Temporal):
+    __slots__ = ()
+    _symbol = "AX"
+
+    def __init__(self, operand: Formula):
+        super().__init__(operand, None)
+
+
+class EX(_Temporal):
+    __slots__ = ()
+    _symbol = "EX"
+
+    def __init__(self, operand: Formula):
+        super().__init__(operand, None)
+
+
+class AF(_Temporal):
+    __slots__ = ()
+    _symbol = "AF"
+
+
+class EF(_Temporal):
+    __slots__ = ()
+    _symbol = "EF"
+
+
+class AG(_Temporal):
+    __slots__ = ()
+    _symbol = "AG"
+
+
+class EG(_Temporal):
+    __slots__ = ()
+    _symbol = "EG"
+
+
+class _Until(Formula):
+    """``A[φ U ψ]`` / ``E[φ U ψ]`` with an optional time window on U."""
+
+    __slots__ = ("left", "right", "interval")
+    _symbol = "?"
+
+    def __init__(self, left: Formula, right: Formula, interval: Interval | None = None):
+        for operand in (left, right):
+            if not isinstance(operand, Formula):
+                raise FormulaError(f"expected a Formula, got {operand!r}")
+        if interval is not None and not isinstance(interval, Interval):
+            interval = Interval(*interval)
+        self.left = left
+        self.right = right
+        self.interval = interval
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _key(self) -> tuple:
+        return (self.left, self.right, self.interval)
+
+    def __str__(self) -> str:
+        window = str(self.interval) if self.interval is not None else ""
+        return f"{self._symbol}[{self.left} U{window} {self.right}]"
+
+
+class AU(_Until):
+    __slots__ = ()
+    _symbol = "A"
+
+
+class EU(_Until):
+    __slots__ = ()
+    _symbol = "E"
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+DEADLOCK = Deadlock()
+#: The paper's ``¬δ`` as a checkable formula: no reachable deadlock.
+DEADLOCK_FREE = AG(Not(DEADLOCK))
+
+
+def conjunction(formulas: "list[Formula] | tuple[Formula, ...]") -> Formula:
+    """Right-nested conjunction of the given formulas (``true`` if empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return TRUE
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = And(formula, result)
+    return result
+
+
+def disjunction(formulas: "list[Formula] | tuple[Formula, ...]") -> Formula:
+    """Right-nested disjunction of the given formulas (``false`` if empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return FALSE
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = Or(formula, result)
+    return result
+
+
+def _map_atoms(
+    formula: Formula, transform: Callable[[Formula, bool], Formula], *, negated: bool
+) -> Formula:
+    if isinstance(formula, (Prop, Deadlock, TrueF, FalseF)):
+        return transform(formula, negated)
+    if isinstance(formula, Not):
+        return _map_atoms(formula.operand, transform, negated=not negated)
+    if isinstance(formula, Implies):
+        expanded = Or(Not(formula.left), formula.right)
+        return _map_atoms(expanded, transform, negated=negated)
+    if isinstance(formula, And):
+        combinator = Or if negated else And
+        return combinator(
+            _map_atoms(formula.left, transform, negated=negated),
+            _map_atoms(formula.right, transform, negated=negated),
+        )
+    if isinstance(formula, Or):
+        combinator = And if negated else Or
+        return combinator(
+            _map_atoms(formula.left, transform, negated=negated),
+            _map_atoms(formula.right, transform, negated=negated),
+        )
+    duals: dict[type, type] = {AG: EF, EF: AG, AF: EG, EG: AF, AX: EX, EX: AX}
+    if isinstance(formula, (AX, EX)):
+        node_type = duals[type(formula)] if negated else type(formula)
+        return node_type(_map_atoms(formula.operand, transform, negated=negated))
+    if isinstance(formula, (AG, EF, AF, EG)):
+        node_type = duals[type(formula)] if negated else type(formula)
+        return node_type(
+            _map_atoms(formula.operand, transform, negated=negated), formula.interval
+        )
+    if isinstance(formula, (AU, EU)):
+        if negated:
+            raise FormulaError(
+                f"cannot push negation through {formula}: negated Until has no Until dual "
+                "in this fragment; rewrite the formula without a negated U"
+            )
+        return type(formula)(
+            _map_atoms(formula.left, transform, negated=False),
+            _map_atoms(formula.right, transform, negated=False),
+            formula.interval,
+        )
+    raise FormulaError(f"unknown formula node {formula!r}")

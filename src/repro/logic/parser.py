@@ -1,0 +1,264 @@
+"""Textual formula syntax, including the paper's ``A[] …`` notation.
+
+Grammar (lowest to highest precedence)::
+
+    formula  := implies
+    implies  := or ( '->' implies )?                  (right associative)
+    or       := and ( ('or' | '||' | '\\/') and )*
+    and      := unary ( ('and' | '&&' | '/\\') unary )*
+    unary    := ('not' | '!') unary
+              | ('AG'|'AF'|'EG'|'EF') interval? unary
+              | ('AX'|'EX') unary
+              | 'A' '[]' unary        -- UPPAAL-style invariant (= AG)
+              | 'E' '<>' unary        -- UPPAAL-style reachability (= EF)
+              | ('A'|'E') '[' formula 'U' interval? formula ']'
+              | atom
+    atom     := 'true' | 'false' | 'deadlock' | prop | '(' formula ')'
+    interval := '[' int ',' int ']'
+    prop     := identifier (dots allowed, e.g. rearRole.convoy)
+
+Examples::
+
+    parse("A[] not (rearRole.convoy and frontRole.noConvoy)")
+    parse("AG (not request or AF[1,5] response)")
+    parse("AG not deadlock")
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .formulas import (
+    AF,
+    AG,
+    AU,
+    AX,
+    DEADLOCK,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    Formula,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    And,
+    Prop,
+    TRUE,
+)
+
+__all__ = ["parse"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<box>\[\]) | (?P<diamond><>)
+  | (?P<lbracket>\[) | (?P<rbracket>\])
+  | (?P<lparen>\() | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<arrow>->)
+  | (?P<or_sym>\|\||\\/)
+  | (?P<and_sym>&&|/\\)
+  | (?P<bang>!)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "true",
+    "false",
+    "deadlock",
+    "not",
+    "and",
+    "or",
+    "AG",
+    "AF",
+    "EG",
+    "EF",
+    "AX",
+    "EX",
+    "A",
+    "E",
+    "U",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"_Token({self.kind}, {self.text!r}, @{self.position})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position} in {text!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            value = match.group()
+            if kind == "ident" and value in _KEYWORDS:
+                kind = value
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text or 'end of input'!r} "
+                f"at offset {token.position} in {self.text!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> _Token | None:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    # --------------------------------------------------------------- grammar
+
+    def parse(self) -> Formula:
+        formula = self.implies()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"trailing input {token.text!r} at offset {token.position} in {self.text!r}"
+            )
+        return formula
+
+    def implies(self) -> Formula:
+        left = self.disjunction()
+        if self.accept("arrow"):
+            return Implies(left, self.implies())
+        return left
+
+    def disjunction(self) -> Formula:
+        left = self.conjunction()
+        while self.peek().kind in ("or", "or_sym"):
+            self.advance()
+            left = Or(left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Formula:
+        left = self.unary()
+        while self.peek().kind in ("and", "and_sym"):
+            self.advance()
+            left = And(left, self.unary())
+        return left
+
+    def interval(self) -> Interval | None:
+        if self.peek().kind != "lbracket":
+            return None
+        self.advance()
+        low = int(self.expect("number").text)
+        self.expect("comma")
+        high = int(self.expect("number").text)
+        self.expect("rbracket")
+        return Interval(low, high)
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token.kind in ("not", "bang"):
+            self.advance()
+            return Not(self.unary())
+        if token.kind in ("AG", "AF", "EG", "EF"):
+            self.advance()
+            node = {"AG": AG, "AF": AF, "EG": EG, "EF": EF}[token.kind]
+            window = self.interval()
+            return node(self.unary(), window)
+        if token.kind in ("AX", "EX"):
+            self.advance()
+            return (AX if token.kind == "AX" else EX)(self.unary())
+        if token.kind in ("A", "E"):
+            return self.quantified(token.kind)
+        return self.atom()
+
+    def quantified(self, quantifier: str) -> Formula:
+        self.advance()
+        token = self.peek()
+        if token.kind == "box":
+            if quantifier != "A":
+                raise ParseError(f"'[]' requires the A quantifier at offset {token.position}")
+            self.advance()
+            return AG(self.unary())
+        if token.kind == "diamond":
+            if quantifier != "E":
+                raise ParseError(f"'<>' requires the E quantifier at offset {token.position}")
+            self.advance()
+            return EF(self.unary())
+        if token.kind == "lbracket":
+            self.advance()
+            left = self.implies()
+            self.expect("U")
+            window = self.interval()
+            right = self.implies()
+            self.expect("rbracket")
+            return (AU if quantifier == "A" else EU)(left, right, window)
+        raise ParseError(
+            f"expected '[]', '<>' or '[φ U ψ]' after {quantifier} at offset {token.position}"
+        )
+
+    def atom(self) -> Formula:
+        token = self.peek()
+        if token.kind == "true":
+            self.advance()
+            return TRUE
+        if token.kind == "false":
+            self.advance()
+            return FALSE
+        if token.kind == "deadlock":
+            self.advance()
+            return DEADLOCK
+        if token.kind == "ident":
+            self.advance()
+            return Prop(token.text)
+        if token.kind == "lparen":
+            self.advance()
+            inner = self.implies()
+            self.expect("rparen")
+            return inner
+        raise ParseError(
+            f"expected an atom but found {token.text or 'end of input'!r} "
+            f"at offset {token.position} in {self.text!r}"
+        )
+
+
+def parse(text: str) -> Formula:
+    """Parse a CCTL formula from its textual form."""
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("formula text must be a non-empty string")
+    return _Parser(text).parse()

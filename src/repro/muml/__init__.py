@@ -1,0 +1,38 @@
+"""Mechatronic UML: coordination patterns, components, architectures.
+
+The modeling layer of the paper (§1): reusable coordination patterns
+with role invariants and pattern constraints, connectors with QoS,
+components whose ports refine the pattern roles, and architectures from
+which the context of an embedded legacy component is extracted.
+"""
+
+from .architecture import Architecture, ContextExtraction, PatternInstance
+from .component import Component, Port, PortConformanceResult
+from .connector import (
+    bounded_delay_channel,
+    delivered,
+    fifo_channel,
+    lossy_channel,
+    unit_delay_channel,
+)
+from .pattern import CoordinationPattern, PatternVerificationResult, Role
+from .verification import ArchitectureVerificationReport, verify_architecture
+
+__all__ = [
+    "Role",
+    "CoordinationPattern",
+    "PatternVerificationResult",
+    "Port",
+    "Component",
+    "PortConformanceResult",
+    "Architecture",
+    "PatternInstance",
+    "ContextExtraction",
+    "verify_architecture",
+    "ArchitectureVerificationReport",
+    "delivered",
+    "unit_delay_channel",
+    "fifo_channel",
+    "bounded_delay_channel",
+    "lossy_channel",
+]

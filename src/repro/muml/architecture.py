@@ -1,0 +1,240 @@
+"""Architecture assembly and context extraction for legacy integration.
+
+An :class:`Architecture` places components (modeled ones with full
+behavior, and *legacy* placements whose behavior is unknown) and
+instantiates coordination patterns between their ports.  Two services
+matter for the paper's scheme:
+
+* :meth:`Architecture.compose_known` — the composition of all modeled
+  behavior, used for whole-system verification when no legacy component
+  is involved;
+* :meth:`Architecture.context_for` — given a legacy placement, derive
+  the *context*: the composition of every modeled behavior that
+  interacts with it (plus connectors), the signal sets the legacy must
+  serve, and the role protocols it is supposed to refine.  This is the
+  ``M_a^c`` handed to the iterative behavior synthesis (§3, Figure 2
+  step 1: "derive a behavioral model of the context from the existing
+  Mechatronic UML models").
+
+Multiple instances of the same pattern are kept apart by renaming the
+pattern's message signals with an ``@instance`` suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.automaton import Automaton
+from ..automata.composition import compose_all
+from ..automata.transform import hide, rename_signals
+from ..errors import ModelError
+from .component import Component
+from .pattern import CoordinationPattern
+
+__all__ = ["Architecture", "PatternInstance", "ContextExtraction"]
+
+
+def _instance_rename(automaton: Automaton, suffix: str | None) -> Automaton:
+    if suffix is None:
+        return automaton
+    mapping = {signal: f"{signal}@{suffix}" for signal in automaton.inputs | automaton.outputs}
+    return rename_signals(automaton, mapping)
+
+
+@dataclass(frozen=True)
+class PatternInstance:
+    """One instantiation of a pattern between concrete component ports.
+
+    ``bindings`` maps each role name to ``(component_name, port_name)``;
+    for a legacy placement the port name is ``None`` (its behavior is
+    unknown — exactly what the synthesis will learn).
+    """
+
+    name: str
+    pattern: CoordinationPattern
+    bindings: dict[str, tuple[str, str | None]]
+    connector: Automaton | None = None
+    rename_suffix: str | None = None
+
+    def role_behavior(self, role_name: str) -> Automaton:
+        """The role protocol, renamed for this instance."""
+        return _instance_rename(self.pattern.role(role_name).behavior, self.rename_suffix)
+
+
+@dataclass(frozen=True)
+class ContextExtraction:
+    """Everything the synthesis needs to know about a legacy placement."""
+
+    legacy_name: str
+    context: Automaton
+    legacy_inputs: frozenset[str]
+    legacy_outputs: frozenset[str]
+    role_protocols: dict[str, Automaton]
+    constraints: tuple
+
+
+class Architecture:
+    """A set of placed components plus pattern instances between them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._legacy: set[str] = set()
+        self._instances: list[PatternInstance] = []
+
+    # --------------------------------------------------------------- placing
+
+    def add_component(self, component: Component) -> Component:
+        if component.name in self._components or component.name in self._legacy:
+            raise ModelError(f"architecture {self.name!r} already places {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def add_legacy(self, name: str) -> str:
+        """Place a legacy component: interface known, behavior unknown."""
+        if name in self._components or name in self._legacy:
+            raise ModelError(f"architecture {self.name!r} already places {name!r}")
+        self._legacy.add(name)
+        return name
+
+    def instantiate(
+        self,
+        pattern: CoordinationPattern,
+        bindings: dict[str, tuple[str, str | None]],
+        *,
+        name: str | None = None,
+        connector: Automaton | None = None,
+        rename_suffix: str | None = None,
+    ) -> PatternInstance:
+        """Bind a pattern's roles to placed components' ports."""
+        instance_name = name if name is not None else f"{pattern.name}#{len(self._instances)}"
+        for role in pattern.roles:
+            if role.name not in bindings:
+                raise ModelError(f"instance {instance_name!r} does not bind role {role.name!r}")
+            component_name, port_name = bindings[role.name]
+            if component_name in self._legacy:
+                if port_name is not None:
+                    raise ModelError(
+                        f"legacy placement {component_name!r} cannot name a port "
+                        f"(its behavior is unknown)"
+                    )
+                continue
+            if component_name not in self._components:
+                raise ModelError(f"instance {instance_name!r} binds unknown component {component_name!r}")
+            if port_name is None:
+                raise ModelError(
+                    f"modeled component {component_name!r} needs an explicit port for role {role.name!r}"
+                )
+            port = self._components[component_name].port(port_name)
+            if port.role.name != role.name:
+                raise ModelError(
+                    f"port {component_name}.{port_name} realizes role {port.role.name!r}, "
+                    f"not {role.name!r}"
+                )
+        instance = PatternInstance(instance_name, pattern, dict(bindings), connector, rename_suffix)
+        self._instances.append(instance)
+        return instance
+
+    # ------------------------------------------------------------ extraction
+
+    @property
+    def components(self) -> dict[str, Component]:
+        return dict(self._components)
+
+    @property
+    def legacy_placements(self) -> frozenset[str]:
+        return frozenset(self._legacy)
+
+    @property
+    def instances(self) -> tuple[PatternInstance, ...]:
+        return tuple(self._instances)
+
+    def _modeled_automata(self, *, exclude: str | None = None) -> list[Automaton]:
+        automata: list[Automaton] = []
+        for instance in self._instances:
+            if instance.connector is not None:
+                automata.append(_instance_rename(instance.connector, instance.rename_suffix))
+            for role_name, (component_name, port_name) in sorted(instance.bindings.items()):
+                if component_name in self._legacy or component_name == exclude:
+                    continue
+                port = self._components[component_name].port(port_name)
+                behavior = _instance_rename(port.behavior, instance.rename_suffix)
+                automata.append(behavior.replace(name=f"{component_name}.{port_name}@{instance.name}"))
+        return automata
+
+    def compose_known(self, *, name: str | None = None) -> Automaton:
+        """Compose every modeled behavior (connectors included)."""
+        automata = self._modeled_automata()
+        if not automata:
+            raise ModelError(f"architecture {self.name!r} has no modeled behavior to compose")
+        if len(automata) == 1:
+            return automata[0]
+        return compose_all(automata, name=name if name is not None else self.name)
+
+    def context_for(self, legacy_name: str) -> ContextExtraction:
+        """The context model ``M_a^c`` for one legacy placement.
+
+        Composes every modeled port behavior and connector of the
+        instances that involve the legacy component, and reports the
+        legacy-facing signal sets (the union over the roles the legacy
+        is bound to) plus those role protocols.
+        """
+        if legacy_name not in self._legacy:
+            raise ModelError(f"{legacy_name!r} is not a legacy placement of {self.name!r}")
+        involved = [
+            instance
+            for instance in self._instances
+            if any(component == legacy_name for component, _ in instance.bindings.values())
+        ]
+        if not involved:
+            raise ModelError(f"legacy placement {legacy_name!r} participates in no pattern instance")
+
+        context_parts: list[Automaton] = []
+        legacy_inputs: set[str] = set()
+        legacy_outputs: set[str] = set()
+        role_protocols: dict[str, Automaton] = {}
+        constraints = []
+        for instance in involved:
+            constraints.append(instance.pattern.constraint)
+            if instance.connector is not None:
+                context_parts.append(_instance_rename(instance.connector, instance.rename_suffix))
+            for role_name, (component_name, port_name) in sorted(instance.bindings.items()):
+                if component_name == legacy_name:
+                    protocol = instance.role_behavior(role_name)
+                    role_protocols[f"{instance.name}:{role_name}"] = protocol
+                    legacy_inputs |= protocol.inputs
+                    legacy_outputs |= protocol.outputs
+                else:
+                    port = self._components[component_name].port(port_name)
+                    behavior = _instance_rename(port.behavior, instance.rename_suffix)
+                    context_parts.append(
+                        behavior.replace(name=f"{component_name}.{port_name}@{instance.name}")
+                    )
+        if not context_parts:
+            raise ModelError(f"legacy placement {legacy_name!r} has an empty context")
+        if len(context_parts) == 1:
+            context = context_parts[0]
+        else:
+            context = compose_all(context_parts, name=f"context({legacy_name})")
+            # Internalize context-internal exchanges (e.g. role↔connector
+            # traffic) so that the strict Definition 3 matching against
+            # the legacy closure only constrains legacy-facing signals.
+            internal = (context.inputs & context.outputs) - frozenset(
+                legacy_inputs
+            ) - frozenset(legacy_outputs)
+            if internal:
+                context = hide(context, internal, name=f"context({legacy_name})")
+        return ContextExtraction(
+            legacy_name=legacy_name,
+            context=context,
+            legacy_inputs=frozenset(legacy_inputs),
+            legacy_outputs=frozenset(legacy_outputs),
+            role_protocols=role_protocols,
+            constraints=tuple(constraints),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture(name={self.name!r}, components={sorted(self._components)!r}, "
+            f"legacy={sorted(self._legacy)!r}, instances={len(self._instances)})"
+        )

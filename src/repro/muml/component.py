@@ -1,0 +1,152 @@
+"""Components, ports, and role-refinement checking (§1 "Modeling").
+
+A component realizes one port per pattern role it participates in; each
+port's behavior must *refine* the role protocol — it may neither add
+behavior the role forbids nor block behavior the role guarantees
+(Definition 4) — and must respect the role invariant (which follows
+from refinement plus the role satisfying its own invariant, Lemma 5's
+argument, but is checked directly here as well for better diagnostics).
+
+A component's overall behavior is the parallel composition of its port
+behaviors, optionally coordinated by an internal statechart; this is
+what the architecture layer composes into the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.automaton import Automaton
+from ..automata.composition import compose_all
+from ..automata.refinement import refinement_counterexample
+from ..automata.runs import Run
+from ..errors import ModelError
+from ..logic.checker import ModelChecker
+from ..rtsc.model import Statechart
+from ..rtsc.semantics import unfold
+from .pattern import Role
+
+__all__ = ["Port", "Component", "PortConformanceResult"]
+
+
+@dataclass(frozen=True)
+class PortConformanceResult:
+    """Outcome of checking one port against its role."""
+
+    port: str
+    role: str
+    refines_role: bool
+    respects_invariant: bool
+    refinement_witness: Run | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.refines_role and self.respects_invariant
+
+
+class Port:
+    """A component port: a named behavior refining a pattern role."""
+
+    def __init__(self, name: str, role: Role, behavior: "Automaton | Statechart"):
+        self.name = name
+        self.role = role
+        if isinstance(behavior, Statechart):
+            behavior = unfold(behavior)
+        self.behavior = behavior
+        if behavior.inputs != role.behavior.inputs or behavior.outputs != role.behavior.outputs:
+            raise ModelError(
+                f"port {name!r} has signals I={sorted(behavior.inputs)}/O={sorted(behavior.outputs)} "
+                f"but role {role.name!r} expects I={sorted(role.behavior.inputs)}/"
+                f"O={sorted(role.behavior.outputs)}"
+            )
+
+    def check_conformance(
+        self, *, contract_propositions: "frozenset[str] | None" = None
+    ) -> PortConformanceResult:
+        """Does the port refine its role and respect the role invariant?
+
+        Definition 4's label condition is evaluated over the *contract*
+        propositions — those a compositional constraint can actually
+        read (the role invariant's, plus any ``contract_propositions``
+        supplied, e.g. the pattern constraint's).  Structural labels
+        like per-leaf paths differ legitimately between a role protocol
+        and its refinement and must not fail the check.
+        """
+        contract: set[str] = set(contract_propositions or ())
+        if self.role.invariant is not None:
+            contract |= self.role.invariant.propositions()
+        if contract:
+            frozen = frozenset(contract)
+
+            def label_match(impl_labels: frozenset[str], spec_labels: frozenset[str]) -> bool:
+                return (impl_labels & frozen) == (spec_labels & frozen)
+
+        else:
+            def label_match(impl_labels: frozenset[str], spec_labels: frozenset[str]) -> bool:
+                return True
+
+        witness = refinement_counterexample(
+            self.behavior, self.role.behavior, label_match=label_match
+        )
+        respects = True
+        if self.role.invariant is not None:
+            respects = ModelChecker(self.behavior).holds(self.role.invariant)
+        return PortConformanceResult(
+            port=self.name,
+            role=self.role.name,
+            refines_role=witness is None,
+            respects_invariant=respects,
+            refinement_witness=witness,
+        )
+
+    def __repr__(self) -> str:
+        return f"Port(name={self.name!r}, role={self.role.name!r})"
+
+
+class Component:
+    """A component with named ports and optional internal coordination."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: "list[Port] | tuple[Port, ...]",
+        *,
+        internal: "Automaton | Statechart | None" = None,
+    ):
+        if not ports:
+            raise ModelError(f"component {name!r} needs at least one port")
+        port_names = [port.name for port in ports]
+        if len(set(port_names)) != len(port_names):
+            raise ModelError(f"component {name!r} has duplicate port names {port_names}")
+        self.name = name
+        self.ports = tuple(ports)
+        if isinstance(internal, Statechart):
+            internal = unfold(internal)
+        self.internal = internal
+
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise ModelError(f"component {self.name!r} has no port {name!r}")
+
+    def behavior(self) -> Automaton:
+        """The component behavior: ports (and internal chart) composed."""
+        automata = [port.behavior for port in self.ports]
+        if self.internal is not None:
+            automata.append(self.internal)
+        if len(automata) == 1:
+            return automata[0].replace(name=self.name)
+        return compose_all(automata, name=self.name)
+
+    def check_conformance(
+        self, *, contract_propositions: "frozenset[str] | None" = None
+    ) -> dict[str, PortConformanceResult]:
+        """Conformance results for every port, keyed by port name."""
+        return {
+            port.name: port.check_conformance(contract_propositions=contract_propositions)
+            for port in self.ports
+        }
+
+    def __repr__(self) -> str:
+        return f"Component(name={self.name!r}, ports={[p.name for p in self.ports]!r})"

@@ -1,0 +1,178 @@
+"""Connector (channel) automata with QoS characteristics (§2.2).
+
+The behavior of a pattern connector "is described by another real-time
+statechart that is used to model channel delay and reliability".  This
+module builds such channel automata for one direction of a connector;
+a bidirectional connector is the composition of two directed channels.
+
+Naming convention: the channel consumes the sender-side signal ``m``
+and produces the receiver-side signal ``delivered(m)`` (``m`` suffixed
+with ``"~"``), which keeps the sender, channel, and receiver pairwise
+composable.  :func:`delivered` is what architecture assembly uses to
+rename the receiving role's inputs.
+
+Provided QoS variants:
+
+* :func:`unit_delay_channel` — exactly one time unit of latency,
+  capacity one (a new message is refused while one is in flight);
+* :func:`bounded_delay_channel` — nondeterministic latency within
+  ``[low, high]`` time units, modeling jitter;
+* :func:`lossy_channel` — like ``unit_delay``, but a message in flight
+  may be nondeterministically dropped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..automata.automaton import Automaton, Transition
+from ..automata.interaction import Interaction
+from ..errors import ModelError
+from ..rtsc.clocks import ClockConstraint
+from ..rtsc.model import Statechart
+from ..rtsc.semantics import unfold
+
+__all__ = [
+    "delivered",
+    "unit_delay_channel",
+    "bounded_delay_channel",
+    "lossy_channel",
+    "fifo_channel",
+]
+
+_DELIVERED_SUFFIX = "~"
+
+
+def delivered(message: str) -> str:
+    """The receiver-side signal name for a channel-forwarded message."""
+    return message + _DELIVERED_SUFFIX
+
+
+def _check_messages(messages: Iterable[str]) -> tuple[str, ...]:
+    messages = tuple(messages)
+    if not messages:
+        raise ModelError("a channel needs at least one message")
+    for message in messages:
+        if message.endswith(_DELIVERED_SUFFIX):
+            raise ModelError(
+                f"message {message!r} already carries the delivered suffix {_DELIVERED_SUFFIX!r}"
+            )
+    return messages
+
+
+def unit_delay_channel(messages: Iterable[str], *, name: str = "channel") -> Automaton:
+    """A capacity-one channel delivering each message after one time unit."""
+    messages = _check_messages(messages)
+    transitions = [Transition("empty", Interaction(), "empty")]
+    for message in messages:
+        holding = f"holding({message})"
+        transitions.append(Transition("empty", Interaction([message], None), holding))
+        transitions.append(Transition(holding, Interaction(None, [delivered(message)]), "empty"))
+    return Automaton(
+        inputs=messages,
+        outputs=[delivered(m) for m in messages],
+        transitions=transitions,
+        initial=["empty"],
+        name=name,
+    )
+
+
+def bounded_delay_channel(
+    messages: Iterable[str], *, low: int = 1, high: int = 2, name: str = "channel"
+) -> Automaton:
+    """A channel with nondeterministic latency in ``[low, high]`` units.
+
+    Built as a Real-Time Statechart with one clock measuring the time in
+    flight: delivery is enabled from ``low`` on and forced (location
+    invariant) at ``high``.
+    """
+    if low < 1 or high < low:
+        raise ModelError(f"invalid delay bounds [{low},{high}]")
+    messages = _check_messages(messages)
+    chart = Statechart(
+        name,
+        inputs=set(messages),
+        outputs={delivered(m) for m in messages},
+        clocks={"t"},
+    )
+    empty = chart.location("empty", initial=True)
+    for message in messages:
+        holding = chart.location(
+            f"holding({message})", invariant=ClockConstraint.at_most("t", high - 1)
+        )
+        chart.transition(empty, holding, trigger=message, resets={"t"})
+        chart.transition(
+            holding,
+            empty,
+            raised=delivered(message),
+            guard=ClockConstraint.at_least("t", low - 1),
+        )
+    return unfold(chart, name=name)
+
+
+def fifo_channel(
+    messages: Iterable[str], *, capacity: int = 2, name: str = "channel"
+) -> Automaton:
+    """An order-preserving event queue with bounded capacity (§2.2).
+
+    "The asynchronous event semantics of statecharts is modeled by
+    explicitly defined event queues (channels) given in the form of
+    additional automata."  Each period the queue either idles, accepts
+    one message (refused when full — the back-pressure that makes queue
+    overflows visible as deadlocks), delivers the oldest message, or
+    does both at once (accepting while delivering, so a full pipeline
+    sustains one message per period).
+    """
+    if capacity < 1:
+        raise ModelError("fifo capacity must be positive")
+    messages = _check_messages(messages)
+
+    def state_name(queue: tuple[str, ...]) -> str:
+        return "[" + ",".join(queue) + "]"
+
+    transitions: list[Transition] = []
+    seen: set[tuple[str, ...]] = set()
+    frontier: list[tuple[str, ...]] = [()]
+    seen.add(())
+    while frontier:
+        queue = frontier.pop()
+        source = state_name(queue)
+
+        def visit(target_queue: tuple[str, ...], interaction: Interaction) -> None:
+            transitions.append(Transition(source, interaction, state_name(target_queue)))
+            if target_queue not in seen:
+                seen.add(target_queue)
+                frontier.append(target_queue)
+
+        visit(queue, Interaction())  # idle
+        if len(queue) < capacity:
+            for message in messages:
+                visit(queue + (message,), Interaction([message], None))
+        if queue:
+            head, rest = queue[0], queue[1:]
+            visit(rest, Interaction(None, [delivered(head)]))
+            if len(rest) + 1 <= capacity:
+                for message in messages:
+                    visit(
+                        rest + (message,),
+                        Interaction([message], [delivered(head)]),
+                    )
+    return Automaton(
+        states=[state_name(queue) for queue in seen],
+        inputs=messages,
+        outputs=[delivered(m) for m in messages],
+        transitions=transitions,
+        initial=[state_name(())],
+        name=name,
+    )
+
+
+def lossy_channel(messages: Iterable[str], *, name: str = "channel") -> Automaton:
+    """A unit-delay channel that may silently drop a message in flight."""
+    base = unit_delay_channel(messages, name=name)
+    drops = [
+        Transition(state, Interaction(), "empty")
+        for state in base.states
+        if isinstance(state, str) and state.startswith("holding(")
+    ]
+    return base.replace(transitions=list(base.transitions) + drops)

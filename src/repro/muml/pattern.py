@@ -1,0 +1,181 @@
+"""Coordination patterns: roles, invariants, and pattern constraints (§1).
+
+A coordination pattern describes the communication between several
+*roles* connected through ports.  Each role's behavior is a Real-Time
+Statechart (or directly an automaton); role behavior may be restricted
+by a *role invariant* and the overall pattern by a *pattern constraint*,
+both given as (timed) ACTL formulas — together with the known
+communication partners this is the paper's *context information*.
+
+The running example is the ``DistanceCoordination`` pattern with roles
+``frontRole``/``rearRole``, role invariants about braking, and the
+pattern constraint ``A[] not (rearRole.convoy and frontRole.noConvoy)``
+(Figure 1); see :mod:`repro.railcab` for its full construction.
+
+:meth:`CoordinationPattern.verify` performs the compositional
+verification of [24]: each role invariant is checked against the role's
+own behavior, and the pattern constraint together with deadlock freedom
+is checked against the composition of the roles over the connector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata.automaton import Automaton
+from ..automata.composition import compose, compose_all
+from ..automata.runs import Run
+from ..errors import ModelError
+from ..logic.checker import CheckResult, ModelChecker
+from ..logic.compositional import assert_compositional
+from ..logic.counterexample import counterexample
+from ..logic.formulas import DEADLOCK_FREE, Formula
+from ..rtsc.model import Statechart
+from ..rtsc.semantics import unfold
+
+__all__ = ["Role", "CoordinationPattern", "PatternVerificationResult"]
+
+
+def _as_automaton(behavior: "Automaton | Statechart") -> Automaton:
+    if isinstance(behavior, Statechart):
+        return unfold(behavior)
+    if isinstance(behavior, Automaton):
+        return behavior
+    raise ModelError(f"expected an Automaton or Statechart, got {behavior!r}")
+
+
+class Role:
+    """One communication partner of a pattern.
+
+    Parameters
+    ----------
+    name:
+        The role name (``frontRole``, ``rearRole``).
+    behavior:
+        The role protocol as a statechart or automaton.
+    invariant:
+        Optional role invariant (an ACTL formula over the role's own
+        propositions) that any refinement of the role must respect.
+    """
+
+    def __init__(self, name: str, behavior: "Automaton | Statechart", invariant: Formula | None = None):
+        self.name = name
+        self.behavior = _as_automaton(behavior)
+        self.invariant = invariant
+        if invariant is not None:
+            assert_compositional(invariant)
+
+    def __repr__(self) -> str:
+        return f"Role(name={self.name!r}, behavior={self.behavior!r})"
+
+
+@dataclass(frozen=True)
+class PatternVerificationResult:
+    """Outcome of verifying a coordination pattern."""
+
+    pattern: str
+    constraint_result: CheckResult
+    deadlock_result: CheckResult
+    invariant_results: dict[str, CheckResult]
+    composition: Automaton
+    counterexample_run: Run | None = None
+    invariant_counterexamples: dict[str, Run] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.constraint_result.holds
+            and self.deadlock_result.holds
+            and all(result.holds for result in self.invariant_results.values())
+        )
+
+
+class CoordinationPattern:
+    """A reusable coordination pattern with roles, connector, constraint.
+
+    ``connector`` is either ``None`` — the roles communicate directly
+    and synchronously, as in the paper's running example where sending
+    and receiving happen within the same time step — or an automaton
+    (typically built by :mod:`repro.muml.connector`) modeling channel
+    delay and reliability.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        roles: "list[Role] | tuple[Role, ...]",
+        *,
+        constraint: Formula,
+        connector: Automaton | None = None,
+    ):
+        if len(roles) < 2:
+            raise ModelError(f"pattern {name!r} needs at least two roles")
+        names = [role.name for role in roles]
+        if len(set(names)) != len(names):
+            raise ModelError(f"pattern {name!r} has duplicate role names {names}")
+        assert_compositional(constraint)
+        self.name = name
+        self.roles = tuple(roles)
+        self.constraint = constraint
+        self.connector = connector
+
+    def role(self, name: str) -> Role:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise ModelError(f"pattern {self.name!r} has no role {name!r}")
+
+    def composition(self) -> Automaton:
+        """Roles (and connector, if any) composed into the closed pattern."""
+        automata = [role.behavior for role in self.roles]
+        if self.connector is not None:
+            automata.insert(1, self.connector)
+        if len(automata) == 2:
+            return compose(automata[0], automata[1], name=self.name)
+        return compose_all(automata, name=self.name)
+
+    def verify(self) -> PatternVerificationResult:
+        """Compositional pattern verification per [24].
+
+        Checks, in this order: every role invariant against the role's
+        own behavior (the roles then *guarantee* these invariants to any
+        correct refinement), and the pattern constraint plus deadlock
+        freedom against the closed composition.
+        """
+        invariant_results: dict[str, CheckResult] = {}
+        invariant_counterexamples: dict[str, Run] = {}
+        for role in self.roles:
+            if role.invariant is None:
+                continue
+            checker = ModelChecker(role.behavior)
+            result = checker.check(role.invariant)
+            invariant_results[role.name] = result
+            if not result.holds:
+                witness = counterexample(role.behavior, role.invariant, checker=checker)
+                if witness is not None:
+                    invariant_counterexamples[role.name] = witness
+
+        composition = self.composition()
+        checker = ModelChecker(composition)
+        constraint_result = checker.check(self.constraint)
+        deadlock_result = checker.check(DEADLOCK_FREE)
+        witness_run: Run | None = None
+        if not constraint_result.holds:
+            witness_run = counterexample(composition, self.constraint, checker=checker)
+        elif not deadlock_result.holds:
+            witness_run = counterexample(composition, DEADLOCK_FREE, checker=checker)
+        return PatternVerificationResult(
+            pattern=self.name,
+            constraint_result=constraint_result,
+            deadlock_result=deadlock_result,
+            invariant_results=invariant_results,
+            composition=composition,
+            counterexample_run=witness_run,
+            invariant_counterexamples=invariant_counterexamples,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CoordinationPattern(name={self.name!r}, "
+            f"roles={[role.name for role in self.roles]!r})"
+        )

@@ -1,0 +1,142 @@
+"""Whole-architecture verification: the modeled part of the system.
+
+Before legacy integration even starts, Mechatronic UML verifies the
+modeled part compositionally ([24]): every pattern in isolation, every
+port against its role, and — cheaply, because compositionality already
+guarantees the pattern constraints — any additional system-level
+properties against the composition of the modeled components.
+
+:func:`verify_architecture` bundles these checks into one report; the
+integration workflow is then: fix all modeled-part findings first, and
+only afterwards run the iterative synthesis per legacy placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata.automaton import Automaton
+from ..automata.runs import Run
+from ..logic.checker import CheckResult, ModelChecker
+from ..logic.compositional import assert_compositional
+from ..logic.counterexample import counterexample
+from ..logic.formulas import DEADLOCK_FREE
+from .architecture import Architecture
+from .component import PortConformanceResult
+from .pattern import PatternVerificationResult
+
+__all__ = ["ArchitectureVerificationReport", "verify_architecture"]
+
+
+@dataclass(frozen=True)
+class ArchitectureVerificationReport:
+    """All findings of one whole-architecture verification pass."""
+
+    architecture: str
+    pattern_results: dict[str, PatternVerificationResult]
+    port_results: dict[str, PortConformanceResult]
+    system_results: dict[str, CheckResult]
+    system_deadlock: CheckResult | None
+    system_counterexamples: dict[str, Run] = field(default_factory=dict)
+    skipped_system_check: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(result.ok for result in self.pattern_results.values())
+            and all(result.ok for result in self.port_results.values())
+            and all(result.holds for result in self.system_results.values())
+            and (self.system_deadlock is None or self.system_deadlock.holds)
+        )
+
+    def findings(self) -> list[str]:
+        """Human-readable list of everything that failed."""
+        problems: list[str] = []
+        for name, result in sorted(self.pattern_results.items()):
+            if not result.constraint_result.holds:
+                problems.append(f"pattern {name!r}: constraint violated")
+            if not result.deadlock_result.holds:
+                problems.append(f"pattern {name!r}: composition can deadlock")
+            for role, check in sorted(result.invariant_results.items()):
+                if not check.holds:
+                    problems.append(f"pattern {name!r}: role invariant of {role!r} violated")
+        for name, result in sorted(self.port_results.items()):
+            if not result.refines_role:
+                problems.append(f"port {name!r} does not refine role {result.role!r}")
+            if not result.respects_invariant:
+                problems.append(f"port {name!r} violates the role invariant of {result.role!r}")
+        for text, result in sorted(self.system_results.items()):
+            if not result.holds:
+                problems.append(f"system property {text} violated")
+        if self.system_deadlock is not None and not self.system_deadlock.holds:
+            problems.append("the modeled system can deadlock")
+        return problems
+
+
+def verify_architecture(
+    architecture: Architecture,
+    *,
+    system_properties: "list[Formula] | tuple[Formula, ...]" = (),
+    check_system_deadlock: bool | None = None,
+) -> ArchitectureVerificationReport:
+    """Verify every modeled element of the architecture.
+
+    ``system_properties`` are checked against the composition of all
+    modeled behavior; this is skipped automatically (and recorded in the
+    report) when the architecture contains legacy placements whose
+    behavior would be missing from the composition — those placements
+    are the synthesis loop's job, not this pass's.  ``check_system_deadlock``
+    defaults to the same rule.
+    """
+    pattern_results: dict[str, PatternVerificationResult] = {}
+    seen_patterns: set[int] = set()
+    for instance in architecture.instances:
+        if id(instance.pattern) in seen_patterns:
+            continue
+        seen_patterns.add(id(instance.pattern))
+        pattern_results[instance.pattern.name] = instance.pattern.verify()
+
+    port_results: dict[str, PortConformanceResult] = {}
+    for name, component in sorted(architecture.components.items()):
+        contract: set[str] = set()
+        for instance in architecture.instances:
+            contract |= set(instance.pattern.constraint.propositions())
+        for port_name, result in component.check_conformance(
+            contract_propositions=frozenset(contract)
+        ).items():
+            port_results[f"{name}.{port_name}"] = result
+
+    has_legacy = bool(architecture.legacy_placements)
+    if check_system_deadlock is None:
+        check_system_deadlock = not has_legacy
+
+    system_results: dict[str, CheckResult] = {}
+    system_counterexamples: dict[str, Run] = {}
+    system_deadlock: CheckResult | None = None
+    skipped = False
+    if system_properties or check_system_deadlock:
+        if has_legacy and system_properties:
+            skipped = True
+        else:
+            composed: Automaton = architecture.compose_known()
+            checker = ModelChecker(composed)
+            for formula in system_properties:
+                assert_compositional(formula)
+                result = checker.check(formula)
+                system_results[str(formula)] = result
+                if not result.holds:
+                    witness = counterexample(composed, formula, checker=checker)
+                    if witness is not None:
+                        system_counterexamples[str(formula)] = witness
+            if check_system_deadlock:
+                system_deadlock = checker.check(DEADLOCK_FREE)
+
+    return ArchitectureVerificationReport(
+        architecture=architecture.name,
+        pattern_results=pattern_results,
+        port_results=port_results,
+        system_results=system_results,
+        system_deadlock=system_deadlock,
+        system_counterexamples=system_counterexamples,
+        skipped_system_check=skipped,
+    )

@@ -1,0 +1,163 @@
+"""Saving and loading models: learned knowledge survives sessions.
+
+Integration projects run the synthesis many times — against new
+properties, new context versions, or after a legacy component update.
+The expensive artifact is the *learned* incomplete automaton; this
+module serialises automata and incomplete automata to a stable JSON
+document so a later run can warm-start from it (see
+:class:`repro.synthesis.IntegrationSynthesizer`'s ``initial_knowledge``
+parameter).
+
+Only string states are serialised losslessly; other hashable states are
+stringified on save (fine for learned models, whose states are the
+monitored state names).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .automata.automaton import Automaton, Transition
+from .automata.incomplete import IncompleteAutomaton, Refusal
+from .automata.interaction import Interaction
+from .errors import ModelError
+
+__all__ = [
+    "automaton_to_dict",
+    "automaton_from_dict",
+    "incomplete_to_dict",
+    "incomplete_from_dict",
+    "save_model",
+    "load_model",
+]
+
+_FORMAT = "repro/model"
+_VERSION = 1
+
+
+def _interaction_to_list(interaction: Interaction) -> list[list[str]]:
+    return [sorted(interaction.inputs), sorted(interaction.outputs)]
+
+
+def _interaction_from_list(payload: list) -> Interaction:
+    inputs, outputs = payload
+    return Interaction(inputs, outputs)
+
+
+def _state_key(state: Any) -> str:
+    return state if isinstance(state, str) else repr(state)
+
+
+def automaton_to_dict(automaton: Automaton) -> dict:
+    """A JSON-serialisable description of an automaton."""
+    return {
+        "name": automaton.name,
+        "inputs": sorted(automaton.inputs),
+        "outputs": sorted(automaton.outputs),
+        "states": sorted(_state_key(s) for s in automaton.states),
+        "initial": sorted(_state_key(s) for s in automaton.initial),
+        "transitions": [
+            [
+                _state_key(t.source),
+                _interaction_to_list(t.interaction),
+                _state_key(t.target),
+            ]
+            for t in sorted(
+                automaton.transitions,
+                key=lambda t: (_state_key(t.source), t.interaction.sort_key(), _state_key(t.target)),
+            )
+        ],
+        "labels": {
+            _state_key(state): sorted(props)
+            for state, props in sorted(automaton.label_map.items(), key=lambda kv: _state_key(kv[0]))
+            if props
+        },
+    }
+
+
+def automaton_from_dict(payload: dict) -> Automaton:
+    """Rebuild an automaton from :func:`automaton_to_dict` output."""
+    try:
+        return Automaton(
+            states=payload["states"],
+            inputs=payload["inputs"],
+            outputs=payload["outputs"],
+            transitions=[
+                Transition(source, _interaction_from_list(interaction), target)
+                for source, interaction, target in payload["transitions"]
+            ],
+            initial=payload["initial"],
+            labels={state: props for state, props in payload.get("labels", {}).items()},
+            name=payload.get("name", "M"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ModelError(f"malformed automaton document: {error}") from error
+
+
+def incomplete_to_dict(model: IncompleteAutomaton) -> dict:
+    """A JSON-serialisable description of an incomplete automaton."""
+    document = automaton_to_dict(model.automaton)
+    document["refusals"] = [
+        [_state_key(refusal.state), _interaction_to_list(refusal.interaction)]
+        for refusal in sorted(
+            model.refusals, key=lambda r: (_state_key(r.state), r.interaction.sort_key())
+        )
+    ]
+    return document
+
+
+def incomplete_from_dict(payload: dict) -> IncompleteAutomaton:
+    """Rebuild an incomplete automaton from its document."""
+    automaton = automaton_from_dict(payload)
+    try:
+        refusals = [
+            Refusal(state, _interaction_from_list(interaction))
+            for state, interaction in payload.get("refusals", [])
+        ]
+    except (TypeError, ValueError) as error:
+        raise ModelError(f"malformed refusal list: {error}") from error
+    return IncompleteAutomaton(
+        states=automaton.states,
+        inputs=automaton.inputs,
+        outputs=automaton.outputs,
+        transitions=automaton.transitions,
+        refusals=refusals,
+        initial=automaton.initial,
+        labels=automaton.label_map,
+        name=automaton.name,
+    )
+
+
+def save_model(model: "Automaton | IncompleteAutomaton", path) -> None:
+    """Write a model to ``path`` as a versioned JSON document."""
+    if isinstance(model, IncompleteAutomaton):
+        body = incomplete_to_dict(model)
+        kind = "incomplete-automaton"
+    elif isinstance(model, Automaton):
+        body = automaton_to_dict(model)
+        kind = "automaton"
+    else:
+        raise ModelError(f"cannot save {model!r}: not an automaton")
+    document = {"format": _FORMAT, "version": _VERSION, "kind": kind, "model": body}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_model(path) -> "Automaton | IncompleteAutomaton":
+    """Read a model previously written by :func:`save_model`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise ModelError(f"{path} is not a repro model document")
+    if document.get("version") != _VERSION:
+        raise ModelError(
+            f"{path} has unsupported version {document.get('version')} (expected {_VERSION})"
+        )
+    body = document.get("model", {})
+    if document.get("kind") == "incomplete-automaton":
+        return incomplete_from_dict(body)
+    if document.get("kind") == "automaton":
+        return automaton_from_dict(body)
+    raise ModelError(f"{path} has unknown model kind {document.get('kind')!r}")

@@ -1,0 +1,332 @@
+"""The RailCab running example: DistanceCoordination and the shuttles.
+
+This module builds the paper's application example (§1):
+
+* the ``DistanceCoordination`` coordination pattern (Figure 1) with its
+  ``frontRole``/``rearRole`` Real-Time Statecharts, role invariants
+  about braking force, and the pattern constraint
+  ``A[] not (rearRole.convoy and frontRole.noConvoy)``;
+* the context automaton of Figure 5 (the front role's behavior);
+* executable legacy rear shuttles: a *correct* implementation and the
+  *faulty* one of Figure 6 / Listing 1.3 that enters convoy mode
+  immediately upon proposing, ignoring the rejection.
+
+Message alphabet (rear shuttle's perspective):
+
+=====================  =========  =====================================
+message                direction  meaning
+=====================  =========  =====================================
+convoyProposal         out        ask the front shuttle to form a convoy
+convoyProposalRejected in         front declines the proposal
+startConvoy            in         front accepts; convoy begins
+breakConvoyProposal    out        ask to dissolve the convoy
+breakConvoyAccepted    in         front agrees; convoy ends
+breakConvoyRejected    in         front insists on keeping the convoy
+=====================  =========  =====================================
+"""
+
+from __future__ import annotations
+
+from .automata.automaton import Automaton
+from .legacy.component import LegacyComponent
+from .logic.formulas import Formula
+from .logic.parser import parse
+from .muml.pattern import CoordinationPattern, Role
+from .rtsc.model import Statechart
+from .rtsc.semantics import unfold
+
+__all__ = [
+    "REAR_TO_FRONT",
+    "FRONT_TO_REAR",
+    "PATTERN_CONSTRAINT",
+    "FRONT_ROLE_INVARIANT",
+    "REAR_ROLE_INVARIANT",
+    "front_role_statechart",
+    "rear_role_statechart",
+    "front_role_automaton",
+    "rear_role_automaton",
+    "distance_coordination_pattern",
+    "rear_state_labeler",
+    "correct_rear_shuttle",
+    "overbuilt_rear_shuttle",
+    "faulty_rear_shuttle",
+    "front_state_labeler",
+    "correct_front_shuttle",
+    "forgetful_front_shuttle",
+]
+
+#: Messages sent by the rear shuttle to the front shuttle.
+REAR_TO_FRONT = frozenset({"convoyProposal", "breakConvoyProposal"})
+#: Messages sent by the front shuttle to the rear shuttle.
+FRONT_TO_REAR = frozenset(
+    {"convoyProposalRejected", "startConvoy", "breakConvoyAccepted", "breakConvoyRejected"}
+)
+
+#: The pattern constraint of Figure 1: the rear shuttle must never be in
+#: convoy mode (reduced distance) while the front shuttle is in
+#: no-convoy mode (free to brake with full force).
+PATTERN_CONSTRAINT: Formula = parse("A[] not (rearRole.convoy and frontRole.noConvoy)")
+
+#: Role invariants of Figure 1, expressed over braking propositions.
+FRONT_ROLE_INVARIANT: Formula = parse("AG (frontRole.convoy -> frontRole.reducedBraking)")
+REAR_ROLE_INVARIANT: Formula = parse("AG (rearRole.noConvoy -> rearRole.fullBraking)")
+
+
+def front_role_statechart() -> Statechart:
+    """The front role RTSC (the context behavior of Figure 5).
+
+    ``noConvoy::default`` waits for a proposal; ``noConvoy::answer``
+    nondeterministically rejects it or starts the convoy; ``convoy``
+    waits for a break proposal, which it nondeterministically accepts
+    or rejects.
+    """
+    chart = Statechart(
+        "frontRole",
+        inputs=REAR_TO_FRONT,
+        outputs=FRONT_TO_REAR,
+    )
+    no_convoy = chart.location("noConvoy", initial=True)
+    default = chart.location("default", parent=no_convoy, initial=True)
+    answer = chart.location("answer", parent=no_convoy)
+    convoy = chart.location("convoy")
+    convoy_default = chart.location("default", parent=convoy, initial=True)
+    convoy_break = chart.location("break", parent=convoy)
+    chart.transition(default, answer, trigger="convoyProposal")
+    chart.transition(answer, default, raised="convoyProposalRejected")
+    chart.transition(answer, convoy, raised="startConvoy")
+    chart.transition(convoy_default, convoy_break, trigger="breakConvoyProposal")
+    chart.transition(convoy_break, no_convoy, raised="breakConvoyAccepted")
+    chart.transition(convoy_break, convoy_default, raised="breakConvoyRejected")
+    return chart
+
+
+def rear_role_statechart() -> Statechart:
+    """The rear role RTSC: propose, await the answer, possibly break."""
+    chart = Statechart(
+        "rearRole",
+        inputs=FRONT_TO_REAR,
+        outputs=REAR_TO_FRONT,
+    )
+    no_convoy = chart.location("noConvoy", initial=True)
+    default = chart.location("default", parent=no_convoy, initial=True)
+    wait = chart.location("wait", parent=no_convoy)
+    convoy = chart.location("convoy")
+    convoy_default = chart.location("default", parent=convoy, initial=True)
+    convoy_wait = chart.location("wait", parent=convoy)
+    chart.transition(default, wait, raised="convoyProposal")
+    chart.transition(wait, default, trigger="convoyProposalRejected")
+    chart.transition(wait, convoy, trigger="startConvoy")
+    chart.transition(convoy_default, convoy_wait, raised="breakConvoyProposal")
+    chart.transition(convoy_wait, no_convoy, trigger="breakConvoyAccepted")
+    chart.transition(convoy_wait, convoy_default, trigger="breakConvoyRejected")
+    return chart
+
+
+def _braking_labeler(chart: Statechart, *, reduced_when: str):
+    """Add the Figure 1 braking propositions to the default labels."""
+    from .rtsc.semantics import default_labeler
+
+    base = default_labeler(chart)
+
+    def labeler(leaf):
+        labels = set(base(leaf))
+        top = leaf.ancestors()[-1].name
+        if top == reduced_when:
+            labels.add(f"{chart.name}.reducedBraking")
+        else:
+            labels.add(f"{chart.name}.fullBraking")
+        return frozenset(labels)
+
+    return labeler
+
+
+def front_role_automaton() -> Automaton:
+    """Figure 5's context automaton (front role unfolded, with labels)."""
+    chart = front_role_statechart()
+    return unfold(chart, labeler=_braking_labeler(chart, reduced_when="convoy"))
+
+
+def rear_role_automaton() -> Automaton:
+    """The rear role protocol unfolded, with braking labels."""
+    chart = rear_role_statechart()
+    return unfold(chart, labeler=_braking_labeler(chart, reduced_when="convoy"))
+
+
+def distance_coordination_pattern() -> CoordinationPattern:
+    """The DistanceCoordination pattern of Figure 1, ready to verify."""
+    front = Role("frontRole", front_role_automaton(), invariant=FRONT_ROLE_INVARIANT)
+    rear = Role("rearRole", rear_role_automaton(), invariant=REAR_ROLE_INVARIANT)
+    return CoordinationPattern(
+        "DistanceCoordination",
+        [front, rear],
+        constraint=PATTERN_CONSTRAINT,
+    )
+
+
+def rear_state_labeler(state) -> frozenset[str]:
+    """Map a monitored rear-shuttle state name to its propositions.
+
+    The synthesis labels learned states with ``rearRole.<top-region>``
+    so they participate in the pattern constraint: a monitored state
+    ``"convoy::wait"`` yields ``rearRole.convoy``.
+    """
+    top = str(state).split("::", 1)[0]
+    return frozenset({f"rearRole.{top}"})
+
+
+def correct_rear_shuttle(*, convoy_ticks: int = 1, breaks_convoy: bool = True) -> LegacyComponent:
+    """A correct (protocol-conforming) legacy rear shuttle.
+
+    The hidden behavior proposes a convoy whenever it is coasting alone,
+    retries after rejections, and — after ``convoy_ticks`` periods of
+    convoy driving — proposes to break the convoy again (if
+    ``breaks_convoy``); it obeys the front shuttle's answer either way.
+    The implementation is strongly deterministic, as §4.3 requires.
+    """
+    if convoy_ticks < 0:
+        raise ValueError("convoy_ticks must be non-negative")
+    transitions = [
+        ("noConvoy::default", (), ("convoyProposal",), "noConvoy::wait"),
+        ("noConvoy::wait", ("convoyProposalRejected",), (), "noConvoy::default"),
+        ("noConvoy::wait", ("startConvoy",), (), "convoy::drive0"),
+        ("noConvoy::wait", (), (), "noConvoy::wait"),
+    ]
+    for tick in range(convoy_ticks):
+        transitions.append((f"convoy::drive{tick}", (), (), f"convoy::drive{tick + 1}"))
+    last = f"convoy::drive{convoy_ticks}"
+    if breaks_convoy:
+        transitions.extend(
+            [
+                (last, (), ("breakConvoyProposal",), "convoy::wait"),
+                ("convoy::wait", ("breakConvoyAccepted",), (), "noConvoy::default"),
+                ("convoy::wait", ("breakConvoyRejected",), (), "convoy::drive0"),
+                ("convoy::wait", (), (), "convoy::wait"),
+            ]
+        )
+    else:
+        transitions.append((last, (), (), last))
+    hidden = Automaton(
+        inputs=FRONT_TO_REAR,
+        outputs=REAR_TO_FRONT,
+        transitions=transitions,
+        initial=["noConvoy::default"],
+        labels={},
+        name="rearShuttle(correct)",
+    )
+    return LegacyComponent(hidden, name="rearShuttle")
+
+
+def overbuilt_rear_shuttle(*, extra_states: int = 20, convoy_ticks: int = 1) -> LegacyComponent:
+    """A correct shuttle with a large context-irrelevant diagnostic mode.
+
+    Beyond the convoy protocol, the hidden implementation contains a
+    diagnostic chain of ``extra_states`` states, entered only by input
+    sequences the DistanceCoordination front role can never produce
+    (a ``breakConvoyAccepted`` while coasting alone).  The paper's
+    headline claim C2 is that the integration can be **proven without
+    learning these states**: the context restricts the interaction, so
+    the synthesis converges on the protocol part only, while L*-style
+    whole-machine learners must identify the diagnostic chain too.
+    """
+    if extra_states < 1:
+        raise ValueError("extra_states must be positive")
+    base = correct_rear_shuttle(convoy_ticks=convoy_ticks)
+    hidden = base._hidden  # construction-time access, not used by the learner
+    transitions = list(hidden.transitions)
+    transitions.append(
+        ("noConvoy::default", ("breakConvoyAccepted",), (), "diag0")
+    )
+    for index in range(extra_states - 1):
+        transitions.append((f"diag{index}", (), (), f"diag{index + 1}"))
+    transitions.append((f"diag{extra_states - 1}", ("startConvoy",), (), "noConvoy::default"))
+    transitions.append((f"diag{extra_states - 1}", (), (), f"diag{extra_states - 1}"))
+    rebuilt = Automaton(
+        inputs=FRONT_TO_REAR,
+        outputs=REAR_TO_FRONT,
+        transitions=transitions,
+        initial=["noConvoy::default"],
+        name="rearShuttle(overbuilt)",
+    )
+    return LegacyComponent(rebuilt, name="rearShuttle")
+
+
+def front_state_labeler(state) -> frozenset[str]:
+    """Map a monitored front-shuttle state name to its propositions."""
+    top = str(state).split("::", 1)[0]
+    return frozenset({f"frontRole.{top}"})
+
+
+def correct_front_shuttle() -> LegacyComponent:
+    """A correct legacy *front* shuttle (deterministic: always agrees).
+
+    Used for the paper's §7 multi-legacy extension: both convoy
+    controllers are third-party code.  This one accepts every convoy
+    proposal one period after receiving it and accepts break proposals
+    likewise; all mode switches happen in the same time unit as the
+    message exchange, so the pattern constraint is respected.
+    """
+    transitions = [
+        ("noConvoy::default", (), (), "noConvoy::default"),
+        ("noConvoy::default", ("convoyProposal",), (), "noConvoy::answer"),
+        ("noConvoy::answer", (), ("startConvoy",), "convoy::default"),
+        ("convoy::default", (), (), "convoy::default"),
+        ("convoy::default", ("breakConvoyProposal",), (), "convoy::break"),
+        ("convoy::break", (), ("breakConvoyAccepted",), "noConvoy::default"),
+    ]
+    hidden = Automaton(
+        inputs=REAR_TO_FRONT,
+        outputs=FRONT_TO_REAR,
+        transitions=transitions,
+        initial=["noConvoy::default"],
+        name="frontShuttle(correct)",
+    )
+    return LegacyComponent(hidden, name="frontShuttle")
+
+
+def forgetful_front_shuttle() -> LegacyComponent:
+    """A faulty legacy front shuttle: it *sends* ``startConvoy`` but
+    falls back into no-convoy mode, remaining free to brake with full
+    force while the rear shuttle closes the distance — a violation of
+    the pattern constraint that only manifests in the interplay of two
+    legacy components.
+    """
+    transitions = [
+        ("noConvoy::default", (), (), "noConvoy::default"),
+        ("noConvoy::default", ("convoyProposal",), (), "noConvoy::answer"),
+        ("noConvoy::answer", (), ("startConvoy",), "noConvoy::default"),
+    ]
+    hidden = Automaton(
+        inputs=REAR_TO_FRONT,
+        outputs=FRONT_TO_REAR,
+        transitions=transitions,
+        initial=["noConvoy::default"],
+        name="frontShuttle(forgetful)",
+    )
+    return LegacyComponent(hidden, name="frontShuttle")
+
+
+def faulty_rear_shuttle() -> LegacyComponent:
+    """The conflicting legacy shuttle of Figure 6 / Listing 1.3.
+
+    It sends ``convoyProposal`` and *immediately* switches to convoy
+    mode (reducing its distance) without awaiting the answer — and it
+    stays in convoy mode even when the proposal is rejected.  Composed
+    with a front shuttle that rejects, this violates the pattern
+    constraint: the rear drives in convoy mode while the front is free
+    to brake with full force.
+    """
+    transitions = [
+        ("noConvoy", (), ("convoyProposal",), "convoy"),
+        ("convoy", ("convoyProposalRejected",), (), "convoy"),
+        ("convoy", ("startConvoy",), (), "convoy"),
+        ("convoy", (), (), "convoy"),
+    ]
+    hidden = Automaton(
+        inputs=FRONT_TO_REAR,
+        outputs=REAR_TO_FRONT,
+        transitions=transitions,
+        initial=["noConvoy"],
+        labels={},
+        name="rearShuttle(faulty)",
+    )
+    return LegacyComponent(hidden, name="rearShuttle")

@@ -1,0 +1,29 @@
+"""Real-Time Statecharts: Mechatronic UML's behavioral notation.
+
+RTSC models role protocols, connectors, and component coordination;
+:func:`unfold` maps them to the discrete-time automata of §2 (one time
+unit per transition), on which composition, refinement, and model
+checking operate.
+"""
+
+from .clocks import Bound, ClockConstraint, ClockValuation, TRUE_CONSTRAINT, advance, reset
+from .model import Location, RTSCTransition, Statechart
+from .semantics import default_labeler, unfold, unfold_parallel
+from .validation import ValidationReport, validate
+
+__all__ = [
+    "Bound",
+    "ClockConstraint",
+    "ClockValuation",
+    "TRUE_CONSTRAINT",
+    "advance",
+    "reset",
+    "Location",
+    "RTSCTransition",
+    "Statechart",
+    "unfold",
+    "unfold_parallel",
+    "default_labeler",
+    "validate",
+    "ValidationReport",
+]

@@ -1,0 +1,148 @@
+"""Discrete clocks and clock constraints for Real-Time Statecharts.
+
+The paper's RTSC are mapped to finite state transition systems with a
+discrete time model (§2: "a discrete time model suffices … because the
+underlying infrastructure does not react infinitely fast").  A clock is
+a counter of elapsed time units; a :class:`ClockConstraint` is a
+conjunction of per-clock bounds ``lo ≤ c ≤ hi``.
+
+Clock valuations are plain tuples ordered by clock name so they can be
+embedded into automaton states; values are capped at one beyond the
+largest constant occurring in the statechart (the classic region
+argument: beyond that bound all valuations are equivalent).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import ModelError
+
+__all__ = ["Bound", "ClockConstraint", "ClockValuation", "TRUE_CONSTRAINT", "advance", "reset"]
+
+#: Per-clock bound ``(low, high)``; ``high`` of ``None`` means unbounded.
+Bound = tuple[int, int | None]
+
+#: A clock valuation: mapping from clock name to elapsed time units.
+ClockValuation = Mapping[str, int]
+
+
+class ClockConstraint:
+    """A conjunction of interval bounds on clocks.
+
+    ``ClockConstraint({"c": (2, 5)})`` is ``2 ≤ c ≤ 5``;
+    ``ClockConstraint({"c": (0, 3)})`` is ``c ≤ 3``;
+    ``ClockConstraint({})`` is ``true``.
+    """
+
+    __slots__ = ("bounds",)
+
+    def __init__(self, bounds: Mapping[str, Bound] | None = None):
+        normalized: dict[str, Bound] = {}
+        for clock, bound in (bounds or {}).items():
+            if not isinstance(clock, str) or not clock:
+                raise ModelError(f"clock names must be non-empty strings, got {clock!r}")
+            low, high = bound
+            if low < 0 or (high is not None and high < low):
+                raise ModelError(f"invalid bound {bound!r} for clock {clock!r}")
+            normalized[clock] = (low, high)
+        self.bounds = dict(sorted(normalized.items()))
+
+    @classmethod
+    def at_least(cls, clock: str, low: int) -> "ClockConstraint":
+        return cls({clock: (low, None)})
+
+    @classmethod
+    def at_most(cls, clock: str, high: int) -> "ClockConstraint":
+        return cls({clock: (0, high)})
+
+    @classmethod
+    def between(cls, clock: str, low: int, high: int) -> "ClockConstraint":
+        return cls({clock: (low, high)})
+
+    @property
+    def clocks(self) -> frozenset[str]:
+        return frozenset(self.bounds)
+
+    @property
+    def is_trivial(self) -> bool:
+        return not self.bounds
+
+    def satisfied_by(self, valuation: ClockValuation) -> bool:
+        for clock, (low, high) in self.bounds.items():
+            value = valuation.get(clock, 0)
+            if value < low:
+                return False
+            if high is not None and value > high:
+                return False
+        return True
+
+    def conjoin(self, other: "ClockConstraint") -> "ClockConstraint":
+        merged = dict(self.bounds)
+        for clock, (low, high) in other.bounds.items():
+            if clock in merged:
+                old_low, old_high = merged[clock]
+                new_low = max(old_low, low)
+                if old_high is None:
+                    new_high = high
+                elif high is None:
+                    new_high = old_high
+                else:
+                    new_high = min(old_high, high)
+                if new_high is not None and new_low > new_high:
+                    raise ModelError(
+                        f"conjunction of constraints on clock {clock!r} is unsatisfiable"
+                    )
+                merged[clock] = (new_low, new_high)
+            else:
+                merged[clock] = (low, high)
+        return ClockConstraint(merged)
+
+    def max_constant(self) -> int:
+        """The largest constant mentioned (0 for the trivial constraint)."""
+        constants = [low for low, _ in self.bounds.values()]
+        constants.extend(high for _, high in self.bounds.values() if high is not None)
+        return max(constants, default=0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClockConstraint):
+            return NotImplemented
+        return self.bounds == other.bounds
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.bounds.items()))
+
+    def __str__(self) -> str:
+        if not self.bounds:
+            return "true"
+        parts = []
+        for clock, (low, high) in self.bounds.items():
+            if high is None:
+                parts.append(f"{clock} >= {low}")
+            elif low == 0:
+                parts.append(f"{clock} <= {high}")
+            elif low == high:
+                parts.append(f"{clock} == {low}")
+            else:
+                parts.append(f"{low} <= {clock} <= {high}")
+        return " and ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ClockConstraint({self.bounds!r})"
+
+
+#: The constraint satisfied by every valuation.
+TRUE_CONSTRAINT = ClockConstraint()
+
+
+def advance(valuation: dict[str, int], cap: int) -> dict[str, int]:
+    """All clocks advanced one time unit, capped at ``cap``."""
+    return {clock: min(value + 1, cap) for clock, value in valuation.items()}
+
+
+def reset(valuation: dict[str, int], clocks: Iterable[str]) -> dict[str, int]:
+    """The given clocks reset to zero."""
+    updated = dict(valuation)
+    for clock in clocks:
+        updated[clock] = 0
+    return updated

@@ -1,0 +1,277 @@
+"""Real-Time Statecharts (RTSC): the modeling notation of Mechatronic UML.
+
+An RTSC describes the communication behavior of a pattern role, a
+connector, or a component's internal coordination (§1 "Modeling").  It
+consists of hierarchical locations (composite states with substates,
+e.g. ``noConvoy::default``), discrete clocks, and transitions with
+
+* an optional *trigger* message (consumed when firing),
+* an optional *raised* message (produced when firing),
+* a clock *guard* (when the transition may fire),
+* clock *resets*, and
+* an optional *deadline* via location invariants (upper clock bounds
+  that force the location to be left in time).
+
+The statechart is a plain description object; its execution semantics —
+the mapping to the paper's automaton model (I/O-interval structures
+[44], simplified per §2) — lives in :mod:`repro.rtsc.semantics`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import ModelError
+from .clocks import ClockConstraint, TRUE_CONSTRAINT
+
+__all__ = ["Location", "RTSCTransition", "Statechart"]
+
+
+class Location:
+    """A (possibly composite) statechart location.
+
+    Locations form a tree via ``parent``; ``path`` renders the familiar
+    ``outer::inner`` notation.  ``invariant`` is the location's time
+    invariant (e.g. ``c ≤ 2``: the location must be left within two time
+    units of ``c``'s last reset); it applies while any descendant is
+    active.
+    """
+
+    __slots__ = ("name", "parent", "invariant", "initial_child", "_children")
+
+    def __init__(self, name: str, parent: "Location | None" = None, invariant: ClockConstraint = TRUE_CONSTRAINT):
+        if not name or "::" in name:
+            raise ModelError(f"invalid location name {name!r}")
+        self.name = name
+        self.parent = parent
+        self.invariant = invariant
+        self.initial_child: Location | None = None
+        self._children: list[Location] = []
+        if parent is not None:
+            parent._children.append(self)
+
+    @property
+    def children(self) -> tuple["Location", ...]:
+        return tuple(self._children)
+
+    @property
+    def is_composite(self) -> bool:
+        return bool(self._children)
+
+    @property
+    def path(self) -> str:
+        """The fully qualified ``outer::inner`` name."""
+        segments = []
+        cursor: Location | None = self
+        while cursor is not None:
+            segments.append(cursor.name)
+            cursor = cursor.parent
+        return "::".join(reversed(segments))
+
+    def ancestors(self) -> tuple["Location", ...]:
+        """This location and all enclosing composites, innermost first."""
+        chain = []
+        cursor: Location | None = self
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = cursor.parent
+        return tuple(chain)
+
+    def initial_leaf(self) -> "Location":
+        """The leaf entered when this location is entered."""
+        cursor = self
+        while cursor.is_composite:
+            if cursor.initial_child is None:
+                raise ModelError(f"composite location {cursor.path!r} has no initial substate")
+            cursor = cursor.initial_child
+        return cursor
+
+    def __repr__(self) -> str:
+        return f"Location({self.path!r})"
+
+
+class RTSCTransition:
+    """One statechart transition.
+
+    ``urgent`` transitions must fire as soon as they are enabled: while
+    an urgent transition can fire in the active configuration, time may
+    not pass idly (the RTSC notion of urgency, complementing the softer
+    deadline pressure of location invariants).
+    """
+
+    __slots__ = ("source", "target", "trigger", "raised", "guard", "resets", "urgent")
+
+    def __init__(
+        self,
+        source: Location,
+        target: Location,
+        *,
+        trigger: str | None = None,
+        raised: str | None = None,
+        guard: ClockConstraint = TRUE_CONSTRAINT,
+        resets: Iterable[str] = (),
+        urgent: bool = False,
+    ):
+        self.source = source
+        self.target = target
+        self.trigger = trigger
+        self.raised = raised
+        self.guard = guard
+        self.resets = frozenset(resets)
+        self.urgent = urgent
+
+    def __repr__(self) -> str:
+        trigger = f"{self.trigger}?" if self.trigger else ""
+        raised = f"{self.raised}!" if self.raised else ""
+        label = " / ".join(part for part in (trigger, raised) if part) or "τ"
+        return f"RTSCTransition({self.source.path} --{label}--> {self.target.path})"
+
+
+class Statechart:
+    """A Real-Time Statechart with a builder-style construction API.
+
+    Example (the paper's front role, abridged)::
+
+        sc = Statechart("frontRole",
+                        inputs={"convoyProposal"}, outputs={"startConvoy"})
+        no_convoy = sc.location("noConvoy", initial=True)
+        default = sc.location("default", parent=no_convoy, initial=True)
+        answer = sc.location("answer", parent=no_convoy)
+        convoy = sc.location("convoy")
+        sc.transition(default, answer, trigger="convoyProposal")
+        sc.transition(answer, convoy, raised="startConvoy")
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        clocks: Iterable[str] = (),
+    ):
+        self.name = name
+        self.inputs = frozenset(inputs)
+        self.outputs = frozenset(outputs)
+        self.clocks = frozenset(clocks)
+        self._locations: dict[str, Location] = {}
+        self._transitions: list[RTSCTransition] = []
+        self._initial: Location | None = None
+        if self.inputs & self.outputs:
+            raise ModelError(
+                f"statechart {name!r}: inputs and outputs overlap on "
+                f"{sorted(self.inputs & self.outputs)}"
+            )
+
+    # --------------------------------------------------------------- building
+
+    def location(
+        self,
+        name: str,
+        *,
+        parent: Location | None = None,
+        initial: bool = False,
+        invariant: ClockConstraint = TRUE_CONSTRAINT,
+    ) -> Location:
+        """Declare a location; ``initial`` marks it initial in its scope."""
+        for clock in invariant.clocks:
+            if clock not in self.clocks:
+                raise ModelError(f"invariant of {name!r} uses undeclared clock {clock!r}")
+        location = Location(name, parent, invariant)
+        path = location.path
+        if path in self._locations:
+            raise ModelError(f"statechart {self.name!r} already has a location {path!r}")
+        self._locations[path] = location
+        if initial:
+            if parent is None:
+                if self._initial is not None:
+                    raise ModelError(
+                        f"statechart {self.name!r} already has the initial location "
+                        f"{self._initial.path!r}"
+                    )
+                self._initial = location
+            else:
+                if parent.initial_child is not None:
+                    raise ModelError(
+                        f"composite {parent.path!r} already has the initial substate "
+                        f"{parent.initial_child.path!r}"
+                    )
+                parent.initial_child = location
+        return location
+
+    def transition(
+        self,
+        source: Location,
+        target: Location,
+        *,
+        trigger: str | None = None,
+        raised: str | None = None,
+        guard: ClockConstraint = TRUE_CONSTRAINT,
+        resets: Iterable[str] = (),
+        urgent: bool = False,
+    ) -> RTSCTransition:
+        """Declare a transition between (possibly composite) locations."""
+        if trigger is not None and trigger not in self.inputs:
+            raise ModelError(f"trigger {trigger!r} is not an input of statechart {self.name!r}")
+        if raised is not None and raised not in self.outputs:
+            raise ModelError(f"raised message {raised!r} is not an output of {self.name!r}")
+        for clock in guard.clocks | frozenset(resets):
+            if clock not in self.clocks:
+                raise ModelError(
+                    f"transition in {self.name!r} uses undeclared clock {clock!r}"
+                )
+        for location in (source, target):
+            if self._locations.get(location.path) is not location:
+                raise ModelError(
+                    f"transition endpoint {location.path!r} does not belong to {self.name!r}"
+                )
+        transition = RTSCTransition(
+            source,
+            target,
+            trigger=trigger,
+            raised=raised,
+            guard=guard,
+            resets=resets,
+            urgent=urgent,
+        )
+        self._transitions.append(transition)
+        return transition
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def locations(self) -> tuple[Location, ...]:
+        return tuple(self._locations.values())
+
+    @property
+    def leaf_locations(self) -> tuple[Location, ...]:
+        return tuple(loc for loc in self._locations.values() if not loc.is_composite)
+
+    @property
+    def transitions(self) -> tuple[RTSCTransition, ...]:
+        return tuple(self._transitions)
+
+    @property
+    def initial_location(self) -> Location:
+        if self._initial is None:
+            raise ModelError(f"statechart {self.name!r} has no initial location")
+        return self._initial
+
+    def find(self, path: str) -> Location:
+        """Look up a location by its qualified ``outer::inner`` path."""
+        try:
+            return self._locations[path]
+        except KeyError:
+            raise ModelError(f"statechart {self.name!r} has no location {path!r}") from None
+
+    def max_clock_constant(self) -> int:
+        """The largest clock constant in guards and invariants."""
+        constants = [t.guard.max_constant() for t in self._transitions]
+        constants.extend(loc.invariant.max_constant() for loc in self._locations.values())
+        return max(constants, default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Statechart(name={self.name!r}, |locations|={len(self._locations)}, "
+            f"|transitions|={len(self._transitions)}, clocks={sorted(self.clocks)})"
+        )

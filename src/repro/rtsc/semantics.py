@@ -1,0 +1,170 @@
+"""Execution semantics: unfolding an RTSC into the paper's automaton model.
+
+The unfolding realizes the simplified I/O-interval-structure mapping of
+§2: every automaton transition takes exactly one time unit.  A
+configuration of the statechart is a pair of an active leaf location and
+a clock valuation; each time unit the chart either
+
+* *fires* one transition whose source scope contains the active leaf
+  and whose guard is satisfied — consuming the trigger message,
+  producing the raised message, advancing all clocks by one and
+  resetting the transition's reset set — or
+* *idles* — advancing all clocks by one — provided the location
+  invariants of the active scope still tolerate the advanced valuation.
+
+A configuration whose invariants forbid idling and whose transitions
+cannot fire has no successor: it is a (time-stopping) deadlock,
+representing a missed deadline.  This is deliberate — the verification
+obligation ``φ ∧ ¬δ`` of §4.1 is exactly what detects such situations.
+
+Clock values are capped at the largest constant plus one; beyond that
+bound, all valuations satisfy and violate the same constraints, so the
+unfolding stays finite (and exact).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+from ..automata.automaton import Automaton, Transition
+from ..automata.interaction import Interaction
+from ..errors import ModelError
+from .clocks import advance, reset
+from .model import Location, Statechart
+
+__all__ = ["unfold", "unfold_parallel", "default_labeler"]
+
+_Configuration = tuple[Location, tuple[tuple[str, int], ...]]
+
+
+def default_labeler(statechart: Statechart) -> Callable[[Location], frozenset[str]]:
+    """Propositions for a leaf: its top-level region and its full path.
+
+    ``noConvoy::default`` in statechart ``frontRole`` is labeled with
+    ``frontRole.noConvoy`` (the proposition pattern constraints use) and
+    ``frontRole.noConvoy::default`` (for precise per-leaf properties).
+    """
+
+    def labeler(leaf: Location) -> frozenset[str]:
+        top = leaf.ancestors()[-1]
+        return frozenset({f"{statechart.name}.{top.name}", f"{statechart.name}.{leaf.path}"})
+
+    return labeler
+
+
+def _state_name(leaf: Location, valuation: tuple[tuple[str, int], ...]) -> str:
+    if not valuation:
+        return leaf.path
+    clocks = ",".join(f"{clock}={value}" for clock, value in valuation)
+    return f"{leaf.path}|{clocks}"
+
+
+def _invariants_hold(leaf: Location, valuation: dict[str, int]) -> bool:
+    return all(location.invariant.satisfied_by(valuation) for location in leaf.ancestors())
+
+
+def unfold(
+    statechart: Statechart,
+    *,
+    labeler: Callable[[Location], Iterable[str]] | None = None,
+    name: str | None = None,
+) -> Automaton:
+    """The automaton ``M = (S, I, O, T, L, Q)`` of a statechart.
+
+    States are readable strings — the leaf path, suffixed with the clock
+    valuation when the chart has clocks (``convoy|c=2``).
+    """
+    if labeler is None:
+        labeler = default_labeler(statechart)
+    cap = statechart.max_clock_constant() + 1
+    clock_names = tuple(sorted(statechart.clocks))
+
+    initial_leaf = statechart.initial_location.initial_leaf()
+    initial_valuation = {clock: 0 for clock in clock_names}
+    initial_config: _Configuration = (initial_leaf, tuple(sorted(initial_valuation.items())))
+
+    leaf_by_name: dict[str, Location] = {}
+    transitions: list[Transition] = []
+    labels: dict[str, frozenset[str]] = {}
+    seen: set[str] = set()
+    queue: deque[_Configuration] = deque([initial_config])
+    seen.add(_state_name(*initial_config))
+    labels[_state_name(*initial_config)] = frozenset(labeler(initial_leaf))
+    leaf_by_name[_state_name(*initial_config)] = initial_leaf
+
+    while queue:
+        leaf, valuation_items = queue.popleft()
+        source_name = _state_name(leaf, valuation_items)
+        valuation = dict(valuation_items)
+        advanced = advance(valuation, cap)
+        scope = leaf.ancestors()
+
+        def visit(target_leaf: Location, target_valuation: dict[str, int], interaction: Interaction) -> None:
+            target_items = tuple(sorted(target_valuation.items()))
+            target_name = _state_name(target_leaf, target_items)
+            transitions.append(Transition(source_name, interaction, target_name))
+            if target_name not in seen:
+                seen.add(target_name)
+                labels[target_name] = frozenset(labeler(target_leaf))
+                leaf_by_name[target_name] = target_leaf
+                queue.append((target_leaf, target_items))
+
+        # Fire an eligible transition of the active scope.
+        urgency_pending = False
+        for rtsc_transition in statechart.transitions:
+            if rtsc_transition.source not in scope:
+                continue
+            if not rtsc_transition.guard.satisfied_by(valuation):
+                continue
+            if rtsc_transition.urgent:
+                urgency_pending = True
+            target_leaf = rtsc_transition.target.initial_leaf()
+            target_valuation = reset(advanced, rtsc_transition.resets)
+            if not _invariants_hold(target_leaf, target_valuation):
+                continue
+            interaction = Interaction(
+                [rtsc_transition.trigger] if rtsc_transition.trigger else None,
+                [rtsc_transition.raised] if rtsc_transition.raised else None,
+            )
+            visit(target_leaf, target_valuation, interaction)
+
+        # Idle for one time unit if the invariants tolerate it — and no
+        # urgent transition demands to fire right now.
+        if not urgency_pending and _invariants_hold(leaf, advanced):
+            visit(leaf, advanced, Interaction())
+
+    automaton = Automaton(
+        states=seen,
+        inputs=statechart.inputs,
+        outputs=statechart.outputs,
+        transitions=transitions,
+        initial=[_state_name(*initial_config)],
+        labels=labels,
+        name=name if name is not None else statechart.name,
+    )
+    if not automaton.states:
+        raise ModelError(f"statechart {statechart.name!r} unfolds to an empty automaton")
+    return automaton
+
+
+def unfold_parallel(statecharts, *, name: str | None = None) -> Automaton:
+    """Unfold several charts and compose them — AND-state (orthogonal
+    region) modeling by composition.
+
+    Statecharts with orthogonal regions are modeled compositionally in
+    this library: one chart per region, synchronised through shared
+    signals.  The result is semantically the product the flat AND-state
+    would unfold to, with the synchronous one-transition-per-time-unit
+    discipline of §2 applied jointly.
+    """
+    from ..automata.composition import compose_all
+
+    charts = list(statecharts)
+    if not charts:
+        raise ModelError("unfold_parallel needs at least one statechart")
+    automata = [unfold(chart) for chart in charts]
+    if len(automata) == 1:
+        result = automata[0]
+        return result.replace(name=name) if name is not None else result
+    return compose_all(automata, name=name if name is not None else "||".join(c.name for c in charts))

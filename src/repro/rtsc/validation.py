@@ -1,0 +1,94 @@
+"""Static well-formedness checks for Real-Time Statecharts.
+
+Construction-time checks in :mod:`repro.rtsc.model` already reject
+locally malformed elements (undeclared triggers, clocks, duplicate
+locations).  :func:`validate` adds the whole-chart checks: every
+composite must resolve to an initial leaf, the chart must have an
+initial location, and structural reachability is reported so dead
+locations are caught before unfolding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from .model import Location, Statechart
+
+__all__ = ["ValidationReport", "validate"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a statechart."""
+
+    statechart: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    reachable_leaves: frozenset[str] = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            raise ModelError(
+                f"statechart {self.statechart!r} is ill-formed: " + "; ".join(self.errors)
+            )
+
+
+def _structural_successors(statechart: Statechart, leaf: Location) -> set[Location]:
+    scope = set(leaf.ancestors())
+    successors: set[Location] = set()
+    for transition in statechart.transitions:
+        if transition.source in scope:
+            try:
+                successors.add(transition.target.initial_leaf())
+            except ModelError:
+                continue  # reported separately as a missing initial substate
+    return successors
+
+
+def validate(statechart: Statechart) -> ValidationReport:
+    """Check a statechart and return a report (never raises itself)."""
+    report = ValidationReport(statechart.name)
+
+    try:
+        initial = statechart.initial_location
+    except ModelError as error:
+        report.errors.append(str(error))
+        return report
+
+    for location in statechart.locations:
+        if location.is_composite and location.initial_child is None:
+            report.errors.append(f"composite location {location.path!r} has no initial substate")
+
+    try:
+        start = initial.initial_leaf()
+    except ModelError as error:
+        report.errors.append(str(error))
+        return report
+
+    seen: set[Location] = {start}
+    queue: deque[Location] = deque([start])
+    while queue:
+        leaf = queue.popleft()
+        for successor in _structural_successors(statechart, leaf):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    report.reachable_leaves = frozenset(leaf.path for leaf in seen)
+
+    for leaf in statechart.leaf_locations:
+        if leaf not in seen:
+            report.warnings.append(f"leaf location {leaf.path!r} is structurally unreachable")
+
+    for transition in statechart.transitions:
+        if transition.source.is_composite and transition.target in transition.source.ancestors():
+            report.warnings.append(
+                f"self-targeting composite transition on {transition.source.path!r} "
+                "re-enters the initial substate each time it fires"
+            )
+    return report

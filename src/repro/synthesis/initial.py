@@ -1,0 +1,66 @@
+"""Initial behavior synthesis (§3 of the paper).
+
+From the structural interface description alone, build the trivial
+incomplete automaton ``M_l^0 = ({s₀}, I, O, ∅, ∅, {s₀})`` — just the
+known initial state, no transitions, no refusals (Figure 4(a)) — and
+its chaotic closure ``M_a^0 = chaos(M_l^0)`` (Figure 4(b)), which by
+Lemma 4 is a safe abstraction of the legacy component:
+``M_r ⊑ M_a^0``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from ..automata.automaton import Automaton, State
+from ..automata.chaos import chaotic_closure
+from ..automata.incomplete import IncompleteAutomaton
+from ..automata.interaction import InteractionUniverse
+from ..legacy.interface import InterfaceDescription
+
+__all__ = ["StateLabeler", "initial_model", "initial_abstraction"]
+
+#: Maps an observed legacy state identifier to atomic propositions (so
+#: learned states participate in pattern constraints, e.g. a monitored
+#: state ``"convoy"`` becomes the proposition ``rearRole.convoy``).
+StateLabeler = Callable[[State], Iterable[str]]
+
+
+def _no_labels(_state: State) -> Iterable[str]:
+    return ()
+
+
+def initial_model(
+    interface: InterfaceDescription, *, labeler: StateLabeler | None = None
+) -> IncompleteAutomaton:
+    """``M_l^0``: the trivial incomplete automaton of §3 / Figure 4(a)."""
+    labeler = labeler if labeler is not None else _no_labels
+    return IncompleteAutomaton(
+        states=[interface.initial_state],
+        inputs=interface.inputs,
+        outputs=interface.outputs,
+        transitions=(),
+        refusals=(),
+        initial=[interface.initial_state],
+        labels={interface.initial_state: frozenset(labeler(interface.initial_state))},
+        name=f"M_l^0({interface.name})",
+    )
+
+
+def initial_abstraction(
+    interface: InterfaceDescription,
+    universe: InteractionUniverse | None = None,
+    *,
+    labeler: StateLabeler | None = None,
+    deterministic_implementation: bool = True,
+) -> Automaton:
+    """``M_a^0 = chaos(M_l^0)``: the first safe abstraction (Figure 4(b))."""
+    if universe is None:
+        universe = interface.universe()
+    model = initial_model(interface, labeler=labeler)
+    return chaotic_closure(
+        model,
+        universe,
+        deterministic_implementation=deterministic_implementation,
+        name=f"M_a^0({interface.name})",
+    )

@@ -1,0 +1,713 @@
+"""Iterative behavior synthesis: the paper's core loop (§4, Figure 2).
+
+Each iteration performs the three steps of the scheme:
+
+1. **Verify** (§4.1): model-check ``M_a^c ∥ chaos(M_l^i) ⊨ φ_weak ∧ ¬δ``
+   where ``φ_weak`` is the §2.7 chaos weakening of the required
+   property.  Success proves ``M_r^c ∥ M_r ⊨ φ`` (Lemma 5) — done.
+2. **Test** (§4.2): otherwise the counterexample, projected onto the
+   legacy component, is executed against the real component.  A
+   counterexample whose legacy projection never visits the chaotic
+   states is a *conflict in the synthesized part* and proves a real
+   integration error without any test ("fast conflict detection",
+   Listing 1.4).  A confirmed test of a chaos-visiting property
+   counterexample is *not* yet proof (§4.2: such a run "is not really a
+   possible run of ``M_r^c ∥ M_r``" because the concrete system has no
+   chaos states) — it is learning material.  Deadlock counterexamples
+   are confirmed by *probing*: after driving the component down the
+   prefix, every interaction the context offers in the deadlocked
+   configuration is attempted; only if none is served is the deadlock
+   real.
+3. **Learn** (§4.3): observed behavior — reactions, divergences,
+   refusals — is merged into ``M_l^{i+1}`` via Definitions 11/12 (plus
+   the deterministic refusal extension), and the loop repeats.
+
+Termination (§4.4): every non-final iteration strictly increases
+``|T| + |T̄|``, which is bounded for a finite deterministic component,
+so the loop always ends in ``PROVEN`` or ``REAL_VIOLATION`` (the
+``max_iterations`` budget is a safety net, not a semantic limit).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from enum import Enum
+
+from ..automata.automaton import Automaton, State
+from ..automata.chaos import chaotic_closure, is_chaos_state
+from ..automata.composition import Semantics, compose
+from ..automata.incomplete import IncompleteAutomaton
+from ..automata.interaction import Interaction, InteractionUniverse
+from ..automata.runs import Run
+from ..errors import LearningError, SynthesisError
+from ..legacy.component import LegacyComponent
+from ..legacy.interface import InterfaceDescription, interface_of
+from ..logic.checker import ModelChecker
+from ..logic.compositional import assert_compositional, weaken_for_chaos
+from ..logic.counterexample import counterexample, counterexamples
+from ..logic.formulas import AF, AU, DEADLOCK_FREE, Deadlock, Formula
+from ..testing.executor import TestExecution, TestVerdict, execute_test
+from ..testing.replay import ReplayResult, replay
+from ..testing.testcase import TestCase, TestStep, test_case_from_counterexample
+from .initial import StateLabeler, initial_model
+from .learning import RefusalMode, learn_blocked, learn_regular, refuse
+
+__all__ = [
+    "Verdict",
+    "IterationRecord",
+    "SynthesisResult",
+    "IntegrationSynthesizer",
+    "CounterexampleStrategy",
+]
+
+#: Hook for custom counterexample selection (the paper's conclusion notes
+#: that counterexample strategies are a tuning point).  Receives the
+#: composed automaton, the violated formula, and a ready checker; must
+#: return a violating run of the composition.
+CounterexampleStrategy = Callable[[Automaton, Formula, ModelChecker], Run]
+
+
+class Verdict(Enum):
+    """How a synthesis run ended."""
+
+    PROVEN = "proven"
+    REAL_VIOLATION = "real-violation"
+    BUDGET_EXCEEDED = "budget-exceeded"
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Everything observed during one iteration of the loop."""
+
+    index: int
+    model_states: int
+    model_transitions: int
+    model_refusals: int
+    closure_states: int
+    closure_transitions: int
+    composed_states: int
+    property_holds: bool
+    deadlock_free: bool
+    violated: str | None  # "property" | "deadlock" | None
+    counterexample: Run | None
+    fast_conflict: bool
+    test_verdict: TestVerdict | None
+    tests_executed: int
+    replays_executed: int
+    observed_run: Run | None
+    knowledge_gained: int
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of a full synthesis run."""
+
+    verdict: Verdict
+    property: Formula
+    iterations: tuple[IterationRecord, ...]
+    final_model: IncompleteAutomaton
+    final_closure: Automaton | None
+    violation_witness: Run | None
+    violation_kind: str | None
+
+    @property
+    def proven(self) -> bool:
+        return self.verdict is Verdict.PROVEN
+
+    def require_proven(self) -> "SynthesisResult":
+        """Raise unless the verdict is ``PROVEN`` (for CI-style use).
+
+        ``BudgetExceededError`` for an exhausted iteration budget,
+        ``SynthesisError`` carrying the violation kind otherwise;
+        returns ``self`` so it chains: ``synthesizer.run().require_proven()``.
+        """
+        from ..errors import BudgetExceededError
+
+        if self.verdict is Verdict.PROVEN:
+            return self
+        if self.verdict is Verdict.BUDGET_EXCEEDED:
+            raise BudgetExceededError(
+                f"synthesis exhausted its iteration budget after "
+                f"{self.iteration_count} iterations"
+            )
+        raise SynthesisError(
+            f"integration violates the requirements ({self.violation_kind}); "
+            f"witness: {self.violation_witness}"
+        )
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_tests(self) -> int:
+        return sum(record.tests_executed for record in self.iterations)
+
+    @property
+    def total_replays(self) -> int:
+        return sum(record.replays_executed for record in self.iterations)
+
+    @property
+    def learned_states(self) -> int:
+        return self.final_model.automaton.states.__len__()
+
+    @property
+    def learned_transitions(self) -> int:
+        return len(self.final_model.transitions)
+
+    @property
+    def learned_refusals(self) -> int:
+        return len(self.final_model.refusals)
+
+
+@dataclass
+class _IterationScratch:
+    """Mutable per-iteration counters the helpers update."""
+
+    tests: int = 0
+    replays: int = 0
+    observed: Run | None = None
+    test_verdict: TestVerdict | None = None
+    real_violation: bool = False
+
+
+class IntegrationSynthesizer:
+    """Drives the verify → test → learn loop for one legacy placement.
+
+    Parameters
+    ----------
+    context:
+        The context abstraction ``M_a^c`` (typically produced by
+        :meth:`repro.muml.Architecture.context_for` or by unfolding the
+        partner role's statechart).
+    component:
+        The executable legacy component (``M_r`` behind the harness).
+    property:
+        The required compositional constraint ``φ``.  Deadlock freedom
+        ``¬δ`` is always checked in addition, per §4.1.
+    universe:
+        The interaction alphabet of the legacy interface; defaults to
+        the message-passing alphabet induced by the interface.
+    labeler:
+        Maps observed legacy state identifiers to atomic propositions
+        so learned states participate in ``φ``.
+    refusal_mode:
+        ``"deterministic"`` (default) exploits strong determinism to
+        refuse wholesale; ``"conservative"`` follows Definition 12
+        literally.
+    fast_conflict:
+        Enable §4.2's shortcut: a property counterexample confined to
+        the synthesized (non-chaotic) part proves a real conflict
+        without testing.
+    max_iterations:
+        Safety budget; exceeding it yields ``Verdict.BUDGET_EXCEEDED``.
+    counterexamples_per_iteration:
+        Derive up to this many counterexamples from each failed check
+        and test/learn all of them before re-verifying — the paper's
+        conclusion proposes exactly this optimisation ("the interplay …
+        could be improved when a number of counterexample instead only
+        single one could be derived from the model checker").
+    initial_knowledge:
+        Warm-start the series from a previously learned model instead of
+        the trivial ``M_l^0`` — e.g. the ``final_model`` of an earlier
+        run against another property, or a model loaded via
+        :mod:`repro.persistence`.  With ``validate_knowledge`` (default)
+        the provided model is first checked against the live component:
+        every transition is re-executed and every refusal re-attempted,
+        so a stale model (the component was updated) is rejected instead
+        of silently breaking the safe-abstraction invariant.
+    """
+
+    def __init__(
+        self,
+        context: Automaton,
+        component: LegacyComponent,
+        property: Formula,
+        *,
+        universe: InteractionUniverse | None = None,
+        labeler: StateLabeler | None = None,
+        refusal_mode: RefusalMode = "deterministic",
+        fast_conflict: bool = True,
+        max_iterations: int = 500,
+        composition_semantics: Semantics = "strict",
+        counterexample_strategy: CounterexampleStrategy | None = None,
+        counterexamples_per_iteration: int = 1,
+        initial_knowledge: IncompleteAutomaton | None = None,
+        validate_knowledge: bool = True,
+        port: str = "port",
+    ):
+        assert_compositional(property)
+        self.context = context
+        self.component = component
+        self.property = property
+        self.weakened_property = weaken_for_chaos(property)
+        self.interface: InterfaceDescription = interface_of(component)
+        self.universe = universe if universe is not None else self.interface.universe()
+        self.labeler = labeler
+        self.refusal_mode: RefusalMode = refusal_mode
+        self.fast_conflict = fast_conflict
+        self.max_iterations = max_iterations
+        self.composition_semantics: Semantics = composition_semantics
+        self.counterexample_strategy = counterexample_strategy
+        if counterexamples_per_iteration < 1:
+            raise SynthesisError("counterexamples_per_iteration must be positive")
+        self.counterexamples_per_iteration = counterexamples_per_iteration
+        self.port = port
+        # Violations of properties mentioning the deadlock atom or an
+        # eventuality (AF/AU) can hinge on the closure's *pessimistic
+        # refusals* — a path that merely might end.  Only those need the
+        # probe treatment when their counterexample ends in a composed
+        # deadlock state; violations of boolean-state properties rest on
+        # labels alone.
+        self._refusal_sensitive = any(
+            isinstance(node, (Deadlock, AF, AU)) for node in property.walk()
+        )
+        if context.inputs & self.interface.inputs or context.outputs & self.interface.outputs:
+            raise SynthesisError(
+                "context and legacy interface are not composable: they share "
+                f"inputs {sorted(context.inputs & self.interface.inputs)} / "
+                f"outputs {sorted(context.outputs & self.interface.outputs)}"
+            )
+        self.initial_knowledge = initial_knowledge
+        if initial_knowledge is not None:
+            self._check_knowledge_shape(initial_knowledge)
+            if validate_knowledge:
+                self._validate_knowledge(initial_knowledge)
+
+    # -------------------------------------------------------- prior knowledge
+
+    def _check_knowledge_shape(self, knowledge: IncompleteAutomaton) -> None:
+        if (
+            knowledge.inputs != self.interface.inputs
+            or knowledge.outputs != self.interface.outputs
+        ):
+            raise SynthesisError(
+                f"initial knowledge has signals I={sorted(knowledge.inputs)}/"
+                f"O={sorted(knowledge.outputs)} but the component's interface is "
+                f"I={sorted(self.interface.inputs)}/O={sorted(self.interface.outputs)}"
+            )
+        if knowledge.initial != frozenset({self.interface.initial_state}):
+            raise SynthesisError(
+                f"initial knowledge starts in {sorted(map(repr, knowledge.initial))} but the "
+                f"component's initial state is {self.interface.initial_state!r}"
+            )
+        if not knowledge.is_deterministic():
+            raise SynthesisError("initial knowledge must be deterministic (§2.6)")
+
+    def _validate_knowledge(self, knowledge: IncompleteAutomaton) -> None:
+        """Re-execute the knowledge against the live component.
+
+        Every transition is driven via a covering run and every refusal
+        re-attempted, so the model is observation-conforming when this
+        returns — the precondition of Theorem 1.
+        """
+        from ..automata.analysis import transition_cover_runs
+
+        for run in transition_cover_runs(knowledge.automaton):
+            self.component.reset()
+            current_expected = run.start
+            for interaction, target in run.steps:
+                outcome = self.component.step(interaction.inputs)
+                if outcome.blocked or outcome.outputs != interaction.outputs:
+                    raise SynthesisError(
+                        f"stale initial knowledge: transition "
+                        f"{current_expected!r} --{interaction}--> {target!r} is not "
+                        "reproducible on the component"
+                    )
+                current_expected = target
+        for refusal in sorted(
+            knowledge.refusals, key=lambda r: (repr(r.state), r.interaction.sort_key())
+        ):
+            prefix = self._run_to_state(knowledge, refusal.state)
+            if prefix is None:
+                continue  # unreachable knowledge state: harmless
+            self.component.reset()
+            for interaction, _ in prefix.steps:
+                self.component.step(interaction.inputs)
+            outcome = self.component.step(refusal.interaction.inputs)
+            if not outcome.blocked and outcome.outputs == refusal.interaction.outputs:
+                raise SynthesisError(
+                    f"stale initial knowledge: refusal of {refusal.interaction} at "
+                    f"{refusal.state!r} contradicts the component's actual reaction"
+                )
+
+    @staticmethod
+    def _run_to_state(knowledge: IncompleteAutomaton, state):
+        from ..automata.analysis import shortest_run_to
+
+        return shortest_run_to(knowledge.automaton, lambda s: s == state)
+
+    # ----------------------------------------------------------------- loop
+
+    def run(self) -> SynthesisResult:
+        """Execute the loop until proof, real violation, or budget."""
+        if self.initial_knowledge is not None:
+            model = self.initial_knowledge
+        else:
+            model = initial_model(self.interface, labeler=self.labeler)
+        records: list[IterationRecord] = []
+        closure: Automaton | None = None
+
+        for index in range(self.max_iterations):
+            closure = chaotic_closure(
+                model,
+                self.universe,
+                deterministic_implementation=True,
+                name=f"M_a^{index}",
+            )
+            composed = compose(self.context, closure, semantics=self.composition_semantics)
+            checker = ModelChecker(composed)
+            property_result = checker.check(self.weakened_property)
+            deadlock_result = checker.check(DEADLOCK_FREE)
+
+            def record(
+                *,
+                violated: str | None,
+                cex: Run | None,
+                fast: bool,
+                scratch: _IterationScratch | None,
+                gained: int,
+            ) -> IterationRecord:
+                return IterationRecord(
+                    index=index,
+                    model_states=len(model.states),
+                    model_transitions=len(model.transitions),
+                    model_refusals=len(model.refusals),
+                    closure_states=len(closure.states),
+                    closure_transitions=len(closure.transitions),
+                    composed_states=len(composed.states),
+                    property_holds=property_result.holds,
+                    deadlock_free=deadlock_result.holds,
+                    violated=violated,
+                    counterexample=cex,
+                    fast_conflict=fast,
+                    test_verdict=scratch.test_verdict if scratch else None,
+                    tests_executed=scratch.tests if scratch else 0,
+                    replays_executed=scratch.replays if scratch else 0,
+                    observed_run=scratch.observed if scratch else None,
+                    knowledge_gained=gained,
+                )
+
+            if property_result.holds and deadlock_result.holds:
+                records.append(record(violated=None, cex=None, fast=False, scratch=None, gained=0))
+                return SynthesisResult(
+                    verdict=Verdict.PROVEN,
+                    property=self.property,
+                    iterations=tuple(records),
+                    final_model=model,
+                    final_closure=closure,
+                    violation_witness=None,
+                    violation_kind=None,
+                )
+
+            if not property_result.holds:
+                violated = "property"
+                batch = self._counterexample_batch(composed, self.weakened_property, checker)
+            else:
+                violated = "deadlock"
+                batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
+            cex = batch[0]
+
+            def needs_probing_for(candidate: Run) -> bool:
+                # A property counterexample that *ends in a composed
+                # deadlock state* may owe its violation to the pessimistic
+                # refusals of the closure (the deadlock atom, or a bounded
+                # obligation cut short) rather than to real labels: such
+                # runs are confirmed or refuted exactly like deadlock
+                # counterexamples, by probing what the context offers in
+                # the final configuration.  A confirmed probe-failure then
+                # witnesses a genuine ¬δ violation of φ ∧ ¬δ.
+                return (
+                    violated == "property"
+                    and self._refusal_sensitive
+                    and composed.is_deadlock(candidate.last_state)
+                )
+
+            if self.fast_conflict and violated == "property":
+                fast_candidate = next(
+                    (
+                        candidate
+                        for candidate in batch
+                        if not needs_probing_for(candidate)
+                        and not any(is_chaos_state(state[1]) for state in candidate.states)
+                    ),
+                    None,
+                )
+                if fast_candidate is not None:
+                    records.append(
+                        record(violated=violated, cex=fast_candidate, fast=True, scratch=None, gained=0)
+                    )
+                    return SynthesisResult(
+                        verdict=Verdict.REAL_VIOLATION,
+                        property=self.property,
+                        iterations=tuple(records),
+                        final_model=model,
+                        final_closure=closure,
+                        violation_witness=fast_candidate,
+                        violation_kind=violated,
+                    )
+
+            scratch = _IterationScratch()
+            before = model.knowledge_size()
+            for position, candidate in enumerate(batch):
+                try:
+                    if violated == "property" and not needs_probing_for(candidate):
+                        model = self._handle_property_counterexample(model, candidate, scratch)
+                    else:
+                        model = self._handle_deadlock_counterexample(
+                            model, composed, candidate, scratch
+                        )
+                except LearningError:
+                    if position == 0:
+                        raise
+                    continue  # a later counterexample went stale mid-batch
+                if scratch.real_violation:
+                    cex = candidate
+                    break
+            gained = model.knowledge_size() - before
+
+            records.append(
+                record(violated=violated, cex=cex, fast=False, scratch=scratch, gained=gained)
+            )
+            if scratch.real_violation:
+                return SynthesisResult(
+                    verdict=Verdict.REAL_VIOLATION,
+                    property=self.property,
+                    iterations=tuple(records),
+                    final_model=model,
+                    final_closure=closure,
+                    violation_witness=cex,
+                    violation_kind=violated,
+                )
+            if gained <= 0:
+                raise SynthesisError(
+                    f"iteration {index} made no learning progress on {cex} — "
+                    "this contradicts §4.4's termination argument and indicates "
+                    "a non-deterministic component or an inconsistent universe"
+                )
+
+        return SynthesisResult(
+            verdict=Verdict.BUDGET_EXCEEDED,
+            property=self.property,
+            iterations=tuple(records),
+            final_model=model,
+            final_closure=closure,
+            violation_witness=None,
+            violation_kind=None,
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    def _counterexample_batch(
+        self, composed: Automaton, formula: Formula, checker: ModelChecker
+    ) -> list[Run]:
+        if self.counterexample_strategy is not None:
+            return [self.counterexample_strategy(composed, formula, checker)]
+        if self.counterexamples_per_iteration > 1:
+            batch = counterexamples(
+                composed, formula, checker=checker, limit=self.counterexamples_per_iteration
+            )
+            if batch:
+                return batch
+        run = counterexample(composed, formula, checker=checker)
+        if run is None:
+            raise SynthesisError(f"{formula} was violated but no counterexample was produced")
+        return [run]
+
+    def _testcase(self, cex: Run) -> TestCase:
+        return test_case_from_counterexample(
+            cex,
+            component_index=1,
+            inputs=self.interface.inputs,
+            outputs=self.interface.outputs,
+        )
+
+    def _execute(self, testcase: TestCase, scratch: _IterationScratch) -> TestExecution:
+        scratch.tests += 1
+        return execute_test(self.component, testcase, port=self.port)
+
+    def _replay(self, execution: TestExecution, scratch: _IterationScratch) -> ReplayResult:
+        scratch.replays += 1
+        return replay(self.component, execution.recording, port=self.port)
+
+    def _learn_execution(
+        self,
+        model: IncompleteAutomaton,
+        execution: TestExecution,
+        scratch: _IterationScratch,
+    ) -> IncompleteAutomaton:
+        """Replay a finished test execution and merge what was observed."""
+        result = self._replay(execution, scratch)
+        observed = result.observed_run
+        scratch.observed = observed
+        if execution.verdict is TestVerdict.BLOCKED:
+            # No reaction at all: Definition 12 (+ wholesale refusal).
+            return learn_blocked(
+                model,
+                observed,
+                labeler=self.labeler,
+                mode=self.refusal_mode,
+                universe=self.universe,
+                observed_outputs=None,
+            )
+        model = learn_regular(model, observed, labeler=self.labeler)
+        if execution.verdict is TestVerdict.DIVERGED:
+            assert execution.divergence_index is not None
+            diverged = execution.recording.steps[execution.divergence_index]
+            source = observed.states[execution.divergence_index]
+            if self.refusal_mode == "deterministic":
+                impossible = [
+                    interaction
+                    for interaction in self.universe
+                    if interaction.inputs == diverged.inputs
+                    and interaction.outputs != diverged.observed_outputs
+                ]
+            else:
+                impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
+            model = refuse(model, source, impossible, allow_no_progress=True)
+        return model
+
+    # ------------------------------------------------- property counterexamples
+
+    def _handle_property_counterexample(
+        self, model: IncompleteAutomaton, cex: Run, scratch: _IterationScratch
+    ) -> IncompleteAutomaton:
+        testcase = self._testcase(cex)
+        execution = self._execute(testcase, scratch)
+        scratch.test_verdict = execution.verdict
+        if execution.verdict is TestVerdict.CONFIRMED:
+            legacy_states = [state[1] for state in cex.states]
+            if not any(is_chaos_state(state) for state in legacy_states):
+                # Only reachable with fast_conflict disabled: the violation
+                # lives entirely in the synthesized part — a real conflict.
+                scratch.real_violation = True
+                return model
+            # §4.2: a chaos-visiting run is never a run of the concrete
+            # system; the confirmed behavior is learning material instead.
+            return self._learn_execution(model, execution, scratch)
+        return self._learn_execution(model, execution, scratch)
+
+    # ------------------------------------------------- deadlock counterexamples
+
+    def _context_offers(self, composed_state: State) -> list[tuple[frozenset[str], frozenset[str]]]:
+        """The legacy-side interactions the context offers at a state.
+
+        For each context transition ``(A_c, B_c)`` enabled in the
+        deadlocked configuration, the legacy component would have to
+        consume ``B_c ∩ I`` and produce ``A_c ∩ O`` to synchronize
+        (Definition 3's matching condition, two-party case).
+        """
+        context_state = composed_state[0]
+        offers: list[tuple[frozenset[str], frozenset[str]]] = []
+        for transition in self.context.transitions_from(context_state):
+            probe_inputs = transition.outputs & self.interface.inputs
+            expected = transition.inputs & self.interface.outputs
+            offers.append((probe_inputs, expected))
+        return offers
+
+    def _handle_deadlock_counterexample(
+        self,
+        model: IncompleteAutomaton,
+        composed: Automaton,
+        cex: Run,
+        scratch: _IterationScratch,
+    ) -> IncompleteAutomaton:
+        """Confirm or refute a composed deadlock by testing and probing."""
+        testcase = self._testcase(cex)
+        execution = self._execute(testcase, scratch)
+        scratch.test_verdict = execution.verdict
+        if execution.verdict is not TestVerdict.CONFIRMED:
+            # The component already left the predicted path: pure learning.
+            return self._learn_execution(model, execution, scratch)
+
+        # The prefix is real.  The composition deadlocks in the final
+        # configuration; whether the *system* deadlocks depends on whether
+        # the real component serves any interaction the context offers.
+        prefix_replay = self._replay(execution, scratch)
+        observed_prefix = prefix_replay.observed_run
+        scratch.observed = observed_prefix
+        model = learn_regular(model, observed_prefix, labeler=self.labeler)
+        legacy_state = observed_prefix.last_state
+
+        offers = self._context_offers(cex.last_state)
+        if not offers:
+            # The context itself is stuck: nothing the legacy component
+            # does can unblock the system.
+            scratch.real_violation = True
+            return model
+
+        # Group offers by the inputs the legacy component would see.
+        by_inputs: dict[frozenset[str], set[frozenset[str]]] = {}
+        for probe_inputs, expected in offers:
+            by_inputs.setdefault(probe_inputs, set()).add(expected)
+
+        known = {t.interaction: t for t in model.automaton.transitions_from(legacy_state)}
+        refused = model.refused(legacy_state)
+        any_served = False
+        for probe_inputs in sorted(by_inputs, key=sorted):
+            expected_set = by_inputs[probe_inputs]
+            known_reaction = next(
+                (t for i, t in known.items() if i.inputs == probe_inputs), None
+            )
+            if known_reaction is not None:
+                if known_reaction.interaction.outputs in expected_set:
+                    # The deadlock was an artifact of the chaotic s_δ
+                    # pessimism: the real component (whose state after the
+                    # prefix is known by determinism) serves this offer.
+                    any_served = True
+                    break
+                continue  # the known reaction cannot match: nothing to probe
+            if self.refusal_mode == "deterministic" and any(
+                refusal.inputs == probe_inputs for refusal in refused
+            ):
+                continue  # wholesale refusal already recorded for these inputs
+            if self.refusal_mode == "conservative" and all(
+                Interaction(probe_inputs, expected) in refused for expected in expected_set
+            ):
+                continue
+
+            representative = sorted(expected_set, key=sorted)[0]
+            probe_case = TestCase(
+                name=f"{testcase.name}+probe",
+                steps=(*testcase.steps, TestStep(probe_inputs, representative)),
+                source_run=cex,
+            )
+            probe_execution = self._execute(probe_case, scratch)
+            model = self._learn_execution(model, probe_execution, scratch)
+            if probe_execution.verdict is TestVerdict.BLOCKED:
+                continue
+            observed = scratch.observed
+            assert observed is not None and observed.steps
+            reaction_outputs = observed.steps[-1][0].outputs
+            if reaction_outputs in expected_set:
+                any_served = True
+                break  # the system does not deadlock here; re-verify
+
+        if not any_served:
+            undecided = False
+            refreshed = model.refused(legacy_state)
+            known_now = {t.interaction for t in model.automaton.transitions_from(legacy_state)}
+            for probe_inputs, expected_set in by_inputs.items():
+                has_known = any(i.inputs == probe_inputs for i in known_now)
+                fully_refused = (
+                    any(r.inputs == probe_inputs for r in refreshed)
+                    if self.refusal_mode == "deterministic"
+                    else all(
+                        Interaction(probe_inputs, expected) in refreshed
+                        for expected in expected_set
+                    )
+                )
+                if not has_known and not fully_refused:
+                    undecided = True
+                    break
+            if not undecided:
+                matched = any(
+                    interaction.inputs == probe_inputs
+                    and interaction.outputs in expected_set
+                    for probe_inputs, expected_set in by_inputs.items()
+                    for interaction in known_now
+                )
+                if not matched:
+                    scratch.real_violation = True
+        return model

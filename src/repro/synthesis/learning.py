@@ -1,0 +1,196 @@
+"""The learning step: merging observed runs into the model (§4.3).
+
+Definition 11 merges a *regular* observed run into the incomplete
+automaton: new states, new transitions, (new initial states).
+Definition 12 merges a *deadlock* run: the blocked interaction becomes
+a refusal in ``T̄``.  Both preserve observation conformance, so by
+Lemma 7 the chaotic closure of the learned model remains a safe
+abstraction (``M_r ⊑ M_a^{i+1}``).
+
+Beyond the literal definitions, :func:`learn` supports the two refusal
+modes discussed in §4.3's determinism argument:
+
+* ``conservative`` — record only the single attempted interaction as
+  refused (the letter of Definition 12);
+* ``deterministic`` (default) — exploit that the implementation is
+  (strongly) deterministic: if state ``s`` *reacted* to inputs ``A``
+  with outputs ``B_obs``, then every ``(s, A, B)`` with ``B ≠ B_obs``
+  is impossible and can be refused wholesale; if ``s`` did not react to
+  ``A`` at all, every ``(s, A, B)`` can.  This is sound for the
+  components the paper targets ("we will build components such that any
+  non-determinism or pseudo non-determinism is excluded") and shortens
+  the iteration series considerably.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..automata.incomplete import IncompleteAutomaton, Refusal
+from ..automata.interaction import InteractionUniverse
+from ..automata.runs import Run
+from ..errors import LearningError
+from .initial import StateLabeler
+
+__all__ = ["RefusalMode", "learn", "learn_regular", "learn_blocked", "refuse"]
+
+RefusalMode = Literal["conservative", "deterministic"]
+
+
+def refuse(
+    model: IncompleteAutomaton,
+    state,
+    interactions,
+    *,
+    allow_no_progress: bool = False,
+) -> IncompleteAutomaton:
+    """Add refusals at a known state, skipping already-known interactions.
+
+    Used by the iterative synthesis after a *divergence*: when a
+    deterministic component reacted to inputs ``A`` with outputs
+    ``B_obs``, every other ``(A, B)`` at that state is impossible and
+    can be refused without a dedicated deadlock run.
+    """
+    known = {t.interaction for t in model.automaton.transitions_from(state)}
+    refusals = set(model.refusals)
+    added = False
+    for interaction in interactions:
+        if interaction in known:
+            continue
+        refusal = Refusal(state, interaction)
+        if refusal not in refusals:
+            refusals.add(refusal)
+            added = True
+    if not added and not allow_no_progress:
+        raise LearningError(f"refusal update at {state!r} added nothing new")
+    return model.replace(refusals=refusals)
+
+
+def learn_regular(
+    model: IncompleteAutomaton, run: Run, *, labeler: StateLabeler | None = None
+) -> IncompleteAutomaton:
+    """Definition 11: merge a regular observed run into the model."""
+    if run.blocked is not None:
+        raise LearningError("learn_regular expects a regular run; use learn for deadlock runs")
+    states = set(model.states)
+    transitions = set(model.transitions)
+    labels = dict(model.automaton.label_map)
+    initial = set(model.initial)
+    refused_lookup = {
+        (refusal.state, refusal.interaction) for refusal in model.refusals
+    }
+
+    if run.start not in initial:
+        initial.add(run.start)
+    for transition in run.transitions():
+        if (transition.source, transition.interaction) in refused_lookup:
+            raise LearningError(
+                f"observed transition {transition!r} contradicts an earlier refusal: "
+                "the component behaved non-deterministically"
+            )
+        for conflicting in model.automaton.transitions_from(transition.source):
+            if (
+                conflicting.interaction == transition.interaction
+                and conflicting.target != transition.target
+            ):
+                raise LearningError(
+                    f"observed transition {transition!r} conflicts with known "
+                    f"{conflicting!r}: the component behaved non-deterministically"
+                )
+        transitions.add(transition)
+        for state in (transition.source, transition.target):
+            if state not in states:
+                states.add(state)
+                if labeler is not None:
+                    labels[state] = frozenset(labeler(state))
+            elif labeler is not None and state not in labels:
+                labels[state] = frozenset(labeler(state))
+    return IncompleteAutomaton(
+        states=states,
+        inputs=model.inputs,
+        outputs=model.outputs,
+        transitions=transitions,
+        refusals=model.refusals,
+        initial=initial,
+        labels=labels,
+        name=model.name,
+    )
+
+
+def learn_blocked(
+    model: IncompleteAutomaton,
+    run: Run,
+    *,
+    labeler: StateLabeler | None = None,
+    mode: RefusalMode = "deterministic",
+    universe: InteractionUniverse | None = None,
+    observed_outputs: frozenset[str] | None = None,
+) -> IncompleteAutomaton:
+    """Definition 12 (with the deterministic extension): merge a deadlock run.
+
+    The regular prefix is learned per Definition 11 first; the blocked
+    tail then becomes refusals.  In ``deterministic`` mode a
+    ``universe`` is required: with ``observed_outputs=None`` (no
+    reaction at all) every interaction with the blocked inputs is
+    refused; with observed outputs ``B_obs`` every interaction with the
+    blocked inputs and outputs other than ``B_obs`` is refused.
+    """
+    if run.blocked is None:
+        raise LearningError("learn_blocked expects a deadlock run with a blocked tail")
+    prefix = Run(run.start, run.steps)
+    merged = learn_regular(model, prefix, labeler=labeler)
+    state = run.last_state
+    known = {t.interaction for t in merged.automaton.transitions_from(state)}
+
+    refusals = set(merged.refusals)
+    if mode == "conservative":
+        candidates = [run.blocked]
+    else:
+        if universe is None:
+            raise LearningError("deterministic refusal mode needs the interaction universe")
+        candidates = [
+            interaction
+            for interaction in universe
+            if interaction.inputs == run.blocked.inputs
+            and (observed_outputs is None or interaction.outputs != observed_outputs)
+        ]
+        if run.blocked not in candidates and run.blocked not in known:
+            candidates.append(run.blocked)
+    added = False
+    for interaction in candidates:
+        if interaction in known:
+            raise LearningError(
+                f"refusal of {interaction} at {state!r} contradicts a known transition: "
+                "the component behaved non-deterministically"
+            )
+        refusal = Refusal(state, interaction)
+        if refusal not in refusals:
+            refusals.add(refusal)
+            added = True
+    if not added:
+        raise LearningError(
+            f"deadlock run added no new refusal at {state!r}: the learning step made no progress"
+        )
+    return merged.replace(refusals=refusals)
+
+
+def learn(
+    model: IncompleteAutomaton,
+    run: Run,
+    *,
+    labeler: StateLabeler | None = None,
+    mode: RefusalMode = "deterministic",
+    universe: InteractionUniverse | None = None,
+    observed_outputs: frozenset[str] | None = None,
+) -> IncompleteAutomaton:
+    """Merge an observed run — regular or deadlock — into the model."""
+    if run.blocked is None:
+        return learn_regular(model, run, labeler=labeler)
+    return learn_blocked(
+        model,
+        run,
+        labeler=labeler,
+        mode=mode,
+        universe=universe,
+        observed_outputs=observed_outputs,
+    )

@@ -1,0 +1,543 @@
+"""Multiple legacy components: the paper's §7 extension, implemented.
+
+    "The approach can, however, be extended to multiple legacy
+    components, by using the parallel combination of multiple
+    behavioral models.  The iterative synthesis will then improve all
+    these models in parallel."  (§7)
+
+:class:`MultiLegacySynthesizer` verifies the composition of an
+(optional) modeled context with one chaotic closure *per* legacy
+component, and on a counterexample projects it onto every component,
+tests each projection, and learns into all models in parallel.  The
+soundness story is unchanged: each closure is a safe abstraction of its
+component (Theorem 1), refinement is a precongruence for ``∥``
+(Lemma 2), so Lemma 5 lifts to the n-ary composition.
+
+The deadlock-testing step generalises §4.2's probing: after confirming
+the prefix on every component, each component's *local reaction table*
+at its current state is completed by probing every input set of its
+alphabet (deterministic components make each probe exact after a prefix
+re-run); a real deadlock is declared iff no joint step can be assembled
+from the context's offers and the probed reactions.
+
+The paper "can currently provide no experience whether such a parallel
+learning is beneficial" and conjectures that the benefit depends on
+"the degree in which the known context restricts their interaction" —
+``benchmarks/bench_multi_legacy.py`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..automata.automaton import Automaton, State
+from ..automata.chaos import chaotic_closure, is_chaos_state
+from ..automata.composition import compose_all
+from ..automata.incomplete import IncompleteAutomaton
+from ..automata.interaction import Interaction, InteractionUniverse
+from ..automata.runs import Run
+from ..errors import LearningError, SynthesisError
+from ..legacy.component import LegacyComponent
+from ..legacy.interface import interface_of
+from ..logic.checker import ModelChecker
+from ..logic.compositional import assert_compositional, weaken_for_chaos
+from ..logic.counterexample import counterexample
+from ..logic.formulas import DEADLOCK_FREE, Formula
+from ..testing.executor import TestVerdict, execute_test
+from ..testing.replay import replay
+from ..testing.testcase import TestCase, TestStep
+from .initial import StateLabeler, initial_model
+from .iterate import Verdict
+from .learning import RefusalMode, learn_blocked, learn_regular, refuse
+
+__all__ = ["MultiLegacySynthesizer", "MultiSynthesisResult", "MultiIterationRecord"]
+
+
+@dataclass(frozen=True)
+class MultiIterationRecord:
+    """Per-iteration observations of the parallel loop."""
+
+    index: int
+    model_sizes: tuple[tuple[int, int, int], ...]  # (states, T, T̄) per component
+    composed_states: int
+    property_holds: bool
+    deadlock_free: bool
+    violated: str | None
+    counterexample: Run | None
+    fast_conflict: bool
+    tests_executed: int
+    components_learned: tuple[str, ...]
+    knowledge_gained: int
+
+
+@dataclass(frozen=True)
+class MultiSynthesisResult:
+    """Outcome of a parallel synthesis run."""
+
+    verdict: Verdict
+    property: Formula
+    iterations: tuple[MultiIterationRecord, ...]
+    final_models: dict[str, IncompleteAutomaton]
+    violation_witness: Run | None
+    violation_kind: str | None
+
+    @property
+    def proven(self) -> bool:
+        return self.verdict is Verdict.PROVEN
+
+    def require_proven(self) -> "MultiSynthesisResult":
+        """Raise unless the verdict is ``PROVEN``; returns ``self``."""
+        from ..errors import BudgetExceededError
+
+        if self.verdict is Verdict.PROVEN:
+            return self
+        if self.verdict is Verdict.BUDGET_EXCEEDED:
+            raise BudgetExceededError(
+                f"multi-legacy synthesis exhausted its budget after "
+                f"{self.iteration_count} iterations"
+            )
+        raise SynthesisError(
+            f"integration violates the requirements ({self.violation_kind}); "
+            f"witness: {self.violation_witness}"
+        )
+
+    @property
+    def iteration_count(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_tests(self) -> int:
+        return sum(record.tests_executed for record in self.iterations)
+
+    def learned_states(self, name: str) -> int:
+        return len(self.final_models[name].states)
+
+
+@dataclass
+class _Slot:
+    """Bookkeeping for one legacy component."""
+
+    component: LegacyComponent
+    universe: InteractionUniverse
+    labeler: StateLabeler | None
+    model: IncompleteAutomaton
+    index: int  # position inside the composed tuple states
+
+    @property
+    def name(self) -> str:
+        return self.component.name
+
+
+class MultiLegacySynthesizer:
+    """Parallel iterative synthesis for several legacy components.
+
+    Parameters
+    ----------
+    context:
+        Optional modeled context automaton (``None`` when the legacy
+        components only interact with each other, as in a two-shuttle
+        convoy where both controllers are third-party code).
+    components:
+        The legacy components.  Their names must be unique; signal sets
+        must be pairwise composable.
+    property:
+        The compositional constraint to establish, in addition to
+        deadlock freedom.
+    labelers:
+        Optional per-component state labelers, keyed by component name.
+    """
+
+    def __init__(
+        self,
+        context: Automaton | None,
+        components: Sequence[LegacyComponent],
+        property: Formula,
+        *,
+        universes: dict[str, InteractionUniverse] | None = None,
+        labelers: dict[str, StateLabeler] | None = None,
+        refusal_mode: RefusalMode = "deterministic",
+        fast_conflict: bool = True,
+        max_iterations: int = 1000,
+        port: str = "port",
+    ):
+        assert_compositional(property)
+        if not components:
+            raise SynthesisError("MultiLegacySynthesizer needs at least one legacy component")
+        names = [component.name for component in components]
+        if len(set(names)) != len(names):
+            raise SynthesisError(f"legacy component names must be unique, got {names}")
+        self.context = context
+        self.property = property
+        self.weakened_property = weaken_for_chaos(property)
+        self.refusal_mode: RefusalMode = refusal_mode
+        self.fast_conflict = fast_conflict
+        self.max_iterations = max_iterations
+        self.port = port
+        universes = universes or {}
+        labelers = labelers or {}
+        offset = 1 if context is not None else 0
+        self.slots: list[_Slot] = []
+        for position, component in enumerate(components):
+            interface = interface_of(component)
+            universe = universes.get(component.name, interface.universe())
+            labeler = labelers.get(component.name)
+            self.slots.append(
+                _Slot(
+                    component=component,
+                    universe=universe,
+                    labeler=labeler,
+                    model=initial_model(interface, labeler=labeler),
+                    index=offset + position,
+                )
+            )
+        self._validate_signals()
+        from ..logic.formulas import AF, AU, Deadlock
+
+        self._refusal_sensitive = any(
+            isinstance(node, (Deadlock, AF, AU)) for node in property.walk()
+        )
+
+    def _validate_signals(self) -> None:
+        parts: list[tuple[str, frozenset[str], frozenset[str]]] = []
+        if self.context is not None:
+            parts.append(("context", self.context.inputs, self.context.outputs))
+        for slot in self.slots:
+            parts.append((slot.name, slot.component.inputs, slot.component.outputs))
+        for i, (name_a, in_a, out_a) in enumerate(parts):
+            for name_b, in_b, out_b in parts[i + 1 :]:
+                if in_a & in_b or out_a & out_b:
+                    raise SynthesisError(
+                        f"{name_a!r} and {name_b!r} are not composable: shared "
+                        f"inputs {sorted(in_a & in_b)} / outputs {sorted(out_a & out_b)}"
+                    )
+
+    # --------------------------------------------------------------- helpers
+
+    def _compose(self) -> Automaton:
+        parts: list[Automaton] = []
+        if self.context is not None:
+            parts.append(self.context)
+        for slot in self.slots:
+            parts.append(
+                chaotic_closure(
+                    slot.model,
+                    slot.universe,
+                    deterministic_implementation=True,
+                    name=f"chaos({slot.name})",
+                )
+            )
+        if len(parts) == 1:
+            return parts[0]
+        composed = compose_all(parts, semantics="open", name="multi-closure")
+        if len(parts) == 2:
+            # compose_all leaves two-party states as plain pairs already.
+            return composed
+        return composed
+
+    def _slot_state(self, composed_state: State, slot: _Slot) -> State:
+        if len(self.slots) == 1 and self.context is None:
+            return composed_state
+        return composed_state[slot.index]
+
+    def _project_case(self, cex: Run, slot: _Slot) -> TestCase:
+        if len(self.slots) == 1 and self.context is None:
+            steps = [TestStep(i.inputs, i.outputs) for i, _ in cex.steps]
+            if cex.blocked is not None:
+                steps.append(TestStep(cex.blocked.inputs, cex.blocked.outputs))
+            return TestCase(name=f"{slot.name}-test", steps=tuple(steps), source_run=cex)
+        projected = cex.project(
+            slot.index, slot.component.inputs, slot.component.outputs
+        )
+        steps = [TestStep(i.inputs, i.outputs) for i, _ in projected.steps]
+        if projected.blocked is not None:
+            steps.append(TestStep(projected.blocked.inputs, projected.blocked.outputs))
+        return TestCase(name=f"{slot.name}-test", steps=tuple(steps), source_run=cex)
+
+    def _learn_execution(self, slot: _Slot, execution) -> bool:
+        """Replay and merge; returns True when knowledge grew."""
+        before = slot.model.knowledge_size()
+        result = replay(slot.component, execution.recording, port=self.port)
+        observed = result.observed_run
+        if execution.verdict is TestVerdict.BLOCKED:
+            slot.model = learn_blocked(
+                slot.model,
+                observed,
+                labeler=slot.labeler,
+                mode=self.refusal_mode,
+                universe=slot.universe,
+                observed_outputs=None,
+            )
+        else:
+            slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
+            if execution.verdict is TestVerdict.DIVERGED:
+                assert execution.divergence_index is not None
+                diverged = execution.recording.steps[execution.divergence_index]
+                source = observed.states[execution.divergence_index]
+                if self.refusal_mode == "deterministic":
+                    impossible = [
+                        interaction
+                        for interaction in slot.universe
+                        if interaction.inputs == diverged.inputs
+                        and interaction.outputs != diverged.observed_outputs
+                    ]
+                else:
+                    impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
+                slot.model = refuse(slot.model, source, impossible, allow_no_progress=True)
+        return slot.model.knowledge_size() > before
+
+    # ---------------------------------------------------- deadlock handling
+
+    def _reaction_table(
+        self, slot: _Slot, prefix: TestCase, counters: list[int]
+    ) -> dict[frozenset[str], frozenset[str] | None]:
+        """Probe every input set at the component's post-prefix state.
+
+        Re-runs the (deterministic, already confirmed) prefix once per
+        probe.  Returns ``inputs → outputs`` with ``None`` for refused
+        inputs, and merges every observation into the model.
+        """
+        input_sets = sorted({interaction.inputs for interaction in slot.universe}, key=sorted)
+        table: dict[frozenset[str], frozenset[str] | None] = {}
+        for inputs in input_sets:
+            probe = TestCase(
+                name=f"{prefix.name}+probe",
+                steps=(*prefix.steps, TestStep(inputs, frozenset())),
+            )
+            counters[0] += 1
+            execution = execute_test(slot.component, probe, port=self.port)
+            if execution.divergence_index is not None and execution.divergence_index < len(
+                prefix.steps
+            ):
+                raise SynthesisError(
+                    f"component {slot.name!r} did not reproduce its confirmed prefix — "
+                    "it is not deterministic"
+                )
+            last = execution.recording.steps[-1]
+            table[inputs] = None if last.blocked else last.observed_outputs
+            self._learn_probe(slot, execution)
+        return table
+
+    def _learn_probe(self, slot: _Slot, execution) -> None:
+        result = replay(slot.component, execution.recording, port=self.port)
+        observed = result.observed_run
+        if observed.blocked is not None:
+            try:
+                slot.model = learn_blocked(
+                    slot.model,
+                    observed,
+                    labeler=slot.labeler,
+                    mode=self.refusal_mode,
+                    universe=slot.universe,
+                    observed_outputs=None,
+                )
+            except LearningError:
+                # The refusal was already known (the probe revisited a
+                # decided input); merge the regular prefix only.
+                slot.model = learn_regular(
+                    slot.model, Run(observed.start, observed.steps), labeler=slot.labeler
+                )
+        else:
+            slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
+
+    def _joint_step_exists(
+        self,
+        context_state: State | None,
+        tables: list[dict[frozenset[str], frozenset[str] | None]],
+    ) -> bool:
+        """Can a synchronous step be assembled in the real system?
+
+        Enumerates the context's offers (or an idle placeholder when
+        there is no context) against every combination of probed
+        reactions, requiring each party's inputs to equal exactly what
+        the other parties emit towards it.
+        """
+        from itertools import product as iproduct
+
+        if self.context is not None and context_state is not None:
+            offers = [
+                (t.interaction.inputs, t.interaction.outputs)
+                for t in self.context.transitions_from(context_state)
+            ]
+            if not offers:
+                return False
+        else:
+            offers = [(frozenset(), frozenset())]
+
+        slot_inputs = [sorted(table) for table in tables]
+        for offer_inputs, offer_outputs in offers:
+            for combo in iproduct(*slot_inputs):
+                outputs = [offer_outputs]
+                reactions = []
+                feasible = True
+                for table, inputs in zip(tables, combo):
+                    reaction = table[inputs]
+                    if reaction is None:
+                        feasible = False
+                        break
+                    reactions.append(reaction)
+                    outputs.append(reaction)
+                if not feasible:
+                    continue
+                # Check every party consumes exactly what the others emit.
+                all_outputs = frozenset().union(*outputs)
+                if self.context is not None:
+                    expected = all_outputs & self.context.inputs
+                    if offer_inputs != expected:
+                        continue
+                ok = True
+                for slot, inputs in zip(self.slots, combo):
+                    emitted_to_slot = frozenset()
+                    for other_output in outputs:
+                        emitted_to_slot |= other_output & slot.component.inputs
+                    # Remove what the slot itself emitted (outputs are
+                    # pairwise disjoint from its own inputs anyway).
+                    if inputs != emitted_to_slot:
+                        ok = False
+                        break
+                if ok:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> MultiSynthesisResult:
+        records: list[MultiIterationRecord] = []
+        for index in range(self.max_iterations):
+            composed = self._compose()
+            checker = ModelChecker(composed)
+            property_result = checker.check(self.weakened_property)
+            deadlock_result = checker.check(DEADLOCK_FREE)
+
+            def snapshot() -> tuple[tuple[int, int, int], ...]:
+                return tuple(
+                    (len(slot.model.states), len(slot.model.transitions), len(slot.model.refusals))
+                    for slot in self.slots
+                )
+
+            if property_result.holds and deadlock_result.holds:
+                records.append(
+                    MultiIterationRecord(
+                        index,
+                        snapshot(),
+                        len(composed.states),
+                        True,
+                        True,
+                        None,
+                        None,
+                        False,
+                        0,
+                        (),
+                        0,
+                    )
+                )
+                return self._result(Verdict.PROVEN, records, None, None)
+
+            if not property_result.holds:
+                violated = "property"
+                cex = counterexample(composed, self.weakened_property, checker=checker)
+            else:
+                violated = "deadlock"
+                cex = counterexample(composed, DEADLOCK_FREE, checker=checker)
+            assert cex is not None
+
+            chaos_free = not any(
+                is_chaos_state(self._slot_state(state, slot))
+                for state in cex.states
+                for slot in self.slots
+            )
+            needs_probing = (
+                violated == "deadlock"
+                or (self._refusal_sensitive and composed.is_deadlock(cex.last_state))
+            )
+            if self.fast_conflict and violated == "property" and not needs_probing and chaos_free:
+                records.append(
+                    MultiIterationRecord(
+                        index,
+                        snapshot(),
+                        len(composed.states),
+                        property_result.holds,
+                        deadlock_result.holds,
+                        violated,
+                        cex,
+                        True,
+                        0,
+                        (),
+                        0,
+                    )
+                )
+                return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
+
+            before = sum(slot.model.knowledge_size() for slot in self.slots)
+            counters = [0]
+            learned_names: list[str] = []
+            all_confirmed = True
+            for slot in self.slots:
+                case = self._project_case(cex, slot)
+                counters[0] += 1
+                execution = execute_test(slot.component, case, port=self.port)
+                if execution.verdict is TestVerdict.CONFIRMED:
+                    if not chaos_free:
+                        grew = self._learn_execution(slot, execution)
+                        if grew:
+                            learned_names.append(slot.name)
+                else:
+                    all_confirmed = False
+                    if self._learn_execution(slot, execution):
+                        learned_names.append(slot.name)
+
+            real = False
+            if all_confirmed:
+                if needs_probing:
+                    tables = []
+                    for slot in self.slots:
+                        prefix = self._project_case(cex, slot)
+                        tables.append(self._reaction_table(slot, prefix, counters))
+                        learned_names.append(slot.name)
+                    context_state = (
+                        cex.last_state[0] if self.context is not None else None
+                    )
+                    real = not self._joint_step_exists(context_state, tables)
+                elif chaos_free:
+                    real = True
+
+            after = sum(slot.model.knowledge_size() for slot in self.slots)
+            records.append(
+                MultiIterationRecord(
+                    index,
+                    snapshot(),
+                    len(composed.states),
+                    property_result.holds,
+                    deadlock_result.holds,
+                    violated,
+                    cex,
+                    False,
+                    counters[0],
+                    tuple(dict.fromkeys(learned_names)),
+                    after - before,
+                )
+            )
+            if real:
+                return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
+            if after <= before:
+                raise SynthesisError(
+                    f"iteration {index} made no learning progress — non-deterministic "
+                    "component or inconsistent universe"
+                )
+        return self._result(Verdict.BUDGET_EXCEEDED, records, None, None)
+
+    def _result(
+        self,
+        verdict: Verdict,
+        records: list[MultiIterationRecord],
+        witness: Run | None,
+        kind: str | None,
+    ) -> MultiSynthesisResult:
+        return MultiSynthesisResult(
+            verdict=verdict,
+            property=self.property,
+            iterations=tuple(records),
+            final_models={slot.name: slot.model for slot in self.slots},
+            violation_witness=witness,
+            violation_kind=kind,
+        )

@@ -1,0 +1,113 @@
+"""Monitoring events and the paper's listing-style rendering (§5).
+
+The relevant information to observe while testing is "the state,
+messages, and the time when a message is received/send or a state is
+changed" (§5, citing Definition 1 and [34]).  Three event kinds mirror
+the paper's Listings 1.2/1.3/1.5:
+
+* ``[Message] name="…", portName="…", type="outgoing"|"incoming"``
+* ``[CurrentState] name="…"``
+* ``[Timing] count=n``
+
+Minimal instrumentation records messages (and their period numbers)
+only; full instrumentation adds state and timing events — which is only
+probe-effect-free during deterministic replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.interaction import Interaction
+from ..automata.runs import Run
+
+__all__ = [
+    "MessageEvent",
+    "StateEvent",
+    "TimingEvent",
+    "MonitorEvent",
+    "render_events",
+    "message_events",
+    "events_for_run",
+]
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """A message observed at a port."""
+
+    name: str
+    port: str
+    direction: str  # "outgoing" or "incoming", from the component's view
+    period: int
+
+    def render(self) -> str:
+        return (
+            f'[Message] name="{self.name}", portName="{self.port}", type="{self.direction}"'
+        )
+
+
+@dataclass(frozen=True)
+class StateEvent:
+    """A state observation (FULL instrumentation only)."""
+
+    name: str
+    period: int
+
+    def render(self) -> str:
+        return f'[CurrentState] name="{self.name}"'
+
+
+@dataclass(frozen=True)
+class TimingEvent:
+    """A period-counter observation (FULL instrumentation only)."""
+
+    count: int
+
+    def render(self) -> str:
+        return f"[Timing] count={self.count}"
+
+
+MonitorEvent = MessageEvent | StateEvent | TimingEvent
+
+
+def render_events(events: "list[MonitorEvent] | tuple[MonitorEvent, ...]") -> str:
+    """The listing text: one rendered event per line."""
+    return "\n".join(event.render() for event in events)
+
+
+def _interaction_messages(interaction: Interaction, port: str, period: int) -> list[MessageEvent]:
+    events = [
+        MessageEvent(name, port, "outgoing", period) for name in sorted(interaction.outputs)
+    ]
+    events.extend(
+        MessageEvent(name, port, "incoming", period) for name in sorted(interaction.inputs)
+    )
+    return events
+
+
+def message_events(trace: "tuple[Interaction, ...]", *, port: str) -> list[MessageEvent]:
+    """Minimal-instrumentation events for a trace (Listing 1.2 shape)."""
+    events: list[MessageEvent] = []
+    for period, interaction in enumerate(trace, start=1):
+        events.extend(_interaction_messages(interaction, port, period))
+    return events
+
+
+def events_for_run(run: Run, *, port: str, state_name=str) -> list[MonitorEvent]:
+    """Full-instrumentation events for an observed run (Listing 1.3 shape).
+
+    Emits, per executed step: the pre-step state, the step's messages,
+    and the post-step period count; the final state closes the listing.
+    ``state_name`` renders state identifiers (default ``str``).
+    """
+    events: list[MonitorEvent] = []
+    states = run.states
+    for index, (interaction, _target) in enumerate(run.steps):
+        events.append(StateEvent(state_name(states[index]), index))
+        events.extend(_interaction_messages(interaction, port, index + 1))
+        events.append(TimingEvent(index + 1))
+    events.append(StateEvent(state_name(run.last_state), len(run.steps)))
+    if run.blocked is not None:
+        events.extend(_interaction_messages(run.blocked, port, len(run.steps) + 1))
+    return events

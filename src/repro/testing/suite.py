@@ -1,0 +1,112 @@
+"""Model-based test suites (the paper's [23]: "Model-based testing of
+mechatronic systems").
+
+Once a behavioral model exists — a learned incomplete automaton, a
+pattern role, or a component model — it can drive systematic testing
+beyond single counterexamples: a *coverage suite* derives one test case
+per transition (or per state), executes all of them against the real
+component, and reports every divergence.  The paper uses exactly this
+machinery to generate test traces from models ("we can use a set of
+counterexamples of a model checker to generate test traces for our
+model"); the suite generator here is the coverage-driven complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..automata.analysis import shortest_run_to, transition_cover_runs
+from ..automata.automaton import Automaton
+from ..automata.incomplete import IncompleteAutomaton
+from ..automata.runs import Run
+from ..errors import ModelError
+from ..legacy.component import LegacyComponent
+from .executor import TestExecution, execute_test
+from .testcase import TestCase, TestStep
+
+__all__ = ["Coverage", "SuiteReport", "generate_suite", "run_suite"]
+
+Coverage = Literal["transitions", "states"]
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Outcome of executing a model-based test suite."""
+
+    suite_name: str
+    executions: tuple[TestExecution, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.executions)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for execution in self.executions if execution.confirmed)
+
+    @property
+    def failed(self) -> tuple[TestExecution, ...]:
+        return tuple(execution for execution in self.executions if not execution.confirmed)
+
+    @property
+    def ok(self) -> bool:
+        return self.passed == self.total
+
+    def summary(self) -> str:
+        lines = [f"suite {self.suite_name}: {self.passed}/{self.total} passed"]
+        for execution in self.failed:
+            lines.append(
+                f"  FAILED {execution.testcase.name}: {execution.verdict.value} "
+                f"at step {execution.divergence_index}"
+            )
+        return "\n".join(lines)
+
+
+def _run_to_case(run: Run, name: str) -> TestCase:
+    steps = tuple(TestStep(i.inputs, i.outputs) for i, _ in run.steps)
+    return TestCase(name=name, steps=steps)
+
+
+def generate_suite(
+    model: "Automaton | IncompleteAutomaton",
+    *,
+    coverage: Coverage = "transitions",
+    name: str = "suite",
+) -> list[TestCase]:
+    """Derive a coverage test suite from a behavioral model.
+
+    ``transitions`` coverage produces runs that jointly execute every
+    reachable transition; ``states`` coverage one shortest run per
+    reachable state.  The model must be an exact or under-approximating
+    behavioral model of the component (a learned model qualifies:
+    observation conformance is precisely under-approximation of runs).
+    """
+    automaton = model.automaton if isinstance(model, IncompleteAutomaton) else model
+    if not isinstance(automaton, Automaton):
+        raise ModelError(f"cannot derive a suite from {model!r}")
+    cases: list[TestCase] = []
+    if coverage == "transitions":
+        for index, run in enumerate(transition_cover_runs(automaton)):
+            cases.append(_run_to_case(run, f"{name}/t{index}"))
+    elif coverage == "states":
+        for index, state in enumerate(sorted(automaton.states, key=repr)):
+            run = shortest_run_to(automaton, lambda s, target=state: s == target)
+            if run is None:
+                continue
+            cases.append(_run_to_case(run, f"{name}/s{index}"))
+    else:
+        raise ModelError(f"unknown coverage criterion {coverage!r}")
+    return cases
+
+
+def run_suite(
+    component: LegacyComponent,
+    suite: "list[TestCase] | tuple[TestCase, ...]",
+    *,
+    port: str = "port",
+    name: str = "suite",
+) -> SuiteReport:
+    """Execute every case from the initial state and collect a report."""
+    executions = tuple(execute_test(component, case, port=port) for case in suite)
+    return SuiteReport(suite_name=name, executions=executions)

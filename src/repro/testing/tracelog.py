@@ -1,0 +1,102 @@
+"""Parsing monitored event listings back into events and runs.
+
+The monitor renders executions in the paper's listing format
+(``[Message] name="…", portName="…", type="outgoing"`` etc.).  Real
+integration projects have such logs *before* they have Python objects —
+recorded by the target's own tracing infrastructure.  This module
+parses the listing format back into events and reconstructs observed
+runs, so field logs can seed the learner directly
+(:func:`repro.synthesis.learn_regular` accepts the result).
+
+The grammar is exactly what :func:`repro.testing.render_events` emits;
+round-tripping is property-tested.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..automata.interaction import Interaction
+from ..automata.runs import Run
+from ..errors import ModelError
+from .monitor import MessageEvent, MonitorEvent, StateEvent, TimingEvent
+
+__all__ = ["parse_events", "run_from_events"]
+
+_MESSAGE_RE = re.compile(
+    r'\[Message\]\s+name="(?P<name>[^"]+)",\s+portName="(?P<port>[^"]+)",\s+'
+    r'type="(?P<direction>incoming|outgoing)"'
+)
+_STATE_RE = re.compile(r'\[CurrentState\]\s+name="(?P<name>[^"]+)"')
+_TIMING_RE = re.compile(r"\[Timing\]\s+count=(?P<count>\d+)")
+
+
+def parse_events(text: str) -> list[MonitorEvent]:
+    """Parse a listing (one event per line) into monitor events.
+
+    Periods of message events are inferred from the surrounding
+    ``[Timing]`` records when present (the count *after* a message is
+    its period), otherwise they default to 0.
+    """
+    events: list[MonitorEvent] = []
+    pending_messages: list[int] = []
+    period = 0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        match = _MESSAGE_RE.fullmatch(line)
+        if match:
+            events.append(
+                MessageEvent(match["name"], match["port"], match["direction"], period + 1)
+            )
+            pending_messages.append(len(events) - 1)
+            continue
+        match = _STATE_RE.fullmatch(line)
+        if match:
+            events.append(StateEvent(match["name"], period))
+            continue
+        match = _TIMING_RE.fullmatch(line)
+        if match:
+            period = int(match["count"])
+            events.append(TimingEvent(period))
+            for index in pending_messages:
+                event = events[index]
+                events[index] = MessageEvent(event.name, event.port, event.direction, period)
+            pending_messages.clear()
+            continue
+        raise ModelError(f"line {line_number} is not a monitor event: {raw_line!r}")
+    return events
+
+
+def run_from_events(events: "list[MonitorEvent] | tuple[MonitorEvent, ...]") -> Run:
+    """Reconstruct an observed run from a fully instrumented listing.
+
+    Expects the ``events_for_run`` shape: states interleaved with the
+    messages of each step.  Messages between two state observations form
+    that step's interaction (``incoming`` → inputs, ``outgoing`` →
+    outputs); messages after the final state form a blocked tail.
+    """
+    states = [event for event in events if isinstance(event, StateEvent)]
+    if not states:
+        raise ModelError("cannot reconstruct a run without state observations")
+
+    run = Run(states[0].name)
+    inputs: set[str] = set()
+    outputs: set[str] = set()
+    start_seen = False
+    for event in events:
+        if isinstance(event, StateEvent):
+            if not start_seen:
+                start_seen = True
+                continue
+            run = run.extend(Interaction(inputs, outputs), event.name)
+            inputs, outputs = set(), set()
+        elif isinstance(event, MessageEvent):
+            if event.direction == "incoming":
+                inputs.add(event.name)
+            else:
+                outputs.add(event.name)
+    if inputs or outputs:
+        run = run.block(Interaction(inputs, outputs))
+    return run

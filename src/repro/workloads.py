@@ -1,0 +1,177 @@
+"""Workload generators for benchmarks and randomized soundness sweeps.
+
+Three families:
+
+* :func:`random_deterministic_component` — strongly deterministic
+  machines over a given interface, seeded and reproducible; used by the
+  randomized C1 (soundness) sweeps.
+* :func:`mutate_component` — behavior-preserving-or-not mutations of an
+  existing component (retarget, re-output, or delete a transition),
+  modeling the "legacy component that fits more or less" the models
+  (§1); determinism is preserved by construction.
+* :func:`chain_server` / :func:`ping_client` — a protocol family whose
+  *context-relevant* state count scales with a parameter, complementing
+  the overbuilt shuttles (whose irrelevant part scales): this is the
+  workload where the paper's approach legitimately has to learn more.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from .automata.automaton import Automaton, Transition
+from .automata.interaction import Interaction
+from .errors import ModelError
+from .legacy.component import LegacyComponent
+
+__all__ = [
+    "random_deterministic_component",
+    "mutate_component",
+    "ping_client",
+    "chain_server",
+]
+
+
+def random_deterministic_component(
+    seed: int,
+    *,
+    n_states: int = 4,
+    inputs: Iterable[str] = ("ping",),
+    outputs: Iterable[str] = ("pong",),
+    reaction_probability: float = 0.8,
+    name: str = "random",
+) -> LegacyComponent:
+    """A seeded, strongly deterministic component over the interface.
+
+    For every state and every singleton-or-empty input set, the machine
+    reacts with probability ``reaction_probability`` — producing a
+    singleton-or-empty output set and moving to a random state — and
+    refuses otherwise.  All states are made reachable by wiring state
+    ``i`` to appear as some target of states ``< i`` where possible.
+    """
+    if n_states < 1:
+        raise ModelError("n_states must be positive")
+    rng = random.Random(seed)
+    inputs = sorted(inputs)
+    outputs = sorted(outputs)
+    input_sets = [frozenset()] + [frozenset({i}) for i in inputs]
+    output_sets = [frozenset()] + [frozenset({o}) for o in outputs]
+    states = [f"q{i}" for i in range(n_states)]
+    transitions: list[Transition] = []
+    # A spanning chain keeps every state reachable.
+    for index in range(n_states - 1):
+        chosen_inputs = rng.choice(input_sets)
+        chosen_outputs = rng.choice(output_sets)
+        transitions.append(
+            Transition(states[index], Interaction(chosen_inputs, chosen_outputs), states[index + 1])
+        )
+    used = {(t.source, t.interaction.inputs) for t in transitions}
+    for state in states:
+        for input_set in input_sets:
+            if (state, input_set) in used:
+                continue
+            if rng.random() > reaction_probability:
+                continue
+            interaction = Interaction(input_set, rng.choice(output_sets))
+            target = rng.choice(states)
+            transitions.append(Transition(state, interaction, target))
+            used.add((state, input_set))
+    hidden = Automaton(
+        states=states,
+        inputs=inputs,
+        outputs=outputs,
+        transitions=transitions,
+        initial=[states[0]],
+        name=f"{name}#{seed}",
+    )
+    return LegacyComponent(hidden, name=name)
+
+
+def mutate_component(
+    component: LegacyComponent, seed: int, *, mutations: int = 1, name: str | None = None
+) -> LegacyComponent:
+    """A copy of the component with random behavioral mutations.
+
+    Each mutation either retargets a transition, changes its outputs,
+    or deletes it; strong determinism is preserved (the ``(state,
+    inputs)`` key never gains a second reaction).  Useful for soundness
+    sweeps: some mutants stay correct, others break the protocol, and
+    the synthesis verdict must track the ground truth either way.
+    """
+    rng = random.Random(seed)
+    hidden = component._hidden
+    transitions = list(hidden.transitions)
+    if not transitions:
+        raise ModelError("cannot mutate a component without transitions")
+    states = sorted(hidden.states, key=repr)
+    output_sets = [frozenset()] + [frozenset({o}) for o in sorted(hidden.outputs)]
+    for _ in range(mutations):
+        index = rng.randrange(len(transitions))
+        victim = transitions[index]
+        operation = rng.choice(["retarget", "reoutput", "delete"])
+        if operation == "delete" and len(transitions) > 1:
+            transitions.pop(index)
+        elif operation == "retarget":
+            transitions[index] = Transition(
+                victim.source, victim.interaction, rng.choice(states)
+            )
+        else:
+            transitions[index] = Transition(
+                victim.source,
+                Interaction(victim.interaction.inputs, rng.choice(output_sets)),
+                victim.target,
+            )
+    mutated = Automaton(
+        states=hidden.states,
+        inputs=hidden.inputs,
+        outputs=hidden.outputs,
+        transitions=transitions,
+        initial=hidden.initial,
+        labels=hidden.label_map,
+        name=f"{hidden.name}~{seed}",
+    )
+    return LegacyComponent(mutated, name=name if name is not None else component.name)
+
+
+def ping_client(*, name: str = "client") -> Automaton:
+    """The canonical context: may idle, sends ping, awaits pong."""
+    return Automaton(
+        inputs={"pong"},
+        outputs={"ping"},
+        transitions=[
+            ("idle", (), (), "idle"),
+            ("idle", (), ("ping",), "waiting"),
+            ("waiting", ("pong",), (), "idle"),
+            ("waiting", (), (), "waiting"),
+        ],
+        initial=["idle"],
+        labels={"idle": {f"{name}.idle"}, "waiting": {f"{name}.waiting"}},
+        name=name,
+    )
+
+
+def chain_server(length: int, *, name: str = "server") -> LegacyComponent:
+    """A server whose *context-relevant* state count scales with length.
+
+    The server cycles through ``length`` rounds; in each round it
+    consumes a ping and answers with a pong one period later.  Every
+    state is exercised by the ping client, so — unlike the overbuilt
+    shuttles — the synthesis genuinely has to learn ``2·length`` states.
+    """
+    if length < 1:
+        raise ModelError("length must be positive")
+    transitions = []
+    for index in range(length):
+        ready, busy = f"ready{index}", f"busy{index}"
+        transitions.append((ready, ("ping",), (), busy))
+        transitions.append((ready, (), (), ready))
+        transitions.append((busy, (), ("pong",), f"ready{(index + 1) % length}"))
+    hidden = Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=transitions,
+        initial=["ready0"],
+        name=f"{name}(chain-{length})",
+    )
+    return LegacyComponent(hidden, name=name)

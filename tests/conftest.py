@@ -1,0 +1,58 @@
+"""Shared fixtures: small canonical automata and components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import Automaton, Interaction, InteractionUniverse
+from repro.legacy import LegacyComponent
+
+
+@pytest.fixture
+def ping_client() -> Automaton:
+    """Sends ping, waits for pong; labeled; may idle."""
+    return Automaton(
+        inputs={"pong"},
+        outputs={"ping"},
+        transitions=[
+            ("idle", (), (), "idle"),
+            ("idle", (), ("ping",), "waiting"),
+            ("waiting", ("pong",), (), "idle"),
+            ("waiting", (), (), "waiting"),
+        ],
+        initial=["idle"],
+        labels={"idle": {"client.idle"}, "waiting": {"client.waiting"}},
+        name="client",
+    )
+
+
+@pytest.fixture
+def pong_server() -> Automaton:
+    """Deterministic server answering each ping one period later."""
+    return Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        labels={"ready": {"server.ready"}, "busy": {"server.busy"}},
+        name="server",
+    )
+
+
+@pytest.fixture
+def pong_component(pong_server) -> LegacyComponent:
+    return LegacyComponent(pong_server.replace(labels={}), name="server")
+
+
+@pytest.fixture
+def ping_universe() -> InteractionUniverse:
+    return InteractionUniverse.singletons({"ping"}, {"pong"})
+
+
+@pytest.fixture
+def idle() -> Interaction:
+    return Interaction()

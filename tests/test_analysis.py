@@ -1,0 +1,118 @@
+"""Unit tests for reachability and witness-run analyses."""
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    Run,
+    deadlock_witness,
+    prune_unreachable,
+    reachable_deadlocks,
+    reachable_states,
+    shortest_run_to,
+    transition_cover_runs,
+)
+
+STEP = Interaction(None, ["tick"])
+
+
+def chain(length: int, *, extra_unreachable: bool = False) -> Automaton:
+    transitions = [(f"s{i}", (), ("tick",), f"s{i + 1}") for i in range(length)]
+    states = [f"s{i}" for i in range(length + 1)]
+    if extra_unreachable:
+        states.append("island")
+        transitions.append(("island", (), ("tick",), "island"))
+    return Automaton(
+        states=states,
+        inputs=(),
+        outputs={"tick"},
+        transitions=transitions,
+        initial=["s0"],
+        name="chain",
+    )
+
+
+class TestReachability:
+    def test_all_chain_states_reachable(self):
+        assert reachable_states(chain(3)) == {f"s{i}" for i in range(4)}
+
+    def test_island_not_reachable(self):
+        assert "island" not in reachable_states(chain(2, extra_unreachable=True))
+
+    def test_prune_removes_island(self):
+        pruned = prune_unreachable(chain(2, extra_unreachable=True))
+        assert "island" not in pruned.states
+        assert all(t.source != "island" for t in pruned.transitions)
+
+    def test_prune_is_identity_when_all_reachable(self):
+        automaton = chain(2)
+        assert prune_unreachable(automaton) is automaton
+
+
+class TestShortestRun:
+    def test_shortest_run_to_goal(self):
+        run = shortest_run_to(chain(5), lambda s: s == "s3")
+        assert run is not None
+        assert run.states == ("s0", "s1", "s2", "s3")
+
+    def test_goal_at_initial_gives_empty_run(self):
+        run = shortest_run_to(chain(3), lambda s: s == "s0")
+        assert run == Run("s0")
+
+    def test_unreachable_goal_gives_none(self):
+        assert shortest_run_to(chain(2), lambda s: s == "nowhere") is None
+
+    def test_shortest_among_multiple_paths(self):
+        automaton = Automaton(
+            inputs=(),
+            outputs={"tick"},
+            transitions=[
+                ("a", (), ("tick",), "b"),
+                ("b", (), ("tick",), "goal"),
+                ("a", (), ("tick",), "goal"),
+            ],
+            initial=["a"],
+        )
+        run = shortest_run_to(automaton, lambda s: s == "goal")
+        assert run is not None and len(run.steps) == 1
+
+
+class TestDeadlocks:
+    def test_chain_end_is_reachable_deadlock(self):
+        assert reachable_deadlocks(chain(2)) == frozenset({"s2"})
+
+    def test_island_deadlocks_not_reported(self):
+        automaton = chain(1, extra_unreachable=True)
+        assert reachable_deadlocks(automaton) == frozenset({"s1"})
+
+    def test_deadlock_witness_is_shortest(self):
+        witness = deadlock_witness(chain(3))
+        assert witness is not None
+        assert witness.last_state == "s3"
+        assert len(witness.steps) == 3
+
+    def test_no_deadlock_gives_none(self):
+        looping = Automaton(
+            inputs=(), outputs=(), transitions=[("s", (), (), "s")], initial=["s"]
+        )
+        assert deadlock_witness(looping) is None
+
+
+class TestTransitionCover:
+    def test_cover_executes_every_transition(self):
+        automaton = Automaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[
+                ("s", ("a",), (), "t"),
+                ("t", (), ("b",), "s"),
+                ("t", (), (), "t"),
+            ],
+            initial=["s"],
+        )
+        runs = transition_cover_runs(automaton)
+        covered = {t for run in runs for t in run.transitions()}
+        assert covered == automaton.transitions
+
+    def test_cover_of_empty_automaton(self):
+        automaton = Automaton(inputs=(), outputs=(), initial=["s"])
+        assert transition_cover_runs(automaton) == []

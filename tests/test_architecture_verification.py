@@ -1,0 +1,156 @@
+"""Tests for whole-architecture verification and RTSC urgency."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import Automaton, IDLE
+from repro.errors import NotCompositionalError
+from repro.logic import parse
+from repro.muml import (
+    Architecture,
+    Component,
+    CoordinationPattern,
+    Port,
+    Role,
+    verify_architecture,
+)
+from repro.rtsc import ClockConstraint, Statechart, unfold
+
+
+def convoy_architecture(*, with_legacy: bool = True) -> Architecture:
+    pattern = railcab.distance_coordination_pattern()
+    front_port = Port("front", pattern.role("frontRole"), railcab.front_role_automaton())
+    architecture = Architecture("convoy")
+    architecture.add_component(Component("leader", [front_port]))
+    if with_legacy:
+        architecture.add_legacy("follower")
+        architecture.instantiate(
+            pattern,
+            {"frontRole": ("leader", "front"), "rearRole": ("follower", None)},
+        )
+    else:
+        rear_port = Port("rear", pattern.role("rearRole"), railcab.rear_role_automaton())
+        architecture.add_component(Component("trailer", [rear_port]))
+        architecture.instantiate(
+            pattern,
+            {"frontRole": ("leader", "front"), "rearRole": ("trailer", "rear")},
+        )
+    return architecture
+
+
+class TestVerifyArchitecture:
+    def test_fully_modeled_architecture_ok(self):
+        report = verify_architecture(
+            convoy_architecture(with_legacy=False),
+            system_properties=[railcab.PATTERN_CONSTRAINT],
+        )
+        assert report.ok
+        assert report.findings() == []
+        assert report.system_deadlock is not None and report.system_deadlock.holds
+        assert not report.skipped_system_check
+
+    def test_pattern_results_included(self):
+        report = verify_architecture(convoy_architecture(with_legacy=False))
+        assert "DistanceCoordination" in report.pattern_results
+        assert report.pattern_results["DistanceCoordination"].ok
+
+    def test_port_results_keyed_by_component_and_port(self):
+        report = verify_architecture(convoy_architecture(with_legacy=False))
+        assert "leader.front" in report.port_results
+        assert "trailer.rear" in report.port_results
+        assert all(result.ok for result in report.port_results.values())
+
+    def test_system_check_skipped_with_legacy(self):
+        report = verify_architecture(
+            convoy_architecture(with_legacy=True),
+            system_properties=[railcab.PATTERN_CONSTRAINT],
+        )
+        assert report.skipped_system_check
+        assert report.system_results == {}
+        # Pattern and port checks still ran.
+        assert report.pattern_results
+
+    def test_violated_system_property_reported_with_witness(self):
+        report = verify_architecture(
+            convoy_architecture(with_legacy=False),
+            system_properties=[parse("AG not frontRole.convoy")],
+        )
+        assert not report.ok
+        assert any("system property" in finding for finding in report.findings())
+        assert report.system_counterexamples
+
+    def test_nonconforming_port_reported(self):
+        pattern = railcab.distance_coordination_pattern()
+        rogue_behavior = Automaton(
+            inputs=railcab.FRONT_TO_REAR,
+            outputs=railcab.REAR_TO_FRONT,
+            transitions=[
+                ("s", (), ("convoyProposal",), "s"),
+                ("s", (), ("breakConvoyProposal",), "s"),
+            ],
+            initial=["s"],
+            labels={"s": {"rearRole.noConvoy", "rearRole.fullBraking"}},
+            name="rogue",
+        )
+        rogue_port = Port("rear", pattern.role("rearRole"), rogue_behavior)
+        architecture = Architecture("bad")
+        front_port = Port("front", pattern.role("frontRole"), railcab.front_role_automaton())
+        architecture.add_component(Component("leader", [front_port]))
+        architecture.add_component(Component("trailer", [rogue_port]))
+        architecture.instantiate(
+            pattern, {"frontRole": ("leader", "front"), "rearRole": ("trailer", "rear")}
+        )
+        report = verify_architecture(architecture)
+        assert not report.ok
+        assert any("does not refine" in finding for finding in report.findings())
+
+    def test_non_compositional_system_property_rejected(self):
+        with pytest.raises(NotCompositionalError):
+            verify_architecture(
+                convoy_architecture(with_legacy=False),
+                system_properties=[parse("EF frontRole.convoy")],
+            )
+
+    def test_each_pattern_verified_once(self):
+        architecture = convoy_architecture(with_legacy=False)
+        report = verify_architecture(architecture)
+        assert len(report.pattern_results) == 1
+
+
+class TestUrgentTransitions:
+    def test_urgent_transition_blocks_idling(self):
+        chart = Statechart("u", outputs={"go"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="go", urgent=True)
+        automaton = unfold(chart)
+        assert all(not t.interaction.is_idle for t in automaton.transitions_from("a"))
+
+    def test_non_urgent_transition_keeps_idle_choice(self):
+        chart = Statechart("u", outputs={"go"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="go")
+        automaton = unfold(chart)
+        assert any(t.interaction == IDLE for t in automaton.transitions_from("a"))
+
+    def test_urgency_respects_guards(self):
+        chart = Statechart("u", outputs={"go"}, clocks={"c"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="go", guard=ClockConstraint.at_least("c", 2), urgent=True)
+        automaton = unfold(chart)
+        # Before the guard opens, idling is still possible…
+        assert any(t.interaction == IDLE for t in automaton.transitions_from("a|c=0"))
+        # …once it opens, the urgent transition suppresses the idle step.
+        assert all(not t.interaction.is_idle for t in automaton.transitions_from("a|c=2"))
+
+    def test_urgent_triggered_transition(self):
+        chart = Statechart("u", inputs={"msg"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, trigger="msg", urgent=True)
+        automaton = unfold(chart)
+        # The urgent reception forbids idling in a — the chart insists on
+        # consuming the message the moment it can.
+        assert all(t.inputs == frozenset({"msg"}) for t in automaton.transitions_from("a"))

@@ -1,0 +1,105 @@
+"""Tests for the automotive case study (AUTOSAR-style integration)."""
+
+import pytest
+
+from repro import automotive
+from repro.automata import compose
+from repro.integration import integrate
+from repro.logic import ModelChecker, parse
+from repro.muml import Port
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+
+class TestModels:
+    def test_pattern_verifies(self):
+        result = automotive.brake_coordination_pattern().verify()
+        assert result.ok
+
+    def test_coordinator_is_deadlock_free_alone(self):
+        checker = ModelChecker(automotive.coordinator_automaton())
+        assert checker.holds(parse("AG not deadlock"))
+
+    def test_supplier_a_refines_the_role(self):
+        pattern = automotive.brake_coordination_pattern()
+        port = Port(
+            "acc",
+            pattern.role("accUnit"),
+            automotive.supplier_a_acc()._hidden.with_labels(automotive.acc_state_labeler),
+        )
+        check = port.check_conformance(
+            contract_propositions=automotive.BRAKE_CONSTRAINT.propositions()
+        )
+        assert check.refines_role
+
+    def test_supplier_b_does_not_refine_the_role(self):
+        pattern = automotive.brake_coordination_pattern()
+        port = Port(
+            "acc",
+            pattern.role("accUnit"),
+            automotive.supplier_b_acc()._hidden.with_labels(automotive.acc_state_labeler),
+        )
+        check = port.check_conformance(
+            contract_propositions=automotive.BRAKE_CONSTRAINT.propositions()
+        )
+        assert not check.refines_role
+
+    def test_ground_truths(self):
+        truth_a = compose(
+            automotive.coordinator_automaton(), automotive.supplier_a_acc()._hidden
+        )
+        checker = ModelChecker(truth_a)
+        assert checker.holds(automotive.BRAKE_CONSTRAINT)
+        assert checker.holds(parse("AG not deadlock"))
+        truth_b = compose(
+            automotive.coordinator_automaton(), automotive.supplier_b_acc()._hidden
+        )
+        checker_b = ModelChecker(truth_b)
+        assert not (
+            checker_b.holds(automotive.BRAKE_CONSTRAINT)
+            and checker_b.holds(parse("AG not deadlock"))
+        )
+
+
+class TestSynthesis:
+    def test_supplier_a_proven(self):
+        result = IntegrationSynthesizer(
+            automotive.coordinator_automaton(),
+            automotive.supplier_a_acc(),
+            automotive.BRAKE_CONSTRAINT,
+            labeler=automotive.acc_state_labeler,
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+
+    def test_supplier_b_rejected(self):
+        result = IntegrationSynthesizer(
+            automotive.coordinator_automaton(),
+            automotive.supplier_b_acc(),
+            automotive.BRAKE_CONSTRAINT,
+            labeler=automotive.acc_state_labeler,
+        ).run()
+        assert result.verdict is Verdict.REAL_VIOLATION
+
+
+class TestArchitectureWorkflow:
+    def test_integrate_supplier_a(self):
+        report = integrate(
+            automotive.acc_architecture(),
+            {"acc": automotive.supplier_a_acc()},
+            labelers={"acc": automotive.acc_state_labeler},
+        )
+        assert report.ok
+
+    def test_integrate_supplier_b(self):
+        report = integrate(
+            automotive.acc_architecture(),
+            {"acc": automotive.supplier_b_acc()},
+            labelers={"acc": automotive.acc_state_labeler},
+        )
+        assert not report.ok
+        assert report.placements["acc"].verdict is Verdict.REAL_VIOLATION
+
+    def test_architecture_context_matches_coordinator(self):
+        extraction = automotive.acc_architecture().context_for("acc")
+        assert extraction.legacy_inputs == automotive.ACC_INPUTS
+        assert extraction.legacy_outputs == automotive.ACC_OUTPUTS
+        assert extraction.constraints == (automotive.BRAKE_CONSTRAINT,)

@@ -1,0 +1,286 @@
+"""Unit tests for the baselines: L*, W-method, black-box checking (§6)."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import Automaton, Interaction, InteractionUniverse, enumerate_traces
+from repro.baselines import (
+    BBCVerdict,
+    BlackBoxChecker,
+    ConformanceEquivalenceOracle,
+    LStarLearner,
+    MembershipOracle,
+    PerfectEquivalenceOracle,
+    characterization_set,
+    hypothesis_to_automaton,
+    transition_cover,
+    vasilevskii_bound,
+    w_method_suite,
+)
+from repro.legacy import LegacyComponent, interface_of
+
+PING = Interaction(["ping"], None)
+PONG = Interaction(None, ["pong"])
+IDLE = Interaction()
+
+
+def server_component() -> LegacyComponent:
+    hidden = Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        name="server",
+    )
+    return LegacyComponent(hidden, name="server")
+
+
+def universe() -> InteractionUniverse:
+    return InteractionUniverse.singletons({"ping"}, {"pong"})
+
+
+class TestMembershipOracle:
+    def test_accepts_executable_words(self):
+        oracle = MembershipOracle(server_component())
+        assert oracle.query((PING, PONG))
+        assert oracle.query((IDLE, PING))
+
+    def test_rejects_unexecutable_words(self):
+        oracle = MembershipOracle(server_component())
+        assert not oracle.query((PONG,))  # no pong before ping
+        assert not oracle.query((PING, PING))  # busy refuses ping
+
+    def test_prefix_closure(self):
+        oracle = MembershipOracle(server_component())
+        word = (PING, PONG, PING)
+        if oracle.query(word):
+            for length in range(len(word)):
+                assert oracle.query(word[:length])
+
+    def test_caching(self):
+        oracle = MembershipOracle(server_component())
+        oracle.query((PING,))
+        queries_before = oracle.queries
+        oracle.query((PING,))
+        assert oracle.queries == queries_before
+        assert oracle.cache_hits == 1
+
+
+class TestLStar:
+    def learn(self, component):
+        uni = interface_of(component).universe()
+        membership = MembershipOracle(component)
+        equivalence = PerfectEquivalenceOracle(component._hidden, uni)
+        learner = LStarLearner(membership, uni, equivalence)
+        return learner.learn(), learner, uni
+
+    def test_learns_server_exactly(self):
+        dfa, learner, uni = self.learn(server_component())
+        # 2 real states + 1 reject sink.
+        assert dfa.size == 3
+        assert learner.statistics.equivalence_queries >= 1
+        hypothesis = hypothesis_to_automaton(dfa)
+        truth = server_component()._hidden
+        assert enumerate_traces(hypothesis, 5) == enumerate_traces(truth, 5)
+
+    def test_learns_rear_shuttle(self):
+        dfa, _, _ = self.learn(railcab.correct_rear_shuttle(convoy_ticks=1))
+        assert dfa.size == 5 + 1
+
+    def test_accepts_matches_membership(self):
+        component = server_component()
+        dfa, _, uni = self.learn(component)
+        oracle = MembershipOracle(server_component())
+        import itertools
+
+        symbols = list(uni)
+        for length in range(3):
+            for word in itertools.product(symbols, repeat=length):
+                assert dfa.accepts(word) == oracle.query(word), word
+
+    def test_statistics_counted(self):
+        _, learner, _ = self.learn(server_component())
+        assert learner.statistics.membership_queries > 0
+        assert learner.statistics.rounds >= 1
+
+    def test_hypothesis_to_automaton_requires_nonempty_language(self):
+        from repro.baselines import LStarDFA
+        from repro.errors import SynthesisError
+
+        dfa = LStarDFA(
+            states=(0,),
+            alphabet=(IDLE,),
+            initial=0,
+            accepting=frozenset(),
+            delta={(0, IDLE): 0},
+            access={0: ()},
+        )
+        with pytest.raises(SynthesisError):
+            hypothesis_to_automaton(dfa)
+
+
+class TestConformance:
+    def learned_dfa(self):
+        component = server_component()
+        uni = universe()
+        learner = LStarLearner(
+            MembershipOracle(component), uni, PerfectEquivalenceOracle(component._hidden, uni)
+        )
+        return learner.learn(), uni
+
+    def test_transition_cover_includes_empty_word(self):
+        dfa, uni = self.learned_dfa()
+        cover = transition_cover(dfa, uni)
+        assert () in cover
+        assert len(cover) == 1 + dfa.size * len(uni)
+
+    def test_characterization_set_distinguishes_all_pairs(self):
+        dfa, uni = self.learned_dfa()
+        w_set = characterization_set(dfa, uni)
+        for a in dfa.states:
+            for b in dfa.states:
+                if a == b:
+                    continue
+                assert any(
+                    (dfa.run_from(a, w) in dfa.accepting) != (dfa.run_from(b, w) in dfa.accepting)
+                    for w in w_set
+                ), (a, b)
+
+    def test_w_method_finds_injected_fault(self):
+        dfa, uni = self.learned_dfa()
+        # A faulty implementation: drops the pong.
+        faulty_hidden = Automaton(
+            inputs={"ping"},
+            outputs={"pong"},
+            transitions=[
+                ("ready", ("ping",), (), "busy"),
+                ("ready", (), (), "ready"),
+                ("busy", (), (), "ready"),  # silent instead of pong
+            ],
+            initial=["ready"],
+            name="faulty",
+        )
+        oracle = ConformanceEquivalenceOracle(
+            LegacyComponent(faulty_hidden, name="server"), uni, state_bound=dfa.size + 1
+        )
+        counterexample = oracle.find_counterexample(dfa)
+        assert counterexample is not None
+
+    def test_w_method_passes_correct_implementation(self):
+        dfa, uni = self.learned_dfa()
+        oracle = ConformanceEquivalenceOracle(
+            server_component(), uni, state_bound=dfa.size + 1
+        )
+        assert oracle.find_counterexample(dfa) is None
+        assert oracle.tests_executed > 0
+
+    def test_suite_grows_with_state_bound(self):
+        dfa, uni = self.learned_dfa()
+        small = w_method_suite(dfa, uni, state_bound=dfa.size)
+        large = w_method_suite(dfa, uni, state_bound=dfa.size + 2)
+        assert len(large) > len(small)
+
+    def test_vasilevskii_bound(self):
+        assert vasilevskii_bound(3, 3, 4) == 3 * 3 * 3 * 4
+        assert vasilevskii_bound(3, 5, 4) == 9 * 5 * 4 ** 3
+        with pytest.raises(ValueError):
+            vasilevskii_bound(5, 3, 4)
+
+
+class TestBlackBoxChecking:
+    def test_violated_on_faulty_shuttle(self):
+        component = railcab.faulty_rear_shuttle()
+        uni = interface_of(component).universe()
+        checker = BlackBoxChecker(
+            railcab.front_role_automaton(),
+            component,
+            railcab.PATTERN_CONSTRAINT,
+            universe=uni,
+            equivalence=PerfectEquivalenceOracle(component._hidden, uni),
+            labeler=railcab.rear_state_labeler,
+        )
+        result = checker.run()
+        assert result.verdict is BBCVerdict.VIOLATED
+        assert result.witness is not None
+        # The witness is executable on the real component.
+        assert MembershipOracle(railcab.faulty_rear_shuttle()).query(result.witness)
+
+    def test_satisfied_on_correct_shuttle(self):
+        component = railcab.correct_rear_shuttle()
+        uni = interface_of(component).universe()
+        checker = BlackBoxChecker(
+            railcab.front_role_automaton(),
+            component,
+            railcab.PATTERN_CONSTRAINT,
+            universe=uni,
+            equivalence=PerfectEquivalenceOracle(component._hidden, uni),
+            labeler=railcab.rear_state_labeler,
+        )
+        result = checker.run()
+        assert result.verdict is BBCVerdict.SATISFIED
+        # BBC must learn the whole machine before it can conclude.
+        assert result.hypothesis_sizes[-1] >= component.state_bound
+
+    def test_bbc_counts_queries(self):
+        component = railcab.faulty_rear_shuttle()
+        uni = interface_of(component).universe()
+        checker = BlackBoxChecker(
+            railcab.front_role_automaton(),
+            component,
+            railcab.PATTERN_CONSTRAINT,
+            universe=uni,
+            equivalence=PerfectEquivalenceOracle(component._hidden, uni),
+            labeler=railcab.rear_state_labeler,
+        )
+        result = checker.run()
+        assert result.membership_queries > 0
+        assert result.rounds >= 1
+
+
+class TestRivestSchapire:
+    def learn(self, component, mode):
+        uni = interface_of(component).universe()
+        learner = LStarLearner(
+            MembershipOracle(component),
+            uni,
+            PerfectEquivalenceOracle(component._hidden, uni),
+            counterexample_handling=mode,
+        )
+        return learner.learn(), learner.statistics
+
+    def test_learns_the_same_machine(self):
+        baseline, _ = self.learn(server_component(), "all-prefixes")
+        rs, _ = self.learn(server_component(), "rivest-schapire")
+        assert baseline.size == rs.size
+        import itertools
+
+        uni = universe()
+        for length in range(3):
+            for word in itertools.product(tuple(uni), repeat=length):
+                assert baseline.accepts(word) == rs.accepts(word)
+
+    def test_rs_uses_fewer_membership_queries_on_larger_machines(self):
+        component = railcab.overbuilt_rear_shuttle(extra_states=10)
+        _, ap_stats = self.learn(railcab.overbuilt_rear_shuttle(extra_states=10), "all-prefixes")
+        _, rs_stats = self.learn(railcab.overbuilt_rear_shuttle(extra_states=10), "rivest-schapire")
+        del component
+        assert rs_stats.membership_queries < ap_stats.membership_queries
+        # The classic trade: more equivalence rounds instead.
+        assert rs_stats.equivalence_queries >= ap_stats.equivalence_queries
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import SynthesisError
+
+        component = server_component()
+        uni = interface_of(component).universe()
+        with pytest.raises(SynthesisError, match="unknown counterexample handling"):
+            LStarLearner(
+                MembershipOracle(component),
+                uni,
+                PerfectEquivalenceOracle(component._hidden, uni),
+                counterexample_handling="magic",
+            )

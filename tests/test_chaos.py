@@ -1,0 +1,159 @@
+"""Unit tests for the chaotic automaton and closure (Definitions 8/9)."""
+
+import pytest
+
+from repro.automata import (
+    CHAOS_PROPOSITION,
+    ChaosState,
+    ClosureState,
+    IDLE,
+    IncompleteAutomaton,
+    Interaction,
+    InteractionUniverse,
+    Run,
+    S_ALL,
+    S_DELTA,
+    chaotic_automaton,
+    chaotic_closure,
+    closure_base_state,
+    is_chaos_state,
+    run_stays_in_learned_part,
+)
+from repro.errors import ModelError
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+UNIVERSE = InteractionUniverse.singletons({"a"}, {"b"})
+
+
+class TestChaoticAutomaton:
+    def test_structure_matches_definition8(self):
+        chaos = chaotic_automaton(UNIVERSE)
+        assert chaos.states == frozenset({S_ALL, S_DELTA})
+        assert chaos.initial == frozenset({S_ALL, S_DELTA})
+        # s_all has two transitions per interaction, s_delta none.
+        assert len(chaos.transitions) == 2 * len(UNIVERSE)
+        assert chaos.is_deadlock(S_DELTA)
+        assert not chaos.is_deadlock(S_ALL)
+
+    def test_chaos_states_carry_the_fresh_proposition(self):
+        chaos = chaotic_automaton(UNIVERSE)
+        assert chaos.labels(S_ALL) == frozenset({CHAOS_PROPOSITION})
+        assert chaos.labels(S_DELTA) == frozenset({CHAOS_PROPOSITION})
+
+    def test_s_all_accepts_every_interaction(self):
+        chaos = chaotic_automaton(UNIVERSE)
+        assert chaos.enabled(S_ALL) == frozenset(UNIVERSE)
+
+
+class TestClosureStructure:
+    def make(self, **kwargs):
+        defaults = dict(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", A, "t")],
+            refusals=[("t", B)],
+            initial=["s"],
+            labels={"s": {"p"}},
+            name="M",
+        )
+        defaults.update(kwargs)
+        return IncompleteAutomaton(**defaults)
+
+    def test_states_are_doubled_plus_chaos(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        expected = {
+            ClosureState("s", False),
+            ClosureState("s", True),
+            ClosureState("t", False),
+            ClosureState("t", True),
+            S_ALL,
+            S_DELTA,
+        }
+        assert closure.states == frozenset(expected)
+
+    def test_initial_states_are_both_tags(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        assert closure.initial == frozenset({ClosureState("s", False), ClosureState("s", True)})
+
+    def test_known_transitions_doubled_four_ways(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        doubled = [
+            t
+            for t in closure.transitions
+            if isinstance(t.source, ClosureState)
+            and isinstance(t.target, ClosureState)
+            and t.interaction == A
+        ]
+        assert len(doubled) == 4
+
+    def test_zero_tag_states_have_no_escapes(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        from_zero = closure.transitions_from(ClosureState("s", False))
+        assert all(isinstance(t.target, ClosureState) for t in from_zero)
+
+    def test_one_tag_states_escape_for_unrefused_interactions(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        escapes = [
+            t for t in closure.transitions_from(ClosureState("t", True)) if is_chaos_state(t.target)
+        ]
+        # |universe| = 3; B is refused at t, so 2 interactions escape,
+        # each to both s_all and s_delta.
+        assert len(escapes) == (len(UNIVERSE) - 1) * 2
+        assert all(t.interaction != B for t in escapes)
+
+    def test_deterministic_variant_omits_escapes_for_known_interactions(self):
+        closure = chaotic_closure(self.make(), UNIVERSE, deterministic_implementation=True)
+        escapes = {
+            t.interaction
+            for t in closure.transitions_from(ClosureState("s", True))
+            if is_chaos_state(t.target)
+        }
+        assert A not in escapes  # known at s
+        assert IDLE in escapes
+
+    def test_literal_variant_escapes_even_for_known(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        escapes = {
+            t.interaction
+            for t in closure.transitions_from(ClosureState("s", True))
+            if is_chaos_state(t.target)
+        }
+        assert A in escapes
+
+    def test_labels_inherited_and_chaos_labeled(self):
+        closure = chaotic_closure(self.make(), UNIVERSE)
+        assert closure.labels(ClosureState("s", False)) == frozenset({"p"})
+        assert closure.labels(S_ALL) == frozenset({CHAOS_PROPOSITION})
+
+    def test_universe_signal_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="do not match"):
+            chaotic_closure(self.make(), InteractionUniverse.singletons({"x"}, {"b"}))
+
+    def test_name_defaults_to_chaos_of(self):
+        assert chaotic_closure(self.make(), UNIVERSE).name == "chaos(M)"
+
+
+class TestHelpers:
+    def test_is_chaos_state(self):
+        assert is_chaos_state(S_ALL)
+        assert is_chaos_state(S_DELTA)
+        assert not is_chaos_state(ClosureState("s", True))
+        assert not is_chaos_state("plain")
+
+    def test_closure_base_state(self):
+        assert closure_base_state(ClosureState("s", True)) == "s"
+        assert closure_base_state(S_DELTA) is None
+        with pytest.raises(ModelError):
+            closure_base_state("plain")
+
+    def test_run_stays_in_learned_part(self):
+        stay = Run(ClosureState("s", False)).extend(A, ClosureState("t", True))
+        escape = Run(ClosureState("s", True)).extend(A, S_ALL)
+        assert run_stays_in_learned_part(stay)
+        assert not run_stays_in_learned_part(escape)
+
+    def test_chaos_state_repr(self):
+        assert repr(S_ALL) == "s_all"
+        assert repr(S_DELTA) == "s_delta"
+        assert repr(ClosureState("s", True)) == "('s',1)"

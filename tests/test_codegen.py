@@ -1,0 +1,212 @@
+"""Tests for controller code generation: the generated code must be
+behaviorally equivalent to the model it came from."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import railcab
+from repro.automata import Automaton, Transition, Interaction
+from repro.codegen import compile_controller, generate_python
+from repro.errors import ModelError
+from repro.legacy import LegacyComponent
+from repro.rtsc import unfold
+from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.testing import generate_suite, run_suite
+
+
+def server_model() -> Automaton:
+    return Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        name="server",
+    )
+
+
+class TestGeneration:
+    def test_source_is_valid_python(self):
+        source = generate_python(server_model())
+        compile(source, "<test>", "exec")
+
+    def test_source_contains_transition_table(self):
+        source = generate_python(server_model())
+        assert "TRANSITIONS" in source
+        assert "'ready'" in source and "'busy'" in source
+
+    def test_custom_class_name(self):
+        source = generate_python(server_model(), class_name="PingServer")
+        assert "class PingServer:" in source
+
+    def test_invalid_class_name_rejected(self):
+        with pytest.raises(ModelError, match="class name"):
+            generate_python(server_model(), class_name="123bad")
+        with pytest.raises(ModelError, match="class name"):
+            generate_python(server_model(), class_name="class")
+
+    def test_nondeterministic_model_rejected(self):
+        bad = Automaton(
+            inputs={"a"},
+            outputs={"x", "y"},
+            transitions=[("s", ("a",), ("x",), "s"), ("s", ("a",), ("y",), "s")],
+            initial=["s"],
+        )
+        with pytest.raises(ModelError, match="strongly deterministic"):
+            generate_python(bad)
+
+    def test_multiple_initial_states_rejected(self):
+        bad = Automaton(inputs=(), outputs=(), initial=["a", "b"])
+        with pytest.raises(ModelError, match="exactly one initial"):
+            generate_python(bad)
+
+    def test_non_string_states_rejected(self):
+        bad = Automaton(
+            inputs=(), outputs=(),
+            transitions=[Transition(0, Interaction(), 0)], initial=[0],
+        )
+        with pytest.raises(ModelError, match="string states"):
+            generate_python(bad)
+
+
+class TestCompiledController:
+    def test_step_semantics(self):
+        controller = compile_controller(server_model())()
+        assert controller.step(["ping"]) == frozenset()
+        assert controller.step() == frozenset({"pong"})
+        assert controller.period == 2
+
+    def test_refusal_returns_none_and_keeps_state(self):
+        controller = compile_controller(server_model())()
+        controller.step(["ping"])  # -> busy
+        assert controller.step(["ping"]) is None  # busy refuses ping
+        assert controller.step() == frozenset({"pong"})
+
+    def test_reset(self):
+        controller = compile_controller(server_model())()
+        controller.step(["ping"])
+        controller.reset()
+        assert controller.state == controller.INITIAL
+        assert controller.period == 0
+
+    def test_unknown_input_raises(self):
+        controller = compile_controller(server_model())()
+        with pytest.raises(ValueError, match="unknown input"):
+            controller.step(["bogus"])
+
+
+class TestRoundTrip:
+    def wrap(self, automaton: Automaton) -> LegacyComponent:
+        """Wrap a generated controller back into the legacy harness."""
+        controller_class = compile_controller(automaton)
+        controller = controller_class()
+        # Rebuild a hidden automaton from the controller's table — this
+        # exercises the generated artifact, not the original object.
+        transitions = [
+            (state, tuple(sorted(inputs)), tuple(sorted(outputs)), target)
+            for (state, inputs), (outputs, target) in controller.TRANSITIONS.items()
+        ]
+        hidden = Automaton(
+            inputs=controller.INPUTS,
+            outputs=controller.OUTPUTS,
+            transitions=transitions,
+            initial=[controller.INITIAL],
+            name="generated",
+        )
+        return LegacyComponent(hidden, name="generated")
+
+    def test_generated_component_passes_model_suite(self):
+        model = server_model()
+        component = self.wrap(model)
+        report = run_suite(component, generate_suite(model))
+        assert report.ok
+
+    def test_generated_front_role_behaves_like_the_statechart(self):
+        model = unfold(railcab.front_role_statechart())
+        # The front role is nondeterministic (it chooses its answers), so
+        # code generation must refuse it — determinism is the §4.3 line.
+        with pytest.raises(ModelError, match="strongly deterministic"):
+            generate_python(model)
+
+    def test_generated_shuttle_is_proven_correct(self):
+        """Close the full loop: model → generated code → harness →
+        iterative synthesis → proof."""
+        hidden = railcab.correct_rear_shuttle(convoy_ticks=1)._hidden
+        component = self.wrap(hidden)
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            component,
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+
+    def test_learned_model_can_be_regenerated(self):
+        """Learned model of a black box → generated replacement
+        controller that is correct in the same context (re-hosting)."""
+        cold = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        replacement = self.wrap(
+            cold.final_model.automaton.replace(name="replacement")
+        )
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            replacement,
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+
+
+SETTINGS_GEN = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def deterministic_machines(draw):
+    from repro.automata import Transition
+    n_states = draw(st.integers(min_value=1, max_value=4))
+    states = [f"q{i}" for i in range(n_states)]
+    input_sets = [frozenset(), frozenset({"ping"})]
+    output_sets = [frozenset(), frozenset({"pong"})]
+    transitions = []
+    for state in states:
+        for inputs in input_sets:
+            if not draw(st.booleans()):
+                continue
+            transitions.append(
+                Transition(
+                    state,
+                    Interaction(inputs, draw(st.sampled_from(output_sets))),
+                    states[draw(st.integers(min_value=0, max_value=n_states - 1))],
+                )
+            )
+    return Automaton(
+        states=states, inputs={"ping"}, outputs={"pong"},
+        transitions=transitions, initial=["q0"], name="gen",
+    )
+
+
+class TestGeneratedEquivalenceProperty:
+    @SETTINGS_GEN
+    @given(deterministic_machines(), st.lists(
+        st.sampled_from([frozenset(), frozenset({"ping"})]), max_size=6))
+    def test_controller_matches_model_on_random_input_feeds(self, machine, feed):
+        controller = compile_controller(machine)()
+        state = "q0"
+        for inputs in feed:
+            expected = machine.transitions_on(state, inputs)
+            produced = controller.step(inputs)
+            if expected:
+                assert produced == expected[0].outputs
+                state = expected[0].target
+            else:
+                assert produced is None
+            assert controller.state == state

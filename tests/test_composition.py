@@ -1,0 +1,180 @@
+"""Unit tests for synchronous parallel composition (Definition 3)."""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    composable,
+    compose,
+    compose_all,
+    orthogonal,
+    reachable_states,
+)
+from repro.errors import CompositionError
+
+
+def client() -> Automaton:
+    return Automaton(
+        inputs={"pong"},
+        outputs={"ping"},
+        transitions=[
+            ("idle", (), ("ping",), "waiting"),
+            ("waiting", ("pong",), (), "idle"),
+        ],
+        initial=["idle"],
+        labels={"idle": {"c.idle"}, "waiting": {"c.waiting"}},
+        name="client",
+    )
+
+
+def server() -> Automaton:
+    return Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        labels={"ready": {"s.ready"}},
+        name="server",
+    )
+
+
+class TestComposability:
+    def test_client_server_composable(self):
+        assert composable(client(), server())
+
+    def test_not_orthogonal_when_communicating(self):
+        assert not orthogonal(client(), server())
+
+    def test_orthogonal_disjoint_machines(self):
+        left = Automaton(inputs={"a"}, outputs={"b"}, initial=["s"])
+        right = Automaton(inputs={"c"}, outputs={"d"}, initial=["t"])
+        assert orthogonal(left, right)
+
+    def test_shared_inputs_not_composable(self):
+        left = Automaton(inputs={"a"}, outputs=(), initial=["s"])
+        right = Automaton(inputs={"a"}, outputs=(), initial=["t"])
+        assert not composable(left, right)
+        with pytest.raises(CompositionError, match="not composable"):
+            compose(left, right)
+
+    def test_unknown_semantics_rejected(self):
+        with pytest.raises(CompositionError, match="unknown composition semantics"):
+            compose(client(), server(), semantics="weird")
+
+
+class TestStrictComposition:
+    def test_lock_step_protocol(self):
+        composed = compose(client(), server())
+        assert composed.states == frozenset({("idle", "ready"), ("waiting", "busy")})
+        assert len(composed.transitions) == 2
+
+    def test_interactions_are_unions(self):
+        composed = compose(client(), server())
+        send = next(t for t in composed.transitions if t.source == ("idle", "ready"))
+        assert send.interaction == Interaction(["ping"], ["ping"])
+
+    def test_labels_are_unions(self):
+        composed = compose(client(), server())
+        assert composed.labels(("idle", "ready")) == frozenset({"c.idle", "s.ready"})
+
+    def test_signal_sets_are_unions(self):
+        composed = compose(client(), server())
+        assert composed.inputs == frozenset({"ping", "pong"})
+        assert composed.outputs == frozenset({"ping", "pong"})
+
+    def test_initial_states_are_products(self):
+        left = Automaton(inputs=(), outputs=(), initial=["a", "b"],
+                         transitions=[("a", (), (), "a"), ("b", (), (), "b")])
+        right = Automaton(inputs=(), outputs=(), initial=["x"],
+                          transitions=[("x", (), (), "x")])
+        composed = compose(left, right)
+        assert composed.initial == frozenset({("a", "x"), ("b", "x")})
+
+    def test_unreachable_combinations_pruned(self):
+        composed = compose(client(), server())
+        assert ("idle", "busy") not in composed.states
+
+    def test_strict_requires_all_outputs_consumed(self):
+        # The server emits pong but this client never listens: strict
+        # matching yields no synchronized step for the emission.
+        deaf = Automaton(
+            inputs={"pong"},
+            outputs={"ping"},
+            transitions=[("idle", (), ("ping",), "gone"), ("gone", (), (), "gone")],
+            initial=["idle"],
+            name="deaf",
+        )
+        composed = compose(deaf, server())
+        assert composed.is_deadlock(("gone", "busy"))
+
+    def test_unconsumed_output_blocks_strict(self):
+        chatty = Automaton(
+            inputs=(),
+            outputs={"noise"},
+            transitions=[("s", (), ("noise",), "s")],
+            initial=["s"],
+            name="chatty",
+        )
+        silent = Automaton(inputs=(), outputs=(), initial=["t"],
+                           transitions=[("t", (), (), "t")])
+        # Definition 3 literally: every output must be matched by the
+        # peer's inputs, so the unconsumed emission cannot synchronize.
+        composed = compose(chatty, silent)
+        assert composed.transitions == frozenset()
+        assert composed.is_deadlock(("s", "t"))
+        # Open matching lets the unshared output pass through.
+        open_composed = compose(chatty, silent, semantics="open")
+        assert len(open_composed.transitions) == 1
+
+    def test_default_name(self):
+        assert compose(client(), server()).name == "(client || server)"
+
+    def test_explicit_name(self):
+        assert compose(client(), server(), name="sys").name == "sys"
+
+
+class TestOpenComposition:
+    def test_open_vs_strict_on_forwarding_relay(self):
+        # The relay consumes the producer's message and forwards it to a
+        # third party that is not part of the pair.  Open matching keeps
+        # the joint step; Definition 3's strict matching rejects it
+        # because the forwarded output is not consumed within the pair.
+        producer = Automaton(
+            inputs=(), outputs={"m"},
+            transitions=[("p", (), ("m",), "p2"), ("p2", (), (), "p2")],
+            initial=["p"], name="producer",
+        )
+        relay = Automaton(
+            inputs={"m"}, outputs={"fwd"},
+            transitions=[("r", ("m",), ("fwd",), "r")],
+            initial=["r"], name="relay",
+        )
+        open_composed = compose(producer, relay, semantics="open")
+        assert ("p2", "r") in reachable_states(open_composed)
+        strict_composed = compose(producer, relay, semantics="strict")
+        assert strict_composed.transitions == frozenset()
+
+
+class TestComposeAll:
+    def test_three_way_states_are_flat_tuples(self):
+        third = Automaton(inputs=(), outputs=(), initial=["z"],
+                          transitions=[("z", (), (), "z")])
+        composed = compose_all([client(), server(), third])
+        state = next(iter(composed.initial))
+        assert len(state) == 3
+        assert state == ("idle", "ready", "z")
+
+    def test_single_automaton_passthrough(self):
+        assert compose_all([client()]) is client() or compose_all([client()]) == client()
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CompositionError, match="at least one"):
+            compose_all([])
+
+    def test_name_override(self):
+        composed = compose_all([client(), server()], name="pair")
+        assert composed.name == "pair"

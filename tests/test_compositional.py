@@ -1,0 +1,94 @@
+"""Unit tests for compositionality (Definition 5) and chaos weakening (§2.7)."""
+
+import pytest
+
+from repro.errors import NotCompositionalError
+from repro.logic import (
+    AG,
+    Not,
+    Or,
+    Prop,
+    assert_compositional,
+    is_compositional,
+    is_universal,
+    parse,
+    to_nnf,
+    weaken_for_chaos,
+)
+
+
+class TestNNF:
+    def test_pushes_negations(self):
+        assert to_nnf(parse("not (p and q)")) == parse("not p or not q")
+
+    def test_temporal_dual(self):
+        assert to_nnf(parse("not AG p")) == parse("EF not p")
+
+    def test_constants_simplify(self):
+        assert to_nnf(parse("not true")) == parse("false")
+        assert to_nnf(parse("not false")) == parse("true")
+
+
+class TestCompositionality:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AG (not (a and b))",
+            "AG (req -> AF[1,5] resp)",
+            "AG not deadlock",
+            "A[p U q]",
+            "not EF bad",  # NNF is AG not bad: universal
+            "AX p and AG q",
+        ],
+    )
+    def test_actl_fragment_is_compositional(self, text):
+        assert is_universal(parse(text))
+        assert is_compositional(parse(text))
+        assert_compositional(parse(text))  # no raise
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "EF goal",
+            "AG EF reset",
+            "E[p U q]",
+            "not AG p",  # NNF is EF not p
+            "EX p",
+        ],
+    )
+    def test_existential_formulas_rejected(self, text):
+        assert not is_compositional(parse(text))
+        with pytest.raises(NotCompositionalError, match="Definition 5"):
+            assert_compositional(parse(text))
+
+
+class TestChaosWeakening:
+    def test_positive_literal(self):
+        assert weaken_for_chaos(parse("AG p")) == AG(Or(Prop("p"), Prop("chaos")))
+
+    def test_negative_literal(self):
+        weakened = weaken_for_chaos(parse("AG not p"))
+        assert weakened == AG(Or(Not(Prop("p")), Prop("chaos")))
+
+    def test_paper_constraint_shape(self):
+        weakened = weaken_for_chaos(parse("A[] not (rear.convoy and front.noConvoy)"))
+        # not(a and b) -> (¬a ∨ chaos) ∨ (¬b ∨ chaos)
+        rendered = str(weakened)
+        assert "chaos" in rendered
+        assert "not rear.convoy" in rendered
+
+    def test_deadlock_atom_not_weakened(self):
+        weakened = weaken_for_chaos(parse("AG not deadlock"))
+        assert weakened == parse("AG not deadlock")
+
+    def test_chaos_proposition_itself_untouched(self):
+        weakened = weaken_for_chaos(parse("AG chaos"))
+        assert weakened == parse("AG chaos")
+
+    def test_custom_chaos_proposition(self):
+        weakened = weaken_for_chaos(parse("AG p"), chaos_proposition="χ")
+        assert weakened == AG(Or(Prop("p"), Prop("χ")))
+
+    def test_bounded_operator_preserved(self):
+        weakened = weaken_for_chaos(parse("AG (p -> AF[1,3] q)"))
+        assert "AF[1,3]" in str(weakened)

@@ -1,0 +1,127 @@
+"""Unit tests for counterexample extraction (§4.1)."""
+
+import pytest
+
+from repro.automata import Automaton
+from repro.errors import CounterexampleError
+from repro.logic import ModelChecker, counterexample, deadlock_counterexample, parse
+
+
+def build(transitions, labels=None, initial=("s0",)):
+    return Automaton(
+        inputs=(),
+        outputs={"o"},
+        transitions=transitions,
+        initial=list(initial),
+        labels=labels or {},
+    )
+
+
+@pytest.fixture
+def path_to_bad():
+    return build(
+        [
+            ("s0", (), ("o",), "s1"),
+            ("s1", (), ("o",), "bad"),
+            ("bad", (), ("o",), "bad"),
+        ],
+        labels={"bad": {"bad"}},
+    )
+
+
+class TestAGCounterexamples:
+    def test_none_when_holds(self, path_to_bad):
+        assert counterexample(path_to_bad, parse("AG true")) is None
+
+    def test_shortest_path_to_violation(self, path_to_bad):
+        run = counterexample(path_to_bad, parse("AG not bad"))
+        assert run is not None
+        assert run.states == ("s0", "s1", "bad")
+
+    def test_run_is_valid(self, path_to_bad):
+        run = counterexample(path_to_bad, parse("AG not bad"))
+        assert run.is_run_of(path_to_bad)
+
+    def test_conjunction_explains_violated_conjunct(self, path_to_bad):
+        run = counterexample(path_to_bad, parse("AG true and AG not bad"))
+        assert run is not None
+        assert run.last_state == "bad"
+
+    def test_boolean_top_level(self, path_to_bad):
+        run = counterexample(path_to_bad, parse("bad"))
+        assert run is not None
+        assert run.states == ("s0",)
+
+
+class TestDeadlockCounterexamples:
+    def test_witness_ends_in_deadlock(self):
+        automaton = build([("s0", (), ("o",), "stuck")])
+        run = counterexample(automaton, parse("AG not deadlock"))
+        assert run is not None
+        assert run.last_state == "stuck"
+        assert automaton.is_deadlock(run.last_state)
+
+    def test_deadlock_counterexample_helper(self):
+        automaton = build([("s0", (), ("o",), "stuck")])
+        run = deadlock_counterexample(automaton)
+        assert run is not None and run.last_state == "stuck"
+
+    def test_helper_none_without_deadlock(self):
+        automaton = build([("s0", (), ("o",), "s0")])
+        assert deadlock_counterexample(automaton) is None
+
+
+class TestBoundedResponseCounterexamples:
+    def test_failing_bounded_af_extension(self):
+        # req at s0; resp only after 3 steps but window is [1,2].
+        automaton = build(
+            [
+                ("s0", (), ("o",), "s1"),
+                ("s1", (), ("o",), "s2"),
+                ("s2", (), ("o",), "s3"),
+                ("s3", (), ("o",), "s0"),
+            ],
+            labels={"s0": {"req"}, "s3": {"resp"}},
+        )
+        formula = parse("AG (req -> AF[1,2] resp)")
+        run = counterexample(automaton, formula)
+        assert run is not None
+        # The witness starts at the trigger and shows the window elapsing
+        # without a response.
+        assert run.states[0] == "s0"
+        assert len(run.steps) >= 2
+        assert "resp" not in automaton.labels(run.states[1])
+        assert "resp" not in automaton.labels(run.states[2])
+
+    def test_top_level_bounded_af(self):
+        automaton = build([("s0", (), ("o",), "s0")])
+        run = counterexample(automaton, parse("AF[1,3] never"))
+        assert run is not None
+        assert len(run.steps) == 3  # the exhausted window
+
+    def test_unbounded_af_lasso(self):
+        automaton = build(
+            [("s0", (), ("o",), "s1"), ("s1", (), ("o",), "s0")],
+            labels={},
+        )
+        run = counterexample(automaton, parse("AF goal"))
+        assert run is not None
+        # A lasso: some state repeats, goal never reached.
+        assert len(set(run.states)) < len(run.states) or len(run.steps) == 0
+
+    def test_af_deadlock_failure(self):
+        automaton = build([("s0", (), ("o",), "end")])
+        run = counterexample(automaton, parse("AF goal"))
+        assert run is not None
+
+
+class TestUnsupportedShapes:
+    def test_existential_raises(self):
+        automaton = build([("s0", (), ("o",), "s0")], labels={})
+        with pytest.raises(CounterexampleError, match="only AG/AF/AU"):
+            counterexample(automaton, parse("EF goal"))
+
+    def test_reuses_checker(self, path_to_bad):
+        checker = ModelChecker(path_to_bad)
+        run = counterexample(path_to_bad, parse("AG not bad"), checker=checker)
+        assert run is not None

@@ -1,0 +1,120 @@
+"""Tests for multi-counterexample extraction and iteration batching
+(the optimisation proposed in the paper's conclusion)."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import Automaton
+from repro.errors import SynthesisError
+from repro.logic import ModelChecker, counterexamples, parse
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+
+def two_bad_branches() -> Automaton:
+    return Automaton(
+        inputs=(),
+        outputs={"o"},
+        transitions=[
+            ("s0", (), ("o",), "bad1"),
+            ("s0", (), ("o",), "mid"),
+            ("mid", (), ("o",), "bad2"),
+            ("bad1", (), ("o",), "bad1"),
+            ("bad2", (), ("o",), "bad2"),
+        ],
+        initial=["s0"],
+        labels={"bad1": {"bad"}, "bad2": {"bad"}},
+    )
+
+
+class TestCounterexamplesFunction:
+    def test_empty_when_holds(self):
+        assert counterexamples(two_bad_branches(), parse("AG true"), limit=3) == []
+
+    def test_single_limit_matches_shortest(self):
+        runs = counterexamples(two_bad_branches(), parse("AG not bad"), limit=1)
+        assert len(runs) == 1
+        assert runs[0].last_state == "bad1"
+
+    def test_multiple_distinct_violating_states(self):
+        runs = counterexamples(two_bad_branches(), parse("AG not bad"), limit=5)
+        assert len(runs) == 2
+        assert {run.last_state for run in runs} == {"bad1", "bad2"}
+
+    def test_runs_in_breadth_first_order(self):
+        runs = counterexamples(two_bad_branches(), parse("AG not bad"), limit=5)
+        lengths = [len(run.steps) for run in runs]
+        assert lengths == sorted(lengths)
+
+    def test_all_runs_valid(self):
+        automaton = two_bad_branches()
+        for run in counterexamples(automaton, parse("AG not bad"), limit=5):
+            assert run.is_run_of(automaton)
+
+    def test_conjunction_routes_to_violated_conjunct(self):
+        runs = counterexamples(
+            two_bad_branches(), parse("AG true and AG not bad"), limit=2
+        )
+        assert len(runs) == 2
+
+    def test_non_ag_shape_falls_back_to_single(self):
+        automaton = Automaton(
+            inputs=(), outputs={"o"},
+            transitions=[("s0", (), ("o",), "s0")], initial=["s0"],
+        )
+        runs = counterexamples(automaton, parse("AF goal"), limit=4)
+        assert len(runs) == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            counterexamples(two_bad_branches(), parse("AG not bad"), limit=0)
+
+    def test_reuses_checker(self):
+        automaton = two_bad_branches()
+        checker = ModelChecker(automaton)
+        runs = counterexamples(automaton, parse("AG not bad"), checker=checker, limit=2)
+        assert runs
+
+
+class TestBatchedSynthesis:
+    def run_with(self, k: int):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            counterexamples_per_iteration=k,
+        ).run()
+
+    def test_batching_still_proves(self):
+        for k in (2, 4):
+            assert self.run_with(k).verdict is Verdict.PROVEN
+
+    def test_batching_reduces_verification_rounds(self):
+        baseline = self.run_with(1)
+        batched = self.run_with(4)
+        assert batched.iteration_count <= baseline.iteration_count
+
+    def test_batching_finds_faults(self):
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.faulty_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            counterexamples_per_iteration=4,
+        ).run()
+        assert result.verdict is Verdict.REAL_VIOLATION
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(SynthesisError):
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(),
+                railcab.PATTERN_CONSTRAINT,
+                counterexamples_per_iteration=0,
+            )
+
+    def test_learned_model_still_observation_conforming(self):
+        result = self.run_with(4)
+        hidden = railcab.correct_rear_shuttle(convoy_ticks=1)._hidden
+        for transition in result.final_model.transitions:
+            assert transition in hidden.transitions

@@ -1,0 +1,117 @@
+"""Tests for knowledge-coverage diagnostics and parallel unfolding."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import IncompleteAutomaton, Interaction, InteractionUniverse
+from repro.errors import ModelError
+from repro.legacy import interface_of
+from repro.rtsc import Statechart, unfold_parallel
+from repro.synthesis import (
+    IntegrationSynthesizer,
+    coverage_summary,
+    knowledge_gaps,
+)
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+UNIVERSE = InteractionUniverse.singletons({"a"}, {"b"})
+
+
+class TestKnowledgeGaps:
+    def test_gaps_of_partial_model(self):
+        model = IncompleteAutomaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", A, "t")],
+            refusals=[("s", B)],
+            initial=["s"],
+        )
+        gaps = knowledge_gaps(model, UNIVERSE)
+        # At s: A known, B refused, idle unknown. At t: everything unknown.
+        assert gaps["s"] == frozenset({Interaction()})
+        assert gaps["t"] == frozenset(UNIVERSE)
+
+    def test_complete_state_omitted(self):
+        universe = InteractionUniverse.explicit([A], inputs=["a"], outputs=["b"])
+        model = IncompleteAutomaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", A, "s")],
+            initial=["s"],
+        )
+        assert knowledge_gaps(model, universe) == {}
+
+    def test_summary_mentions_percentage(self):
+        model = IncompleteAutomaton(
+            inputs={"a"}, outputs={"b"}, transitions=[("s", A, "s")], initial=["s"]
+        )
+        text = coverage_summary(model, UNIVERSE)
+        assert "decided" in text
+        assert "%" in text
+
+    def test_proven_run_leaves_gaps_claim_c2(self):
+        component = railcab.overbuilt_rear_shuttle(extra_states=5)
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            component,
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        assert result.proven
+        universe = interface_of(component).universe()
+        gaps = knowledge_gaps(result.final_model, universe)
+        # The proof did not need everything — C2 made concrete.
+        assert gaps
+        text = coverage_summary(result.final_model, universe)
+        assert "unknown" in text
+
+
+class TestUnfoldParallel:
+    def build_regions(self):
+        left = Statechart("light", outputs={"on"})
+        off = left.location("off", initial=True)
+        lit = left.location("lit")
+        left.transition(off, lit, raised="on")
+        left.transition(lit, off)
+        right = Statechart("horn", inputs={"on"})
+        quiet = right.location("quiet", initial=True)
+        honking = right.location("honking")
+        right.transition(quiet, honking, trigger="on")
+        right.transition(honking, quiet)
+        return left, right
+
+    def test_regions_synchronise_on_shared_signal(self):
+        left, right = self.build_regions()
+        product = unfold_parallel([left, right])
+        # The shared 'on' signal forces the joint switch: from the
+        # initial configuration, every transition that raises 'on' lands
+        # in (lit, honking) — the horn cannot stay quiet through it.
+        assert ("lit", "honking") in product.states
+        on_steps = [
+            t
+            for t in product.transitions_from(("off", "quiet"))
+            if "on" in t.outputs
+        ]
+        assert on_steps
+        assert all(t.target == ("lit", "honking") for t in on_steps)
+
+    def test_labels_from_both_regions(self):
+        left, right = self.build_regions()
+        product = unfold_parallel([left, right])
+        labels = product.labels(("off", "quiet"))
+        assert "light.off" in labels and "horn.quiet" in labels
+
+    def test_single_chart_passthrough(self):
+        left, _ = self.build_regions()
+        product = unfold_parallel([left], name="solo")
+        assert product.name == "solo"
+        assert product.states == frozenset({"off", "lit"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError, match="at least one"):
+            unfold_parallel([])
+
+    def test_name_defaults_to_joined(self):
+        left, right = self.build_regions()
+        assert unfold_parallel([left, right]).name == "light||horn"

@@ -1,0 +1,150 @@
+"""Unit tests for the formula AST (§2.1)."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    DEADLOCK,
+    DEADLOCK_FREE,
+    Deadlock,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    Formula,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Prop,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+
+P, Q = Prop("p"), Prop("q")
+
+
+class TestConstruction:
+    def test_prop_requires_name(self):
+        with pytest.raises(FormulaError):
+            Prop("")
+
+    def test_interval_validation(self):
+        with pytest.raises(FormulaError):
+            Interval(3, 1)
+        with pytest.raises(FormulaError):
+            Interval(-1, 2)
+
+    def test_unary_requires_formula(self):
+        with pytest.raises(FormulaError):
+            Not("p")
+
+    def test_binary_requires_formulas(self):
+        with pytest.raises(FormulaError):
+            And(P, "q")
+
+    def test_interval_from_tuple(self):
+        assert AF(P, (1, 3)).interval == Interval(1, 3)
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert AG(Not(And(P, Q))) == AG(Not(And(P, Q)))
+        assert AF(P, Interval(1, 2)) == AF(P, (1, 2))
+
+    def test_interval_distinguishes(self):
+        assert AF(P, (1, 2)) != AF(P, (1, 3))
+        assert AF(P) != AF(P, (0, 1))
+
+    def test_operator_type_distinguishes(self):
+        assert AF(P) != EF(P)
+        assert AU(P, Q) != EU(P, Q)
+
+    def test_hash_consistency(self):
+        assert len({AG(P), AG(P), EF(P)}) == 2
+
+
+class TestOperators:
+    def test_python_operator_sugar(self):
+        assert (P & Q) == And(P, Q)
+        assert (P | Q) == Or(P, Q)
+        assert (~P) == Not(P)
+        assert P.implies(Q) == Implies(P, Q)
+
+
+class TestPropositions:
+    def test_collects_all_props(self):
+        formula = AG(Implies(P, AF(Q, (1, 5))))
+        assert formula.propositions() == frozenset({"p", "q"})
+
+    def test_deadlock_is_not_a_proposition(self):
+        assert DEADLOCK_FREE.propositions() == frozenset()
+
+    def test_walk_visits_all_nodes(self):
+        formula = AG(And(P, Not(Q)))
+        kinds = [type(node).__name__ for node in formula.walk()]
+        assert kinds == ["AG", "And", "Prop", "Not", "Prop"]
+
+
+class TestStr:
+    def test_rendering(self):
+        assert str(AG(Not(And(P, Q)))) == "(AG (not (p and q)))"
+        assert str(AF(P, (1, 4))) == "(AF[1,4] p)"
+        assert str(AU(P, Q)) == "A[p U q]"
+        assert str(DEADLOCK) == "deadlock"
+        assert str(TRUE) == "true"
+
+
+class TestMapAtoms:
+    def identity(self, atom: Formula, negated: bool) -> Formula:
+        return Not(atom) if negated else atom
+
+    def test_pushes_negation_to_atoms(self):
+        formula = Not(And(P, Q))
+        assert formula.map_atoms(self.identity) == Or(Not(P), Not(Q))
+
+    def test_double_negation_cancels(self):
+        assert Not(Not(P)).map_atoms(self.identity) == P
+
+    def test_temporal_duals(self):
+        assert Not(AG(P)).map_atoms(self.identity) == EF(Not(P))
+        assert Not(EF(P)).map_atoms(self.identity) == AG(Not(P))
+        assert Not(AF(P)).map_atoms(self.identity) == EG(Not(P))
+        assert Not(AX(P)).map_atoms(self.identity) == EX(Not(P))
+
+    def test_interval_preserved_through_dual(self):
+        assert Not(AF(P, (1, 3))).map_atoms(self.identity) == EG(Not(P), (1, 3))
+
+    def test_implies_expanded(self):
+        assert Implies(P, Q).map_atoms(self.identity) == Or(Not(P), Q)
+
+    def test_negated_until_rejected(self):
+        with pytest.raises(FormulaError, match="negated Until"):
+            Not(AU(P, Q)).map_atoms(self.identity)
+
+    def test_constants_transformable(self):
+        def flip(atom, negated):
+            if isinstance(atom, Deadlock):
+                return FALSE
+            return Not(atom) if negated else atom
+
+        assert Not(DEADLOCK).map_atoms(flip) == FALSE
+
+
+class TestCombinators:
+    def test_conjunction(self):
+        assert conjunction([]) == TRUE
+        assert conjunction([P]) == P
+        assert conjunction([P, Q]) == And(P, Q)
+
+    def test_disjunction(self):
+        assert disjunction([]) == FALSE
+        assert disjunction([P]) == P
+        assert disjunction([P, Q]) == Or(P, Q)

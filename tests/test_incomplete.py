@@ -1,0 +1,137 @@
+"""Unit tests for incomplete automata (Definitions 6 and 7)."""
+
+import pytest
+
+from repro.automata import (
+    IDLE,
+    IncompleteAutomaton,
+    Interaction,
+    InteractionUniverse,
+    Refusal,
+    Run,
+)
+from repro.errors import ModelError
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+
+
+def model(**kwargs) -> IncompleteAutomaton:
+    defaults = dict(
+        inputs={"a"},
+        outputs={"b"},
+        transitions=[("s", A, "t")],
+        refusals=[("t", B)],
+        initial=["s"],
+        name="M",
+    )
+    defaults.update(kwargs)
+    return IncompleteAutomaton(**defaults)
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        m = model()
+        assert m.states == frozenset({"s", "t"})
+        assert m.inputs == frozenset({"a"})
+        assert len(m.transitions) == 1
+        assert m.refusals == frozenset({Refusal("t", B)})
+
+    def test_refusal_triple_form(self):
+        m = model(refusals=[("t", (), ("b",))])  # (state, inputs, outputs)
+        assert Refusal("t", B) in m.refusals
+
+    def test_consistency_definition6(self):
+        with pytest.raises(ModelError, match="Definition 6"):
+            model(refusals=[("s", A)])
+
+    def test_refusal_on_unknown_state_rejected(self):
+        with pytest.raises(ModelError, match="unknown state"):
+            model(refusals=[("ghost", B)])
+
+    def test_refusal_with_foreign_signals_rejected(self):
+        with pytest.raises(ModelError, match="outside"):
+            model(refusals=[("t", Interaction(["zzz"], None))])
+
+
+class TestStatus:
+    def test_known_refused_unknown(self):
+        m = model()
+        assert m.status("s", A) == "known"
+        assert m.status("t", B) == "refused"
+        assert m.status("s", B) == "unknown"
+
+    def test_refused_lookup(self):
+        m = model()
+        assert m.refused("t") == frozenset({B})
+        assert m.refused("s") == frozenset()
+
+    def test_refused_unknown_state_raises(self):
+        with pytest.raises(ModelError, match="no state"):
+            model().refused("ghost")
+
+
+class TestDeterminismAndCompleteness:
+    def test_deterministic_model(self):
+        assert model().is_deterministic()
+
+    def test_conflicting_targets_nondeterministic(self):
+        m = model(transitions=[("s", A, "t"), ("s", A, "u")], refusals=[])
+        assert not m.is_deterministic()
+
+    def test_incomplete_by_default(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        assert not model().is_complete(universe)
+
+    def test_complete_when_everything_decided(self):
+        universe = InteractionUniverse.explicit([A], inputs=["a"], outputs=["b"])
+        m = IncompleteAutomaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", A, "s")],
+            refusals=[],
+            initial=["s"],
+        )
+        assert m.is_complete(universe)
+
+    def test_knowledge_size(self):
+        assert model().knowledge_size() == 2
+
+
+class TestRuns:
+    def test_regular_run_needs_known_transitions(self):
+        m = model()
+        assert m.is_run(Run("s").extend(A, "t"))
+        assert not m.is_run(Run("s").extend(B, "t"))
+
+    def test_deadlock_run_needs_explicit_refusal(self):
+        m = model()
+        assert m.is_run(Run("s").extend(A, "t").block(B))
+        # Unknown interactions do NOT deadlock implicitly (Definition 7).
+        assert not m.is_run(Run("s").extend(A, "t").block(IDLE))
+
+    def test_run_must_start_initial(self):
+        assert not model().is_run(Run("t"))
+
+
+class TestReplace:
+    def test_replace_refusals(self):
+        m = model().replace(refusals=[])
+        assert m.refusals == frozenset()
+        assert len(m.transitions) == 1
+
+    def test_replace_preserves_labels(self):
+        m = model(labels={"s": {"p"}})
+        assert m.replace(refusals=[]).labels("s") == frozenset({"p"})
+
+    def test_equality_and_hash(self):
+        assert model() == model()
+        assert len({model(), model()}) == 1
+        assert model() != model(refusals=[])
+
+
+class TestRefusalObject:
+    def test_equality_and_hash(self):
+        assert Refusal("t", B) == Refusal("t", B)
+        assert hash(Refusal("t", B)) == hash(Refusal("t", B))
+        assert Refusal("t", B) != Refusal("s", B)

@@ -1,0 +1,120 @@
+"""Unit tests for interactions and interaction universes (Definition 1)."""
+
+import pytest
+
+from repro.automata import IDLE, Interaction, InteractionUniverse
+
+
+class TestInteraction:
+    def test_empty_interaction_is_idle(self):
+        assert Interaction().is_idle
+        assert IDLE.is_idle
+
+    def test_non_empty_interaction_is_not_idle(self):
+        assert not Interaction(["a"], None).is_idle
+        assert not Interaction(None, ["b"]).is_idle
+
+    def test_inputs_and_outputs_are_frozensets(self):
+        interaction = Interaction(["a", "b"], ["c"])
+        assert interaction.inputs == frozenset({"a", "b"})
+        assert interaction.outputs == frozenset({"c"})
+
+    def test_accepts_any_iterable(self):
+        assert Interaction({"a"}, ("b",)) == Interaction(["a"], ["b"])
+
+    def test_rejects_plain_string_signals(self):
+        with pytest.raises(TypeError, match="iterable of signal names"):
+            Interaction("ab", None)
+
+    def test_rejects_non_string_signal(self):
+        with pytest.raises(TypeError, match="non-empty strings"):
+            Interaction([1], None)
+
+    def test_rejects_empty_signal_name(self):
+        with pytest.raises(TypeError, match="non-empty strings"):
+            Interaction([""], None)
+
+    def test_equality_and_hash(self):
+        first = Interaction(["a"], ["b"])
+        second = Interaction(["a"], ["b"])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Interaction(["a"], None)
+
+    def test_signals_union(self):
+        assert Interaction(["a"], ["b"]).signals == frozenset({"a", "b"})
+
+    def test_union(self):
+        combined = Interaction(["a"], None).union(Interaction(None, ["b"]))
+        assert combined == Interaction(["a"], ["b"])
+
+    def test_restrict(self):
+        interaction = Interaction(["a", "x"], ["b", "y"])
+        restricted = interaction.restrict(frozenset({"a"}), frozenset({"b"}))
+        assert restricted == Interaction(["a"], ["b"])
+
+    def test_str_rendering(self):
+        assert str(Interaction(["a"], ["b"])) == "{a}/{b}"
+        assert str(IDLE) == "{}/{}"
+
+    def test_sort_key_orders_deterministically(self):
+        interactions = [Interaction(None, ["b"]), Interaction(["a"], None), IDLE]
+        ordered = sorted(interactions, key=Interaction.sort_key)
+        assert ordered[0] == IDLE
+
+
+class TestInteractionUniverse:
+    def test_full_universe_is_powerset_product(self):
+        universe = InteractionUniverse.full({"a", "b"}, {"c"})
+        assert len(universe) == 4 * 2
+
+    def test_full_universe_of_empty_sets_is_idle_only(self):
+        universe = InteractionUniverse.full((), ())
+        assert list(universe) == [IDLE]
+
+    def test_singletons_counts(self):
+        universe = InteractionUniverse.singletons({"a", "b"}, {"c"})
+        # idle + 2 inputs + 1 output
+        assert len(universe) == 4
+
+    def test_singletons_with_simultaneous(self):
+        universe = InteractionUniverse.singletons({"a", "b"}, {"c"}, allow_simultaneous=True)
+        assert len(universe) == 4 + 2 * 1
+
+    def test_singletons_without_idle(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"}, include_idle=False)
+        assert IDLE not in universe
+        assert len(universe) == 2
+
+    def test_explicit_infers_signals(self):
+        universe = InteractionUniverse.explicit([Interaction(["a"], ["b"])])
+        assert universe.inputs == frozenset({"a"})
+        assert universe.outputs == frozenset({"b"})
+
+    def test_explicit_rejects_out_of_range_interaction(self):
+        with pytest.raises(ValueError, match="outside the inputs"):
+            InteractionUniverse.explicit([Interaction(["a"], None)], inputs=["x"], outputs=[])
+
+    def test_membership(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        assert Interaction(["a"], None) in universe
+        assert Interaction(["a"], ["b"]) not in universe
+
+    def test_iteration_is_sorted_and_stable(self):
+        universe = InteractionUniverse.singletons({"b", "a"}, {"c"})
+        assert list(universe) == sorted(universe, key=Interaction.sort_key)
+
+    def test_equality_and_hash(self):
+        first = InteractionUniverse.singletons({"a"}, {"b"})
+        second = InteractionUniverse.singletons({"a"}, {"b"})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != InteractionUniverse.full({"a"}, {"b"})
+
+    def test_duplicate_interactions_are_deduplicated(self):
+        universe = InteractionUniverse.explicit([IDLE, IDLE, Interaction(["a"], None)])
+        assert len(universe) == 2
+
+    def test_repr_mentions_sizes(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        assert "|Σ|=3" in repr(universe)

@@ -1,0 +1,177 @@
+"""Unit tests for the legacy component harness (black-box discipline,
+instrumentation, probe effect)."""
+
+import pytest
+
+from repro.automata import Automaton
+from repro.errors import ExecutionError, ModelError
+from repro.legacy import (
+    Instrumentation,
+    InterfaceDescription,
+    LegacyComponent,
+    interface_of,
+)
+
+
+def hidden_server() -> Automaton:
+    return Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        name="server",
+    )
+
+
+@pytest.fixture
+def component() -> LegacyComponent:
+    return LegacyComponent(hidden_server(), name="server")
+
+
+class TestConstruction:
+    def test_requires_single_initial_state(self):
+        bad = Automaton(inputs=(), outputs=(), initial=["a", "b"])
+        with pytest.raises(ModelError, match="exactly one initial"):
+            LegacyComponent(bad)
+
+    def test_requires_strong_determinism(self):
+        bad = Automaton(
+            inputs={"a"},
+            outputs={"x", "y"},
+            transitions=[("s", ("a",), ("x",), "s"), ("s", ("a",), ("y",), "s")],
+            initial=["s"],
+        )
+        with pytest.raises(ModelError, match="not strongly deterministic"):
+            LegacyComponent(bad)
+
+    def test_structural_interface_exposed(self, component):
+        assert component.inputs == frozenset({"ping"})
+        assert component.outputs == frozenset({"pong"})
+        assert component.initial_state == "ready"
+        assert component.state_bound == 2
+
+
+class TestExecution:
+    def test_step_produces_outputs(self, component):
+        outcome = component.step(["ping"])
+        assert not outcome.blocked
+        assert outcome.outputs == frozenset()
+        outcome = component.step([])
+        assert outcome.outputs == frozenset({"pong"})
+
+    def test_blocked_step_keeps_state(self, component):
+        component.step(["ping"])  # -> busy
+        blocked = component.step(["ping"])  # busy has no reaction to ping
+        assert blocked.blocked
+        # The state did not change: the pending pong still arrives.
+        assert component.step([]).outputs == frozenset({"pong"})
+
+    def test_unknown_input_rejected(self, component):
+        with pytest.raises(ExecutionError, match="no input ports"):
+            component.step(["bogus"])
+
+    def test_period_counts_executed_steps_only(self, component):
+        component.step(["ping"])
+        component.step(["ping"])  # blocked
+        assert component.period == 1
+
+    def test_reset(self, component):
+        component.step(["ping"])
+        component.reset()
+        assert component.period == 0
+        assert component.step(["ping"]).blocked is False
+
+    def test_counters(self, component):
+        component.step([])
+        component.reset()
+        assert component.steps_executed == 1
+        assert component.resets == 1
+
+    def test_step_outcome_interaction(self, component):
+        component.step(["ping"])
+        outcome = component.step([])
+        assert outcome.interaction.outputs == frozenset({"pong"})
+
+
+class TestInstrumentation:
+    def test_state_probe_requires_full(self, component):
+        with pytest.raises(ExecutionError, match="FULL instrumentation"):
+            component.monitor_state()
+        with component.instrumented(Instrumentation.MINIMAL, live=True):
+            with pytest.raises(ExecutionError):
+                component.monitor_state()
+
+    def test_full_replay_probe_is_free(self, component):
+        with component.instrumented(Instrumentation.FULL, live=False):
+            assert component.monitor_state() == "ready"
+            assert not component.probe_effect_active
+            assert component.period == 0
+
+    def test_live_full_probe_skews_timing(self, component):
+        with component.instrumented(Instrumentation.FULL, live=True):
+            component.monitor_state()
+            assert component.probe_effect_active
+            assert component.period == 1  # skew, although nothing executed
+
+    def test_skew_invisible_after_leaving_live_full(self, component):
+        with component.instrumented(Instrumentation.FULL, live=True):
+            component.monitor_state()
+        # Outside the live-full scope the true period is visible again.
+        assert component.period == 0
+
+    def test_reset_clears_skew(self, component):
+        with component.instrumented(Instrumentation.FULL, live=True):
+            component.monitor_state()
+            component.reset()
+            assert component.period == 0
+
+    def test_probe_counter(self, component):
+        with component.instrumented(Instrumentation.FULL, live=False):
+            component.monitor_state()
+            component.monitor_state()
+        assert component.state_probes == 2
+
+    def test_instrumentation_scope_restores(self, component):
+        with component.instrumented(Instrumentation.FULL, live=False):
+            pass
+        with pytest.raises(ExecutionError):
+            component.monitor_state()
+
+
+class TestInterface:
+    def test_interface_of(self, component):
+        interface = interface_of(component)
+        assert interface.name == "server"
+        assert interface.inputs == frozenset({"ping"})
+        assert interface.outputs == frozenset({"pong"})
+        assert interface.initial_state == "ready"
+        assert interface.state_bound == 2
+
+    def test_interface_without_state_bound(self, component):
+        interface = interface_of(component, with_state_bound=False)
+        assert interface.state_bound is None
+
+    def test_interface_rejects_overlapping_signals(self):
+        with pytest.raises(ModelError, match="overlap"):
+            InterfaceDescription(
+                name="x",
+                inputs=frozenset({"m"}),
+                outputs=frozenset({"m"}),
+                initial_state="s",
+            )
+
+    def test_universe_default_is_singletons(self, component):
+        universe = interface_of(component).universe()
+        assert len(universe) == 3  # idle, ping?, pong!
+
+    def test_universe_full(self, component):
+        universe = interface_of(component).universe(full=True)
+        assert len(universe) == 4  # ℘({ping}) × ℘({pong})
+
+    def test_universe_simultaneous(self, component):
+        universe = interface_of(component).universe(allow_simultaneous=True)
+        assert len(universe) == 4

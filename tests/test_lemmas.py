@@ -1,0 +1,186 @@
+"""Property-based checks of the paper's lemmas (§2.4–§2.5).
+
+* Lemma 1: refinement preserves deadlock freedom downwards.
+* Lemma 2: parallel composition preserves refinement (precongruence).
+* Definition 5 / §2.4: ACTL constraints survive composition with
+  disjoint labeling (unless a deadlock is introduced) and refinement.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    Transition,
+    compose,
+    deadlock_witness,
+    refines,
+)
+from repro.logic import AG, AF, Interval, ModelChecker, Not, Or, Prop, parse
+
+SETTINGS = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def machines(draw, prefix: str, inputs=("a",), outputs=("b",), max_states: int = 4) -> Automaton:
+    """Small labeled machines over a fixed alphabet."""
+    n_states = draw(st.integers(min_value=1, max_value=max_states))
+    states = [f"{prefix}{i}" for i in range(n_states)]
+    input_sets = [frozenset()] + [frozenset({i}) for i in inputs]
+    output_sets = [frozenset()] + [frozenset({o}) for o in outputs]
+    transitions = []
+    for state_index, state in enumerate(states):
+        n_moves = draw(st.integers(min_value=0, max_value=2))
+        for _ in range(n_moves):
+            interaction = Interaction(
+                draw(st.sampled_from(input_sets)), draw(st.sampled_from(output_sets))
+            )
+            target = states[draw(st.integers(min_value=0, max_value=n_states - 1))]
+            transitions.append(Transition(state, interaction, target))
+        del state_index
+    labels = {
+        state: frozenset(draw(st.sets(st.sampled_from([f"{prefix}.p", f"{prefix}.q"]), max_size=2)))
+        for state in states
+    }
+    return Automaton(
+        states=states,
+        inputs=inputs,
+        outputs=outputs,
+        transitions=transitions,
+        initial=[states[0]],
+        labels=labels,
+        name=prefix,
+    )
+
+
+def sub_automaton(automaton: Automaton, keep_fraction_seed: int) -> Automaton:
+    """Drop some transitions — the result trivially satisfies condition 1
+    of Definition 4 (every run is still a run of the original)."""
+    transitions = sorted(
+        automaton.transitions, key=lambda t: (repr(t.source), t.interaction.sort_key(), repr(t.target))
+    )
+    kept = [t for index, t in enumerate(transitions) if (index + keep_fraction_seed) % 3 != 0]
+    return automaton.replace(transitions=kept)
+
+
+class TestLemma1:
+    @SETTINGS
+    @given(machines("m"), st.integers(min_value=0, max_value=2))
+    def test_refinement_preserves_deadlock_freedom(self, spec, seed):
+        impl = sub_automaton(spec, seed)
+        if not refines(impl, spec):
+            return  # Lemma 1 only speaks about refinements
+        if deadlock_witness(spec) is None:
+            assert deadlock_witness(impl) is None
+
+
+class TestLemma2:
+    @SETTINGS
+    @given(machines("m"), st.integers(min_value=0, max_value=2))
+    def test_composition_preserves_refinement(self, spec, seed):
+        impl = sub_automaton(spec, seed)
+        if not refines(impl, spec):
+            return
+        # A fixed partner over the mirrored alphabet.
+        partner = Automaton(
+            inputs={"b"},
+            outputs={"a"},
+            transitions=[
+                ("x", (), (), "x"),
+                ("x", (), ("a",), "y"),
+                ("y", ("b",), (), "x"),
+                ("y", (), (), "y"),
+            ],
+            initial=["x"],
+            name="partner",
+        )
+        composed_impl = compose(partner, impl)
+        composed_spec = compose(partner, spec)
+        # Lemma 2: M₁ ∥ M₂ ⊑ M₁ ∥ M₂′.  The composed machines may have
+        # different reachable state spaces; compare on equal signatures.
+        assert refines(
+            composed_impl.replace(name="ci"),
+            composed_spec.replace(name="cs"),
+        )
+
+
+class TestDefinition5:
+    @SETTINGS
+    @given(machines("m"))
+    def test_actl_survives_composition_with_disjoint_labels(self, machine):
+        formula = parse("AG (m.p or not m.p)")  # tautology sanity
+        assert ModelChecker(machine).holds(formula)
+
+    @SETTINGS
+    @given(machines("m"), st.sampled_from([
+        "AG not m.p",
+        "AG (m.p -> AF[0,3] m.q)",
+        "AG (not (m.p and m.q))",
+    ]))
+    def test_condition_3_composition(self, machine, text):
+        """Definition 5 condition 3: M₁ ⊨ φ ⇒ M₁∥M₂ ⊨ φ ∨ M₁∥M₂ ⊨ δ."""
+        formula = parse(text)
+        if not ModelChecker(machine).holds(formula):
+            return
+        partner = Automaton(
+            inputs={"b"},
+            outputs={"a"},
+            transitions=[
+                ("x", (), ("a",), "y"),
+                ("y", ("b",), (), "x"),
+                ("x", (), (), "x"),
+                ("y", (), (), "y"),
+            ],
+            initial=["x"],
+            labels={"x": {"n.r"}},  # disjoint from 𝓛(φ)
+            name="partner",
+        )
+        composed = compose(partner, machine)
+        checker = ModelChecker(composed)
+        has_deadlock = deadlock_witness(composed) is not None
+        assert checker.holds(formula) or has_deadlock
+
+    @SETTINGS
+    @given(machines("m"), st.integers(min_value=0, max_value=2), st.sampled_from([
+        "AG not m.p",
+        "AG (not (m.p and m.q))",
+    ]))
+    def test_condition_4_refinement(self, spec, seed, text):
+        """Definition 5 condition 4: M₁ ⊑ M₁′ ∧ M₁′ ⊨ φ ⇒ M₁ ⊨ φ."""
+        formula = parse(text)
+        impl = sub_automaton(spec, seed)
+        if not refines(impl, spec):
+            return
+        if ModelChecker(spec).holds(formula):
+            assert ModelChecker(impl).holds(formula)
+
+
+class TestBoundedUntilBruteForce:
+    @SETTINGS
+    @given(machines("m"), st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=3))
+    def test_bounded_af_monotone_in_window(self, machine, low, extra):
+        """Widening the window can only help AF (monotonicity)."""
+        checker = ModelChecker(machine)
+        narrow = AF(Prop("m.p"), Interval(low, low + extra))
+        wide = AF(Prop("m.p"), Interval(low, low + extra + 2))
+        assert checker.sat(narrow) <= checker.sat(wide)
+
+    @SETTINGS
+    @given(machines("m"), st.integers(min_value=0, max_value=3))
+    def test_bounded_ag_antitone_in_window(self, machine, high):
+        """Widening the window can only hurt AG (antitonicity)."""
+        checker = ModelChecker(machine)
+        narrow = AG(Prop("m.p"), Interval(0, high))
+        wide = AG(Prop("m.p"), Interval(0, high + 2))
+        assert checker.sat(wide) <= checker.sat(narrow)
+
+    @SETTINGS
+    @given(machines("m"))
+    def test_ag_equals_not_ef_not(self, machine):
+        checker = ModelChecker(machine)
+        via_ag = checker.sat(parse("AG m.p"))
+        via_ef = machine.states - checker.sat(parse("EF not m.p"))
+        assert via_ag == via_ef

@@ -1,0 +1,217 @@
+"""Edge-case coverage for the synthesis loops (single and multi)."""
+
+import pytest
+
+from repro.automata import Automaton, Interaction
+from repro.legacy import LegacyComponent
+from repro.logic import parse
+from repro.synthesis import (
+    IntegrationSynthesizer,
+    MultiLegacySynthesizer,
+    Verdict,
+)
+
+
+def dispatcher() -> Automaton:
+    """A context coordinating two workers with disjoint interfaces."""
+    return Automaton(
+        inputs={"done1", "done2"},
+        outputs={"task1", "task2"},
+        transitions=[
+            ("idle", (), (), "idle"),
+            ("idle", (), ("task1",), "wait1"),
+            ("wait1", ("done1",), (), "phase2"),
+            ("wait1", (), (), "wait1"),
+            ("phase2", (), ("task2",), "wait2"),
+            ("wait2", ("done2",), (), "idle"),
+            ("wait2", (), (), "wait2"),
+        ],
+        initial=["idle"],
+        labels={
+            "idle": {"disp.idle"},
+            "wait1": {"disp.waiting"},
+            "phase2": {"disp.phase2"},
+            "wait2": {"disp.waiting"},
+        },
+        name="dispatcher",
+    )
+
+
+def worker(index: int, *, lazy: bool = False) -> LegacyComponent:
+    task, done = f"task{index}", f"done{index}"
+    transitions = [
+        ("idle", (task,), (), "working"),
+        ("idle", (), (), "idle"),
+    ]
+    if lazy:
+        transitions.append(("working", (), (), "working"))  # never reports done
+    else:
+        transitions.append(("working", (), (done,), "idle"))
+    hidden = Automaton(
+        inputs={task},
+        outputs={done},
+        transitions=transitions,
+        initial=["idle"],
+        name=f"worker{index}",
+    )
+    return LegacyComponent(hidden, name=f"worker{index}")
+
+
+RESPONSE = parse("AG (disp.waiting -> AF[1,4] (disp.phase2 or disp.idle))")
+
+
+class TestThreePartyMulti:
+    def test_context_plus_two_workers_proven(self):
+        result = MultiLegacySynthesizer(
+            dispatcher(),
+            [worker(1), worker(2)],
+            RESPONSE,
+            labelers={
+                "worker1": lambda s: {f"w1.{s}"},
+                "worker2": lambda s: {f"w2.{s}"},
+            },
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+        assert set(result.final_models) == {"worker1", "worker2"}
+
+    def test_lazy_second_worker_detected(self):
+        result = MultiLegacySynthesizer(
+            dispatcher(),
+            [worker(1), worker(2, lazy=True)],
+            RESPONSE,
+            labelers={
+                "worker1": lambda s: {f"w1.{s}"},
+                "worker2": lambda s: {f"w2.{s}"},
+            },
+        ).run()
+        assert result.verdict is Verdict.REAL_VIOLATION
+
+    def test_only_faulty_worker_blamed_in_learning(self):
+        result = MultiLegacySynthesizer(
+            dispatcher(),
+            [worker(1), worker(2, lazy=True)],
+            RESPONSE,
+            labelers={
+                "worker1": lambda s: {f"w1.{s}"},
+                "worker2": lambda s: {f"w2.{s}"},
+            },
+        ).run()
+        # Both models were learned; the witness involves worker2's
+        # refusal to report done2.
+        witness = result.violation_witness
+        assert witness is not None
+
+
+class TestConservativeDeadlockProbing:
+    def test_conservative_mode_converges_on_probes(self):
+        # The halting server requires many probe-refusals; the literal
+        # Definition 12 mode adds them one at a time yet still converges.
+        hidden = Automaton(
+            inputs={"ping"},
+            outputs={"pong"},
+            transitions=[
+                ("ready", ("ping",), (), "busy"),
+                ("ready", (), (), "ready"),
+                ("busy", (), ("pong",), "halt"),
+            ],
+            initial=["ready"],
+            name="server",
+        )
+        client = Automaton(
+            inputs={"pong"},
+            outputs={"ping"},
+            transitions=[
+                ("idle", (), (), "idle"),
+                ("idle", (), ("ping",), "waiting"),
+                ("waiting", ("pong",), (), "idle"),
+                ("waiting", (), (), "waiting"),
+            ],
+            initial=["idle"],
+            labels={"idle": {"client.idle"}, "waiting": {"client.waiting"}},
+            name="client",
+        )
+        result = IntegrationSynthesizer(
+            client,
+            LegacyComponent(hidden, name="server"),
+            parse("AG (client.waiting -> AF[1,3] client.idle)"),
+            labeler=lambda s: {f"server.{s}"},
+            refusal_mode="conservative",
+        ).run()
+        assert result.verdict is Verdict.REAL_VIOLATION
+        assert result.violation_kind == "deadlock"
+
+
+class TestContextStuck:
+    def test_context_deadlock_is_real_regardless_of_component(self):
+        stuck_context = Automaton(
+            inputs={"pong"},
+            outputs={"ping"},
+            transitions=[("start", (), ("ping",), "dead")],  # dead has no moves
+            initial=["start"],
+            labels={"start": {"ctx.start"}},
+            name="stuckContext",
+        )
+        server = Automaton(
+            inputs={"ping"},
+            outputs={"pong"},
+            transitions=[
+                ("ready", ("ping",), (), "busy"),
+                ("ready", (), (), "ready"),
+                ("busy", (), ("pong",), "ready"),
+            ],
+            initial=["ready"],
+            name="server",
+        )
+        result = IntegrationSynthesizer(
+            stuck_context,
+            LegacyComponent(server, name="server"),
+            parse("AG true"),
+            labeler=lambda s: {f"server.{s}"},
+        ).run()
+        assert result.verdict is Verdict.REAL_VIOLATION
+        assert result.violation_kind == "deadlock"
+
+
+class TestRefutedChaoticDeadlock:
+    def test_s_delta_artifact_refuted_by_known_reaction(self):
+        # A component that always answers: chaotic s_delta deadlocks are
+        # systematically refuted and the loop ends in a proof.
+        hidden = Automaton(
+            inputs={"ping"},
+            outputs={"pong"},
+            transitions=[
+                ("ready", ("ping",), ("pong",), "ready"),
+                ("ready", (), (), "ready"),
+            ],
+            initial=["ready"],
+            name="echo",
+        )
+        client = Automaton(
+            inputs={"pong"},
+            outputs={"ping"},
+            transitions=[
+                ("idle", (), (), "idle"),
+                ("idle", (), ("ping",), "idle"),
+            ],
+            initial=["idle"],
+            labels={"idle": {"client.idle"}},
+            name="client",
+        )
+        # The client emits ping and expects the pong in the same period:
+        # the echo component does exactly that (simultaneous interaction).
+        from repro.legacy import interface_of
+
+        component = LegacyComponent(hidden, name="echo")
+        result = IntegrationSynthesizer(
+            client.replace(
+                transitions=[
+                    ("idle", (), (), "idle"),
+                    ("idle", ("pong",), ("ping",), "idle"),
+                ]
+            ),
+            component,
+            parse("AG not deadlock"),
+            universe=interface_of(component).universe(allow_simultaneous=True),
+            labeler=lambda s: {f"echo.{s}"},
+        ).run()
+        assert result.verdict is Verdict.PROVEN

@@ -1,0 +1,212 @@
+"""Second wave of property-based tests: persistence, minimization,
+hiding, FIFO ordering, and suite soundness on random models."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    InteractionUniverse,
+    Transition,
+    compose,
+    enumerate_traces,
+    hide,
+    minimize,
+    reachable_states,
+)
+from repro.legacy import LegacyComponent
+from repro.muml import delivered, fifo_channel
+from repro.persistence import (
+    automaton_from_dict,
+    automaton_to_dict,
+    incomplete_from_dict,
+    incomplete_to_dict,
+)
+from repro.testing import generate_suite, run_suite
+
+SETTINGS = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def string_automata(draw, max_states: int = 4, deterministic: bool = False) -> Automaton:
+    n_states = draw(st.integers(min_value=1, max_value=max_states))
+    states = [f"s{i}" for i in range(n_states)]
+    input_sets = [frozenset(), frozenset({"a"})]
+    output_sets = [frozenset(), frozenset({"b"})]
+    transitions: list[Transition] = []
+    used: set[tuple[str, frozenset]] = set()
+    for state in states:
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            inputs = draw(st.sampled_from(input_sets))
+            if deterministic and (state, inputs) in used:
+                continue
+            used.add((state, inputs))
+            transitions.append(
+                Transition(
+                    state,
+                    Interaction(inputs, draw(st.sampled_from(output_sets))),
+                    states[draw(st.integers(min_value=0, max_value=n_states - 1))],
+                )
+            )
+    labels = {
+        state: frozenset(draw(st.sets(st.sampled_from(["p", "q"]), max_size=2)))
+        for state in states
+    }
+    return Automaton(
+        states=states,
+        inputs={"a"},
+        outputs={"b"},
+        transitions=transitions,
+        initial=[states[0]],
+        labels=labels,
+        name="rand",
+    )
+
+
+class TestPersistenceProperties:
+    @SETTINGS
+    @given(string_automata())
+    def test_automaton_round_trip(self, automaton):
+        assert automaton_from_dict(automaton_to_dict(automaton)) == automaton
+
+    @SETTINGS
+    @given(string_automata(deterministic=True), st.data())
+    def test_incomplete_round_trip(self, automaton, data):
+        from repro.automata import IncompleteAutomaton
+
+        # Turn some non-transitions into refusals.
+        refusals = []
+        for state in sorted(automaton.states):
+            for interaction in (Interaction(), Interaction(["a"], None)):
+                enabled = {t.interaction for t in automaton.transitions_from(state)}
+                if interaction not in enabled and data.draw(st.booleans()):
+                    refusals.append((state, interaction))
+        model = IncompleteAutomaton(
+            states=automaton.states,
+            inputs=automaton.inputs,
+            outputs=automaton.outputs,
+            transitions=automaton.transitions,
+            refusals=refusals,
+            initial=automaton.initial,
+            labels=automaton.label_map,
+            name="rand",
+        )
+        assert incomplete_from_dict(incomplete_to_dict(model)) == model
+
+    @SETTINGS
+    @given(string_automata())
+    def test_document_is_stable(self, automaton):
+        import json
+
+        first = json.dumps(automaton_to_dict(automaton), sort_keys=True)
+        second = json.dumps(automaton_to_dict(automaton), sort_keys=True)
+        assert first == second
+
+
+class TestMinimizeProperties:
+    @SETTINGS
+    @given(string_automata(deterministic=True))
+    def test_minimize_preserves_traces(self, automaton):
+        # Strong determinism implies Definition-1 determinism when each
+        # (state, inputs) has one reaction; our generator guarantees it.
+        minimized = minimize(automaton)
+        assert enumerate_traces(minimized, 4) == enumerate_traces(automaton, 4)
+
+    @SETTINGS
+    @given(string_automata(deterministic=True))
+    def test_minimize_never_grows(self, automaton):
+        assert len(minimize(automaton).states) <= len(automaton.states)
+
+    @SETTINGS
+    @given(string_automata(deterministic=True))
+    def test_minimize_is_idempotent(self, automaton):
+        once = minimize(automaton)
+        twice = minimize(once)
+        assert len(once.states) == len(twice.states)
+
+
+class TestHideProperties:
+    @SETTINGS
+    @given(string_automata())
+    def test_hide_nothing_is_identity_up_to_name(self, automaton):
+        hidden = hide(automaton, [])
+        assert hidden.states == automaton.states
+        assert hidden.transitions == automaton.transitions
+
+    @SETTINGS
+    @given(string_automata())
+    def test_hide_all_signals_leaves_taus(self, automaton):
+        hidden = hide(automaton, {"a", "b"})
+        assert hidden.inputs == frozenset() and hidden.outputs == frozenset()
+        assert all(t.interaction.is_idle for t in hidden.transitions)
+        # Structure untouched:
+        assert len(hidden.states) == len(automaton.states)
+
+    @SETTINGS
+    @given(string_automata())
+    def test_hide_preserves_reachability(self, automaton):
+        hidden = hide(automaton, {"b"})
+        assert reachable_states(hidden) == reachable_states(automaton)
+
+
+class TestFifoProperties:
+    @SETTINGS
+    @given(st.lists(st.sampled_from(["x", "y"]), min_size=0, max_size=4))
+    def test_fifo_order_preserved_for_any_feed(self, feed):
+        channel = fifo_channel(["x", "y"], capacity=4)
+        state = "[]"
+
+        def step(current, interaction):
+            for transition in channel.transitions_from(current):
+                if transition.interaction == interaction:
+                    return transition.target
+            return None
+
+        for message in feed:
+            state = step(state, Interaction([message], None))
+            assert state is not None
+        drained = []
+        while True:
+            moved = False
+            for message in ("x", "y"):
+                target = step(state, Interaction(None, [delivered(message)]))
+                if target is not None:
+                    drained.append(message)
+                    state = target
+                    moved = True
+                    break
+            if not moved:
+                break
+        assert drained == feed
+
+    @SETTINGS
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=2))
+    def test_fifo_state_count_formula(self, capacity, n_messages):
+        messages = [f"m{i}" for i in range(n_messages)]
+        channel = fifo_channel(messages, capacity=capacity)
+        expected = sum(n_messages ** k for k in range(capacity + 1))
+        assert len(channel.states) == expected
+
+
+class TestSuiteSoundnessProperty:
+    @SETTINGS
+    @given(string_automata(deterministic=True))
+    def test_component_always_passes_its_own_suite(self, automaton):
+        component = LegacyComponent(automaton.replace(name="self"), name="self")
+        suite = generate_suite(automaton)
+        report = run_suite(component, suite)
+        assert report.ok, report.summary()
+
+    @SETTINGS
+    @given(string_automata(deterministic=True), string_automata(deterministic=True))
+    def test_suite_failure_implies_behavioral_difference(self, model, other):
+        component = LegacyComponent(other.replace(name="other"), name="other")
+        suite = generate_suite(model)
+        report = run_suite(component, suite)
+        if not report.ok:
+            # Some test diverged, so some trace of the model is not a
+            # trace of the other machine.
+            assert enumerate_traces(model, 6) - enumerate_traces(other, 6)

@@ -1,0 +1,347 @@
+"""Unit tests for the Mechatronic UML layer: patterns, connectors,
+components, architectures."""
+
+import pytest
+
+from repro.automata import Automaton, Interaction, reachable_states
+from repro.errors import ModelError, NotCompositionalError
+from repro.logic import parse
+from repro.muml import (
+    Architecture,
+    Component,
+    CoordinationPattern,
+    Port,
+    Role,
+    bounded_delay_channel,
+    delivered,
+    lossy_channel,
+    unit_delay_channel,
+)
+from repro import railcab
+
+
+def producer() -> Automaton:
+    return Automaton(
+        inputs=set(),
+        outputs={"m"},
+        transitions=[("p", (), ("m",), "q"), ("q", (), (), "p")],
+        initial=["p"],
+        labels={"p": {"prod.ready"}},
+        name="producer",
+    )
+
+
+def consumer(signal: str = "m") -> Automaton:
+    return Automaton(
+        inputs={signal},
+        outputs=set(),
+        transitions=[("w", (signal,), (), "w"), ("w", (), (), "w")],
+        initial=["w"],
+        labels={"w": {"cons.wait"}},
+        name="consumer",
+    )
+
+
+class TestRole:
+    def test_role_from_automaton(self):
+        role = Role("prod", producer())
+        assert role.behavior.name == "producer"
+
+    def test_role_from_statechart(self):
+        from repro.rtsc import Statechart
+
+        chart = Statechart("r")
+        chart.location("a", initial=True)
+        role = Role("r", chart)
+        assert isinstance(role.behavior, Automaton)
+
+    def test_role_invariant_must_be_compositional(self):
+        with pytest.raises(NotCompositionalError):
+            Role("prod", producer(), invariant=parse("EF prod.ready"))
+
+    def test_bad_behavior_type(self):
+        with pytest.raises(ModelError, match="Automaton or Statechart"):
+            Role("prod", "not-a-model")
+
+
+class TestCoordinationPattern:
+    def test_needs_two_roles(self):
+        with pytest.raises(ModelError, match="at least two roles"):
+            CoordinationPattern("p", [Role("a", producer())], constraint=parse("AG true"))
+
+    def test_duplicate_role_names_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            CoordinationPattern(
+                "p",
+                [Role("a", producer()), Role("a", consumer())],
+                constraint=parse("AG true"),
+            )
+
+    def test_constraint_must_be_compositional(self):
+        with pytest.raises(NotCompositionalError):
+            CoordinationPattern(
+                "p",
+                [Role("a", producer()), Role("b", consumer())],
+                constraint=parse("EF done"),
+            )
+
+    def test_role_lookup(self):
+        pattern = railcab.distance_coordination_pattern()
+        assert pattern.role("frontRole").name == "frontRole"
+        with pytest.raises(ModelError, match="no role"):
+            pattern.role("sideRole")
+
+    def test_direct_composition(self):
+        pattern = CoordinationPattern(
+            "p",
+            [Role("a", producer()), Role("b", consumer())],
+            constraint=parse("AG true"),
+        )
+        composed = pattern.composition()
+        assert composed.name == "p"
+        assert len(composed.states) >= 1
+
+    def test_verify_distance_coordination(self):
+        result = railcab.distance_coordination_pattern().verify()
+        assert result.ok
+        assert result.constraint_result.holds
+        assert result.deadlock_result.holds
+        assert set(result.invariant_results) == {"frontRole", "rearRole"}
+
+    def test_verify_reports_constraint_violation_with_witness(self):
+        convoy_anyway = Automaton(
+            inputs=railcab.FRONT_TO_REAR,
+            outputs=railcab.REAR_TO_FRONT,
+            transitions=[
+                ("noConvoy", (), ("convoyProposal",), "convoy"),
+                ("convoy", ("convoyProposalRejected",), (), "convoy"),
+                ("convoy", (), (), "convoy"),
+            ],
+            initial=["noConvoy"],
+            labels={
+                "noConvoy": {"rearRole.noConvoy"},
+                "convoy": {"rearRole.convoy"},
+            },
+            name="badRear",
+        )
+        pattern = CoordinationPattern(
+            "DC(bad)",
+            [Role("frontRole", railcab.front_role_automaton()), Role("rearRole", convoy_anyway)],
+            constraint=railcab.PATTERN_CONSTRAINT,
+        )
+        result = pattern.verify()
+        assert not result.ok
+        assert not result.constraint_result.holds
+        assert result.counterexample_run is not None
+
+    def test_verify_reports_role_invariant_violation(self):
+        sloppy_front = railcab.front_role_automaton().with_labels(
+            lambda state: {"frontRole.convoy"} if str(state).startswith("convoy") else set()
+        )
+        pattern = CoordinationPattern(
+            "DC(sloppy)",
+            [
+                Role("frontRole", sloppy_front, invariant=railcab.FRONT_ROLE_INVARIANT),
+                Role("rearRole", railcab.rear_role_automaton()),
+            ],
+            constraint=parse("AG true"),
+        )
+        result = pattern.verify()
+        assert not result.invariant_results["frontRole"].holds
+        assert "frontRole" in result.invariant_counterexamples
+
+
+class TestConnectors:
+    def test_unit_delay_delivers_next_period(self):
+        channel = unit_delay_channel(["m"])
+        assert channel.inputs == frozenset({"m"})
+        assert channel.outputs == frozenset({delivered("m")})
+        holding = next(t.target for t in channel.transitions_from("empty") if t.inputs)
+        deliveries = channel.transitions_from(holding)
+        assert all(t.outputs == frozenset({delivered("m")}) for t in deliveries)
+
+    def test_unit_delay_refuses_while_holding(self):
+        channel = unit_delay_channel(["m"])
+        holding = f"holding(m)"
+        assert all(not t.inputs for t in channel.transitions_from(holding))
+
+    def test_bounded_delay_latency_range(self):
+        channel = bounded_delay_channel(["m"], low=2, high=3)
+        # From holding at t=0, delivery becomes possible at t=1 (latency
+        # 2) and is forced at t=2 (latency 3).
+        composed = channel
+        states = {str(s) for s in composed.states}
+        assert any("holding(m)" in s for s in states)
+
+    def test_bounded_delay_bad_bounds(self):
+        with pytest.raises(ModelError):
+            bounded_delay_channel(["m"], low=0, high=2)
+        with pytest.raises(ModelError):
+            bounded_delay_channel(["m"], low=3, high=2)
+
+    def test_lossy_channel_can_drop(self):
+        channel = lossy_channel(["m"])
+        drops = [
+            t
+            for t in channel.transitions
+            if str(t.source).startswith("holding(") and t.interaction.is_idle
+        ]
+        assert drops and all(t.target == "empty" for t in drops)
+
+    def test_channel_needs_messages(self):
+        with pytest.raises(ModelError, match="at least one message"):
+            unit_delay_channel([])
+
+    def test_delivered_suffix_guard(self):
+        with pytest.raises(ModelError, match="delivered suffix"):
+            unit_delay_channel([delivered("m")])
+
+    def test_end_to_end_delivery_through_channel(self):
+        channel = unit_delay_channel(["m"])
+        pattern = CoordinationPattern(
+            "pipe",
+            [Role("prod", producer()), Role("cons", consumer(delivered("m")))],
+            constraint=parse("AG not deadlock"),
+            connector=channel,
+        )
+        result = pattern.verify()
+        assert result.ok
+
+
+class TestComponentsAndPorts:
+    def test_port_signal_mismatch_rejected(self):
+        role = Role("prod", producer())
+        with pytest.raises(ModelError, match="expects"):
+            Port("p", role, consumer())
+
+    def test_conforming_port(self):
+        pattern = railcab.distance_coordination_pattern()
+        port = Port("rearRole", pattern.role("rearRole"), railcab.rear_role_automaton())
+        assert port.check_conformance().ok
+
+    def test_component_requires_ports(self):
+        with pytest.raises(ModelError, match="at least one port"):
+            Component("c", [])
+
+    def test_component_duplicate_ports(self):
+        pattern = railcab.distance_coordination_pattern()
+        port = Port("x", pattern.role("rearRole"), railcab.rear_role_automaton())
+        with pytest.raises(ModelError, match="duplicate"):
+            Component("c", [port, port])
+
+    def test_component_behavior_single_port(self):
+        pattern = railcab.distance_coordination_pattern()
+        port = Port("rearRole", pattern.role("rearRole"), railcab.rear_role_automaton())
+        component = Component("shuttle", [port])
+        assert component.behavior().name == "shuttle"
+
+    def test_port_lookup(self):
+        pattern = railcab.distance_coordination_pattern()
+        port = Port("rearRole", pattern.role("rearRole"), railcab.rear_role_automaton())
+        component = Component("shuttle", [port])
+        assert component.port("rearRole") is port
+        with pytest.raises(ModelError, match="no port"):
+            component.port("ghost")
+
+
+class TestArchitecture:
+    def make_architecture(self):
+        pattern = railcab.distance_coordination_pattern()
+        front_port = Port("front", pattern.role("frontRole"), railcab.front_role_automaton())
+        leader = Component("leader", [front_port])
+        architecture = Architecture("convoy")
+        architecture.add_component(leader)
+        architecture.add_legacy("follower")
+        architecture.instantiate(
+            pattern,
+            {"frontRole": ("leader", "front"), "rearRole": ("follower", None)},
+            name="dc",
+        )
+        return architecture
+
+    def test_duplicate_placement_rejected(self):
+        architecture = self.make_architecture()
+        with pytest.raises(ModelError, match="already places"):
+            architecture.add_legacy("leader")
+
+    def test_instance_requires_all_roles_bound(self):
+        pattern = railcab.distance_coordination_pattern()
+        architecture = Architecture("a")
+        with pytest.raises(ModelError, match="does not bind"):
+            architecture.instantiate(pattern, {})
+
+    def test_legacy_binding_must_not_name_port(self):
+        pattern = railcab.distance_coordination_pattern()
+        architecture = Architecture("a")
+        architecture.add_legacy("follower")
+        front_port = Port("front", pattern.role("frontRole"), railcab.front_role_automaton())
+        architecture.add_component(Component("leader", [front_port]))
+        with pytest.raises(ModelError, match="cannot name a port"):
+            architecture.instantiate(
+                pattern,
+                {"frontRole": ("leader", "front"), "rearRole": ("follower", "x")},
+            )
+
+    def test_wrong_role_port_rejected(self):
+        pattern = railcab.distance_coordination_pattern()
+        architecture = Architecture("a")
+        rear_port = Port("rear", pattern.role("rearRole"), railcab.rear_role_automaton())
+        architecture.add_component(Component("c", [rear_port]))
+        architecture.add_legacy("legacy")
+        with pytest.raises(ModelError, match="realizes role"):
+            architecture.instantiate(
+                pattern,
+                {"frontRole": ("c", "rear"), "rearRole": ("legacy", None)},
+            )
+
+    def test_context_extraction(self):
+        architecture = self.make_architecture()
+        extraction = architecture.context_for("follower")
+        assert extraction.legacy_inputs == railcab.FRONT_TO_REAR
+        assert extraction.legacy_outputs == railcab.REAR_TO_FRONT
+        assert extraction.constraints == (railcab.PATTERN_CONSTRAINT,)
+        assert "dc:rearRole" in extraction.role_protocols
+        assert len(extraction.context.states) == 4  # the front role automaton
+
+    def test_context_for_unknown_legacy(self):
+        architecture = self.make_architecture()
+        with pytest.raises(ModelError, match="not a legacy placement"):
+            architecture.context_for("leader")
+
+    def test_context_for_unbound_legacy(self):
+        architecture = self.make_architecture()
+        architecture.add_legacy("spare")
+        with pytest.raises(ModelError, match="participates in no"):
+            architecture.context_for("spare")
+
+    def test_compose_known(self):
+        architecture = self.make_architecture()
+        composed = architecture.compose_known()
+        assert len(composed.states) == 4
+
+    def test_context_feeds_synthesizer(self):
+        from repro.synthesis import IntegrationSynthesizer, Verdict
+
+        architecture = self.make_architecture()
+        extraction = architecture.context_for("follower")
+        synthesizer = IntegrationSynthesizer(
+            extraction.context,
+            railcab.faulty_rear_shuttle(),
+            extraction.constraints[0],
+            labeler=railcab.rear_state_labeler,
+        )
+        assert synthesizer.run().verdict is Verdict.REAL_VIOLATION
+
+    def test_rename_suffix_keeps_instances_apart(self):
+        pattern = railcab.distance_coordination_pattern()
+        architecture = Architecture("a")
+        front_port = Port("front", pattern.role("frontRole"), railcab.front_role_automaton())
+        architecture.add_component(Component("leader", [front_port]))
+        architecture.add_legacy("follower")
+        architecture.instantiate(
+            pattern,
+            {"frontRole": ("leader", "front"), "rearRole": ("follower", None)},
+            rename_suffix="1",
+        )
+        extraction = architecture.context_for("follower")
+        assert all(signal.endswith("@1") for signal in extraction.legacy_inputs)

@@ -1,0 +1,158 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import (
+    AF,
+    AG,
+    AU,
+    AX,
+    And,
+    DEADLOCK,
+    EF,
+    EG,
+    EU,
+    EX,
+    FALSE,
+    Implies,
+    Interval,
+    Not,
+    Or,
+    Prop,
+    TRUE,
+    parse,
+)
+
+P, Q, R = Prop("p"), Prop("q"), Prop("r")
+
+
+class TestAtoms:
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+        assert parse("deadlock") == DEADLOCK
+
+    def test_plain_proposition(self):
+        assert parse("p") == P
+
+    def test_dotted_proposition(self):
+        assert parse("rearRole.convoy") == Prop("rearRole.convoy")
+
+    def test_nested_dotted_proposition(self):
+        assert parse("a.b.c") == Prop("a.b.c")
+
+    def test_parentheses(self):
+        assert parse("(p)") == P
+
+
+class TestBooleans:
+    def test_not(self):
+        assert parse("not p") == Not(P)
+        assert parse("!p") == Not(P)
+
+    def test_and_or(self):
+        assert parse("p and q") == And(P, Q)
+        assert parse("p && q") == And(P, Q)
+        assert parse("p or q") == Or(P, Q)
+        assert parse("p || q") == Or(P, Q)
+
+    def test_implies_right_associative(self):
+        assert parse("p -> q -> r") == Implies(P, Implies(Q, R))
+
+    def test_precedence_and_over_or(self):
+        assert parse("p or q and r") == Or(P, And(Q, R))
+
+    def test_precedence_not_tightest(self):
+        assert parse("not p and q") == And(Not(P), Q)
+
+    def test_precedence_or_over_implies(self):
+        assert parse("p or q -> r") == Implies(Or(P, Q), R)
+
+
+class TestTemporal:
+    def test_unary_operators(self):
+        assert parse("AG p") == AG(P)
+        assert parse("AF p") == AF(P)
+        assert parse("EG p") == EG(P)
+        assert parse("EF p") == EF(P)
+        assert parse("AX p") == AX(P)
+        assert parse("EX p") == EX(P)
+
+    def test_bounded_operators(self):
+        assert parse("AF[1,5] p") == AF(P, Interval(1, 5))
+        assert parse("AG[0,3] p") == AG(P, Interval(0, 3))
+
+    def test_uppaal_style(self):
+        assert parse("A[] p") == AG(P)
+        assert parse("E<> p") == EF(P)
+        assert parse("A[] not (p and q)") == AG(Not(And(P, Q)))
+
+    def test_until(self):
+        assert parse("A[p U q]") == AU(P, Q)
+        assert parse("E[p U q]") == EU(P, Q)
+
+    def test_bounded_until(self):
+        assert parse("A[p U[1,4] q]") == AU(P, Q, Interval(1, 4))
+
+    def test_nested_temporal(self):
+        assert parse("AG (p -> AF[1,2] q)") == AG(Implies(P, AF(Q, Interval(1, 2))))
+
+    def test_temporal_binds_tighter_than_and(self):
+        assert parse("AG p and q") == And(AG(P), Q)
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("p q")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse("(p and q")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse("p # q")
+
+    def test_box_requires_a(self):
+        with pytest.raises(ParseError, match="requires the A"):
+            parse("E[] p")
+
+    def test_diamond_requires_e(self):
+        with pytest.raises(ParseError, match="requires the E"):
+            parse("A<> p")
+
+    def test_missing_until_operand(self):
+        with pytest.raises(ParseError):
+            parse("A[p U ]")
+
+    def test_interval_needs_numbers(self):
+        with pytest.raises(ParseError):
+            parse("AF[x,2] p")
+
+    def test_quantifier_alone(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse("A p")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AG (not (rearRole.convoy and frontRole.noConvoy))",
+            "AG (p -> AF[1,5] q)",
+            "AG (not deadlock)",
+            "A[p U q]",
+            "(EF (p or (q and (not r))))",
+        ],
+    )
+    def test_str_reparses_to_same_formula(self, text):
+        formula = parse(text)
+        assert parse(str(formula)) == formula

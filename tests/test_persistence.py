@@ -1,0 +1,226 @@
+"""Tests for model persistence and warm-started synthesis."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import Automaton, IncompleteAutomaton, Interaction
+from repro.errors import ModelError, SynthesisError
+from repro.legacy import LegacyComponent
+from repro.logic import parse
+from repro.persistence import (
+    automaton_from_dict,
+    automaton_to_dict,
+    incomplete_from_dict,
+    incomplete_to_dict,
+    load_model,
+    save_model,
+)
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+
+def sample_automaton() -> Automaton:
+    return Automaton(
+        inputs={"a"},
+        outputs={"b"},
+        transitions=[("s", ("a",), (), "t"), ("t", (), ("b",), "s")],
+        initial=["s"],
+        labels={"s": {"p", "q"}},
+        name="sample",
+    )
+
+
+def sample_incomplete() -> IncompleteAutomaton:
+    return IncompleteAutomaton(
+        inputs={"a"},
+        outputs={"b"},
+        transitions=[("s", ("a",), (), "t")],
+        refusals=[("t", ("a",), ())],
+        initial=["s"],
+        labels={"t": {"r"}},
+        name="partial",
+    )
+
+
+class TestDictRoundTrip:
+    def test_automaton_round_trip(self):
+        original = sample_automaton()
+        assert automaton_from_dict(automaton_to_dict(original)) == original
+
+    def test_incomplete_round_trip(self):
+        original = sample_incomplete()
+        assert incomplete_from_dict(incomplete_to_dict(original)) == original
+
+    def test_labels_preserved(self):
+        rebuilt = automaton_from_dict(automaton_to_dict(sample_automaton()))
+        assert rebuilt.labels("s") == frozenset({"p", "q"})
+
+    def test_document_is_json_serialisable(self):
+        import json
+
+        json.dumps(incomplete_to_dict(sample_incomplete()))
+
+    def test_document_is_deterministic(self):
+        assert incomplete_to_dict(sample_incomplete()) == incomplete_to_dict(sample_incomplete())
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ModelError, match="malformed"):
+            automaton_from_dict({"inputs": ["a"]})
+
+
+class TestFileRoundTrip:
+    def test_save_load_automaton(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(sample_automaton(), path)
+        assert load_model(path) == sample_automaton()
+
+    def test_save_load_incomplete(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(sample_incomplete(), path)
+        loaded = load_model(path)
+        assert isinstance(loaded, IncompleteAutomaton)
+        assert loaded == sample_incomplete()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ModelError, match="not a repro model"):
+            load_model(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format": "repro/model", "version": 999, "kind": "automaton"}')
+        with pytest.raises(ModelError, match="unsupported version"):
+            load_model(path)
+
+    def test_save_garbage_rejected(self, tmp_path):
+        with pytest.raises(ModelError, match="not an automaton"):
+            save_model("text", tmp_path / "x.json")
+
+
+class TestWarmStart:
+    def cold_run(self):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+
+    def test_warm_start_same_property_is_immediate(self):
+        cold = self.cold_run()
+        warm = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=cold.final_model,
+        ).run()
+        assert warm.verdict is Verdict.PROVEN
+        assert warm.iteration_count == 1
+        assert warm.total_tests == 0
+
+    def test_warm_start_new_property(self):
+        cold = self.cold_run()
+        warm = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            parse("AG (rearRole.convoy -> frontRole.convoy)"),
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=cold.final_model,
+        ).run()
+        assert warm.verdict is Verdict.PROVEN
+        assert warm.total_tests == 0
+
+    def test_warm_start_through_persistence(self, tmp_path):
+        cold = self.cold_run()
+        path = tmp_path / "shuttle.json"
+        save_model(cold.final_model, path)
+        warm = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=load_model(path),
+        ).run()
+        assert warm.verdict is Verdict.PROVEN
+
+    def test_signal_mismatch_rejected(self):
+        foreign = IncompleteAutomaton(
+            inputs={"x"}, outputs={"y"}, initial=["s"], name="foreign"
+        )
+        with pytest.raises(SynthesisError, match="interface"):
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(),
+                railcab.PATTERN_CONSTRAINT,
+                initial_knowledge=foreign,
+            )
+
+    def test_wrong_initial_state_rejected(self):
+        cold = self.cold_run()
+        with pytest.raises(SynthesisError, match="initial state"):
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.faulty_rear_shuttle(),  # initial state "noConvoy"
+                railcab.PATTERN_CONSTRAINT,
+                initial_knowledge=cold.final_model,
+            )
+
+    def test_behaviorally_stale_knowledge_rejected(self):
+        # Same state names and interface, but a transition the real
+        # component does not have.
+        shuttle = railcab.correct_rear_shuttle(convoy_ticks=1)
+        bogus = IncompleteAutomaton(
+            inputs=shuttle.inputs,
+            outputs=shuttle.outputs,
+            transitions=[
+                ("noConvoy::default", (), ("breakConvoyProposal",), "noConvoy::wait"),
+            ],
+            initial=["noConvoy::default"],
+            name="bogus",
+        )
+        with pytest.raises(SynthesisError, match="stale initial knowledge"):
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                shuttle,
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                initial_knowledge=bogus,
+            )
+
+    def test_stale_refusal_rejected(self):
+        shuttle = railcab.correct_rear_shuttle(convoy_ticks=1)
+        bogus = IncompleteAutomaton(
+            inputs=shuttle.inputs,
+            outputs=shuttle.outputs,
+            # claim the component refuses to propose — it doesn't.
+            refusals=[("noConvoy::default", Interaction(None, ["convoyProposal"]))],
+            initial=["noConvoy::default"],
+            name="bogus",
+        )
+        with pytest.raises(SynthesisError, match="stale initial knowledge"):
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                shuttle,
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                initial_knowledge=bogus,
+            )
+
+    def test_validation_can_be_skipped(self):
+        shuttle = railcab.correct_rear_shuttle(convoy_ticks=1)
+        harmless = IncompleteAutomaton(
+            inputs=shuttle.inputs,
+            outputs=shuttle.outputs,
+            initial=["noConvoy::default"],
+            name="empty",
+        )
+        synthesizer = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            shuttle,
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            initial_knowledge=harmless,
+            validate_knowledge=False,
+        )
+        assert synthesizer.run().verdict is Verdict.PROVEN

@@ -1,0 +1,487 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These check the paper's meta-theorems on randomly generated models:
+
+* composition structure (Definition 3),
+* the refinement preorder (Definition 4),
+* Theorem 1 — chaotic closures of observation-conforming models are
+  safe abstractions,
+* learning preserves observation conformance and grows knowledge
+  monotonically (§4.3/§4.4),
+* the CCTL checker against a brute-force maximal-path semantics,
+* parser/printer round trips,
+* and end-to-end: the synthesis verdict always agrees with the ground
+  truth obtained by model checking the context against the (secretly
+  known) legacy behavior — the paper's "no false negatives, and proofs
+  are real proofs" (Lemmas 5 and 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Automaton,
+    CHAOS_PROPOSITION,
+    IncompleteAutomaton,
+    Interaction,
+    InteractionUniverse,
+    Run,
+    Transition,
+    chaos_tolerant_labels,
+    chaotic_closure,
+    compose,
+    enumerate_runs,
+    refines,
+)
+from repro.legacy import LegacyComponent
+from repro.logic import (
+    AF,
+    AG,
+    And,
+    EF,
+    EG,
+    Interval,
+    ModelChecker,
+    Not,
+    Or,
+    Prop,
+    parse,
+)
+from repro.synthesis import IntegrationSynthesizer, Verdict, learn_regular
+
+# --------------------------------------------------------------------- strategies
+
+# The generated servers may receive and send within the same time unit,
+# so the universe must include the simultaneous interactions — Theorem 1
+# presupposes that the alphabet covers the implementation's interactions.
+UNIVERSE = InteractionUniverse.singletons({"ping"}, {"pong"}, allow_simultaneous=True)
+INTERACTIONS = tuple(UNIVERSE)
+
+
+@st.composite
+def deterministic_servers(draw, max_states: int = 4) -> Automaton:
+    """A strongly deterministic machine over ping/pong.
+
+    For every state and every input set (∅ or {ping}) there is at most
+    one reaction; state 0 is initial and every state is reachable by
+    construction (targets are drawn from already-used states or the
+    next fresh one).
+    """
+    n_states = draw(st.integers(min_value=1, max_value=max_states))
+    transitions: list[Transition] = []
+    for state in range(n_states):
+        for inputs in (frozenset(), frozenset({"ping"})):
+            react = draw(st.booleans())
+            if not react:
+                continue
+            outputs = draw(st.sampled_from([frozenset(), frozenset({"pong"})]))
+            target = draw(st.integers(min_value=0, max_value=n_states - 1))
+            transitions.append(
+                Transition(f"q{state}", Interaction(inputs, outputs), f"q{target}")
+            )
+    return Automaton(
+        states=[f"q{i}" for i in range(n_states)],
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=transitions,
+        initial=["q0"],
+        name="random-server",
+    )
+
+
+def client() -> Automaton:
+    return Automaton(
+        inputs={"pong"},
+        outputs={"ping"},
+        transitions=[
+            ("idle", (), (), "idle"),
+            ("idle", (), ("ping",), "waiting"),
+            ("waiting", ("pong",), (), "idle"),
+            ("waiting", (), (), "waiting"),
+        ],
+        initial=["idle"],
+        labels={"idle": {"client.idle"}, "waiting": {"client.waiting"}},
+        name="client",
+    )
+
+
+@st.composite
+def labeled_automata(draw, max_states: int = 4) -> Automaton:
+    base = draw(deterministic_servers(max_states=max_states))
+    labels = {
+        state: frozenset(draw(st.sets(st.sampled_from(["p", "q"]), max_size=2)))
+        for state in base.states
+    }
+    return base.replace(labels=labels)
+
+
+@st.composite
+def formulas(draw, depth: int = 2):
+    """Formulas in the fragment the brute-force checker supports."""
+    atoms = [Prop("p"), Prop("q"), parse("true"), parse("deadlock")]
+    if depth == 0:
+        return draw(st.sampled_from(atoms))
+    kind = draw(st.sampled_from(["atom", "not", "and", "or", "AG", "AF", "EF", "EG", "bAF", "bAG"]))
+    if kind == "atom":
+        return draw(st.sampled_from(atoms))
+    if kind == "not":
+        return Not(draw(formulas(depth=depth - 1)))
+    if kind in ("and", "or"):
+        left = draw(formulas(depth=depth - 1))
+        right = draw(formulas(depth=depth - 1))
+        return And(left, right) if kind == "and" else Or(left, right)
+    operand = draw(formulas(depth=depth - 1))
+    if kind == "AG":
+        return AG(operand)
+    if kind == "AF":
+        return AF(operand)
+    if kind == "EF":
+        return EF(operand)
+    if kind == "EG":
+        return EG(operand)
+    low = draw(st.integers(min_value=0, max_value=2))
+    high = draw(st.integers(min_value=low, max_value=3))
+    return (AF if kind == "bAF" else AG)(operand, Interval(low, high))
+
+
+# ------------------------------------------------------- brute-force CTL semantics
+
+
+def _maximal_paths(automaton: Automaton, state, horizon: int):
+    """All maximal paths from ``state``, truncated at ``horizon``.
+
+    A path is returned when it deadlocks or reaches the horizon; with a
+    horizon beyond ``|S| * (bound+1)`` this is exact for the bounded
+    fragment and for lasso detection we track visited states.
+    """
+    paths = []
+
+    def extend(path):
+        current = path[-1]
+        successors = sorted({t.target for t in automaton.transitions_from(current)}, key=repr)
+        if not successors or len(path) > horizon:
+            paths.append(tuple(path))
+            return
+        for successor in successors:
+            extend(path + [successor])
+
+    extend([state])
+    return paths
+
+
+def _brute(automaton: Automaton, formula, state, horizon: int, _memo=None) -> bool:
+    from repro.logic import Deadlock, FalseF, Implies, TrueF
+
+    if _memo is None:
+        _memo = {}
+    key = (id(formula), state)
+    if key in _memo:
+        return _memo[key]
+    result = _brute_eval(automaton, formula, state, horizon, _memo)
+    _memo[key] = result
+    return result
+
+
+def _brute_eval(automaton: Automaton, formula, state, horizon: int, _memo) -> bool:
+    from repro.logic import Deadlock, FalseF, Implies, TrueF
+
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Prop):
+        return formula.name in automaton.labels(state)
+    if isinstance(formula, Deadlock):
+        return automaton.is_deadlock(state)
+    if isinstance(formula, Not):
+        return not _brute(automaton, formula.operand, state, horizon, _memo)
+    if isinstance(formula, And):
+        return _brute(automaton, formula.left, state, horizon, _memo) and _brute(
+            automaton, formula.right, state, horizon, _memo
+        )
+    if isinstance(formula, Or):
+        return _brute(automaton, formula.left, state, horizon, _memo) or _brute(
+            automaton, formula.right, state, horizon, _memo
+        )
+    if isinstance(formula, Implies):
+        return (not _brute(automaton, formula.left, state, horizon, _memo)) or _brute(
+            automaton, formula.right, state, horizon, _memo
+        )
+    paths = _maximal_paths(automaton, state, horizon)
+    if isinstance(formula, (AF, AG, EF, EG)):
+        if formula.interval is not None:
+            low, high = formula.interval.low, formula.interval.high
+            window = range(low, high + 1)
+        else:
+            window = None
+
+        def positions(path):
+            if window is not None:
+                return [i for i in window if i < len(path)]
+            return range(len(path))
+
+        def path_has(path):
+            return any(
+                _brute(automaton, formula.operand, path[i], horizon, _memo)
+                for i in positions(path)
+            )
+
+        def path_all(path):
+            return all(
+                _brute(automaton, formula.operand, path[i], horizon, _memo)
+                for i in positions(path)
+            )
+
+        if isinstance(formula, AF):
+            return all(path_has(p) for p in paths)
+        if isinstance(formula, EF):
+            return any(path_has(p) for p in paths)
+        if isinstance(formula, AG):
+            return all(path_all(p) for p in paths)
+        return any(path_all(p) for p in paths)
+    raise AssertionError(formula)
+
+
+# ----------------------------------------------------------------------- the tests
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestCompositionProperties:
+    @SETTINGS
+    @given(deterministic_servers())
+    def test_composed_transitions_project_to_component_transitions(self, server):
+        composed = compose(client(), server)
+        for transition in composed.transitions:
+            c_src, s_src = transition.source
+            c_dst, s_dst = transition.target
+            assert any(
+                t.target == c_dst
+                and t.interaction.inputs == transition.inputs & client().inputs
+                and t.interaction.outputs == transition.outputs & client().outputs
+                for t in client().transitions_from(c_src)
+            )
+            assert any(
+                t.target == s_dst
+                and t.interaction.inputs == transition.inputs & server.inputs
+                and t.interaction.outputs == transition.outputs & server.outputs
+                for t in server.transitions_from(s_src)
+            )
+
+    @SETTINGS
+    @given(deterministic_servers())
+    def test_composed_labels_are_unions(self, server):
+        composed = compose(client(), server)
+        for state in composed.states:
+            assert composed.labels(state) == client().labels(state[0]) | server.labels(state[1])
+
+    @SETTINGS
+    @given(deterministic_servers())
+    def test_all_composed_states_reachable(self, server):
+        from repro.automata import reachable_states
+
+        composed = compose(client(), server)
+        assert reachable_states(composed) == composed.states
+
+
+class TestRefinementProperties:
+    @SETTINGS
+    @given(labeled_automata())
+    def test_refinement_is_reflexive(self, automaton):
+        assert refines(automaton, automaton)
+
+    @SETTINGS
+    @given(labeled_automata(), st.data())
+    def test_removing_one_state_keeps_condition_one(self, automaton, data):
+        # Simulation half: a sub-automaton (fewer transitions from a
+        # removed state) is simulated; full refinement may fail on
+        # refusals, so check via the chaos-tolerant... here: simulates.
+        from repro.automata import simulates
+
+        keep = data.draw(st.sampled_from(sorted(automaton.states, key=repr)))
+        reduced = automaton.replace(
+            transitions=[t for t in automaton.transitions if t.target != keep or t.source == keep],
+        )
+        assert simulates(automaton, reduced)
+
+
+class TestTheorem1:
+    @SETTINGS
+    @given(deterministic_servers(), st.integers(min_value=0, max_value=6), st.booleans())
+    def test_closure_of_learned_model_abstracts_implementation(
+        self, server, run_steps, deterministic_closure
+    ):
+        # Learn a random run of the real machine, then check Theorem 1:
+        # M_r ⊑ chaos(learn(M_l, π)).
+        model = IncompleteAutomaton(
+            states=server.initial,
+            inputs=server.inputs,
+            outputs=server.outputs,
+            initial=server.initial,
+            name="learned",
+        )
+        run = Run(next(iter(server.initial)))
+        current = run.start
+        for _ in range(run_steps):
+            transitions = server.transitions_from(current)
+            if not transitions:
+                break
+            transition = transitions[0]
+            run = run.extend(transition.interaction, transition.target)
+            current = transition.target
+        model = learn_regular(model, run)
+        closure = chaotic_closure(
+            model, UNIVERSE, deterministic_implementation=deterministic_closure
+        )
+        assert refines(
+            server,
+            closure,
+            label_match=chaos_tolerant_labels(CHAOS_PROPOSITION),
+            universe=UNIVERSE,
+        )
+
+    @SETTINGS
+    @given(deterministic_servers())
+    def test_every_real_run_is_a_closure_run_modulo_tags(self, server):
+        model = IncompleteAutomaton(
+            states=server.initial,
+            inputs=server.inputs,
+            outputs=server.outputs,
+            initial=server.initial,
+            name="empty",
+        )
+        closure = chaotic_closure(model, UNIVERSE)
+        for run in enumerate_runs(server, 3, include_deadlock_runs=False):
+            # The closure must offer the same trace from some initial state.
+            state_sets = set(closure.initial)
+            for interaction in run.trace:
+                state_sets = {
+                    t.target
+                    for s in state_sets
+                    for t in closure.transitions_from(s)
+                    if t.interaction == interaction
+                }
+            assert state_sets, f"trace {run.trace} not matched"
+
+
+class TestLearningProperties:
+    @SETTINGS
+    @given(deterministic_servers(), st.integers(min_value=0, max_value=5))
+    def test_learning_preserves_observation_conformance(self, server, run_steps):
+        model = IncompleteAutomaton(
+            states=server.initial,
+            inputs=server.inputs,
+            outputs=server.outputs,
+            initial=server.initial,
+            name="learned",
+        )
+        runs = [
+            run
+            for run in enumerate_runs(server, run_steps, include_deadlock_runs=False)
+        ]
+        sizes = [model.knowledge_size()]
+        for run in runs[:10]:
+            model = learn_regular(model, run)
+            sizes.append(model.knowledge_size())
+            # Observation conformance: every learned transition is real.
+            for transition in model.transitions:
+                assert transition in server.transitions
+        assert sizes == sorted(sizes)
+
+
+class TestCheckerAgainstBruteForce:
+    @SETTINGS
+    @given(labeled_automata(max_states=3), formulas())
+    def test_checker_matches_brute_force(self, automaton, formula):
+        horizon = 2 * len(automaton.states) + 6
+        checker = ModelChecker(automaton)
+        for state in automaton.initial:
+            expected = _brute(automaton, formula, state, horizon)
+            assert (state in checker.sat(formula)) == expected, (
+                f"{formula} at {state}: checker={state in checker.sat(formula)}, "
+                f"brute={expected}"
+            )
+
+
+class TestParserRoundTrip:
+    @SETTINGS
+    @given(formulas(depth=3))
+    def test_str_reparses(self, formula):
+        assert parse(str(formula)) == formula
+
+
+class TestEndToEndSoundness:
+    @SETTINGS
+    @given(deterministic_servers(max_states=3))
+    def test_synthesis_verdict_matches_ground_truth(self, server):
+        """Claim C1 both ways: PROVEN ⇔ the real system satisfies φ ∧ ¬δ."""
+        property = parse("AG (client.waiting -> AF[1,3] client.idle)")
+        component = LegacyComponent(server, name="server")
+        result = IntegrationSynthesizer(
+            client(),
+            component,
+            property,
+            universe=UNIVERSE,
+            labeler=lambda s: {f"server.{s}"},
+            max_iterations=200,
+        ).run()
+
+        truth = compose(client(), server)
+        truth_checker = ModelChecker(truth)
+        ground_truth = truth_checker.holds(property) and truth_checker.holds(
+            parse("AG not deadlock")
+        )
+        assert result.verdict in (Verdict.PROVEN, Verdict.REAL_VIOLATION)
+        assert (result.verdict is Verdict.PROVEN) == ground_truth
+
+
+class TestMultiLegacySoundness:
+    @SETTINGS
+    @given(deterministic_servers(max_states=3), st.data())
+    def test_two_random_components_verdict_matches_ground_truth(self, server, data):
+        """The §7 multi-legacy loop is sound on random component pairs."""
+        from repro.synthesis import MultiLegacySynthesizer
+
+        # A mirrored random partner over the inverse alphabet.
+        n_states = data.draw(st.integers(min_value=1, max_value=3))
+        transitions = []
+        for index in range(n_states):
+            for inputs in (frozenset(), frozenset({"pong"})):
+                if not data.draw(st.booleans()):
+                    continue
+                outputs = data.draw(st.sampled_from([frozenset(), frozenset({"ping"})]))
+                target = data.draw(st.integers(min_value=0, max_value=n_states - 1))
+                transitions.append(
+                    Transition(f"p{index}", Interaction(inputs, outputs), f"p{target}")
+                )
+        partner = Automaton(
+            states=[f"p{i}" for i in range(n_states)],
+            inputs={"pong"},
+            outputs={"ping"},
+            transitions=transitions,
+            initial=["p0"],
+            name="random-client",
+        )
+        left = LegacyComponent(partner, name="left")
+        right = LegacyComponent(server, name="right")
+        result = MultiLegacySynthesizer(
+            None,
+            [left, right],
+            parse("AG not deadlock"),
+            universes={
+                "left": InteractionUniverse.singletons(
+                    {"pong"}, {"ping"}, allow_simultaneous=True
+                ),
+                "right": UNIVERSE,
+            },
+            max_iterations=300,
+        ).run()
+        truth = compose(partner, server, semantics="open")
+        ground = ModelChecker(truth).holds(parse("AG not deadlock"))
+        assert result.verdict in (Verdict.PROVEN, Verdict.REAL_VIOLATION)
+        assert (result.verdict is Verdict.PROVEN) == ground

@@ -1,0 +1,180 @@
+"""Tests for the RailCab models and the paper's concrete artifacts."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import Automaton, Interaction, Run, compose
+from repro.logic import check, parse
+from repro.rtsc import validate
+
+
+class TestRoleModels:
+    def test_front_role_shape_matches_figure_5(self):
+        automaton = railcab.front_role_automaton()
+        assert automaton.states == frozenset(
+            {"noConvoy::default", "noConvoy::answer", "convoy::default", "convoy::break"}
+        )
+        # noConvoy states carry the noConvoy proposition of the constraint.
+        assert "frontRole.noConvoy" in automaton.labels("noConvoy::answer")
+        assert "frontRole.convoy" in automaton.labels("convoy::break")
+
+    def test_front_role_answers_nondeterministically(self):
+        automaton = railcab.front_role_automaton()
+        answers = {
+            frozenset(t.outputs)
+            for t in automaton.transitions_from("noConvoy::answer")
+            if t.outputs
+        }
+        assert frozenset({"convoyProposalRejected"}) in answers
+        assert frozenset({"startConvoy"}) in answers
+
+    def test_rear_role_shape(self):
+        automaton = railcab.rear_role_automaton()
+        assert "noConvoy::wait" in automaton.states
+        assert "convoy::wait" in automaton.states
+
+    def test_statecharts_validate(self):
+        assert validate(railcab.front_role_statechart()).ok
+        assert validate(railcab.rear_role_statechart()).ok
+
+    def test_braking_labels(self):
+        automaton = railcab.front_role_automaton()
+        assert "frontRole.reducedBraking" in automaton.labels("convoy::default")
+        assert "frontRole.fullBraking" in automaton.labels("noConvoy::default")
+
+
+class TestPattern:
+    def test_pattern_verifies(self):
+        assert railcab.distance_coordination_pattern().verify().ok
+
+    def test_pattern_composition_respects_constraint(self):
+        pattern = railcab.distance_coordination_pattern()
+        composed = pattern.composition()
+        assert check(composed, railcab.PATTERN_CONSTRAINT).holds
+        assert check(composed, parse("AG not deadlock")).holds
+
+    def test_role_invariants_hold(self):
+        result = railcab.distance_coordination_pattern().verify()
+        assert all(r.holds for r in result.invariant_results.values())
+
+
+class TestShuttles:
+    def test_correct_shuttle_is_strongly_deterministic(self):
+        assert railcab.correct_rear_shuttle()._hidden.is_strongly_deterministic()
+
+    def test_correct_shuttle_follows_protocol(self):
+        shuttle = railcab.correct_rear_shuttle(convoy_ticks=0)
+        outcome = shuttle.step([])
+        assert outcome.outputs == frozenset({"convoyProposal"})
+        outcome = shuttle.step(["startConvoy"])
+        assert not outcome.blocked
+        outcome = shuttle.step([])  # convoy tick leads to break proposal
+        assert outcome.outputs == frozenset({"breakConvoyProposal"})
+
+    def test_correct_shuttle_retries_after_rejection(self):
+        shuttle = railcab.correct_rear_shuttle()
+        shuttle.step([])
+        shuttle.step(["convoyProposalRejected"])
+        assert shuttle.step([]).outputs == frozenset({"convoyProposal"})
+
+    def test_non_breaking_variant_idles_in_convoy(self):
+        shuttle = railcab.correct_rear_shuttle(convoy_ticks=0, breaks_convoy=False)
+        shuttle.step([])
+        shuttle.step(["startConvoy"])
+        for _ in range(5):
+            assert shuttle.step([]).outputs == frozenset()
+
+    def test_faulty_shuttle_enters_convoy_immediately(self):
+        shuttle = railcab.faulty_rear_shuttle()
+        shuttle.step([])  # proposes and switches to convoy
+        from repro.legacy import Instrumentation
+
+        with shuttle.instrumented(Instrumentation.FULL, live=False):
+            assert shuttle.monitor_state() == "convoy"
+
+    def test_faulty_shuttle_ignores_rejection(self):
+        shuttle = railcab.faulty_rear_shuttle()
+        shuttle.step([])
+        outcome = shuttle.step(["convoyProposalRejected"])
+        assert not outcome.blocked
+        from repro.legacy import Instrumentation
+
+        with shuttle.instrumented(Instrumentation.FULL, live=False):
+            assert shuttle.monitor_state() == "convoy"
+
+    def test_overbuilt_shuttle_has_requested_extra_states(self):
+        base = railcab.correct_rear_shuttle().state_bound
+        overbuilt = railcab.overbuilt_rear_shuttle(extra_states=7)
+        assert overbuilt.state_bound == base + 7
+
+    def test_overbuilt_diag_mode_unreachable_from_context(self):
+        # The front role never sends breakConvoyAccepted while the rear
+        # coasts alone, so the diagnostic chain stays invisible.
+        overbuilt = railcab.overbuilt_rear_shuttle(extra_states=3)
+        front = railcab.front_role_automaton()
+        composed = compose(front, overbuilt._hidden)
+        assert not any(
+            str(state[1]).startswith("diag") for state in composed.states
+        )
+
+    def test_labeler(self):
+        assert railcab.rear_state_labeler("convoy::wait") == frozenset({"rearRole.convoy"})
+        assert railcab.rear_state_labeler("noConvoy::default") == frozenset(
+            {"rearRole.noConvoy"}
+        )
+        assert railcab.rear_state_labeler("diag3") == frozenset({"rearRole.diag3"})
+
+
+class TestPaperArtifacts:
+    def test_listing_1_4_counterexample_is_valid_run(self):
+        """The paper's Listing 1.4 trace exists in our composed model."""
+        front = railcab.front_role_automaton()
+        faulty = railcab.faulty_rear_shuttle()._hidden.with_labels(railcab.rear_state_labeler)
+        composed = compose(front, faulty)
+        listing_1_4 = Run(("noConvoy::default", "noConvoy")).extend(
+            Interaction(["convoyProposal"], ["convoyProposal"]),
+            ("noConvoy::answer", "convoy"),
+        )
+        assert listing_1_4.is_run_of(composed)
+        # and the reached state violates the pattern constraint:
+        labels = composed.labels(("noConvoy::answer", "convoy"))
+        assert "frontRole.noConvoy" in labels
+        assert "rearRole.convoy" in labels
+
+    def test_listing_1_1_shape_exists_in_initial_closure_composition(self):
+        """A long chaos counterexample of Listing 1.1's shape exists:
+        proposal → rejected → proposal → startConvoy → … → s_delta."""
+        from repro.automata import S_DELTA, chaotic_closure
+        from repro.legacy import interface_of
+        from repro.synthesis import initial_model
+
+        shuttle = railcab.correct_rear_shuttle()
+        interface = interface_of(shuttle)
+        closure = chaotic_closure(
+            initial_model(interface, labeler=railcab.rear_state_labeler),
+            interface.universe(),
+        )
+        composed = compose(railcab.front_role_automaton(), closure)
+        # Walk the Listing 1.1 interaction sequence and end in s_delta.
+        send = Interaction(["convoyProposal"], ["convoyProposal"])
+        reject = Interaction(["convoyProposalRejected"], ["convoyProposalRejected"])
+        start = Interaction(["startConvoy"], ["startConvoy"])
+        brk = Interaction(["breakConvoyProposal"], ["breakConvoyProposal"])
+
+        def successors(state, interaction):
+            return [
+                t.target for t in composed.transitions_from(state) if t.interaction == interaction
+            ]
+
+        frontier = set(composed.initial)
+        for interaction in (send, reject, send, start, brk):
+            frontier = {t for state in frontier for t in successors(state, interaction)}
+            assert frontier, f"no successor on {interaction}"
+        assert any(state[1] == S_DELTA for state in frontier)
+        deadlocked = [s for s in frontier if s[1] == S_DELTA and composed.is_deadlock(s)]
+        assert deadlocked, "the Listing 1.1 run must end in a composed deadlock"
+
+    def test_pattern_constraint_text(self):
+        assert str(railcab.PATTERN_CONSTRAINT) == (
+            "(AG (not (rearRole.convoy and frontRole.noConvoy)))"
+        )

@@ -1,0 +1,162 @@
+"""Unit tests for simulation and refinement (Definition 4, Lemmas 1–3)."""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    chaos_tolerant_labels,
+    chaotic_closure,
+    CHAOS_PROPOSITION,
+    IncompleteAutomaton,
+    InteractionUniverse,
+    refinement_counterexample,
+    refines,
+    simulates,
+    simulation_relation,
+)
+from repro.errors import RefinementError
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+
+
+def machine(transitions, *, initial="s", labels=None, name="M") -> Automaton:
+    return Automaton(
+        inputs={"a"},
+        outputs={"b"},
+        transitions=transitions,
+        initial=[initial],
+        labels=labels or {},
+        name=name,
+    )
+
+
+class TestSimulation:
+    def test_identical_machines_simulate(self):
+        spec = machine([("s", A, "t"), ("t", B, "s")])
+        impl = machine([("s", A, "t"), ("t", B, "s")])
+        assert simulates(spec, impl)
+
+    def test_smaller_machine_is_simulated(self):
+        spec = machine([("s", A, "t"), ("t", B, "s"), ("s", B, "s")])
+        impl = machine([("s", A, "t"), ("t", B, "s")])
+        assert simulates(spec, impl)
+        assert not simulates(impl, spec)
+
+    def test_labels_must_match(self):
+        spec = machine([("s", A, "t")], labels={"s": {"p"}})
+        impl = machine([("s", A, "t")], labels={})
+        assert not simulates(spec, impl)
+
+    def test_simulation_relation_contents(self):
+        spec = machine([("s", A, "t"), ("t", B, "s")])
+        impl = machine([("s", A, "t"), ("t", B, "s")])
+        relation = simulation_relation(impl, spec)
+        assert ("s", "s") in relation
+        assert ("t", "t") in relation
+
+    def test_signal_mismatch_rejected(self):
+        other = Automaton(inputs={"x"}, outputs={"b"}, initial=["s"])
+        with pytest.raises(RefinementError, match="identical signal sets"):
+            simulates(machine([]), other)
+
+
+class TestRefinement:
+    def test_reflexive(self):
+        m = machine([("s", A, "t"), ("t", B, "s")])
+        assert refines(m, m)
+
+    def test_restricting_choices_is_a_refinement(self):
+        # Spec allows a or b at s; impl only ever takes a.  Deadlock
+        # condition: impl refuses b at s — the spec must be able to
+        # refuse it too, which it cannot (b is always enabled), so this
+        # is NOT a refinement in the reactivity-preserving sense.
+        spec = machine([("s", A, "s"), ("s", B, "s")])
+        impl = machine([("s", A, "s")])
+        assert not refines(impl, spec)
+
+    def test_nondeterministic_spec_absorbs_refusals(self):
+        # Spec has two initial states: one offering a-and-b, one only a.
+        # The impl refusing b is matched by the second spec state.
+        spec = Automaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s1", A, "s1"), ("s1", B, "s1"), ("s2", A, "s2")],
+            initial=["s1", "s2"],
+            name="spec",
+        )
+        impl = machine([("s", A, "s")])
+        assert refines(impl, spec)
+
+    def test_extra_impl_behavior_breaks_refinement(self):
+        spec = machine([("s", A, "s")])
+        impl = machine([("s", A, "s"), ("s", B, "s")])
+        assert not refines(impl, spec)
+
+    def test_label_mismatch_breaks_refinement(self):
+        spec = machine([("s", A, "t")], labels={"t": {"p"}})
+        impl = machine([("s", A, "t")], labels={"t": {"q"}})
+        assert not refines(impl, spec)
+
+    def test_counterexample_for_extra_behavior(self):
+        spec = machine([("s", A, "s")])
+        impl = machine([("s", A, "s"), ("s", B, "s")])
+        witness = refinement_counterexample(impl, spec)
+        assert witness is not None
+        assert witness.trace[-1] == B
+
+    def test_counterexample_none_when_refining(self):
+        m = machine([("s", A, "t")])
+        assert refinement_counterexample(m, m) is None
+
+    def test_deadlock_preservation_lemma1(self):
+        # Lemma 1: spec deadlock-free + refinement => impl deadlock-free.
+        spec = machine([("s", A, "t"), ("t", B, "s")])
+        impl_with_deadlock = machine([("s", A, "t")])  # t deadlocks
+        # The deadlock run of impl at t (e.g. refusing everything) cannot
+        # be matched by spec state t which offers B... unless spec can
+        # refuse B somewhere trace-equivalent. It cannot:
+        assert not refines(impl_with_deadlock, spec)
+
+    def test_custom_universe_limits_refusal_candidates(self):
+        spec = machine([("s", A, "s"), ("s", B, "s")])
+        impl = machine([("s", A, "s")])
+        # If only interaction A is considered, the refusal of B is
+        # invisible and the (condition-1-only) check passes.
+        assert refines(impl, spec, universe=[A])
+
+
+class TestChaosTolerantLabels:
+    def test_closure_is_abstraction_of_any_conforming_impl(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        incomplete = IncompleteAutomaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", A, "t")],
+            initial=["s"],
+            labels={"s": {"p"}, "t": {"q"}},
+            name="learned",
+        )
+        closure = chaotic_closure(incomplete, universe)
+        impl = machine(
+            [("s", A, "t"), ("t", B, "s")],
+            labels={"s": {"p"}, "t": {"q"}},
+        )
+        match = chaos_tolerant_labels(CHAOS_PROPOSITION)
+        assert refines(impl, closure, label_match=match, universe=universe)
+
+    def test_exact_labels_fail_against_chaos(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        incomplete = IncompleteAutomaton(
+            inputs={"a"}, outputs={"b"}, initial=["s"], name="learned"
+        )
+        closure = chaotic_closure(incomplete, universe)
+        impl = machine([("s", A, "t")], labels={"t": {"q"}})
+        assert not refines(impl, closure, universe=universe)
+
+    def test_chaos_tolerant_matcher_semantics(self):
+        match = chaos_tolerant_labels("chaos")
+        assert match(frozenset({"x"}), frozenset({"chaos"}))
+        assert match(frozenset({"x"}), frozenset({"x"}))
+        assert not match(frozenset({"x"}), frozenset({"y"}))

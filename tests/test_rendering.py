@@ -1,0 +1,213 @@
+"""Tests for DOT export and the synthesis reports."""
+
+import pytest
+
+from repro import railcab
+from repro.automata import (
+    Automaton,
+    ChaosState,
+    ClosureState,
+    IncompleteAutomaton,
+    Interaction,
+    Run,
+    S_ALL,
+    S_DELTA,
+    to_dot,
+)
+from repro.synthesis import (
+    IntegrationSynthesizer,
+    render_counterexample_listing,
+    render_iteration_table,
+    render_state,
+    summarize,
+)
+
+
+def small() -> Automaton:
+    return Automaton(
+        inputs={"a"},
+        outputs={"b"},
+        transitions=[("s", ("a",), (), "t"), ("t", (), ("b",), "s")],
+        initial=["s"],
+        labels={"s": {"p"}},
+        name="small",
+    )
+
+
+class TestDot:
+    def test_digraph_wrapper(self):
+        text = to_dot(small())
+        assert text.startswith('digraph "small"')
+        assert text.rstrip().endswith("}")
+
+    def test_nodes_and_edges_present(self):
+        text = to_dot(small())
+        assert text.count("->") == 2
+        assert 'label="s"' in text and 'label="t"' in text
+
+    def test_initial_state_double_bordered(self):
+        assert "peripheries=2" in to_dot(small())
+
+    def test_edge_labels_use_message_notation(self):
+        text = to_dot(small())
+        assert "a?" in text
+        assert "b!" in text
+
+    def test_idle_edge_rendered_as_tau(self):
+        automaton = Automaton(
+            inputs=(), outputs=(), transitions=[("s", (), (), "s")], initial=["s"]
+        )
+        assert "τ" in to_dot(automaton)
+
+    def test_chaos_states_highlighted(self):
+        from repro.automata import InteractionUniverse, chaotic_automaton
+
+        chaos = chaotic_automaton(InteractionUniverse.singletons({"a"}, {"b"}))
+        text = to_dot(chaos)
+        assert "fillcolor=lightgray" in text
+
+    def test_incomplete_automaton_refusals_dashed(self):
+        model = IncompleteAutomaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[("s", ("a",), (), "t")],
+            refusals=[("t", (), ("b",))],
+            initial=["s"],
+            name="inc",
+        )
+        text = to_dot(model)
+        assert "style=dashed" in text
+        assert "⊘" in text
+
+    def test_quoting_of_special_names(self):
+        automaton = Automaton(
+            inputs=(), outputs=(), initial=['we"ird'], name='na"me'
+        )
+        text = to_dot(automaton)
+        assert '\\"' in text
+
+
+class TestRenderState:
+    def test_plain_string(self):
+        assert render_state("convoy") == "convoy"
+
+    def test_chaos_states(self):
+        assert render_state(S_ALL) == "s_all"
+        assert render_state(S_DELTA) == "s_delta"
+
+    def test_closure_state_unwraps(self):
+        assert render_state(ClosureState("convoy", True)) == "convoy"
+
+    def test_tuple_state(self):
+        assert render_state(("a", ClosureState("b", False))) == "(a, b)"
+
+
+class TestListingRendering:
+    def test_idle_step(self):
+        run = Run(("c", "l")).extend(Interaction(), ("c", "l"))
+        text = render_counterexample_listing(
+            run, legacy_inputs=frozenset(), legacy_outputs=frozenset()
+        )
+        assert "(idle)" in text
+
+    def test_legacy_output_direction(self):
+        run = Run(("c0", "l0")).extend(Interaction(["m"], ["m"]), ("c1", "l1"))
+        text = render_counterexample_listing(
+            run,
+            legacy_inputs=frozenset(),
+            legacy_outputs=frozenset({"m"}),
+        )
+        assert "shuttle2.m!, shuttle1.m?" in text
+
+    def test_legacy_input_direction(self):
+        run = Run(("c0", "l0")).extend(Interaction(["m"], ["m"]), ("c1", "l1"))
+        text = render_counterexample_listing(
+            run,
+            legacy_inputs=frozenset({"m"}),
+            legacy_outputs=frozenset(),
+        )
+        assert "shuttle1.m!, shuttle2.m?" in text
+
+    def test_custom_names(self):
+        run = Run(("c", "l"))
+        text = render_counterexample_listing(
+            run,
+            context_name="ctx",
+            legacy_name="leg",
+            legacy_inputs=frozenset(),
+            legacy_outputs=frozenset(),
+        )
+        assert text == "ctx.c, leg.l"
+
+    def test_blocked_tail_marked(self):
+        run = Run(("c", "l")).block(Interaction(["m"], None))
+        text = render_counterexample_listing(
+            run, legacy_inputs=frozenset({"m"}), legacy_outputs=frozenset()
+        )
+        assert "blocked:" in text
+
+
+class TestSynthesisReports:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+
+    def test_summary_fields(self, result):
+        text = summarize(result)
+        assert "verdict: proven" in text
+        assert "tests executed" in text
+        assert "learned model" in text
+
+    def test_table_header(self, result):
+        table = render_iteration_table(result)
+        header = table.splitlines()[0]
+        for column in ("it", "|T|", "φ", "violated", "gain"):
+            assert column in header
+
+    def test_table_marks_proven_row(self, result):
+        last_row = render_iteration_table(result).splitlines()[-1]
+        assert " True" in last_row
+
+
+class TestMarkdownReport:
+    def test_report_for_violation(self):
+        from repro.legacy import interface_of
+        from repro.synthesis import render_markdown_report
+
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.faulty_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        text = render_markdown_report(
+            result,
+            universe=interface_of(railcab.faulty_rear_shuttle()).universe(),
+            legacy_inputs=railcab.FRONT_TO_REAR,
+            legacy_outputs=railcab.REAR_TO_FRONT,
+            title="Faulty shuttle",
+        )
+        assert text.startswith("# Faulty shuttle")
+        assert "## Iterations" in text
+        assert "## Violation witness" in text
+        assert "shuttle2.convoyProposal!" in text
+        assert "## Learned-knowledge coverage" in text
+
+    def test_report_for_proof_omits_witness(self):
+        from repro.synthesis import render_markdown_report
+
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+        ).run()
+        text = render_markdown_report(result)
+        assert "verdict: proven" in text
+        assert "## Violation witness" not in text
+        assert "## Learned-knowledge coverage" not in text

@@ -1,0 +1,270 @@
+"""Unit tests for Real-Time Statecharts: model, clocks, unfolding."""
+
+import pytest
+
+from repro.automata import IDLE, Interaction
+from repro.errors import ModelError
+from repro.rtsc import (
+    ClockConstraint,
+    Statechart,
+    TRUE_CONSTRAINT,
+    advance,
+    default_labeler,
+    reset,
+    unfold,
+    validate,
+)
+
+
+class TestClockConstraint:
+    def test_trivial_constraint(self):
+        assert TRUE_CONSTRAINT.is_trivial
+        assert TRUE_CONSTRAINT.satisfied_by({})
+        assert str(TRUE_CONSTRAINT) == "true"
+
+    def test_bounds_satisfaction(self):
+        constraint = ClockConstraint.between("c", 2, 4)
+        assert not constraint.satisfied_by({"c": 1})
+        assert constraint.satisfied_by({"c": 2})
+        assert constraint.satisfied_by({"c": 4})
+        assert not constraint.satisfied_by({"c": 5})
+
+    def test_missing_clock_defaults_to_zero(self):
+        assert ClockConstraint.at_most("c", 3).satisfied_by({})
+        assert not ClockConstraint.at_least("c", 1).satisfied_by({})
+
+    def test_at_least_unbounded_above(self):
+        constraint = ClockConstraint.at_least("c", 2)
+        assert constraint.satisfied_by({"c": 1000})
+
+    def test_conjoin_tightens(self):
+        combined = ClockConstraint.at_least("c", 1).conjoin(ClockConstraint.at_most("c", 3))
+        assert combined.bounds["c"] == (1, 3)
+
+    def test_conjoin_unsatisfiable_rejected(self):
+        with pytest.raises(ModelError, match="unsatisfiable"):
+            ClockConstraint.at_least("c", 5).conjoin(ClockConstraint.at_most("c", 2))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            ClockConstraint({"c": (3, 1)})
+        with pytest.raises(ModelError):
+            ClockConstraint({"c": (-1, 2)})
+
+    def test_max_constant(self):
+        assert ClockConstraint.between("c", 2, 7).max_constant() == 7
+        assert TRUE_CONSTRAINT.max_constant() == 0
+
+    def test_str_forms(self):
+        assert str(ClockConstraint.at_most("c", 3)) == "c <= 3"
+        assert str(ClockConstraint.at_least("c", 2)) == "c >= 2"
+        assert str(ClockConstraint.between("c", 2, 2)) == "c == 2"
+
+    def test_advance_and_reset_helpers(self):
+        valuation = {"c": 1, "d": 4}
+        assert advance(valuation, cap=3) == {"c": 2, "d": 3}
+        assert reset(valuation, ["c"]) == {"c": 0, "d": 4}
+
+
+class TestStatechartModel:
+    def test_duplicate_location_rejected(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        with pytest.raises(ModelError, match="already has a location"):
+            chart.location("a")
+
+    def test_two_initial_top_locations_rejected(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        with pytest.raises(ModelError, match="already has the initial"):
+            chart.location("b", initial=True)
+
+    def test_location_path(self):
+        chart = Statechart("sc")
+        outer = chart.location("outer", initial=True)
+        inner = chart.location("inner", parent=outer, initial=True)
+        assert inner.path == "outer::inner"
+        assert outer.initial_leaf() is inner
+
+    def test_invalid_location_name(self):
+        chart = Statechart("sc")
+        with pytest.raises(ModelError, match="invalid location name"):
+            chart.location("a::b")
+
+    def test_trigger_must_be_declared(self):
+        chart = Statechart("sc", inputs={"m"})
+        a = chart.location("a", initial=True)
+        with pytest.raises(ModelError, match="not an input"):
+            chart.transition(a, a, trigger="other")
+
+    def test_raised_must_be_declared(self):
+        chart = Statechart("sc", outputs={"m"})
+        a = chart.location("a", initial=True)
+        with pytest.raises(ModelError, match="not an output"):
+            chart.transition(a, a, raised="other")
+
+    def test_undeclared_clock_rejected(self):
+        chart = Statechart("sc")
+        a = chart.location("a", initial=True)
+        with pytest.raises(ModelError, match="undeclared clock"):
+            chart.transition(a, a, guard=ClockConstraint.at_least("c", 1))
+
+    def test_foreign_location_rejected(self):
+        chart_a = Statechart("a")
+        chart_b = Statechart("b")
+        loc_a = chart_a.location("s", initial=True)
+        loc_b = chart_b.location("s", initial=True)
+        with pytest.raises(ModelError, match="does not belong"):
+            chart_a.transition(loc_a, loc_b)
+
+    def test_overlapping_inputs_outputs_rejected(self):
+        with pytest.raises(ModelError, match="overlap"):
+            Statechart("sc", inputs={"m"}, outputs={"m"})
+
+    def test_max_clock_constant(self):
+        chart = Statechart("sc", clocks={"c"})
+        a = chart.location("a", initial=True, invariant=ClockConstraint.at_most("c", 5))
+        chart.transition(a, a, guard=ClockConstraint.at_least("c", 3), resets={"c"})
+        assert chart.max_clock_constant() == 5
+
+
+class TestUnfold:
+    def test_untimed_chart_unfolds_to_leaf_states(self):
+        chart = Statechart("sc", inputs={"go"}, outputs={"done"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, trigger="go")
+        chart.transition(b, a, raised="done")
+        automaton = unfold(chart)
+        assert automaton.states == frozenset({"a", "b"})
+        assert automaton.initial == frozenset({"a"})
+
+    def test_idle_self_loops_added(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        automaton = unfold(chart)
+        assert any(t.interaction == IDLE and t.target == "a" for t in automaton.transitions)
+
+    def test_hierarchy_flattened_with_outer_transitions(self):
+        chart = Statechart("sc", inputs={"abort"})
+        outer = chart.location("outer", initial=True)
+        inner1 = chart.location("one", parent=outer, initial=True)
+        inner2 = chart.location("two", parent=outer)
+        safe = chart.location("safe")
+        chart.transition(inner1, inner2)
+        chart.transition(outer, safe, trigger="abort")  # applies in any substate
+        automaton = unfold(chart)
+        for source in ("outer::one", "outer::two"):
+            assert any(
+                t.source == source and t.target == "safe" and t.inputs == frozenset({"abort"})
+                for t in automaton.transitions
+            )
+
+    def test_entering_composite_goes_to_initial_leaf(self):
+        chart = Statechart("sc", inputs={"go"})
+        a = chart.location("a", initial=True)
+        outer = chart.location("outer")
+        chart.location("first", parent=outer, initial=True)
+        chart.transition(a, outer, trigger="go")
+        automaton = unfold(chart)
+        assert "outer::first" in automaton.states
+
+    def test_default_labels(self):
+        chart = Statechart("role")
+        outer = chart.location("mode", initial=True)
+        chart.location("sub", parent=outer, initial=True)
+        automaton = unfold(chart)
+        assert automaton.labels("mode::sub") == frozenset({"role.mode", "role.mode::sub"})
+
+    def test_custom_labeler(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        automaton = unfold(chart, labeler=lambda leaf: {"custom"})
+        assert automaton.labels("a") == frozenset({"custom"})
+
+    def test_clock_states_capped(self):
+        chart = Statechart("sc", outputs={"t"}, clocks={"c"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="t", guard=ClockConstraint.at_least("c", 2))
+        automaton = unfold(chart)
+        # cap = max constant + 1 = 3: a|c=0..3 then saturates.
+        a_states = {s for s in automaton.states if str(s).startswith("a|")}
+        assert a_states == {"a|c=0", "a|c=1", "a|c=2", "a|c=3"}
+
+    def test_invariant_forces_transition(self):
+        chart = Statechart("sc", outputs={"fire"}, clocks={"c"})
+        a = chart.location("a", initial=True, invariant=ClockConstraint.at_most("c", 1))
+        b = chart.location("b")
+        chart.transition(a, b, raised="fire", guard=ClockConstraint.at_least("c", 1), resets={"c"})
+        automaton = unfold(chart)
+        # At a|c=1 idling to c=2 violates the invariant: only fire remains.
+        transitions = automaton.transitions_from("a|c=1")
+        assert all(t.outputs == frozenset({"fire"}) for t in transitions)
+
+    def test_unsatisfiable_deadline_deadlocks(self):
+        # Invariant forbids staying but no transition can ever fire: the
+        # configuration deadlocks (a missed deadline).
+        chart = Statechart("sc", outputs={"fire"}, clocks={"c"})
+        a = chart.location("a", initial=True, invariant=ClockConstraint.at_most("c", 0))
+        b = chart.location("b")
+        chart.transition(a, b, raised="fire", guard=ClockConstraint.at_least("c", 5))
+        automaton = unfold(chart)
+        assert automaton.is_deadlock("a|c=0")
+
+    def test_guard_evaluated_before_advance(self):
+        chart = Statechart("sc", outputs={"t"}, clocks={"c"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="t", guard=ClockConstraint.at_least("c", 1))
+        automaton = unfold(chart)
+        # From a|c=0 the guard c>=1 is not yet satisfied.
+        assert all(t.interaction == IDLE for t in automaton.transitions_from("a|c=0"))
+
+    def test_reset_applied_after_advance(self):
+        chart = Statechart("sc", outputs={"t"}, clocks={"c"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, raised="t", resets={"c"})
+        automaton = unfold(chart)
+        assert any(t.target == "b|c=0" for t in automaton.transitions_from("a|c=0"))
+
+
+class TestValidation:
+    def test_valid_chart(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        report = validate(chart)
+        assert report.ok
+        report.raise_on_error()
+
+    def test_missing_initial_location(self):
+        chart = Statechart("sc")
+        chart.location("a")
+        report = validate(chart)
+        assert not report.ok
+        with pytest.raises(ModelError):
+            report.raise_on_error()
+
+    def test_composite_without_initial_substate(self):
+        chart = Statechart("sc")
+        outer = chart.location("outer", initial=True)
+        chart.location("sub", parent=outer)  # not initial
+        report = validate(chart)
+        assert any("no initial substate" in error for error in report.errors)
+
+    def test_unreachable_leaf_warned(self):
+        chart = Statechart("sc")
+        chart.location("a", initial=True)
+        chart.location("island")
+        report = validate(chart)
+        assert report.ok
+        assert any("unreachable" in warning for warning in report.warnings)
+
+    def test_reachable_leaves_reported(self):
+        chart = Statechart("sc", inputs={"go"})
+        a = chart.location("a", initial=True)
+        b = chart.location("b")
+        chart.transition(a, b, trigger="go")
+        report = validate(chart)
+        assert report.reachable_leaves == frozenset({"a", "b"})

@@ -1,0 +1,165 @@
+"""Unit tests for runs and traces (Definitions 2 and 7)."""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    IDLE,
+    Interaction,
+    Run,
+    Transition,
+    enumerate_runs,
+    enumerate_traces,
+    run_of_transitions,
+)
+from repro.errors import ModelError
+
+PING = Interaction(["ping"], None)
+PONG = Interaction(None, ["pong"])
+
+
+@pytest.fixture
+def server() -> Automaton:
+    return Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[("r", PING, "b"), ("b", PONG, "r")],
+        initial=["r"],
+        name="server",
+    )
+
+
+class TestRunBasics:
+    def test_empty_run(self):
+        run = Run("s")
+        assert run.states == ("s",)
+        assert run.trace == ()
+        assert run.last_state == "s"
+        assert len(run) == 0
+        assert not run.is_deadlock_run
+
+    def test_extend(self):
+        run = Run("r").extend(PING, "b").extend(PONG, "r")
+        assert run.states == ("r", "b", "r")
+        assert run.trace == (PING, PONG)
+        assert len(run) == 2
+
+    def test_block_creates_deadlock_run(self):
+        run = Run("r").block(PING)
+        assert run.is_deadlock_run
+        assert run.trace == (PING,)
+        assert len(run) == 1
+        assert run.last_state == "r"
+
+    def test_cannot_extend_deadlock_run(self):
+        with pytest.raises(ModelError, match="cannot extend"):
+            Run("r").block(PING).extend(PONG, "x")
+
+    def test_cannot_block_twice(self):
+        with pytest.raises(ModelError, match="already ends"):
+            Run("r").block(PING).block(PONG)
+
+    def test_prefix(self):
+        run = Run("r").extend(PING, "b").extend(PONG, "r")
+        assert run.prefix(1).states == ("r", "b")
+        assert run.prefix(0).states == ("r",)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(ValueError):
+            Run("r").prefix(1)
+
+    def test_transitions(self):
+        run = Run("r").extend(PING, "b")
+        assert run.transitions() == (Transition("r", PING, "b"),)
+
+    def test_str_contains_arrow(self):
+        assert "->" in str(Run("r").extend(PING, "b"))
+        assert "⊥" in str(Run("r").block(PING))
+
+
+class TestRunValidity:
+    def test_valid_regular_run(self, server):
+        run = Run("r").extend(PING, "b").extend(PONG, "r")
+        assert run.is_run_of(server)
+
+    def test_wrong_start_state(self, server):
+        assert not Run("b").is_run_of(server)
+
+    def test_wrong_step(self, server):
+        assert not Run("r").extend(PONG, "b").is_run_of(server)
+
+    def test_valid_deadlock_run(self, server):
+        run = Run("r").block(PONG)  # r cannot emit pong
+        assert run.is_run_of(server)
+
+    def test_blocked_interaction_must_be_disabled(self, server):
+        run = Run("r").block(PING)  # but r CAN take ping
+        assert not run.is_run_of(server)
+
+
+class TestProjection:
+    def test_project_composed_run(self):
+        run = Run(("c0", "l0")).extend(Interaction(["m"], ["m"]), ("c1", "l1"))
+        projected = run.project(1, frozenset(), frozenset({"m"}))
+        assert projected.states == ("l0", "l1")
+        assert projected.trace == (Interaction(None, ["m"]),)
+
+    def test_project_keeps_blocked_tail(self):
+        run = Run(("c", "l")).block(Interaction(["m"], None))
+        projected = run.project(1, frozenset({"m"}), frozenset())
+        assert projected.blocked == Interaction(["m"], None)
+
+    def test_project_requires_tuple_states(self):
+        with pytest.raises(ModelError, match="not a composed"):
+            Run("plain").extend(IDLE, "other").project(0, frozenset(), frozenset())
+
+
+class TestRunOfTransitions:
+    def test_builds_connected_run(self):
+        run = run_of_transitions([Transition("r", PING, "b"), Transition("b", PONG, "r")])
+        assert run.states == ("r", "b", "r")
+
+    def test_rejects_disconnected_sequence(self):
+        with pytest.raises(ModelError, match="not connected"):
+            run_of_transitions([Transition("r", PING, "b"), Transition("x", PONG, "r")])
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ModelError, match="empty"):
+            run_of_transitions([])
+
+    def test_with_blocked_tail(self):
+        run = run_of_transitions([Transition("r", PING, "b")], blocked=PONG)
+        assert run.is_deadlock_run
+
+
+class TestEnumeration:
+    def test_enumerate_regular_runs(self, server):
+        runs = list(enumerate_runs(server, 2, include_deadlock_runs=False))
+        assert Run("r") in runs
+        assert Run("r").extend(PING, "b") in runs
+        assert Run("r").extend(PING, "b").extend(PONG, "r") in runs
+        assert all(len(run.steps) <= 2 for run in runs)
+
+    def test_enumerate_includes_deadlock_runs(self, server):
+        runs = list(enumerate_runs(server, 1))
+        assert Run("r").block(PONG) in runs
+
+    def test_deadlock_runs_respect_custom_universe(self, server):
+        extra = Interaction(["ping"], ["pong"])
+        runs = list(enumerate_runs(server, 0, blocked_universe=[extra]))
+        assert Run("r").block(extra) in runs
+
+    def test_negative_bound_rejected(self, server):
+        with pytest.raises(ValueError):
+            list(enumerate_runs(server, -1))
+
+    def test_enumerate_traces(self, server):
+        traces = enumerate_traces(server, 2)
+        assert () in traces
+        assert (PING,) in traces
+        assert (PING, PONG) in traces
+        assert len(traces) == 3
+
+    def test_all_enumerated_runs_are_valid(self, server):
+        for run in enumerate_runs(server, 3):
+            assert run.is_run_of(server), run

@@ -1,0 +1,212 @@
+"""Unit tests for initial synthesis and the learning step (§3, §4.3)."""
+
+import pytest
+
+from repro.automata import (
+    CHAOS_PROPOSITION,
+    ClosureState,
+    IDLE,
+    IncompleteAutomaton,
+    Interaction,
+    InteractionUniverse,
+    Run,
+    S_ALL,
+)
+from repro.errors import LearningError
+from repro.legacy import InterfaceDescription
+from repro.synthesis import (
+    initial_abstraction,
+    initial_model,
+    learn,
+    learn_blocked,
+    learn_regular,
+    refuse,
+)
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+UNIVERSE = InteractionUniverse.singletons({"a"}, {"b"})
+
+INTERFACE = InterfaceDescription(
+    name="legacy",
+    inputs=frozenset({"a"}),
+    outputs=frozenset({"b"}),
+    initial_state="s0",
+    state_bound=4,
+)
+
+
+class TestInitialSynthesis:
+    def test_initial_model_is_trivial(self):
+        model = initial_model(INTERFACE)
+        assert model.states == frozenset({"s0"})
+        assert model.transitions == frozenset()
+        assert model.refusals == frozenset()
+        assert model.initial == frozenset({"s0"})
+
+    def test_initial_model_labeled(self):
+        model = initial_model(INTERFACE, labeler=lambda s: {f"leg.{s}"})
+        assert model.labels("s0") == frozenset({"leg.s0"})
+
+    def test_initial_abstraction_is_figure_4b(self):
+        closure = initial_abstraction(INTERFACE, UNIVERSE)
+        assert ClosureState("s0", False) in closure.states
+        assert ClosureState("s0", True) in closure.states
+        assert S_ALL in closure.states
+        # (s0,0) deadlocks (no transitions learned yet); (s0,1) escapes
+        # on every interaction.
+        assert closure.is_deadlock(ClosureState("s0", False))
+        assert len(closure.transitions_from(ClosureState("s0", True))) == 2 * len(UNIVERSE)
+
+    def test_initial_abstraction_default_universe(self):
+        closure = initial_abstraction(INTERFACE)
+        assert closure.inputs == INTERFACE.inputs
+
+    def test_chaos_labels_present(self):
+        closure = initial_abstraction(INTERFACE, UNIVERSE)
+        assert closure.labels(S_ALL) == frozenset({CHAOS_PROPOSITION})
+
+
+class TestLearnRegular:
+    def test_definition_11_adds_states_and_transitions(self):
+        model = initial_model(INTERFACE)
+        run = Run("s0").extend(A, "s1").extend(B, "s0")
+        learned = learn_regular(model, run)
+        assert learned.states == frozenset({"s0", "s1"})
+        assert len(learned.transitions) == 2
+
+    def test_learning_is_idempotent(self):
+        model = initial_model(INTERFACE)
+        run = Run("s0").extend(A, "s1")
+        once = learn_regular(model, run)
+        twice = learn_regular(once, run)
+        assert once == twice
+
+    def test_new_states_labeled(self):
+        model = initial_model(INTERFACE, labeler=lambda s: {f"leg.{s}"})
+        learned = learn_regular(model, Run("s0").extend(A, "s1"), labeler=lambda s: {f"leg.{s}"})
+        assert learned.labels("s1") == frozenset({"leg.s1"})
+
+    def test_rejects_deadlock_run(self):
+        model = initial_model(INTERFACE)
+        with pytest.raises(LearningError, match="regular run"):
+            learn_regular(model, Run("s0").block(A))
+
+    def test_conflicting_target_detected(self):
+        model = learn_regular(initial_model(INTERFACE), Run("s0").extend(A, "s1"))
+        with pytest.raises(LearningError, match="non-deterministically"):
+            learn_regular(model, Run("s0").extend(A, "s2"))
+
+    def test_contradicting_refusal_detected(self):
+        model = initial_model(INTERFACE).replace(refusals=[("s0", A)])
+        with pytest.raises(LearningError, match="contradicts an earlier refusal"):
+            learn_regular(model, Run("s0").extend(A, "s1"))
+
+    def test_observation_conformance_preserved(self):
+        # Every run of the learned model must remain a run of the source.
+        model = initial_model(INTERFACE)
+        run = Run("s0").extend(A, "s1").extend(B, "s0")
+        learned = learn_regular(model, run)
+        assert learned.is_run(run)
+        assert learned.is_run(Run("s0").extend(A, "s1"))
+
+
+class TestLearnBlocked:
+    def test_definition_12_adds_refusal(self):
+        model = initial_model(INTERFACE)
+        run = Run("s0").block(A)
+        learned = learn_blocked(model, run, mode="conservative")
+        assert len(learned.refusals) == 1
+
+    def test_deterministic_mode_refuses_all_outputs(self):
+        model = initial_model(INTERFACE)
+        run = Run("s0").block(A)
+        learned = learn_blocked(model, run, mode="deterministic", universe=UNIVERSE)
+        refused_inputs = {r.interaction.inputs for r in learned.refusals}
+        assert refused_inputs == {frozenset({"a"})}
+        # a with no output, and... only one interaction with inputs {a}
+        # exists in the singleton universe, plus the blocked tail itself.
+        assert len(learned.refusals) >= 1
+
+    def test_deterministic_mode_with_observed_outputs(self):
+        model = learn_regular(initial_model(INTERFACE), Run("s0").extend(IDLE, "s0x"))
+        # s0 reacted to no-input with nothing... now refuse other outputs:
+        learned = learn_blocked(
+            initial_model(INTERFACE),
+            Run("s0").block(Interaction(None, ["b"])),
+            mode="deterministic",
+            universe=UNIVERSE,
+            observed_outputs=frozenset(),
+        )
+        refused = {r.interaction for r in learned.refusals}
+        assert Interaction(None, ["b"]) in refused
+        assert IDLE not in refused  # matches the observed outputs
+        del model
+
+    def test_prefix_learned_before_refusal(self):
+        model = initial_model(INTERFACE)
+        run = Run("s0").extend(A, "s1").block(B)
+        learned = learn_blocked(model, run, mode="conservative")
+        assert "s1" in learned.states
+        assert any(r.state == "s1" for r in learned.refusals)
+
+    def test_deterministic_mode_needs_universe(self):
+        with pytest.raises(LearningError, match="universe"):
+            learn_blocked(initial_model(INTERFACE), Run("s0").block(A), mode="deterministic")
+
+    def test_refusal_contradicting_transition_detected(self):
+        model = learn_regular(initial_model(INTERFACE), Run("s0").extend(A, "s1"))
+        with pytest.raises(LearningError, match="contradicts a known transition"):
+            learn_blocked(model, Run("s0").block(A), mode="conservative")
+
+    def test_no_progress_detected(self):
+        model = initial_model(INTERFACE).replace(refusals=[("s0", A)])
+        with pytest.raises(LearningError, match="no progress"):
+            learn_blocked(model, Run("s0").block(A), mode="conservative")
+
+    def test_requires_deadlock_run(self):
+        with pytest.raises(LearningError, match="deadlock run"):
+            learn_blocked(initial_model(INTERFACE), Run("s0"), mode="conservative")
+
+
+class TestLearnDispatch:
+    def test_dispatches_regular(self):
+        learned = learn(initial_model(INTERFACE), Run("s0").extend(A, "s1"))
+        assert len(learned.transitions) == 1
+
+    def test_dispatches_blocked(self):
+        learned = learn(
+            initial_model(INTERFACE), Run("s0").block(A), mode="deterministic", universe=UNIVERSE
+        )
+        assert learned.refusals
+
+
+class TestRefuse:
+    def test_adds_refusals(self):
+        model = initial_model(INTERFACE)
+        updated = refuse(model, "s0", [A, B])
+        assert len(updated.refusals) == 2
+
+    def test_skips_known_interactions(self):
+        model = learn_regular(initial_model(INTERFACE), Run("s0").extend(A, "s1"))
+        updated = refuse(model, "s0", [A, B])
+        assert len(updated.refusals) == 1
+
+    def test_no_progress_raises_unless_allowed(self):
+        model = learn_regular(initial_model(INTERFACE), Run("s0").extend(A, "s1"))
+        with pytest.raises(LearningError):
+            refuse(model, "s0", [A])
+        assert refuse(model, "s0", [A], allow_no_progress=True) == model
+
+
+class TestMonotonicity:
+    def test_knowledge_size_strictly_grows(self):
+        model = initial_model(INTERFACE)
+        sizes = [model.knowledge_size()]
+        model = learn_regular(model, Run("s0").extend(A, "s1"))
+        sizes.append(model.knowledge_size())
+        model = learn_blocked(
+            model, Run("s0").extend(A, "s1").block(A), mode="deterministic", universe=UNIVERSE
+        )
+        sizes.append(model.knowledge_size())
+        assert sizes == sorted(set(sizes))

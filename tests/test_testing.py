@@ -1,0 +1,193 @@
+"""Unit tests for counterexample-based testing and deterministic replay (§5)."""
+
+import pytest
+
+from repro.automata import Automaton, Interaction, Run
+from repro.errors import ReplayError
+from repro.legacy import LegacyComponent
+from repro.testing import (
+    MessageEvent,
+    Recording,
+    StateEvent,
+    TestCase,
+    TestStep,
+    TestVerdict,
+    TimingEvent,
+    events_for_run,
+    execute_test,
+    message_events,
+    render_events,
+    replay,
+)
+from repro.testing import test_case_from_counterexample as case_from_counterexample
+from repro.testing import test_case_from_trace as case_from_trace
+
+PING = Interaction(["ping"], None)
+PONG = Interaction(None, ["pong"])
+
+
+def server_component() -> LegacyComponent:
+    hidden = Automaton(
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("ready", ("ping",), (), "busy"),
+            ("ready", (), (), "ready"),
+            ("busy", (), ("pong",), "ready"),
+        ],
+        initial=["ready"],
+        name="server",
+    )
+    return LegacyComponent(hidden, name="server")
+
+
+class TestTestCaseDerivation:
+    def test_from_trace(self):
+        case = case_from_trace([PING, PONG], name="t")
+        assert len(case) == 2
+        assert case.steps[0] == TestStep(frozenset({"ping"}), frozenset())
+        assert case.trace == (PING, PONG)
+
+    def test_from_counterexample_projects_component_side(self):
+        run = Run(("c0", "l0")).extend(
+            Interaction(["ping"], ["ping"]), ("c1", "l1")
+        )
+        case = case_from_counterexample(
+            run, component_index=1, inputs=frozenset({"ping"}), outputs=frozenset()
+        )
+        assert case.steps == (TestStep(frozenset({"ping"}), frozenset()),)
+        assert case.source_run is run
+
+    def test_blocked_tail_becomes_final_step(self):
+        run = Run(("c0", "l0")).block(Interaction(["ping"], None))
+        case = case_from_counterexample(
+            run, component_index=1, inputs=frozenset({"ping"}), outputs=frozenset()
+        )
+        assert len(case) == 1
+
+    def test_empty_counterexample_gives_empty_case(self):
+        case = case_from_counterexample(
+            Run(("c", "l")), component_index=1, inputs=frozenset(), outputs=frozenset()
+        )
+        assert len(case) == 0
+
+
+class TestExecutor:
+    def test_confirmed_execution(self):
+        component = server_component()
+        case = case_from_trace(
+            [PING, PONG, Interaction()], name="happy"
+        )
+        execution = execute_test(component, case, port="srv")
+        assert execution.verdict is TestVerdict.CONFIRMED
+        assert execution.confirmed
+        assert execution.divergence_index is None
+        assert len(execution.recording) == 3
+
+    def test_diverged_execution_stops_at_divergence(self):
+        component = server_component()
+        # Expect pong immediately; the server needs one period.
+        case = case_from_trace([Interaction(["ping"], ["pong"])])
+        execution = execute_test(component, case)
+        assert execution.verdict is TestVerdict.DIVERGED
+        assert execution.divergence_index == 0
+        record = execution.recording.steps[0]
+        assert record.observed_outputs == frozenset()
+        assert record.expected_outputs == frozenset({"pong"})
+
+    def test_blocked_execution(self):
+        component = server_component()
+        case = case_from_trace([PING, PING])  # busy refuses ping
+        execution = execute_test(component, case)
+        assert execution.verdict is TestVerdict.BLOCKED
+        assert execution.divergence_index == 1
+        assert execution.recording.steps[1].blocked
+
+    def test_minimal_events_record_messages(self):
+        component = server_component()
+        case = case_from_trace([PING, PONG])
+        execution = execute_test(component, case, port="srv")
+        assert MessageEvent("ping", "srv", "incoming", 1) in execution.events
+        assert MessageEvent("pong", "srv", "outgoing", 2) in execution.events
+
+    def test_component_reset_before_execution(self):
+        component = server_component()
+        component.step(["ping"])
+        execution = execute_test(component, case_from_trace([PING]))
+        assert execution.verdict is TestVerdict.CONFIRMED
+
+
+class TestReplay:
+    def run_and_replay(self, case: TestCase):
+        component = server_component()
+        execution = execute_test(component, case, port="srv")
+        return execution, replay(component, execution.recording, port="srv")
+
+    def test_replay_reconstructs_states(self):
+        _, result = self.run_and_replay(case_from_trace([PING, PONG]))
+        assert result.observed_run.states == ("ready", "busy", "ready")
+        assert result.probe_effect_free
+
+    def test_replay_of_blocked_recording_yields_deadlock_run(self):
+        _, result = self.run_and_replay(case_from_trace([PING, PING]))
+        run = result.observed_run
+        assert run.blocked is not None
+        assert run.blocked.inputs == frozenset({"ping"})
+        assert run.last_state == "busy"
+        assert result.blocked
+
+    def test_blocked_tail_carries_expected_outputs(self):
+        component = server_component()
+        case = TestCase(
+            name="t",
+            steps=(
+                TestStep(frozenset({"ping"}), frozenset()),
+                TestStep(frozenset({"ping"}), frozenset({"pong"})),
+            ),
+        )
+        execution = execute_test(component, case)
+        result = replay(component, execution.recording)
+        assert result.observed_run.blocked == Interaction(["ping"], ["pong"])
+
+    def test_replay_requires_matching_component(self):
+        component = server_component()
+        execution = execute_test(component, case_from_trace([PING]))
+        other = server_component()
+        recording = Recording(component="different", steps=execution.recording.steps)
+        with pytest.raises(ReplayError, match="belongs to"):
+            replay(other, recording)
+
+    def test_events_include_states_and_timing(self):
+        _, result = self.run_and_replay(case_from_trace([PING, PONG]))
+        kinds = [type(event).__name__ for event in result.events]
+        assert "StateEvent" in kinds
+        assert "TimingEvent" in kinds
+        assert "MessageEvent" in kinds
+
+
+class TestMonitorRendering:
+    def test_message_events_listing(self):
+        events = message_events((PING, PONG), port="rearRole")
+        text = render_events(events)
+        assert '[Message] name="ping", portName="rearRole", type="incoming"' in text
+        assert '[Message] name="pong", portName="rearRole", type="outgoing"' in text
+
+    def test_events_for_run_shape_matches_listing_1_3(self):
+        run = Run("noConvoy").extend(
+            Interaction(None, ["convoyProposal"]), "convoy"
+        )
+        text = render_events(events_for_run(run, port="rearRole"))
+        lines = text.splitlines()
+        assert lines[0] == '[CurrentState] name="noConvoy"'
+        assert lines[1] == '[Message] name="convoyProposal", portName="rearRole", type="outgoing"'
+        assert lines[2] == "[Timing] count=1"
+        assert lines[3] == '[CurrentState] name="convoy"'
+
+    def test_blocked_tail_rendered(self):
+        run = Run("s").block(PING)
+        text = render_events(events_for_run(run, port="p"))
+        assert 'type="incoming"' in text
+
+    def test_event_render_methods(self):
+        assert StateEvent("s", 0).render() == '[CurrentState] name="s"'
+        assert TimingEvent(3).render() == "[Timing] count=3"

@@ -1,0 +1,130 @@
+"""Tests for parsing monitored listings back into events and runs."""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Interaction, Run
+from repro.errors import ModelError
+from repro.testing import (
+    MessageEvent,
+    StateEvent,
+    TimingEvent,
+    events_for_run,
+    parse_events,
+    render_events,
+    run_from_events,
+)
+
+LISTING_1_3 = """
+[CurrentState] name="noConvoy"
+[Message] name="convoyProposal", portName="rearRole", type="outgoing"
+[Timing] count=1
+[CurrentState] name="convoy"
+[Message] name="convoyProposalRejected", portName="rearRole", type="incoming"
+"""
+
+
+class TestParseEvents:
+    def test_parses_the_papers_listing_1_3(self):
+        events = parse_events(LISTING_1_3)
+        kinds = [type(event).__name__ for event in events]
+        assert kinds == [
+            "StateEvent",
+            "MessageEvent",
+            "TimingEvent",
+            "StateEvent",
+            "MessageEvent",
+        ]
+        message = events[1]
+        assert message.name == "convoyProposal"
+        assert message.port == "rearRole"
+        assert message.direction == "outgoing"
+        assert message.period == 1  # taken from the following Timing record
+
+    def test_blank_lines_ignored(self):
+        events = parse_events("\n\n[Timing] count=3\n\n")
+        assert events == [TimingEvent(3)]
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ModelError, match="not a monitor event"):
+            parse_events("[Message] name=oops")
+
+    def test_round_trip_through_renderer(self):
+        events = [
+            StateEvent("s0", 0),
+            MessageEvent("m", "p", "outgoing", 1),
+            TimingEvent(1),
+            StateEvent("s1", 1),
+        ]
+        assert parse_events(render_events(events)) == events
+
+
+class TestRunFromEvents:
+    def test_reconstructs_simple_run(self):
+        run = Run("s0").extend(Interaction(["in1"], ["out1"]), "s1")
+        events = events_for_run(run, port="p")
+        assert run_from_events(events) == run
+
+    def test_reconstructs_blocked_run(self):
+        run = Run("s0").block(Interaction(["in1"], None))
+        events = events_for_run(run, port="p")
+        assert run_from_events(events) == run
+
+    def test_idle_steps_preserved(self):
+        run = Run("s0").extend(Interaction(), "s0").extend(Interaction(None, ["m"]), "s1")
+        events = events_for_run(run, port="p")
+        assert run_from_events(events) == run
+
+    def test_requires_state_observations(self):
+        with pytest.raises(ModelError, match="without state observations"):
+            run_from_events([MessageEvent("m", "p", "incoming", 1)])
+
+    def test_parsed_listing_feeds_the_learner(self):
+        from repro.legacy import InterfaceDescription
+        from repro.synthesis import initial_model, learn_regular
+
+        text = """
+[CurrentState] name="noConvoy"
+[Message] name="convoyProposal", portName="rearRole", type="outgoing"
+[Timing] count=1
+[CurrentState] name="convoy"
+"""
+        observed = run_from_events(parse_events(text))
+        interface = InterfaceDescription(
+            name="shuttle",
+            inputs=frozenset({"convoyProposalRejected"}),
+            outputs=frozenset({"convoyProposal"}),
+            initial_state="noConvoy",
+        )
+        model = learn_regular(initial_model(interface), observed)
+        assert len(model.transitions) == 1
+
+
+SETTINGS = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def runs(draw) -> Run:
+    signals_in = ["a", "b"]
+    signals_out = ["x", "y"]
+    run = Run(f"s{draw(st.integers(min_value=0, max_value=3))}")
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        inputs = draw(st.sets(st.sampled_from(signals_in), max_size=2))
+        outputs = draw(st.sets(st.sampled_from(signals_out), max_size=2))
+        run = run.extend(
+            Interaction(inputs, outputs), f"s{draw(st.integers(min_value=0, max_value=3))}"
+        )
+    if draw(st.booleans()):
+        inputs = draw(st.sets(st.sampled_from(signals_in), min_size=1, max_size=2))
+        run = run.block(Interaction(inputs, None))
+    return run
+
+
+class TestRoundTripProperty:
+    @SETTINGS
+    @given(runs())
+    def test_events_round_trip(self, run):
+        events = events_for_run(run, port="p")
+        assert run_from_events(parse_events(render_events(events))) == run

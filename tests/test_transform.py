@@ -1,0 +1,148 @@
+"""Unit tests for restriction, renaming, completion, minimization."""
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    InteractionUniverse,
+    complete,
+    enumerate_traces,
+    minimize,
+    rename_signals,
+    restrict,
+)
+from repro.errors import ModelError
+
+A = Interaction(["a"], None)
+B = Interaction(None, ["b"])
+
+
+def machine() -> Automaton:
+    return Automaton(
+        inputs={"a", "x"},
+        outputs={"b", "y"},
+        transitions=[
+            ("s", ("a", "x"), ("b",), "t"),
+            ("t", (), ("y",), "s"),
+        ],
+        initial=["s"],
+        labels={"s": {"p", "q"}},
+        name="M",
+    )
+
+
+class TestRestrict:
+    def test_projects_interactions(self):
+        restricted = restrict(machine(), inputs={"a"}, outputs={"b"})
+        first = next(t for t in restricted.transitions if t.source == "s")
+        assert first.interaction == Interaction(["a"], ["b"])
+
+    def test_projects_labels(self):
+        restricted = restrict(machine(), inputs={"a"}, outputs={"b"}, propositions={"p"})
+        assert restricted.labels("s") == frozenset({"p"})
+
+    def test_keeps_labels_without_proposition_filter(self):
+        restricted = restrict(machine(), inputs={"a"}, outputs={"b"})
+        assert restricted.labels("s") == frozenset({"p", "q"})
+
+    def test_rejects_non_subset(self):
+        with pytest.raises(ModelError, match="not a subset"):
+            restrict(machine(), inputs={"zzz"}, outputs={"b"})
+
+
+class TestRenameSignals:
+    def test_renames_everywhere(self):
+        renamed = rename_signals(machine(), {"a": "a2", "b": "b2"})
+        assert "a2" in renamed.inputs and "a" not in renamed.inputs
+        assert any("b2" in t.outputs for t in renamed.transitions)
+
+    def test_identity_for_unmapped(self):
+        renamed = rename_signals(machine(), {})
+        assert renamed.inputs == machine().inputs
+
+    def test_rejects_merging_signals(self):
+        with pytest.raises(ModelError, match="merges"):
+            rename_signals(machine(), {"a": "x"})
+
+
+class TestComplete:
+    def test_completes_with_sink(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        base = Automaton(
+            inputs={"a"}, outputs={"b"}, transitions=[("s", A, "s")], initial=["s"]
+        )
+        completed = complete(base, universe)
+        assert "⊥" in completed.states
+        for state in completed.states:
+            assert completed.enabled(state) == frozenset(universe)
+
+    def test_already_complete_is_identity(self):
+        universe = InteractionUniverse.explicit([A], inputs=["a"], outputs=[])
+        base = Automaton(inputs={"a"}, outputs=(), transitions=[("s", A, "s")], initial=["s"])
+        assert complete(base, universe) is base
+
+    def test_sink_collision_rejected(self):
+        universe = InteractionUniverse.singletons({"a"}, {"b"})
+        base = Automaton(inputs={"a"}, outputs={"b"}, initial=["⊥"])
+        with pytest.raises(ModelError, match="already exists"):
+            complete(base, universe)
+
+
+class TestMinimize:
+    def test_merges_equivalent_states(self):
+        # Two copies of the same cycle: minimization folds them.
+        automaton = Automaton(
+            inputs={"a"},
+            outputs={"b"},
+            transitions=[
+                ("s0", A, "t0"),
+                ("t0", B, "s1"),
+                ("s1", A, "t1"),
+                ("t1", B, "s0"),
+            ],
+            initial=["s0"],
+            name="doubled",
+        )
+        minimized = minimize(automaton)
+        assert len(minimized.states) == 2
+        assert enumerate_traces(minimized, 4) == enumerate_traces(automaton, 4)
+
+    def test_distinguishes_by_labels(self):
+        automaton = Automaton(
+            inputs={"a"},
+            outputs=(),
+            transitions=[("s0", A, "s1"), ("s1", A, "s0")],
+            initial=["s0"],
+            labels={"s0": {"p"}},
+        )
+        assert len(minimize(automaton).states) == 2
+
+    def test_distinguishes_by_refusals(self):
+        # s1 deadlocks, s0 does not: they must not merge even though
+        # both have the same labels.
+        automaton = Automaton(
+            inputs={"a"},
+            outputs=(),
+            transitions=[("s0", A, "s1")],
+            initial=["s0"],
+        )
+        assert len(minimize(automaton).states) == 2
+
+    def test_rejects_nondeterministic_input(self):
+        automaton = Automaton(
+            inputs={"a"},
+            outputs=(),
+            transitions=[("s", A, "t"), ("s", A, "u")],
+            initial=["s"],
+        )
+        with pytest.raises(ModelError, match="deterministic"):
+            minimize(automaton)
+
+    def test_initial_state_preserved_semantically(self):
+        automaton = Automaton(
+            inputs={"a"}, outputs={"b"},
+            transitions=[("s", A, "s")], initial=["s"],
+        )
+        minimized = minimize(automaton)
+        assert len(minimized.initial) == 1

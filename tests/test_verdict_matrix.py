@@ -1,0 +1,107 @@
+"""Verdict-stability matrix: the outcome must not depend on tuning knobs.
+
+The paper's verdicts are semantic facts about the composition; the
+loop's configuration (refusal mode, counterexample batching, fast
+conflict) only changes *how fast* they are reached.  This matrix runs
+every shuttle variant under every configuration and asserts the verdict
+is invariant — a cheap but wide safety net against configuration-
+dependent unsoundness creeping in.
+"""
+
+import pytest
+
+from repro import automotive, railcab
+from repro.synthesis import IntegrationSynthesizer, Verdict
+
+SCENARIOS = {
+    "railcab-correct": (
+        lambda: railcab.front_role_automaton(),
+        lambda: railcab.correct_rear_shuttle(convoy_ticks=1),
+        railcab.PATTERN_CONSTRAINT,
+        railcab.rear_state_labeler,
+        Verdict.PROVEN,
+    ),
+    "railcab-faulty": (
+        lambda: railcab.front_role_automaton(),
+        lambda: railcab.faulty_rear_shuttle(),
+        railcab.PATTERN_CONSTRAINT,
+        railcab.rear_state_labeler,
+        Verdict.REAL_VIOLATION,
+    ),
+    "railcab-overbuilt": (
+        lambda: railcab.front_role_automaton(),
+        lambda: railcab.overbuilt_rear_shuttle(extra_states=5),
+        railcab.PATTERN_CONSTRAINT,
+        railcab.rear_state_labeler,
+        Verdict.PROVEN,
+    ),
+    "railcab-shy": (
+        lambda: railcab.front_role_automaton(),
+        lambda: railcab.correct_rear_shuttle(breaks_convoy=False),
+        railcab.PATTERN_CONSTRAINT,
+        railcab.rear_state_labeler,
+        Verdict.PROVEN,
+    ),
+    "acc-supplier-a": (
+        lambda: automotive.coordinator_automaton(),
+        lambda: automotive.supplier_a_acc(),
+        automotive.BRAKE_CONSTRAINT,
+        automotive.acc_state_labeler,
+        Verdict.PROVEN,
+    ),
+    "acc-supplier-b": (
+        lambda: automotive.coordinator_automaton(),
+        lambda: automotive.supplier_b_acc(),
+        automotive.BRAKE_CONSTRAINT,
+        automotive.acc_state_labeler,
+        Verdict.REAL_VIOLATION,
+    ),
+}
+
+CONFIGURATIONS = {
+    "default": {},
+    "conservative": {"refusal_mode": "conservative"},
+    "batched-3": {"counterexamples_per_iteration": 3},
+    "no-fast-conflict": {"fast_conflict": False},
+    "conservative-batched": {
+        "refusal_mode": "conservative",
+        "counterexamples_per_iteration": 2,
+    },
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("configuration", sorted(CONFIGURATIONS))
+def test_verdict_invariant_under_configuration(scenario, configuration):
+    context_factory, component_factory, constraint, labeler, expected = SCENARIOS[scenario]
+    options = CONFIGURATIONS[configuration]
+    result = IntegrationSynthesizer(
+        context_factory(),
+        component_factory(),
+        constraint,
+        labeler=labeler,
+        max_iterations=800,
+        **options,
+    ).run()
+    assert result.verdict is expected, (
+        f"{scenario} under {configuration}: expected {expected}, got {result.verdict} "
+        f"after {result.iteration_count} iterations"
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_violation_witnesses_are_executable(scenario):
+    context_factory, component_factory, constraint, labeler, expected = SCENARIOS[scenario]
+    if expected is not Verdict.REAL_VIOLATION:
+        pytest.skip("only violation scenarios carry witnesses")
+    result = IntegrationSynthesizer(
+        context_factory(), component_factory(), constraint, labeler=labeler
+    ).run()
+    witness = result.violation_witness
+    assert witness is not None
+    component = component_factory()
+    component.reset()
+    for interaction, _ in witness.steps:
+        outcome = component.step(interaction.inputs & component.inputs)
+        assert not outcome.blocked
+        assert outcome.outputs == interaction.outputs & component.outputs

@@ -1,0 +1,106 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads import (
+    chain_server,
+    mutate_component,
+    ping_client,
+    random_deterministic_component,
+)
+
+
+class TestRandomComponents:
+    def test_reproducible(self):
+        a = random_deterministic_component(5)
+        b = random_deterministic_component(5)
+        assert a._hidden == b._hidden
+
+    def test_different_seeds_differ(self):
+        machines = {random_deterministic_component(seed)._hidden for seed in range(10)}
+        assert len(machines) > 1
+
+    def test_strongly_deterministic(self):
+        for seed in range(10):
+            component = random_deterministic_component(seed, n_states=5)
+            assert component._hidden.is_strongly_deterministic()
+
+    def test_all_states_reachable(self):
+        from repro.automata import reachable_states
+
+        for seed in range(10):
+            hidden = random_deterministic_component(seed, n_states=5)._hidden
+            assert reachable_states(hidden) == hidden.states
+
+    def test_state_count_respected(self):
+        assert random_deterministic_component(0, n_states=7).state_bound == 7
+
+    def test_invalid_state_count(self):
+        with pytest.raises(ModelError):
+            random_deterministic_component(0, n_states=0)
+
+    def test_custom_interface(self):
+        component = random_deterministic_component(
+            1, inputs=("a", "b"), outputs=("x",)
+        )
+        assert component.inputs == frozenset({"a", "b"})
+        assert component.outputs == frozenset({"x"})
+
+
+class TestMutants:
+    def test_mutation_preserves_determinism(self):
+        base = chain_server(3)
+        for seed in range(10):
+            mutant = mutate_component(chain_server(3), seed, mutations=2)
+            assert mutant._hidden.is_strongly_deterministic()
+        del base
+
+    def test_mutation_reproducible(self):
+        a = mutate_component(chain_server(2), 3)._hidden
+        b = mutate_component(chain_server(2), 3)._hidden
+        assert a == b
+
+    def test_some_mutants_change_behavior(self):
+        base = chain_server(3)._hidden
+        changed = [
+            mutate_component(chain_server(3), seed)._hidden != base for seed in range(10)
+        ]
+        assert any(changed)
+
+    def test_mutation_without_transitions_rejected(self):
+        from repro.automata import Automaton
+        from repro.legacy import LegacyComponent
+
+        empty = LegacyComponent(
+            Automaton(inputs=(), outputs=(), initial=["s"]), name="empty"
+        )
+        with pytest.raises(ModelError, match="without transitions"):
+            mutate_component(empty, 0)
+
+
+class TestProtocolFamily:
+    def test_client_shape(self):
+        client = ping_client()
+        assert client.inputs == frozenset({"pong"})
+        assert client.outputs == frozenset({"ping"})
+        assert "client.waiting" in client.labels("waiting")
+
+    def test_chain_server_size(self):
+        assert chain_server(4).state_bound == 8
+
+    def test_chain_server_cycles(self):
+        server = chain_server(2)
+        assert server.step(["ping"]).blocked is False
+        assert server.step([]).outputs == frozenset({"pong"})
+        assert server.step(["ping"]).blocked is False
+        assert server.step([]).outputs == frozenset({"pong"})
+        # Back at round 0.
+        from repro.legacy import Instrumentation
+
+        with server.instrumented(Instrumentation.FULL, live=False):
+            assert server.monitor_state() == "ready0"
+
+    def test_chain_length_validated(self):
+        with pytest.raises(ModelError):
+            chain_server(0)
