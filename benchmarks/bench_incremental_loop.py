@@ -1,0 +1,162 @@
+"""Incremental verification engine: loop wall-time vs full recompose.
+
+The synthesis loop re-verifies after every learning step.  The
+from-scratch pipeline rebuilds the chaotic closure, recomposes the
+product, and model-checks cold each iteration; the incremental engine
+(:mod:`repro.automata.incremental`) patches the dirty region of all
+three instead.  Both must produce the *same* closures, products,
+verdicts, and final models — only the work differs.
+
+Measured here on the RailCab convoy workload (the paper's running
+example, scaled via ``convoy_ticks`` so the loop runs for hundreds of
+learning iterations) and on the multi-legacy front+rear workload.
+``test_incremental_speedup_over_full_recompose`` asserts the headline
+claim: at least a 3x total-loop speedup at identical verdicts.
+
+``tools/bench_report.py`` normalizes this module's
+``--benchmark-json`` output into ``BENCH_loop.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import railcab
+from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis.multi import MultiLegacySynthesizer
+
+#: Convoy length for the per-path benchmarks (quick: ~70 iterations).
+QUICK_TICKS = 32
+#: Convoy length for the speedup comparison (~200 iterations; the
+#: larger product makes the full-recompose overhead dominate clearly).
+SPEEDUP_TICKS = 96
+#: The headline claim asserted by this module.
+SPEEDUP_FLOOR = 3.0
+
+
+def _convoy_synthesizer(*, incremental: bool, ticks: int) -> IntegrationSynthesizer:
+    return IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        railcab.correct_rear_shuttle(convoy_ticks=ticks),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+        port="rearRole",
+        incremental=incremental,
+    )
+
+
+def _multi_synthesizer(*, incremental: bool) -> MultiLegacySynthesizer:
+    return MultiLegacySynthesizer(
+        None,
+        [railcab.correct_front_shuttle(), railcab.correct_rear_shuttle(convoy_ticks=8)],
+        railcab.PATTERN_CONSTRAINT,
+        labelers={
+            "frontShuttle": railcab.front_state_labeler,
+            "rearShuttle": railcab.rear_state_labeler,
+        },
+        incremental=incremental,
+    )
+
+
+def _loop_extra_info(result) -> dict:
+    last = result.iterations[-1]
+    return {
+        "iterations": result.iteration_count,
+        "composed_states_final": last.composed_states,
+        "composed_states_max": max(r.composed_states for r in result.iterations),
+        "checker_fixpoint_work_total": sum(r.checker_fixpoint_work for r in result.iterations),
+        "product_hits": sum(r.product_hits for r in result.iterations),
+        "product_misses": sum(r.product_misses for r in result.iterations),
+        "closure_groups_reused": sum(r.closure_groups_reused for r in result.iterations),
+        "closure_groups_rebuilt": sum(r.closure_groups_rebuilt for r in result.iterations),
+        "dirty_states_total": sum(r.dirty_states for r in result.iterations),
+        "affected_states_total": sum(r.affected_states for r in result.iterations),
+    }
+
+
+def test_loop_incremental_convoy(benchmark):
+    """Total loop wall-time with the incremental engine (default path)."""
+    result = benchmark(lambda: _convoy_synthesizer(incremental=True, ticks=QUICK_TICKS).run())
+    assert result.verdict is Verdict.PROVEN
+    assert result.iteration_count >= 8
+    benchmark.extra_info.update(_loop_extra_info(result))
+    benchmark.extra_info["mode"] = "incremental"
+    benchmark.extra_info["convoy_ticks"] = QUICK_TICKS
+
+
+def test_loop_full_recompose_convoy(benchmark):
+    """Total loop wall-time rebuilding closure/product/checker each iteration."""
+    result = benchmark(lambda: _convoy_synthesizer(incremental=False, ticks=QUICK_TICKS).run())
+    assert result.verdict is Verdict.PROVEN
+    assert result.iteration_count >= 8
+    benchmark.extra_info.update(_loop_extra_info(result))
+    benchmark.extra_info["mode"] = "full_recompose"
+    benchmark.extra_info["convoy_ticks"] = QUICK_TICKS
+
+
+def test_incremental_speedup_over_full_recompose(benchmark):
+    """>= 3x total-loop speedup at identical verdicts (the tentpole claim).
+
+    Interleaves full and incremental runs and compares the per-mode
+    minima — the statistic least sensitive to scheduler noise (and the
+    one pytest-benchmark itself leads with).
+    """
+
+    def measure():
+        incr_times: list[float] = []
+        full_times: list[float] = []
+        results = {}
+        for _ in range(5):
+            t0 = time.perf_counter()
+            results["incremental"] = _convoy_synthesizer(
+                incremental=True, ticks=SPEEDUP_TICKS
+            ).run()
+            incr_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            results["full"] = _convoy_synthesizer(
+                incremental=False, ticks=SPEEDUP_TICKS
+            ).run()
+            full_times.append(time.perf_counter() - t0)
+        return results, incr_times, full_times
+
+    results, incr_times, full_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    incremental, full = results["incremental"], results["full"]
+
+    # Equal outcomes: the engine must not change what the loop concludes.
+    assert incremental.verdict is full.verdict is Verdict.PROVEN
+    assert incremental.iteration_count == full.iteration_count >= 8
+    assert incremental.final_model == full.final_model
+
+    speedup_min = min(full_times) / min(incr_times)
+    speedup_median = statistics.median(full_times) / statistics.median(incr_times)
+    benchmark.extra_info.update(
+        {
+            "convoy_ticks": SPEEDUP_TICKS,
+            "iterations": incremental.iteration_count,
+            "full_loop_seconds_min": min(full_times),
+            "incremental_loop_seconds_min": min(incr_times),
+            "full_loop_seconds_median": statistics.median(full_times),
+            "incremental_loop_seconds_median": statistics.median(incr_times),
+            "speedup_min": speedup_min,
+            "speedup_median": speedup_median,
+            "incremental_extra": _loop_extra_info(incremental),
+            "full_extra": _loop_extra_info(full),
+        }
+    )
+    assert speedup_min >= SPEEDUP_FLOOR, (
+        f"incremental engine speedup {speedup_min:.2f}x below the {SPEEDUP_FLOOR}x floor "
+        f"(full min {min(full_times) * 1000:.1f}ms, incremental min {min(incr_times) * 1000:.1f}ms)"
+    )
+
+
+def test_loop_incremental_multi_legacy(benchmark):
+    """The n-ary product path: front+rear learned in parallel."""
+    result = benchmark(lambda: _multi_synthesizer(incremental=True).run())
+    assert result.verdict is Verdict.PROVEN
+    assert result.iteration_count >= 8
+    reference = _multi_synthesizer(incremental=False).run()
+    assert reference.verdict is result.verdict
+    assert reference.iteration_count == result.iteration_count
+    benchmark.extra_info.update(_loop_extra_info(result))
+    benchmark.extra_info["mode"] = "incremental_multi"

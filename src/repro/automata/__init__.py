@@ -28,9 +28,18 @@ from .chaos import (
     is_chaos_state,
     run_stays_in_learned_part,
 )
+from .chaos import chaotic_core_transitions, closure_state_transitions
 from .composition import composable, compose, compose_all, orthogonal
 from .dot import to_dot
 from .incomplete import IncompleteAutomaton, Refusal
+from .incremental import (
+    ClosureCache,
+    ClosureUpdate,
+    IncrementalProduct,
+    IncrementalVerifier,
+    ProductUpdate,
+    VerificationStep,
+)
 from .interaction import IDLE, Interaction, InteractionUniverse
 from .refinement import (
     chaos_tolerant_labels,
@@ -80,6 +89,14 @@ __all__ = [
     "S_DELTA",
     "chaotic_automaton",
     "chaotic_closure",
+    "chaotic_core_transitions",
+    "closure_state_transitions",
+    "ClosureCache",
+    "ClosureUpdate",
+    "IncrementalProduct",
+    "IncrementalVerifier",
+    "ProductUpdate",
+    "VerificationStep",
     "is_chaos_state",
     "closure_base_state",
     "run_stays_in_learned_part",

@@ -31,9 +31,16 @@ State = Hashable
 
 
 class Transition:
-    """A single transition ``(source, A, B, target)`` of Definition 1."""
+    """A single transition ``(source, A, B, target)`` of Definition 1.
 
-    __slots__ = ("source", "interaction", "target")
+    The hash and the canonical sort key are computed once per object and
+    cached: transitions are routinely reused across many automata (the
+    incremental closure and product keep them alive between synthesis
+    iterations), and re-deriving ``repr``-based keys on every
+    :class:`Automaton` construction used to dominate construction time.
+    """
+
+    __slots__ = ("source", "interaction", "target", "_hash", "_skey")
 
     def __init__(self, source: State, interaction: Interaction, target: State):
         self.source = source
@@ -52,12 +59,28 @@ class Transition:
         return (self.source, self.interaction, self.target)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Transition):
             return NotImplemented
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.source, self.interaction, self.target))
+            self._hash = value
+            return value
+
+    def sort_key(self) -> tuple:
+        """Canonical ``(repr(source), interaction key, repr(target))`` order."""
+        try:
+            return self._skey
+        except AttributeError:
+            key = (repr(self.source), self.interaction.sort_key(), repr(self.target))
+            self._skey = key
+            return key
 
     def __repr__(self) -> str:
         return f"Transition({self.source!r}, {self.interaction}, {self.target!r})"
@@ -106,11 +129,13 @@ class Automaton:
         "states",
         "inputs",
         "outputs",
-        "transitions",
         "initial",
         "_labels",
         "_by_source",
         "_by_source_inputs",
+        "_ordered",
+        "_transitions",
+        "_transition_count",
     )
 
     def __init__(
@@ -123,42 +148,89 @@ class Automaton:
         initial: Iterable[State],
         labels: Mapping[State, Iterable[str]] | None = None,
         name: str = "M",
+        _ordered: "tuple[Transition, ...] | None" = None,
+        _trusted: bool = False,
     ):
         self.name = name
         self.inputs = frozenset(inputs)
         self.outputs = frozenset(outputs)
-        transition_set = frozenset(_as_transition(t) for t in transitions)
+        if _ordered is not None:
+            ordered = _ordered
+            transition_set = frozenset(ordered)
+        else:
+            transition_set = frozenset(_as_transition(t) for t in transitions)
+            ordered = tuple(sorted(transition_set, key=Transition.sort_key))
         initial_set = frozenset(initial)
-        state_set = frozenset(states) | initial_set
-        for transition in transition_set:
-            state_set |= {transition.source, transition.target}
+        state_set = (
+            frozenset(states)
+            | initial_set
+            | frozenset(t.source for t in ordered)
+            | frozenset(t.target for t in ordered)
+        )
         self.states = state_set
-        self.transitions = transition_set
+        self._transitions = transition_set
+        self._transition_count = len(transition_set)
         self.initial = initial_set
+        self._ordered = ordered
         label_map: dict[State, frozenset[str]] = {}
         if labels:
             for state, props in labels.items():
                 label_map[state] = frozenset(props)
         self._labels = label_map
-        by_source: dict[State, list[Transition]] = {}
-        by_source_inputs: dict[tuple[State, frozenset[str]], list[Transition]] = {}
-        for transition in sorted(
-            transition_set, key=lambda t: (repr(t.source), t.interaction.sort_key(), repr(t.target))
-        ):
-            by_source.setdefault(transition.source, []).append(transition)
-            by_source_inputs.setdefault((transition.source, transition.interaction.inputs), []).append(
-                transition
-            )
-        self._by_source = by_source
-        self._by_source_inputs = by_source_inputs
-        self._validate()
+        grouped: dict[State, list[Transition]] = {}
+        for transition in ordered:
+            grouped.setdefault(transition.source, []).append(transition)
+        self._by_source = {source: tuple(slice_) for source, slice_ in grouped.items()}
+        self._by_source_inputs = None
+        self._validate(check_signals=not _trusted)
 
-    def _validate(self) -> None:
+    @classmethod
+    def _assemble(
+        cls,
+        *,
+        states: frozenset[State],
+        inputs: frozenset[str],
+        outputs: frozenset[str],
+        by_source: "dict[State, tuple[Transition, ...]]",
+        transition_count: int,
+        initial: Iterable[State],
+        labels: dict[State, frozenset[str]],
+        name: str,
+    ) -> "Automaton":
+        """Internal zero-copy constructor for the incremental engine.
+
+        ``by_source`` must map each non-deadlock state to its outgoing
+        transitions sorted by :meth:`Transition.sort_key` (i.e. exactly
+        the per-source slices of the canonical global order), contain no
+        duplicates, and mention only valid signals — the caller
+        guarantees what ``__init__`` normally establishes.  The global
+        transition tuple/set are derived lazily on first use, so
+        assembling an automaton is O(|S|) instead of O(|T| log |T|).
+        """
+        self = object.__new__(cls)
+        self.name = name
+        self.inputs = inputs
+        self.outputs = outputs
+        self.states = states
+        self.initial = frozenset(initial)
+        self._labels = labels
+        self._by_source = by_source
+        self._by_source_inputs = None
+        self._ordered = None
+        self._transitions = None
+        self._transition_count = transition_count
+        if not self.initial:
+            raise ModelError(f"automaton {name!r} has no initial state")
+        return self
+
+    def _validate(self, *, check_signals: bool = True) -> None:
         if not self.initial:
             raise ModelError(f"automaton {self.name!r} has no initial state")
         stray = self._labels.keys() - self.states
         if stray:
             raise ModelError(f"automaton {self.name!r} labels unknown states: {sorted(map(repr, stray))}")
+        if not check_signals:
+            return
         for transition in self.transitions:
             if not transition.inputs <= self.inputs:
                 raise ModelError(
@@ -193,13 +265,51 @@ class Automaton:
 
     # -------------------------------------------------------------- structure
 
+    @property
+    def transitions(self) -> frozenset[Transition]:
+        """The transition set ``T``."""
+        cached = self._transitions
+        if cached is None:
+            cached = frozenset(self.ordered_transitions)
+            self._transitions = cached
+        return cached
+
+    @property
+    def transition_count(self) -> int:
+        """``|T|`` without materialising the transition set."""
+        return self._transition_count
+
+    @property
+    def ordered_transitions(self) -> tuple[Transition, ...]:
+        """All transitions in the canonical deterministic order."""
+        cached = self._ordered
+        if cached is None:
+            # Assembled automata store per-source slices of the canonical
+            # order; concatenating them by source repr restores it.
+            cached = tuple(
+                transition
+                for source in sorted(self._by_source, key=repr)
+                for transition in self._by_source[source]
+            )
+            self._ordered = cached
+        return cached
+
     def transitions_from(self, state: State) -> tuple[Transition, ...]:
         """All transitions leaving ``state`` in a deterministic order."""
-        return tuple(self._by_source.get(state, ()))
+        return self._by_source.get(state, ())
 
     def transitions_on(self, state: State, inputs: Iterable[str]) -> tuple[Transition, ...]:
         """Transitions from ``state`` consuming exactly the given inputs."""
-        return tuple(self._by_source_inputs.get((state, frozenset(inputs)), ()))
+        index = self._by_source_inputs
+        if index is None:
+            grouped: dict[tuple, list[Transition]] = {}
+            for transition in self.ordered_transitions:
+                grouped.setdefault((transition.source, transition.interaction.inputs), []).append(
+                    transition
+                )
+            index = {key: tuple(slice_) for key, slice_ in grouped.items()}
+            self._by_source_inputs = index
+        return index.get((state, frozenset(inputs)), ())
 
     def successors(self, state: State) -> frozenset[State]:
         return frozenset(t.target for t in self.transitions_from(state))
@@ -265,10 +375,12 @@ class Automaton:
             states=self.states if states is None else states,
             inputs=self.inputs if inputs is None else inputs,
             outputs=self.outputs if outputs is None else outputs,
-            transitions=self.transitions if transitions is None else transitions,
+            transitions=() if transitions is None else transitions,
             initial=self.initial if initial is None else initial,
             labels=self._labels if labels is None else labels,
             name=self.name if name is None else name,
+            # Unchanged transitions keep their canonical order — no re-sort.
+            _ordered=self.ordered_transitions if transitions is None else None,
         )
 
     def with_labels(self, labeler: Callable[[State], Iterable[str]]) -> "Automaton":

@@ -22,8 +22,6 @@ set, both chaos states carry the fresh proposition
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..errors import ModelError
 from .automaton import Automaton, State, Transition
 from .incomplete import IncompleteAutomaton
@@ -38,6 +36,8 @@ __all__ = [
     "S_DELTA",
     "chaotic_automaton",
     "chaotic_closure",
+    "chaotic_core_transitions",
+    "closure_state_transitions",
     "is_chaos_state",
     "closure_base_state",
     "run_stays_in_learned_part",
@@ -47,22 +47,79 @@ __all__ = [
 CHAOS_PROPOSITION = "chaos"
 
 
-@dataclass(frozen=True, slots=True)
 class ClosureState:
-    """A doubled state ``(s, 0)`` or ``(s, 1)`` of Definition 9."""
+    """A doubled state ``(s, 0)`` or ``(s, 1)`` of Definition 9.
 
-    base: State
-    extended: bool
+    Closure states appear inside every product state and hence get
+    hashed and compared on nearly every set operation of the
+    verification loop.  Like :class:`Interaction` they are therefore
+    hash-consed: the closure rebuilt after each learning step reuses
+    the *same* state objects, so equality collapses to a pointer
+    comparison and the hash is computed once.  The intern table is
+    bounded by the states of the models in play.
+    """
+
+    __slots__ = ("base", "extended", "_hash", "_repr")
+
+    _intern: "dict[tuple[State, bool], ClosureState]" = {}
+
+    def __new__(cls, base: State, extended: bool):
+        key = (base, bool(extended))
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        self.base = base
+        self.extended = key[1]
+        self._hash = hash((cls, key))
+        cls._intern[key] = self
+        return self
+
+    def __reduce__(self):
+        return (ClosureState, (self.base, self.extended))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ClosureState):
+            return NotImplemented
+        return self.extended == other.extended and self.base == other.base
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
-        return f"({self.base!r},{1 if self.extended else 0})"
+        # repr keys every deterministic sort in the pipeline; with
+        # interned states the cached string is shared by all users.
+        try:
+            return self._repr
+        except AttributeError:
+            value = f"({self.base!r},{1 if self.extended else 0})"
+            self._repr = value
+            return value
 
 
-@dataclass(frozen=True, slots=True)
 class ChaosState:
     """One of the two chaotic states ``s_∀`` / ``s_δ`` of Definition 8."""
 
-    kind: str
+    __slots__ = ("kind", "_hash")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._hash = hash(("ChaosState", kind))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, ChaosState):
+            return NotImplemented
+        return self.kind == other.kind
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (ChaosState, (self.kind,))
 
     def __repr__(self) -> str:
         return self.kind
@@ -116,6 +173,56 @@ def chaotic_automaton(universe: InteractionUniverse, *, name: str = "M_c") -> Au
     )
 
 
+def closure_state_transitions(
+    incomplete: IncompleteAutomaton,
+    universe: InteractionUniverse,
+    state: State,
+    *,
+    deterministic_implementation: bool = False,
+) -> tuple[Transition, ...]:
+    """All closure transitions leaving ``(state,0)`` or ``(state,1)``.
+
+    This is the per-base-state slice of Definition 9: the doubled known
+    transitions plus the ``(state,1)`` escapes into the chaotic core.
+    It only depends on ``state``'s local knowledge — its outgoing
+    transitions and refusals — which is what makes the chaotic closure
+    incrementally maintainable (see :mod:`repro.automata.incremental`).
+    """
+    transitions: list[Transition] = []
+    for transition in incomplete.automaton.transitions_from(state):
+        for src_tag in (False, True):
+            for dst_tag in (False, True):
+                transitions.append(
+                    Transition(
+                        ClosureState(transition.source, src_tag),
+                        transition.interaction,
+                        ClosureState(transition.target, dst_tag),
+                    )
+                )
+    refused = incomplete.refused(state)
+    known = (
+        frozenset(t.interaction for t in incomplete.automaton.transitions_from(state))
+        if deterministic_implementation
+        else frozenset()
+    )
+    source = ClosureState(state, True)
+    for interaction in universe:
+        if interaction in refused or interaction in known:
+            continue
+        transitions.append(Transition(source, interaction, S_ALL))
+        transitions.append(Transition(source, interaction, S_DELTA))
+    return tuple(transitions)
+
+
+def chaotic_core_transitions(universe: InteractionUniverse) -> tuple[Transition, ...]:
+    """The transitions of the chaotic core ``s_∀``/``s_δ`` (Definition 8)."""
+    transitions: list[Transition] = []
+    for interaction in universe:
+        transitions.append(Transition(S_ALL, interaction, S_ALL))
+        transitions.append(Transition(S_ALL, interaction, S_DELTA))
+    return tuple(transitions)
+
+
 def chaotic_closure(
     incomplete: IncompleteAutomaton,
     universe: InteractionUniverse,
@@ -150,36 +257,19 @@ def chaotic_closure(
         )
 
     transitions: list[Transition] = []
-    # 1) Known transitions, doubled over the (·,0)/(·,1) tags.
-    for transition in incomplete.transitions:
-        for src_tag in (False, True):
-            for dst_tag in (False, True):
-                transitions.append(
-                    Transition(
-                        ClosureState(transition.source, src_tag),
-                        transition.interaction,
-                        ClosureState(transition.target, dst_tag),
-                    )
-                )
-    # 2) Escapes to chaos from every (s,1) for interactions not refused by T̄
-    #    (and, for deterministic implementations, not already known in T).
+    # Per base state: the doubled known transitions (1) and the (s,1)
+    # escapes into the chaotic core (2) — see closure_state_transitions.
     for state in incomplete.states:
-        refused = incomplete.refused(state)
-        known = (
-            frozenset(t.interaction for t in incomplete.automaton.transitions_from(state))
-            if deterministic_implementation
-            else frozenset()
+        transitions.extend(
+            closure_state_transitions(
+                incomplete,
+                universe,
+                state,
+                deterministic_implementation=deterministic_implementation,
+            )
         )
-        for interaction in universe:
-            if interaction in refused or interaction in known:
-                continue
-            source = ClosureState(state, True)
-            transitions.append(Transition(source, interaction, S_ALL))
-            transitions.append(Transition(source, interaction, S_DELTA))
     # 3) The chaotic core itself.
-    for interaction in universe:
-        transitions.append(Transition(S_ALL, interaction, S_ALL))
-        transitions.append(Transition(S_ALL, interaction, S_DELTA))
+    transitions.extend(chaotic_core_transitions(universe))
 
     states = [ClosureState(s, tag) for s in incomplete.states for tag in (False, True)]
     states.extend([S_ALL, S_DELTA])

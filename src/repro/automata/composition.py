@@ -78,12 +78,19 @@ def compose(
     *,
     semantics: Semantics = "strict",
     name: str | None = None,
+    _flatten_left: bool = False,
 ) -> Automaton:
     """The parallel composition ``first ∥ second`` of Definition 3.
 
     States of the result are ``(s, s')`` pairs, labels are the union
     ``L(s) ∪ L'(s')``, and only state combinations reachable from the
     initial pairs ``Q × Q'`` are kept.
+
+    ``_flatten_left`` is internal, for :func:`compose_all`: when the
+    left operand's states are already tuples of component states, the
+    combined states are built as ``(*s, s')`` directly during the BFS —
+    so folding ``n`` machines flattens once instead of re-mapping the
+    whole accumulated product after every fold step.
     """
     if not composable(first, second):
         raise CompositionError(
@@ -94,25 +101,36 @@ def compose(
     if semantics not in ("strict", "open"):
         raise CompositionError(f"unknown composition semantics {semantics!r}")
 
-    initial = [(q1, q2) for q1 in sorted(first.initial, key=repr) for q2 in sorted(second.initial, key=repr)]
-    seen: set[tuple[State, State]] = set(initial)
-    queue: deque[tuple[State, State]] = deque(initial)
+    if _flatten_left:
+        join = lambda s1, s2: (*s1, s2)  # noqa: E731
+    else:
+        join = lambda s1, s2: (s1, s2)  # noqa: E731
+    initial = [
+        join(q1, q2) for q1 in sorted(first.initial, key=repr) for q2 in sorted(second.initial, key=repr)
+    ]
+    pairs: dict[State, tuple[State, State]] = {
+        join(q1, q2): (q1, q2) for q1 in first.initial for q2 in second.initial
+    }
+    seen: set[State] = set(initial)
+    queue: deque[State] = deque(initial)
     transitions: list[Transition] = []
     while queue:
-        s1, s2 = queue.popleft()
+        combined = queue.popleft()
+        s1, s2 = pairs[combined]
         for left in first.transitions_from(s1):
             for right in second.transitions_from(s2):
                 if not _matches(left, right, first, second, semantics):
                     continue
-                target = (left.target, right.target)
+                target = join(left.target, right.target)
                 transitions.append(
-                    Transition((s1, s2), left.interaction.union(right.interaction), target)
+                    Transition(combined, left.interaction.union(right.interaction), target)
                 )
                 if target not in seen:
                     seen.add(target)
+                    pairs[target] = (left.target, right.target)
                     queue.append(target)
 
-    labels = {(s1, s2): first.labels(s1) | second.labels(s2) for (s1, s2) in seen}
+    labels = {state: first.labels(s1) | second.labels(s2) for state, (s1, s2) in pairs.items()}
     return Automaton(
         states=seen,
         inputs=first.inputs | second.inputs,
@@ -134,17 +152,15 @@ def compose_all(
 
     The resulting states are flat tuples ``(s₁, …, sₙ)`` rather than
     nested pairs, so that run projection by component index works
-    uniformly regardless of how many machines were composed.
+    uniformly regardless of how many machines were composed.  The
+    flattening happens inside each fold step's BFS (no quadratic
+    ``map_states`` pass over the accumulated product).
     """
     if not automata:
         raise CompositionError("compose_all needs at least one automaton")
     result = automata[0]
-    width = 1
-    for machine in automata[1:]:
-        result = compose(result, machine, semantics=semantics)
-        width += 1
-        if width > 2:
-            result = result.map_states(lambda pair: (*pair[0], pair[1]))
+    for position, machine in enumerate(automata[1:]):
+        result = compose(result, machine, semantics=semantics, _flatten_left=position > 0)
     if name is not None:
         result = result.replace(name=name)
     return result

@@ -27,7 +27,7 @@ __all__ = ["Refusal", "IncompleteAutomaton"]
 class Refusal:
     """One element of ``T̄``: interaction known to be blocked in a state."""
 
-    __slots__ = ("state", "interaction")
+    __slots__ = ("state", "interaction", "_hash")
 
     def __init__(self, state: State, interaction: Interaction):
         self.state = state
@@ -37,12 +37,21 @@ class Refusal:
         return (self.state, self.interaction)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Refusal):
             return NotImplemented
         return self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        # Refusal sets are rebuilt on every learning step; cache the
+        # hash so those set operations stay cheap (cf. Transition).
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.state, self.interaction))
+            self._hash = value
+            return value
 
     def __repr__(self) -> str:
         return f"Refusal({self.state!r}, {self.interaction})"
@@ -94,24 +103,32 @@ class IncompleteAutomaton:
             name=name,
         )
         self.refusals = frozenset(_as_refusal(r) for r in refusals)
+        self._index_refusals()
+
+    def _index_refusals(self) -> None:
+        """Validate ``T̄`` against the automaton and index it by state."""
+        automaton = self.automaton
+        name = automaton.name
         refused: dict[State, set[Interaction]] = {}
         for refusal in self.refusals:
-            if refusal.state not in self.automaton.states:
+            if refusal.state not in automaton.states:
                 raise ModelError(
                     f"incomplete automaton {name!r}: refusal {refusal!r} names an unknown state"
                 )
-            if not refusal.interaction.inputs <= self.automaton.inputs:
+            if not refusal.interaction.inputs <= automaton.inputs:
                 raise ModelError(f"refusal {refusal!r} consumes signals outside I")
-            if not refusal.interaction.outputs <= self.automaton.outputs:
+            if not refusal.interaction.outputs <= automaton.outputs:
                 raise ModelError(f"refusal {refusal!r} produces signals outside O")
             refused.setdefault(refusal.state, set()).add(refusal.interaction)
         self._refused_by_state = {s: frozenset(i) for s, i in refused.items()}
-        for transition in self.automaton.transitions:
-            if transition.interaction in self._refused_by_state.get(transition.source, ()):
-                raise ModelError(
-                    f"incomplete automaton {name!r} is inconsistent (Definition 6): "
-                    f"{transition!r} is both a transition and a refusal"
-                )
+        # Consistency (Definition 6): only states with refusals can clash.
+        for state, refused_set in self._refused_by_state.items():
+            for transition in automaton.transitions_from(state):
+                if transition.interaction in refused_set:
+                    raise ModelError(
+                        f"incomplete automaton {name!r} is inconsistent (Definition 6): "
+                        f"{transition!r} is both a transition and a refusal"
+                    )
 
     # ---------------------------------------------------------------- access
 
@@ -199,6 +216,22 @@ class IncompleteAutomaton:
         labels: Mapping[State, Iterable[str]] | None = None,
         name: str | None = None,
     ) -> "IncompleteAutomaton":
+        if (
+            refusals is not None
+            and transitions is None
+            and states is None
+            and initial is None
+            and labels is None
+            and name is None
+        ):
+            # Only ``T̄`` changes: share the (immutable) automaton instead
+            # of rebuilding and re-validating it.  The refusal-learning
+            # step of Definition 12 hits this path on every iteration.
+            clone = object.__new__(IncompleteAutomaton)
+            clone.automaton = self.automaton
+            clone.refusals = frozenset(_as_refusal(r) for r in refusals)
+            clone._index_refusals()
+            return clone
         return IncompleteAutomaton(
             states=self.states if states is None else states,
             inputs=self.inputs,

@@ -21,7 +21,6 @@ per time unit).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass
 from itertools import chain, combinations
 
 __all__ = ["Interaction", "InteractionUniverse", "IDLE"]
@@ -42,20 +41,67 @@ def _freeze(signals: Iterable[str] | None) -> frozenset[str]:
     return frozen
 
 
-@dataclass(frozen=True, slots=True)
 class Interaction:
     """One synchronous I/O step: consume ``inputs``, produce ``outputs``.
 
     Instances are immutable and hashable so they can serve as alphabet
     symbols for composition, learning, and the L* baseline alike.
+
+    Construction is *hash-consed*: two calls with equal signal sets
+    return the very same object.  The synthesis loop builds the same
+    handful of interactions millions of times (every chaotic-closure
+    escape, every composed transition), so interning turns equality
+    checks into pointer comparisons and makes the hash and
+    :meth:`sort_key` effectively free after first use.  Alphabets are
+    tiny in practice (bounded by the interaction universes in play), so
+    the intern table stays small.
     """
 
-    inputs: frozenset[str]
-    outputs: frozenset[str]
+    __slots__ = ("inputs", "outputs", "_hash", "_sort_key")
 
-    def __init__(self, inputs: Iterable[str] | None = None, outputs: Iterable[str] | None = None):
-        object.__setattr__(self, "inputs", _freeze(inputs))
-        object.__setattr__(self, "outputs", _freeze(outputs))
+    _intern: dict[tuple[frozenset[str], frozenset[str]], "Interaction"] = {}
+
+    def __new__(cls, inputs: Iterable[str] | None = None, outputs: Iterable[str] | None = None):
+        if type(inputs) is frozenset and type(outputs) is frozenset:
+            # Fast path for the executor/monitor loops: already-frozen
+            # signal sets that hit the intern table skip re-validation.
+            cached = cls._intern.get((inputs, outputs))
+            if cached is not None:
+                return cached
+        frozen_inputs = _freeze(inputs)
+        frozen_outputs = _freeze(outputs)
+        key = (frozen_inputs, frozen_outputs)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "inputs", frozen_inputs)
+        object.__setattr__(self, "outputs", frozen_outputs)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(
+            self, "_sort_key", (tuple(sorted(frozen_inputs)), tuple(sorted(frozen_outputs)))
+        )
+        cls._intern[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Interaction is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Interaction is immutable; cannot delete {name!r}")
+
+    def __reduce__(self):
+        return (Interaction, (tuple(self.inputs), tuple(self.outputs)))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Interaction):
+            return self.inputs == other.inputs and self.outputs == other.outputs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def is_idle(self) -> bool:
@@ -85,8 +131,13 @@ class Interaction:
         return f"Interaction({sorted(self.inputs)!r}, {sorted(self.outputs)!r})"
 
     def sort_key(self) -> tuple:
-        """Deterministic, hashable ordering key for stable iteration."""
-        return (tuple(sorted(self.inputs)), tuple(sorted(self.outputs)))
+        """Deterministic, hashable ordering key for stable iteration.
+
+        Precomputed at interning time, so sorting transitions never
+        re-derives ``repr``-like keys (the former hot spot in
+        ``Automaton.__init__``).
+        """
+        return self._sort_key
 
 
 #: The interaction that consumes and produces nothing — one idle time unit.
@@ -113,6 +164,7 @@ class InteractionUniverse:
         self.inputs = _freeze(inputs)
         self.outputs = _freeze(outputs)
         self._interactions = tuple(sorted(set(interactions), key=Interaction.sort_key))
+        self._interaction_set = frozenset(self._interactions)
         for interaction in self._interactions:
             if not interaction.inputs <= self.inputs:
                 raise ValueError(f"{interaction} consumes signals outside the inputs {sorted(self.inputs)}")
@@ -176,7 +228,7 @@ class InteractionUniverse:
         return len(self._interactions)
 
     def __contains__(self, interaction: object) -> bool:
-        return interaction in set(self._interactions)
+        return interaction in self._interaction_set
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, InteractionUniverse):

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from contextlib import contextmanager
-from dataclasses import dataclass
 from enum import Enum
 
 from ..automata.automaton import Automaton, State
@@ -38,23 +37,35 @@ class Instrumentation(Enum):
     FULL = "full"  # additionally state changes and per-event timing
 
 
-@dataclass(frozen=True)
 class StepOutcome:
     """The observable result of executing one period.
 
     ``blocked`` means the component had no reaction to the offered
     inputs in its current state — the attempted interaction deadlocked
     (Definition 2's blocked tail); the component's state is unchanged.
+
+    A plain slots class rather than a dataclass: one instance is built
+    per executed period, which the synthesis loop does tens of
+    thousands of times per run.
     """
 
-    period: int
-    inputs: frozenset[str]
-    outputs: frozenset[str]
-    blocked: bool
+    __slots__ = ("period", "inputs", "outputs", "blocked")
+
+    def __init__(self, period: int, inputs: frozenset[str], outputs: frozenset[str], blocked: bool):
+        self.period = period
+        self.inputs = inputs
+        self.outputs = outputs
+        self.blocked = blocked
 
     @property
     def interaction(self) -> Interaction:
         return Interaction(self.inputs, self.outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"StepOutcome(period={self.period}, inputs={sorted(self.inputs)}, "
+            f"outputs={sorted(self.outputs)}, blocked={self.blocked})"
+        )
 
 
 class LegacyComponent:
@@ -139,9 +150,9 @@ class LegacyComponent:
         Returns the produced outputs, or a blocked outcome when the
         component has no reaction (its state does not change then).
         """
-        offered = frozenset(inputs)
-        unknown = offered - self._hidden.inputs
-        if unknown:
+        offered = inputs if type(inputs) is frozenset else frozenset(inputs)
+        if not offered <= self._hidden.inputs:
+            unknown = offered - self._hidden.inputs
             raise ExecutionError(
                 f"component {self.name!r} has no input ports for {sorted(unknown)}"
             )

@@ -69,7 +69,7 @@ class Interval:
 class Formula:
     """Base class of all formula nodes."""
 
-    __slots__ = ()
+    __slots__ = ("_hash",)
 
     def children(self) -> tuple["Formula", ...]:
         return ()
@@ -120,7 +120,14 @@ class Formula:
         return self._key() == other._key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+        # Formulas key the checker's memo tables, so the (recursive)
+        # hash is computed once per node and cached.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((type(self).__name__, self._key()))  # type: ignore[attr-defined]
+            self._hash = value
+            return value
 
     def _key(self) -> tuple:
         return ()

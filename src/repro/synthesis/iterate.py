@@ -38,6 +38,7 @@ from ..automata.automaton import Automaton, State
 from ..automata.chaos import chaotic_closure, is_chaos_state
 from ..automata.composition import Semantics, compose
 from ..automata.incomplete import IncompleteAutomaton
+from ..automata.incremental import IncrementalVerifier
 from ..automata.interaction import Interaction, InteractionUniverse
 from ..automata.runs import Run
 from ..errors import LearningError, SynthesisError
@@ -97,6 +98,16 @@ class IterationRecord:
     replays_executed: int
     observed_run: Run | None
     knowledge_gained: int
+    # Incremental-engine counters (all zero when ``incremental=False``).
+    closure_groups_reused: int = 0
+    closure_groups_rebuilt: int = 0
+    product_hits: int = 0
+    product_misses: int = 0
+    dirty_states: int = 0
+    affected_states: int = 0
+    #: Worklist operations the checker spent on this iteration's fixpoints
+    #: (populated on both paths; warm starts should show less work).
+    checker_fixpoint_work: int = 0
 
 
 @dataclass(frozen=True)
@@ -217,6 +228,13 @@ class IntegrationSynthesizer:
         every transition is re-executed and every refusal re-attempted,
         so a stale model (the component was updated) is rejected instead
         of silently breaking the safe-abstraction invariant.
+    incremental:
+        Carry the chaotic closure, the composed product, and the model
+        checker's fixpoints across iterations (default), rebuilding only
+        what each learning step invalidated — see
+        :mod:`repro.automata.incremental` and ``docs/performance.md``.
+        ``False`` recomputes everything from scratch each iteration;
+        verdicts and counterexamples are identical either way.
     """
 
     def __init__(
@@ -236,6 +254,7 @@ class IntegrationSynthesizer:
         initial_knowledge: IncompleteAutomaton | None = None,
         validate_knowledge: bool = True,
         port: str = "port",
+        incremental: bool = True,
     ):
         assert_compositional(property)
         self.context = context
@@ -254,6 +273,7 @@ class IntegrationSynthesizer:
             raise SynthesisError("counterexamples_per_iteration must be positive")
         self.counterexamples_per_iteration = counterexamples_per_iteration
         self.port = port
+        self.incremental = incremental
         # Violations of properties mentioning the deadlock atom or an
         # eventuality (AF/AU) can hinge on the closure's *pessimistic
         # refusals* — a path that merely might end.  Only those need the
@@ -348,16 +368,34 @@ class IntegrationSynthesizer:
             model = initial_model(self.interface, labeler=self.labeler)
         records: list[IterationRecord] = []
         closure: Automaton | None = None
+        engine = (
+            IncrementalVerifier(
+                context=self.context,
+                universes=[self.universe],
+                semantics=self.composition_semantics,
+                deterministic_implementation=True,
+            )
+            if self.incremental
+            else None
+        )
 
         for index in range(self.max_iterations):
-            closure = chaotic_closure(
-                model,
-                self.universe,
-                deterministic_implementation=True,
-                name=f"M_a^{index}",
-            )
-            composed = compose(self.context, closure, semantics=self.composition_semantics)
-            checker = ModelChecker(composed)
+            if engine is not None:
+                step = engine.step([model], closure_names=[f"M_a^{index}"])
+                closure = step.closures[0]
+                composed = step.composed
+                checker = step.checker
+                step_stats = step.stats
+            else:
+                closure = chaotic_closure(
+                    model,
+                    self.universe,
+                    deterministic_implementation=True,
+                    name=f"M_a^{index}",
+                )
+                composed = compose(self.context, closure, semantics=self.composition_semantics)
+                checker = ModelChecker(composed)
+                step_stats = None
             property_result = checker.check(self.weakened_property)
             deadlock_result = checker.check(DEADLOCK_FREE)
 
@@ -375,7 +413,7 @@ class IntegrationSynthesizer:
                     model_transitions=len(model.transitions),
                     model_refusals=len(model.refusals),
                     closure_states=len(closure.states),
-                    closure_transitions=len(closure.transitions),
+                    closure_transitions=closure.transition_count,
                     composed_states=len(composed.states),
                     property_holds=property_result.holds,
                     deadlock_free=deadlock_result.holds,
@@ -387,6 +425,13 @@ class IntegrationSynthesizer:
                     replays_executed=scratch.replays if scratch else 0,
                     observed_run=scratch.observed if scratch else None,
                     knowledge_gained=gained,
+                    closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
+                    closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
+                    product_hits=step_stats.product_hits if step_stats else 0,
+                    product_misses=step_stats.product_misses if step_stats else 0,
+                    dirty_states=step_stats.dirty_states if step_stats else 0,
+                    affected_states=step_stats.affected_states if step_stats else 0,
+                    checker_fixpoint_work=checker.stats.fixpoint_work,
                 )
 
             if property_result.holds and deadlock_result.holds:

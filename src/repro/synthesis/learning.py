@@ -26,10 +26,11 @@ from __future__ import annotations
 
 from typing import Literal
 
+from ..automata.automaton import Automaton, Transition
 from ..automata.incomplete import IncompleteAutomaton, Refusal
 from ..automata.interaction import InteractionUniverse
 from ..automata.runs import Run
-from ..errors import LearningError
+from ..errors import LearningError, ModelError
 from .initial import StateLabeler
 
 __all__ = ["RefusalMode", "learn", "learn_regular", "learn_blocked", "refuse"]
@@ -69,26 +70,29 @@ def refuse(
 def learn_regular(
     model: IncompleteAutomaton, run: Run, *, labeler: StateLabeler | None = None
 ) -> IncompleteAutomaton:
-    """Definition 11: merge a regular observed run into the model."""
+    """Definition 11: merge a regular observed run into the model.
+
+    The merge is *incremental*: a run only ever adds states and
+    transitions, so instead of rebuilding (and re-sorting,
+    re-validating) the whole automaton, only the per-source transition
+    slices touched by the run are updated and everything else — states,
+    labels, the refusal index — is shared with the previous model.
+    """
     if run.blocked is not None:
         raise LearningError("learn_regular expects a regular run; use learn for deadlock runs")
-    states = set(model.states)
-    transitions = set(model.transitions)
-    labels = dict(model.automaton.label_map)
-    initial = set(model.initial)
-    refused_lookup = {
-        (refusal.state, refusal.interaction) for refusal in model.refusals
-    }
+    automaton = model.automaton
+    known = automaton.transitions
+    refused_by_state = model._refused_by_state
+    new_transitions: list[Transition] = []
+    seen_new: set[Transition] = set()
 
-    if run.start not in initial:
-        initial.add(run.start)
     for transition in run.transitions():
-        if (transition.source, transition.interaction) in refused_lookup:
+        if transition.interaction in refused_by_state.get(transition.source, ()):
             raise LearningError(
                 f"observed transition {transition!r} contradicts an earlier refusal: "
                 "the component behaved non-deterministically"
             )
-        for conflicting in model.automaton.transitions_from(transition.source):
+        for conflicting in automaton.transitions_from(transition.source):
             if (
                 conflicting.interaction == transition.interaction
                 and conflicting.target != transition.target
@@ -97,24 +101,61 @@ def learn_regular(
                     f"observed transition {transition!r} conflicts with known "
                     f"{conflicting!r}: the component behaved non-deterministically"
                 )
-        transitions.add(transition)
-        for state in (transition.source, transition.target):
-            if state not in states:
-                states.add(state)
-                if labeler is not None:
-                    labels[state] = frozenset(labeler(state))
-            elif labeler is not None and state not in labels:
-                labels[state] = frozenset(labeler(state))
-    return IncompleteAutomaton(
-        states=states,
-        inputs=model.inputs,
-        outputs=model.outputs,
-        transitions=transitions,
-        refusals=model.refusals,
-        initial=initial,
+        if transition in known or transition in seen_new:
+            continue
+        if not transition.inputs <= automaton.inputs:
+            raise ModelError(
+                f"automaton {automaton.name!r}: transition {transition!r} consumes signals "
+                f"outside I={sorted(automaton.inputs)}"
+            )
+        if not transition.outputs <= automaton.outputs:
+            raise ModelError(
+                f"automaton {automaton.name!r}: transition {transition!r} produces signals "
+                f"outside O={sorted(automaton.outputs)}"
+            )
+        seen_new.add(transition)
+        new_transitions.append(transition)
+
+    if not new_transitions and run.start in automaton.initial:
+        return model
+
+    by_source = dict(automaton._by_source)
+    added: dict = {}
+    for transition in new_transitions:
+        added.setdefault(transition.source, []).append(transition)
+    for source, extra in added.items():
+        by_source[source] = tuple(
+            sorted((*by_source.get(source, ()), *extra), key=Transition.sort_key)
+        )
+    old_states = automaton.states
+    extra_states = {
+        state
+        for transition in new_transitions
+        for state in (transition.source, transition.target)
+        if state not in old_states
+    }
+    labels = automaton._labels
+    if labeler is not None and extra_states:
+        labels = dict(labels)
+        for state in extra_states:
+            labels[state] = frozenset(labeler(state))
+    merged = Automaton._assemble(
+        states=old_states | extra_states | {run.start},
+        inputs=automaton.inputs,
+        outputs=automaton.outputs,
+        by_source=by_source,
+        transition_count=automaton.transition_count + len(new_transitions),
+        initial=automaton.initial | {run.start},
         labels=labels,
-        name=model.name,
+        name=automaton.name,
     )
+    # Refusal consistency for the new transitions was checked above and
+    # no refusal state disappeared, so the index carries over verbatim.
+    learned = object.__new__(IncompleteAutomaton)
+    learned.automaton = merged
+    learned.refusals = model.refusals
+    learned._refused_by_state = refused_by_state
+    return learned
 
 
 def learn_blocked(

@@ -35,6 +35,7 @@ from ..automata.automaton import Automaton, State
 from ..automata.chaos import chaotic_closure, is_chaos_state
 from ..automata.composition import compose_all
 from ..automata.incomplete import IncompleteAutomaton
+from ..automata.incremental import IncrementalVerifier
 from ..automata.interaction import Interaction, InteractionUniverse
 from ..automata.runs import Run
 from ..errors import LearningError, SynthesisError
@@ -69,6 +70,15 @@ class MultiIterationRecord:
     tests_executed: int
     components_learned: tuple[str, ...]
     knowledge_gained: int
+    # Incremental-engine counters (all zero when ``incremental=False``).
+    closure_groups_reused: int = 0
+    closure_groups_rebuilt: int = 0
+    product_hits: int = 0
+    product_misses: int = 0
+    dirty_states: int = 0
+    affected_states: int = 0
+    #: Worklist operations the checker spent on this iteration's fixpoints.
+    checker_fixpoint_work: int = 0
 
 
 @dataclass(frozen=True)
@@ -160,6 +170,7 @@ class MultiLegacySynthesizer:
         fast_conflict: bool = True,
         max_iterations: int = 1000,
         port: str = "port",
+        incremental: bool = True,
     ):
         assert_compositional(property)
         if not components:
@@ -174,6 +185,7 @@ class MultiLegacySynthesizer:
         self.fast_conflict = fast_conflict
         self.max_iterations = max_iterations
         self.port = port
+        self.incremental = incremental
         universes = universes or {}
         labelers = labelers or {}
         offset = 1 if context is not None else 0
@@ -403,11 +415,41 @@ class MultiLegacySynthesizer:
 
     def run(self) -> MultiSynthesisResult:
         records: list[MultiIterationRecord] = []
+        engine = (
+            IncrementalVerifier(
+                context=self.context,
+                universes=[slot.universe for slot in self.slots],
+                semantics="open",
+                deterministic_implementation=True,
+            )
+            if self.incremental
+            else None
+        )
         for index in range(self.max_iterations):
-            composed = self._compose()
-            checker = ModelChecker(composed)
+            if engine is not None:
+                step = engine.step(
+                    [slot.model for slot in self.slots],
+                    closure_names=[f"chaos({slot.name})" for slot in self.slots],
+                    name="multi-closure",
+                )
+                composed = step.composed
+                checker = step.checker
+                step_stats = step.stats
+            else:
+                composed = self._compose()
+                checker = ModelChecker(composed)
+                step_stats = None
             property_result = checker.check(self.weakened_property)
             deadlock_result = checker.check(DEADLOCK_FREE)
+            counter_fields = dict(
+                closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
+                closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
+                product_hits=step_stats.product_hits if step_stats else 0,
+                product_misses=step_stats.product_misses if step_stats else 0,
+                dirty_states=step_stats.dirty_states if step_stats else 0,
+                affected_states=step_stats.affected_states if step_stats else 0,
+                checker_fixpoint_work=checker.stats.fixpoint_work,
+            )
 
             def snapshot() -> tuple[tuple[int, int, int], ...]:
                 return tuple(
@@ -429,6 +471,7 @@ class MultiLegacySynthesizer:
                         0,
                         (),
                         0,
+                        **counter_fields,
                     )
                 )
                 return self._result(Verdict.PROVEN, records, None, None)
@@ -464,6 +507,7 @@ class MultiLegacySynthesizer:
                         0,
                         (),
                         0,
+                        **counter_fields,
                     )
                 )
                 return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
@@ -515,6 +559,7 @@ class MultiLegacySynthesizer:
                     counters[0],
                     tuple(dict.fromkeys(learned_names)),
                     after - before,
+                    **counter_fields,
                 )
             )
             if real:

@@ -68,11 +68,29 @@ class TestExecution:
     verdict: TestVerdict
     divergence_index: int | None
     recording: Recording
-    events: tuple[MessageEvent, ...]
+    port: str = "port"
 
     @property
     def confirmed(self) -> bool:
         return self.verdict is TestVerdict.CONFIRMED
+
+    @property
+    def events(self) -> tuple[MessageEvent, ...]:
+        """Minimal events reflecting what was observed at the ports.
+
+        Rendered lazily: the synthesis loop executes thousands of tests
+        but only reports ever read the listing text.
+        """
+        try:
+            return self._events
+        except AttributeError:
+            actual_trace = tuple(
+                Interaction(record.inputs, record.observed_outputs)
+                for record in self.recording.steps
+            )
+            events = tuple(message_events(actual_trace, port=self.port))
+            object.__setattr__(self, "_events", events)
+            return events
 
 
 def _observed_step(period: int, step: TestStep, outputs: frozenset[str], blocked: bool) -> RecordedStep:
@@ -110,15 +128,10 @@ def execute_test(component: LegacyComponent, testcase: TestCase, *, port: str = 
                 divergence_index = index
                 break
     recording = Recording(component=component.name, steps=tuple(recorded))
-    # Minimal events reflect what was actually observed at the ports.
-    actual_trace = tuple(
-        Interaction(record.inputs, record.observed_outputs) for record in recording.steps
-    )
-    events = tuple(message_events(actual_trace, port=port))
     return TestExecution(
         testcase=testcase,
         verdict=verdict,
         divergence_index=divergence_index,
         recording=recording,
-        events=events,
+        port=port,
     )

@@ -37,12 +37,26 @@ class ReplayResult:
 
     component: str
     observed_run: Run
-    events: tuple[MonitorEvent, ...]
     probe_effect_free: bool
+    port: str = "port"
 
     @property
     def blocked(self) -> bool:
         return self.observed_run.blocked is not None
+
+    @property
+    def events(self) -> tuple[MonitorEvent, ...]:
+        """Full-instrumentation events for the observed run.
+
+        Rendered lazily: the synthesis loop replays every recording but
+        only reports ever read the listing text.
+        """
+        try:
+            return self._events
+        except AttributeError:
+            events = tuple(events_for_run(self.observed_run, port=self.port))
+            object.__setattr__(self, "_events", events)
+            return events
 
 
 def replay(component: LegacyComponent, recording: Recording, *, port: str = "port") -> ReplayResult:
@@ -60,7 +74,11 @@ def replay(component: LegacyComponent, recording: Recording, *, port: str = "por
         )
     component.reset()
     with component.instrumented(Instrumentation.FULL, live=False):
-        run = Run(component.monitor_state())
+        start = component.monitor_state()
+        # Accumulate steps in a list and build the Run once: extending an
+        # immutable Run per period would copy the prefix every time.
+        steps: list[tuple[Interaction, object]] = []
+        blocked_tail: Interaction | None = None
         for record in recording.steps:
             outcome = component.step(record.inputs)
             if outcome.blocked != record.blocked:
@@ -70,7 +88,7 @@ def replay(component: LegacyComponent, recording: Recording, *, port: str = "por
                     "— the component is not deterministic"
                 )
             if record.blocked:
-                run = run.block(Interaction(record.inputs, record.expected_outputs))
+                blocked_tail = Interaction(record.inputs, record.expected_outputs)
                 break
             if outcome.outputs != record.observed_outputs:
                 raise ReplayError(
@@ -78,12 +96,12 @@ def replay(component: LegacyComponent, recording: Recording, *, port: str = "por
                     f"recorded outputs {sorted(record.observed_outputs)}, replayed "
                     f"{sorted(outcome.outputs)} — the component is not deterministic"
                 )
-            run = run.extend(outcome.interaction, component.monitor_state())
+            steps.append((outcome.interaction, component.monitor_state()))
+        run = Run(start, tuple(steps), blocked=blocked_tail)
         probe_free = not component.probe_effect_active
-    events = tuple(events_for_run(run, port=port))
     return ReplayResult(
         component=component.name,
         observed_run=run,
-        events=events,
         probe_effect_free=probe_free,
+        port=port,
     )

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Run the incremental-loop benchmarks and write ``BENCH_loop.json``.
+
+Drives ``benchmarks/bench_incremental_loop.py`` under pytest-benchmark
+with ``--benchmark-json``, then normalizes the raw report into the
+compact, diffable shape the repository tracks::
+
+    python tools/bench_report.py [--output BENCH_loop.json] [--keep-raw PATH]
+
+The normalized report records, per benchmark: wall-time statistics
+(min/median/mean/stddev, rounds), the synthesis-loop shape (iterations,
+composed product sizes), the engine's work counters (closure groups
+reused/rebuilt, product cache hits/misses, dirty and affected region
+sizes, checker fixpoint work), and — for the comparison benchmark — the
+measured incremental-vs-full speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_incremental_loop.py"
+
+#: Wall-time statistics copied verbatim from pytest-benchmark.
+_STATS = ("min", "max", "mean", "median", "stddev", "rounds", "iterations")
+
+
+def run_benchmarks(raw_path: pathlib.Path) -> None:
+    """Execute the bench module, writing pytest-benchmark's raw JSON."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={raw_path}",
+    ]
+    env_src = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if completed.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {completed.returncode}")
+
+
+def normalize(raw: dict) -> dict:
+    """Flatten the pytest-benchmark report into the tracked shape."""
+    report: dict = {
+        "machine": {
+            "python": raw.get("machine_info", {}).get("python_version"),
+            "cpu": raw.get("machine_info", {}).get("cpu", {}).get("brand_raw"),
+            "system": raw.get("machine_info", {}).get("system"),
+        },
+        "benchmarks": {},
+    }
+    for bench in raw.get("benchmarks", ()):
+        stats = bench.get("stats", {})
+        entry = {
+            "wall_time_seconds": {key: stats.get(key) for key in _STATS},
+            **bench.get("extra_info", {}),
+        }
+        report["benchmarks"][bench["name"]] = entry
+
+    speedup = report["benchmarks"].get("test_incremental_speedup_over_full_recompose")
+    if speedup is not None:
+        report["headline"] = {
+            "speedup_min": speedup.get("speedup_min"),
+            "speedup_median": speedup.get("speedup_median"),
+            "iterations": speedup.get("iterations"),
+            "convoy_ticks": speedup.get("convoy_ticks"),
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_loop.json",
+        help="where to write the normalized report (default: BENCH_loop.json)",
+    )
+    parser.add_argument(
+        "--keep-raw",
+        type=pathlib.Path,
+        default=None,
+        help="also keep pytest-benchmark's raw JSON at this path",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = args.keep_raw or pathlib.Path(tmp) / "bench_raw.json"
+        run_benchmarks(raw_path)
+        raw = json.loads(raw_path.read_text())
+
+    report = normalize(raw)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    headline = report.get("headline", {})
+    if headline.get("speedup_min") is not None:
+        print(
+            f"wrote {args.output}: incremental speedup "
+            f"{headline['speedup_min']:.2f}x (min) / {headline['speedup_median']:.2f}x (median) "
+            f"over {headline['iterations']} loop iterations"
+        )
+    else:
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()
