@@ -47,6 +47,7 @@ def _run_railcab(args: argparse.Namespace) -> int:
         labeler=railcab.rear_state_labeler,
         counterexamples_per_iteration=args.counterexamples,
         port="rearRole",
+        parallelism=args.parallelism,
     )
     result = synthesizer.run()
     print(summarize(result))
@@ -86,6 +87,7 @@ def _run_multi(args: argparse.Namespace) -> int:
             "frontShuttle": railcab.front_state_labeler,
             "rearShuttle": railcab.rear_state_labeler,
         },
+        parallelism=args.parallelism,
     )
     result = synthesizer.run()
     print(f"verdict: {result.verdict.value}")
@@ -144,10 +146,20 @@ def main(argv: list[str] | None = None) -> int:
         "--report", metavar="PATH", default=None,
         help="write a markdown integration report to PATH",
     )
+    railcab_parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="K",
+        help="shard the product re-exploration across K shards "
+        "(default: $REPRO_PARALLELISM or 1; results are identical)",
+    )
     railcab_parser.set_defaults(handler=_run_railcab)
 
     multi_parser = subparsers.add_parser("multi", help="two legacy shuttles (§7 extension)")
     multi_parser.add_argument("--front", choices=sorted(FRONTS), default="correct")
+    multi_parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="K",
+        help="shard the product re-exploration across K shards "
+        "(default: $REPRO_PARALLELISM or 1; results are identical)",
+    )
     multi_parser.set_defaults(handler=_run_multi)
 
     compare_parser = subparsers.add_parser("compare", help="ours vs L* query counts")

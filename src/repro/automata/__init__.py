@@ -50,6 +50,15 @@ from .refinement import (
     simulation_relation,
 )
 from .runs import Run, Trace, enumerate_runs, enumerate_traces, run_of_transitions
+from .sharding import (
+    PARALLELISM_ENV,
+    ShardReport,
+    WorkerPool,
+    get_pool,
+    resolve_parallelism,
+    select_strategy,
+    shard_of,
+)
 from .transform import complete, hide, minimize, rename_signals, restrict
 
 __all__ = [
@@ -97,6 +106,13 @@ __all__ = [
     "IncrementalVerifier",
     "ProductUpdate",
     "VerificationStep",
+    "PARALLELISM_ENV",
+    "ShardReport",
+    "WorkerPool",
+    "get_pool",
+    "resolve_parallelism",
+    "select_strategy",
+    "shard_of",
     "is_chaos_state",
     "closure_base_state",
     "run_stays_in_learned_part",

@@ -286,11 +286,30 @@ class Automaton:
         if cached is None:
             # Assembled automata store per-source slices of the canonical
             # order; concatenating them by source repr restores it.
-            cached = tuple(
-                transition
-                for source in sorted(self._by_source, key=repr)
-                for transition in self._by_source[source]
-            )
+            # Distinct sources can share a repr, and breaking such a tie
+            # by dict insertion order would leak construction history
+            # (e.g. sequential vs. sharded exploration) into the
+            # canonical order — so tied groups are merged and re-sorted
+            # by the full transition key instead.
+            sources = sorted(self._by_source, key=repr)
+            pieces: list[Transition] = []
+            index = 0
+            while index < len(sources):
+                end = index + 1
+                key = repr(sources[index])
+                while end < len(sources) and repr(sources[end]) == key:
+                    end += 1
+                if end == index + 1:
+                    pieces.extend(self._by_source[sources[index]])
+                else:
+                    pieces.extend(
+                        sorted(
+                            (t for s in sources[index:end] for t in self._by_source[s]),
+                            key=Transition.sort_key,
+                        )
+                    )
+                index = end
+            cached = tuple(pieces)
             self._ordered = cached
         return cached
 

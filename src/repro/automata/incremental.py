@@ -24,7 +24,11 @@ across iterations:
     :func:`~repro.automata.composition.compose` /
     :func:`~repro.automata.composition.compose_all` exactly — which the
     optional ``validate`` mode re-checks against a full recompose,
-    falling back to the from-scratch result on any mismatch.
+    falling back to the from-scratch result on any mismatch.  With
+    ``parallelism=K`` the re-exploration is sharded by a stable
+    joint-state hash and run on a reusable worker pool (see
+    :mod:`repro.automata.sharding`); the merged result is bit-identical
+    to the sequential exploration for every ``K``.
 
 :class:`IncrementalVerifier`
     Ties both together with the model checker's warm start
@@ -63,6 +67,16 @@ from .chaos import (
 from .composition import Semantics, compose, compose_all, composable
 from .incomplete import IncompleteAutomaton
 from .interaction import InteractionUniverse
+from .sharding import (
+    SEQUENTIAL_WORKLOAD_FLOOR,
+    ShardReport,
+    WorkerPool,
+    check_strategy,
+    get_pool,
+    resolve_parallelism,
+    select_strategy,
+    shard_of,
+)
 
 __all__ = [
     "ClosureUpdate",
@@ -72,6 +86,10 @@ __all__ = [
     "VerificationStep",
     "IncrementalVerifier",
 ]
+
+#: Below this many dirty closure groups, the cache rebuilds inline even
+#: when a worker pool is available (pool dispatch would dominate).
+_CLOSURE_PARALLEL_FLOOR = 16
 
 
 # --------------------------------------------------------------------- closure
@@ -102,9 +120,15 @@ class ClosureCache:
         universe: InteractionUniverse,
         *,
         deterministic_implementation: bool = True,
+        parallelism: int | None = None,
+        strategy: str | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.universe = universe
         self.deterministic_implementation = deterministic_implementation
+        self.parallelism = resolve_parallelism(parallelism)
+        self.strategy = check_strategy(strategy)
+        self._pool = pool if pool is not None else get_pool()
         self._core = tuple(sorted(chaotic_core_transitions(universe), key=Transition.sort_key))
         #: per closure-source-state outgoing transitions, each slice sorted
         #: by :meth:`Transition.sort_key` (canonical per-source order).
@@ -120,6 +144,35 @@ class ClosureCache:
             incomplete.labels(state),
         )
 
+    def _derive_groups(
+        self, incomplete: IncompleteAutomaton, dirty_bases: Sequence[State]
+    ) -> "list[tuple[Transition, ...]]":
+        """Re-derive the closure groups of the dirty bases, in order.
+
+        Group derivation is a pure function of one base state's local
+        knowledge, so a large dirty report (e.g. warm-started knowledge,
+        or the first update of a run) can fan out over the shared worker
+        pool; ``map`` preserves task order, so the result is independent
+        of scheduling.  Small reports rebuild inline — the common case
+        after a single learning step is one or two dirty groups.
+        """
+        derive = lambda state: closure_state_transitions(  # noqa: E731
+            incomplete,
+            self.universe,
+            state,
+            deterministic_implementation=self.deterministic_implementation,
+        )
+        strategy = self.strategy
+        if strategy is None:
+            strategy = (
+                "thread"
+                if self.parallelism > 1 and len(dirty_bases) >= _CLOSURE_PARALLEL_FLOOR
+                else "sequential"
+            )
+        if strategy != "thread":  # closures are cheap: never worth pickling
+            strategy = "sequential"
+        return self._pool.map(strategy, derive, list(dirty_bases), workers=self.parallelism)
+
     def update(self, incomplete: IncompleteAutomaton, *, name: str | None = None) -> ClosureUpdate:
         if (
             self.universe.inputs != incomplete.inputs
@@ -132,21 +185,23 @@ class ClosureCache:
                 f"O={sorted(incomplete.outputs)})"
             )
         base_states = incomplete.states
+        # Canonical base order: a frozenset's iteration order varies with
+        # the hash seed, and letting it pick the ``by_source`` insertion
+        # order would make assembled automata differ structurally from
+        # run to run (the ordering bug class audited in
+        # ``tests/test_product_sharding.py``).
+        ordered_bases = sorted(base_states, key=repr)
         dirty_bases: list[State] = []
         reused = 0
-        for state in base_states:
+        for state in ordered_bases:
             signature = self._signature(incomplete, state)
             if self._signatures.get(state) == signature:
                 reused += 1
                 continue
             dirty_bases.append(state)
             self._signatures[state] = signature
-            group = closure_state_transitions(
-                incomplete,
-                self.universe,
-                state,
-                deterministic_implementation=self.deterministic_implementation,
-            )
+        rebuild = self._derive_groups(incomplete, dirty_bases)
+        for state, group in zip(dirty_bases, rebuild):
             per_source: dict[State, list[Transition]] = {}
             for transition in group:
                 per_source.setdefault(transition.source, []).append(transition)
@@ -164,20 +219,20 @@ class ClosureCache:
         if self._previous_initial is not None and initial != self._previous_initial:
             # Initial-state changes don't alter any state's edges, but be
             # conservative: treat every doubled initial state as dirty.
-            dirty_bases.extend(initial | self._previous_initial)
+            dirty_bases.extend(sorted(initial | self._previous_initial, key=repr))
         self._previous_initial = initial
 
         by_source: dict[State, tuple[Transition, ...]] = {}
         count = 0
-        for state in base_states:
+        for state in ordered_bases:
             by_source.update(self._groups[state])
             count += self._group_sizes[state]
         by_source[S_ALL] = self._core
         count += len(self._core)
-        states: list[State] = [ClosureState(s, tag) for s in base_states for tag in (False, True)]
+        states: list[State] = [ClosureState(s, tag) for s in ordered_bases for tag in (False, True)]
         states.extend([S_ALL, S_DELTA])
         labels: dict[State, frozenset[str]] = {
-            ClosureState(s, tag): incomplete.labels(s) for s in base_states for tag in (False, True)
+            ClosureState(s, tag): incomplete.labels(s) for s in ordered_bases for tag in (False, True)
         }
         labels[S_ALL] = frozenset({CHAOS_PROPOSITION})
         labels[S_DELTA] = frozenset({CHAOS_PROPOSITION})
@@ -214,6 +269,143 @@ class ProductUpdate:
     hits: int
     misses: int
     fell_back: bool
+    #: merged per-shard dirty reports (one entry per shard, in shard order)
+    shards: tuple[ShardReport, ...] = ()
+
+
+def _joint_edges(
+    joint: tuple,
+    components: Sequence[Automaton],
+    in_prefix: Sequence[frozenset[str]],
+    out_prefix: Sequence[frozenset[str]],
+    strict: bool,
+) -> tuple[tuple[Transition, ...], tuple]:
+    """The outgoing product edges of one joint state, by left fold.
+
+    Reproduces ``compose``'s matching per fold step: the accumulated
+    prefix plays "first" with the *static* union alphabets
+    ``in_prefix[k]``/``out_prefix[k]``, component ``k`` plays "second".
+    A pure function of its arguments — shard workers (threads or forked
+    processes) call it without any shared mutable state.
+    """
+    acc: list[tuple] = [
+        (t.interaction, (t.target,)) for t in components[0].transitions_from(joint[0])
+    ]
+    for k in range(1, len(components)):
+        component = components[k]
+        comp_in, comp_out = component.inputs, component.outputs
+        pref_in, pref_out = in_prefix[k], out_prefix[k]
+        merged: list[tuple] = []
+        for interaction, targets in acc:
+            a, b = interaction.inputs, interaction.outputs
+            for t in component.transitions_from(joint[k]):
+                a2, b2 = t.interaction.inputs, t.interaction.outputs
+                if strict:
+                    if (a & comp_out) != b2 or (a2 & pref_out) != b:
+                        continue
+                else:
+                    if (a & comp_out) != (b2 & pref_in) or (a2 & pref_out) != (b & comp_in):
+                        continue
+                merged.append((interaction.union(t.interaction), (*targets, t.target)))
+        acc = merged
+    edges = sorted(
+        {Transition(joint, interaction, targets) for interaction, targets in acc},
+        key=Transition.sort_key,
+    )
+    targets = tuple(dict.fromkeys(edge.target for edge in edges))
+    return tuple(edges), targets
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's work for one handoff round (picklable for processes)."""
+
+    shard: int
+    shards: int
+    frontier: tuple
+    visited: frozenset  #: own-shard joints already claimed (frontier included)
+    components: tuple
+    in_prefix: tuple
+    out_prefix: tuple
+    strict: bool
+    cache: dict  #: read-only view of the edge cache (own-shard slice suffices)
+
+
+@dataclass(frozen=True)
+class _ShardDelta:
+    """What one shard's local BFS produced in one handoff round."""
+
+    shard: int
+    states_explored: int
+    by_source: dict
+    labels: dict
+    new_entries: dict  #: joint -> (edges, targets, label) recomputed this round
+    claimed: tuple  #: own-shard joints first reached during this round
+    handoffs: tuple  #: cross-shard targets, in discovery order
+    hits: int
+    misses: int
+
+
+def _explore_shard(task: _ShardTask) -> _ShardDelta:
+    """Run one shard's local BFS to exhaustion within its own shard.
+
+    The worker owns every joint state whose stable hash maps to its
+    shard: it explores those states (reusing cached edges where present,
+    re-deriving the rest), follows own-shard targets immediately, and
+    emits every cross-shard target as a handoff for the merge step.
+    Because each joint state is explored by exactly one shard, the
+    per-state results — edges, labels, hit/miss classification — are
+    identical to the sequential exploration regardless of shard count or
+    scheduling order.
+    """
+    shard, shards = task.shard, task.shards
+    cache = task.cache
+    components = task.components
+    in_prefix, out_prefix, strict = task.in_prefix, task.out_prefix, task.strict
+    visited = set(task.visited)
+    queue = list(task.frontier)
+    by_source: dict[State, tuple[Transition, ...]] = {}
+    labels: dict[State, frozenset[str]] = {}
+    new_entries: dict = {}
+    claimed: list = []
+    handoffs: list = []
+    explored = hits = misses = 0
+    while queue:
+        joint = queue.pop()
+        explored += 1
+        entry = cache.get(joint)
+        if entry is None:
+            edges, targets = _joint_edges(joint, components, in_prefix, out_prefix, strict)
+            label = frozenset().union(
+                *(c.labels(local) for c, local in zip(components, joint))
+            )
+            entry = (edges, targets, label)
+            new_entries[joint] = entry
+            misses += 1
+        else:
+            edges, targets, label = entry
+            hits += 1
+        if edges:
+            by_source[joint] = edges
+        labels[joint] = label
+        for target in targets:
+            if shards > 1 and shard_of(target, shards) != shard:
+                handoffs.append(target)
+            elif target not in visited:
+                visited.add(target)
+                claimed.append(target)
+                queue.append(target)
+    return _ShardDelta(
+        shard=shard,
+        states_explored=explored,
+        by_source=by_source,
+        labels=labels,
+        new_entries=new_entries,
+        claimed=tuple(claimed),
+        handoffs=tuple(handoffs),
+        hits=hits,
+        misses=misses,
+    )
 
 
 class IncrementalProduct:
@@ -230,14 +422,39 @@ class IncrementalProduct:
     With ``validate=True`` every update is cross-checked against a full
     recompose; a mismatch (which would indicate a bug in the fold) makes
     the product adopt the from-scratch result and flush its cache.
+
+    With ``parallelism=K > 1`` the re-exploration is split into ``K``
+    shards keyed by the stable joint-state hash of
+    :func:`~repro.automata.sharding.shard_of`.  Each shard runs its own
+    local BFS with a private frontier, visited set, and edge-delta maps;
+    cross-shard target discoveries are handed off between rounds and the
+    loop continues until a global fixpoint (no shard holds a frontier).
+    Shard workers execute on a reusable worker pool — inline for tiny
+    dirty regions, threads for ordinary workloads, forked processes for
+    very large ones (``strategy=`` forces one).  Deltas are merged in
+    shard order and every per-state result is computed by exactly one
+    owner shard, so the merged product — and every counter except the
+    per-shard breakdown — is bit-identical to the sequential exploration
+    for every shard count, strategy, and scheduling order.
     """
 
-    def __init__(self, *, semantics: Semantics = "strict", validate: bool = False):
+    def __init__(
+        self,
+        *,
+        semantics: Semantics = "strict",
+        validate: bool = False,
+        parallelism: int | None = None,
+        strategy: str | None = None,
+        pool: WorkerPool | None = None,
+    ):
         if semantics not in ("strict", "open"):
             raise CompositionError(f"unknown composition semantics {semantics!r}")
         self.semantics: Semantics = semantics
         self.validate = validate
+        self.parallelism = resolve_parallelism(parallelism)
+        self.strategy = check_strategy(strategy)
         self.fallbacks = 0
+        self._pool = pool if pool is not None else get_pool()
         #: joint state -> (sorted outgoing edges, unique targets, labels)
         self._cache: dict[tuple, tuple[tuple[Transition, ...], tuple, frozenset[str]]] = {}
         self._arity: int | None = None
@@ -252,47 +469,25 @@ class IncrementalProduct:
                         f"shared outputs {sorted(left.outputs & right.outputs)}"
                     )
 
-    def _joint_edges(
-        self,
-        joint: tuple,
-        components: Sequence[Automaton],
-        in_prefix: Sequence[frozenset[str]],
-        out_prefix: Sequence[frozenset[str]],
-    ) -> tuple[tuple[Transition, ...], tuple]:
-        """The outgoing product edges of one joint state, by left fold.
+    def _select_strategy(self, stale: int, initial: int) -> str:
+        """Pick an execution strategy from the estimated re-exploration.
 
-        Reproduces ``compose``'s matching per fold step: the accumulated
-        prefix plays "first" with the *static* union alphabets
-        ``in_prefix[k]``/``out_prefix[k]``, component ``k`` plays
-        "second".
+        The workload is what the BFS will have to *recompute*: the
+        invalidated cache entries plus the initial frontier on warm
+        updates, or (capped) the full joint state-space bound on the
+        first exploration of an empty cache.
         """
-        strict = self.semantics == "strict"
-        acc: list[tuple] = [
-            (t.interaction, (t.target,)) for t in components[0].transitions_from(joint[0])
-        ]
-        for k in range(1, len(components)):
-            component = components[k]
-            comp_in, comp_out = component.inputs, component.outputs
-            pref_in, pref_out = in_prefix[k], out_prefix[k]
-            merged: list[tuple] = []
-            for interaction, targets in acc:
-                a, b = interaction.inputs, interaction.outputs
-                for t in component.transitions_from(joint[k]):
-                    a2, b2 = t.interaction.inputs, t.interaction.outputs
-                    if strict:
-                        if (a & comp_out) != b2 or (a2 & pref_out) != b:
-                            continue
-                    else:
-                        if (a & comp_out) != (b2 & pref_in) or (a2 & pref_out) != (b & comp_in):
-                            continue
-                    merged.append((interaction.union(t.interaction), (*targets, t.target)))
-            acc = merged
-        edges = sorted(
-            {Transition(joint, interaction, targets) for interaction, targets in acc},
-            key=Transition.sort_key,
-        )
-        targets = tuple(dict.fromkeys(edge.target for edge in edges))
-        return tuple(edges), targets
+        if self.strategy is not None:
+            return self.strategy if self.parallelism > 1 else "sequential"
+        if self._cache:
+            workload = stale + initial
+        else:
+            workload = 1
+            for size in self._component_sizes:
+                workload *= max(size, 1)
+                if workload > 10 * SEQUENTIAL_WORKLOAD_FLOOR:
+                    break  # already clearly past every threshold we care about
+        return select_strategy(workload, self.parallelism)
 
     def update(
         self,
@@ -315,12 +510,14 @@ class IncrementalProduct:
         self._check_composable(components)
 
         dirty_sets = [frozenset(d) for d in dirty_locals]
+        stale_count = 0
         if any(dirty_sets):
             stale = [
                 joint
                 for joint in self._cache
                 if any(joint[k] in dirty_sets[k] for k in range(len(dirty_sets)))
             ]
+            stale_count = len(stale)
             for joint in stale:
                 del self._cache[joint]
 
@@ -331,37 +528,19 @@ class IncrementalProduct:
             out_prefix.append(out_prefix[-1] | component.outputs)
 
         initial = [tuple(combo) for combo in iproduct(*(sorted(c.initial, key=repr) for c in components))]
-        seen: set[tuple] = set(initial)
-        queue: list[tuple] = list(initial)
-        by_source: dict[State, tuple[Transition, ...]] = {}
-        labels: dict[State, frozenset[str]] = {}
-        count = 0
-        hits = misses = 0
-        dirty_joints: set[State] = set()
-        cache = self._cache
-        while queue:
-            joint = queue.pop()
-            entry = cache.get(joint)
-            if entry is None:
-                edges, targets = self._joint_edges(joint, components, in_prefix, out_prefix)
-                label = frozenset().union(
-                    *(c.labels(local) for c, local in zip(components, joint))
-                )
-                entry = (edges, targets, label)
-                cache[joint] = entry
-                misses += 1
-                dirty_joints.add(joint)
-            else:
-                edges, targets, label = entry
-                hits += 1
-            if edges:
-                by_source[joint] = edges
-                count += len(edges)
-            labels[joint] = label
-            for target in targets:
-                if target not in seen:
-                    seen.add(target)
-                    queue.append(target)
+        self._component_sizes = [len(c.states) for c in components]
+        strategy = self._select_strategy(stale_count, len(initial))
+        shards = self.parallelism
+        strict = self.semantics == "strict"
+
+        seen, by_source, labels, count, reports = self._explore(
+            components, initial, in_prefix, out_prefix, strict, shards, strategy
+        )
+        hits = sum(report.hits for report in reports)
+        misses = sum(report.misses for report in reports)
+        dirty_joints: frozenset[State] = frozenset().union(
+            *(report.dirty_states for report in reports)
+        )
 
         inputs = frozenset().union(*(c.inputs for c in components))
         outputs = frozenset().union(*(c.outputs for c in components))
@@ -383,19 +562,137 @@ class IncrementalProduct:
                 fell_back = True
                 self._cache.clear()
                 automaton = reference
-                dirty_joints = set(reference.states)
+                dirty_joints = frozenset(reference.states)
         return ProductUpdate(
             automaton=automaton,
-            dirty_states=frozenset(dirty_joints),
+            dirty_states=dirty_joints,
             hits=hits,
             misses=misses,
             fell_back=fell_back,
+            shards=reports,
         )
 
+    def _explore(
+        self,
+        components: list[Automaton],
+        initial: list[tuple],
+        in_prefix: list[frozenset[str]],
+        out_prefix: list[frozenset[str]],
+        strict: bool,
+        shards: int,
+        strategy: str,
+    ) -> tuple[set, dict, dict, int, tuple[ShardReport, ...]]:
+        """Sharded BFS to the global fixpoint; merge deltas in shard order."""
+        cache = self._cache
+        visited: list[set] = [set() for _ in range(shards)]
+        frontiers: list[list] = [[] for _ in range(shards)]
+        for joint in initial:
+            k = shard_of(joint, shards)
+            if joint not in visited[k]:
+                visited[k].add(joint)
+                frontiers[k].append(joint)
+
+        # Forked processes cannot see the parent's cache, so ship each
+        # worker its own shard's slice; threads and inline workers read
+        # the shared dict directly (it is only written between rounds).
+        if strategy == "process" and shards > 1:
+            slices: list[dict] = [{} for _ in range(shards)]
+            for joint, entry in cache.items():
+                slices[shard_of(joint, shards)][joint] = entry
+        else:
+            slices = [cache] * shards
+
+        by_source: dict[State, tuple[Transition, ...]] = {}
+        labels: dict[State, frozenset[str]] = {}
+        count = 0
+        explored = [0] * shards
+        hits = [0] * shards
+        misses = [0] * shards
+        handoffs = [0] * shards
+        conflicts = [0] * shards
+        dirty: list[set] = [set() for _ in range(shards)]
+        adopt = shards == 1  # single shard: adopt the delta maps wholesale
+
+        components_tuple = tuple(components)
+        in_prefix_tuple = tuple(in_prefix)
+        out_prefix_tuple = tuple(out_prefix)
+        while any(frontiers):
+            tasks = [
+                _ShardTask(
+                    shard=k,
+                    shards=shards,
+                    frontier=tuple(frontiers[k]),
+                    visited=frozenset(visited[k]) if strategy == "process" else visited[k],
+                    components=components_tuple,
+                    in_prefix=in_prefix_tuple,
+                    out_prefix=out_prefix_tuple,
+                    strict=strict,
+                    cache=slices[k],
+                )
+                for k in range(shards)
+                if frontiers[k]
+            ]
+            deltas = self._pool.map(strategy, _explore_shard, tasks, workers=shards)
+            # Merge in shard order (map preserves task order): each joint
+            # state is owned by exactly one shard, so the merged maps are
+            # conflict-free and their contents scheduling-independent.
+            for delta in deltas:
+                k = delta.shard
+                cache.update(delta.new_entries)
+                if slices[k] is not cache:
+                    slices[k].update(delta.new_entries)
+                if adopt and not by_source:
+                    by_source = delta.by_source
+                    labels = delta.labels
+                else:
+                    by_source.update(delta.by_source)
+                    labels.update(delta.labels)
+                count += sum(len(edges) for edges in delta.by_source.values())
+                visited[k].update(delta.claimed)
+                dirty[k].update(delta.new_entries)
+                explored[k] += delta.states_explored
+                hits[k] += delta.hits
+                misses[k] += delta.misses
+                handoffs[k] += len(delta.handoffs)
+            next_frontiers: list[list] = [[] for _ in range(shards)]
+            for delta in deltas:
+                for target in delta.handoffs:
+                    k2 = shard_of(target, shards)
+                    if target in visited[k2]:
+                        conflicts[k2] += 1
+                    else:
+                        visited[k2].add(target)
+                        next_frontiers[k2].append(target)
+            frontiers = next_frontiers
+
+        seen: set = set().union(*visited) if shards > 1 else visited[0]
+        reports = tuple(
+            ShardReport(
+                shard=k,
+                states_explored=explored[k],
+                hits=hits[k],
+                misses=misses[k],
+                handoffs=handoffs[k],
+                merge_conflicts=conflicts[k],
+                dirty_states=frozenset(dirty[k]),
+            )
+            for k in range(shards)
+        )
+        return seen, by_source, labels, count, reports
+
     def _full_recompose(self, components: Sequence[Automaton], *, name: str) -> Automaton:
+        # parallelism=1 pins the reference to the sequential from-scratch
+        # fold: the validate cross-check must stay independent of the
+        # sharded machinery (and of REPRO_PARALLELISM) to catch bugs in it.
         if len(components) == 2:
-            return compose(components[0], components[1], semantics=self.semantics, name=name)
-        return compose_all(components, semantics=self.semantics, name=name)
+            return compose(
+                components[0],
+                components[1],
+                semantics=self.semantics,
+                name=name,
+                parallelism=1,
+            )
+        return compose_all(components, semantics=self.semantics, name=name, parallelism=1)
 
 
 # -------------------------------------------------------------------- verifier
@@ -412,6 +709,14 @@ class StepStats:
     dirty_states: int = 0
     affected_states: int = 0
     fell_back: bool = False
+    #: shard count of the product exploration (0 when no product ran)
+    product_shards: int = 0
+    #: joint states explored per shard, in shard order
+    shard_states_explored: tuple[int, ...] = ()
+    #: cross-shard frontier handoffs emitted, summed over shards
+    shard_handoffs: int = 0
+    #: handoffs that arrived at an already-claimed target, summed over shards
+    shard_merge_conflicts: int = 0
 
 
 @dataclass(frozen=True)
@@ -443,17 +748,32 @@ class IncrementalVerifier:
         semantics: Semantics = "strict",
         deterministic_implementation: bool = True,
         validate: bool = False,
+        parallelism: int | None = None,
+        strategy: str | None = None,
     ):
         if not universes:
             raise ModelError("IncrementalVerifier needs at least one legacy universe")
         self.context = context
+        self.parallelism = resolve_parallelism(parallelism)
         self._closure_caches = [
-            ClosureCache(universe, deterministic_implementation=deterministic_implementation)
+            ClosureCache(
+                universe,
+                deterministic_implementation=deterministic_implementation,
+                parallelism=self.parallelism,
+                strategy=strategy,
+            )
             for universe in universes
         ]
         arity = (1 if context is not None else 0) + len(universes)
         self._product = (
-            IncrementalProduct(semantics=semantics, validate=validate) if arity > 1 else None
+            IncrementalProduct(
+                semantics=semantics,
+                validate=validate,
+                parallelism=self.parallelism,
+                strategy=strategy,
+            )
+            if arity > 1
+            else None
         )
         self._checker: "ModelChecker | None" = None
 
@@ -497,6 +817,14 @@ class IncrementalVerifier:
             stats.product_hits = product.hits
             stats.product_misses = product.misses
             stats.fell_back = product.fell_back
+            stats.product_shards = len(product.shards)
+            stats.shard_states_explored = tuple(
+                report.states_explored for report in product.shards
+            )
+            stats.shard_handoffs = sum(report.handoffs for report in product.shards)
+            stats.shard_merge_conflicts = sum(
+                report.merge_conflicts for report in product.shards
+            )
 
         stats.dirty_states = len(dirty)
         checker = ModelChecker(composed, warm_from=self._checker, dirty_states=dirty)

@@ -1,0 +1,225 @@
+"""Sharded parallel exploration support for the product BFS.
+
+The incremental product (:class:`~repro.automata.incremental.IncrementalProduct`)
+re-explores the synchronous product from its initial joint states after
+every learning step.  This module provides the machinery to split that
+BFS into ``K`` shards keyed by a *stable* joint-state hash:
+
+:func:`shard_of`
+    Deterministic shard assignment.  ``hash()`` is salted per process
+    (``PYTHONHASHSEED``), so the shard of a joint state is derived from
+    the CRC-32 of its ``repr`` — the same canonical string that keys
+    every deterministic sort in the pipeline.  The assignment is
+    therefore identical across processes, hash seeds, and runs.
+
+:func:`select_strategy`
+    Picks how the shard workers execute: inline (``sequential``) for a
+    single shard or a tiny dirty region, a shared thread pool for
+    ordinary workloads, and a forked process pool for very large
+    re-explorations where per-shard pickling is amortised.  A forced
+    strategy can be passed through the ``strategy=`` knobs instead.
+
+:class:`WorkerPool`
+    A lazily created, reusable pool of executors.  One process-wide
+    instance (:func:`get_pool`) backs every product and closure cache,
+    so repeated updates never pay executor start-up costs twice.
+
+:class:`ShardReport`
+    The per-shard dirty report of one product update: states explored,
+    cache hits/misses, cross-shard frontier handoffs, merge conflicts,
+    and the shard's dirty (re-built) joint states.  The verifier merges
+    these reports — the union of the dirty sets seeds the warm model
+    checker — and surfaces the counters on ``IterationRecord``.
+
+Everything here is deliberately *scheduling-insensitive*: shard
+assignment, exploration, and merge order are all derived from canonical
+state order, so the merged product is bit-identical to the sequential
+exploration for every shard count and every execution strategy.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import zlib
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Literal, Sequence, TypeVar
+
+from ..errors import CompositionError
+
+__all__ = [
+    "PARALLELISM_ENV",
+    "SEQUENTIAL_WORKLOAD_FLOOR",
+    "PROCESS_WORKLOAD_FLOOR",
+    "Strategy",
+    "ShardReport",
+    "WorkerPool",
+    "get_pool",
+    "resolve_parallelism",
+    "select_strategy",
+    "shard_of",
+]
+
+#: Environment variable consulted when a ``parallelism=`` knob is left
+#: at ``None`` — lets CI run the whole suite sharded without touching
+#: call sites.
+PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+#: Below this many (estimated) joint states to re-explore, shard workers
+#: run inline: the dirty region of a single learning step is usually a
+#: handful of states, and pool dispatch would dominate.
+SEQUENTIAL_WORKLOAD_FLOOR = 64
+
+#: Above this many (estimated) joint states, a forked process pool is
+#: used (where ``fork`` is available): the exploration work then dwarfs
+#: the per-shard pickling of components and cache slices.
+PROCESS_WORKLOAD_FLOOR = 200_000
+
+Strategy = Literal["sequential", "thread", "process"]
+
+_STRATEGIES = ("sequential", "thread", "process")
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_parallelism(value: int | None) -> int:
+    """Normalize a ``parallelism=`` knob: ``None`` defers to the environment."""
+    if value is None:
+        raw = os.environ.get(PARALLELISM_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            value = int(raw)
+        except ValueError:
+            raise CompositionError(
+                f"{PARALLELISM_ENV} must be a positive integer, got {raw!r}"
+            ) from None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise CompositionError(f"parallelism must be a positive integer, got {value!r}")
+    return value
+
+
+def check_strategy(strategy: str | None) -> str | None:
+    """Validate a forced strategy knob (``None`` means automatic)."""
+    if strategy is not None and strategy not in _STRATEGIES:
+        raise CompositionError(
+            f"unknown sharding strategy {strategy!r}; expected one of {_STRATEGIES}"
+        )
+    return strategy
+
+
+def shard_of(state: object, shards: int) -> int:
+    """The owning shard of a joint state, stable across processes and seeds.
+
+    Derived from the CRC-32 of ``repr(state)`` rather than ``hash()``:
+    the built-in hash of strings (and hence of tuples containing them)
+    is salted per process, which would make shard assignment — and with
+    it every per-shard counter — irreproducible.
+    """
+    if shards == 1:
+        return 0
+    return zlib.crc32(repr(state).encode("utf-8", "backslashreplace")) % shards
+
+
+def _fork_available() -> bool:
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def select_strategy(workload: int, parallelism: int) -> Strategy:
+    """Pick an execution strategy from the estimated re-exploration size."""
+    if parallelism <= 1 or workload < SEQUENTIAL_WORKLOAD_FLOOR:
+        return "sequential"
+    if workload >= PROCESS_WORKLOAD_FLOOR and _fork_available():
+        return "process"
+    return "thread"
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Dirty report of one shard of one product update."""
+
+    shard: int  #: shard index in ``range(parallelism)``
+    states_explored: int  #: joint states popped from this shard's frontier
+    hits: int  #: explored states whose cached edges were reused
+    misses: int  #: explored states whose edges were re-derived
+    handoffs: int  #: cross-shard target discoveries emitted by this shard
+    merge_conflicts: int  #: handoffs addressed to this shard that were already claimed
+    dirty_states: frozenset  #: the joint states this shard re-built (checker seeds)
+
+
+class WorkerPool:
+    """Reusable executors behind the sharded exploration.
+
+    Executors are created lazily per strategy and grown (re-created)
+    when a caller asks for more workers than the current pool holds;
+    they are shared by every product and closure cache in the process so
+    repeated updates never pay start-up costs.  ``map`` preserves task
+    order, which the merge protocol relies on for determinism.
+    """
+
+    def __init__(self) -> None:
+        self._executors: dict[str, tuple[int, Executor]] = {}
+
+    def _executor(self, strategy: str, workers: int) -> Executor:
+        current = self._executors.get(strategy)
+        if current is not None and current[0] >= workers:
+            return current[1]
+        if current is not None:
+            current[1].shutdown(wait=True)
+        if strategy == "thread":
+            executor: Executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-shard"
+            )
+        elif strategy == "process":
+            import multiprocessing
+
+            executor = ProcessPoolExecutor(
+                max_workers=workers, mp_context=multiprocessing.get_context("fork")
+            )
+        else:  # pragma: no cover - guarded by map()
+            raise CompositionError(f"no executor for strategy {strategy!r}")
+        self._executors[strategy] = (workers, executor)
+        return executor
+
+    def map(
+        self,
+        strategy: str,
+        function: Callable[[_T], _R],
+        tasks: Sequence[_T],
+        *,
+        workers: int,
+    ) -> list[_R]:
+        """Run ``function`` over ``tasks``, returning results in task order."""
+        if strategy == "sequential" or len(tasks) <= 1:
+            return [function(task) for task in tasks]
+        executor = self._executor(strategy, workers)
+        return list(executor.map(function, tasks))
+
+    def shutdown(self) -> None:
+        for _, executor in self._executors.values():
+            executor.shutdown(wait=False, cancel_futures=True)
+        self._executors.clear()
+
+
+_POOL = WorkerPool()
+atexit.register(_POOL.shutdown)
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide worker pool shared by all sharded explorations."""
+    return _POOL
+
+
+def partition(items: Iterable[_T], shards: int) -> list[list[_T]]:
+    """Split items into per-shard lists by :func:`shard_of`, order-preserving."""
+    buckets: list[list[_T]] = [[] for _ in range(shards)]
+    for item in items:
+        buckets[shard_of(item, shards)].append(item)
+    return buckets

@@ -108,12 +108,15 @@ def integrate(
     system_properties: "list[Formula] | tuple[Formula, ...]" = (),
     max_iterations: int = 500,
     counterexamples_per_iteration: int = 1,
+    parallelism: int | None = None,
 ) -> IntegrationReport:
     """Verify the modeled part, then integrate every legacy placement.
 
     ``components`` maps legacy placement names to their executable
     harnesses; placements without a component are reported (and fail
-    the report) rather than silently skipped.
+    the report) rather than silently skipped.  ``parallelism`` shards
+    every product re-exploration (see :mod:`repro.automata.sharding`);
+    verdicts and learned models are bit-identical for every value.
     """
     labelers = labelers or {}
     universes = universes or {}
@@ -155,6 +158,7 @@ def integrate(
                     if name in labelers
                 },
                 max_iterations=max_iterations,
+                parallelism=parallelism,
             ).run()
         return IntegrationReport(
             architecture=architecture_report,
@@ -189,6 +193,7 @@ def integrate(
             max_iterations=max_iterations,
             counterexamples_per_iteration=counterexamples_per_iteration,
             port=name,
+            parallelism=parallelism,
         )
         placements[name] = synthesizer.run()
 

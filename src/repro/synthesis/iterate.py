@@ -108,6 +108,14 @@ class IterationRecord:
     #: Worklist operations the checker spent on this iteration's fixpoints
     #: (populated on both paths; warm starts should show less work).
     checker_fixpoint_work: int = 0
+    # Sharded-exploration counters (zero/empty when no product ran or
+    # when ``incremental=False``).  The per-shard breakdown depends on
+    # the shard count, but its sums are scheduling-independent:
+    # ``sum(shard_states_explored) == product_hits + product_misses``.
+    product_shards: int = 0
+    shard_states_explored: tuple[int, ...] = ()
+    shard_handoffs: int = 0
+    shard_merge_conflicts: int = 0
 
 
 @dataclass(frozen=True)
@@ -235,6 +243,14 @@ class IntegrationSynthesizer:
         :mod:`repro.automata.incremental` and ``docs/performance.md``.
         ``False`` recomputes everything from scratch each iteration;
         verdicts and counterexamples are identical either way.
+    parallelism:
+        Shard the product re-exploration (and large closure rebuilds)
+        across this many shards via the reusable worker pool of
+        :mod:`repro.automata.sharding`.  Results — verdicts,
+        counterexamples, learned models, iteration records — are
+        bit-identical for every value; only the per-shard counters
+        change shape.  ``None`` (default) defers to the
+        ``REPRO_PARALLELISM`` environment variable, falling back to 1.
     """
 
     def __init__(
@@ -255,7 +271,10 @@ class IntegrationSynthesizer:
         validate_knowledge: bool = True,
         port: str = "port",
         incremental: bool = True,
+        parallelism: int | None = None,
     ):
+        from ..automata.sharding import resolve_parallelism
+
         assert_compositional(property)
         self.context = context
         self.component = component
@@ -274,6 +293,7 @@ class IntegrationSynthesizer:
         self.counterexamples_per_iteration = counterexamples_per_iteration
         self.port = port
         self.incremental = incremental
+        self.parallelism = resolve_parallelism(parallelism)
         # Violations of properties mentioning the deadlock atom or an
         # eventuality (AF/AU) can hinge on the closure's *pessimistic
         # refusals* — a path that merely might end.  Only those need the
@@ -374,6 +394,7 @@ class IntegrationSynthesizer:
                 universes=[self.universe],
                 semantics=self.composition_semantics,
                 deterministic_implementation=True,
+                parallelism=self.parallelism,
             )
             if self.incremental
             else None
@@ -393,7 +414,12 @@ class IntegrationSynthesizer:
                     deterministic_implementation=True,
                     name=f"M_a^{index}",
                 )
-                composed = compose(self.context, closure, semantics=self.composition_semantics)
+                composed = compose(
+                    self.context,
+                    closure,
+                    semantics=self.composition_semantics,
+                    parallelism=self.parallelism,
+                )
                 checker = ModelChecker(composed)
                 step_stats = None
             property_result = checker.check(self.weakened_property)
@@ -432,6 +458,14 @@ class IntegrationSynthesizer:
                     dirty_states=step_stats.dirty_states if step_stats else 0,
                     affected_states=step_stats.affected_states if step_stats else 0,
                     checker_fixpoint_work=checker.stats.fixpoint_work,
+                    product_shards=step_stats.product_shards if step_stats else 0,
+                    shard_states_explored=(
+                        step_stats.shard_states_explored if step_stats else ()
+                    ),
+                    shard_handoffs=step_stats.shard_handoffs if step_stats else 0,
+                    shard_merge_conflicts=(
+                        step_stats.shard_merge_conflicts if step_stats else 0
+                    ),
                 )
 
             if property_result.holds and deadlock_result.holds:

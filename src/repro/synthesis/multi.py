@@ -79,6 +79,13 @@ class MultiIterationRecord:
     affected_states: int = 0
     #: Worklist operations the checker spent on this iteration's fixpoints.
     checker_fixpoint_work: int = 0
+    # Sharded-exploration counters; the per-shard breakdown depends on
+    # the shard count, but ``sum(shard_states_explored) ==
+    # product_hits + product_misses`` for every shard count.
+    product_shards: int = 0
+    shard_states_explored: tuple[int, ...] = ()
+    shard_handoffs: int = 0
+    shard_merge_conflicts: int = 0
 
 
 @dataclass(frozen=True)
@@ -156,6 +163,10 @@ class MultiLegacySynthesizer:
         deadlock freedom.
     labelers:
         Optional per-component state labelers, keyed by component name.
+    parallelism:
+        Shard the product re-exploration as in
+        :class:`~repro.synthesis.iterate.IntegrationSynthesizer`;
+        results are bit-identical for every value.
     """
 
     def __init__(
@@ -171,7 +182,10 @@ class MultiLegacySynthesizer:
         max_iterations: int = 1000,
         port: str = "port",
         incremental: bool = True,
+        parallelism: int | None = None,
     ):
+        from ..automata.sharding import resolve_parallelism
+
         assert_compositional(property)
         if not components:
             raise SynthesisError("MultiLegacySynthesizer needs at least one legacy component")
@@ -186,6 +200,7 @@ class MultiLegacySynthesizer:
         self.max_iterations = max_iterations
         self.port = port
         self.incremental = incremental
+        self.parallelism = resolve_parallelism(parallelism)
         universes = universes or {}
         labelers = labelers or {}
         offset = 1 if context is not None else 0
@@ -241,7 +256,9 @@ class MultiLegacySynthesizer:
             )
         if len(parts) == 1:
             return parts[0]
-        composed = compose_all(parts, semantics="open", name="multi-closure")
+        composed = compose_all(
+            parts, semantics="open", name="multi-closure", parallelism=self.parallelism
+        )
         if len(parts) == 2:
             # compose_all leaves two-party states as plain pairs already.
             return composed
@@ -421,6 +438,7 @@ class MultiLegacySynthesizer:
                 universes=[slot.universe for slot in self.slots],
                 semantics="open",
                 deterministic_implementation=True,
+                parallelism=self.parallelism,
             )
             if self.incremental
             else None
@@ -449,6 +467,14 @@ class MultiLegacySynthesizer:
                 dirty_states=step_stats.dirty_states if step_stats else 0,
                 affected_states=step_stats.affected_states if step_stats else 0,
                 checker_fixpoint_work=checker.stats.fixpoint_work,
+                product_shards=step_stats.product_shards if step_stats else 0,
+                shard_states_explored=(
+                    step_stats.shard_states_explored if step_stats else ()
+                ),
+                shard_handoffs=step_stats.shard_handoffs if step_stats else 0,
+                shard_merge_conflicts=(
+                    step_stats.shard_merge_conflicts if step_stats else 0
+                ),
             )
 
             def snapshot() -> tuple[tuple[int, int, int], ...]:

@@ -1,0 +1,140 @@
+"""Full-loop determinism of the sharded synthesis pipeline.
+
+The RailCab convoy loop is run twice at ``parallelism=4`` and once
+sequentially: iteration counts, counterexamples, learned models, and
+every :class:`IterationRecord` counter must be identical — except the
+per-shard breakdown, whose shape depends on the shard count but whose
+sums must stay consistent (``sum(shard_states_explored) ==
+product_hits + product_misses`` on every iteration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import railcab
+from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis.multi import MultiLegacySynthesizer
+
+#: IterationRecord fields that legitimately vary with the shard count
+#: (a single shard emits no handoffs and hence no merge conflicts);
+#: everything else must match field-for-field.  Between runs at the
+#: *same* shard count even these are exactly equal.
+PER_SHARD_FIELDS = (
+    "product_shards",
+    "shard_states_explored",
+    "shard_handoffs",
+    "shard_merge_conflicts",
+)
+
+
+def _convoy(parallelism: int | None) -> IntegrationSynthesizer:
+    return IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        railcab.correct_rear_shuttle(convoy_ticks=2),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+        port="rearRole",
+        parallelism=parallelism,
+    )
+
+
+def _assert_records_match(left, right, *, modulo_shards: bool) -> None:
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        skip = PER_SHARD_FIELDS if modulo_shards else ()
+        for field_name in type(a).__dataclass_fields__:
+            if field_name in skip:
+                continue
+            assert getattr(a, field_name) == getattr(b, field_name), field_name
+        # The per-shard breakdown must still sum consistently.
+        for record in (a, b):
+            assert sum(record.shard_states_explored) == (
+                record.product_hits + record.product_misses
+            )
+
+
+@pytest.fixture(scope="module")
+def runs():
+    first = _convoy(4).run()
+    second = _convoy(4).run()
+    sequential = _convoy(1).run()
+    return first, second, sequential
+
+
+def test_repeated_sharded_runs_are_identical(runs):
+    first, second, _ = runs
+    assert first.verdict is second.verdict is Verdict.PROVEN
+    assert first.iteration_count == second.iteration_count
+    assert first.final_model == second.final_model
+    assert first.final_closure == second.final_closure
+    for a, b in zip(first.iterations, second.iterations):
+        assert a.counterexample == b.counterexample
+    _assert_records_match(first.iterations, second.iterations, modulo_shards=False)
+
+
+def test_sharded_run_equals_sequential_run(runs):
+    first, _, sequential = runs
+    assert first.verdict is sequential.verdict is Verdict.PROVEN
+    assert first.iteration_count == sequential.iteration_count
+    assert first.final_model == sequential.final_model
+    assert first.final_closure == sequential.final_closure
+    for a, b in zip(first.iterations, sequential.iterations):
+        assert a.counterexample == b.counterexample
+    _assert_records_match(first.iterations, sequential.iterations, modulo_shards=True)
+
+
+def test_sharded_run_actually_sharded(runs):
+    first, _, sequential = runs
+    assert all(r.product_shards == 4 for r in first.iterations)
+    assert all(len(r.shard_states_explored) == 4 for r in first.iterations)
+    assert all(r.product_shards == 1 for r in sequential.iterations)
+    # The joint state space is spread across shards on some iteration.
+    assert any(
+        sum(1 for n in r.shard_states_explored if n) > 1 for r in first.iterations
+    )
+    assert any(r.shard_handoffs > 0 for r in first.iterations)
+
+
+def test_faulty_shuttle_violation_is_parallelism_independent():
+    def build(parallelism):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.faulty_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+            parallelism=parallelism,
+        ).run()
+
+    sharded = build(4)
+    sequential = build(None)
+    assert sharded.verdict is sequential.verdict is Verdict.REAL_VIOLATION
+    assert sharded.violation_kind == sequential.violation_kind
+    assert sharded.violation_witness == sequential.violation_witness
+    assert sharded.final_model == sequential.final_model
+    _assert_records_match(sharded.iterations, sequential.iterations, modulo_shards=True)
+
+
+def test_multi_legacy_loop_is_parallelism_independent():
+    def build(parallelism):
+        return MultiLegacySynthesizer(
+            None,
+            [
+                railcab.correct_front_shuttle(),
+                railcab.correct_rear_shuttle(convoy_ticks=2),
+            ],
+            railcab.PATTERN_CONSTRAINT,
+            labelers={
+                "frontShuttle": railcab.front_state_labeler,
+                "rearShuttle": railcab.rear_state_labeler,
+            },
+            parallelism=parallelism,
+        ).run()
+
+    sharded = build(4)
+    sequential = build(1)
+    assert sharded.verdict is sequential.verdict is Verdict.PROVEN
+    assert sharded.iteration_count == sequential.iteration_count
+    assert sharded.final_models == sequential.final_models
+    _assert_records_match(sharded.iterations, sequential.iterations, modulo_shards=True)

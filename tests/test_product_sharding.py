@@ -1,0 +1,385 @@
+"""Differential conformance harness for the sharded product BFS.
+
+The sharded exploration of :class:`IncrementalProduct` (and the
+``parallelism=`` knobs of :func:`compose`/:func:`compose_all`) claims to
+be *bit-identical* to the sequential path for every shard count,
+execution strategy, and scheduling order.  Hypothesis drives random
+automata pairs/triples through random dirty-region edit sequences and
+checks exactly that, the way the compositional-testing literature pins
+down concurrency-sensitive refactorings: the sequential implementation
+is the specification, the sharded one the implementation under test.
+
+The harness also covers the latent ordering-bug class proactively:
+canonical transition order must never depend on ``set``/``dict``
+iteration order, which a ``PYTHONHASHSEED`` fingerprint test (three
+seeds, fresh interpreters) and a repr-tie regression test pin down.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Automaton,
+    Interaction,
+    PARALLELISM_ENV,
+    Transition,
+    compose,
+    compose_all,
+    resolve_parallelism,
+    select_strategy,
+    shard_of,
+)
+from repro.automata.incremental import ClosureCache, IncrementalProduct
+from repro.automata.sharding import (
+    PROCESS_WORKLOAD_FLOOR,
+    SEQUENTIAL_WORKLOAD_FLOOR,
+    WorkerPool,
+    partition,
+)
+from repro.errors import CompositionError
+from tests.test_incremental import (
+    TICK_UNIVERSE,
+    UNIVERSE,
+    _client,
+    model_evolutions,
+)
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _assert_identical(reference: Automaton, candidate: Automaton) -> None:
+    """Bit-identical: same states, edges, labels, *and* canonical order."""
+    assert candidate == reference
+    assert candidate.ordered_transitions == reference.ordered_transitions
+    assert candidate.label_map == reference.label_map
+    assert candidate.initial == reference.initial
+
+
+# ------------------------------------------------------------------ primitives
+
+
+def test_shard_of_is_stable_and_in_range():
+    states = [("a", 0), ("b", 1), (("a", "b"), ("c",)), ("δ", None)]
+    for shards in SHARD_COUNTS:
+        for state in states:
+            owner = shard_of(state, shards)
+            assert 0 <= owner < shards
+            assert owner == shard_of(state, shards)  # idempotent
+    assert all(shard_of(state, 1) == 0 for state in states)
+
+
+def test_partition_routes_by_shard_of():
+    items = [("s", i) for i in range(32)]
+    buckets = partition(items, 4)
+    assert sorted(sum(buckets, [])) == sorted(items)
+    for shard, bucket in enumerate(buckets):
+        assert all(shard_of(item, 4) == shard for item in bucket)
+
+
+def test_resolve_parallelism_validates():
+    assert resolve_parallelism(3) == 3
+    with pytest.raises(CompositionError):
+        resolve_parallelism(0)
+    with pytest.raises(CompositionError):
+        resolve_parallelism(-2)
+    with pytest.raises(CompositionError):
+        resolve_parallelism(True)
+
+
+def test_resolve_parallelism_reads_environment(monkeypatch):
+    monkeypatch.delenv(PARALLELISM_ENV, raising=False)
+    assert resolve_parallelism(None) == 1
+    monkeypatch.setenv(PARALLELISM_ENV, "4")
+    assert resolve_parallelism(None) == 4
+    monkeypatch.setenv(PARALLELISM_ENV, "nope")
+    with pytest.raises(CompositionError):
+        resolve_parallelism(None)
+
+
+def test_select_strategy_thresholds():
+    assert select_strategy(10**9, 1) == "sequential"
+    assert select_strategy(SEQUENTIAL_WORKLOAD_FLOOR - 1, 8) == "sequential"
+    assert select_strategy(SEQUENTIAL_WORKLOAD_FLOOR, 8) == "thread"
+    assert select_strategy(PROCESS_WORKLOAD_FLOOR, 8) in ("process", "thread")
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(CompositionError):
+        IncrementalProduct(strategy="fibers")
+
+
+def test_worker_pool_map_preserves_order():
+    pool = WorkerPool()
+    try:
+        tasks = list(range(20))
+        assert pool.map("thread", lambda x: x * x, tasks, workers=4) == [
+            x * x for x in tasks
+        ]
+        assert pool.map("sequential", lambda x: -x, tasks, workers=4) == [
+            -x for x in tasks
+        ]
+    finally:
+        pool.shutdown()
+
+
+# -------------------------------------------------- differential: pairs (K vs 1)
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_sharded_pair_product_equals_sequential_and_scratch(models):
+    """K ∈ {1,2,4,8} ≡ sequential incremental ≡ from-scratch compose."""
+    client = _client()
+    caches = {k: ClosureCache(UNIVERSE, deterministic_implementation=True) for k in SHARD_COUNTS}
+    products = {
+        k: IncrementalProduct(semantics="strict", parallelism=k) for k in SHARD_COUNTS
+    }
+    for model in models:
+        reference = None
+        sequential_counts = None
+        for k in SHARD_COUNTS:
+            update = caches[k].update(model)
+            step = products[k].update(
+                [client, update.closure], [frozenset(), update.dirty_states]
+            )
+            if reference is None:
+                reference = compose(client, update.closure, semantics="strict")
+            _assert_identical(reference, step.automaton)
+            # Counter conformance: the per-shard breakdown varies with K,
+            # but every scheduling-independent aggregate must not.
+            assert len(step.shards) == k
+            assert sum(r.states_explored for r in step.shards) == step.hits + step.misses
+            assert sum(r.misses for r in step.shards) == step.misses
+            assert frozenset().union(*(r.dirty_states for r in step.shards)) == step.dirty_states
+            if sequential_counts is None:
+                sequential_counts = (step.hits, step.misses, step.dirty_states)
+            else:
+                assert (step.hits, step.misses, step.dirty_states) == sequential_counts
+
+
+@SETTINGS
+@given(model_evolutions(), st.sampled_from([2, 4, 8]))
+def test_sharded_product_with_validation_never_falls_back(models, shards):
+    """The ``validate=True`` cross-check confirms every sharded update."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(semantics="strict", parallelism=shards, validate=True)
+    for model in models:
+        update = cache.update(model)
+        step = product.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        assert not step.fell_back
+        assert step.automaton == compose(client, update.closure, semantics="strict")
+    assert product.fallbacks == 0
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_forced_thread_strategy_equals_sequential(models):
+    """Thread-pool execution is forced even below the workload floor."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    threaded = IncrementalProduct(semantics="strict", parallelism=4, strategy="thread")
+    for model in models:
+        update = cache.update(model)
+        step = threaded.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        _assert_identical(
+            compose(client, update.closure, semantics="strict"), step.automaton
+        )
+
+
+# ---------------------------------------------- differential: triples (n-ary)
+
+
+@SETTINGS
+@given(
+    model_evolutions(max_steps=3),
+    model_evolutions(universe=TICK_UNIVERSE, inp="tick", out="tock", max_steps=3),
+    st.sampled_from([2, 4, 8]),
+)
+def test_sharded_nary_product_equals_compose_all(models_a, models_b, shards):
+    """Triple products (client ∥ chaos(A) ∥ chaos(B)) shard identically."""
+    cache_a = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    cache_b = ClosureCache(TICK_UNIVERSE, deterministic_implementation=True)
+    sharded = IncrementalProduct(semantics="open", parallelism=shards)
+    sequential = IncrementalProduct(semantics="open")
+    length = max(len(models_a), len(models_b))
+    for index in range(length):
+        up_a = cache_a.update(models_a[min(index, len(models_a) - 1)])
+        up_b = cache_b.update(models_b[min(index, len(models_b) - 1)])
+        components = [up_a.closure, up_b.closure]
+        dirty = [up_a.dirty_states, up_b.dirty_states]
+        step = sharded.update(components, dirty)
+        base = sequential.update(components, dirty)
+        _assert_identical(base.automaton, step.automaton)
+        _assert_identical(compose_all(components, semantics="open"), step.automaton)
+        assert (step.hits, step.misses) == (base.hits, base.misses)
+        assert step.dirty_states == base.dirty_states
+
+
+# -------------------------------------------------------- compose-level knobs
+
+
+def test_compose_knob_equals_sequential(ping_client, pong_server):
+    reference = compose(ping_client, pong_server)
+    for k in SHARD_COUNTS:
+        _assert_identical(reference, compose(ping_client, pong_server, parallelism=k))
+    assert compose(ping_client, pong_server, parallelism=4).name == reference.name
+
+
+def test_compose_all_knob_equals_sequential(ping_client, pong_server):
+    reference = compose_all([ping_client, pong_server], semantics="open")
+    for k in SHARD_COUNTS:
+        sharded = compose_all([ping_client, pong_server], semantics="open", parallelism=k)
+        _assert_identical(reference, sharded)
+        assert sharded.name == reference.name
+    named = compose_all(
+        [ping_client, pong_server], semantics="open", name="pair", parallelism=4
+    )
+    assert named.name == "pair"
+
+
+def test_environment_knob_shards_compose(ping_client, pong_server, monkeypatch):
+    reference = compose(ping_client, pong_server)
+    monkeypatch.setenv(PARALLELISM_ENV, "4")
+    _assert_identical(reference, compose(ping_client, pong_server))
+    _assert_identical(
+        compose_all([ping_client, pong_server], semantics="open", parallelism=1),
+        compose_all([ping_client, pong_server], semantics="open"),
+    )
+
+
+def test_process_strategy_equals_sequential(ping_client, pong_server):
+    """A forked process pool (forced, tiny workload) is still identical."""
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    reference = compose(ping_client, pong_server)
+    product = IncrementalProduct(parallelism=4, strategy="process")
+    step = product.update([ping_client, pong_server], [frozenset(), frozenset()])
+    _assert_identical(reference, step.automaton)
+    assert sum(r.states_explored for r in step.shards) == len(reference.states)
+
+
+# -------------------------------------------------------- ordering regressions
+
+
+class _TiedState:
+    """Distinct hashable states that share one repr (worst-case ties)."""
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: int):
+        self.ident = ident
+
+    def __repr__(self) -> str:
+        return "tied"
+
+    def __hash__(self) -> int:
+        return hash(("tied", self.ident))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _TiedState) and self.ident == other.ident
+
+
+def test_ordered_transitions_do_not_leak_dict_insertion_order():
+    """Equal-repr sources must not fall back to ``by_source`` insertion order."""
+    a, b = _TiedState(0), _TiedState(1)
+    edges = {
+        a: (
+            Transition(a, Interaction((), ("x",)), b),
+            Transition(a, Interaction((), ()), a),
+        ),
+        b: (Transition(b, Interaction(("y",), ()), a),),
+    }
+    edges = {
+        source: tuple(sorted(slice_, key=Transition.sort_key))
+        for source, slice_ in edges.items()
+    }
+    forward = Automaton._assemble(
+        states=frozenset([a, b]),
+        inputs=frozenset({"y"}),
+        outputs=frozenset({"x"}),
+        by_source=dict(edges),
+        transition_count=3,
+        initial=[a],
+        labels={},
+        name="tied",
+    )
+    backward = Automaton._assemble(
+        states=frozenset([a, b]),
+        inputs=frozenset({"y"}),
+        outputs=frozenset({"x"}),
+        by_source=dict(reversed(list(edges.items()))),
+        transition_count=3,
+        initial=[a],
+        labels={},
+        name="tied",
+    )
+    assert forward.ordered_transitions == backward.ordered_transitions
+    rebuilt = Automaton(
+        states=[a, b],
+        inputs={"y"},
+        outputs={"x"},
+        transitions=forward.ordered_transitions,
+        initial=[a],
+        name="tied",
+    )
+    assert forward.ordered_transitions == rebuilt.ordered_transitions
+
+
+_FINGERPRINT_SCRIPT = """
+import hashlib
+from tests.test_incremental import UNIVERSE, _client
+from repro.automata import IncompleteAutomaton
+from repro.automata.incremental import ClosureCache, IncrementalProduct
+
+client = _client()
+model = IncompleteAutomaton(
+    states=["q0"], inputs={"ping"}, outputs={"pong"}, transitions=(),
+    refusals=(), initial=["q0"], labels={"q0": {"p"}}, name="M_l^0",
+)
+cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+product = IncrementalProduct(semantics="strict", parallelism=4)
+update = cache.update(model)
+step = product.update([client, update.closure], [frozenset(), update.dirty_states])
+digest = hashlib.sha256()
+for t in step.automaton.ordered_transitions:
+    digest.update(repr((repr(t.source), sorted(t.inputs), sorted(t.outputs), repr(t.target))).encode())
+for s in sorted(step.automaton.states, key=repr):
+    digest.update(repr(sorted(step.automaton.labels(s))).encode())
+print(digest.hexdigest())
+"""
+
+
+def test_canonical_order_is_hash_seed_independent():
+    """Three fresh interpreters, three hash seeds, one fingerprint."""
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    root = os.path.dirname(src)
+    script = _FINGERPRINT_SCRIPT
+    fingerprints = set()
+    for seed in ("0", "1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src + os.pathsep + root)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            check=True,
+        )
+        fingerprints.add(result.stdout.strip())
+    assert len(fingerprints) == 1, fingerprints

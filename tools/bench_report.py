@@ -77,6 +77,17 @@ def normalize(raw: dict) -> dict:
             "iterations": speedup.get("iterations"),
             "convoy_ticks": speedup.get("convoy_ticks"),
         }
+    k1 = report["benchmarks"].get("test_sharded_loop_k1_no_regression")
+    k4 = report["benchmarks"].get("test_sharded_loop_k4_speedup_report")
+    if k1 is not None or k4 is not None:
+        report["sharded"] = {
+            "k1_vs_sequential_best_paired": (k1 or {}).get("k1_vs_sequential_best_paired"),
+            "k1_vs_sequential_min_ratio": (k1 or {}).get("k1_vs_sequential_min_ratio"),
+            "k4_vs_k1_speedup_min": (k4 or {}).get("k4_vs_k1_speedup_min"),
+            "k4_vs_k1_speedup_median": (k4 or {}).get("k4_vs_k1_speedup_median"),
+            "shard_handoffs_total": (k4 or {}).get("shard_handoffs_total"),
+            "shard_merge_conflicts_total": (k4 or {}).get("shard_merge_conflicts_total"),
+        }
     return report
 
 
@@ -112,6 +123,14 @@ def main(argv: list[str] | None = None) -> None:
         )
     else:
         print(f"wrote {args.output}")
+    sharded = report.get("sharded", {})
+    if sharded.get("k4_vs_k1_speedup_min") is not None:
+        print(
+            f"sharded: K=1 no-regression best-paired "
+            f"{sharded['k1_vs_sequential_best_paired']:.2f}x, "
+            f"K=4 vs K=1 {sharded['k4_vs_k1_speedup_min']:.2f}x (min) / "
+            f"{sharded['k4_vs_k1_speedup_median']:.2f}x (median)"
+        )
 
 
 if __name__ == "__main__":
