@@ -14,7 +14,7 @@ import pytest
 
 from repro import railcab
 from repro.logic import parse
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 from repro.workloads import chain_server, ping_client
 
 
@@ -49,7 +49,7 @@ def test_ablation_counterexample_batching(benchmark, per_iteration):
     result = benchmark(
         lambda: synthesize(
             railcab.correct_rear_shuttle(convoy_ticks=1),
-            counterexamples_per_iteration=per_iteration,
+            settings=SynthesisSettings(counterexamples_per_iteration=per_iteration),
         )
     )
     assert result.verdict is Verdict.PROVEN

@@ -23,6 +23,11 @@ honestly (on a single-core GIL-bound runner it can be below 1 — the
 point of sharding here is determinism plus scaling headroom, which the
 report records rather than asserts).
 
+The ``checker_sharded`` variants do the same for the *checker fixpoint*
+sharding knob (``checker_parallelism=``): K=1 must not regress the
+sequential solvers, and the K=4 ratio is measured and recorded with the
+product sharding pinned at 1 so the checker contribution is isolated.
+
 ``tools/bench_report.py`` normalizes this module's
 ``--benchmark-json`` output into ``BENCH_loop.json``.
 """
@@ -33,7 +38,7 @@ import statistics
 import time
 
 from repro import railcab
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 from repro.synthesis.multi import MultiLegacySynthesizer
 
 #: Convoy length for the per-path benchmarks (quick: ~70 iterations).
@@ -46,7 +51,11 @@ SPEEDUP_FLOOR = 3.0
 
 
 def _convoy_synthesizer(
-    *, incremental: bool, ticks: int, parallelism: int | None = None
+    *,
+    incremental: bool,
+    ticks: int,
+    parallelism: int | None = None,
+    checker_parallelism: int | None = None,
 ) -> IntegrationSynthesizer:
     return IntegrationSynthesizer(
         railcab.front_role_automaton(),
@@ -54,8 +63,11 @@ def _convoy_synthesizer(
         railcab.PATTERN_CONSTRAINT,
         labeler=railcab.rear_state_labeler,
         port="rearRole",
-        incremental=incremental,
-        parallelism=parallelism,
+        settings=SynthesisSettings(
+            incremental=incremental,
+            parallelism=parallelism,
+            checker_parallelism=checker_parallelism,
+        ),
     )
 
 
@@ -68,7 +80,7 @@ def _multi_synthesizer(*, incremental: bool) -> MultiLegacySynthesizer:
             "frontShuttle": railcab.front_state_labeler,
             "rearShuttle": railcab.rear_state_labeler,
         },
-        incremental=incremental,
+        settings=SynthesisSettings(incremental=incremental),
     )
 
 
@@ -86,9 +98,13 @@ def _loop_extra_info(result) -> dict:
         "dirty_states_total": sum(r.dirty_states for r in result.iterations),
         "affected_states_total": sum(r.affected_states for r in result.iterations),
         "product_shards": max((r.product_shards for r in result.iterations), default=0),
-        "shard_handoffs_total": sum(r.shard_handoffs for r in result.iterations),
+        "shard_handoffs_total": sum(r.product_shard_handoffs for r in result.iterations),
         "shard_merge_conflicts_total": sum(
-            r.shard_merge_conflicts for r in result.iterations
+            r.product_shard_merge_conflicts for r in result.iterations
+        ),
+        "checker_shards": max((r.checker_shards for r in result.iterations), default=1),
+        "checker_shard_handoffs_total": sum(
+            r.checker_shard_handoffs for r in result.iterations
         ),
     }
 
@@ -258,7 +274,7 @@ def test_sharded_loop_k4_speedup_report(benchmark):
     for a, b in zip(k1.iterations, k4.iterations):
         assert a.counterexample == b.counterexample
         assert (a.product_hits, a.product_misses) == (b.product_hits, b.product_misses)
-        assert sum(b.shard_states_explored) == b.product_hits + b.product_misses
+        assert sum(b.product_shard_states_explored) == b.product_hits + b.product_misses
 
     benchmark.extra_info.update(
         {
@@ -270,9 +286,120 @@ def test_sharded_loop_k4_speedup_report(benchmark):
             / statistics.median(k4_times),
             "k1_loop_seconds_min": min(k1_times),
             "k4_loop_seconds_min": min(k4_times),
-            "shard_handoffs_total": sum(r.shard_handoffs for r in k4.iterations),
+            "shard_handoffs_total": sum(r.product_shard_handoffs for r in k4.iterations),
             "shard_merge_conflicts_total": sum(
-                r.shard_merge_conflicts for r in k4.iterations
+                r.product_shard_merge_conflicts for r in k4.iterations
+            ),
+        }
+    )
+
+
+def test_checker_sharded_loop_k1_no_regression(benchmark):
+    """The K=1 sharded checker must not regress the sequential solvers.
+
+    Product sharding is pinned at 1 on both sides so the comparison
+    isolates the checker dispatch (``checker_parallelism=None`` → the
+    plain sequential worklists vs an explicit ``checker_parallelism=1``,
+    which takes the same sequential code path through the dispatch
+    check).  Same best-paired-round acceptance as the product variant.
+    """
+
+    def measure():
+        default_times: list[float] = []
+        k1_times: list[float] = []
+        results = {}
+        for _ in range(5):
+            t0 = time.perf_counter()
+            results["default"] = _convoy_synthesizer(
+                incremental=True, ticks=QUICK_TICKS, parallelism=1
+            ).run()
+            default_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            results["k1"] = _convoy_synthesizer(
+                incremental=True, ticks=QUICK_TICKS, parallelism=1, checker_parallelism=1
+            ).run()
+            k1_times.append(time.perf_counter() - t0)
+        return results, default_times, k1_times
+
+    results, default_times, k1_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    default, k1 = results["default"], results["k1"]
+    assert default.verdict is k1.verdict is Verdict.PROVEN
+    assert default.iteration_count == k1.iteration_count
+    assert default.final_model == k1.final_model
+    assert all(r.checker_shards == 1 for r in k1.iterations)
+    for a, b in zip(default.iterations, k1.iterations):
+        assert a.checker_fixpoint_work == b.checker_fixpoint_work
+
+    best_paired = max(d / s for d, s in zip(default_times, k1_times))
+    ratio_min = min(default_times) / min(k1_times)
+    benchmark.extra_info.update(
+        {
+            "mode": "checker_sharded_k1",
+            "convoy_ticks": QUICK_TICKS,
+            "iterations": k1.iteration_count,
+            "k1_vs_sequential_best_paired": best_paired,
+            "k1_vs_sequential_min_ratio": ratio_min,
+        }
+    )
+    assert best_paired >= 1.0, (
+        f"K=1 sharded checker slower than the sequential solvers in every round "
+        f"(best paired ratio {best_paired:.3f})"
+    )
+
+
+def test_checker_sharded_loop_k4_speedup_report(benchmark):
+    """Measure and report the checker K=4 loop ratio against K=1 (no floor).
+
+    Product sharding stays at 1 on both sides; only the checker fixpoint
+    sharding differs.  Results must be bit-identical — including the
+    total fixpoint work, which the round-based handoff protocol conserves
+    exactly — and the wall-time ratio lands in ``BENCH_loop.json``.
+    """
+
+    def measure():
+        k1_times: list[float] = []
+        k4_times: list[float] = []
+        results = {}
+        for _ in range(5):
+            t0 = time.perf_counter()
+            results["k1"] = _convoy_synthesizer(
+                incremental=True, ticks=QUICK_TICKS, parallelism=1, checker_parallelism=1
+            ).run()
+            k1_times.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            results["k4"] = _convoy_synthesizer(
+                incremental=True, ticks=QUICK_TICKS, parallelism=1, checker_parallelism=4
+            ).run()
+            k4_times.append(time.perf_counter() - t0)
+        return results, k1_times, k4_times
+
+    results, k1_times, k4_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    k1, k4 = results["k1"], results["k4"]
+    assert k1.verdict is k4.verdict is Verdict.PROVEN
+    assert k1.iteration_count == k4.iteration_count
+    assert k1.final_model == k4.final_model
+    assert k1.final_closure == k4.final_closure
+    assert all(r.checker_shards == 4 for r in k4.iterations)
+    for a, b in zip(k1.iterations, k4.iterations):
+        assert a.counterexample == b.counterexample
+        assert a.checker_fixpoint_work == b.checker_fixpoint_work
+        assert sum(b.checker_shard_fixpoint_work) == b.checker_fixpoint_work
+
+    benchmark.extra_info.update(
+        {
+            "mode": "checker_sharded_k4",
+            "convoy_ticks": QUICK_TICKS,
+            "iterations": k4.iteration_count,
+            "k4_vs_k1_speedup_min": min(k1_times) / min(k4_times),
+            "k4_vs_k1_speedup_median": statistics.median(k1_times)
+            / statistics.median(k4_times),
+            "k1_loop_seconds_min": min(k1_times),
+            "k4_loop_seconds_min": min(k4_times),
+            "checker_shard_handoffs_total": sum(
+                r.checker_shard_handoffs for r in k4.iterations
+            ),
+            "checker_fixpoint_work_total": sum(
+                r.checker_fixpoint_work for r in k4.iterations
             ),
         }
     )

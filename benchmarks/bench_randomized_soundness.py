@@ -9,7 +9,7 @@ synthesis verdict must equal the white-box ground truth of
 
 from repro.automata import compose
 from repro.logic import ModelChecker, parse
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 from repro.workloads import (
     chain_server,
     mutate_component,
@@ -26,7 +26,7 @@ def verdict_and_truth(component):
         component,
         PROPERTY,
         labeler=lambda s: {f"server.{s}"},
-        max_iterations=300,
+        settings=SynthesisSettings(max_iterations=300),
     ).run()
     truth = compose(ping_client(), component._hidden)
     checker = ModelChecker(truth)

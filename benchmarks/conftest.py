@@ -11,7 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro import railcab
-from repro.synthesis import IntegrationSynthesizer
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings
 
 
 def run_synthesis(component, *, fast_conflict: bool = True, max_iterations: int = 500):
@@ -21,7 +21,7 @@ def run_synthesis(component, *, fast_conflict: bool = True, max_iterations: int 
         railcab.PATTERN_CONSTRAINT,
         labeler=railcab.rear_state_labeler,
         fast_conflict=fast_conflict,
-        max_iterations=max_iterations,
+        settings=SynthesisSettings(max_iterations=max_iterations),
         port="rearRole",
     ).run()
 

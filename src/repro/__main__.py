@@ -20,11 +20,52 @@ from . import railcab
 from .synthesis import (
     IntegrationSynthesizer,
     MultiLegacySynthesizer,
+    SynthesisSettings,
     render_counterexample_listing,
     render_iteration_table,
     render_markdown_report,
     summarize,
 )
+
+
+def _settings(args: argparse.Namespace) -> SynthesisSettings:
+    """The one place CLI flags (and their env fallbacks) become settings.
+
+    Flags left at their defaults defer to the environment knobs
+    (``REPRO_PARALLELISM``, ``REPRO_CHECKER_PARALLELISM``) inside
+    :class:`SynthesisSettings` resolution.
+    """
+    return SynthesisSettings(
+        max_iterations=getattr(args, "max_iterations", None),
+        counterexamples_per_iteration=getattr(args, "counterexamples", 1),
+        incremental=not getattr(args, "no_incremental", False),
+        parallelism=getattr(args, "parallelism", None),
+        checker_parallelism=getattr(args, "checker_parallelism", None),
+    )
+
+
+def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared loop-tuning flag group (feeds :func:`_settings`)."""
+    group = parser.add_argument_group("synthesis loop")
+    group.add_argument(
+        "--max-iterations", type=int, default=None, metavar="N",
+        help="iteration budget (default: the entry point's own default)",
+    )
+    group.add_argument(
+        "--no-incremental", action="store_true",
+        help="rebuild closures/product/checker from scratch every iteration",
+    )
+    group.add_argument(
+        "--parallelism", type=int, default=None, metavar="K",
+        help="shard the product re-exploration across K shards "
+        "(default: $REPRO_PARALLELISM or 1; results are identical)",
+    )
+    group.add_argument(
+        "--checker-parallelism", type=int, default=None, metavar="K",
+        help="shard the model checker's fixpoints across K shards "
+        "(default: $REPRO_CHECKER_PARALLELISM, then --parallelism; "
+        "results are identical)",
+    )
 
 SHUTTLES = {
     "correct": lambda: railcab.correct_rear_shuttle(convoy_ticks=1),
@@ -45,9 +86,8 @@ def _run_railcab(args: argparse.Namespace) -> int:
         component,
         railcab.PATTERN_CONSTRAINT,
         labeler=railcab.rear_state_labeler,
-        counterexamples_per_iteration=args.counterexamples,
+        settings=_settings(args),
         port="rearRole",
-        parallelism=args.parallelism,
     )
     result = synthesizer.run()
     print(summarize(result))
@@ -87,7 +127,7 @@ def _run_multi(args: argparse.Namespace) -> int:
             "frontShuttle": railcab.front_state_labeler,
             "rearShuttle": railcab.rear_state_labeler,
         },
-        parallelism=args.parallelism,
+        settings=_settings(args),
     )
     result = synthesizer.run()
     print(f"verdict: {result.verdict.value}")
@@ -146,20 +186,12 @@ def main(argv: list[str] | None = None) -> int:
         "--report", metavar="PATH", default=None,
         help="write a markdown integration report to PATH",
     )
-    railcab_parser.add_argument(
-        "--parallelism", type=int, default=None, metavar="K",
-        help="shard the product re-exploration across K shards "
-        "(default: $REPRO_PARALLELISM or 1; results are identical)",
-    )
+    _add_loop_flags(railcab_parser)
     railcab_parser.set_defaults(handler=_run_railcab)
 
     multi_parser = subparsers.add_parser("multi", help="two legacy shuttles (§7 extension)")
     multi_parser.add_argument("--front", choices=sorted(FRONTS), default="correct")
-    multi_parser.add_argument(
-        "--parallelism", type=int, default=None, metavar="K",
-        help="shard the product re-exploration across K shards "
-        "(default: $REPRO_PARALLELISM or 1; results are identical)",
-    )
+    _add_loop_flags(multi_parser)
     multi_parser.set_defaults(handler=_run_multi)
 
     compare_parser = subparsers.add_parser("compare", help="ours vs L* query counts")

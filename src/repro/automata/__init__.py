@@ -51,10 +51,12 @@ from .refinement import (
 )
 from .runs import Run, Trace, enumerate_runs, enumerate_traces, run_of_transitions
 from .sharding import (
+    CHECKER_PARALLELISM_ENV,
     PARALLELISM_ENV,
     ShardReport,
     WorkerPool,
     get_pool,
+    resolve_checker_parallelism,
     resolve_parallelism,
     select_strategy,
     shard_of,
@@ -106,7 +108,9 @@ __all__ = [
     "IncrementalVerifier",
     "ProductUpdate",
     "VerificationStep",
+    "CHECKER_PARALLELISM_ENV",
     "PARALLELISM_ENV",
+    "resolve_checker_parallelism",
     "ShardReport",
     "WorkerPool",
     "get_pool",

@@ -73,6 +73,7 @@ from .sharding import (
     WorkerPool,
     check_strategy,
     get_pool,
+    resolve_checker_parallelism,
     resolve_parallelism,
     select_strategy,
     shard_of,
@@ -750,11 +751,19 @@ class IncrementalVerifier:
         validate: bool = False,
         parallelism: int | None = None,
         strategy: str | None = None,
+        checker_parallelism: int | None = None,
     ):
         if not universes:
             raise ModelError("IncrementalVerifier needs at least one legacy universe")
         self.context = context
         self.parallelism = resolve_parallelism(parallelism)
+        # The checker follows the product's shard count unless overridden
+        # (explicitly or via REPRO_CHECKER_PARALLELISM): one knob shards
+        # the whole verification step.
+        self.checker_parallelism = resolve_checker_parallelism(
+            checker_parallelism, fallback=self.parallelism
+        )
+        self.strategy = check_strategy(strategy)
         self._closure_caches = [
             ClosureCache(
                 universe,
@@ -827,7 +836,13 @@ class IncrementalVerifier:
             )
 
         stats.dirty_states = len(dirty)
-        checker = ModelChecker(composed, warm_from=self._checker, dirty_states=dirty)
+        checker = ModelChecker(
+            composed,
+            warm_from=self._checker,
+            dirty_states=dirty,
+            parallelism=self.checker_parallelism,
+            strategy=self.strategy,
+        )
         self._checker = checker
         stats.affected_states = checker.stats.affected_states
         return VerificationStep(

@@ -50,6 +50,7 @@ from ..errors import CompositionError
 
 __all__ = [
     "PARALLELISM_ENV",
+    "CHECKER_PARALLELISM_ENV",
     "SEQUENTIAL_WORKLOAD_FLOOR",
     "PROCESS_WORKLOAD_FLOOR",
     "Strategy",
@@ -57,6 +58,7 @@ __all__ = [
     "WorkerPool",
     "get_pool",
     "resolve_parallelism",
+    "resolve_checker_parallelism",
     "select_strategy",
     "shard_of",
 ]
@@ -65,6 +67,12 @@ __all__ = [
 #: at ``None`` — lets CI run the whole suite sharded without touching
 #: call sites.
 PARALLELISM_ENV = "REPRO_PARALLELISM"
+
+#: Environment variable consulted when a ``checker_parallelism=`` knob
+#: is left at ``None``.  Overrides the fallback (usually the product
+#: ``parallelism``), so CI can shard every model-checker fixpoint
+#: independently of the product exploration.
+CHECKER_PARALLELISM_ENV = "REPRO_CHECKER_PARALLELISM"
 
 #: Below this many (estimated) joint states to re-explore, shard workers
 #: run inline: the dirty region of a single learning step is usually a
@@ -98,6 +106,31 @@ def resolve_parallelism(value: int | None) -> int:
             ) from None
     if not isinstance(value, int) or isinstance(value, bool) or value < 1:
         raise CompositionError(f"parallelism must be a positive integer, got {value!r}")
+    return value
+
+
+def resolve_checker_parallelism(value: int | None, *, fallback: int | None = None) -> int:
+    """Normalize a ``checker_parallelism=`` knob.
+
+    ``None`` defers to :data:`CHECKER_PARALLELISM_ENV`; when that is
+    unset too, the checker follows ``fallback`` — conventionally the
+    product ``parallelism``, so one knob shards the whole pipeline —
+    or 1 when no fallback is given.
+    """
+    if value is None:
+        raw = os.environ.get(CHECKER_PARALLELISM_ENV, "").strip()
+        if not raw:
+            return resolve_parallelism(fallback) if fallback is not None else 1
+        try:
+            value = int(raw)
+        except ValueError:
+            raise CompositionError(
+                f"{CHECKER_PARALLELISM_ENV} must be a positive integer, got {raw!r}"
+            ) from None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise CompositionError(
+            f"checker_parallelism must be a positive integer, got {value!r}"
+        )
     return value
 
 

@@ -38,8 +38,9 @@ from .muml.verification import ArchitectureVerificationReport, verify_architectu
 from .synthesis.initial import StateLabeler
 from .synthesis.iterate import IntegrationSynthesizer, SynthesisResult, Verdict
 from .synthesis.multi import MultiLegacySynthesizer, MultiSynthesisResult
+from .synthesis.settings import SynthesisSettings, _UNSET, merge_legacy_settings
 
-__all__ = ["IntegrationReport", "integrate"]
+__all__ = ["IntegrationReport", "SynthesisSettings", "integrate"]
 
 
 @dataclass(frozen=True)
@@ -106,18 +107,31 @@ def integrate(
     universes: dict[str, InteractionUniverse] | None = None,
     extra_properties: "dict[str, list[Formula]] | None" = None,
     system_properties: "list[Formula] | tuple[Formula, ...]" = (),
-    max_iterations: int = 500,
-    counterexamples_per_iteration: int = 1,
-    parallelism: int | None = None,
+    settings: SynthesisSettings | None = None,
+    max_iterations: int = _UNSET,  # type: ignore[assignment]
+    counterexamples_per_iteration: int = _UNSET,  # type: ignore[assignment]
+    parallelism: int | None = _UNSET,  # type: ignore[assignment]
 ) -> IntegrationReport:
     """Verify the modeled part, then integrate every legacy placement.
 
     ``components`` maps legacy placement names to their executable
     harnesses; placements without a component are reported (and fail
-    the report) rather than silently skipped.  ``parallelism`` shards
-    every product re-exploration (see :mod:`repro.automata.sharding`);
-    verdicts and learned models are bit-identical for every value.
+    the report) rather than silently skipped.  ``settings`` carries the
+    loop-tuning knobs (:class:`SynthesisSettings`) shared by every
+    placement — single and multi-legacy alike; the deprecated
+    ``max_iterations`` / ``counterexamples_per_iteration`` /
+    ``parallelism`` keywords forward into it.  The parallelism knobs
+    shard the product re-exploration and the checker fixpoints (see
+    :mod:`repro.automata.sharding`); verdicts and learned models are
+    bit-identical for every value.
     """
+    settings = merge_legacy_settings(
+        settings,
+        "integrate",
+        max_iterations=max_iterations,
+        counterexamples_per_iteration=counterexamples_per_iteration,
+        parallelism=parallelism,
+    )
     labelers = labelers or {}
     universes = universes or {}
     extra_properties = extra_properties or {}
@@ -157,8 +171,12 @@ def integrate(
                     for name, component in renamed.items()
                     if name in labelers
                 },
-                max_iterations=max_iterations,
-                parallelism=parallelism,
+                universes={
+                    component.name: universes[name]
+                    for name, component in renamed.items()
+                    if name in universes
+                },
+                settings=settings,
             ).run()
         return IntegrationReport(
             architecture=architecture_report,
@@ -190,10 +208,8 @@ def integrate(
             conjunction(properties),
             labeler=labelers.get(name),
             universe=universes.get(name),
-            max_iterations=max_iterations,
-            counterexamples_per_iteration=counterexamples_per_iteration,
+            settings=settings,
             port=name,
-            parallelism=parallelism,
         )
         placements[name] = synthesizer.run()
 

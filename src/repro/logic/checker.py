@@ -17,6 +17,29 @@ rather than whole-state-space sweeps.  Bounded (CCTL) operators use a
 backward dynamic program over the remaining window, exploiting that
 every transition takes exactly one time unit.
 
+Sharded fixpoints (``parallelism=K``)
+-------------------------------------
+
+With ``parallelism=K > 1`` every unbounded fixpoint solve is split into
+``K`` shards keyed by the same stable crc32-of-repr ownership the
+product BFS uses (:func:`~repro.automata.sharding.shard_of`).  Each
+shard runs a private worklist over the states it owns; discoveries
+whose predecessors live in another shard are emitted as *handoffs* and
+routed between rounds, in shard order, until no shard holds work — a
+global fixpoint.  Because the fixpoints are confluent (chaotic
+iteration converges to the same set regardless of processing order) and
+every state is admitted/removed by exactly one owner shard, the
+satisfaction sets, verdicts, counterexamples, and the total
+``fixpoint_work`` counter are bit-identical to the sequential solver
+for every shard count, execution strategy, and scheduling order; only
+the per-shard breakdown (:attr:`CheckerStats.shard_fixpoint_work`,
+:attr:`CheckerStats.shard_handoffs`) varies with ``K``.  Shard workers
+execute on the reusable worker pool of :mod:`repro.automata.sharding`
+— inline below the workload floor, threads above it (fixpoints close
+over the checker's predecessor maps, so forked processes are never
+worth the pickling and a forced ``strategy="process"`` is clamped to
+threads).
+
 Warm start (incremental re-checking)
 ------------------------------------
 
@@ -40,6 +63,14 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..automata.automaton import Automaton, State
+from ..automata.sharding import (
+    WorkerPool,
+    check_strategy,
+    get_pool,
+    resolve_checker_parallelism,
+    select_strategy,
+    shard_of,
+)
 from ..errors import FormulaError
 from .formulas import (
     AF,
@@ -80,7 +111,13 @@ class CheckResult:
 
 @dataclass
 class CheckerStats:
-    """Work counters, mainly interesting for warm-started checkers."""
+    """Work counters, mainly interesting for warm-started checkers.
+
+    :meth:`as_dict` reports every counter under the ``checker_*``
+    namespace, mirroring the ``product_*`` namespace of the incremental
+    product's :class:`~repro.automata.incremental.StepStats` — the two
+    vocabularies meet on ``IterationRecord`` and in synthesis reports.
+    """
 
     successors_reused: int = 0  #: per-state successor tuples taken from the warm checker
     sat_reused: int = 0  #: formulas answered entirely from the warm cache
@@ -88,15 +125,35 @@ class CheckerStats:
     sat_computed: int = 0  #: formulas evaluated from scratch
     affected_states: int = 0  #: size of the affected region (0 when cold)
     fixpoint_work: int = 0  #: worklist insertions/removals across all fixpoints
+    shards: int = 1  #: shard count of the checker's fixpoint solves
+    shard_handoffs: int = 0  #: cross-shard worklist handoffs across all solves
+    _sharded_work: list[int] = field(default_factory=list, repr=False)
 
-    def as_dict(self) -> dict[str, int]:
+    @property
+    def shard_fixpoint_work(self) -> tuple[int, ...]:
+        """Per-shard split of :attr:`fixpoint_work`.
+
+        Work done outside the sharded solvers (bounded-operator dynamic
+        programs, which stay sequential) is attributed to shard 0, so
+        ``sum(shard_fixpoint_work) == fixpoint_work`` always holds.
+        """
+        if self.shards <= 1 or not self._sharded_work:
+            return (self.fixpoint_work,) + (0,) * (self.shards - 1)
+        work = list(self._sharded_work)
+        work[0] += self.fixpoint_work - sum(work)
+        return tuple(work)
+
+    def as_dict(self) -> dict[str, object]:
         return {
-            "successors_reused": self.successors_reused,
-            "sat_reused": self.sat_reused,
-            "sat_patched": self.sat_patched,
-            "sat_computed": self.sat_computed,
-            "affected_states": self.affected_states,
-            "fixpoint_work": self.fixpoint_work,
+            "checker_successors_reused": self.successors_reused,
+            "checker_sat_reused": self.sat_reused,
+            "checker_sat_patched": self.sat_patched,
+            "checker_sat_computed": self.sat_computed,
+            "checker_affected_states": self.affected_states,
+            "checker_fixpoint_work": self.fixpoint_work,
+            "checker_shards": self.shards,
+            "checker_shard_fixpoint_work": list(self.shard_fixpoint_work),
+            "checker_shard_handoffs": self.shard_handoffs,
         }
 
 
@@ -132,6 +189,18 @@ class ModelChecker:
         automaton.  States absent from the warm automaton are treated as
         dirty automatically; removed states need no mention (their
         erstwhile predecessors must have changed and hence be listed).
+    parallelism:
+        Shard count for the unbounded fixpoint solves (see the module
+        docstring).  ``None`` defers to ``REPRO_CHECKER_PARALLELISM``,
+        defaulting to 1 (sequential).  Results are bit-identical for
+        every value.
+    strategy:
+        Force how shard workers execute (``sequential``/``thread``;
+        ``process`` is accepted but clamped to ``thread``).  ``None``
+        picks by workload, like the product BFS.
+    pool:
+        The :class:`~repro.automata.sharding.WorkerPool` to run shard
+        workers on; defaults to the process-wide shared pool.
     """
 
     def __init__(
@@ -140,9 +209,17 @@ class ModelChecker:
         *,
         warm_from: "ModelChecker | None" = None,
         dirty_states: Iterable[State] = (),
+        parallelism: int | None = None,
+        strategy: str | None = None,
+        pool: WorkerPool | None = None,
     ):
         self.automaton = automaton
-        self.stats = CheckerStats()
+        self.parallelism = resolve_checker_parallelism(parallelism)
+        self.strategy = check_strategy(strategy)
+        self._pool = pool if pool is not None else get_pool()
+        self.stats = CheckerStats(shards=self.parallelism)
+        if self.parallelism > 1:
+            self.stats._sharded_work = [0] * self.parallelism
         states = automaton.states
 
         old_successors = warm_from._successors if warm_from is not None else None
@@ -213,6 +290,24 @@ class ModelChecker:
                 attach(state, successors[state])
         self._predecessors = predecessors
         self._deadlocks = frozenset(s for s, succ in successors.items() if not succ)
+        self._owner: dict[State, int] | None = None
+        if self.parallelism > 1:
+            # crc32-of-repr ownership, reused from the warm checker when
+            # the shard count matches (most states survive a learning step).
+            shards = self.parallelism
+            warm_owner = (
+                warm_from._owner
+                if warm_from is not None and warm_from.parallelism == shards
+                else None
+            )
+            if warm_owner is None:
+                self._owner = {state: shard_of(state, shards) for state in states}
+            else:
+                owner: dict[State, int] = {}
+                for state in states:
+                    cached = warm_owner.get(state)
+                    owner[state] = shard_of(state, shards) if cached is None else cached
+                self._owner = owner
         self._cache: dict[Formula, frozenset[State]] = {}
         self._layer_memo: dict[tuple, list[frozenset[State]]] = {}
         self._formula_layers: dict[tuple, list[frozenset[State]]] = {}
@@ -382,6 +477,8 @@ class ModelChecker:
         Out-of-domain successors contribute through ``boundary`` (their
         final values).  ``through=None`` means "all states" (EF).
         """
+        if self.parallelism > 1:
+            return self._sharded_exists_reach(goal, through, domain, boundary)
         result: set[State] = set()
         queue: deque[State] = deque()
 
@@ -420,6 +517,8 @@ class ModelChecker:
         boundary: frozenset[State],
     ) -> frozenset[State]:
         """``lfp Z = goal ∪ (gate ∩ ¬δ ∩ pre∀(Z))`` over ``domain``."""
+        if self.parallelism > 1:
+            return self._sharded_forall_reach(goal, gate, domain, boundary)
         result: set[State] = set(goal & domain)
         pending: dict[State, int] = {}
         queue: deque[State] = deque(result)
@@ -481,6 +580,8 @@ class ModelChecker:
         domain (a global complement solve beats patching here because
         no per-edge scan of the surviving region is needed at all).
         """
+        if self.parallelism > 1:
+            return self._sharded_forall_invariant(keep, domain, boundary)
         removed = set(domain - keep)
         queue: deque[State] = deque(removed)
         if boundary:
@@ -513,6 +614,8 @@ class ModelChecker:
         ``domain`` are disjoint, so support counting needs only one
         membership test per edge.
         """
+        if self.parallelism > 1:
+            return self._sharded_exists_invariant(keep, domain, boundary)
         alive = set(keep & domain)
         good = alive | boundary if boundary else alive
         support: dict[State, int] = {}
@@ -539,6 +642,342 @@ class ModelChecker:
                         del support[pred]
                         queue.append(pred)
         return boundary | frozenset(alive)
+
+    # ------------------------------------------------------ sharded fixpoints
+    #
+    # Each sharded solver mirrors its sequential twin exactly: the same
+    # seeds, the same admission/removal conditions, the same per-event
+    # work accounting — only the worklist is split by crc32-of-repr
+    # ownership.  Workers touch nothing but their own shard's sets and
+    # queues; cross-shard discoveries travel as (shard, state) handoffs
+    # routed between rounds by `_fixpoint_rounds`.  Because the fixpoint
+    # is confluent and every state is admitted/removed exactly once by
+    # its owner, the merged result and the total work counter match the
+    # sequential solver bit-for-bit; handoff counts depend only on the
+    # edge structure and ownership, never on scheduling.
+
+    def _shard_strategy(self, workload: int) -> str:
+        strategy = self.strategy
+        if strategy is None:
+            strategy = select_strategy(workload, self.parallelism)
+        if strategy == "process":
+            # Worklists close over the shared predecessor map; pickling
+            # it per shard would dwarf any solve, so threads stand in.
+            strategy = "thread"
+        return strategy
+
+    def _fixpoint_rounds(
+        self,
+        strategy: str,
+        inboxes: list[list[State]],
+        queues: "list[deque[State]]",
+        step,
+    ) -> int:
+        """Alternate parallel shard steps with deterministic handoff routing.
+
+        ``step(shard)`` drains the shard's inbox and local worklist —
+        mutating only that shard's structures — and returns its outbox
+        of ``(shard, state)`` handoffs.  Outboxes are routed in shard
+        order between rounds (``WorkerPool.map`` preserves task order);
+        rounds continue until no shard holds work, i.e. until the
+        global fixpoint.  Returns the number of handoffs emitted.
+        """
+        shards = len(inboxes)
+        pool = self._pool
+        handoffs = 0
+        while True:
+            active = [k for k in range(shards) if inboxes[k] or queues[k]]
+            if not active:
+                return handoffs
+            for outbox in pool.map(strategy, step, active, workers=shards):
+                handoffs += len(outbox)
+                for target_shard, state in outbox:
+                    inboxes[target_shard].append(state)
+
+    def _account_sharded(self, work: list[int], handoffs: int) -> None:
+        stats = self.stats
+        stats.fixpoint_work += sum(work)
+        for shard, amount in enumerate(work):
+            stats._sharded_work[shard] += amount
+        stats.shard_handoffs += handoffs
+
+    def _sharded_exists_reach(
+        self,
+        goal: frozenset[State],
+        through: frozenset[State] | None,
+        domain: frozenset[State],
+        boundary: frozenset[State],
+    ) -> frozenset[State]:
+        shards = self.parallelism
+        owner = self._owner
+        assert owner is not None
+        predecessors = self._predecessors
+        successors = self._successors
+        results: list[set[State]] = [set() for _ in range(shards)]
+        queues: list[deque[State]] = [deque() for _ in range(shards)]
+        inboxes: list[list[State]] = [[] for _ in range(shards)]
+        work = [0] * shards
+
+        for state in goal & domain:
+            shard = owner[state]
+            results[shard].add(state)
+            queues[shard].append(state)
+            work[shard] += 1
+        if boundary:
+            for state in domain:
+                shard = owner[state]
+                if state in results[shard]:
+                    continue
+                if through is not None and state not in through:
+                    continue
+                if any(t in boundary for t in successors[state]):
+                    results[shard].add(state)
+                    queues[shard].append(state)
+                    work[shard] += 1
+
+        def step(shard: int) -> list[tuple[int, State]]:
+            result, queue = results[shard], queues[shard]
+            inbox, inboxes[shard] = inboxes[shard], []
+            outbox: list[tuple[int, State]] = []
+            for state in inbox:
+                if state not in result:
+                    result.add(state)
+                    queue.append(state)
+                    work[shard] += 1
+            while queue:
+                target = queue.popleft()
+                for state in predecessors.get(target, ()):
+                    if state not in domain:
+                        continue
+                    if through is not None and state not in through:
+                        continue
+                    home = owner[state]
+                    if home != shard:
+                        outbox.append((home, state))
+                    elif state not in result:
+                        result.add(state)
+                        queue.append(state)
+                        work[shard] += 1
+            return outbox
+
+        handoffs = self._fixpoint_rounds(
+            self._shard_strategy(len(domain)), inboxes, queues, step
+        )
+        self._account_sharded(work, handoffs)
+        return boundary | frozenset().union(*results)
+
+    def _sharded_forall_reach(
+        self,
+        goal: frozenset[State],
+        gate: frozenset[State] | None,
+        domain: frozenset[State],
+        boundary: frozenset[State],
+    ) -> frozenset[State]:
+        shards = self.parallelism
+        owner = self._owner
+        assert owner is not None
+        predecessors = self._predecessors
+        successors = self._successors
+        results: list[set[State]] = [set() for _ in range(shards)]
+        pendings: list[dict[State, int]] = [{} for _ in range(shards)]
+        queues: list[deque[State]] = [deque() for _ in range(shards)]
+        inboxes: list[list[State]] = [[] for _ in range(shards)]
+        work = [0] * shards
+
+        for state in domain:
+            shard = owner[state]
+            if state in goal:
+                results[shard].add(state)
+                queues[shard].append(state)
+                work[shard] += 1
+                continue
+            if gate is not None and state not in gate:
+                continue
+            outgoing = successors[state]
+            if not outgoing:
+                continue  # deadlock: AF-style obligations fail here
+            count = 0
+            for target in outgoing:
+                if target in domain:
+                    count += 1  # decremented as in-domain targets are admitted
+                elif target not in boundary:
+                    count = -1  # an out-of-domain successor that never satisfies
+                    break
+            if count < 0:
+                continue
+            if count == 0:
+                results[shard].add(state)
+                queues[shard].append(state)
+                work[shard] += 1
+            else:
+                pendings[shard][state] = count
+
+        def step(shard: int) -> list[tuple[int, State]]:
+            result, queue, pending = results[shard], queues[shard], pendings[shard]
+            inbox, inboxes[shard] = inboxes[shard], []
+            outbox: list[tuple[int, State]] = []
+
+            def weaken(state: State) -> None:
+                # One decrement per admitted in-domain successor, so
+                # inbox entries are deliberately *not* deduplicated.
+                count = pending.get(state)
+                if count is None:
+                    return
+                count -= 1
+                if count == 0:
+                    del pending[state]
+                    result.add(state)
+                    queue.append(state)
+                    work[shard] += 1
+                else:
+                    pending[state] = count
+
+            for state in inbox:
+                weaken(state)
+            while queue:
+                target = queue.popleft()
+                for state in predecessors.get(target, ()):
+                    if state not in domain:
+                        continue
+                    home = owner[state]
+                    if home == shard:
+                        weaken(state)
+                    else:
+                        outbox.append((home, state))
+            return outbox
+
+        handoffs = self._fixpoint_rounds(
+            self._shard_strategy(len(domain)), inboxes, queues, step
+        )
+        self._account_sharded(work, handoffs)
+        return boundary | frozenset().union(*results)
+
+    def _sharded_forall_invariant(
+        self,
+        keep: frozenset[State],
+        domain: frozenset[State],
+        boundary: frozenset[State],
+    ) -> frozenset[State]:
+        shards = self.parallelism
+        owner = self._owner
+        assert owner is not None
+        predecessors = self._predecessors
+        successors = self._successors
+        removeds: list[set[State]] = [set() for _ in range(shards)]
+        queues: list[deque[State]] = [deque() for _ in range(shards)]
+        inboxes: list[list[State]] = [[] for _ in range(shards)]
+        work = [0] * shards
+
+        good = domain | boundary if boundary else None
+        for state in domain:
+            if state in keep and (
+                good is None or all(t in good for t in successors[state])
+            ):
+                continue
+            shard = owner[state]
+            removeds[shard].add(state)
+            queues[shard].append(state)
+            work[shard] += 1
+
+        def step(shard: int) -> list[tuple[int, State]]:
+            removed, queue = removeds[shard], queues[shard]
+            inbox, inboxes[shard] = inboxes[shard], []
+            outbox: list[tuple[int, State]] = []
+            for state in inbox:
+                if state not in removed:
+                    removed.add(state)
+                    queue.append(state)
+                    work[shard] += 1
+            while queue:
+                state = queue.popleft()
+                for pred in predecessors.get(state, ()):
+                    if pred not in domain:
+                        continue
+                    home = owner[pred]
+                    if home != shard:
+                        outbox.append((home, pred))
+                    elif pred not in removed:
+                        removed.add(pred)
+                        queue.append(pred)
+                        work[shard] += 1
+            return outbox
+
+        handoffs = self._fixpoint_rounds(
+            self._shard_strategy(len(domain)), inboxes, queues, step
+        )
+        self._account_sharded(work, handoffs)
+        return boundary | ((keep & domain) - frozenset().union(*removeds))
+
+    def _sharded_exists_invariant(
+        self,
+        keep: frozenset[State],
+        domain: frozenset[State],
+        boundary: frozenset[State],
+    ) -> frozenset[State]:
+        shards = self.parallelism
+        owner = self._owner
+        assert owner is not None
+        predecessors = self._predecessors
+        successors = self._successors
+        alive_all = keep & domain
+        good = alive_all | boundary if boundary else alive_all
+        alives: list[set[State]] = [set() for _ in range(shards)]
+        supports: list[dict[State, int]] = [{} for _ in range(shards)]
+        queues: list[deque[State]] = [deque() for _ in range(shards)]
+        inboxes: list[list[State]] = [[] for _ in range(shards)]
+        work = [0] * shards
+
+        for state in alive_all:
+            shard = owner[state]
+            alives[shard].add(state)
+            outgoing = successors[state]
+            if not outgoing:
+                continue  # deadlock: stays by the δ disjunct
+            count = sum(1 for target in outgoing if target in good)
+            if count == 0:
+                queues[shard].append(state)
+            else:
+                supports[shard][state] = count
+
+        def step(shard: int) -> list[tuple[int, State]]:
+            alive, support, queue = alives[shard], supports[shard], queues[shard]
+            inbox, inboxes[shard] = inboxes[shard], []
+            outbox: list[tuple[int, State]] = []
+
+            def weaken(state: State) -> None:
+                count = support.get(state)
+                if count is None:
+                    return
+                count -= 1
+                if count == 0:
+                    del support[state]
+                    queue.append(state)
+                else:
+                    support[state] = count
+
+            for state in inbox:
+                weaken(state)
+            while queue:
+                state = queue.popleft()
+                if state not in alive:
+                    continue
+                alive.discard(state)
+                work[shard] += 1
+                for pred in predecessors.get(state, ()):
+                    if pred not in alive_all:
+                        continue
+                    home = owner[pred]
+                    if home == shard:
+                        weaken(pred)
+                    else:
+                        outbox.append((home, pred))
+            return outbox
+
+        handoffs = self._fixpoint_rounds(
+            self._shard_strategy(len(domain)), inboxes, queues, step
+        )
+        self._account_sharded(work, handoffs)
+        return boundary | frozenset().union(*alives)
 
     def _fixpoint_region(self, formula: Formula) -> tuple[frozenset[State], frozenset[State]]:
         patch = self._patchable(formula)

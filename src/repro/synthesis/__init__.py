@@ -15,6 +15,7 @@ from .iterate import (
 )
 from .learning import RefusalMode, learn, learn_blocked, learn_regular, refuse
 from .multi import MultiIterationRecord, MultiLegacySynthesizer, MultiSynthesisResult
+from .settings import SynthesisSettings
 from .report import (
     coverage_summary,
     knowledge_gaps,
@@ -37,6 +38,7 @@ __all__ = [
     "RefusalMode",
     "IntegrationSynthesizer",
     "SynthesisResult",
+    "SynthesisSettings",
     "IterationRecord",
     "Verdict",
     "CounterexampleStrategy",

@@ -53,6 +53,7 @@ from ..testing.replay import ReplayResult, replay
 from ..testing.testcase import TestCase, TestStep, test_case_from_counterexample
 from .initial import StateLabeler, initial_model
 from .learning import RefusalMode, learn_blocked, learn_regular, refuse
+from .settings import SynthesisSettings, _UNSET, merge_legacy_settings
 
 __all__ = [
     "Verdict",
@@ -60,13 +61,27 @@ __all__ = [
     "SynthesisResult",
     "IntegrationSynthesizer",
     "CounterexampleStrategy",
+    "SynthesisSettings",
 ]
+
+#: Default iteration budget of :class:`IntegrationSynthesizer`.
+DEFAULT_MAX_ITERATIONS = 500
 
 #: Hook for custom counterexample selection (the paper's conclusion notes
 #: that counterexample strategies are a tuning point).  Receives the
 #: composed automaton, the violated formula, and a ready checker; must
 #: return a violating run of the composition.
 CounterexampleStrategy = Callable[[Automaton, Formula, ModelChecker], Run]
+
+
+def _warn_renamed_counter(old: str, new: str, record: str = "IterationRecord") -> None:
+    import warnings
+
+    warnings.warn(
+        f"{record}.{old} is deprecated; read {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Verdict(Enum):
@@ -108,14 +123,37 @@ class IterationRecord:
     #: Worklist operations the checker spent on this iteration's fixpoints
     #: (populated on both paths; warm starts should show less work).
     checker_fixpoint_work: int = 0
-    # Sharded-exploration counters (zero/empty when no product ran or
-    # when ``incremental=False``).  The per-shard breakdown depends on
-    # the shard count, but its sums are scheduling-independent:
-    # ``sum(shard_states_explored) == product_hits + product_misses``.
+    # Sharded-exploration counters, split into the ``product_*`` and
+    # ``checker_*`` namespaces (matching ``CheckerStats.as_dict()``).
+    # Product counters are zero/empty when no product ran or when
+    # ``incremental=False``.  Per-shard breakdowns depend on the shard
+    # count, but their sums are scheduling-independent:
+    # ``sum(product_shard_states_explored) == product_hits + product_misses``
+    # and ``sum(checker_shard_fixpoint_work) == checker_fixpoint_work``.
     product_shards: int = 0
-    shard_states_explored: tuple[int, ...] = ()
-    shard_handoffs: int = 0
-    shard_merge_conflicts: int = 0
+    product_shard_states_explored: tuple[int, ...] = ()
+    product_shard_handoffs: int = 0
+    product_shard_merge_conflicts: int = 0
+    checker_shards: int = 1
+    checker_shard_fixpoint_work: tuple[int, ...] = ()
+    checker_shard_handoffs: int = 0
+
+    # Pre-redesign names of the product shard counters, kept as
+    # deprecated read-only views.
+    @property
+    def shard_states_explored(self) -> tuple[int, ...]:
+        _warn_renamed_counter("shard_states_explored", "product_shard_states_explored")
+        return self.product_shard_states_explored
+
+    @property
+    def shard_handoffs(self) -> int:
+        _warn_renamed_counter("shard_handoffs", "product_shard_handoffs")
+        return self.product_shard_handoffs
+
+    @property
+    def shard_merge_conflicts(self) -> int:
+        _warn_renamed_counter("shard_merge_conflicts", "product_shard_merge_conflicts")
+        return self.product_shard_merge_conflicts
 
 
 @dataclass(frozen=True)
@@ -219,14 +257,13 @@ class IntegrationSynthesizer:
         Enable §4.2's shortcut: a property counterexample confined to
         the synthesized (non-chaotic) part proves a real conflict
         without testing.
-    max_iterations:
-        Safety budget; exceeding it yields ``Verdict.BUDGET_EXCEEDED``.
-    counterexamples_per_iteration:
-        Derive up to this many counterexamples from each failed check
-        and test/learn all of them before re-verifying — the paper's
-        conclusion proposes exactly this optimisation ("the interplay …
-        could be improved when a number of counterexample instead only
-        single one could be derived from the model checker").
+    settings:
+        The consolidated loop-tuning knobs
+        (:class:`~repro.synthesis.settings.SynthesisSettings`):
+        iteration budget, counterexample batching, incrementality, and
+        the product/checker shard counts.  The individual keyword
+        arguments below still work but are deprecated shims that
+        forward into it.
     initial_knowledge:
         Warm-start the series from a previously learned model instead of
         the trivial ``M_l^0`` — e.g. the ``final_model`` of an earlier
@@ -236,21 +273,10 @@ class IntegrationSynthesizer:
         every transition is re-executed and every refusal re-attempted,
         so a stale model (the component was updated) is rejected instead
         of silently breaking the safe-abstraction invariant.
-    incremental:
-        Carry the chaotic closure, the composed product, and the model
-        checker's fixpoints across iterations (default), rebuilding only
-        what each learning step invalidated — see
-        :mod:`repro.automata.incremental` and ``docs/performance.md``.
-        ``False`` recomputes everything from scratch each iteration;
-        verdicts and counterexamples are identical either way.
-    parallelism:
-        Shard the product re-exploration (and large closure rebuilds)
-        across this many shards via the reusable worker pool of
-        :mod:`repro.automata.sharding`.  Results — verdicts,
-        counterexamples, learned models, iteration records — are
-        bit-identical for every value; only the per-shard counters
-        change shape.  ``None`` (default) defers to the
-        ``REPRO_PARALLELISM`` environment variable, falling back to 1.
+    max_iterations, counterexamples_per_iteration, incremental, parallelism:
+        Deprecated: pass these through ``settings=`` instead.  They
+        keep working (forwarded with a :class:`DeprecationWarning`) so
+        existing call sites survive the redesign.
     """
 
     def __init__(
@@ -263,19 +289,27 @@ class IntegrationSynthesizer:
         labeler: StateLabeler | None = None,
         refusal_mode: RefusalMode = "deterministic",
         fast_conflict: bool = True,
-        max_iterations: int = 500,
+        settings: SynthesisSettings | None = None,
+        max_iterations: int = _UNSET,  # type: ignore[assignment]
         composition_semantics: Semantics = "strict",
         counterexample_strategy: CounterexampleStrategy | None = None,
-        counterexamples_per_iteration: int = 1,
+        counterexamples_per_iteration: int = _UNSET,  # type: ignore[assignment]
         initial_knowledge: IncompleteAutomaton | None = None,
         validate_knowledge: bool = True,
         port: str = "port",
-        incremental: bool = True,
-        parallelism: int | None = None,
+        incremental: bool = _UNSET,  # type: ignore[assignment]
+        parallelism: int | None = _UNSET,  # type: ignore[assignment]
     ):
-        from ..automata.sharding import resolve_parallelism
-
         assert_compositional(property)
+        settings = merge_legacy_settings(
+            settings,
+            "IntegrationSynthesizer",
+            max_iterations=max_iterations,
+            counterexamples_per_iteration=counterexamples_per_iteration,
+            incremental=incremental,
+            parallelism=parallelism,
+        )
+        self.settings = settings
         self.context = context
         self.component = component
         self.property = property
@@ -285,15 +319,14 @@ class IntegrationSynthesizer:
         self.labeler = labeler
         self.refusal_mode: RefusalMode = refusal_mode
         self.fast_conflict = fast_conflict
-        self.max_iterations = max_iterations
+        self.max_iterations = settings.iterations_or(DEFAULT_MAX_ITERATIONS)
         self.composition_semantics: Semantics = composition_semantics
         self.counterexample_strategy = counterexample_strategy
-        if counterexamples_per_iteration < 1:
-            raise SynthesisError("counterexamples_per_iteration must be positive")
-        self.counterexamples_per_iteration = counterexamples_per_iteration
+        self.counterexamples_per_iteration = settings.counterexamples_per_iteration
         self.port = port
-        self.incremental = incremental
-        self.parallelism = resolve_parallelism(parallelism)
+        self.incremental = settings.incremental
+        self.parallelism = settings.resolved_parallelism()
+        self.checker_parallelism = settings.resolved_checker_parallelism()
         # Violations of properties mentioning the deadlock atom or an
         # eventuality (AF/AU) can hinge on the closure's *pessimistic
         # refusals* — a path that merely might end.  Only those need the
@@ -395,6 +428,7 @@ class IntegrationSynthesizer:
                 semantics=self.composition_semantics,
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
+                checker_parallelism=self.checker_parallelism,
             )
             if self.incremental
             else None
@@ -420,7 +454,7 @@ class IntegrationSynthesizer:
                     semantics=self.composition_semantics,
                     parallelism=self.parallelism,
                 )
-                checker = ModelChecker(composed)
+                checker = ModelChecker(composed, parallelism=self.checker_parallelism)
                 step_stats = None
             property_result = checker.check(self.weakened_property)
             deadlock_result = checker.check(DEADLOCK_FREE)
@@ -459,13 +493,18 @@ class IntegrationSynthesizer:
                     affected_states=step_stats.affected_states if step_stats else 0,
                     checker_fixpoint_work=checker.stats.fixpoint_work,
                     product_shards=step_stats.product_shards if step_stats else 0,
-                    shard_states_explored=(
+                    product_shard_states_explored=(
                         step_stats.shard_states_explored if step_stats else ()
                     ),
-                    shard_handoffs=step_stats.shard_handoffs if step_stats else 0,
-                    shard_merge_conflicts=(
+                    product_shard_handoffs=(
+                        step_stats.shard_handoffs if step_stats else 0
+                    ),
+                    product_shard_merge_conflicts=(
                         step_stats.shard_merge_conflicts if step_stats else 0
                     ),
+                    checker_shards=checker.stats.shards,
+                    checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
+                    checker_shard_handoffs=checker.stats.shard_handoffs,
                 )
 
             if property_result.holds and deadlock_result.holds:

@@ -43,16 +43,21 @@ from ..legacy.component import LegacyComponent
 from ..legacy.interface import interface_of
 from ..logic.checker import ModelChecker
 from ..logic.compositional import assert_compositional, weaken_for_chaos
-from ..logic.counterexample import counterexample
+from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import DEADLOCK_FREE, Formula
 from ..testing.executor import TestVerdict, execute_test
 from ..testing.replay import replay
 from ..testing.testcase import TestCase, TestStep
 from .initial import StateLabeler, initial_model
-from .iterate import Verdict
+from .iterate import Verdict, _warn_renamed_counter
 from .learning import RefusalMode, learn_blocked, learn_regular, refuse
+from .settings import SynthesisSettings, _UNSET, merge_legacy_settings
 
 __all__ = ["MultiLegacySynthesizer", "MultiSynthesisResult", "MultiIterationRecord"]
+
+#: Default iteration budget of :class:`MultiLegacySynthesizer` (higher
+#: than the single-placement default: n models learn in parallel).
+DEFAULT_MULTI_MAX_ITERATIONS = 1000
 
 
 @dataclass(frozen=True)
@@ -79,13 +84,44 @@ class MultiIterationRecord:
     affected_states: int = 0
     #: Worklist operations the checker spent on this iteration's fixpoints.
     checker_fixpoint_work: int = 0
-    # Sharded-exploration counters; the per-shard breakdown depends on
-    # the shard count, but ``sum(shard_states_explored) ==
-    # product_hits + product_misses`` for every shard count.
+    # Sharded-exploration counters in the ``product_*`` / ``checker_*``
+    # namespaces; per-shard breakdowns depend on the shard count, but
+    # ``sum(product_shard_states_explored) == product_hits + product_misses``
+    # and ``sum(checker_shard_fixpoint_work) == checker_fixpoint_work``
+    # for every shard count.
     product_shards: int = 0
-    shard_states_explored: tuple[int, ...] = ()
-    shard_handoffs: int = 0
-    shard_merge_conflicts: int = 0
+    product_shard_states_explored: tuple[int, ...] = ()
+    product_shard_handoffs: int = 0
+    product_shard_merge_conflicts: int = 0
+    checker_shards: int = 1
+    checker_shard_fixpoint_work: tuple[int, ...] = ()
+    checker_shard_handoffs: int = 0
+
+    # Pre-redesign names, kept as deprecated read-only views.
+    @property
+    def shard_states_explored(self) -> tuple[int, ...]:
+        _warn_renamed_counter(
+            "shard_states_explored",
+            "product_shard_states_explored",
+            record="MultiIterationRecord",
+        )
+        return self.product_shard_states_explored
+
+    @property
+    def shard_handoffs(self) -> int:
+        _warn_renamed_counter(
+            "shard_handoffs", "product_shard_handoffs", record="MultiIterationRecord"
+        )
+        return self.product_shard_handoffs
+
+    @property
+    def shard_merge_conflicts(self) -> int:
+        _warn_renamed_counter(
+            "shard_merge_conflicts",
+            "product_shard_merge_conflicts",
+            record="MultiIterationRecord",
+        )
+        return self.product_shard_merge_conflicts
 
 
 @dataclass(frozen=True)
@@ -163,10 +199,15 @@ class MultiLegacySynthesizer:
         deadlock freedom.
     labelers:
         Optional per-component state labelers, keyed by component name.
-    parallelism:
-        Shard the product re-exploration as in
-        :class:`~repro.synthesis.iterate.IntegrationSynthesizer`;
-        results are bit-identical for every value.
+    settings:
+        The consolidated loop-tuning knobs
+        (:class:`~repro.synthesis.settings.SynthesisSettings`), shared
+        with :class:`~repro.synthesis.iterate.IntegrationSynthesizer`.
+        The individual ``max_iterations`` / ``incremental`` /
+        ``parallelism`` keywords still work but are deprecated shims.
+        A ``counterexamples_per_iteration`` above 1 tests and learns
+        from extra counterexamples of each failed check on top of the
+        primary one.
     """
 
     def __init__(
@@ -179,28 +220,39 @@ class MultiLegacySynthesizer:
         labelers: dict[str, StateLabeler] | None = None,
         refusal_mode: RefusalMode = "deterministic",
         fast_conflict: bool = True,
-        max_iterations: int = 1000,
+        settings: SynthesisSettings | None = None,
+        max_iterations: int = _UNSET,  # type: ignore[assignment]
+        counterexamples_per_iteration: int = _UNSET,  # type: ignore[assignment]
         port: str = "port",
-        incremental: bool = True,
-        parallelism: int | None = None,
+        incremental: bool = _UNSET,  # type: ignore[assignment]
+        parallelism: int | None = _UNSET,  # type: ignore[assignment]
     ):
-        from ..automata.sharding import resolve_parallelism
-
         assert_compositional(property)
+        settings = merge_legacy_settings(
+            settings,
+            "MultiLegacySynthesizer",
+            max_iterations=max_iterations,
+            counterexamples_per_iteration=counterexamples_per_iteration,
+            incremental=incremental,
+            parallelism=parallelism,
+        )
         if not components:
             raise SynthesisError("MultiLegacySynthesizer needs at least one legacy component")
         names = [component.name for component in components]
         if len(set(names)) != len(names):
             raise SynthesisError(f"legacy component names must be unique, got {names}")
+        self.settings = settings
         self.context = context
         self.property = property
         self.weakened_property = weaken_for_chaos(property)
         self.refusal_mode: RefusalMode = refusal_mode
         self.fast_conflict = fast_conflict
-        self.max_iterations = max_iterations
+        self.max_iterations = settings.iterations_or(DEFAULT_MULTI_MAX_ITERATIONS)
+        self.counterexamples_per_iteration = settings.counterexamples_per_iteration
         self.port = port
-        self.incremental = incremental
-        self.parallelism = resolve_parallelism(parallelism)
+        self.incremental = settings.incremental
+        self.parallelism = settings.resolved_parallelism()
+        self.checker_parallelism = settings.resolved_checker_parallelism()
         universes = universes or {}
         labelers = labelers or {}
         offset = 1 if context is not None else 0
@@ -428,6 +480,20 @@ class MultiLegacySynthesizer:
                     return True
         return False
 
+    def _counterexample_batch(
+        self, composed: Automaton, formula: Formula, checker: ModelChecker
+    ) -> list[Run]:
+        if self.counterexamples_per_iteration > 1:
+            batch = counterexamples(
+                composed, formula, checker=checker, limit=self.counterexamples_per_iteration
+            )
+            if batch:
+                return batch
+        run = counterexample(composed, formula, checker=checker)
+        if run is None:
+            raise SynthesisError(f"{formula} was violated but no counterexample was produced")
+        return [run]
+
     # ------------------------------------------------------------------ run
 
     def run(self) -> MultiSynthesisResult:
@@ -439,6 +505,7 @@ class MultiLegacySynthesizer:
                 semantics="open",
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
+                checker_parallelism=self.checker_parallelism,
             )
             if self.incremental
             else None
@@ -455,7 +522,7 @@ class MultiLegacySynthesizer:
                 step_stats = step.stats
             else:
                 composed = self._compose()
-                checker = ModelChecker(composed)
+                checker = ModelChecker(composed, parallelism=self.checker_parallelism)
                 step_stats = None
             property_result = checker.check(self.weakened_property)
             deadlock_result = checker.check(DEADLOCK_FREE)
@@ -468,13 +535,18 @@ class MultiLegacySynthesizer:
                 affected_states=step_stats.affected_states if step_stats else 0,
                 checker_fixpoint_work=checker.stats.fixpoint_work,
                 product_shards=step_stats.product_shards if step_stats else 0,
-                shard_states_explored=(
+                product_shard_states_explored=(
                     step_stats.shard_states_explored if step_stats else ()
                 ),
-                shard_handoffs=step_stats.shard_handoffs if step_stats else 0,
-                shard_merge_conflicts=(
+                product_shard_handoffs=(
+                    step_stats.shard_handoffs if step_stats else 0
+                ),
+                product_shard_merge_conflicts=(
                     step_stats.shard_merge_conflicts if step_stats else 0
                 ),
+                checker_shards=checker.stats.shards,
+                checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
+                checker_shard_handoffs=checker.stats.shard_handoffs,
             )
 
             def snapshot() -> tuple[tuple[int, int, int], ...]:
@@ -504,21 +576,39 @@ class MultiLegacySynthesizer:
 
             if not property_result.holds:
                 violated = "property"
-                cex = counterexample(composed, self.weakened_property, checker=checker)
+                batch = self._counterexample_batch(composed, self.weakened_property, checker)
             else:
                 violated = "deadlock"
-                cex = counterexample(composed, DEADLOCK_FREE, checker=checker)
-            assert cex is not None
+                batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
+            cex = batch[0]
 
-            chaos_free = not any(
-                is_chaos_state(self._slot_state(state, slot))
-                for state in cex.states
-                for slot in self.slots
-            )
-            needs_probing = (
-                violated == "deadlock"
-                or (self._refusal_sensitive and composed.is_deadlock(cex.last_state))
-            )
+            def is_chaos_free(candidate: Run) -> bool:
+                return not any(
+                    is_chaos_state(self._slot_state(state, slot))
+                    for state in candidate.states
+                    for slot in self.slots
+                )
+
+            def probing_needed(candidate: Run) -> bool:
+                return violated == "deadlock" or (
+                    self._refusal_sensitive and composed.is_deadlock(candidate.last_state)
+                )
+
+            chaos_free = is_chaos_free(cex)
+            needs_probing = probing_needed(cex)
+            if self.fast_conflict and violated == "property":
+                fast_candidate = next(
+                    (
+                        candidate
+                        for candidate in batch
+                        if not probing_needed(candidate) and is_chaos_free(candidate)
+                    ),
+                    None,
+                )
+                if fast_candidate is not None:
+                    cex = fast_candidate
+                    chaos_free = True
+                    needs_probing = False
             if self.fast_conflict and violated == "property" and not needs_probing and chaos_free:
                 records.append(
                     MultiIterationRecord(
@@ -555,6 +645,28 @@ class MultiLegacySynthesizer:
                     all_confirmed = False
                     if self._learn_execution(slot, execution):
                         learned_names.append(slot.name)
+
+            # Extra batch counterexamples contribute test/learn material
+            # only; verdict decisions rest on the primary one.  Probing
+            # candidates are skipped (their confirmation protocol is the
+            # expensive primary-path one).
+            for candidate in batch[1:]:
+                if candidate is cex or probing_needed(candidate):
+                    continue
+                candidate_chaos_free = is_chaos_free(candidate)
+                for slot in self.slots:
+                    case = self._project_case(candidate, slot)
+                    counters[0] += 1
+                    execution = execute_test(slot.component, case, port=self.port)
+                    if execution.verdict is TestVerdict.CONFIRMED and candidate_chaos_free:
+                        continue
+                    try:
+                        if self._learn_execution(slot, execution):
+                            learned_names.append(slot.name)
+                    except LearningError:
+                        # Later candidates may contradict knowledge the
+                        # earlier ones just merged; skipping is sound.
+                        continue
 
             real = False
             if all_confirmed:

@@ -218,6 +218,28 @@ def result_to_dict(result: SynthesisResult) -> dict:
                 "test_verdict": record.test_verdict.value if record.test_verdict else None,
                 "tests_executed": record.tests_executed,
                 "knowledge_gained": record.knowledge_gained,
+                # Incremental/sharding counters in the two namespaces of
+                # StepStats (product_*) and CheckerStats (checker_*).
+                "counters": {
+                    "closure_groups_reused": record.closure_groups_reused,
+                    "closure_groups_rebuilt": record.closure_groups_rebuilt,
+                    "dirty_states": record.dirty_states,
+                    "affected_states": record.affected_states,
+                    "product_hits": record.product_hits,
+                    "product_misses": record.product_misses,
+                    "product_shards": record.product_shards,
+                    "product_shard_states_explored": list(
+                        record.product_shard_states_explored
+                    ),
+                    "product_shard_handoffs": record.product_shard_handoffs,
+                    "product_shard_merge_conflicts": record.product_shard_merge_conflicts,
+                    "checker_fixpoint_work": record.checker_fixpoint_work,
+                    "checker_shards": record.checker_shards,
+                    "checker_shard_fixpoint_work": list(
+                        record.checker_shard_fixpoint_work
+                    ),
+                    "checker_shard_handoffs": record.checker_shard_handoffs,
+                },
             }
             for record in result.iterations
         ],

@@ -1,0 +1,139 @@
+"""One consolidated knob surface for the synthesis loop.
+
+The verify → test → learn loop grew its tuning knobs one PR at a time:
+``max_iterations`` and ``counterexamples_per_iteration`` on the
+synthesizers, ``incremental`` with the warm engine, ``parallelism``
+with the sharded product, ``checker_parallelism`` with the sharded
+checker fixpoint.  :class:`SynthesisSettings` gathers them into one
+frozen, validated value that :func:`repro.integration.integrate`,
+:class:`~repro.synthesis.iterate.IntegrationSynthesizer`, and
+:class:`~repro.synthesis.multi.MultiLegacySynthesizer` all accept as
+``settings=``; the scattered keyword arguments still work but emit
+:class:`DeprecationWarning` and forward here.
+
+None of the knobs changes *what* is synthesized — verdicts,
+counterexamples, and learned models are bit-identical for every
+combination; they only trade time for memory or parallel workers (see
+``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from ..automata.sharding import resolve_checker_parallelism, resolve_parallelism
+from ..errors import SynthesisError
+
+__all__ = ["SynthesisSettings"]
+
+
+class _Unset:
+    """Sentinel distinguishing "legacy keyword not passed" from an
+    explicit ``None`` (which is meaningful for the parallelism knobs).
+    The stable repr keeps generated API docs address-free."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class SynthesisSettings:
+    """Loop-tuning knobs shared by every synthesis entry point.
+
+    Parameters
+    ----------
+    max_iterations:
+        Safety budget for the loop; exceeding it yields a
+        ``BUDGET_EXCEEDED`` verdict.  (§4.4 guarantees termination, so
+        this is a guard rail, not a semantic limit.)
+        :class:`~repro.synthesis.multi.MultiLegacySynthesizer` defaults
+        to 1000 instead of 500 — pass an explicit value to override.
+    counterexamples_per_iteration:
+        Derive up to this many counterexamples from each failed check
+        and test/learn all of them before re-verifying (the batching
+        optimisation proposed in the paper's conclusion).
+    incremental:
+        Carry closures, the composed product, and the checker's
+        fixpoints across iterations (default), rebuilding only what a
+        learning step invalidated.
+    parallelism:
+        Shard count for the product re-exploration (and large closure
+        rebuilds).  ``None`` defers to ``REPRO_PARALLELISM``, falling
+        back to 1.
+    checker_parallelism:
+        Shard count for the model checker's fixpoint solves.  ``None``
+        defers to ``REPRO_CHECKER_PARALLELISM`` and then follows
+        ``parallelism``, so setting one knob shards the whole pipeline.
+    """
+
+    max_iterations: int | None = None
+    counterexamples_per_iteration: int = 1
+    incremental: bool = True
+    parallelism: int | None = None
+    checker_parallelism: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is not None and (
+            not isinstance(self.max_iterations, int)
+            or isinstance(self.max_iterations, bool)
+            or self.max_iterations < 1
+        ):
+            raise SynthesisError(
+                f"max_iterations must be a positive integer, got {self.max_iterations!r}"
+            )
+        if (
+            not isinstance(self.counterexamples_per_iteration, int)
+            or isinstance(self.counterexamples_per_iteration, bool)
+            or self.counterexamples_per_iteration < 1
+        ):
+            raise SynthesisError("counterexamples_per_iteration must be positive")
+        if self.parallelism is not None:
+            resolve_parallelism(self.parallelism)
+        if self.checker_parallelism is not None:
+            resolve_checker_parallelism(self.checker_parallelism)
+
+    # ------------------------------------------------------------ resolution
+
+    def iterations_or(self, default: int) -> int:
+        """``max_iterations`` with the entry point's own default."""
+        return default if self.max_iterations is None else self.max_iterations
+
+    def resolved_parallelism(self) -> int:
+        """The product shard count with environment fallback applied."""
+        return resolve_parallelism(self.parallelism)
+
+    def resolved_checker_parallelism(self) -> int:
+        """The checker shard count: explicit, env, or the product's."""
+        return resolve_checker_parallelism(
+            self.checker_parallelism, fallback=self.resolved_parallelism()
+        )
+
+
+def merge_legacy_settings(
+    settings: "SynthesisSettings | None", owner: str, **overrides: object
+) -> SynthesisSettings:
+    """Fold deprecated keyword arguments into a :class:`SynthesisSettings`.
+
+    Every override that is not the ``_UNSET`` sentinel emits a
+    :class:`DeprecationWarning` naming the replacement and is applied on
+    top of ``settings`` (or the defaults).  Shared by ``integrate()``
+    and both synthesizers so the shim behaves identically everywhere.
+    """
+    base = settings if settings is not None else SynthesisSettings()
+    updates = {name: value for name, value in overrides.items() if value is not _UNSET}
+    if not updates:
+        return base
+    names = ", ".join(sorted(updates))
+    warnings.warn(
+        f"passing {names} to {owner} directly is deprecated; "
+        f"use settings=SynthesisSettings(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return replace(base, **updates)  # type: ignore[arg-type]

@@ -1,0 +1,254 @@
+"""Differential conformance harness for the sharded checker fixpoints.
+
+The sharded reachability/invariant solvers of
+:class:`~repro.logic.checker.ModelChecker` (``parallelism=K``) claim to
+be *bit-identical* to the sequential worklist fixpoints for every shard
+count, execution strategy, and warm-start history — not just the same
+verdicts but the same satisfaction sets and the same total amount of
+fixpoint work (``checker_fixpoint_work`` counts admissions/removals,
+which the round-based handoff protocol performs exactly once per state
+per event regardless of K).  Hypothesis drives random learning
+evolutions through the closure → product pipeline and checks exactly
+that, with the sequential implementation as the specification.
+
+A ``PYTHONHASHSEED`` fingerprint test (three seeds, fresh interpreters)
+pins down the remaining scheduling-order risk: sat-sets and per-shard
+counters must not depend on ``set``/``dict`` iteration order.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    CHECKER_PARALLELISM_ENV,
+    compose,
+    resolve_checker_parallelism,
+)
+from repro.automata.incremental import ClosureCache, IncrementalProduct, IncrementalVerifier
+from repro.errors import CompositionError
+from repro.logic import DEADLOCK_FREE, ModelChecker, parse
+from tests.test_incremental import FORMULAS, UNIVERSE, _client, model_evolutions
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: FORMULAS (test_incremental) plus bounded operators, so every solver
+#: family — exists/forall reachability, both invariants, and the
+#: bounded-DP layers that stay sequential under sharding — is exercised.
+CHECK_FORMULAS = FORMULAS + (
+    parse("AF[0,3] (q or chaos)"),
+    parse("EF[1,2] (p or chaos)"),
+    parse("AG[0,2] (p or chaos or q)"),
+    parse("A[(p or chaos) U (q or chaos)]"),
+    parse("E[(p or chaos) U (q or chaos)]"),
+)
+
+
+def _products(models):
+    """The composed products the synthesis loop would check, oldest first."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(semantics="strict")
+    out = []
+    for model in models:
+        update = cache.update(model)
+        step = product.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        out.append((step.automaton, step.dirty_states))
+    return out
+
+
+def _assert_conformant(reference: ModelChecker, candidate: ModelChecker, shards: int):
+    """Bit-identical sat-sets/verdicts plus counter conservation."""
+    for formula in CHECK_FORMULAS:
+        assert candidate.sat(formula) == reference.sat(formula), formula
+        assert candidate.check(formula).holds == reference.check(formula).holds
+    # Work conservation: the sharded fixpoint admits/removes exactly the
+    # states the sequential one does — once each — so totals are pinned.
+    assert candidate.stats.fixpoint_work == reference.stats.fixpoint_work
+    breakdown = candidate.stats.shard_fixpoint_work
+    assert len(breakdown) == shards
+    assert sum(breakdown) == candidate.stats.fixpoint_work
+    assert candidate.stats.shards == shards
+
+
+# ------------------------------------------------------------------ primitives
+
+
+def test_resolve_checker_parallelism_validates():
+    assert resolve_checker_parallelism(3) == 3
+    for bad in (0, -2, True):
+        with pytest.raises(CompositionError):
+            resolve_checker_parallelism(bad)
+
+
+def test_resolve_checker_parallelism_env_and_fallback(monkeypatch):
+    monkeypatch.delenv(CHECKER_PARALLELISM_ENV, raising=False)
+    assert resolve_checker_parallelism(None) == 1
+    # Unset env defers to the product-parallelism fallback...
+    assert resolve_checker_parallelism(None, fallback=4) == 4
+    # ...but the env knob wins over the fallback when present.
+    monkeypatch.setenv(CHECKER_PARALLELISM_ENV, "2")
+    assert resolve_checker_parallelism(None, fallback=4) == 2
+    # An explicit value beats both.
+    assert resolve_checker_parallelism(8, fallback=4) == 8
+    monkeypatch.setenv(CHECKER_PARALLELISM_ENV, "zero")
+    with pytest.raises(CompositionError):
+        resolve_checker_parallelism(None)
+
+
+# ------------------------------------------------- differential: cold checkers
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_sharded_checker_equals_sequential(models):
+    """K ∈ {1,2,4,8} sat-sets, verdicts, and work totals ≡ sequential."""
+    for composed, _ in _products(models):
+        reference = ModelChecker(composed, parallelism=1)
+        for formula in CHECK_FORMULAS:
+            reference.sat(formula)
+            reference.check(formula)
+        for shards in SHARD_COUNTS:
+            _assert_conformant(reference, ModelChecker(composed, parallelism=shards), shards)
+
+
+@SETTINGS
+@given(model_evolutions(max_steps=3), st.sampled_from(["sequential", "thread", "process"]))
+def test_forced_strategy_equals_sequential(models, strategy):
+    """Every execution strategy (process clamps to thread) is identical."""
+    for composed, _ in _products(models):
+        reference = ModelChecker(composed, parallelism=1)
+        for formula in CHECK_FORMULAS:
+            reference.sat(formula)
+        _assert_conformant(
+            reference, ModelChecker(composed, parallelism=4, strategy=strategy), 4
+        )
+
+
+# ------------------------------------------------- differential: warm checkers
+
+
+@SETTINGS
+@given(model_evolutions(min_steps=3))
+def test_warm_sharded_checker_equals_cold_sequential(models):
+    """Warm-start + sharding compose: patched sat-sets stay bit-identical."""
+    previous: ModelChecker | None = None
+    for composed, dirty in _products(models):
+        warm = ModelChecker(
+            composed, warm_from=previous, dirty_states=dirty, parallelism=4
+        )
+        cold = ModelChecker(composed, parallelism=1)
+        for formula in CHECK_FORMULAS:
+            assert warm.sat(formula) == cold.sat(formula), formula
+            assert warm.check(formula).holds == cold.check(formula).holds
+        assert sum(warm.stats.shard_fixpoint_work) == warm.stats.fixpoint_work
+        previous = warm
+
+
+@SETTINGS
+@given(model_evolutions(min_steps=3), st.sampled_from([2, 4]))
+def test_incremental_verifier_checker_parallelism_is_invisible(models, shards):
+    """The engine's ``checker_parallelism`` knob never changes sat-sets."""
+    client = _client()
+    sharded = IncrementalVerifier(
+        context=client, universes=[UNIVERSE], checker_parallelism=shards
+    )
+    sequential = IncrementalVerifier(
+        context=client, universes=[UNIVERSE], checker_parallelism=1
+    )
+    for model in models:
+        left = sharded.step([model])
+        right = sequential.step([model])
+        assert left.composed == right.composed
+        for formula in CHECK_FORMULAS:
+            assert left.checker.sat(formula) == right.checker.sat(formula), formula
+        assert left.checker.stats.shards == shards
+        assert right.checker.stats.shards == 1
+
+
+# ------------------------------------------------------------- stats namespace
+
+
+def test_stats_dict_uses_checker_namespace(ping_client, pong_server):
+    composed = compose(ping_client, pong_server)
+    checker = ModelChecker(composed, parallelism=2)
+    checker.sat(DEADLOCK_FREE)
+    stats = checker.stats.as_dict()
+    assert set(stats) == {
+        "checker_successors_reused",
+        "checker_sat_reused",
+        "checker_sat_patched",
+        "checker_sat_computed",
+        "checker_affected_states",
+        "checker_fixpoint_work",
+        "checker_shards",
+        "checker_shard_fixpoint_work",
+        "checker_shard_handoffs",
+    }
+    assert stats["checker_shards"] == 2
+    assert stats["checker_fixpoint_work"] == sum(stats["checker_shard_fixpoint_work"])
+
+
+# -------------------------------------------------------- ordering regressions
+
+
+_FINGERPRINT_SCRIPT = """
+import hashlib
+from tests.test_incremental import FORMULAS, UNIVERSE, _client
+from repro.automata import IncompleteAutomaton, compose
+from repro.automata.incremental import ClosureCache
+from repro.logic import ModelChecker
+
+client = _client()
+model = IncompleteAutomaton(
+    states=["q0"], inputs={"ping"}, outputs={"pong"}, transitions=(),
+    refusals=(), initial=["q0"], labels={"q0": {"p"}}, name="M_l^0",
+)
+update = ClosureCache(UNIVERSE, deterministic_implementation=True).update(model)
+composed = compose(client, update.closure, semantics="strict")
+checker = ModelChecker(composed, parallelism=4)
+digest = hashlib.sha256()
+for formula in FORMULAS:
+    digest.update(str(formula).encode())
+    for state in sorted(checker.sat(formula), key=repr):
+        digest.update(repr(state).encode())
+digest.update(repr(checker.stats.shard_fixpoint_work).encode())
+digest.update(str(checker.stats.shard_handoffs).encode())
+print(digest.hexdigest())
+"""
+
+
+def test_sharded_checker_is_hash_seed_independent():
+    """Three fresh interpreters, three hash seeds, one fingerprint.
+
+    The fingerprint covers the per-shard counters too: handoff counts
+    must be a pure function of (automaton, formula, K), never of
+    scheduling or hash order.
+    """
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    root = os.path.dirname(src)
+    fingerprints = set()
+    for seed in ("0", "1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src + os.pathsep + root)
+        result = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            check=True,
+        )
+        fingerprints.add(result.stdout.strip())
+    assert len(fingerprints) == 1, fingerprints

@@ -21,6 +21,29 @@ class TestRailcabCommand:
         assert main(["railcab", "--shuttle", "correct", "--counterexamples", "4"]) == 0
         assert "proven" in capsys.readouterr().out
 
+    def test_loop_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "railcab",
+                    "--shuttle",
+                    "correct",
+                    "--parallelism",
+                    "2",
+                    "--checker-parallelism",
+                    "2",
+                    "--max-iterations",
+                    "200",
+                ]
+            )
+            == 0
+        )
+        assert "proven" in capsys.readouterr().out
+
+    def test_no_incremental_flag(self, capsys):
+        assert main(["railcab", "--shuttle", "correct", "--no-incremental"]) == 0
+        assert "proven" in capsys.readouterr().out
+
     def test_report_flag_writes_markdown(self, capsys, tmp_path):
         path = tmp_path / "report.md"
         assert main(["railcab", "--shuttle", "faulty", "--report", str(path)]) == 0

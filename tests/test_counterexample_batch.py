@@ -7,7 +7,7 @@ from repro import railcab
 from repro.automata import Automaton
 from repro.errors import SynthesisError
 from repro.logic import ModelChecker, counterexamples, parse
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 
 
 def two_bad_branches() -> Automaton:
@@ -82,7 +82,7 @@ class TestBatchedSynthesis:
             railcab.correct_rear_shuttle(convoy_ticks=1),
             railcab.PATTERN_CONSTRAINT,
             labeler=railcab.rear_state_labeler,
-            counterexamples_per_iteration=k,
+            settings=SynthesisSettings(counterexamples_per_iteration=k),
         ).run()
 
     def test_batching_still_proves(self):
@@ -100,7 +100,7 @@ class TestBatchedSynthesis:
             railcab.faulty_rear_shuttle(),
             railcab.PATTERN_CONSTRAINT,
             labeler=railcab.rear_state_labeler,
-            counterexamples_per_iteration=4,
+            settings=SynthesisSettings(counterexamples_per_iteration=4),
         ).run()
         assert result.verdict is Verdict.REAL_VIOLATION
 
@@ -110,7 +110,7 @@ class TestBatchedSynthesis:
                 railcab.front_role_automaton(),
                 railcab.correct_rear_shuttle(),
                 railcab.PATTERN_CONSTRAINT,
-                counterexamples_per_iteration=0,
+                settings=SynthesisSettings(counterexamples_per_iteration=0),
             )
 
     def test_learned_model_still_observation_conforming(self):

@@ -31,7 +31,7 @@ from repro.automata import (
 )
 from repro.automata.incremental import ClosureCache, IncrementalProduct, IncrementalVerifier
 from repro.logic import DEADLOCK_FREE, ModelChecker, parse
-from repro.synthesis import IntegrationSynthesizer, Verdict, learn
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict, learn
 from repro.synthesis.multi import MultiLegacySynthesizer
 
 SETTINGS = settings(
@@ -258,7 +258,7 @@ def _convoy(incremental: bool, component) -> IntegrationSynthesizer:
         railcab.PATTERN_CONSTRAINT,
         labeler=railcab.rear_state_labeler,
         port="rearRole",
-        incremental=incremental,
+        settings=SynthesisSettings(incremental=incremental),
     )
 
 
@@ -298,7 +298,7 @@ def test_end_to_end_multi_legacy_matches_full():
                 "frontShuttle": railcab.front_state_labeler,
                 "rearShuttle": railcab.rear_state_labeler,
             },
-            incremental=incremental,
+            settings=SynthesisSettings(incremental=incremental),
         )
 
     incr = build(True).run()

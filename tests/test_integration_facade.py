@@ -6,7 +6,7 @@ from repro import railcab
 from repro.errors import SynthesisError
 from repro.integration import IntegrationReport, integrate
 from repro.muml import Architecture, Component, Port
-from repro.synthesis import Verdict
+from repro.synthesis import SynthesisSettings, Verdict
 
 
 def convoy_architecture() -> Architecture:
@@ -185,7 +185,7 @@ class TestRequireHelpers:
             railcab.correct_rear_shuttle(convoy_ticks=1),
             railcab.PATTERN_CONSTRAINT,
             labeler=railcab.rear_state_labeler,
-            max_iterations=1,
+            settings=SynthesisSettings(max_iterations=1),
         ).run()
         with pytest.raises(BudgetExceededError):
             result.require_proven()

@@ -1,11 +1,16 @@
 """Full-loop determinism of the sharded synthesis pipeline.
 
-The RailCab convoy loop is run twice at ``parallelism=4`` and once
-sequentially: iteration counts, counterexamples, learned models, and
-every :class:`IterationRecord` counter must be identical — except the
-per-shard breakdown, whose shape depends on the shard count but whose
-sums must stay consistent (``sum(shard_states_explored) ==
-product_hits + product_misses`` on every iteration).
+The RailCab convoy loop is run twice at ``parallelism=4`` (which also
+shards the checker fixpoints via the checker-parallelism fallback) and
+once sequentially: iteration counts, counterexamples, learned models,
+and every :class:`IterationRecord` counter must be identical — except
+the per-shard breakdowns, whose shape depends on the shard count but
+whose sums must stay consistent on every iteration
+(``sum(product_shard_states_explored) == product_hits + product_misses``
+and ``sum(checker_shard_fixpoint_work) == checker_fixpoint_work``).
+Note ``checker_fixpoint_work`` itself is *not* exempted: the sharded
+fixpoint performs exactly the sequential admissions/removals, so the
+total is pinned record-by-record across every shard count.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro import railcab
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 from repro.synthesis.multi import MultiLegacySynthesizer
 
 #: IterationRecord fields that legitimately vary with the shard count
@@ -22,9 +27,12 @@ from repro.synthesis.multi import MultiLegacySynthesizer
 #: *same* shard count even these are exactly equal.
 PER_SHARD_FIELDS = (
     "product_shards",
-    "shard_states_explored",
-    "shard_handoffs",
-    "shard_merge_conflicts",
+    "product_shard_states_explored",
+    "product_shard_handoffs",
+    "product_shard_merge_conflicts",
+    "checker_shards",
+    "checker_shard_fixpoint_work",
+    "checker_shard_handoffs",
 )
 
 
@@ -35,7 +43,7 @@ def _convoy(parallelism: int | None) -> IntegrationSynthesizer:
         railcab.PATTERN_CONSTRAINT,
         labeler=railcab.rear_state_labeler,
         port="rearRole",
-        parallelism=parallelism,
+        settings=SynthesisSettings(parallelism=parallelism),
     )
 
 
@@ -47,18 +55,26 @@ def _assert_records_match(left, right, *, modulo_shards: bool) -> None:
             if field_name in skip:
                 continue
             assert getattr(a, field_name) == getattr(b, field_name), field_name
-        # The per-shard breakdown must still sum consistently.
+        # The per-shard breakdowns must still sum consistently.
         for record in (a, b):
-            assert sum(record.shard_states_explored) == (
+            assert sum(record.product_shard_states_explored) == (
                 record.product_hits + record.product_misses
+            )
+            assert sum(record.checker_shard_fixpoint_work) == (
+                record.checker_fixpoint_work
             )
 
 
 @pytest.fixture(scope="module")
 def runs():
-    first = _convoy(4).run()
-    second = _convoy(4).run()
-    sequential = _convoy(1).run()
+    # The fixture pins shard counts explicitly (4 vs 1) and asserts the
+    # checker-parallelism *fallback*, so the env knobs must not leak in
+    # (CI re-runs the suite under REPRO_CHECKER_PARALLELISM=4).
+    with pytest.MonkeyPatch.context() as patch:
+        patch.delenv("REPRO_CHECKER_PARALLELISM", raising=False)
+        first = _convoy(4).run()
+        second = _convoy(4).run()
+        sequential = _convoy(1).run()
     return first, second, sequential
 
 
@@ -87,13 +103,43 @@ def test_sharded_run_equals_sequential_run(runs):
 def test_sharded_run_actually_sharded(runs):
     first, _, sequential = runs
     assert all(r.product_shards == 4 for r in first.iterations)
-    assert all(len(r.shard_states_explored) == 4 for r in first.iterations)
+    assert all(len(r.product_shard_states_explored) == 4 for r in first.iterations)
     assert all(r.product_shards == 1 for r in sequential.iterations)
     # The joint state space is spread across shards on some iteration.
     assert any(
-        sum(1 for n in r.shard_states_explored if n) > 1 for r in first.iterations
+        sum(1 for n in r.product_shard_states_explored if n) > 1
+        for r in first.iterations
     )
-    assert any(r.shard_handoffs > 0 for r in first.iterations)
+    assert any(r.product_shard_handoffs > 0 for r in first.iterations)
+
+
+def test_checker_shards_follow_product_parallelism(runs):
+    first, _, sequential = runs
+    # checker_parallelism falls back to the product parallelism.
+    assert all(r.checker_shards == 4 for r in first.iterations)
+    assert all(len(r.checker_shard_fixpoint_work) == 4 for r in first.iterations)
+    assert all(r.checker_shards == 1 for r in sequential.iterations)
+    # The sharded fixpoint does real cross-shard work on some iteration.
+    assert any(
+        sum(1 for n in r.checker_shard_fixpoint_work if n) > 1
+        for r in first.iterations
+    )
+    assert any(r.checker_shard_handoffs > 0 for r in first.iterations)
+    # Total admissions/removals are conserved exactly, iteration by
+    # iteration — the determinism claim for the checker fixpoints.
+    for a, b in zip(first.iterations, sequential.iterations):
+        assert a.checker_fixpoint_work == b.checker_fixpoint_work
+
+
+def test_deprecated_record_counter_aliases(runs):
+    first, _, _ = runs
+    record = first.iterations[0]
+    with pytest.deprecated_call():
+        assert record.shard_states_explored == record.product_shard_states_explored
+    with pytest.deprecated_call():
+        assert record.shard_handoffs == record.product_shard_handoffs
+    with pytest.deprecated_call():
+        assert record.shard_merge_conflicts == record.product_shard_merge_conflicts
 
 
 def test_faulty_shuttle_violation_is_parallelism_independent():
@@ -104,7 +150,7 @@ def test_faulty_shuttle_violation_is_parallelism_independent():
             railcab.PATTERN_CONSTRAINT,
             labeler=railcab.rear_state_labeler,
             port="rearRole",
-            parallelism=parallelism,
+            settings=SynthesisSettings(parallelism=parallelism),
         ).run()
 
     sharded = build(4)
@@ -117,7 +163,7 @@ def test_faulty_shuttle_violation_is_parallelism_independent():
 
 
 def test_multi_legacy_loop_is_parallelism_independent():
-    def build(parallelism):
+    def build(parallelism, checker_parallelism=None):
         return MultiLegacySynthesizer(
             None,
             [
@@ -129,12 +175,19 @@ def test_multi_legacy_loop_is_parallelism_independent():
                 "frontShuttle": railcab.front_state_labeler,
                 "rearShuttle": railcab.rear_state_labeler,
             },
-            parallelism=parallelism,
+            settings=SynthesisSettings(
+                parallelism=parallelism, checker_parallelism=checker_parallelism
+            ),
         ).run()
 
     sharded = build(4)
+    cross = build(1, checker_parallelism=4)  # checker sharded, product not
     sequential = build(1)
-    assert sharded.verdict is sequential.verdict is Verdict.PROVEN
+    assert sharded.verdict is cross.verdict is sequential.verdict is Verdict.PROVEN
     assert sharded.iteration_count == sequential.iteration_count
     assert sharded.final_models == sequential.final_models
+    assert cross.final_models == sequential.final_models
     _assert_records_match(sharded.iterations, sequential.iterations, modulo_shards=True)
+    _assert_records_match(cross.iterations, sequential.iterations, modulo_shards=True)
+    assert all(r.product_shards == 1 for r in cross.iterations)
+    assert all(r.checker_shards == 4 for r in cross.iterations)

@@ -50,7 +50,7 @@ from repro.logic import (
     Prop,
     parse,
 )
-from repro.synthesis import IntegrationSynthesizer, Verdict, learn_regular
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict, learn_regular
 
 # --------------------------------------------------------------------- strategies
 
@@ -428,7 +428,7 @@ class TestEndToEndSoundness:
             property,
             universe=UNIVERSE,
             labeler=lambda s: {f"server.{s}"},
-            max_iterations=200,
+            settings=SynthesisSettings(max_iterations=200),
         ).run()
 
         truth = compose(client(), server)
@@ -479,7 +479,7 @@ class TestMultiLegacySoundness:
                 ),
                 "right": UNIVERSE,
             },
-            max_iterations=300,
+            settings=SynthesisSettings(max_iterations=300),
         ).run()
         truth = compose(partner, server, semantics="open")
         ground = ModelChecker(truth).holds(parse("AG not deadlock"))

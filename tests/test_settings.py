@@ -1,0 +1,188 @@
+"""The consolidated :class:`SynthesisSettings` API and its shims.
+
+One frozen settings object now carries every loop-tuning knob through
+``integrate`` / ``IntegrationSynthesizer`` / ``MultiLegacySynthesizer``;
+the old per-call keywords still work but warn.  The regression tests at
+the bottom pin the ``integrate`` → multi-legacy forwarding bug: the
+joint branch used to drop ``universes`` and the counterexample batch
+size on the floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import railcab
+from repro.errors import SynthesisError
+from repro.integration import SynthesisSettings, integrate
+from repro.legacy import interface_of
+from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis.multi import MultiLegacySynthesizer
+from tests.test_integration_facade import convoy_architecture, two_legacy_architecture
+
+
+# ------------------------------------------------------------------ the object
+
+
+class TestSynthesisSettings:
+    def test_defaults(self):
+        settings = SynthesisSettings()
+        assert settings.max_iterations is None
+        assert settings.counterexamples_per_iteration == 1
+        assert settings.incremental is True
+        assert settings.parallelism is None
+        assert settings.checker_parallelism is None
+        assert settings.iterations_or(500) == 500
+        assert SynthesisSettings(max_iterations=7).iterations_or(500) == 7
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SynthesisSettings().max_iterations = 3  # type: ignore[misc]
+
+    def test_validation(self):
+        with pytest.raises(SynthesisError, match="counterexamples_per_iteration"):
+            SynthesisSettings(counterexamples_per_iteration=0)
+        with pytest.raises(SynthesisError, match="max_iterations"):
+            SynthesisSettings(max_iterations=0)
+
+    def test_checker_parallelism_falls_back_to_parallelism(self, monkeypatch):
+        from repro.automata import CHECKER_PARALLELISM_ENV, PARALLELISM_ENV
+
+        monkeypatch.delenv(PARALLELISM_ENV, raising=False)
+        monkeypatch.delenv(CHECKER_PARALLELISM_ENV, raising=False)
+        assert SynthesisSettings().resolved_checker_parallelism() == 1
+        assert SynthesisSettings(parallelism=4).resolved_checker_parallelism() == 4
+        assert (
+            SynthesisSettings(parallelism=4, checker_parallelism=2)
+            .resolved_checker_parallelism()
+            == 2
+        )
+        monkeypatch.setenv(CHECKER_PARALLELISM_ENV, "8")
+        assert SynthesisSettings(parallelism=4).resolved_checker_parallelism() == 8
+
+
+# ------------------------------------------------------------ deprecated shims
+
+
+class TestDeprecatedKeywords:
+    def test_synthesizer_legacy_keywords_warn_but_work(self):
+        with pytest.deprecated_call(match="IntegrationSynthesizer"):
+            synthesizer = IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(convoy_ticks=1),
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                port="rearRole",
+                max_iterations=50,
+                parallelism=2,
+            )
+        assert synthesizer.max_iterations == 50
+        assert synthesizer.parallelism == 2
+        assert synthesizer.settings == SynthesisSettings(
+            max_iterations=50, parallelism=2
+        )
+        assert synthesizer.run().verdict is Verdict.PROVEN
+
+    def test_legacy_keywords_override_settings(self):
+        with pytest.deprecated_call():
+            synthesizer = IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(convoy_ticks=1),
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                port="rearRole",
+                settings=SynthesisSettings(max_iterations=9, parallelism=2),
+                max_iterations=50,
+            )
+        assert synthesizer.settings.max_iterations == 50
+        assert synthesizer.settings.parallelism == 2  # untouched
+
+    def test_settings_alone_do_not_warn(self, recwarn):
+        IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+            settings=SynthesisSettings(max_iterations=50),
+        )
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_multi_legacy_keywords_warn_but_work(self):
+        with pytest.deprecated_call(match="MultiLegacySynthesizer"):
+            synthesizer = MultiLegacySynthesizer(
+                None,
+                [railcab.correct_front_shuttle(), railcab.correct_rear_shuttle()],
+                railcab.PATTERN_CONSTRAINT,
+                labelers={
+                    "frontShuttle": railcab.front_state_labeler,
+                    "rearShuttle": railcab.rear_state_labeler,
+                },
+                max_iterations=77,
+                counterexamples_per_iteration=2,
+            )
+        assert synthesizer.max_iterations == 77
+        assert synthesizer.counterexamples_per_iteration == 2
+
+    def test_integrate_legacy_keywords_warn_but_work(self):
+        with pytest.deprecated_call(match="integrate"):
+            report = integrate(
+                convoy_architecture(),
+                {"follower": railcab.correct_rear_shuttle(convoy_ticks=1)},
+                labelers={"follower": railcab.rear_state_labeler},
+                max_iterations=50,
+            )
+        assert report.ok
+
+
+# ----------------------------------------------- integrate forwarding (bugfix)
+
+
+class _Recorder(MultiLegacySynthesizer):
+    """Real multi-synthesizer that also records its constructor kwargs."""
+
+    captured: dict = {}
+
+    def __init__(self, *args, **kwargs):
+        type(self).captured = dict(kwargs)
+        super().__init__(*args, **kwargs)
+
+
+class TestIntegrateForwarding:
+    def test_multi_branch_forwards_universes_and_settings(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.integration.MultiLegacySynthesizer", _Recorder
+        )
+        front = railcab.correct_front_shuttle()
+        rear = railcab.correct_rear_shuttle(convoy_ticks=1)
+        settings = SynthesisSettings(counterexamples_per_iteration=2)
+        report = integrate(
+            two_legacy_architecture(),
+            {"leader": front, "follower": rear},
+            labelers={
+                "leader": railcab.front_state_labeler,
+                "follower": railcab.rear_state_labeler,
+            },
+            universes={"follower": interface_of(rear).universe()},
+            settings=settings,
+        )
+        assert report.ok
+        captured = _Recorder.captured
+        # The bug: both of these used to be dropped on the multi branch.
+        assert captured["universes"] == {
+            rear.name: interface_of(rear).universe()
+        }
+        assert captured["settings"] == settings
+        assert captured["settings"].counterexamples_per_iteration == 2
+
+    def test_single_branch_forwards_settings(self):
+        report = integrate(
+            convoy_architecture(),
+            {"follower": railcab.correct_rear_shuttle(convoy_ticks=1)},
+            labelers={"follower": railcab.rear_state_labeler},
+            settings=SynthesisSettings(parallelism=2, checker_parallelism=2),
+        )
+        assert report.ok
+        result = report.placements["follower"]
+        assert all(r.product_shards == 2 for r in result.iterations)
+        assert all(r.checker_shards == 2 for r in result.iterations)

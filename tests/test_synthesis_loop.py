@@ -9,6 +9,7 @@ from repro.legacy import LegacyComponent
 from repro.logic import parse
 from repro.synthesis import (
     IntegrationSynthesizer,
+    SynthesisSettings,
     Verdict,
     render_counterexample_listing,
     render_iteration_table,
@@ -219,7 +220,7 @@ class TestConfigurationVariants:
             good_server(),
             RESPONSE,
             labeler=lambda s: {f"srv.{s}"},
-            max_iterations=1,
+            settings=SynthesisSettings(max_iterations=1),
         ).run()
         assert result.verdict is Verdict.BUDGET_EXCEEDED
 

@@ -7,7 +7,7 @@ from repro.automata import Automaton, compose
 from repro.errors import NotCompositionalError, SynthesisError
 from repro.legacy import LegacyComponent
 from repro.logic import ModelChecker, parse
-from repro.synthesis import MultiLegacySynthesizer, Verdict
+from repro.synthesis import MultiLegacySynthesizer, SynthesisSettings, Verdict
 
 LABELERS = {
     "frontShuttle": railcab.front_state_labeler,
@@ -152,7 +152,7 @@ class TestValidation:
         result = build(
             railcab.correct_front_shuttle(),
             railcab.correct_rear_shuttle(),
-            max_iterations=1,
+            settings=SynthesisSettings(max_iterations=1),
         ).run()
         assert result.verdict is Verdict.BUDGET_EXCEEDED
 

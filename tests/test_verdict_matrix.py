@@ -11,7 +11,7 @@ dependent unsoundness creeping in.
 import pytest
 
 from repro import automotive, railcab
-from repro.synthesis import IntegrationSynthesizer, Verdict
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 
 SCENARIOS = {
     "railcab-correct": (
@@ -69,19 +69,27 @@ CONFIGURATIONS = {
     },
 }
 
+#: CONFIGURATIONS keys that are SynthesisSettings fields rather than
+#: direct synthesizer keywords.
+_SETTINGS_KEYS = frozenset(SynthesisSettings.__dataclass_fields__)
+
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
 @pytest.mark.parametrize("configuration", sorted(CONFIGURATIONS))
 def test_verdict_invariant_under_configuration(scenario, configuration):
     context_factory, component_factory, constraint, labeler, expected = SCENARIOS[scenario]
     options = CONFIGURATIONS[configuration]
+    settings = SynthesisSettings(
+        max_iterations=800,
+        **{k: v for k, v in options.items() if k in _SETTINGS_KEYS},
+    )
     result = IntegrationSynthesizer(
         context_factory(),
         component_factory(),
         constraint,
         labeler=labeler,
-        max_iterations=800,
-        **options,
+        settings=settings,
+        **{k: v for k, v in options.items() if k not in _SETTINGS_KEYS},
     ).run()
     assert result.verdict is expected, (
         f"{scenario} under {configuration}: expected {expected}, got {result.verdict} "

@@ -88,6 +88,17 @@ def normalize(raw: dict) -> dict:
             "shard_handoffs_total": (k4 or {}).get("shard_handoffs_total"),
             "shard_merge_conflicts_total": (k4 or {}).get("shard_merge_conflicts_total"),
         }
+    ck1 = report["benchmarks"].get("test_checker_sharded_loop_k1_no_regression")
+    ck4 = report["benchmarks"].get("test_checker_sharded_loop_k4_speedup_report")
+    if ck1 is not None or ck4 is not None:
+        report["checker_sharded"] = {
+            "k1_vs_sequential_best_paired": (ck1 or {}).get("k1_vs_sequential_best_paired"),
+            "k1_vs_sequential_min_ratio": (ck1 or {}).get("k1_vs_sequential_min_ratio"),
+            "k4_vs_k1_speedup_min": (ck4 or {}).get("k4_vs_k1_speedup_min"),
+            "k4_vs_k1_speedup_median": (ck4 or {}).get("k4_vs_k1_speedup_median"),
+            "checker_shard_handoffs_total": (ck4 or {}).get("checker_shard_handoffs_total"),
+            "checker_fixpoint_work_total": (ck4 or {}).get("checker_fixpoint_work_total"),
+        }
     return report
 
 
@@ -130,6 +141,14 @@ def main(argv: list[str] | None = None) -> None:
             f"{sharded['k1_vs_sequential_best_paired']:.2f}x, "
             f"K=4 vs K=1 {sharded['k4_vs_k1_speedup_min']:.2f}x (min) / "
             f"{sharded['k4_vs_k1_speedup_median']:.2f}x (median)"
+        )
+    checker = report.get("checker_sharded", {})
+    if checker.get("k4_vs_k1_speedup_min") is not None:
+        print(
+            f"checker sharded: K=1 no-regression best-paired "
+            f"{checker['k1_vs_sequential_best_paired']:.2f}x, "
+            f"K=4 vs K=1 {checker['k4_vs_k1_speedup_min']:.2f}x (min) / "
+            f"{checker['k4_vs_k1_speedup_median']:.2f}x (median)"
         )
 
 
