@@ -28,16 +28,25 @@ sharding knob (``checker_parallelism=``): K=1 must not regress the
 sequential solvers, and the K=4 ratio is measured and recorded with the
 product sharding pinned at 1 so the checker contribution is isolated.
 
+The ``tracing_overhead`` guard does the same for the observability
+layer (``repro.obs``): the instrumentation is permanent, so the
+``NullTracer`` cost is measured as span-count × per-null-call cost
+(there is no un-instrumented loop to diff against) and must stay below
+1% of loop time; a live JSONL-streaming tracer must stay within 10%.
+
 ``tools/bench_report.py`` normalizes this module's
 ``--benchmark-json`` output into ``BENCH_loop.json``.
 """
 
 from __future__ import annotations
 
+import os
 import statistics
+import tempfile
 import time
 
 from repro import railcab
+from repro.obs import NULL_TRACER, Tracer, span_line
 from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
 from repro.synthesis.multi import MultiLegacySynthesizer
 
@@ -56,6 +65,7 @@ def _convoy_synthesizer(
     ticks: int,
     parallelism: int | None = None,
     checker_parallelism: int | None = None,
+    tracer=None,
 ) -> IntegrationSynthesizer:
     return IntegrationSynthesizer(
         railcab.front_role_automaton(),
@@ -67,6 +77,7 @@ def _convoy_synthesizer(
             incremental=incremental,
             parallelism=parallelism,
             checker_parallelism=checker_parallelism,
+            tracer=tracer,
         ),
     )
 
@@ -402,6 +413,125 @@ def test_checker_sharded_loop_k4_speedup_report(benchmark):
                 r.checker_fixpoint_work for r in k4.iterations
             ),
         }
+    )
+
+
+#: Ceilings asserted by :func:`test_tracing_overhead_guard`.
+NULL_TRACER_OVERHEAD_CEILING = 0.01
+JSONL_TRACER_OVERHEAD_CEILING = 0.10
+
+
+def test_tracing_overhead_guard(benchmark):
+    """Tracing must be free when off and cheap when on.
+
+    The span instrumentation lives permanently in the loop's hot paths,
+    so there is no un-instrumented baseline to compare against.  Both
+    ceilings are therefore bounded the same way: count the spans a
+    traced run of the workload emits, microbenchmark the cost of one
+    span enter/exit in that mode, and bound their product as a fraction
+    of the (null-traced) loop time.  The ``NullTracer`` cycle — shared
+    no-op handle, no allocation — must stay below 1%; the active cycle
+    with the live JSONL-streaming sink (the ``REPRO_TRACE``
+    configuration: every span serialized through :func:`span_line` and
+    written to a real file handle) must stay below 10%.
+
+    The end-to-end paired null-vs-streaming loop times are recorded in
+    ``BENCH_loop.json`` alongside, but — like the K=4 shard ratios —
+    only sanity-bounded, not gated at the ceiling: on a shared runner
+    the round-to-round wall-clock noise of a sub-second loop exceeds
+    the single-digit overhead being measured.
+    """
+
+    def measure():
+        null_times: list[float] = []
+        jsonl_times: list[float] = []
+        results = {}
+        span_count = [0]
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False, encoding="utf-8"
+        )
+
+        def sink(span):
+            span_count[0] += 1
+            handle.write(span_line(span) + "\n")
+
+        try:
+            for round_index in range(5):
+                t0 = time.perf_counter()
+                results["null"] = _convoy_synthesizer(
+                    incremental=True, ticks=SPEEDUP_TICKS, tracer=NULL_TRACER
+                ).run()
+                null_times.append(time.perf_counter() - t0)
+                span_count[0] = 0
+                t0 = time.perf_counter()
+                results["jsonl"] = _convoy_synthesizer(
+                    incremental=True, ticks=SPEEDUP_TICKS, tracer=Tracer(sink=sink)
+                ).run()
+                jsonl_times.append(time.perf_counter() - t0)
+            spans_per_run = span_count[0]
+
+            # Per-span costs in both modes, with representative args.
+            cycles = 100_000
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                with NULL_TRACER.span("overhead.probe", kind="null"):
+                    pass
+            per_null_call = (time.perf_counter() - t0) / cycles
+            active = Tracer(sink=sink)
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                with active.span("overhead.probe", solve="reach", domain=512):
+                    pass
+            per_active_call = (time.perf_counter() - t0) / cycles
+        finally:
+            handle.close()
+            os.unlink(handle.name)
+        return results, null_times, jsonl_times, spans_per_run, per_null_call, per_active_call
+
+    results, null_times, jsonl_times, spans_per_run, per_null_call, per_active_call = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+    )
+    null_result, jsonl_result = results["null"], results["jsonl"]
+    assert null_result.verdict is jsonl_result.verdict is Verdict.PROVEN
+    assert null_result.iteration_count == jsonl_result.iteration_count >= 8
+    assert null_result.final_model == jsonl_result.final_model
+    assert spans_per_run > 0
+
+    null_fraction = spans_per_run * per_null_call / min(null_times)
+    jsonl_fraction = spans_per_run * per_active_call / min(null_times)
+    best_paired = min(j / n for j, n in zip(jsonl_times, null_times))
+    min_ratio = min(jsonl_times) / min(null_times)
+    benchmark.extra_info.update(
+        {
+            "mode": "tracing_overhead",
+            "convoy_ticks": SPEEDUP_TICKS,
+            "iterations": null_result.iteration_count,
+            "spans_per_run": spans_per_run,
+            "per_null_span_seconds": per_null_call,
+            "per_active_span_seconds": per_active_call,
+            "null_tracer_overhead_fraction": null_fraction,
+            "jsonl_tracer_overhead_fraction": jsonl_fraction,
+            "null_loop_seconds_min": min(null_times),
+            "jsonl_loop_seconds_min": min(jsonl_times),
+            "jsonl_vs_null_best_paired": best_paired,
+            "jsonl_vs_null_min_ratio": min_ratio,
+        }
+    )
+    assert null_fraction <= NULL_TRACER_OVERHEAD_CEILING, (
+        f"NullTracer overhead {null_fraction:.4%} of loop time exceeds the "
+        f"{NULL_TRACER_OVERHEAD_CEILING:.0%} ceiling "
+        f"({spans_per_run} spans × {per_null_call * 1e9:.0f}ns)"
+    )
+    assert jsonl_fraction <= JSONL_TRACER_OVERHEAD_CEILING, (
+        f"JSONL-streaming tracer overhead {jsonl_fraction:.2%} of loop time "
+        f"exceeds the {JSONL_TRACER_OVERHEAD_CEILING:.0%} ceiling "
+        f"({spans_per_run} spans × {per_active_call * 1e6:.1f}µs)"
+    )
+    # Gross-regression sanity bound on the end-to-end measurement only —
+    # wall-clock noise on shared runners dwarfs the asserted ceilings.
+    assert min_ratio <= 1.5, (
+        f"JSONL-streaming run {min_ratio:.2f}x the null run (min-vs-min) — "
+        f"far beyond per-span accounting; something pathological regressed"
     )
 
 

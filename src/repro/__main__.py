@@ -32,16 +32,37 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
     """The one place CLI flags (and their env fallbacks) become settings.
 
     Flags left at their defaults defer to the environment knobs
-    (``REPRO_PARALLELISM``, ``REPRO_CHECKER_PARALLELISM``) inside
-    :class:`SynthesisSettings` resolution.
+    (``REPRO_PARALLELISM``, ``REPRO_CHECKER_PARALLELISM``,
+    ``REPRO_TRACE``) inside :class:`SynthesisSettings` resolution.
     """
+    tracer = None
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from .obs import Tracer
+
+        # An explicit --trace wins over REPRO_TRACE: the flag builds its
+        # own tracer and _export_trace writes it where the flag said.
+        tracer = Tracer()
+        args._tracer = tracer
     return SynthesisSettings(
         max_iterations=getattr(args, "max_iterations", None),
         counterexamples_per_iteration=getattr(args, "counterexamples", 1),
         incremental=not getattr(args, "no_incremental", False),
         parallelism=getattr(args, "parallelism", None),
         checker_parallelism=getattr(args, "checker_parallelism", None),
+        tracer=tracer,
     )
+
+
+def _export_trace(args: argparse.Namespace) -> None:
+    """Write the run's trace where ``--trace`` asked, and say so."""
+    tracer = getattr(args, "_tracer", None)
+    if tracer is None:
+        return
+    from .obs import write_trace
+
+    write_trace(tracer, args.trace, format=args.trace_format)
+    print(f"\ntrace ({args.trace_format}) written to {args.trace}")
 
 
 def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +86,16 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
         help="shard the model checker's fixpoints across K shards "
         "(default: $REPRO_CHECKER_PARALLELISM, then --parallelism; "
         "results are identical)",
+    )
+    group.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace of the run to FILE "
+        "(see docs/observability.md; $REPRO_TRACE works without the flag)",
+    )
+    group.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="trace file format: jsonl events or a Chrome/Perfetto "
+        "trace-event JSON (default: jsonl)",
     )
 
 SHUTTLES = {
@@ -115,6 +146,7 @@ def _run_railcab(args: argparse.Namespace) -> int:
                 legacy_outputs=railcab.REAR_TO_FRONT,
             )
         )
+    _export_trace(args)
     return 0 if result.proven == (args.shuttle != "faulty") else 1
 
 
@@ -139,6 +171,7 @@ def _run_multi(args: argparse.Namespace) -> int:
         )
     if result.violation_witness is not None:
         print(f"violation ({result.violation_kind}): {result.violation_witness}")
+    _export_trace(args)
     return 0
 
 

@@ -46,6 +46,7 @@ edges and labels; the checker then only needs seeds for the remaining
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from itertools import product as iproduct
@@ -67,6 +68,7 @@ from .chaos import (
 from .composition import Semantics, compose, compose_all, composable
 from .incomplete import IncompleteAutomaton
 from .interaction import InteractionUniverse
+from ..obs.tracer import NULL_TRACER
 from .sharding import (
     SEQUENTIAL_WORKLOAD_FLOOR,
     ShardReport,
@@ -124,12 +126,14 @@ class ClosureCache:
         parallelism: int | None = None,
         strategy: str | None = None,
         pool: WorkerPool | None = None,
+        tracer=None,
     ):
         self.universe = universe
         self.deterministic_implementation = deterministic_implementation
         self.parallelism = resolve_parallelism(parallelism)
         self.strategy = check_strategy(strategy)
         self._pool = pool if pool is not None else get_pool()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._core = tuple(sorted(chaotic_core_transitions(universe), key=Transition.sort_key))
         #: per closure-source-state outgoing transitions, each slice sorted
         #: by :meth:`Transition.sort_key` (canonical per-source order).
@@ -175,6 +179,13 @@ class ClosureCache:
         return self._pool.map(strategy, derive, list(dirty_bases), workers=self.parallelism)
 
     def update(self, incomplete: IncompleteAutomaton, *, name: str | None = None) -> ClosureUpdate:
+        with self.tracer.span("closure.update", model=incomplete.name):
+            update = self._update(incomplete, name=name)
+        self.tracer.count("closure_cache_hits", update.reused_groups)
+        self.tracer.count("closure_cache_misses", update.rebuilt_groups)
+        return update
+
+    def _update(self, incomplete: IncompleteAutomaton, *, name: str | None = None) -> ClosureUpdate:
         if (
             self.universe.inputs != incomplete.inputs
             or self.universe.outputs != incomplete.outputs
@@ -447,6 +458,7 @@ class IncrementalProduct:
         parallelism: int | None = None,
         strategy: str | None = None,
         pool: WorkerPool | None = None,
+        tracer=None,
     ):
         if semantics not in ("strict", "open"):
             raise CompositionError(f"unknown composition semantics {semantics!r}")
@@ -456,6 +468,7 @@ class IncrementalProduct:
         self.strategy = check_strategy(strategy)
         self.fallbacks = 0
         self._pool = pool if pool is not None else get_pool()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: joint state -> (sorted outgoing edges, unique targets, labels)
         self._cache: dict[tuple, tuple[tuple[Transition, ...], tuple, frozenset[str]]] = {}
         self._arity: int | None = None
@@ -491,6 +504,18 @@ class IncrementalProduct:
         return select_strategy(workload, self.parallelism)
 
     def update(
+        self,
+        components: Sequence[Automaton],
+        dirty_locals: Sequence[frozenset[State]],
+        *,
+        name: str | None = None,
+    ) -> ProductUpdate:
+        with self.tracer.span("product.update", arity=len(components)) as span:
+            update = self._update(components, dirty_locals, name=name)
+            span.set(hits=update.hits, misses=update.misses)
+        return update
+
+    def _update(
         self,
         components: Sequence[Automaton],
         dirty_locals: Sequence[frozenset[State]],
@@ -617,6 +642,27 @@ class IncrementalProduct:
         components_tuple = tuple(components)
         in_prefix_tuple = tuple(in_prefix)
         out_prefix_tuple = tuple(out_prefix)
+        tracer = self.tracer
+        round_index = 0
+        runner = _explore_shard
+        if tracer.enabled and strategy != "process":
+            # Workers time themselves and report on their shard's track.
+            # Forked processes cannot reach this tracer, so their rounds
+            # go unrecorded (only 200k+-state explorations take that path).
+            round_box = [0]
+
+            def runner(task: _ShardTask) -> _ShardDelta:
+                begin = time.perf_counter()
+                delta = _explore_shard(task)
+                tracer.record(
+                    "product.shard_round",
+                    track=f"product/shard-{task.shard}",
+                    start=begin,
+                    duration=time.perf_counter() - begin,
+                    round=round_box[0],
+                )
+                return delta
+
         while any(frontiers):
             tasks = [
                 _ShardTask(
@@ -633,38 +679,42 @@ class IncrementalProduct:
                 for k in range(shards)
                 if frontiers[k]
             ]
-            deltas = self._pool.map(strategy, _explore_shard, tasks, workers=shards)
+            if tracer.enabled and strategy != "process":
+                round_box[0] = round_index
+            deltas = self._pool.map(strategy, runner, tasks, workers=shards)
             # Merge in shard order (map preserves task order): each joint
             # state is owned by exactly one shard, so the merged maps are
             # conflict-free and their contents scheduling-independent.
-            for delta in deltas:
-                k = delta.shard
-                cache.update(delta.new_entries)
-                if slices[k] is not cache:
-                    slices[k].update(delta.new_entries)
-                if adopt and not by_source:
-                    by_source = delta.by_source
-                    labels = delta.labels
-                else:
-                    by_source.update(delta.by_source)
-                    labels.update(delta.labels)
-                count += sum(len(edges) for edges in delta.by_source.values())
-                visited[k].update(delta.claimed)
-                dirty[k].update(delta.new_entries)
-                explored[k] += delta.states_explored
-                hits[k] += delta.hits
-                misses[k] += delta.misses
-                handoffs[k] += len(delta.handoffs)
-            next_frontiers: list[list] = [[] for _ in range(shards)]
-            for delta in deltas:
-                for target in delta.handoffs:
-                    k2 = shard_of(target, shards)
-                    if target in visited[k2]:
-                        conflicts[k2] += 1
+            with tracer.span("product.merge", round=round_index, shards=len(deltas)):
+                for delta in deltas:
+                    k = delta.shard
+                    cache.update(delta.new_entries)
+                    if slices[k] is not cache:
+                        slices[k].update(delta.new_entries)
+                    if adopt and not by_source:
+                        by_source = delta.by_source
+                        labels = delta.labels
                     else:
-                        visited[k2].add(target)
-                        next_frontiers[k2].append(target)
-            frontiers = next_frontiers
+                        by_source.update(delta.by_source)
+                        labels.update(delta.labels)
+                    count += sum(len(edges) for edges in delta.by_source.values())
+                    visited[k].update(delta.claimed)
+                    dirty[k].update(delta.new_entries)
+                    explored[k] += delta.states_explored
+                    hits[k] += delta.hits
+                    misses[k] += delta.misses
+                    handoffs[k] += len(delta.handoffs)
+                next_frontiers: list[list] = [[] for _ in range(shards)]
+                for delta in deltas:
+                    for target in delta.handoffs:
+                        k2 = shard_of(target, shards)
+                        if target in visited[k2]:
+                            conflicts[k2] += 1
+                        else:
+                            visited[k2].add(target)
+                            next_frontiers[k2].append(target)
+                frontiers = next_frontiers
+            round_index += 1
 
         seen: set = set().union(*visited) if shards > 1 else visited[0]
         reports = tuple(
@@ -752,10 +802,12 @@ class IncrementalVerifier:
         parallelism: int | None = None,
         strategy: str | None = None,
         checker_parallelism: int | None = None,
+        tracer=None,
     ):
         if not universes:
             raise ModelError("IncrementalVerifier needs at least one legacy universe")
         self.context = context
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.parallelism = resolve_parallelism(parallelism)
         # The checker follows the product's shard count unless overridden
         # (explicitly or via REPRO_CHECKER_PARALLELISM): one knob shards
@@ -770,6 +822,7 @@ class IncrementalVerifier:
                 deterministic_implementation=deterministic_implementation,
                 parallelism=self.parallelism,
                 strategy=strategy,
+                tracer=self.tracer,
             )
             for universe in universes
         ]
@@ -780,6 +833,7 @@ class IncrementalVerifier:
                 validate=validate,
                 parallelism=self.parallelism,
                 strategy=strategy,
+                tracer=self.tracer,
             )
             if arity > 1
             else None
@@ -787,6 +841,16 @@ class IncrementalVerifier:
         self._checker: "ModelChecker | None" = None
 
     def step(
+        self,
+        models: Sequence[IncompleteAutomaton],
+        *,
+        closure_names: Sequence[str] | None = None,
+        name: str | None = None,
+    ) -> VerificationStep:
+        with self.tracer.span("verify.step", models=len(models)):
+            return self._step(models, closure_names=closure_names, name=name)
+
+    def _step(
         self,
         models: Sequence[IncompleteAutomaton],
         *,
@@ -842,6 +906,7 @@ class IncrementalVerifier:
             dirty_states=dirty,
             parallelism=self.checker_parallelism,
             strategy=self.strategy,
+            tracer=self.tracer,
         )
         self._checker = checker
         stats.affected_states = checker.stats.affected_states

@@ -199,6 +199,12 @@ class WorkerPool:
 
     def __init__(self) -> None:
         self._executors: dict[str, tuple[int, Executor]] = {}
+        self.stats: dict[str, int] = {
+            "pool_map_calls": 0,
+            "pool_tasks": 0,
+            "pool_inline_calls": 0,
+            "pool_executor_creations": 0,
+        }
 
     def _executor(self, strategy: str, workers: int) -> Executor:
         current = self._executors.get(strategy)
@@ -219,6 +225,7 @@ class WorkerPool:
         else:  # pragma: no cover - guarded by map()
             raise CompositionError(f"no executor for strategy {strategy!r}")
         self._executors[strategy] = (workers, executor)
+        self.stats["pool_executor_creations"] += 1
         return executor
 
     def map(
@@ -230,10 +237,21 @@ class WorkerPool:
         workers: int,
     ) -> list[_R]:
         """Run ``function`` over ``tasks``, returning results in task order."""
+        self.stats["pool_map_calls"] += 1
+        self.stats["pool_tasks"] += len(tasks)
         if strategy == "sequential" or len(tasks) <= 1:
+            self.stats["pool_inline_calls"] += 1
             return [function(task) for task in tasks]
         executor = self._executor(strategy, workers)
         return list(executor.map(function, tasks))
+
+    def publish_to(self, registry) -> None:
+        """Snapshot the dispatch counters into a metrics registry.
+
+        Gauge semantics (via ``MetricsRegistry.absorb``), so publishing
+        after every iteration never double-counts.
+        """
+        registry.absorb(self.stats)
 
     def shutdown(self) -> None:
         for _, executor in self._executors.values():

@@ -58,6 +58,7 @@ re-verification after a small learning step nearly free (see
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
@@ -72,6 +73,7 @@ from ..automata.sharding import (
     shard_of,
 )
 from ..errors import FormulaError
+from ..obs.tracer import NULL_TRACER
 from .formulas import (
     AF,
     AG,
@@ -156,6 +158,14 @@ class CheckerStats:
             "checker_shard_handoffs": self.shard_handoffs,
         }
 
+    def publish_to(self, registry) -> None:
+        """Snapshot every ``checker_*`` counter into a metrics registry.
+
+        Gauge semantics (``MetricsRegistry.absorb``): the stats object
+        is cumulative per checker, so re-publishing never double-counts.
+        """
+        registry.absorb(self.as_dict())
+
 
 @dataclass
 class _WarmState:
@@ -201,6 +211,12 @@ class ModelChecker:
     pool:
         The :class:`~repro.automata.sharding.WorkerPool` to run shard
         workers on; defaults to the process-wide shared pool.
+    tracer:
+        A :class:`repro.obs.Tracer` receiving ``checker.fixpoint`` /
+        ``checker.bounded`` spans and per-shard ``checker.shard_round``
+        spans (on ``checker/shard-K`` tracks).  Defaults to the no-op
+        tracer; the environment is deliberately *not* consulted here —
+        only the synthesis entry points resolve ``REPRO_TRACE``.
     """
 
     def __init__(
@@ -212,11 +228,13 @@ class ModelChecker:
         parallelism: int | None = None,
         strategy: str | None = None,
         pool: WorkerPool | None = None,
+        tracer=None,
     ):
         self.automaton = automaton
         self.parallelism = resolve_checker_parallelism(parallelism)
         self.strategy = check_strategy(strategy)
         self._pool = pool if pool is not None else get_pool()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = CheckerStats(shards=self.parallelism)
         if self.parallelism > 1:
             self.stats._sharded_work = [0] * self.parallelism
@@ -672,6 +690,8 @@ class ModelChecker:
         inboxes: list[list[State]],
         queues: "list[deque[State]]",
         step,
+        *,
+        label: str = "",
     ) -> int:
         """Alternate parallel shard steps with deterministic handoff routing.
 
@@ -681,18 +701,46 @@ class ModelChecker:
         order between rounds (``WorkerPool.map`` preserves task order);
         rounds continue until no shard holds work, i.e. until the
         global fixpoint.  Returns the number of handoffs emitted.
+
+        With an enabled tracer, each shard's step of each round becomes
+        one ``checker.shard_round`` span on the shard's own track — the
+        worker times itself, so the span is faithful under any strategy
+        that shares the tracer's address space (sequential/thread; the
+        checker never runs ``process``, see :meth:`_shard_strategy`).
         """
         shards = len(inboxes)
         pool = self._pool
+        tracer = self.tracer
         handoffs = 0
+        round_index = 0
+        worker = step
+        if tracer.enabled:
+            round_box = [0]
+
+            def worker(shard: int):
+                begin = time.perf_counter()
+                outbox = step(shard)
+                tracer.record(
+                    "checker.shard_round",
+                    track=f"checker/shard-{shard}",
+                    start=begin,
+                    duration=time.perf_counter() - begin,
+                    solve=label,
+                    round=round_box[0],
+                )
+                return outbox
+
         while True:
             active = [k for k in range(shards) if inboxes[k] or queues[k]]
             if not active:
                 return handoffs
-            for outbox in pool.map(strategy, step, active, workers=shards):
+            if tracer.enabled:
+                round_box[0] = round_index
+            for outbox in pool.map(strategy, worker, active, workers=shards):
                 handoffs += len(outbox)
                 for target_shard, state in outbox:
                     inboxes[target_shard].append(state)
+            round_index += 1
 
     def _account_sharded(self, work: list[int], handoffs: int) -> None:
         stats = self.stats
@@ -761,7 +809,7 @@ class ModelChecker:
             return outbox
 
         handoffs = self._fixpoint_rounds(
-            self._shard_strategy(len(domain)), inboxes, queues, step
+            self._shard_strategy(len(domain)), inboxes, queues, step, label="exists_reach"
         )
         self._account_sharded(work, handoffs)
         return boundary | frozenset().union(*results)
@@ -847,7 +895,7 @@ class ModelChecker:
             return outbox
 
         handoffs = self._fixpoint_rounds(
-            self._shard_strategy(len(domain)), inboxes, queues, step
+            self._shard_strategy(len(domain)), inboxes, queues, step, label="forall_reach"
         )
         self._account_sharded(work, handoffs)
         return boundary | frozenset().union(*results)
@@ -903,7 +951,7 @@ class ModelChecker:
             return outbox
 
         handoffs = self._fixpoint_rounds(
-            self._shard_strategy(len(domain)), inboxes, queues, step
+            self._shard_strategy(len(domain)), inboxes, queues, step, label="forall_invariant"
         )
         self._account_sharded(work, handoffs)
         return boundary | ((keep & domain) - frozenset().union(*removeds))
@@ -974,7 +1022,7 @@ class ModelChecker:
             return outbox
 
         handoffs = self._fixpoint_rounds(
-            self._shard_strategy(len(domain)), inboxes, queues, step
+            self._shard_strategy(len(domain)), inboxes, queues, step, label="exists_invariant"
         )
         self._account_sharded(work, handoffs)
         return boundary | frozenset().union(*alives)
@@ -995,14 +1043,20 @@ class ModelChecker:
             # so a global solve is cheaper than an affected-region patch
             # (which would need a per-edge scan of the whole region).
             self.stats.sat_computed += 1
-            return self._solve_forall_invariant(operand, self.automaton.states, frozenset())
+            with self.tracer.span(
+                "checker.fixpoint", solve=operator, domain=len(self.automaton.states)
+            ):
+                return self._solve_forall_invariant(
+                    operand, self.automaton.states, frozenset()
+                )
         domain, boundary = self._fixpoint_region(formula)
-        if operator == "EF":  # lfp Z = φ ∪ pre∃(Z)
-            return self._solve_exists_reach(operand, None, domain, boundary)
-        if operator == "AF":  # lfp Z = φ ∪ (¬δ ∩ pre∀(Z))
-            return self._solve_forall_reach(operand, None, domain, boundary)
-        if operator == "EG":  # gfp Z = φ ∩ (δ ∪ pre∃(Z))
-            return self._solve_exists_invariant(operand, domain, boundary)
+        with self.tracer.span("checker.fixpoint", solve=operator, domain=len(domain)):
+            if operator == "EF":  # lfp Z = φ ∪ pre∃(Z)
+                return self._solve_exists_reach(operand, None, domain, boundary)
+            if operator == "AF":  # lfp Z = φ ∪ (¬δ ∩ pre∀(Z))
+                return self._solve_forall_reach(operand, None, domain, boundary)
+            if operator == "EG":  # gfp Z = φ ∩ (δ ∪ pre∃(Z))
+                return self._solve_exists_invariant(operand, domain, boundary)
         raise AssertionError(operator)
 
     def _unbounded_until(
@@ -1014,9 +1068,11 @@ class ModelChecker:
         universal: bool,
     ) -> frozenset[State]:
         domain, boundary = self._fixpoint_region(formula)
-        if universal:  # lfp Z = ψ ∪ (φ ∩ ¬δ ∩ pre∀(Z))
-            return self._solve_forall_reach(right, left, domain, boundary)
-        return self._solve_exists_reach(right, left, domain, boundary)
+        solve = "AU" if universal else "EU"
+        with self.tracer.span("checker.fixpoint", solve=solve, domain=len(domain)):
+            if universal:  # lfp Z = ψ ∪ (φ ∩ ¬δ ∩ pre∀(Z))
+                return self._solve_forall_reach(right, left, domain, boundary)
+            return self._solve_exists_reach(right, left, domain, boundary)
 
     # --------------------------------------------------------- bounded cases
 
@@ -1062,6 +1118,22 @@ class ModelChecker:
         return layers
 
     def _compute_layers(
+        self,
+        operator: str,
+        operand: frozenset[State],
+        interval: Interval,
+        domain: frozenset[State],
+        warm_layers: "list[frozenset[State]] | None",
+    ) -> list[frozenset[State]]:
+        with self.tracer.span(
+            "checker.bounded",
+            solve=operator,
+            domain=len(domain),
+            window=interval.high - interval.low,
+        ):
+            return self._compute_layers_inner(operator, operand, interval, domain, warm_layers)
+
+    def _compute_layers_inner(
         self,
         operator: str,
         operand: frozenset[State],
@@ -1138,29 +1210,33 @@ class ModelChecker:
             unaffected = frozenset()
             self.stats.sat_computed += 1
         low, high = interval.low, interval.high
+        solve = "AU" if universal else "EU"
         layers: list[frozenset[State]] = [frozenset()] * (high + 1)
-        for k in range(high, -1, -1):
-            satisfied: set[State] = set()
-            last = k == high
-            for state in domain:
-                window_open = max(low - k, 0) == 0
-                if window_open and state in right:
-                    satisfied.add(state)
-                    continue
-                if last or state not in left:
-                    continue
-                successors = self._successors[state]
-                if universal:
-                    if successors and all(t in layers[k + 1] for t in successors):
+        with self.tracer.span(
+            "checker.bounded", solve=solve, domain=len(domain), window=high - low
+        ):
+            for k in range(high, -1, -1):
+                satisfied: set[State] = set()
+                last = k == high
+                for state in domain:
+                    window_open = max(low - k, 0) == 0
+                    if window_open and state in right:
                         satisfied.add(state)
-                else:
-                    if any(t in layers[k + 1] for t in successors):
-                        satisfied.add(state)
-                self.stats.fixpoint_work += 1
-            layer = frozenset(satisfied)
-            if warm_layers is not None:
-                layer |= warm_layers[k] & unaffected
-            layers[k] = layer
+                        continue
+                    if last or state not in left:
+                        continue
+                    successors = self._successors[state]
+                    if universal:
+                        if successors and all(t in layers[k + 1] for t in successors):
+                            satisfied.add(state)
+                    else:
+                        if any(t in layers[k + 1] for t in successors):
+                            satisfied.add(state)
+                    self.stats.fixpoint_work += 1
+                layer = frozenset(satisfied)
+                if warm_layers is not None:
+                    layer |= warm_layers[k] & unaffected
+                layers[k] = layer
         self._formula_layers[key] = layers
         return layers[0]
 

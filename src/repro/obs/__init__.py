@@ -1,0 +1,83 @@
+"""Observability for the verify → test → learn loop.
+
+``repro.obs`` packages three pieces that work together:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracing with a
+  zero-overhead :data:`NULL_TRACER` default and ``REPRO_TRACE``
+  environment activation;
+* :mod:`repro.obs.metrics` — deterministic counters, gauges, and
+  fixed-bucket histograms, plus the canonical ``product_*`` /
+  ``checker_*`` counter plumbing shared with the reports;
+* :mod:`repro.obs.export` — JSONL and Chrome trace-event exporters,
+  the self-time fold behind ``tools/trace_report.py``, and the
+  plain-text per-iteration summary.
+
+Span and metric names are a stable, tested contract — see
+``docs/observability.md`` for the reference.
+"""
+
+from .export import (
+    chrome_trace,
+    encode_event,
+    fold_self_time,
+    load_trace,
+    metric_events,
+    render_fold_table,
+    render_trace_summary,
+    span_event,
+    span_line,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_TIME_BOUNDS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    publish_record,
+    record_counters,
+)
+from .tracer import (
+    NULL_TRACER,
+    TRACE_ENV,
+    TRACE_FORMAT_ENV,
+    NullTracer,
+    Span,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Span",
+    "TRACE_ENV",
+    "TRACE_FORMAT_ENV",
+    "Tracer",
+    "chrome_trace",
+    "fold_self_time",
+    "load_trace",
+    "metric_events",
+    "encode_event",
+    "publish_record",
+    "record_counters",
+    "render_fold_table",
+    "render_trace_summary",
+    "resolve_tracer",
+    "span_event",
+    "span_line",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

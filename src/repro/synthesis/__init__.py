@@ -19,6 +19,7 @@ from .settings import SynthesisSettings
 from .report import (
     coverage_summary,
     knowledge_gaps,
+    render_counter_totals,
     render_counterexample_listing,
     render_iteration_table,
     render_markdown_report,
@@ -52,5 +53,6 @@ __all__ = [
     "result_to_dict",
     "knowledge_gaps",
     "coverage_summary",
+    "render_counter_totals",
     "render_markdown_report",
 ]

@@ -30,6 +30,7 @@ so the loop always ends in ``PROVEN`` or ``REAL_VIOLATION`` (the
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from enum import Enum
@@ -48,6 +49,8 @@ from ..logic.checker import ModelChecker
 from ..logic.compositional import assert_compositional, weaken_for_chaos
 from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import AF, AU, DEADLOCK_FREE, Deadlock, Formula
+from ..obs.metrics import publish_record
+from ..obs.tracer import resolve_tracer
 from ..testing.executor import TestExecution, TestVerdict, execute_test
 from ..testing.replay import ReplayResult, replay
 from ..testing.testcase import TestCase, TestStep, test_case_from_counterexample
@@ -310,6 +313,7 @@ class IntegrationSynthesizer:
             parallelism=parallelism,
         )
         self.settings = settings
+        self.tracer = resolve_tracer(settings.tracer)
         self.context = context
         self.component = component
         self.property = property
@@ -415,11 +419,30 @@ class IntegrationSynthesizer:
 
     def run(self) -> SynthesisResult:
         """Execute the loop until proof, real violation, or budget."""
+        tracer = self.tracer
+        with tracer.span("loop.run", synthesizer="IntegrationSynthesizer"):
+            result = self._run()
+        if tracer.enabled:
+            from ..automata.sharding import get_pool
+
+            get_pool().publish_to(tracer.metrics)
+            tracer.metrics.set_gauge("loop_iteration_count", result.iteration_count)
+        return result
+
+    def _run(self) -> SynthesisResult:
+        tracer = self.tracer
         if self.initial_knowledge is not None:
             model = self.initial_knowledge
         else:
             model = initial_model(self.interface, labeler=self.labeler)
         records: list[IterationRecord] = []
+
+        def note(rec: IterationRecord) -> None:
+            records.append(rec)
+            if tracer.enabled:
+                publish_record(tracer.metrics, rec)
+                checker.stats.publish_to(tracer.metrics)
+
         closure: Automaton | None = None
         engine = (
             IncrementalVerifier(
@@ -429,181 +452,188 @@ class IntegrationSynthesizer:
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
+                tracer=tracer,
             )
             if self.incremental
             else None
         )
 
         for index in range(self.max_iterations):
-            if engine is not None:
-                step = engine.step([model], closure_names=[f"M_a^{index}"])
-                closure = step.closures[0]
-                composed = step.composed
-                checker = step.checker
-                step_stats = step.stats
-            else:
-                closure = chaotic_closure(
-                    model,
-                    self.universe,
-                    deterministic_implementation=True,
-                    name=f"M_a^{index}",
-                )
-                composed = compose(
-                    self.context,
-                    closure,
-                    semantics=self.composition_semantics,
-                    parallelism=self.parallelism,
-                )
-                checker = ModelChecker(composed, parallelism=self.checker_parallelism)
-                step_stats = None
-            property_result = checker.check(self.weakened_property)
-            deadlock_result = checker.check(DEADLOCK_FREE)
+            with tracer.span("loop.iteration", index=index):
+                if engine is not None:
+                    step = engine.step([model], closure_names=[f"M_a^{index}"])
+                    closure = step.closures[0]
+                    composed = step.composed
+                    checker = step.checker
+                    step_stats = step.stats
+                else:
+                    with tracer.span("verify.step", models=1):
+                        closure = chaotic_closure(
+                            model,
+                            self.universe,
+                            deterministic_implementation=True,
+                            name=f"M_a^{index}",
+                        )
+                        composed = compose(
+                            self.context,
+                            closure,
+                            semantics=self.composition_semantics,
+                            parallelism=self.parallelism,
+                        )
+                        checker = ModelChecker(
+                            composed, parallelism=self.checker_parallelism, tracer=tracer
+                        )
+                    step_stats = None
+                with tracer.span("checker.check", kind="property"):
+                    property_result = checker.check(self.weakened_property)
+                with tracer.span("checker.check", kind="deadlock"):
+                    deadlock_result = checker.check(DEADLOCK_FREE)
 
-            def record(
-                *,
-                violated: str | None,
-                cex: Run | None,
-                fast: bool,
-                scratch: _IterationScratch | None,
-                gained: int,
-            ) -> IterationRecord:
-                return IterationRecord(
-                    index=index,
-                    model_states=len(model.states),
-                    model_transitions=len(model.transitions),
-                    model_refusals=len(model.refusals),
-                    closure_states=len(closure.states),
-                    closure_transitions=closure.transition_count,
-                    composed_states=len(composed.states),
-                    property_holds=property_result.holds,
-                    deadlock_free=deadlock_result.holds,
-                    violated=violated,
-                    counterexample=cex,
-                    fast_conflict=fast,
-                    test_verdict=scratch.test_verdict if scratch else None,
-                    tests_executed=scratch.tests if scratch else 0,
-                    replays_executed=scratch.replays if scratch else 0,
-                    observed_run=scratch.observed if scratch else None,
-                    knowledge_gained=gained,
-                    closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
-                    closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
-                    product_hits=step_stats.product_hits if step_stats else 0,
-                    product_misses=step_stats.product_misses if step_stats else 0,
-                    dirty_states=step_stats.dirty_states if step_stats else 0,
-                    affected_states=step_stats.affected_states if step_stats else 0,
-                    checker_fixpoint_work=checker.stats.fixpoint_work,
-                    product_shards=step_stats.product_shards if step_stats else 0,
-                    product_shard_states_explored=(
-                        step_stats.shard_states_explored if step_stats else ()
-                    ),
-                    product_shard_handoffs=(
-                        step_stats.shard_handoffs if step_stats else 0
-                    ),
-                    product_shard_merge_conflicts=(
-                        step_stats.shard_merge_conflicts if step_stats else 0
-                    ),
-                    checker_shards=checker.stats.shards,
-                    checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
-                    checker_shard_handoffs=checker.stats.shard_handoffs,
-                )
-
-            if property_result.holds and deadlock_result.holds:
-                records.append(record(violated=None, cex=None, fast=False, scratch=None, gained=0))
-                return SynthesisResult(
-                    verdict=Verdict.PROVEN,
-                    property=self.property,
-                    iterations=tuple(records),
-                    final_model=model,
-                    final_closure=closure,
-                    violation_witness=None,
-                    violation_kind=None,
-                )
-
-            if not property_result.holds:
-                violated = "property"
-                batch = self._counterexample_batch(composed, self.weakened_property, checker)
-            else:
-                violated = "deadlock"
-                batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
-            cex = batch[0]
-
-            def needs_probing_for(candidate: Run) -> bool:
-                # A property counterexample that *ends in a composed
-                # deadlock state* may owe its violation to the pessimistic
-                # refusals of the closure (the deadlock atom, or a bounded
-                # obligation cut short) rather than to real labels: such
-                # runs are confirmed or refuted exactly like deadlock
-                # counterexamples, by probing what the context offers in
-                # the final configuration.  A confirmed probe-failure then
-                # witnesses a genuine ¬δ violation of φ ∧ ¬δ.
-                return (
-                    violated == "property"
-                    and self._refusal_sensitive
-                    and composed.is_deadlock(candidate.last_state)
-                )
-
-            if self.fast_conflict and violated == "property":
-                fast_candidate = next(
-                    (
-                        candidate
-                        for candidate in batch
-                        if not needs_probing_for(candidate)
-                        and not any(is_chaos_state(state[1]) for state in candidate.states)
-                    ),
-                    None,
-                )
-                if fast_candidate is not None:
-                    records.append(
-                        record(violated=violated, cex=fast_candidate, fast=True, scratch=None, gained=0)
+                def record(
+                    *,
+                    violated: str | None,
+                    cex: Run | None,
+                    fast: bool,
+                    scratch: _IterationScratch | None,
+                    gained: int,
+                ) -> IterationRecord:
+                    return IterationRecord(
+                        index=index,
+                        model_states=len(model.states),
+                        model_transitions=len(model.transitions),
+                        model_refusals=len(model.refusals),
+                        closure_states=len(closure.states),
+                        closure_transitions=closure.transition_count,
+                        composed_states=len(composed.states),
+                        property_holds=property_result.holds,
+                        deadlock_free=deadlock_result.holds,
+                        violated=violated,
+                        counterexample=cex,
+                        fast_conflict=fast,
+                        test_verdict=scratch.test_verdict if scratch else None,
+                        tests_executed=scratch.tests if scratch else 0,
+                        replays_executed=scratch.replays if scratch else 0,
+                        observed_run=scratch.observed if scratch else None,
+                        knowledge_gained=gained,
+                        closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
+                        closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
+                        product_hits=step_stats.product_hits if step_stats else 0,
+                        product_misses=step_stats.product_misses if step_stats else 0,
+                        dirty_states=step_stats.dirty_states if step_stats else 0,
+                        affected_states=step_stats.affected_states if step_stats else 0,
+                        checker_fixpoint_work=checker.stats.fixpoint_work,
+                        product_shards=step_stats.product_shards if step_stats else 0,
+                        product_shard_states_explored=(
+                            step_stats.shard_states_explored if step_stats else ()
+                        ),
+                        product_shard_handoffs=(
+                            step_stats.shard_handoffs if step_stats else 0
+                        ),
+                        product_shard_merge_conflicts=(
+                            step_stats.shard_merge_conflicts if step_stats else 0
+                        ),
+                        checker_shards=checker.stats.shards,
+                        checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
+                        checker_shard_handoffs=checker.stats.shard_handoffs,
                     )
+
+                if property_result.holds and deadlock_result.holds:
+                    note(record(violated=None, cex=None, fast=False, scratch=None, gained=0))
+                    return SynthesisResult(
+                        verdict=Verdict.PROVEN,
+                        property=self.property,
+                        iterations=tuple(records),
+                        final_model=model,
+                        final_closure=closure,
+                        violation_witness=None,
+                        violation_kind=None,
+                    )
+
+                if not property_result.holds:
+                    violated = "property"
+                    batch = self._counterexample_batch(composed, self.weakened_property, checker)
+                else:
+                    violated = "deadlock"
+                    batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
+                cex = batch[0]
+
+                def needs_probing_for(candidate: Run) -> bool:
+                    # A property counterexample that *ends in a composed
+                    # deadlock state* may owe its violation to the pessimistic
+                    # refusals of the closure (the deadlock atom, or a bounded
+                    # obligation cut short) rather than to real labels: such
+                    # runs are confirmed or refuted exactly like deadlock
+                    # counterexamples, by probing what the context offers in
+                    # the final configuration.  A confirmed probe-failure then
+                    # witnesses a genuine ¬δ violation of φ ∧ ¬δ.
+                    return (
+                        violated == "property"
+                        and self._refusal_sensitive
+                        and composed.is_deadlock(candidate.last_state)
+                    )
+
+                if self.fast_conflict and violated == "property":
+                    fast_candidate = next(
+                        (
+                            candidate
+                            for candidate in batch
+                            if not needs_probing_for(candidate)
+                            and not any(is_chaos_state(state[1]) for state in candidate.states)
+                        ),
+                        None,
+                    )
+                    if fast_candidate is not None:
+                        note(
+                            record(violated=violated, cex=fast_candidate, fast=True, scratch=None, gained=0)
+                        )
+                        return SynthesisResult(
+                            verdict=Verdict.REAL_VIOLATION,
+                            property=self.property,
+                            iterations=tuple(records),
+                            final_model=model,
+                            final_closure=closure,
+                            violation_witness=fast_candidate,
+                            violation_kind=violated,
+                        )
+
+                scratch = _IterationScratch()
+                before = model.knowledge_size()
+                for position, candidate in enumerate(batch):
+                    try:
+                        if violated == "property" and not needs_probing_for(candidate):
+                            model = self._handle_property_counterexample(model, candidate, scratch)
+                        else:
+                            model = self._handle_deadlock_counterexample(
+                                model, composed, candidate, scratch
+                            )
+                    except LearningError:
+                        if position == 0:
+                            raise
+                        continue  # a later counterexample went stale mid-batch
+                    if scratch.real_violation:
+                        cex = candidate
+                        break
+                gained = model.knowledge_size() - before
+
+                note(
+                    record(violated=violated, cex=cex, fast=False, scratch=scratch, gained=gained)
+                )
+                if scratch.real_violation:
                     return SynthesisResult(
                         verdict=Verdict.REAL_VIOLATION,
                         property=self.property,
                         iterations=tuple(records),
                         final_model=model,
                         final_closure=closure,
-                        violation_witness=fast_candidate,
+                        violation_witness=cex,
                         violation_kind=violated,
                     )
-
-            scratch = _IterationScratch()
-            before = model.knowledge_size()
-            for position, candidate in enumerate(batch):
-                try:
-                    if violated == "property" and not needs_probing_for(candidate):
-                        model = self._handle_property_counterexample(model, candidate, scratch)
-                    else:
-                        model = self._handle_deadlock_counterexample(
-                            model, composed, candidate, scratch
-                        )
-                except LearningError:
-                    if position == 0:
-                        raise
-                    continue  # a later counterexample went stale mid-batch
-                if scratch.real_violation:
-                    cex = candidate
-                    break
-            gained = model.knowledge_size() - before
-
-            records.append(
-                record(violated=violated, cex=cex, fast=False, scratch=scratch, gained=gained)
-            )
-            if scratch.real_violation:
-                return SynthesisResult(
-                    verdict=Verdict.REAL_VIOLATION,
-                    property=self.property,
-                    iterations=tuple(records),
-                    final_model=model,
-                    final_closure=closure,
-                    violation_witness=cex,
-                    violation_kind=violated,
-                )
-            if gained <= 0:
-                raise SynthesisError(
-                    f"iteration {index} made no learning progress on {cex} — "
-                    "this contradicts §4.4's termination argument and indicates "
-                    "a non-deterministic component or an inconsistent universe"
-                )
+                if gained <= 0:
+                    raise SynthesisError(
+                        f"iteration {index} made no learning progress on {cex} — "
+                        "this contradicts §4.4's termination argument and indicates "
+                        "a non-deterministic component or an inconsistent universe"
+                    )
 
         return SynthesisResult(
             verdict=Verdict.BUDGET_EXCEEDED,
@@ -618,6 +648,14 @@ class IntegrationSynthesizer:
     # -------------------------------------------------------------- helpers
 
     def _counterexample_batch(
+        self, composed: Automaton, formula: Formula, checker: ModelChecker
+    ) -> list[Run]:
+        with self.tracer.span(
+            "counterexample.derive", limit=self.counterexamples_per_iteration
+        ):
+            return self._counterexample_batch_inner(composed, formula, checker)
+
+    def _counterexample_batch_inner(
         self, composed: Automaton, formula: Formula, checker: ModelChecker
     ) -> list[Run]:
         if self.counterexample_strategy is not None:
@@ -643,11 +681,19 @@ class IntegrationSynthesizer:
 
     def _execute(self, testcase: TestCase, scratch: _IterationScratch) -> TestExecution:
         scratch.tests += 1
-        return execute_test(self.component, testcase, port=self.port)
+        begin = time.perf_counter()
+        with self.tracer.span("test.execute", steps=len(testcase.steps)):
+            execution = execute_test(self.component, testcase, port=self.port)
+        self.tracer.metrics.observe("test_execute_seconds", time.perf_counter() - begin)
+        return execution
 
     def _replay(self, execution: TestExecution, scratch: _IterationScratch) -> ReplayResult:
         scratch.replays += 1
-        return replay(self.component, execution.recording, port=self.port)
+        begin = time.perf_counter()
+        with self.tracer.span("monitor.replay", steps=len(execution.recording.steps)):
+            result = replay(self.component, execution.recording, port=self.port)
+        self.tracer.metrics.observe("monitor_replay_seconds", time.perf_counter() - begin)
+        return result
 
     def _learn_execution(
         self,
@@ -659,32 +705,33 @@ class IntegrationSynthesizer:
         result = self._replay(execution, scratch)
         observed = result.observed_run
         scratch.observed = observed
-        if execution.verdict is TestVerdict.BLOCKED:
-            # No reaction at all: Definition 12 (+ wholesale refusal).
-            return learn_blocked(
-                model,
-                observed,
-                labeler=self.labeler,
-                mode=self.refusal_mode,
-                universe=self.universe,
-                observed_outputs=None,
-            )
-        model = learn_regular(model, observed, labeler=self.labeler)
-        if execution.verdict is TestVerdict.DIVERGED:
-            assert execution.divergence_index is not None
-            diverged = execution.recording.steps[execution.divergence_index]
-            source = observed.states[execution.divergence_index]
-            if self.refusal_mode == "deterministic":
-                impossible = [
-                    interaction
-                    for interaction in self.universe
-                    if interaction.inputs == diverged.inputs
-                    and interaction.outputs != diverged.observed_outputs
-                ]
-            else:
-                impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
-            model = refuse(model, source, impossible, allow_no_progress=True)
-        return model
+        with self.tracer.span("learn.merge", verdict=execution.verdict.value):
+            if execution.verdict is TestVerdict.BLOCKED:
+                # No reaction at all: Definition 12 (+ wholesale refusal).
+                return learn_blocked(
+                    model,
+                    observed,
+                    labeler=self.labeler,
+                    mode=self.refusal_mode,
+                    universe=self.universe,
+                    observed_outputs=None,
+                )
+            model = learn_regular(model, observed, labeler=self.labeler)
+            if execution.verdict is TestVerdict.DIVERGED:
+                assert execution.divergence_index is not None
+                diverged = execution.recording.steps[execution.divergence_index]
+                source = observed.states[execution.divergence_index]
+                if self.refusal_mode == "deterministic":
+                    impossible = [
+                        interaction
+                        for interaction in self.universe
+                        if interaction.inputs == diverged.inputs
+                        and interaction.outputs != diverged.observed_outputs
+                    ]
+                else:
+                    impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
+                model = refuse(model, source, impossible, allow_no_progress=True)
+            return model
 
     # ------------------------------------------------- property counterexamples
 
@@ -745,7 +792,8 @@ class IntegrationSynthesizer:
         prefix_replay = self._replay(execution, scratch)
         observed_prefix = prefix_replay.observed_run
         scratch.observed = observed_prefix
-        model = learn_regular(model, observed_prefix, labeler=self.labeler)
+        with self.tracer.span("learn.merge", verdict="confirmed-prefix"):
+            model = learn_regular(model, observed_prefix, labeler=self.labeler)
         legacy_state = observed_prefix.last_state
 
         offers = self._context_offers(cex.last_state)

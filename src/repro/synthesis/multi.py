@@ -28,6 +28,7 @@ learning is beneficial" and conjectures that the benefit depends on
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -45,6 +46,8 @@ from ..logic.checker import ModelChecker
 from ..logic.compositional import assert_compositional, weaken_for_chaos
 from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import DEADLOCK_FREE, Formula
+from ..obs.metrics import publish_record
+from ..obs.tracer import resolve_tracer
 from ..testing.executor import TestVerdict, execute_test
 from ..testing.replay import replay
 from ..testing.testcase import TestCase, TestStep
@@ -242,6 +245,7 @@ class MultiLegacySynthesizer:
         if len(set(names)) != len(names):
             raise SynthesisError(f"legacy component names must be unique, got {names}")
         self.settings = settings
+        self.tracer = resolve_tracer(settings.tracer)
         self.context = context
         self.property = property
         self.weakened_property = weaken_for_chaos(property)
@@ -335,36 +339,51 @@ class MultiLegacySynthesizer:
             steps.append(TestStep(projected.blocked.inputs, projected.blocked.outputs))
         return TestCase(name=f"{slot.name}-test", steps=tuple(steps), source_run=cex)
 
+    def _execute(self, slot: _Slot, case: TestCase):
+        begin = time.perf_counter()
+        with self.tracer.span("test.execute", steps=len(case.steps)):
+            execution = execute_test(slot.component, case, port=self.port)
+        self.tracer.metrics.observe("test_execute_seconds", time.perf_counter() - begin)
+        return execution
+
+    def _replay(self, slot: _Slot, recording):
+        begin = time.perf_counter()
+        with self.tracer.span("monitor.replay", steps=len(recording.steps)):
+            result = replay(slot.component, recording, port=self.port)
+        self.tracer.metrics.observe("monitor_replay_seconds", time.perf_counter() - begin)
+        return result
+
     def _learn_execution(self, slot: _Slot, execution) -> bool:
         """Replay and merge; returns True when knowledge grew."""
         before = slot.model.knowledge_size()
-        result = replay(slot.component, execution.recording, port=self.port)
+        result = self._replay(slot, execution.recording)
         observed = result.observed_run
-        if execution.verdict is TestVerdict.BLOCKED:
-            slot.model = learn_blocked(
-                slot.model,
-                observed,
-                labeler=slot.labeler,
-                mode=self.refusal_mode,
-                universe=slot.universe,
-                observed_outputs=None,
-            )
-        else:
-            slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
-            if execution.verdict is TestVerdict.DIVERGED:
-                assert execution.divergence_index is not None
-                diverged = execution.recording.steps[execution.divergence_index]
-                source = observed.states[execution.divergence_index]
-                if self.refusal_mode == "deterministic":
-                    impossible = [
-                        interaction
-                        for interaction in slot.universe
-                        if interaction.inputs == diverged.inputs
-                        and interaction.outputs != diverged.observed_outputs
-                    ]
-                else:
-                    impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
-                slot.model = refuse(slot.model, source, impossible, allow_no_progress=True)
+        with self.tracer.span("learn.merge", verdict=execution.verdict.value):
+            if execution.verdict is TestVerdict.BLOCKED:
+                slot.model = learn_blocked(
+                    slot.model,
+                    observed,
+                    labeler=slot.labeler,
+                    mode=self.refusal_mode,
+                    universe=slot.universe,
+                    observed_outputs=None,
+                )
+            else:
+                slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
+                if execution.verdict is TestVerdict.DIVERGED:
+                    assert execution.divergence_index is not None
+                    diverged = execution.recording.steps[execution.divergence_index]
+                    source = observed.states[execution.divergence_index]
+                    if self.refusal_mode == "deterministic":
+                        impossible = [
+                            interaction
+                            for interaction in slot.universe
+                            if interaction.inputs == diverged.inputs
+                            and interaction.outputs != diverged.observed_outputs
+                        ]
+                    else:
+                        impossible = [Interaction(diverged.inputs, diverged.expected_outputs)]
+                    slot.model = refuse(slot.model, source, impossible, allow_no_progress=True)
         return slot.model.knowledge_size() > before
 
     # ---------------------------------------------------- deadlock handling
@@ -386,7 +405,7 @@ class MultiLegacySynthesizer:
                 steps=(*prefix.steps, TestStep(inputs, frozenset())),
             )
             counters[0] += 1
-            execution = execute_test(slot.component, probe, port=self.port)
+            execution = self._execute(slot, probe)
             if execution.divergence_index is not None and execution.divergence_index < len(
                 prefix.steps
             ):
@@ -400,26 +419,27 @@ class MultiLegacySynthesizer:
         return table
 
     def _learn_probe(self, slot: _Slot, execution) -> None:
-        result = replay(slot.component, execution.recording, port=self.port)
+        result = self._replay(slot, execution.recording)
         observed = result.observed_run
-        if observed.blocked is not None:
-            try:
-                slot.model = learn_blocked(
-                    slot.model,
-                    observed,
-                    labeler=slot.labeler,
-                    mode=self.refusal_mode,
-                    universe=slot.universe,
-                    observed_outputs=None,
-                )
-            except LearningError:
-                # The refusal was already known (the probe revisited a
-                # decided input); merge the regular prefix only.
-                slot.model = learn_regular(
-                    slot.model, Run(observed.start, observed.steps), labeler=slot.labeler
-                )
-        else:
-            slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
+        with self.tracer.span("learn.merge", verdict="probe"):
+            if observed.blocked is not None:
+                try:
+                    slot.model = learn_blocked(
+                        slot.model,
+                        observed,
+                        labeler=slot.labeler,
+                        mode=self.refusal_mode,
+                        universe=slot.universe,
+                        observed_outputs=None,
+                    )
+                except LearningError:
+                    # The refusal was already known (the probe revisited a
+                    # decided input); merge the regular prefix only.
+                    slot.model = learn_regular(
+                        slot.model, Run(observed.start, observed.steps), labeler=slot.labeler
+                    )
+            else:
+                slot.model = learn_regular(slot.model, observed, labeler=slot.labeler)
 
     def _joint_step_exists(
         self,
@@ -483,6 +503,14 @@ class MultiLegacySynthesizer:
     def _counterexample_batch(
         self, composed: Automaton, formula: Formula, checker: ModelChecker
     ) -> list[Run]:
+        with self.tracer.span(
+            "counterexample.derive", limit=self.counterexamples_per_iteration
+        ):
+            return self._counterexample_batch_inner(composed, formula, checker)
+
+    def _counterexample_batch_inner(
+        self, composed: Automaton, formula: Formula, checker: ModelChecker
+    ) -> list[Run]:
         if self.counterexamples_per_iteration > 1:
             batch = counterexamples(
                 composed, formula, checker=checker, limit=self.counterexamples_per_iteration
@@ -497,7 +525,28 @@ class MultiLegacySynthesizer:
     # ------------------------------------------------------------------ run
 
     def run(self) -> MultiSynthesisResult:
+        """Execute the parallel loop until proof, real violation, or budget."""
+        tracer = self.tracer
+        with tracer.span("loop.run", synthesizer="MultiLegacySynthesizer"):
+            result = self._run()
+        if tracer.enabled:
+            from ..automata.sharding import get_pool
+
+            get_pool().publish_to(tracer.metrics)
+            tracer.metrics.set_gauge("loop_iteration_count", result.iteration_count)
+        return result
+
+    def _run(self) -> MultiSynthesisResult:
+        tracer = self.tracer
         records: list[MultiIterationRecord] = []
+
+        def note(rec: MultiIterationRecord) -> None:
+            # ``checker`` late-binds to the current iteration's checker.
+            records.append(rec)
+            if tracer.enabled:
+                publish_record(tracer.metrics, rec)
+                checker.stats.publish_to(tracer.metrics)
+
         engine = (
             IncrementalVerifier(
                 context=self.context,
@@ -506,111 +555,192 @@ class MultiLegacySynthesizer:
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
+                tracer=tracer,
             )
             if self.incremental
             else None
         )
         for index in range(self.max_iterations):
-            if engine is not None:
-                step = engine.step(
-                    [slot.model for slot in self.slots],
-                    closure_names=[f"chaos({slot.name})" for slot in self.slots],
-                    name="multi-closure",
-                )
-                composed = step.composed
-                checker = step.checker
-                step_stats = step.stats
-            else:
-                composed = self._compose()
-                checker = ModelChecker(composed, parallelism=self.checker_parallelism)
-                step_stats = None
-            property_result = checker.check(self.weakened_property)
-            deadlock_result = checker.check(DEADLOCK_FREE)
-            counter_fields = dict(
-                closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
-                closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
-                product_hits=step_stats.product_hits if step_stats else 0,
-                product_misses=step_stats.product_misses if step_stats else 0,
-                dirty_states=step_stats.dirty_states if step_stats else 0,
-                affected_states=step_stats.affected_states if step_stats else 0,
-                checker_fixpoint_work=checker.stats.fixpoint_work,
-                product_shards=step_stats.product_shards if step_stats else 0,
-                product_shard_states_explored=(
-                    step_stats.shard_states_explored if step_stats else ()
-                ),
-                product_shard_handoffs=(
-                    step_stats.shard_handoffs if step_stats else 0
-                ),
-                product_shard_merge_conflicts=(
-                    step_stats.shard_merge_conflicts if step_stats else 0
-                ),
-                checker_shards=checker.stats.shards,
-                checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
-                checker_shard_handoffs=checker.stats.shard_handoffs,
-            )
-
-            def snapshot() -> tuple[tuple[int, int, int], ...]:
-                return tuple(
-                    (len(slot.model.states), len(slot.model.transitions), len(slot.model.refusals))
-                    for slot in self.slots
-                )
-
-            if property_result.holds and deadlock_result.holds:
-                records.append(
-                    MultiIterationRecord(
-                        index,
-                        snapshot(),
-                        len(composed.states),
-                        True,
-                        True,
-                        None,
-                        None,
-                        False,
-                        0,
-                        (),
-                        0,
-                        **counter_fields,
+            with tracer.span("loop.iteration", index=index):
+                if engine is not None:
+                    step = engine.step(
+                        [slot.model for slot in self.slots],
+                        closure_names=[f"chaos({slot.name})" for slot in self.slots],
+                        name="multi-closure",
                     )
-                )
-                return self._result(Verdict.PROVEN, records, None, None)
-
-            if not property_result.holds:
-                violated = "property"
-                batch = self._counterexample_batch(composed, self.weakened_property, checker)
-            else:
-                violated = "deadlock"
-                batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
-            cex = batch[0]
-
-            def is_chaos_free(candidate: Run) -> bool:
-                return not any(
-                    is_chaos_state(self._slot_state(state, slot))
-                    for state in candidate.states
-                    for slot in self.slots
-                )
-
-            def probing_needed(candidate: Run) -> bool:
-                return violated == "deadlock" or (
-                    self._refusal_sensitive and composed.is_deadlock(candidate.last_state)
-                )
-
-            chaos_free = is_chaos_free(cex)
-            needs_probing = probing_needed(cex)
-            if self.fast_conflict and violated == "property":
-                fast_candidate = next(
-                    (
-                        candidate
-                        for candidate in batch
-                        if not probing_needed(candidate) and is_chaos_free(candidate)
+                    composed = step.composed
+                    checker = step.checker
+                    step_stats = step.stats
+                else:
+                    with tracer.span("verify.step", models=len(self.slots)):
+                        composed = self._compose()
+                        checker = ModelChecker(
+                            composed, parallelism=self.checker_parallelism, tracer=tracer
+                        )
+                    step_stats = None
+                with tracer.span("checker.check", kind="property"):
+                    property_result = checker.check(self.weakened_property)
+                with tracer.span("checker.check", kind="deadlock"):
+                    deadlock_result = checker.check(DEADLOCK_FREE)
+                counter_fields = dict(
+                    closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
+                    closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
+                    product_hits=step_stats.product_hits if step_stats else 0,
+                    product_misses=step_stats.product_misses if step_stats else 0,
+                    dirty_states=step_stats.dirty_states if step_stats else 0,
+                    affected_states=step_stats.affected_states if step_stats else 0,
+                    checker_fixpoint_work=checker.stats.fixpoint_work,
+                    product_shards=step_stats.product_shards if step_stats else 0,
+                    product_shard_states_explored=(
+                        step_stats.shard_states_explored if step_stats else ()
                     ),
-                    None,
+                    product_shard_handoffs=(
+                        step_stats.shard_handoffs if step_stats else 0
+                    ),
+                    product_shard_merge_conflicts=(
+                        step_stats.shard_merge_conflicts if step_stats else 0
+                    ),
+                    checker_shards=checker.stats.shards,
+                    checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
+                    checker_shard_handoffs=checker.stats.shard_handoffs,
                 )
-                if fast_candidate is not None:
-                    cex = fast_candidate
-                    chaos_free = True
-                    needs_probing = False
-            if self.fast_conflict and violated == "property" and not needs_probing and chaos_free:
-                records.append(
+
+                def snapshot() -> tuple[tuple[int, int, int], ...]:
+                    return tuple(
+                        (len(slot.model.states), len(slot.model.transitions), len(slot.model.refusals))
+                        for slot in self.slots
+                    )
+
+                if property_result.holds and deadlock_result.holds:
+                    note(
+                        MultiIterationRecord(
+                            index,
+                            snapshot(),
+                            len(composed.states),
+                            True,
+                            True,
+                            None,
+                            None,
+                            False,
+                            0,
+                            (),
+                            0,
+                            **counter_fields,
+                        )
+                    )
+                    return self._result(Verdict.PROVEN, records, None, None)
+
+                if not property_result.holds:
+                    violated = "property"
+                    batch = self._counterexample_batch(composed, self.weakened_property, checker)
+                else:
+                    violated = "deadlock"
+                    batch = self._counterexample_batch(composed, DEADLOCK_FREE, checker)
+                cex = batch[0]
+
+                def is_chaos_free(candidate: Run) -> bool:
+                    return not any(
+                        is_chaos_state(self._slot_state(state, slot))
+                        for state in candidate.states
+                        for slot in self.slots
+                    )
+
+                def probing_needed(candidate: Run) -> bool:
+                    return violated == "deadlock" or (
+                        self._refusal_sensitive and composed.is_deadlock(candidate.last_state)
+                    )
+
+                chaos_free = is_chaos_free(cex)
+                needs_probing = probing_needed(cex)
+                if self.fast_conflict and violated == "property":
+                    fast_candidate = next(
+                        (
+                            candidate
+                            for candidate in batch
+                            if not probing_needed(candidate) and is_chaos_free(candidate)
+                        ),
+                        None,
+                    )
+                    if fast_candidate is not None:
+                        cex = fast_candidate
+                        chaos_free = True
+                        needs_probing = False
+                if self.fast_conflict and violated == "property" and not needs_probing and chaos_free:
+                    note(
+                        MultiIterationRecord(
+                            index,
+                            snapshot(),
+                            len(composed.states),
+                            property_result.holds,
+                            deadlock_result.holds,
+                            violated,
+                            cex,
+                            True,
+                            0,
+                            (),
+                            0,
+                            **counter_fields,
+                        )
+                    )
+                    return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
+
+                before = sum(slot.model.knowledge_size() for slot in self.slots)
+                counters = [0]
+                learned_names: list[str] = []
+                all_confirmed = True
+                for slot in self.slots:
+                    case = self._project_case(cex, slot)
+                    counters[0] += 1
+                    execution = self._execute(slot, case)
+                    if execution.verdict is TestVerdict.CONFIRMED:
+                        if not chaos_free:
+                            grew = self._learn_execution(slot, execution)
+                            if grew:
+                                learned_names.append(slot.name)
+                    else:
+                        all_confirmed = False
+                        if self._learn_execution(slot, execution):
+                            learned_names.append(slot.name)
+
+                # Extra batch counterexamples contribute test/learn material
+                # only; verdict decisions rest on the primary one.  Probing
+                # candidates are skipped (their confirmation protocol is the
+                # expensive primary-path one).
+                for candidate in batch[1:]:
+                    if candidate is cex or probing_needed(candidate):
+                        continue
+                    candidate_chaos_free = is_chaos_free(candidate)
+                    for slot in self.slots:
+                        case = self._project_case(candidate, slot)
+                        counters[0] += 1
+                        execution = self._execute(slot, case)
+                        if execution.verdict is TestVerdict.CONFIRMED and candidate_chaos_free:
+                            continue
+                        try:
+                            if self._learn_execution(slot, execution):
+                                learned_names.append(slot.name)
+                        except LearningError:
+                            # Later candidates may contradict knowledge the
+                            # earlier ones just merged; skipping is sound.
+                            continue
+
+                real = False
+                if all_confirmed:
+                    if needs_probing:
+                        tables = []
+                        for slot in self.slots:
+                            prefix = self._project_case(cex, slot)
+                            tables.append(self._reaction_table(slot, prefix, counters))
+                            learned_names.append(slot.name)
+                        context_state = (
+                            cex.last_state[0] if self.context is not None else None
+                        )
+                        real = not self._joint_step_exists(context_state, tables)
+                    elif chaos_free:
+                        real = True
+
+                after = sum(slot.model.knowledge_size() for slot in self.slots)
+                note(
                     MultiIterationRecord(
                         index,
                         snapshot(),
@@ -619,94 +749,20 @@ class MultiLegacySynthesizer:
                         deadlock_result.holds,
                         violated,
                         cex,
-                        True,
-                        0,
-                        (),
-                        0,
+                        False,
+                        counters[0],
+                        tuple(dict.fromkeys(learned_names)),
+                        after - before,
                         **counter_fields,
                     )
                 )
-                return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
-
-            before = sum(slot.model.knowledge_size() for slot in self.slots)
-            counters = [0]
-            learned_names: list[str] = []
-            all_confirmed = True
-            for slot in self.slots:
-                case = self._project_case(cex, slot)
-                counters[0] += 1
-                execution = execute_test(slot.component, case, port=self.port)
-                if execution.verdict is TestVerdict.CONFIRMED:
-                    if not chaos_free:
-                        grew = self._learn_execution(slot, execution)
-                        if grew:
-                            learned_names.append(slot.name)
-                else:
-                    all_confirmed = False
-                    if self._learn_execution(slot, execution):
-                        learned_names.append(slot.name)
-
-            # Extra batch counterexamples contribute test/learn material
-            # only; verdict decisions rest on the primary one.  Probing
-            # candidates are skipped (their confirmation protocol is the
-            # expensive primary-path one).
-            for candidate in batch[1:]:
-                if candidate is cex or probing_needed(candidate):
-                    continue
-                candidate_chaos_free = is_chaos_free(candidate)
-                for slot in self.slots:
-                    case = self._project_case(candidate, slot)
-                    counters[0] += 1
-                    execution = execute_test(slot.component, case, port=self.port)
-                    if execution.verdict is TestVerdict.CONFIRMED and candidate_chaos_free:
-                        continue
-                    try:
-                        if self._learn_execution(slot, execution):
-                            learned_names.append(slot.name)
-                    except LearningError:
-                        # Later candidates may contradict knowledge the
-                        # earlier ones just merged; skipping is sound.
-                        continue
-
-            real = False
-            if all_confirmed:
-                if needs_probing:
-                    tables = []
-                    for slot in self.slots:
-                        prefix = self._project_case(cex, slot)
-                        tables.append(self._reaction_table(slot, prefix, counters))
-                        learned_names.append(slot.name)
-                    context_state = (
-                        cex.last_state[0] if self.context is not None else None
+                if real:
+                    return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
+                if after <= before:
+                    raise SynthesisError(
+                        f"iteration {index} made no learning progress — non-deterministic "
+                        "component or inconsistent universe"
                     )
-                    real = not self._joint_step_exists(context_state, tables)
-                elif chaos_free:
-                    real = True
-
-            after = sum(slot.model.knowledge_size() for slot in self.slots)
-            records.append(
-                MultiIterationRecord(
-                    index,
-                    snapshot(),
-                    len(composed.states),
-                    property_result.holds,
-                    deadlock_result.holds,
-                    violated,
-                    cex,
-                    False,
-                    counters[0],
-                    tuple(dict.fromkeys(learned_names)),
-                    after - before,
-                    **counter_fields,
-                )
-            )
-            if real:
-                return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
-            if after <= before:
-                raise SynthesisError(
-                    f"iteration {index} made no learning progress — non-deterministic "
-                    "component or inconsistent universe"
-                )
         return self._result(Verdict.BUDGET_EXCEEDED, records, None, None)
 
     def _result(

@@ -12,6 +12,7 @@ from ..automata.automaton import State
 from ..automata.chaos import ChaosState, ClosureState
 from ..automata.interaction import Interaction
 from ..automata.runs import Run
+from ..obs.metrics import record_counters
 from .iterate import SynthesisResult
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "result_to_dict",
     "knowledge_gaps",
     "coverage_summary",
+    "render_counter_totals",
     "render_markdown_report",
 ]
 
@@ -150,20 +152,31 @@ def render_counterexample_listing(
 
 
 def render_iteration_table(result: SynthesisResult) -> str:
-    """A fixed-width per-iteration table of a synthesis run."""
+    """A fixed-width per-iteration table of a synthesis run.
+
+    One header line, one row per iteration (pinned by the tests) — the
+    incremental/sharding work counters ride along as the last four
+    columns, sourced from :func:`repro.obs.metrics.record_counters` so
+    the table and the JSON export can never disagree.
+    """
     header = (
         f"{'it':>3} {'|S_l|':>5} {'|T|':>5} {'|T̄|':>5} {'|closure|':>9} "
-        f"{'φ':>5} {'¬δ':>5} {'violated':>9} {'test':>10} {'gain':>5}"
+        f"{'φ':>5} {'¬δ':>5} {'violated':>9} {'test':>10} {'gain':>5} "
+        f"{'hits':>6} {'miss':>6} {'fixwork':>8} {'handoff':>8}"
     )
     rows = [header, "-" * len(header)]
     for record in result.iterations:
+        counters = record_counters(record)
+        handoffs = counters["product_shard_handoffs"] + counters["checker_shard_handoffs"]
         rows.append(
             f"{record.index:>3} {record.model_states:>5} {record.model_transitions:>5} "
             f"{record.model_refusals:>5} {record.closure_states:>9} "
             f"{str(record.property_holds):>5} {str(record.deadlock_free):>5} "
             f"{record.violated or '-':>9} "
             f"{(record.test_verdict.value if record.test_verdict else ('fast' if record.fast_conflict else '-')):>10} "
-            f"{record.knowledge_gained:>5}"
+            f"{record.knowledge_gained:>5} "
+            f"{counters['product_hits']:>6} {counters['product_misses']:>6} "
+            f"{counters['checker_fixpoint_work']:>8} {handoffs:>8}"
         )
     return "\n".join(rows)
 
@@ -219,31 +232,41 @@ def result_to_dict(result: SynthesisResult) -> dict:
                 "tests_executed": record.tests_executed,
                 "knowledge_gained": record.knowledge_gained,
                 # Incremental/sharding counters in the two namespaces of
-                # StepStats (product_*) and CheckerStats (checker_*).
-                "counters": {
-                    "closure_groups_reused": record.closure_groups_reused,
-                    "closure_groups_rebuilt": record.closure_groups_rebuilt,
-                    "dirty_states": record.dirty_states,
-                    "affected_states": record.affected_states,
-                    "product_hits": record.product_hits,
-                    "product_misses": record.product_misses,
-                    "product_shards": record.product_shards,
-                    "product_shard_states_explored": list(
-                        record.product_shard_states_explored
-                    ),
-                    "product_shard_handoffs": record.product_shard_handoffs,
-                    "product_shard_merge_conflicts": record.product_shard_merge_conflicts,
-                    "checker_fixpoint_work": record.checker_fixpoint_work,
-                    "checker_shards": record.checker_shards,
-                    "checker_shard_fixpoint_work": list(
-                        record.checker_shard_fixpoint_work
-                    ),
-                    "checker_shard_handoffs": record.checker_shard_handoffs,
-                },
+                # StepStats (product_*) and CheckerStats (checker_*);
+                # record_counters is the single source of this shape.
+                "counters": record_counters(record),
             }
             for record in result.iterations
         ],
     }
+
+
+def render_counter_totals(result: SynthesisResult) -> str:
+    """Run totals of the ``product_*`` / ``checker_*`` counter namespaces.
+
+    Aggregates :func:`repro.obs.metrics.record_counters` over every
+    iteration: work counters sum, ``*_shards`` (configuration) take the
+    maximum, and per-shard lists sum element-wise.
+    """
+    totals: dict[str, int | list[int]] = {}
+    for record in result.iterations:
+        for name, value in record_counters(record).items():
+            if isinstance(value, list):
+                merged = list(totals.get(name, []))
+                merged += [0] * (len(value) - len(merged))
+                for index, item in enumerate(value):
+                    merged[index] += item
+                totals[name] = merged
+            elif name in ("product_shards", "checker_shards"):
+                totals[name] = max(int(totals.get(name, 0)), value)
+            else:
+                totals[name] = int(totals.get(name, 0)) + value
+    width = max(len(name) for name in totals) if totals else 0
+    lines = []
+    for name, value in totals.items():
+        rendered = " ".join(str(item) for item in value) if isinstance(value, list) else value
+        lines.append(f"{name:<{width}}  {rendered}")
+    return "\n".join(lines)
 
 
 def render_markdown_report(
@@ -263,6 +286,7 @@ def render_markdown_report(
     """
     sections = [f"# {title}", "", "```", summarize(result), "```", ""]
     sections += ["## Iterations", "", "```", render_iteration_table(result), "```", ""]
+    sections += ["## Counters", "", "```", render_counter_totals(result), "```", ""]
     if result.violation_witness is not None and legacy_inputs is not None and legacy_outputs is not None:
         sections += [
             "## Violation witness",

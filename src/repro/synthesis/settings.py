@@ -20,7 +20,7 @@ combination; they only trade time for memory or parallel workers (see
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..automata.sharding import resolve_checker_parallelism, resolve_parallelism
 from ..errors import SynthesisError
@@ -70,6 +70,12 @@ class SynthesisSettings:
         Shard count for the model checker's fixpoint solves.  ``None``
         defers to ``REPRO_CHECKER_PARALLELISM`` and then follows
         ``parallelism``, so setting one knob shards the whole pipeline.
+    tracer:
+        A :class:`repro.obs.Tracer` receiving spans and metrics from the
+        run.  ``None`` (the default) defers to the ``REPRO_TRACE``
+        environment variable and falls back to the zero-overhead
+        :data:`repro.obs.NULL_TRACER`.  Excluded from equality/repr —
+        tracing observes a run, it never changes one.
     """
 
     max_iterations: int | None = None
@@ -77,6 +83,7 @@ class SynthesisSettings:
     incremental: bool = True
     parallelism: int | None = None
     checker_parallelism: int | None = None
+    tracer: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and (
@@ -97,6 +104,13 @@ class SynthesisSettings:
             resolve_parallelism(self.parallelism)
         if self.checker_parallelism is not None:
             resolve_checker_parallelism(self.checker_parallelism)
+        if self.tracer is not None and not (
+            hasattr(self.tracer, "span") and hasattr(self.tracer, "metrics")
+        ):
+            raise SynthesisError(
+                f"tracer must provide span() and metrics (see repro.obs.Tracer), "
+                f"got {type(self.tracer).__name__}"
+            )
 
     # ------------------------------------------------------------ resolution
 
@@ -116,7 +130,11 @@ class SynthesisSettings:
 
 
 def merge_legacy_settings(
-    settings: "SynthesisSettings | None", owner: str, **overrides: object
+    settings: "SynthesisSettings | None",
+    owner: str,
+    *,
+    stacklevel: int = 3,
+    **overrides: object,
 ) -> SynthesisSettings:
     """Fold deprecated keyword arguments into a :class:`SynthesisSettings`.
 
@@ -124,6 +142,12 @@ def merge_legacy_settings(
     :class:`DeprecationWarning` naming the replacement and is applied on
     top of ``settings`` (or the defaults).  Shared by ``integrate()``
     and both synthesizers so the shim behaves identically everywhere.
+
+    ``stacklevel`` must make the warning point at the *caller of the
+    deprecated API*, not at this helper or its caller: the default of 3
+    fits the direct ``caller → __init__/integrate() → here`` shape;
+    wrappers that add a frame pass a larger value.  Pinned by the
+    location assertions in ``tests/test_settings.py``.
     """
     base = settings if settings is not None else SynthesisSettings()
     updates = {name: value for name, value in overrides.items() if value is not _UNSET}
@@ -134,6 +158,6 @@ def merge_legacy_settings(
         f"passing {names} to {owner} directly is deprecated; "
         f"use settings=SynthesisSettings(...) instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
     return replace(base, **updates)  # type: ignore[arg-type]

@@ -1,0 +1,608 @@
+"""The observability layer: tracer, metrics registry, exporters.
+
+The span and metric *names* are a stable contract — ``docs/observability.md``
+documents them, dashboards and trace diffs rely on them — so the loop
+tests here assert the exact name sets, not just "something was traced".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import railcab
+from repro.errors import SynthesisError
+from repro.obs import (
+    NULL_TRACER,
+    DEFAULT_TIME_BOUNDS,
+    MetricsRegistry,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    encode_event,
+    fold_self_time,
+    load_trace,
+    metric_events,
+    publish_record,
+    record_counters,
+    render_fold_table,
+    render_trace_summary,
+    resolve_tracer,
+    span_event,
+    span_line,
+    write_trace,
+)
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: The stable span-name contract of a single-placement synthesis run
+#: (every name must appear in a traced correct-shuttle run).
+LOOP_SPAN_NAMES = {
+    "loop.run",
+    "loop.iteration",
+    "verify.step",
+    "closure.update",
+    "product.update",
+    "checker.check",
+    "counterexample.derive",
+    "test.execute",
+    "monitor.replay",
+    "learn.merge",
+}
+
+#: Counter names published per iteration (record_counters namespaces
+#: plus the loop_* rollups).
+LOOP_COUNTER_NAMES = {
+    "closure_groups_reused",
+    "closure_groups_rebuilt",
+    "dirty_states",
+    "affected_states",
+    "product_hits",
+    "product_misses",
+    "closure_cache_hits",
+    "closure_cache_misses",
+    "loop_iterations",
+    "loop_tests_executed",
+    "loop_knowledge_gained",
+}
+
+
+def _traced_run(ticks: int = 1, **settings_kwargs):
+    tracer = Tracer()
+    result = IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        railcab.correct_rear_shuttle(convoy_ticks=ticks),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+        port="rearRole",
+        settings=SynthesisSettings(tracer=tracer, **settings_kwargs),
+    ).run()
+    return tracer, result
+
+
+# ---------------------------------------------------------------- metrics
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.inc("c", 4)
+        registry.set_gauge("g", 2.5)
+        registry.observe("h", 0.0005)
+        registry.observe("h", 99.0)  # overflow bucket
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"c": 5}
+        assert snapshot["gauges"] == {"g": 2.5}
+        hist = snapshot["histograms"]["h"]
+        assert hist["count"] == 2
+        assert sum(hist["counts"]) == 2
+        assert hist["counts"][-1] == 1  # the 99s observation
+        assert len(hist["counts"]) == len(DEFAULT_TIME_BOUNDS) + 1
+
+    def test_histogram_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("bad", bounds=(1.0, 1.0))
+
+    def test_as_dict_is_name_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.inc(name)
+        assert list(registry.as_dict()["counters"]) == ["alpha", "mid", "zeta"]
+
+    def test_absorb_has_gauge_semantics(self):
+        registry = MetricsRegistry()
+        stats = {"work": 10, "shards": (3, 4), "flag": True}
+        registry.absorb(stats)
+        registry.absorb(stats)  # re-publishing must not double-count
+        gauges = registry.as_dict()["gauges"]
+        assert gauges == {"work": 10, "shards[0]": 3, "shards[1]": 4}
+
+    def test_null_registry_records_nothing(self):
+        from repro.obs import NULL_METRICS
+
+        NULL_METRICS.inc("c")
+        NULL_METRICS.set_gauge("g", 1)
+        NULL_METRICS.observe("h", 1.0)
+        assert NULL_METRICS.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestRecordPlumbing:
+    def test_publish_record_accumulates(self, tiny_record=None):
+        from repro.synthesis import IterationRecord
+
+        record = IterationRecord(
+            0, 1, 0, 0, 1, 0, 1, True, True, None, None, False, None, 2, 1, None, 3,
+            product_hits=5, product_misses=2, product_shards=2,
+            product_shard_states_explored=(4, 3),
+        )
+        registry = MetricsRegistry()
+        publish_record(registry, record)
+        publish_record(registry, record)  # counters accumulate across iterations
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["product_hits"] == 10
+        assert snapshot["counters"]["loop_iterations"] == 2
+        assert snapshot["counters"]["loop_tests_executed"] == 4
+        assert snapshot["counters"]["loop_knowledge_gained"] == 6
+        assert snapshot["counters"]["product_shard_states_explored[0]"] == 8
+        assert snapshot["counters"]["product_shard_states_explored[1]"] == 6
+        # Shard *counts* are configuration, not work: gauges.
+        assert snapshot["gauges"]["product_shards"] == 2
+        assert "product_shards" not in snapshot["counters"]
+
+    def test_record_counters_key_order_matches_result_to_dict(self):
+        from repro.synthesis import IterationRecord
+
+        record = IterationRecord(
+            0, 1, 0, 0, 1, 0, 1, True, True, None, None, False, None, 0, 0, None, 0
+        )
+        assert list(record_counters(record)) == [
+            "closure_groups_reused",
+            "closure_groups_rebuilt",
+            "dirty_states",
+            "affected_states",
+            "product_hits",
+            "product_misses",
+            "product_shards",
+            "product_shard_states_explored",
+            "product_shard_handoffs",
+            "product_shard_merge_conflicts",
+            "checker_fixpoint_work",
+            "checker_shards",
+            "checker_shard_fixpoint_work",
+            "checker_shard_handoffs",
+        ]
+
+
+# ----------------------------------------------------------------- tracer
+
+
+class TestTracer:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("outer", color="blue"):
+            with tracer.span("inner"):
+                pass
+        names = [span.name for span in tracer.spans]
+        assert names == ["inner", "outer"]  # completion order
+        outer = tracer.spans[1]
+        assert outer.track == "main"
+        assert outer.args == {"color": "blue"}
+        assert outer.duration >= tracer.spans[0].duration
+
+    def test_span_set_attaches_args(self):
+        tracer = Tracer()
+        with tracer.span("s") as handle:
+            handle.set(hits=3)
+        assert tracer.spans[0].args == {"hits": 3}
+
+    def test_record_rebases_onto_epoch(self):
+        import time
+
+        tracer = Tracer()
+        begin = time.perf_counter()
+        tracer.record("worker", track="shard-1", start=begin, duration=0.5, round=2)
+        span = tracer.spans[0]
+        assert span.track == "shard-1"
+        assert span.start >= 0.0  # rebased, not the absolute clock value
+        assert span.start < 10.0
+        assert span.args == {"round": 2}
+
+    def test_wrap_decorator(self):
+        tracer = Tracer()
+
+        @tracer.wrap("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert tracer.spans[0].name == "fn"
+
+    def test_streaming_sink_retains_nothing(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        with tracer.span("s"):
+            pass
+        assert tracer.spans == ()
+        assert [span.name for span in seen] == ["s"]
+
+    def test_exception_still_emits_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.spans] == ["failing"]
+
+
+class TestNullTracer:
+    def test_is_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        with NULL_TRACER.span("s") as handle:
+            handle.set(key="value")
+        assert NULL_TRACER.spans == ()
+
+    def test_wrap_is_identity(self):
+        def function():
+            return 7
+
+        assert NullTracer().wrap("name")(function) is function
+
+    def test_resolve_without_env_is_null(self, monkeypatch):
+        from repro.obs.tracer import TRACE_ENV
+
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_resolve_prefers_explicit(self, monkeypatch):
+        from repro.obs.tracer import TRACE_ENV
+
+        monkeypatch.setenv(TRACE_ENV, "/tmp/never-written")
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+
+class TestSettingsIntegration:
+    def test_settings_reject_non_tracer(self):
+        with pytest.raises(SynthesisError, match="tracer must provide"):
+            SynthesisSettings(tracer=42)
+
+    def test_tracer_excluded_from_equality(self):
+        assert SynthesisSettings(tracer=Tracer()) == SynthesisSettings()
+
+
+# --------------------------------------------------------- the name contract
+
+
+class TestLoopSpanContract:
+    """The traced verify→test→learn loop emits exactly the documented names."""
+
+    def test_single_placement_span_names(self):
+        tracer, result = _traced_run()
+        assert result.verdict is Verdict.PROVEN
+        names = {span.name for span in tracer.spans}
+        assert LOOP_SPAN_NAMES <= names
+        # checker fixpoint/bounded solves appear under their own names.
+        assert names - LOOP_SPAN_NAMES <= {
+            "checker.fixpoint",
+            "checker.bounded",
+            "checker.shard_round",
+            "product.shard_round",
+            "product.merge",
+        }
+
+    def test_loop_run_and_iteration_args(self):
+        tracer, result = _traced_run()
+        run_span = next(s for s in tracer.spans if s.name == "loop.run")
+        assert run_span.args == {"synthesizer": "IntegrationSynthesizer"}
+        indices = [
+            s.args["index"] for s in tracer.spans if s.name == "loop.iteration"
+        ]
+        assert sorted(indices) == list(range(result.iteration_count))
+
+    def test_loop_metrics_contract(self):
+        tracer, result = _traced_run()
+        snapshot = tracer.metrics.as_dict()
+        assert LOOP_COUNTER_NAMES <= set(snapshot["counters"])
+        assert snapshot["counters"]["loop_iterations"] == result.iteration_count
+        assert snapshot["gauges"]["loop_iteration_count"] == result.iteration_count
+        assert {"test_execute_seconds", "monitor_replay_seconds"} <= set(
+            snapshot["histograms"]
+        )
+        assert any(name.startswith("pool_") for name in snapshot["gauges"])
+        assert any(name.startswith("checker_") for name in snapshot["gauges"])
+
+    def test_closure_cache_counters_match_result(self):
+        tracer, result = _traced_run()
+        counters = tracer.metrics.as_dict()["counters"]
+        assert counters["closure_cache_hits"] == sum(
+            r.closure_groups_reused for r in result.iterations
+        )
+        assert counters["closure_cache_misses"] == sum(
+            r.closure_groups_rebuilt for r in result.iterations
+        )
+
+    def test_multi_legacy_span_names(self):
+        tracer = Tracer()
+        result = __import__("repro.synthesis.multi", fromlist=["MultiLegacySynthesizer"]).MultiLegacySynthesizer(
+            None,
+            [railcab.correct_front_shuttle(), railcab.correct_rear_shuttle()],
+            railcab.PATTERN_CONSTRAINT,
+            labelers={
+                "frontShuttle": railcab.front_state_labeler,
+                "rearShuttle": railcab.rear_state_labeler,
+            },
+            settings=SynthesisSettings(tracer=tracer),
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+        run_span = next(s for s in tracer.spans if s.name == "loop.run")
+        assert run_span.args == {"synthesizer": "MultiLegacySynthesizer"}
+        names = {span.name for span in tracer.spans}
+        assert LOOP_SPAN_NAMES <= names
+
+    def test_null_tracer_run_is_untouched(self):
+        result = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+        ).run()
+        assert result.verdict is Verdict.PROVEN
+        assert NULL_TRACER.spans == ()
+
+    def test_traced_and_untraced_runs_agree(self):
+        tracer, traced = _traced_run()
+        untraced = IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=1),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+        ).run()
+        assert traced.verdict is untraced.verdict
+        assert traced.iteration_count == untraced.iteration_count
+        assert [r.knowledge_gained for r in traced.iterations] == [
+            r.knowledge_gained for r in untraced.iterations
+        ]
+
+
+# -------------------------------------------------------------- exporters
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        tracer, _ = _traced_run(parallelism=2, checker_parallelism=2)
+        document = chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events[0] == {
+            "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+            "args": {"name": "repro"},
+        }
+        tracks = {
+            e["args"]["name"] for e in events
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert "main" in tracks
+        assert any(t.startswith("checker/shard-") for t in tracks)
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete, "expected X events"
+        for event in complete:
+            assert event["pid"] == 1
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0.0
+
+    def test_json_round_trips(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = str(tmp_path / "trace.chrome.json")
+        write_trace(tracer, path, format="chrome")
+        document = json.loads(pathlib.Path(path).read_text())
+        assert "traceEvents" in document
+
+
+class TestJsonlTrace:
+    def test_round_trip(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(tracer, path, format="jsonl")
+        spans, metrics = load_trace(path)
+        assert [s.name for s in spans] == [s.name for s in tracer.spans]
+        assert [s.args for s in spans] == [dict(s.args) for s in tracer.spans]
+        counter_names = {m["name"] for m in metrics if m["kind"] == "counter"}
+        assert "loop_iterations" in counter_names
+
+    def test_chrome_load_recovers_tracks(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = str(tmp_path / "trace.chrome.json")
+        write_trace(tracer, path, format="chrome")
+        spans, metrics = load_trace(path)
+        assert {s.track for s in spans} == {s.track for s in tracer.spans}
+        assert metrics == []  # chrome documents carry no metric events
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(Tracer(), str(tmp_path / "x"), format="perfetto")
+
+    def test_metric_events_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        events = metric_events(registry)
+        assert [e["name"] for e in events] == ["alpha", "zeta"]
+
+    def test_span_line_matches_generic_encoding(self):
+        # The streaming sinks' hand-built fast path must stay
+        # byte-identical to encode_event(span_event(span)) — JSONL
+        # files from either path are diffable against each other.
+        tracer, _ = _traced_run()
+        for span in tracer.spans:
+            assert span_line(span) == encode_event(span_event(span))
+        odd = Span("n", "t", 1e-07, 0.25, {"z": 1, "a": [0.5, "s"], "m": None})
+        assert span_line(odd) == encode_event(span_event(odd))
+        assert json.loads(span_line(odd))["args"] == {"z": 1, "a": [0.5, "s"], "m": None}
+
+
+# ---------------------------------------------------------------- analysis
+
+
+def _span(name, start, duration, track="main", **args):
+    return Span(name=name, track=track, start=start, duration=duration, args=args)
+
+
+class TestFoldSelfTime:
+    def test_children_subtract_from_parent(self):
+        rows = fold_self_time(
+            [
+                _span("parent", 0.0, 1.0),
+                _span("child", 0.1, 0.6),
+                _span("grandchild", 0.2, 0.2),
+            ]
+        )
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["parent"]["self"] == pytest.approx(0.4)
+        assert by_name["child"]["self"] == pytest.approx(0.4)
+        assert by_name["grandchild"]["self"] == pytest.approx(0.2)
+        assert rows[0]["name"] in ("parent", "child")  # sorted by self desc
+
+    def test_tracks_fold_independently(self):
+        rows = fold_self_time(
+            [
+                _span("a", 0.0, 1.0, track="one"),
+                _span("b", 0.0, 1.0, track="two"),
+            ]
+        )
+        by_name = {row["name"]: row for row in rows}
+        # Same interval on different tracks: no nesting between them.
+        assert by_name["a"]["self"] == pytest.approx(1.0)
+        assert by_name["b"]["self"] == pytest.approx(1.0)
+
+    def test_render_fold_table_limit(self):
+        rows = fold_self_time([_span(f"s{i}", i, 0.5) for i in range(5)])
+        table = render_fold_table(rows, limit=2)
+        assert "3 more span name" in table
+        assert len(table.splitlines()) == 5  # header, rule, 2 rows, ellipsis
+
+
+class TestTraceSummary:
+    def test_per_iteration_rows(self):
+        tracer, result = _traced_run()
+        summary = render_trace_summary(tracer)
+        lines = summary.splitlines()
+        assert lines[0].split() == [
+            "it", "total", "verify", "checker", "cex", "test", "replay", "learn", "other",
+        ]
+        assert len(lines) == result.iteration_count + 2
+
+    def test_falls_back_to_fold_without_iterations(self):
+        summary = render_trace_summary([_span("lonely", 0.0, 1.0)])
+        assert "lonely" in summary
+        assert "self ms" in summary
+
+
+# ----------------------------------------------------- determinism + CLI
+
+
+def _fingerprint_script(ticks: int) -> str:
+    return f"""
+import hashlib, json
+from repro import railcab
+from repro.obs import Tracer
+from repro.synthesis import IntegrationSynthesizer, SynthesisSettings
+
+tracer = Tracer()
+IntegrationSynthesizer(
+    railcab.front_role_automaton(),
+    railcab.correct_rear_shuttle(convoy_ticks={ticks}),
+    railcab.PATTERN_CONSTRAINT,
+    labeler=railcab.rear_state_labeler,
+    port="rearRole",
+    settings=SynthesisSettings(tracer=tracer, parallelism=2, checker_parallelism=2),
+).run()
+shape = sorted(
+    (span.track, span.name, json.dumps(span.args, sort_keys=True))
+    for span in tracer.spans
+)
+print(hashlib.sha256(json.dumps(shape).encode()).hexdigest())
+"""
+
+
+class TestDeterminism:
+    def test_span_shape_stable_across_hash_seeds(self):
+        digests = set()
+        for seed in ("0", "1", "2"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", _fingerprint_script(1)],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1, f"span shape varied across hash seeds: {digests}"
+
+
+class TestCommandLine:
+    def test_trace_flag_writes_chrome(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "run.chrome.json")
+        code = main(
+            ["railcab", "--shuttle", "correct", "--trace", path,
+             "--trace-format", "chrome"]
+        )
+        assert code == 0
+        document = json.loads(pathlib.Path(path).read_text())
+        tracks = {
+            e["args"]["name"] for e in document["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        assert "main" in tracks
+        assert "trace (chrome) written" in capsys.readouterr().out
+
+    def test_trace_report_tool(self, tmp_path):
+        tracer, _ = _traced_run()
+        path = str(tmp_path / "trace.jsonl")
+        write_trace(tracer, path)
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "trace_report.py"),
+             path, "--top", "3", "--summary"],
+            capture_output=True, text=True, check=True,
+        )
+        assert "self ms" in proc.stdout
+        assert "verify" in proc.stdout  # the summary table
+
+    def test_env_activation_writes_jsonl(self, tmp_path):
+        path = str(tmp_path / "env-trace.jsonl")
+        env = dict(os.environ)
+        env["REPRO_TRACE"] = path
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        script = """
+from repro import railcab
+from repro.synthesis import IntegrationSynthesizer
+
+IntegrationSynthesizer(
+    railcab.front_role_automaton(),
+    railcab.correct_rear_shuttle(),
+    railcab.PATTERN_CONSTRAINT,
+    labeler=railcab.rear_state_labeler,
+    port="rearRole",
+).run()
+"""
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        spans, metrics = load_trace(path)
+        assert {s.name for s in spans} >= LOOP_SPAN_NAMES
+        assert any(m["name"] == "loop_iterations" for m in metrics)

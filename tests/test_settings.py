@@ -10,6 +10,8 @@ size on the floor.
 
 from __future__ import annotations
 
+import inspect
+
 import pytest
 
 from repro import railcab
@@ -133,6 +135,90 @@ class TestDeprecatedKeywords:
                 max_iterations=50,
             )
         assert report.ok
+
+
+def _here() -> int:
+    return inspect.currentframe().f_back.f_lineno  # type: ignore[union-attr]
+
+
+class TestWarningLocations:
+    """The shims must blame the *caller* of the deprecated API.
+
+    ``warnings.warn(..., stacklevel=...)`` is easy to get wrong by one
+    frame — the warning then points inside the library and a
+    ``-W error`` user cannot find the call to fix.  These tests pin the
+    reported filename (this file, not settings.py / iterate.py) and the
+    line number range of the deprecated call itself.
+    """
+
+    def test_synthesizer_keyword_warning_blames_this_file(self):
+        begin = _here()
+        with pytest.warns(DeprecationWarning, match="IntegrationSynthesizer") as captured:
+            IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(convoy_ticks=1),
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                port="rearRole",
+                max_iterations=50,
+            )
+        end = _here()
+        warning = captured.pop(DeprecationWarning)
+        assert warning.filename == __file__
+        assert begin < warning.lineno < end
+
+    def test_multi_keyword_warning_blames_this_file(self):
+        begin = _here()
+        with pytest.warns(DeprecationWarning, match="MultiLegacySynthesizer") as captured:
+            MultiLegacySynthesizer(
+                None,
+                [railcab.correct_front_shuttle(), railcab.correct_rear_shuttle()],
+                railcab.PATTERN_CONSTRAINT,
+                labelers={
+                    "frontShuttle": railcab.front_state_labeler,
+                    "rearShuttle": railcab.rear_state_labeler,
+                },
+                max_iterations=77,
+            )
+        end = _here()
+        warning = captured.pop(DeprecationWarning)
+        assert warning.filename == __file__
+        assert begin < warning.lineno < end
+
+    def test_integrate_keyword_warning_blames_this_file(self):
+        begin = _here()
+        with pytest.warns(DeprecationWarning, match="integrate") as captured:
+            integrate(
+                convoy_architecture(),
+                {"follower": railcab.correct_rear_shuttle(convoy_ticks=1)},
+                labelers={"follower": railcab.rear_state_labeler},
+                max_iterations=50,
+            )
+        end = _here()
+        warning = captured.pop(DeprecationWarning)
+        assert warning.filename == __file__
+        assert begin < warning.lineno < end
+
+    def test_renamed_counter_warning_blames_this_file(self):
+        from repro.synthesis import IterationRecord
+        from repro.synthesis.multi import MultiIterationRecord
+
+        record = IterationRecord(
+            0, 1, 0, 0, 1, 0, 1, True, True, None, None, False, None, 0, 0, None, 0
+        )
+        with pytest.warns(DeprecationWarning, match="shard_handoffs") as captured:
+            _ = record.shard_handoffs
+        warning = captured.pop(DeprecationWarning)
+        assert warning.filename == __file__
+        assert "product_shard_handoffs" in str(warning.message)
+
+        multi_record = MultiIterationRecord(
+            0, (), 1, True, True, None, None, False, 0, (), 0
+        )
+        with pytest.warns(DeprecationWarning, match="MultiIterationRecord") as captured:
+            _ = multi_record.shard_states_explored
+        warning = captured.pop(DeprecationWarning)
+        assert warning.filename == __file__
 
 
 # ----------------------------------------------- integrate forwarding (bugfix)

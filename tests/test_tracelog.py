@@ -61,6 +61,72 @@ class TestParseEvents:
         assert parse_events(render_events(events)) == events
 
 
+class TestPeriodInference:
+    """Edge cases of inferring message periods from ``[Timing]`` records."""
+
+    def test_timing_before_first_message_advances_the_period(self):
+        # A leading Timing record establishes the current count; a
+        # message after it belongs to the *next* period until a later
+        # Timing record confirms it.
+        events = parse_events(
+            '[Timing] count=2\n[Message] name="m", portName="p", type="outgoing"'
+        )
+        assert events == [TimingEvent(2), MessageEvent("m", "p", "outgoing", 3)]
+
+    def test_trailing_timing_retro_patches_pending_messages(self):
+        # The count *after* a message is its period (§ the docstring):
+        # both pending messages are rewritten to the trailing count, even
+        # when it jumps past the provisional period+1 guess.
+        events = parse_events(
+            '[Message] name="a", portName="p", type="outgoing"\n'
+            '[Message] name="b", portName="p", type="incoming"\n'
+            "[Timing] count=5"
+        )
+        assert events == [
+            MessageEvent("a", "p", "outgoing", 5),
+            MessageEvent("b", "p", "incoming", 5),
+            TimingEvent(5),
+        ]
+
+    def test_message_without_any_timing_defaults_to_first_period(self):
+        events = parse_events('[Message] name="m", portName="p", type="outgoing"')
+        assert events == [MessageEvent("m", "p", "outgoing", 1)]
+
+    def test_messages_straddling_a_timing_record(self):
+        # One message confirmed by the Timing record, one trailing after
+        # it: the trailing message is provisional (count + 1), matching
+        # a blocked tail in the events_for_run shape.
+        events = parse_events(
+            '[CurrentState] name="s0"\n'
+            '[Message] name="a", portName="p", type="outgoing"\n'
+            "[Timing] count=1\n"
+            '[CurrentState] name="s1"\n'
+            '[Message] name="b", portName="p", type="incoming"'
+        )
+        assert events == [
+            StateEvent("s0", 0),
+            MessageEvent("a", "p", "outgoing", 1),
+            TimingEvent(1),
+            StateEvent("s1", 1),
+            MessageEvent("b", "p", "incoming", 2),
+        ]
+
+    def test_round_trip_with_leading_and_trailing_timing(self):
+        # A listing exercising both edge cases at once survives the
+        # render → parse round trip unchanged.
+        events = [
+            TimingEvent(0),
+            StateEvent("s0", 0),
+            MessageEvent("m", "p", "outgoing", 1),
+            MessageEvent("n", "p", "incoming", 1),
+            TimingEvent(1),
+            StateEvent("s1", 1),
+            MessageEvent("tail", "p", "incoming", 2),
+            TimingEvent(2),
+        ]
+        assert parse_events(render_events(events)) == events
+
+
 class TestRunFromEvents:
     def test_reconstructs_simple_run(self):
         run = Run("s0").extend(Interaction(["in1"], ["out1"]), "s1")

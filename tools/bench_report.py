@@ -99,6 +99,19 @@ def normalize(raw: dict) -> dict:
             "checker_shard_handoffs_total": (ck4 or {}).get("checker_shard_handoffs_total"),
             "checker_fixpoint_work_total": (ck4 or {}).get("checker_fixpoint_work_total"),
         }
+    traced = report["benchmarks"].get("test_tracing_overhead_guard")
+    if traced is not None:
+        report["traced"] = {
+            "spans_per_run": traced.get("spans_per_run"),
+            "per_null_span_seconds": traced.get("per_null_span_seconds"),
+            "per_active_span_seconds": traced.get("per_active_span_seconds"),
+            "null_tracer_overhead_fraction": traced.get("null_tracer_overhead_fraction"),
+            "jsonl_tracer_overhead_fraction": traced.get("jsonl_tracer_overhead_fraction"),
+            "jsonl_vs_null_best_paired": traced.get("jsonl_vs_null_best_paired"),
+            "jsonl_vs_null_min_ratio": traced.get("jsonl_vs_null_min_ratio"),
+            "null_loop_seconds_min": traced.get("null_loop_seconds_min"),
+            "jsonl_loop_seconds_min": traced.get("jsonl_loop_seconds_min"),
+        }
     return report
 
 
@@ -149,6 +162,14 @@ def main(argv: list[str] | None = None) -> None:
             f"{checker['k1_vs_sequential_best_paired']:.2f}x, "
             f"K=4 vs K=1 {checker['k4_vs_k1_speedup_min']:.2f}x (min) / "
             f"{checker['k4_vs_k1_speedup_median']:.2f}x (median)"
+        )
+    traced = report.get("traced", {})
+    if traced.get("null_tracer_overhead_fraction") is not None:
+        print(
+            f"traced: NullTracer overhead {traced['null_tracer_overhead_fraction']:.4%} "
+            f"of loop time, JSONL streaming {traced['jsonl_tracer_overhead_fraction']:.2%} "
+            f"({traced['spans_per_run']} spans; end-to-end min-vs-min "
+            f"{traced['jsonl_vs_null_min_ratio']:.3f}x)"
         )
 
 

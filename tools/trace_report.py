@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fold a recorded trace into a top-N self-time table.
+
+Reads a trace written by ``python -m repro ... --trace FILE`` (either
+format: JSONL events or Chrome trace-event JSON — the loader
+auto-detects) and prints where the wall-clock went, per span name, with
+child time subtracted::
+
+    python tools/trace_report.py trace.jsonl
+    python tools/trace_report.py trace.chrome.json --top 10
+
+The fold is :func:`repro.obs.fold_self_time`: spans nest by start-time
+containment per track, a span's *self* time is its duration minus its
+children's, and rows sort by self time descending.  ``--summary`` adds
+the per-iteration phase table when the trace contains ``loop.iteration``
+spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import fold_self_time, load_trace, render_fold_table, render_trace_summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trace_report",
+        description="Top-N self-time fold of a repro --trace recording",
+    )
+    parser.add_argument("trace", help="trace file (JSONL or Chrome trace-event JSON)")
+    parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="show the N span names with the most self time (default: 20)",
+    )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="also print the per-iteration phase breakdown",
+    )
+    args = parser.parse_args(argv)
+
+    spans, _metrics = load_trace(args.trace)
+    if not spans:
+        print(f"{args.trace}: no spans recorded")
+        return 1
+    print(render_fold_table(fold_self_time(spans), limit=args.top))
+    if args.summary:
+        print()
+        print(render_trace_summary(spans))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
