@@ -33,6 +33,9 @@ layer (``repro.obs``): the instrumentation is permanent, so the
 ``NullTracer`` cost is measured as span-count × per-null-call cost
 (there is no un-instrumented loop to diff against) and must stay below
 1% of loop time; a live JSONL-streaming tracer must stay within 10%.
+The ``robust_overhead`` guard applies the same accounting to the
+fault-tolerant test supervisor (``repro.testing.robust``): the
+fault-free supervised path must stay within 5% of loop time.
 
 ``tools/bench_report.py`` normalizes this module's
 ``--benchmark-json`` output into ``BENCH_loop.json``.
@@ -532,6 +535,82 @@ def test_tracing_overhead_guard(benchmark):
     assert min_ratio <= 1.5, (
         f"JSONL-streaming run {min_ratio:.2f}x the null run (min-vs-min) — "
         f"far beyond per-span accounting; something pathological regressed"
+    )
+
+
+#: Ceiling asserted by :func:`test_robust_overhead_guard`.
+ROBUST_OVERHEAD_CEILING = 0.05
+
+
+def test_robust_overhead_guard(benchmark):
+    """The fault-free supervised test path must cost <= 5% of loop time.
+
+    Every loop execution now runs through
+    :class:`repro.testing.RobustExecutor` (retries, deadlines,
+    validation — see ``docs/robustness.md``); without a fault profile
+    the supervisor reduces to one ``try`` block and a handful of
+    attribute reads around the raw :func:`execute_test`.  As with the
+    tracing guard there is no un-supervised loop left to diff against,
+    so the bound is per-call accounting: microbenchmark the raw
+    executor and the supervised path on a representative test case,
+    multiply the per-test delta by the tests a loop run executes, and
+    pin the product below 5% of the measured loop time.
+    """
+    from repro.automata import Interaction
+    from repro.testing import RobustExecutor, execute_test, test_case_from_trace
+
+    def measure():
+        loop_times: list[float] = []
+        result = None
+        for _ in range(3):
+            t0 = time.perf_counter()
+            result = _convoy_synthesizer(incremental=True, ticks=SPEEDUP_TICKS).run()
+            loop_times.append(time.perf_counter() - t0)
+
+        component = railcab.correct_rear_shuttle(convoy_ticks=1)
+        case = test_case_from_trace([Interaction()] * 4, name="overhead.probe")
+        executor = RobustExecutor()
+        cycles = 2_000
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            execute_test(component, case, port="rearRole")
+        per_raw = (time.perf_counter() - t0) / cycles
+        t0 = time.perf_counter()
+        for _ in range(cycles):
+            executor.execute(component, case, port="rearRole")
+        per_supervised = (time.perf_counter() - t0) / cycles
+        return result, loop_times, per_raw, per_supervised
+
+    result, loop_times, per_raw, per_supervised = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert result.verdict is Verdict.PROVEN
+    assert result.iteration_count >= 8
+    # The fault-free loop retries nothing, quarantines nothing.
+    assert result.total_test_retries == 0
+    assert result.total_inconclusive == 0
+    assert result.quarantined == ()
+
+    tests_per_run = result.total_tests
+    per_test_overhead = max(per_supervised - per_raw, 0.0)
+    robust_fraction = tests_per_run * per_test_overhead / min(loop_times)
+    benchmark.extra_info.update(
+        {
+            "mode": "robust_overhead",
+            "convoy_ticks": SPEEDUP_TICKS,
+            "iterations": result.iteration_count,
+            "tests_per_run": tests_per_run,
+            "per_raw_execute_seconds": per_raw,
+            "per_supervised_execute_seconds": per_supervised,
+            "per_test_overhead_seconds": per_test_overhead,
+            "robust_overhead_fraction": robust_fraction,
+            "loop_seconds_min": min(loop_times),
+        }
+    )
+    assert robust_fraction <= ROBUST_OVERHEAD_CEILING, (
+        f"fault-free RobustExecutor overhead {robust_fraction:.2%} of loop time "
+        f"exceeds the {ROBUST_OVERHEAD_CEILING:.0%} ceiling "
+        f"({tests_per_run} tests × {per_test_overhead * 1e6:.1f}µs)"
     )
 
 

@@ -74,6 +74,7 @@ from .errors import (
     CompositionError,
     CounterexampleError,
     ExecutionError,
+    FaultInjectionError,
     FormulaError,
     LearningError,
     ModelError,
@@ -83,6 +84,7 @@ from .errors import (
     ReplayError,
     ReproError,
     SynthesisError,
+    TestTimeoutError,
 )
 
 __version__ = "1.0.0"
@@ -112,6 +114,8 @@ __all__ = [
     "NotCompositionalError",
     "CounterexampleError",
     "ExecutionError",
+    "FaultInjectionError",
+    "TestTimeoutError",
     "ReplayError",
     "SynthesisError",
     "LearningError",

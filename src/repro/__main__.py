@@ -33,7 +33,8 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
 
     Flags left at their defaults defer to the environment knobs
     (``REPRO_PARALLELISM``, ``REPRO_CHECKER_PARALLELISM``,
-    ``REPRO_TRACE``) inside :class:`SynthesisSettings` resolution.
+    ``REPRO_TRACE``, ``REPRO_TEST_RETRIES``, ``REPRO_FAULT_SEED``)
+    inside :class:`SynthesisSettings` resolution.
     """
     tracer = None
     trace_path = getattr(args, "trace", None)
@@ -44,12 +45,33 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         # own tracer and _export_trace writes it where the flag said.
         tracer = Tracer()
         args._tracer = tracer
+    retry_policy = None
+    test_retries = getattr(args, "test_retries", None)
+    test_timeout = getattr(args, "test_timeout", None)
+    if test_retries is not None or test_timeout is not None:
+        from .testing import RetryPolicy
+
+        base = RetryPolicy.from_env()
+        retry_policy = RetryPolicy(
+            max_attempts=(base.max_attempts if test_retries is None else test_retries + 1),
+            replay_attempts=base.replay_attempts,
+            record_rounds=base.record_rounds,
+            test_timeout=test_timeout,
+        )
+    fault_profile = None
+    fault_seed = getattr(args, "fault_seed", None)
+    if fault_seed is not None:
+        from .testing import FaultProfile
+
+        fault_profile = FaultProfile.mild(fault_seed)
     return SynthesisSettings(
         max_iterations=getattr(args, "max_iterations", None),
         counterexamples_per_iteration=getattr(args, "counterexamples", 1),
         incremental=not getattr(args, "no_incremental", False),
         parallelism=getattr(args, "parallelism", None),
         checker_parallelism=getattr(args, "checker_parallelism", None),
+        retry_policy=retry_policy,
+        fault_profile=fault_profile,
         tracer=tracer,
     )
 
@@ -86,6 +108,22 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
         help="shard the model checker's fixpoints across K shards "
         "(default: $REPRO_CHECKER_PARALLELISM, then --parallelism; "
         "results are identical)",
+    )
+    group.add_argument(
+        "--test-retries", type=int, default=None, metavar="N",
+        help="retry a failed/timed-out test execution up to N times "
+        "(default: $REPRO_TEST_RETRIES or 2; see docs/robustness.md)",
+    )
+    group.add_argument(
+        "--test-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-test wall-clock deadline; expiry counts as a retryable "
+        "timeout (default: none)",
+    )
+    group.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="inject seed-driven faults into the component under test "
+        "(the mild chaos profile; $REPRO_FAULT_SEED works without the "
+        "flag; verdicts stay identical to the fault-free run)",
     )
     group.add_argument(
         "--trace", metavar="FILE", default=None,

@@ -43,10 +43,11 @@ import atexit
 import os
 import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Iterable, Literal, Sequence, TypeVar
 
-from ..errors import CompositionError
+from ..errors import CompositionError, TestTimeoutError
 
 __all__ = [
     "PARALLELISM_ENV",
@@ -204,6 +205,8 @@ class WorkerPool:
             "pool_tasks": 0,
             "pool_inline_calls": 0,
             "pool_executor_creations": 0,
+            "pool_deadline_calls": 0,
+            "pool_deadline_timeouts": 0,
         }
 
     def _executor(self, strategy: str, workers: int) -> Executor:
@@ -244,6 +247,39 @@ class WorkerPool:
             return [function(task) for task in tasks]
         executor = self._executor(strategy, workers)
         return list(executor.map(function, tasks))
+
+    def call(
+        self,
+        function: Callable[[], _R],
+        *,
+        timeout: float,
+        workers: int = 1,
+    ) -> _R:
+        """Run ``function`` on a pool thread under a wall-clock deadline.
+
+        The robust test executor routes per-test deadlines through here
+        (one supervised execution at a time, so one worker suffices).
+        On expiry the straggler is *joined* — never abandoned — before
+        :class:`~repro.errors.TestTimeoutError` is raised: the function
+        typically drives a live component, and letting a zombie thread
+        keep stepping it would corrupt the next attempt.  Deadline
+        enforcement is therefore only as hard as the function's own
+        stalls are finite (injected hangs always are).
+        """
+        self.stats["pool_deadline_calls"] += 1
+        executor = self._executor("thread", max(workers, 1))
+        future = executor.submit(function)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            self.stats["pool_deadline_timeouts"] += 1
+            try:
+                future.result()  # join the straggler; discard its outcome
+            except Exception:
+                pass
+            raise TestTimeoutError(
+                f"test execution exceeded its {timeout:.3f}s deadline"
+            ) from None
 
     def publish_to(self, registry) -> None:
         """Snapshot the dispatch counters into a metrics registry.

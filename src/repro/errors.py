@@ -49,6 +49,21 @@ class ReplayError(ExecutionError):
     """Deterministic replay diverged from the recorded execution."""
 
 
+class FaultInjectionError(ExecutionError):
+    """An injected fault (transient error, crash) aborted a component step.
+
+    Raised only by the seed-driven fault harness
+    (:mod:`repro.testing.faults`); production components never raise it.
+    The robust executor treats it as retryable.
+    """
+
+
+class TestTimeoutError(ExecutionError):
+    """A test execution exceeded its per-step or per-test deadline."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+
 class SynthesisError(ReproError):
     """The iterative behavior synthesis entered an inconsistent state."""
 

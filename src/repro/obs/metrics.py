@@ -291,6 +291,10 @@ def record_counters(record) -> dict[str, int | list[int]]:
     counters["checker_shards"] = record.checker_shards
     counters["checker_shard_fixpoint_work"] = list(record.checker_shard_fixpoint_work)
     counters["checker_shard_handoffs"] = record.checker_shard_handoffs
+    counters["test_retries"] = record.test_retries
+    counters["test_timeouts"] = record.test_timeouts
+    counters["tests_inconclusive"] = record.tests_inconclusive
+    counters["quarantine_size"] = record.quarantine_size
     return counters
 
 
@@ -304,7 +308,8 @@ def publish_record(registry: MetricsRegistry, record) -> None:
     ``checker_shards`` are configuration, not work, and land in gauges.
     """
     for name, value in record_counters(record).items():
-        if name in ("product_shards", "checker_shards"):
+        if name in ("product_shards", "checker_shards", "quarantine_size"):
+            # Configuration / current-size values, not accumulated work.
             registry.set_gauge(name, value)  # type: ignore[arg-type]
         elif isinstance(value, list):
             for index, item in enumerate(value):

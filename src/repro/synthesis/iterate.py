@@ -42,6 +42,7 @@ from ..automata.incomplete import IncompleteAutomaton
 from ..automata.incremental import IncrementalVerifier
 from ..automata.interaction import Interaction, InteractionUniverse
 from ..automata.runs import Run
+from ..automata.sharding import get_pool
 from ..errors import LearningError, SynthesisError
 from ..legacy.component import LegacyComponent
 from ..legacy.interface import InterfaceDescription, interface_of
@@ -51,8 +52,10 @@ from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import AF, AU, DEADLOCK_FREE, Deadlock, Formula
 from ..obs.metrics import publish_record
 from ..obs.tracer import resolve_tracer
-from ..testing.executor import TestExecution, TestVerdict, execute_test
+from ..testing.executor import TestExecution, TestVerdict
+from ..testing.faults import FaultyComponent
 from ..testing.replay import ReplayResult, replay
+from ..testing.robust import Quarantine, RobustExecution, RobustExecutor
 from ..testing.testcase import TestCase, TestStep, test_case_from_counterexample
 from .initial import StateLabeler, initial_model
 from .learning import RefusalMode, learn_blocked, learn_regular, refuse
@@ -140,6 +143,14 @@ class IterationRecord:
     checker_shards: int = 1
     checker_shard_fixpoint_work: tuple[int, ...] = ()
     checker_shard_handoffs: int = 0
+    # Robust-execution counters (all zero on a fault-free run with the
+    # default retry policy).  ``tests_executed`` counts live attempts,
+    # so ``tests_executed - test_retries`` is the number of supervised
+    # executions this iteration.
+    test_retries: int = 0
+    test_timeouts: int = 0
+    tests_inconclusive: int = 0
+    quarantine_size: int = 0
 
     # Pre-redesign names of the product shard counters, kept as
     # deprecated read-only views.
@@ -170,6 +181,13 @@ class SynthesisResult:
     final_closure: Automaton | None
     violation_witness: Run | None
     violation_kind: str | None
+    #: Counterexamples whose tests never completed fault-free within the
+    #: retry budget (see :mod:`repro.testing.robust`).  Empty on every
+    #: fault-free run.  They were *not* merged into the model and were
+    #: *not* confirmed as real errors (Lemma 6 requires a validated
+    #: fault-free run) — they are reported here instead of being
+    #: silently dropped.
+    quarantined: tuple[Run, ...] = ()
 
     @property
     def proven(self) -> bool:
@@ -209,6 +227,18 @@ class SynthesisResult:
         return sum(record.replays_executed for record in self.iterations)
 
     @property
+    def total_test_retries(self) -> int:
+        return sum(record.test_retries for record in self.iterations)
+
+    @property
+    def total_test_timeouts(self) -> int:
+        return sum(record.test_timeouts for record in self.iterations)
+
+    @property
+    def total_inconclusive(self) -> int:
+        return sum(record.tests_inconclusive for record in self.iterations)
+
+    @property
     def learned_states(self) -> int:
         return self.final_model.automaton.states.__len__()
 
@@ -227,9 +257,13 @@ class _IterationScratch:
 
     tests: int = 0
     replays: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    inconclusive: int = 0
     observed: Run | None = None
     test_verdict: TestVerdict | None = None
     real_violation: bool = False
+    violation: Run | None = None
 
 
 class IntegrationSynthesizer:
@@ -315,7 +349,17 @@ class IntegrationSynthesizer:
         self.settings = settings
         self.tracer = resolve_tracer(settings.tracer)
         self.context = context
+        fault_profile = settings.resolved_fault_profile()
+        if fault_profile is not None and fault_profile.active:
+            # Chaos harness: wrap the component so the robust executor can
+            # arm seed-driven fault injection around each supervised test.
+            # Transparent everywhere else (knowledge validation, probing,
+            # direct callers) — faults only fire inside armed scopes.
+            component = FaultyComponent.wrap(component, fault_profile, tracer=self.tracer)
         self.component = component
+        self.retry_policy = settings.resolved_retry_policy()
+        self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
+        self.quarantine = Quarantine()
         self.property = property
         self.weakened_property = weaken_for_chaos(property)
         self.interface: InterfaceDescription = interface_of(component)
@@ -423,10 +467,11 @@ class IntegrationSynthesizer:
         with tracer.span("loop.run", synthesizer="IntegrationSynthesizer"):
             result = self._run()
         if tracer.enabled:
-            from ..automata.sharding import get_pool
-
             get_pool().publish_to(tracer.metrics)
             tracer.metrics.set_gauge("loop_iteration_count", result.iteration_count)
+            fault_counts = getattr(self.component, "fault_counts", None)
+            if fault_counts:
+                tracer.metrics.absorb(fault_counts, prefix="fault_injected_")
         return result
 
     def _run(self) -> SynthesisResult:
@@ -535,6 +580,10 @@ class IntegrationSynthesizer:
                         checker_shards=checker.stats.shards,
                         checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
                         checker_shard_handoffs=checker.stats.shard_handoffs,
+                        test_retries=scratch.retries if scratch else 0,
+                        test_timeouts=scratch.timeouts if scratch else 0,
+                        tests_inconclusive=scratch.inconclusive if scratch else 0,
+                        quarantine_size=len(self.quarantine),
                     )
 
                 if property_result.holds and deadlock_result.holds:
@@ -547,6 +596,7 @@ class IntegrationSynthesizer:
                         final_closure=closure,
                         violation_witness=None,
                         violation_kind=None,
+                        quarantined=self.quarantine.unresolved(),
                     )
 
                 if not property_result.holds:
@@ -594,25 +644,62 @@ class IntegrationSynthesizer:
                             final_closure=closure,
                             violation_witness=fast_candidate,
                             violation_kind=violated,
+                            quarantined=self.quarantine.unresolved(),
                         )
 
                 scratch = _IterationScratch()
                 before = model.knowledge_size()
-                for position, candidate in enumerate(batch):
+                # The work list is the checker's batch plus every
+                # quarantined counterexample from earlier iterations (an
+                # inconclusive test is retried here, not forgotten).  Each
+                # entry carries its probing route: quarantined runs keep the
+                # route they were pushed with — they may reference stale
+                # composed states, and the probing decision only needs
+                # ``cex.last_state`` on the context side.
+                work: list[tuple[Run, bool]] = [
+                    (candidate, violated != "property" or needs_probing_for(candidate))
+                    for candidate in batch
+                ]
+                fresh = {repr(candidate) for candidate in batch}
+                work.extend(
+                    entry for entry in self.quarantine.drain() if repr(entry[0]) not in fresh
+                )
+                position = 0
+                while position < len(work):
+                    candidate, probing = work[position]
+                    group = [candidate]
+                    if self.fast_conflict and violated == "property" and not probing:
+                        # Maximal run of plain property counterexamples: safe
+                        # to execute all live first and batch the monitor
+                        # replays (none of them can confirm a real violation
+                        # here — fast conflict detection already returned for
+                        # chaos-free candidates, so all of these visit chaos
+                        # and are pure learning material).
+                        while position + len(group) < len(work) and not work[position + len(group)][1]:
+                            group.append(work[position + len(group)][0])
                     try:
-                        if violated == "property" and not needs_probing_for(candidate):
+                        if len(group) > 1:
+                            model = self._handle_property_batch(
+                                model, group, scratch, offset=position
+                            )
+                        elif not probing:
                             model = self._handle_property_counterexample(model, candidate, scratch)
                         else:
                             model = self._handle_deadlock_counterexample(
                                 model, composed, candidate, scratch
                             )
                     except LearningError:
+                        if self._absorb_learning_error(candidate, scratch, probe=probing):
+                            position += len(group)
+                            continue
                         if position == 0:
                             raise
+                        position += len(group)
                         continue  # a later counterexample went stale mid-batch
                     if scratch.real_violation:
-                        cex = candidate
+                        cex = scratch.violation if scratch.violation is not None else candidate
                         break
+                    position += len(group)
                 gained = model.knowledge_size() - before
 
                 note(
@@ -627,8 +714,14 @@ class IntegrationSynthesizer:
                         final_closure=closure,
                         violation_witness=cex,
                         violation_kind=violated,
+                        quarantined=self.quarantine.unresolved(),
                     )
-                if gained <= 0:
+                if gained <= 0 and scratch.inconclusive == 0:
+                    # An iteration that learned nothing *and* completed all
+                    # its tests fault-free contradicts §4.4's termination
+                    # argument.  Inconclusive-only iterations are allowed to
+                    # continue — the retry happens under the iteration
+                    # budget, so degradation stays bounded.
                     raise SynthesisError(
                         f"iteration {index} made no learning progress on {cex} — "
                         "this contradicts §4.4's termination argument and indicates "
@@ -643,6 +736,7 @@ class IntegrationSynthesizer:
             final_closure=closure,
             violation_witness=None,
             violation_kind=None,
+            quarantined=self.quarantine.unresolved(),
         )
 
     # -------------------------------------------------------------- helpers
@@ -679,13 +773,69 @@ class IntegrationSynthesizer:
             outputs=self.interface.outputs,
         )
 
-    def _execute(self, testcase: TestCase, scratch: _IterationScratch) -> TestExecution:
-        scratch.tests += 1
+    def _execute(self, testcase: TestCase, scratch: _IterationScratch) -> RobustExecution:
+        """One supervised execution (retries, deadlines, validation)."""
         begin = time.perf_counter()
         with self.tracer.span("test.execute", steps=len(testcase.steps)):
-            execution = execute_test(self.component, testcase, port=self.port)
+            outcome = self.robust.execute(self.component, testcase, port=self.port)
         self.tracer.metrics.observe("test_execute_seconds", time.perf_counter() - begin)
-        return execution
+        scratch.tests += outcome.attempts
+        scratch.retries += outcome.retries
+        scratch.timeouts += outcome.timeouts
+        scratch.replays += outcome.replays_performed
+        return outcome
+
+    def _execute_supervised(
+        self,
+        testcase: TestCase,
+        scratch: _IterationScratch,
+        *,
+        quarantine_run: Run | None,
+        probe: bool,
+    ) -> RobustExecution | None:
+        """Execute a test; quarantine its counterexample when inconclusive.
+
+        Returns ``None`` when the execution could not be completed
+        fault-free — the caller must then treat the counterexample as
+        *undecided*: no learning, no verdict (Lemma 6).
+        """
+        outcome = self._execute(testcase, scratch)
+        scratch.test_verdict = outcome.verdict
+        if outcome.inconclusive:
+            scratch.inconclusive += 1
+            if quarantine_run is not None:
+                self.quarantine.push(quarantine_run, probe=probe)
+            return None
+        return outcome
+
+    def _trusted(self, outcome: RobustExecution) -> bool:
+        """May this outcome witness a real violation?  (Lemma 6.)
+
+        A validated outcome always may; an unvalidated one only when the
+        component cannot inject faults at all.
+        """
+        return outcome.validated or not getattr(
+            self.component, "fault_injection_active", False
+        )
+
+    def _absorb_learning_error(
+        self, candidate: Run, scratch: _IterationScratch, *, probe: bool
+    ) -> bool:
+        """Downgrade a learning contradiction to *inconclusive* under chaos.
+
+        Validation is probabilistic: a corrupted recording can survive
+        its replays when the replay faults happen to reproduce the
+        corruption.  When that poisoned knowledge later contradicts an
+        observation, the contradiction is chaos-induced, not genuine
+        component non-determinism — quarantine the counterexample
+        instead of aborting the run.  Without fault injection the
+        contradiction is real and must keep raising.
+        """
+        if not getattr(self.component, "fault_injection_active", False):
+            return False
+        scratch.inconclusive += 1
+        self.quarantine.push(candidate, probe=probe)
+        return True
 
     def _replay(self, execution: TestExecution, scratch: _IterationScratch) -> ReplayResult:
         scratch.replays += 1
@@ -695,14 +845,28 @@ class IntegrationSynthesizer:
         self.tracer.metrics.observe("monitor_replay_seconds", time.perf_counter() - begin)
         return result
 
+    def _outcome_replay(
+        self, outcome: RobustExecution, scratch: _IterationScratch
+    ) -> ReplayResult:
+        """The outcome's validation replay, or a fresh one when absent."""
+        if outcome.replay is not None:
+            return outcome.replay
+        assert outcome.execution is not None
+        return self._replay(outcome.execution, scratch)
+
     def _learn_execution(
         self,
         model: IncompleteAutomaton,
-        execution: TestExecution,
+        outcome: RobustExecution,
         scratch: _IterationScratch,
+        replay_result: ReplayResult | None = None,
     ) -> IncompleteAutomaton:
         """Replay a finished test execution and merge what was observed."""
-        result = self._replay(execution, scratch)
+        execution = outcome.execution
+        assert execution is not None
+        result = (
+            replay_result if replay_result is not None else self._outcome_replay(outcome, scratch)
+        )
         observed = result.observed_run
         scratch.observed = observed
         with self.tracer.span("learn.merge", verdict=execution.verdict.value):
@@ -738,20 +902,126 @@ class IntegrationSynthesizer:
     def _handle_property_counterexample(
         self, model: IncompleteAutomaton, cex: Run, scratch: _IterationScratch
     ) -> IncompleteAutomaton:
-        testcase = self._testcase(cex)
-        execution = self._execute(testcase, scratch)
-        scratch.test_verdict = execution.verdict
+        outcome = self._execute_supervised(
+            self._testcase(cex), scratch, quarantine_run=cex, probe=False
+        )
+        if outcome is None:
+            return model  # inconclusive: quarantined, nothing merged
+        return self._merge_property_outcome(model, cex, outcome, scratch)
+
+    def _merge_property_outcome(
+        self,
+        model: IncompleteAutomaton,
+        cex: Run,
+        outcome: RobustExecution,
+        scratch: _IterationScratch,
+        replay_result: ReplayResult | None = None,
+    ) -> IncompleteAutomaton:
+        execution = outcome.execution
+        assert execution is not None
         if execution.verdict is TestVerdict.CONFIRMED:
             legacy_states = [state[1] for state in cex.states]
             if not any(is_chaos_state(state) for state in legacy_states):
                 # Only reachable with fast_conflict disabled: the violation
                 # lives entirely in the synthesized part — a real conflict.
+                if not self._trusted(outcome):
+                    # Lemma 6: no CONFIRMED verdict without a validated
+                    # fault-free run.  Retry later instead of reporting.
+                    self.quarantine.push(cex, probe=False)
+                    return model
                 scratch.real_violation = True
+                scratch.violation = cex
                 return model
             # §4.2: a chaos-visiting run is never a run of the concrete
             # system; the confirmed behavior is learning material instead.
-            return self._learn_execution(model, execution, scratch)
-        return self._learn_execution(model, execution, scratch)
+            return self._learn_execution(model, outcome, scratch, replay_result)
+        return self._learn_execution(model, outcome, scratch, replay_result)
+
+    def _handle_property_batch(
+        self,
+        model: IncompleteAutomaton,
+        group: list[Run],
+        scratch: _IterationScratch,
+        *,
+        offset: int,
+    ) -> IncompleteAutomaton:
+        """Test a run of plain property counterexamples with batched replays.
+
+        Closes the roadmap's batching item: all candidates are executed
+        live first, their monitor replays then go through the worker
+        pool as one submission (chunked per component — a single
+        synthesizer has a single component, so its chunk replays in
+        recorded order and determinism is untouched; the multi-legacy
+        loop shares the helper across slots, where chunks genuinely run
+        in parallel), and the observations are merged in the original
+        candidate order.
+        """
+        outcomes: list[tuple[int, Run, RobustExecution]] = []
+        for index, cex in enumerate(group):
+            outcome = self._execute_supervised(
+                self._testcase(cex), scratch, quarantine_run=cex, probe=False
+            )
+            if outcome is not None:
+                outcomes.append((offset + index, cex, outcome))
+        replayed = self._batch_replays(
+            [
+                (position, outcome.execution)
+                for position, _, outcome in outcomes
+                if outcome.replay is None
+            ],
+            scratch,
+        )
+        for position, cex, outcome in outcomes:
+            try:
+                model = self._merge_property_outcome(
+                    model, cex, outcome, scratch, replayed.get(position, outcome.replay)
+                )
+            except LearningError:
+                if self._absorb_learning_error(cex, scratch, probe=False):
+                    continue
+                if position == 0:
+                    raise
+                continue  # a later counterexample went stale mid-batch
+            if scratch.real_violation:  # unreachable with fast_conflict on
+                break
+        return model
+
+    def _batch_replays(
+        self,
+        pending: list[tuple[int, TestExecution]],
+        scratch: _IterationScratch,
+    ) -> dict[int, ReplayResult]:
+        """Replay recordings through the worker pool, one chunk per component.
+
+        Within a chunk the recordings replay strictly in submission
+        order against their (single, stateful) component; the pool only
+        parallelizes *across* chunks.  Span/metric accounting matches
+        the sequential path observation for observation.
+        """
+        if not pending:
+            return {}
+        tracer = self.tracer
+
+        def replay_chunk(
+            chunk: list[tuple[int, TestExecution]]
+        ) -> list[tuple[int, ReplayResult, float]]:
+            results = []
+            for position, execution in chunk:
+                begin = time.perf_counter()
+                with tracer.span("monitor.replay", steps=len(execution.recording.steps)):
+                    result = replay(self.component, execution.recording, port=self.port)
+                results.append((position, result, time.perf_counter() - begin))
+            return results
+
+        chunks = [pending]  # one component -> one ordered chunk
+        outputs = get_pool().map("thread", replay_chunk, chunks, workers=len(chunks))
+        replayed: dict[int, ReplayResult] = {}
+        for chunk_results in outputs:
+            for position, result, seconds in chunk_results:
+                scratch.replays += 1
+                tracer.metrics.observe("monitor_replay_seconds", seconds)
+                replayed[position] = result
+        return replayed
 
     # ------------------------------------------------- deadlock counterexamples
 
@@ -780,16 +1050,19 @@ class IntegrationSynthesizer:
     ) -> IncompleteAutomaton:
         """Confirm or refute a composed deadlock by testing and probing."""
         testcase = self._testcase(cex)
-        execution = self._execute(testcase, scratch)
-        scratch.test_verdict = execution.verdict
+        outcome = self._execute_supervised(testcase, scratch, quarantine_run=cex, probe=True)
+        if outcome is None:
+            return model  # inconclusive: quarantined, nothing merged
+        execution = outcome.execution
+        assert execution is not None
         if execution.verdict is not TestVerdict.CONFIRMED:
             # The component already left the predicted path: pure learning.
-            return self._learn_execution(model, execution, scratch)
+            return self._learn_execution(model, outcome, scratch)
 
         # The prefix is real.  The composition deadlocks in the final
         # configuration; whether the *system* deadlocks depends on whether
         # the real component serves any interaction the context offers.
-        prefix_replay = self._replay(execution, scratch)
+        prefix_replay = self._outcome_replay(outcome, scratch)
         observed_prefix = prefix_replay.observed_run
         scratch.observed = observed_prefix
         with self.tracer.span("learn.merge", verdict="confirmed-prefix"):
@@ -800,7 +1073,11 @@ class IntegrationSynthesizer:
         if not offers:
             # The context itself is stuck: nothing the legacy component
             # does can unblock the system.
+            if not self._trusted(outcome):
+                self.quarantine.push(cex, probe=True)
+                return model
             scratch.real_violation = True
+            scratch.violation = cex
             return model
 
         # Group offers by the inputs the legacy component would see.
@@ -839,9 +1116,18 @@ class IntegrationSynthesizer:
                 steps=(*testcase.steps, TestStep(probe_inputs, representative)),
                 source_run=cex,
             )
-            probe_execution = self._execute(probe_case, scratch)
-            model = self._learn_execution(model, probe_execution, scratch)
-            if probe_execution.verdict is TestVerdict.BLOCKED:
+            probe_outcome = self._execute_supervised(
+                probe_case, scratch, quarantine_run=None, probe=True
+            )
+            if probe_outcome is None:
+                # This offer could not be decided fault-free: park the whole
+                # counterexample (undecided, not confirmed) and retry the
+                # probing in a later iteration.
+                self.quarantine.push(cex, probe=True)
+                return model
+            model = self._learn_execution(model, probe_outcome, scratch)
+            assert probe_outcome.execution is not None
+            if probe_outcome.execution.verdict is TestVerdict.BLOCKED:
                 continue
             observed = scratch.observed
             assert observed is not None and observed.steps
@@ -876,4 +1162,5 @@ class IntegrationSynthesizer:
                 )
                 if not matched:
                     scratch.real_violation = True
+                    scratch.violation = cex
         return model

@@ -46,10 +46,13 @@ from ..logic.checker import ModelChecker
 from ..logic.compositional import assert_compositional, weaken_for_chaos
 from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import DEADLOCK_FREE, Formula
+from ..automata.sharding import get_pool
 from ..obs.metrics import publish_record
 from ..obs.tracer import resolve_tracer
-from ..testing.executor import TestVerdict, execute_test
+from ..testing.executor import TestVerdict
+from ..testing.faults import FaultyComponent
 from ..testing.replay import replay
+from ..testing.robust import Quarantine, RobustExecution, RobustExecutor
 from ..testing.testcase import TestCase, TestStep
 from .initial import StateLabeler, initial_model
 from .iterate import Verdict, _warn_renamed_counter
@@ -99,6 +102,12 @@ class MultiIterationRecord:
     checker_shards: int = 1
     checker_shard_fixpoint_work: tuple[int, ...] = ()
     checker_shard_handoffs: int = 0
+    # Robust-execution counters (all zero on a fault-free run with the
+    # default retry policy).
+    test_retries: int = 0
+    test_timeouts: int = 0
+    tests_inconclusive: int = 0
+    quarantine_size: int = 0
 
     # Pre-redesign names, kept as deprecated read-only views.
     @property
@@ -137,6 +146,10 @@ class MultiSynthesisResult:
     final_models: dict[str, IncompleteAutomaton]
     violation_witness: Run | None
     violation_kind: str | None
+    #: Counterexamples whose tests never completed fault-free within the
+    #: retry budget (see :mod:`repro.testing.robust`).  Empty on every
+    #: fault-free run; never merged, never confirmed (Lemma 6).
+    quarantined: tuple[Run, ...] = ()
 
     @property
     def proven(self) -> bool:
@@ -168,6 +181,16 @@ class MultiSynthesisResult:
 
     def learned_states(self, name: str) -> int:
         return len(self.final_models[name].states)
+
+
+@dataclass
+class _MultiScratch:
+    """Mutable per-iteration counters of the parallel loop."""
+
+    tests: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    inconclusive: int = 0
 
 
 @dataclass
@@ -257,11 +280,25 @@ class MultiLegacySynthesizer:
         self.incremental = settings.incremental
         self.parallelism = settings.resolved_parallelism()
         self.checker_parallelism = settings.resolved_checker_parallelism()
+        self.retry_policy = settings.resolved_retry_policy()
+        self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
+        self.quarantine = Quarantine()
+        fault_profile = settings.resolved_fault_profile()
         universes = universes or {}
         labelers = labelers or {}
         offset = 1 if context is not None else 0
         self.slots: list[_Slot] = []
         for position, component in enumerate(components):
+            if fault_profile is not None and fault_profile.active:
+                # Each slot gets its own fault schedule (seed offset by
+                # position) so one seed exercises distinct chaos per slot.
+                from dataclasses import replace as _replace
+
+                component = FaultyComponent.wrap(
+                    component,
+                    _replace(fault_profile, seed=fault_profile.seed + position),
+                    tracer=self.tracer,
+                )
             interface = interface_of(component)
             universe = universes.get(component.name, interface.universe())
             labeler = labelers.get(component.name)
@@ -339,12 +376,24 @@ class MultiLegacySynthesizer:
             steps.append(TestStep(projected.blocked.inputs, projected.blocked.outputs))
         return TestCase(name=f"{slot.name}-test", steps=tuple(steps), source_run=cex)
 
-    def _execute(self, slot: _Slot, case: TestCase):
+    def _execute(self, slot: _Slot, case: TestCase, scratch: _MultiScratch) -> RobustExecution:
+        """One supervised execution (retries, deadlines, validation)."""
         begin = time.perf_counter()
         with self.tracer.span("test.execute", steps=len(case.steps)):
-            execution = execute_test(slot.component, case, port=self.port)
+            outcome = self.robust.execute(slot.component, case, port=self.port)
         self.tracer.metrics.observe("test_execute_seconds", time.perf_counter() - begin)
-        return execution
+        scratch.tests += outcome.attempts
+        scratch.retries += outcome.retries
+        scratch.timeouts += outcome.timeouts
+        if outcome.inconclusive:
+            scratch.inconclusive += 1
+        return outcome
+
+    def _trusted(self, slot: _Slot, outcome: RobustExecution) -> bool:
+        """May this outcome support a verdict?  (Lemma 6.)"""
+        return outcome.validated or not getattr(
+            slot.component, "fault_injection_active", False
+        )
 
     def _replay(self, slot: _Slot, recording):
         begin = time.perf_counter()
@@ -353,10 +402,52 @@ class MultiLegacySynthesizer:
         self.tracer.metrics.observe("monitor_replay_seconds", time.perf_counter() - begin)
         return result
 
-    def _learn_execution(self, slot: _Slot, execution) -> bool:
+    def _batch_replays(self, pending: list[tuple[int, _Slot, object]]) -> dict[int, object]:
+        """Replay ``(key, slot, recording)`` batches through the worker pool.
+
+        Each chunk replays one slot's recordings strictly in submission
+        order against that slot's (stateful) component, so observations
+        are bit-identical to the sequential path; the pool parallelizes
+        *across* slots, whose components are independent (the roadmap's
+        batched monitor replays).  Returns ``key → ReplayResult``.
+        """
+        if not pending:
+            return {}
+        tracer = self.tracer
+        by_slot: dict[int, list[tuple[int, _Slot, object]]] = {}
+        for entry in pending:
+            by_slot.setdefault(entry[1].index, []).append(entry)
+
+        def replay_chunk(chunk):
+            results = []
+            for key, slot, recording in chunk:
+                begin = time.perf_counter()
+                with tracer.span("monitor.replay", steps=len(recording.steps)):
+                    result = replay(slot.component, recording, port=self.port)
+                results.append((key, result, time.perf_counter() - begin))
+            return results
+
+        chunks = [by_slot[index] for index in sorted(by_slot)]
+        outputs = get_pool().map("thread", replay_chunk, chunks, workers=len(chunks))
+        replayed: dict[int, object] = {}
+        for chunk_results in outputs:
+            for key, result, seconds in chunk_results:
+                tracer.metrics.observe("monitor_replay_seconds", seconds)
+                replayed[key] = result
+        return replayed
+
+    def _learn_execution(self, slot: _Slot, outcome: RobustExecution, replay_result=None) -> bool:
         """Replay and merge; returns True when knowledge grew."""
+        execution = outcome.execution
+        assert execution is not None
         before = slot.model.knowledge_size()
-        result = self._replay(slot, execution.recording)
+        if replay_result is None:
+            replay_result = (
+                outcome.replay
+                if outcome.replay is not None
+                else self._replay(slot, execution.recording)
+            )
+        result = replay_result
         observed = result.observed_run
         with self.tracer.span("learn.merge", verdict=execution.verdict.value):
             if execution.verdict is TestVerdict.BLOCKED:
@@ -389,13 +480,15 @@ class MultiLegacySynthesizer:
     # ---------------------------------------------------- deadlock handling
 
     def _reaction_table(
-        self, slot: _Slot, prefix: TestCase, counters: list[int]
-    ) -> dict[frozenset[str], frozenset[str] | None]:
+        self, slot: _Slot, prefix: TestCase, scratch: _MultiScratch
+    ) -> dict[frozenset[str], frozenset[str] | None] | None:
         """Probe every input set at the component's post-prefix state.
 
         Re-runs the (deterministic, already confirmed) prefix once per
         probe.  Returns ``inputs → outputs`` with ``None`` for refused
-        inputs, and merges every observation into the model.
+        inputs, and merges every observation into the model.  Returns
+        ``None`` when any probe came back inconclusive — the deadlock is
+        then undecided and the caller must quarantine it, not confirm it.
         """
         input_sets = sorted({interaction.inputs for interaction in slot.universe}, key=sorted)
         table: dict[frozenset[str], frozenset[str] | None] = {}
@@ -404,8 +497,11 @@ class MultiLegacySynthesizer:
                 name=f"{prefix.name}+probe",
                 steps=(*prefix.steps, TestStep(inputs, frozenset())),
             )
-            counters[0] += 1
-            execution = self._execute(slot, probe)
+            outcome = self._execute(slot, probe, scratch)
+            if outcome.inconclusive:
+                return None
+            execution = outcome.execution
+            assert execution is not None
             if execution.divergence_index is not None and execution.divergence_index < len(
                 prefix.steps
             ):
@@ -415,11 +511,17 @@ class MultiLegacySynthesizer:
                 )
             last = execution.recording.steps[-1]
             table[inputs] = None if last.blocked else last.observed_outputs
-            self._learn_probe(slot, execution)
+            self._learn_probe(slot, outcome)
         return table
 
-    def _learn_probe(self, slot: _Slot, execution) -> None:
-        result = self._replay(slot, execution.recording)
+    def _learn_probe(self, slot: _Slot, outcome: RobustExecution) -> None:
+        execution = outcome.execution
+        assert execution is not None
+        result = (
+            outcome.replay
+            if outcome.replay is not None
+            else self._replay(slot, execution.recording)
+        )
         observed = result.observed_run
         with self.tracer.span("learn.merge", verdict="probe"):
             if observed.blocked is not None:
@@ -530,10 +632,14 @@ class MultiLegacySynthesizer:
         with tracer.span("loop.run", synthesizer="MultiLegacySynthesizer"):
             result = self._run()
         if tracer.enabled:
-            from ..automata.sharding import get_pool
-
             get_pool().publish_to(tracer.metrics)
             tracer.metrics.set_gauge("loop_iteration_count", result.iteration_count)
+            for slot in self.slots:
+                fault_counts = getattr(slot.component, "fault_counts", None)
+                if fault_counts:
+                    tracer.metrics.absorb(
+                        fault_counts, prefix=f"fault_injected_{slot.name}_"
+                    )
         return result
 
     def _run(self) -> MultiSynthesisResult:
@@ -603,6 +709,7 @@ class MultiLegacySynthesizer:
                     checker_shards=checker.stats.shards,
                     checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,
                     checker_shard_handoffs=checker.stats.shard_handoffs,
+                    quarantine_size=len(self.quarantine),
                 )
 
                 def snapshot() -> tuple[tuple[int, int, int], ...]:
@@ -685,39 +792,90 @@ class MultiLegacySynthesizer:
                     return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
 
                 before = sum(slot.model.knowledge_size() for slot in self.slots)
-                counters = [0]
+                scratch = _MultiScratch()
                 learned_names: list[str] = []
                 all_confirmed = True
+                trusted = True
                 for slot in self.slots:
                     case = self._project_case(cex, slot)
-                    counters[0] += 1
-                    execution = self._execute(slot, case)
-                    if execution.verdict is TestVerdict.CONFIRMED:
-                        if not chaos_free:
-                            grew = self._learn_execution(slot, execution)
-                            if grew:
-                                learned_names.append(slot.name)
+                    outcome = self._execute(slot, case, scratch)
+                    if outcome.inconclusive:
+                        # Undecided on this component, so undecided overall:
+                        # quarantine the candidate for a later retry, learn
+                        # nothing from it here (Lemma 6).
+                        all_confirmed = False
+                        self.quarantine.push(cex, probe=False)
+                        continue
+                    if not self._trusted(slot, outcome):
+                        trusted = False
+                    assert outcome.execution is not None
+                    if outcome.execution.verdict is TestVerdict.CONFIRMED:
+                        should_learn = not chaos_free
                     else:
                         all_confirmed = False
-                        if self._learn_execution(slot, execution):
-                            learned_names.append(slot.name)
+                        should_learn = True
+                    if should_learn:
+                        try:
+                            if self._learn_execution(slot, outcome):
+                                learned_names.append(slot.name)
+                        except LearningError:
+                            # A falsely validated recording poisoned the
+                            # model earlier; under chaos the contradiction
+                            # is injection noise, not component
+                            # non-determinism — quarantine and move on.
+                            if not getattr(
+                                slot.component, "fault_injection_active", False
+                            ):
+                                raise
+                            all_confirmed = False
+                            scratch.inconclusive += 1
+                            self.quarantine.push(cex, probe=False)
 
-                # Extra batch counterexamples contribute test/learn material
-                # only; verdict decisions rest on the primary one.  Probing
+                # Extra batch counterexamples — and quarantined runs from
+                # earlier iterations — contribute test/learn material only;
+                # verdict decisions rest on the primary one.  Probing
                 # candidates are skipped (their confirmation protocol is the
-                # expensive primary-path one).
-                for candidate in batch[1:]:
-                    if candidate is cex or probing_needed(candidate):
+                # expensive primary-path one).  Executions run slot by slot,
+                # then the monitor replays are batched through the worker
+                # pool, one chunk per slot, so independent components replay
+                # in parallel (the roadmap's batched-replay item).
+                extras: list[tuple[Run, bool]] = [(c, True) for c in batch[1:]]
+                fresh = {repr(c) for c in batch}
+                extras.extend(
+                    (run, False)
+                    for run, _ in self.quarantine.drain()
+                    if repr(run) not in fresh
+                )
+                for candidate, from_batch in extras:
+                    if candidate is cex or (from_batch and probing_needed(candidate)):
                         continue
                     candidate_chaos_free = is_chaos_free(candidate)
+                    staged: list[tuple[_Slot, RobustExecution]] = []
                     for slot in self.slots:
                         case = self._project_case(candidate, slot)
-                        counters[0] += 1
-                        execution = self._execute(slot, case)
-                        if execution.verdict is TestVerdict.CONFIRMED and candidate_chaos_free:
+                        outcome = self._execute(slot, case, scratch)
+                        if outcome.inconclusive:
+                            self.quarantine.push(candidate, probe=False)
                             continue
+                        assert outcome.execution is not None
+                        if (
+                            outcome.execution.verdict is TestVerdict.CONFIRMED
+                            and candidate_chaos_free
+                        ):
+                            continue
+                        staged.append((slot, outcome))
+                    replayed = self._batch_replays(
+                        [
+                            (position, slot, outcome.execution.recording)
+                            for position, (slot, outcome) in enumerate(staged)
+                            if outcome.replay is None
+                        ]
+                    )
+                    for position, (slot, outcome) in enumerate(staged):
                         try:
-                            if self._learn_execution(slot, execution):
+                            if self._learn_execution(
+                                slot, outcome, replayed.get(position, outcome.replay)
+                            ):
                                 learned_names.append(slot.name)
                         except LearningError:
                             # Later candidates may contradict knowledge the
@@ -728,16 +886,31 @@ class MultiLegacySynthesizer:
                 if all_confirmed:
                     if needs_probing:
                         tables = []
+                        undecided = False
                         for slot in self.slots:
                             prefix = self._project_case(cex, slot)
-                            tables.append(self._reaction_table(slot, prefix, counters))
+                            table = self._reaction_table(slot, prefix, scratch)
+                            if table is None:
+                                undecided = True
+                                break
+                            tables.append(table)
                             learned_names.append(slot.name)
-                        context_state = (
-                            cex.last_state[0] if self.context is not None else None
-                        )
-                        real = not self._joint_step_exists(context_state, tables)
+                        if undecided:
+                            # A probe came back inconclusive: the deadlock is
+                            # neither confirmed nor refuted.  Quarantine.
+                            self.quarantine.push(cex, probe=True)
+                        else:
+                            context_state = (
+                                cex.last_state[0] if self.context is not None else None
+                            )
+                            real = not self._joint_step_exists(context_state, tables)
                     elif chaos_free:
                         real = True
+                if real and not trusted:
+                    # Lemma 6: an unvalidated execution cannot witness a real
+                    # integration error; retry the candidate instead.
+                    self.quarantine.push(cex, probe=False)
+                    real = False
 
                 after = sum(slot.model.knowledge_size() for slot in self.slots)
                 note(
@@ -750,15 +923,21 @@ class MultiLegacySynthesizer:
                         violated,
                         cex,
                         False,
-                        counters[0],
+                        scratch.tests,
                         tuple(dict.fromkeys(learned_names)),
                         after - before,
-                        **counter_fields,
+                        **{
+                            **counter_fields,
+                            "test_retries": scratch.retries,
+                            "test_timeouts": scratch.timeouts,
+                            "tests_inconclusive": scratch.inconclusive,
+                            "quarantine_size": len(self.quarantine),
+                        },
                     )
                 )
                 if real:
                     return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
-                if after <= before:
+                if after <= before and scratch.inconclusive == 0:
                     raise SynthesisError(
                         f"iteration {index} made no learning progress — non-deterministic "
                         "component or inconsistent universe"
@@ -779,4 +958,5 @@ class MultiLegacySynthesizer:
             final_models={slot.name: slot.model for slot in self.slots},
             violation_witness=witness,
             violation_kind=kind,
+            quarantined=self.quarantine.unresolved(),
         )

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field, replace
 
 from ..automata.sharding import resolve_checker_parallelism, resolve_parallelism
 from ..errors import SynthesisError
+from ..testing.faults import FaultProfile
+from ..testing.robust import RetryPolicy
 
 __all__ = ["SynthesisSettings"]
 
@@ -70,6 +72,20 @@ class SynthesisSettings:
         Shard count for the model checker's fixpoint solves.  ``None``
         defers to ``REPRO_CHECKER_PARALLELISM`` and then follows
         ``parallelism``, so setting one knob shards the whole pipeline.
+    retry_policy:
+        The :class:`repro.testing.robust.RetryPolicy` supervising every
+        test execution: retry budget, backoff, per-step/per-test
+        deadlines, recording validation.  ``None`` (the default) defers
+        to ``REPRO_TEST_RETRIES`` and falls back to the default policy
+        — whose fault-free behavior is identical to the raw executor.
+    fault_profile:
+        A :class:`repro.testing.faults.FaultProfile` to inject into the
+        component under test (chaos testing of the loop itself).
+        ``None`` defers to ``REPRO_FAULT_SEED`` (which selects the
+        ``mild`` profile) and falls back to no injection.  With the
+        mild profile and the default retry budget, verdicts and learned
+        models stay bit-identical to the fault-free run — faults only
+        cost retries (see ``docs/robustness.md``).
     tracer:
         A :class:`repro.obs.Tracer` receiving spans and metrics from the
         run.  ``None`` (the default) defers to the ``REPRO_TRACE``
@@ -83,6 +99,8 @@ class SynthesisSettings:
     incremental: bool = True
     parallelism: int | None = None
     checker_parallelism: int | None = None
+    retry_policy: RetryPolicy | None = None
+    fault_profile: FaultProfile | None = None
     tracer: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -104,6 +122,14 @@ class SynthesisSettings:
             resolve_parallelism(self.parallelism)
         if self.checker_parallelism is not None:
             resolve_checker_parallelism(self.checker_parallelism)
+        if self.retry_policy is not None and not isinstance(self.retry_policy, RetryPolicy):
+            raise SynthesisError(
+                f"retry_policy must be a RetryPolicy, got {type(self.retry_policy).__name__}"
+            )
+        if self.fault_profile is not None and not isinstance(self.fault_profile, FaultProfile):
+            raise SynthesisError(
+                f"fault_profile must be a FaultProfile, got {type(self.fault_profile).__name__}"
+            )
         if self.tracer is not None and not (
             hasattr(self.tracer, "span") and hasattr(self.tracer, "metrics")
         ):
@@ -127,6 +153,14 @@ class SynthesisSettings:
         return resolve_checker_parallelism(
             self.checker_parallelism, fallback=self.resolved_parallelism()
         )
+
+    def resolved_retry_policy(self) -> RetryPolicy:
+        """The retry policy with environment fallback applied."""
+        return self.retry_policy if self.retry_policy is not None else RetryPolicy.from_env()
+
+    def resolved_fault_profile(self) -> "FaultProfile | None":
+        """The fault profile: explicit, ``REPRO_FAULT_SEED``, or none."""
+        return self.fault_profile if self.fault_profile is not None else FaultProfile.from_env()
 
 
 def merge_legacy_settings(

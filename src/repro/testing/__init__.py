@@ -7,6 +7,7 @@ the learning step.
 """
 
 from .executor import RecordedStep, Recording, TestExecution, TestVerdict, execute_test
+from .faults import FaultKind, FaultProfile, FaultyComponent
 from .monitor import (
     MessageEvent,
     MonitorEvent,
@@ -17,6 +18,7 @@ from .monitor import (
     render_events,
 )
 from .replay import ReplayResult, replay
+from .robust import Quarantine, RetryPolicy, RobustExecution, RobustExecutor
 from .suite import Coverage, SuiteReport, generate_suite, run_suite
 from .tracelog import parse_events, run_from_events
 from .testcase import TestCase, TestStep, test_case_from_counterexample, test_case_from_trace
@@ -33,6 +35,13 @@ __all__ = [
     "execute_test",
     "ReplayResult",
     "replay",
+    "FaultKind",
+    "FaultProfile",
+    "FaultyComponent",
+    "RetryPolicy",
+    "RobustExecutor",
+    "RobustExecution",
+    "Quarantine",
     "generate_suite",
     "run_suite",
     "SuiteReport",

@@ -30,6 +30,12 @@ class TestVerdict(Enum):
     CONFIRMED = "confirmed"
     DIVERGED = "diverged"
     BLOCKED = "blocked"
+    #: The execution could not be completed fault-free within its retry
+    #: budget (see :mod:`repro.testing.robust`).  Never produced by
+    #: :func:`execute_test` itself; never merged into the model and never
+    #: reported as a real integration error — Lemma 6 requires a
+    #: validated fault-free run for CONFIRMED.
+    INCONCLUSIVE = "inconclusive"
 
 
 @dataclass(frozen=True)
@@ -114,19 +120,24 @@ def execute_test(component: LegacyComponent, testcase: TestCase, *, port: str = 
     recorded: list[RecordedStep] = []
     verdict = TestVerdict.CONFIRMED
     divergence_index: int | None = None
-    with component.instrumented(Instrumentation.MINIMAL, live=True):
-        for index, step in enumerate(testcase.steps):
-            outcome = component.step(step.inputs)
-            if outcome.blocked:
-                recorded.append(_observed_step(outcome.period, step, frozenset(), blocked=True))
-                verdict = TestVerdict.BLOCKED
-                divergence_index = index
-                break
-            recorded.append(_observed_step(outcome.period, step, outcome.outputs, blocked=False))
-            if outcome.outputs != step.expected_outputs:
-                verdict = TestVerdict.DIVERGED
-                divergence_index = index
-                break
+    try:
+        with component.instrumented(Instrumentation.MINIMAL, live=True):
+            for index, step in enumerate(testcase.steps):
+                outcome = component.step(step.inputs)
+                if outcome.blocked:
+                    recorded.append(_observed_step(outcome.period, step, frozenset(), blocked=True))
+                    verdict = TestVerdict.BLOCKED
+                    divergence_index = index
+                    break
+                recorded.append(_observed_step(outcome.period, step, outcome.outputs, blocked=False))
+                if outcome.outputs != step.expected_outputs:
+                    verdict = TestVerdict.DIVERGED
+                    divergence_index = index
+                    break
+    finally:
+        # A step that raises (unknown port, injected fault, timeout)
+        # must not leave the component mid-run for the next caller.
+        component.reset()
     recording = Recording(component=component.name, steps=tuple(recorded))
     return TestExecution(
         testcase=testcase,

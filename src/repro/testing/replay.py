@@ -73,32 +73,37 @@ def replay(component: LegacyComponent, recording: Recording, *, port: str = "por
             f"recording belongs to {recording.component!r}, not {component.name!r}"
         )
     component.reset()
-    with component.instrumented(Instrumentation.FULL, live=False):
-        start = component.monitor_state()
-        # Accumulate steps in a list and build the Run once: extending an
-        # immutable Run per period would copy the prefix every time.
-        steps: list[tuple[Interaction, object]] = []
-        blocked_tail: Interaction | None = None
-        for record in recording.steps:
-            outcome = component.step(record.inputs)
-            if outcome.blocked != record.blocked:
-                raise ReplayError(
-                    f"replay diverged from recording at period {record.period}: "
-                    f"recorded blocked={record.blocked}, replayed blocked={outcome.blocked} "
-                    "— the component is not deterministic"
-                )
-            if record.blocked:
-                blocked_tail = Interaction(record.inputs, record.expected_outputs)
-                break
-            if outcome.outputs != record.observed_outputs:
-                raise ReplayError(
-                    f"replay diverged from recording at period {record.period}: "
-                    f"recorded outputs {sorted(record.observed_outputs)}, replayed "
-                    f"{sorted(outcome.outputs)} — the component is not deterministic"
-                )
-            steps.append((outcome.interaction, component.monitor_state()))
-        run = Run(start, tuple(steps), blocked=blocked_tail)
-        probe_free = not component.probe_effect_active
+    try:
+        with component.instrumented(Instrumentation.FULL, live=False):
+            start = component.monitor_state()
+            # Accumulate steps in a list and build the Run once: extending an
+            # immutable Run per period would copy the prefix every time.
+            steps: list[tuple[Interaction, object]] = []
+            blocked_tail: Interaction | None = None
+            for record in recording.steps:
+                outcome = component.step(record.inputs)
+                if outcome.blocked != record.blocked:
+                    raise ReplayError(
+                        f"replay diverged from recording at period {record.period}: "
+                        f"recorded blocked={record.blocked}, replayed blocked={outcome.blocked} "
+                        "— the component is not deterministic"
+                    )
+                if record.blocked:
+                    blocked_tail = Interaction(record.inputs, record.expected_outputs)
+                    break
+                if outcome.outputs != record.observed_outputs:
+                    raise ReplayError(
+                        f"replay diverged from recording at period {record.period}: "
+                        f"recorded outputs {sorted(record.observed_outputs)}, replayed "
+                        f"{sorted(outcome.outputs)} — the component is not deterministic"
+                    )
+                steps.append((outcome.interaction, component.monitor_state()))
+            run = Run(start, tuple(steps), blocked=blocked_tail)
+            probe_free = not component.probe_effect_active
+    finally:
+        # A divergence (or injected replay fault) must not leave the
+        # component mid-run for the next caller.
+        component.reset()
     return ReplayResult(
         component=component.name,
         observed_run=run,

@@ -7,6 +7,7 @@ from repro.automata import Automaton, Interaction
 from repro.legacy import LegacyComponent
 from repro.logic import parse
 from repro.synthesis import MultiLegacySynthesizer
+from repro.synthesis.multi import _MultiScratch
 from repro.testing import TestCase
 
 
@@ -168,12 +169,12 @@ class TestReactionTable:
             ]
         )
         slot = synthesizer.slots[1]  # the rear shuttle
-        counters = [0]
+        scratch = _MultiScratch()
         prefix = TestCase(name="empty", steps=())
-        table = synthesizer._reaction_table(slot, prefix, counters)
+        table = synthesizer._reaction_table(slot, prefix, scratch)
         expected_inputs = {interaction.inputs for interaction in slot.universe}
         assert set(table) == expected_inputs
-        assert counters[0] == len(expected_inputs)
+        assert scratch.tests == len(expected_inputs)
         # The rear shuttle at its initial state proposes on no input:
         assert table[frozenset()] == frozenset({"convoyProposal"})
         # …and refuses a rejection it never asked about:
@@ -183,5 +184,5 @@ class TestReactionTable:
         synthesizer = make_synthesizer()
         slot = synthesizer.slots[1]
         before = slot.model.knowledge_size()
-        synthesizer._reaction_table(slot, TestCase(name="empty", steps=()), [0])
+        synthesizer._reaction_table(slot, TestCase(name="empty", steps=()), _MultiScratch())
         assert slot.model.knowledge_size() > before

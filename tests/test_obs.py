@@ -180,6 +180,10 @@ class TestRecordPlumbing:
             "checker_shards",
             "checker_shard_fixpoint_work",
             "checker_shard_handoffs",
+            "test_retries",
+            "test_timeouts",
+            "tests_inconclusive",
+            "quarantine_size",
         ]
 
 
@@ -298,6 +302,8 @@ class TestLoopSpanContract:
             "checker.shard_round",
             "product.shard_round",
             "product.merge",
+            "test.retry",
+            "fault.inject",
         }
 
     def test_loop_run_and_iteration_args(self):

@@ -99,6 +99,16 @@ def normalize(raw: dict) -> dict:
             "checker_shard_handoffs_total": (ck4 or {}).get("checker_shard_handoffs_total"),
             "checker_fixpoint_work_total": (ck4 or {}).get("checker_fixpoint_work_total"),
         }
+    robust = report["benchmarks"].get("test_robust_overhead_guard")
+    if robust is not None:
+        report["robust"] = {
+            "tests_per_run": robust.get("tests_per_run"),
+            "per_raw_execute_seconds": robust.get("per_raw_execute_seconds"),
+            "per_supervised_execute_seconds": robust.get("per_supervised_execute_seconds"),
+            "per_test_overhead_seconds": robust.get("per_test_overhead_seconds"),
+            "robust_overhead_fraction": robust.get("robust_overhead_fraction"),
+            "loop_seconds_min": robust.get("loop_seconds_min"),
+        }
     traced = report["benchmarks"].get("test_tracing_overhead_guard")
     if traced is not None:
         report["traced"] = {
@@ -162,6 +172,14 @@ def main(argv: list[str] | None = None) -> None:
             f"{checker['k1_vs_sequential_best_paired']:.2f}x, "
             f"K=4 vs K=1 {checker['k4_vs_k1_speedup_min']:.2f}x (min) / "
             f"{checker['k4_vs_k1_speedup_median']:.2f}x (median)"
+        )
+    robust = report.get("robust", {})
+    if robust.get("robust_overhead_fraction") is not None:
+        print(
+            f"robust: fault-free supervised-execution overhead "
+            f"{robust['robust_overhead_fraction']:.2%} of loop time "
+            f"({robust['tests_per_run']} tests × "
+            f"{robust['per_test_overhead_seconds'] * 1e6:.1f}µs)"
         )
     traced = report.get("traced", {})
     if traced.get("null_tracer_overhead_fraction") is not None:
