@@ -70,6 +70,7 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         incremental=not getattr(args, "no_incremental", False),
         parallelism=getattr(args, "parallelism", None),
         checker_parallelism=getattr(args, "checker_parallelism", None),
+        dense=getattr(args, "dense", None),
         retry_policy=retry_policy,
         fault_profile=fault_profile,
         tracer=tracer,
@@ -108,6 +109,16 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
         help="shard the model checker's fixpoints across K shards "
         "(default: $REPRO_CHECKER_PARALLELISM, then --parallelism; "
         "results are identical)",
+    )
+    group.add_argument(
+        "--dense", dest="dense", action="store_true", default=None,
+        help="force the checker's dense integer-indexed fixpoint core "
+        "(default: automatic by product size, or $REPRO_DENSE; "
+        "results are identical — see docs/performance.md)",
+    )
+    group.add_argument(
+        "--no-dense", dest="dense", action="store_false",
+        help="force the legacy dict/set fixpoint solvers",
     )
     group.add_argument(
         "--test-retries", type=int, default=None, metavar="N",

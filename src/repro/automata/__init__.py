@@ -41,6 +41,14 @@ from .incremental import (
     VerificationStep,
 )
 from .interaction import IDLE, Interaction, InteractionUniverse
+from .interning import (
+    DENSE_ENV,
+    DenseGraph,
+    HAVE_NUMPY,
+    StateInterner,
+    resolve_dense,
+    shard_of_id,
+)
 from .refinement import (
     chaos_tolerant_labels,
     exact_labels,
@@ -109,8 +117,14 @@ __all__ = [
     "ProductUpdate",
     "VerificationStep",
     "CHECKER_PARALLELISM_ENV",
+    "DENSE_ENV",
+    "DenseGraph",
+    "HAVE_NUMPY",
     "PARALLELISM_ENV",
+    "StateInterner",
     "resolve_checker_parallelism",
+    "resolve_dense",
+    "shard_of_id",
     "ShardReport",
     "WorkerPool",
     "get_pool",

@@ -26,6 +26,13 @@ The composed state space is built on the fly from the initial states, so
 unreachable state combinations are never materialised (the paper's
 "S'' and T'' are further adjusted to exclude all non reachable state
 combinations and transitions").
+
+Joint states are plain tuples of component states, hashed and compared
+structurally.  That cost is paid once per state: downstream, the model
+checker interns every joint state to a contiguous integer id
+(:class:`~repro.automata.interning.StateInterner`) and runs its
+fixpoints over flat arrays, so composite-state hashing never sits on
+the verification hot path.
 """
 
 from __future__ import annotations

@@ -645,10 +645,14 @@ class IncrementalProduct:
         tracer = self.tracer
         round_index = 0
         runner = _explore_shard
-        if tracer.enabled and strategy != "process":
+        if tracer.enabled and strategy != "process" and shards > 1:
             # Workers time themselves and report on their shard's track.
             # Forked processes cannot reach this tracer, so their rounds
             # go unrecorded (only 200k+-state explorations take that path).
+            # A single shard stays on the main track: emitting a
+            # `product/shard-0` swimlane for K=1 runs only duplicated
+            # the exploration time as a zero-information track in every
+            # trace summary.
             round_box = [0]
 
             def runner(task: _ShardTask) -> _ShardDelta:
@@ -679,7 +683,7 @@ class IncrementalProduct:
                 for k in range(shards)
                 if frontiers[k]
             ]
-            if tracer.enabled and strategy != "process":
+            if tracer.enabled and strategy != "process" and shards > 1:
                 round_box[0] = round_index
             deltas = self._pool.map(strategy, runner, tasks, workers=shards)
             # Merge in shard order (map preserves task order): each joint
@@ -802,12 +806,14 @@ class IncrementalVerifier:
         parallelism: int | None = None,
         strategy: str | None = None,
         checker_parallelism: int | None = None,
+        dense: bool | None = None,
         tracer=None,
     ):
         if not universes:
             raise ModelError("IncrementalVerifier needs at least one legacy universe")
         self.context = context
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.dense = dense
         self.parallelism = resolve_parallelism(parallelism)
         # The checker follows the product's shard count unless overridden
         # (explicitly or via REPRO_CHECKER_PARALLELISM): one knob shards
@@ -906,6 +912,7 @@ class IncrementalVerifier:
             dirty_states=dirty,
             parallelism=self.checker_parallelism,
             strategy=self.strategy,
+            dense=self.dense,
             tracer=self.tracer,
         )
         self._checker = checker

@@ -11,6 +11,11 @@ BFS into ``K`` shards keyed by a *stable* joint-state hash:
     the CRC-32 of its ``repr`` — the same canonical string that keys
     every deterministic sort in the pipeline.  The assignment is
     therefore identical across processes, hash seeds, and runs.
+    This is the *fallback* for un-interned inputs: once states carry
+    interned ids (:mod:`repro.automata.interning`), ownership is plain
+    ``id % K`` (:func:`~repro.automata.interning.shard_of_id`) — no
+    repr rendering, no hashing — which is what the dense checker core
+    uses on its hot path.
 
 :func:`select_strategy`
     Picks how the shard workers execute: inline (``sequential``) for a
@@ -151,6 +156,12 @@ def shard_of(state: object, shards: int) -> int:
     the built-in hash of strings (and hence of tuples containing them)
     is salted per process, which would make shard assignment — and with
     it every per-shard counter — irreproducible.
+
+    Rendering and hashing the repr costs far more than the modulo that
+    follows it, so this is documented as the fallback for *un-interned*
+    inputs (the product BFS, whose states don't exist before
+    exploration discovers them).  Interned states take
+    :func:`repro.automata.interning.shard_of_id` instead.
     """
     if shards == 1:
         return 0

@@ -375,6 +375,7 @@ class IntegrationSynthesizer:
         self.incremental = settings.incremental
         self.parallelism = settings.resolved_parallelism()
         self.checker_parallelism = settings.resolved_checker_parallelism()
+        self.dense = settings.dense
         # Violations of properties mentioning the deadlock atom or an
         # eventuality (AF/AU) can hinge on the closure's *pessimistic
         # refusals* — a path that merely might end.  Only those need the
@@ -497,6 +498,7 @@ class IntegrationSynthesizer:
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
+                dense=self.dense,
                 tracer=tracer,
             )
             if self.incremental
@@ -526,7 +528,10 @@ class IntegrationSynthesizer:
                             parallelism=self.parallelism,
                         )
                         checker = ModelChecker(
-                            composed, parallelism=self.checker_parallelism, tracer=tracer
+                            composed,
+                            parallelism=self.checker_parallelism,
+                            dense=self.dense,
+                            tracer=tracer,
                         )
                     step_stats = None
                 with tracer.span("checker.check", kind="property"):

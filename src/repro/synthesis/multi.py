@@ -280,6 +280,7 @@ class MultiLegacySynthesizer:
         self.incremental = settings.incremental
         self.parallelism = settings.resolved_parallelism()
         self.checker_parallelism = settings.resolved_checker_parallelism()
+        self.dense = settings.dense
         self.retry_policy = settings.resolved_retry_policy()
         self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
         self.quarantine = Quarantine()
@@ -661,6 +662,7 @@ class MultiLegacySynthesizer:
                 deterministic_implementation=True,
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
+                dense=self.dense,
                 tracer=tracer,
             )
             if self.incremental
@@ -681,7 +683,10 @@ class MultiLegacySynthesizer:
                     with tracer.span("verify.step", models=len(self.slots)):
                         composed = self._compose()
                         checker = ModelChecker(
-                            composed, parallelism=self.checker_parallelism, tracer=tracer
+                            composed,
+                            parallelism=self.checker_parallelism,
+                            dense=self.dense,
+                            tracer=tracer,
                         )
                     step_stats = None
                 with tracer.span("checker.check", kind="property"):

@@ -72,6 +72,15 @@ class SynthesisSettings:
         Shard count for the model checker's fixpoint solves.  ``None``
         defers to ``REPRO_CHECKER_PARALLELISM`` and then follows
         ``parallelism``, so setting one knob shards the whole pipeline.
+    dense:
+        Run the checker's fixpoints over the dense integer-indexed core
+        (interned ids, CSR adjacency, bitset images — see
+        :mod:`repro.automata.interning`).  ``None`` defers to
+        ``REPRO_DENSE`` when set and otherwise lets every checker pick
+        by product size (dense from
+        :data:`~repro.automata.interning.DENSE_STATE_FLOOR` states up);
+        ``False`` forces the legacy dict/set solvers (the differential
+        oracle), ``True`` forces the dense core everywhere.
     retry_policy:
         The :class:`repro.testing.robust.RetryPolicy` supervising every
         test execution: retry budget, backoff, per-step/per-test
@@ -99,6 +108,7 @@ class SynthesisSettings:
     incremental: bool = True
     parallelism: int | None = None
     checker_parallelism: int | None = None
+    dense: bool | None = None
     retry_policy: RetryPolicy | None = None
     fault_profile: FaultProfile | None = None
     tracer: object | None = field(default=None, compare=False, repr=False)
@@ -122,6 +132,10 @@ class SynthesisSettings:
             resolve_parallelism(self.parallelism)
         if self.checker_parallelism is not None:
             resolve_checker_parallelism(self.checker_parallelism)
+        if self.dense is not None and not isinstance(self.dense, bool):
+            raise SynthesisError(
+                f"dense must be a bool or None, got {self.dense!r}"
+            )
         if self.retry_policy is not None and not isinstance(self.retry_policy, RetryPolicy):
             raise SynthesisError(
                 f"retry_policy must be a RetryPolicy, got {type(self.retry_policy).__name__}"
@@ -153,6 +167,17 @@ class SynthesisSettings:
         return resolve_checker_parallelism(
             self.checker_parallelism, fallback=self.resolved_parallelism()
         )
+
+    def resolved_dense(self, state_count: int | None = None) -> bool:
+        """The dense-core toggle with ``REPRO_DENSE`` fallback applied.
+
+        Without a ``state_count`` the answer for auto (``dense=None``,
+        no environment override) is the dense default; pass the product
+        size to get the per-checker size heuristic.
+        """
+        from ..automata.interning import resolve_dense
+
+        return resolve_dense(self.dense, state_count)
 
     def resolved_retry_policy(self) -> RetryPolicy:
         """The retry policy with environment fallback applied."""

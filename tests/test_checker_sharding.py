@@ -196,8 +196,16 @@ def test_stats_dict_uses_checker_namespace(ping_client, pong_server):
         "checker_shards",
         "checker_shard_fixpoint_work",
         "checker_shard_handoffs",
+        "checker_dense_states",
+        "checker_bitset_words",
     }
     assert stats["checker_shards"] == 2
+    # Dense residency gauges: populated in dense mode, zero in dict mode
+    # (the suite also runs under REPRO_DENSE=0 on the differential leg).
+    expected_states = len(composed.states) if checker.dense else 0
+    expected_words = (expected_states + 63) // 64 if checker.dense else 0
+    assert stats["checker_dense_states"] == expected_states
+    assert stats["checker_bitset_words"] == expected_words
     assert stats["checker_fixpoint_work"] == sum(stats["checker_shard_fixpoint_work"])
 
 

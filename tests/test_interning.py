@@ -1,0 +1,435 @@
+"""The dense integer-indexed core (:mod:`repro.automata.interning`).
+
+Three layers of guarantees are pinned here:
+
+1. **Data structures** — the interner is an append-only bijection whose
+   id assignment is independent of hash-seed (repr-sorted batches), the
+   bitset helpers round-trip exactly, and the CSR graph agrees with the
+   successor mapping it was built from (forward and reverse).
+2. **Image operators** — ``pre_exists``/``pre_forall`` equal their
+   naive set-comprehension definitions on random graphs, with both
+   deadlock conventions, and the numpy fast path (engaged above
+   ``NUMPY_KERNEL_FLOOR``) agrees bit-for-bit with the stdlib scan.
+3. **The dense checker** — sat sets, verdicts, and total fixpoint work
+   of ``dense=True`` equal the legacy dict/set solvers on random model
+   evolutions, cold and warm, for every shard count.  The dict solvers
+   are the differential oracle the rewrite must be invisible against.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from array import array
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import Automaton, StateInterner, compose, shard_of_id
+from repro.automata.incremental import ClosureCache, IncrementalProduct
+from repro.automata.interning import (
+    NUMPY_KERNEL_FLOOR,
+    DenseGraph,
+    flags_of_mask,
+    ids_of_mask,
+    mask_of_flags,
+    mask_of_ids,
+    resolve_dense,
+)
+from repro.logic import ModelChecker
+from tests.test_incremental import FORMULAS, UNIVERSE, _client, model_evolutions
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ------------------------------------------------------------- bitset helpers
+
+
+@SETTINGS
+@given(st.data())
+def test_bitset_helpers_round_trip(data):
+    """ids → mask → flags → mask → ids is the identity, any size."""
+    size = data.draw(st.integers(min_value=0, max_value=200))
+    ids = sorted(
+        data.draw(
+            st.sets(st.integers(min_value=0, max_value=max(size - 1, 0)), max_size=size)
+        )
+        if size
+        else set()
+    )
+    mask = mask_of_ids(ids, size)
+    assert ids_of_mask(mask) == ids
+    flags = flags_of_mask(mask, size)
+    assert len(flags) == size
+    assert [i for i, flag in enumerate(flags) if flag] == ids
+    assert mask_of_flags(flags) == mask
+
+
+def test_bitset_helpers_round_trip_above_numpy_floor():
+    """The packed/unpacked numpy path (when present) matches the scan."""
+    size = NUMPY_KERNEL_FLOOR + 137
+    ids = list(range(0, size, 3)) + [size - 1]
+    ids = sorted(set(ids))
+    mask = mask_of_ids(ids, size)
+    flags = flags_of_mask(mask, size)
+    assert [i for i, flag in enumerate(flags) if flag] == ids
+    assert mask_of_flags(flags) == mask
+    assert ids_of_mask(mask) == ids
+
+
+def test_shard_of_id_is_plain_modulo():
+    assert [shard_of_id(i, 4) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert all(shard_of_id(i, 1) == 0 for i in range(16))
+
+
+def test_resolve_dense_explicit_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_DENSE", "0")
+    assert resolve_dense(True) is True
+    assert resolve_dense(None) is False
+    monkeypatch.delenv("REPRO_DENSE")
+    assert resolve_dense(None) is True
+    assert resolve_dense(False) is False
+    for falsy in ("0", "false", "No", " OFF "):
+        monkeypatch.setenv("REPRO_DENSE", falsy)
+        assert resolve_dense(None) is False
+
+
+# ----------------------------------------------------------------- interner
+
+_STATES = st.one_of(
+    st.text(min_size=0, max_size=6),
+    st.tuples(st.text(max_size=4), st.text(max_size=4)),
+    st.integers(min_value=-50, max_value=50),
+)
+
+
+@SETTINGS
+@given(st.lists(_STATES, max_size=30))
+def test_interner_round_trip_identity(states):
+    """Every interned state resolves back to itself; ids are dense."""
+    interner = StateInterner(states)
+    assert len(interner) == len(set(states))
+    for state in states:
+        assert state in interner
+        ident = interner.id_of(state)
+        assert 0 <= ident < len(interner)
+        assert interner.resolve(ident) == state
+    assert sorted(interner.ids_of(set(states))) == list(range(len(interner)))
+    assert interner.states_of(range(len(interner))) == frozenset(states)
+
+
+@SETTINGS
+@given(st.lists(st.lists(_STATES, max_size=12), max_size=6))
+def test_interner_delta_extension_is_monotone(batches):
+    """Extending never renumbers: old ids survive, fresh ids append."""
+    interner = StateInterner()
+    assigned: dict = {}
+    for batch in batches:
+        before = len(interner)
+        added = interner.extend(batch)
+        fresh = {s for s in batch if s not in assigned}
+        assert added == len(fresh)
+        assert len(interner) == before + added
+        for state, ident in assigned.items():
+            assert interner.id_of(state) == ident
+        for state in batch:
+            assigned[state] = interner.id_of(state)
+    # Fresh ids of each batch form a contiguous block, repr-sorted.
+    assert sorted(assigned.values()) == list(range(len(interner)))
+
+
+def test_interner_fresh_batch_is_repr_sorted():
+    interner = StateInterner(["b", "a", "c"])
+    assert [interner.resolve(i) for i in range(3)] == ["a", "b", "c"]
+    interner.extend(["e", "d", "a"])  # "a" already known: keeps id 0
+    assert interner.id_of("a") == 0
+    assert [interner.resolve(i) for i in range(5)] == ["a", "b", "c", "d", "e"]
+
+
+def test_interner_mask_and_flags_agree():
+    interner = StateInterner(["a", "b", "c", "d"])
+    member = ["a", "c"]
+    mask = interner.mask_of(member)
+    flags = interner.flags_of(member)
+    assert ids_of_mask(mask) == sorted(interner.ids_of(member))
+    assert mask_of_flags(flags) == mask
+    assert interner.states_of(ids_of_mask(mask)) == frozenset(member)
+
+
+_ID_FINGERPRINT_SCRIPT = """
+import hashlib
+from repro.automata import StateInterner
+
+interner = StateInterner()
+interner.extend([("q%d" % i, "r%d" % (i * 7 % 11)) for i in range(40)])
+interner.extend(["solo-%d" % i for i in range(13)])
+interner.extend([("q%d" % i, "r%d" % (i * 7 % 11)) for i in range(60)])
+digest = hashlib.sha256()
+for ident in range(len(interner)):
+    digest.update(repr((ident, interner.resolve(ident))).encode())
+print(digest.hexdigest())
+"""
+
+
+def test_interner_ids_are_hash_seed_independent():
+    """Three interpreters, three ``PYTHONHASHSEED`` values, one id table.
+
+    The ids feed shard ownership (``id % K``) and every dense-counter
+    fingerprint, so they must be a pure function of the interned batches
+    — never of set-iteration order.
+    """
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    root = os.path.dirname(src)
+    fingerprints = set()
+    for seed in ("0", "1", "2"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src + os.pathsep + root)
+        result = subprocess.run(
+            [sys.executable, "-c", _ID_FINGERPRINT_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            check=True,
+        )
+        fingerprints.add(result.stdout.strip())
+    assert len(fingerprints) == 1, fingerprints
+
+
+# ---------------------------------------------------------------- CSR graph
+
+
+@st.composite
+def dense_graphs(draw, *, max_states: int = 12):
+    """A random successor mapping plus the interner/graph built from it."""
+    n = draw(st.integers(min_value=1, max_value=max_states))
+    states = [f"s{i}" for i in range(n)]
+    successors = {
+        state: tuple(
+            sorted(draw(st.sets(st.sampled_from(states), max_size=n)), key=repr)
+        )
+        for state in states
+    }
+    interner = StateInterner(states)
+    return interner, successors, DenseGraph.from_successors(interner, successors)
+
+
+@SETTINGS
+@given(dense_graphs())
+def test_csr_graph_matches_successor_mapping(built):
+    interner, successors, graph = built
+    assert graph.size == len(interner)
+    assert graph.edge_count == sum(len(t) for t in successors.values())
+    for state, targets in successors.items():
+        ident = interner.id_of(state)
+        assert list(graph.successor_ids(ident)) == [
+            interner.id_of(t) for t in targets
+        ]
+    # Reverse view: predecessor lists are exactly the transposed edges,
+    # ordered by source id (counting sort).
+    for state in successors:
+        ident = interner.id_of(state)
+        expected = sorted(
+            interner.id_of(source)
+            for source, targets in successors.items()
+            if state in targets
+        )
+        assert list(graph.predecessor_ids(ident)) == expected
+
+
+@SETTINGS
+@given(dense_graphs(), st.data())
+def test_pre_images_equal_naive_definitions(built, data):
+    interner, successors, graph = built
+    states = list(successors)
+    member = data.draw(st.sets(st.sampled_from(states), max_size=len(states)))
+    candidates = sorted(
+        interner.ids_of(data.draw(st.sets(st.sampled_from(states), max_size=len(states))))
+    )
+    flags = interner.flags_of(member)
+    member_ids = set(interner.ids_of(member))
+
+    def naive(universal: bool, empty_value: bool) -> list[int]:
+        out = []
+        for ident in candidates:
+            succ = list(graph.successor_ids(ident))
+            if not succ:
+                if empty_value:
+                    out.append(ident)
+            elif universal and all(s in member_ids for s in succ):
+                out.append(ident)
+            elif not universal and any(s in member_ids for s in succ):
+                out.append(ident)
+        return out
+
+    assert graph.pre_exists(flags, candidates) == naive(False, False)
+    assert graph.pre_exists(flags, candidates, empty_satisfies=True) == naive(False, True)
+    assert graph.pre_forall(flags, candidates, require_successor=True) == naive(True, False)
+    assert graph.pre_forall(flags, candidates, require_successor=False) == naive(True, True)
+
+
+def test_numpy_kernel_agrees_with_stdlib_scan_above_floor():
+    """A ring with chords, big enough to engage the numpy path.
+
+    With numpy absent this still passes (both calls take the scan), so
+    the test is meaningful on the numpy-absent CI leg too.
+    """
+    n = NUMPY_KERNEL_FLOOR + 300
+    states = [f"s{i}" for i in range(n)]
+    successors = {}
+    for i in range(n):
+        targets = [] if i % 97 == 5 else [states[(i + 1) % n]]
+        if i % 3 == 0:
+            targets.append(states[(i * 7 + 13) % n])
+        successors[states[i]] = tuple(sorted(set(targets), key=repr))
+    interner = StateInterner(states)
+    graph = DenseGraph.from_successors(interner, successors)
+    flags = bytearray(n)
+    for i in range(0, n, 2):
+        flags[i] = 1
+    everyone = list(range(n))  # list => numpy path eligible
+    for kwargs, method in (
+        ({"empty_satisfies": False}, graph.pre_exists),
+        ({"empty_satisfies": True}, graph.pre_exists),
+        ({"require_successor": True}, graph.pre_forall),
+        ({"require_successor": False}, graph.pre_forall),
+    ):
+        fast = method(flags, everyone, **kwargs)
+        slow = method(flags, iter(everyone), **kwargs)  # iterator => stdlib scan
+        assert fast == slow
+    # array('I') candidates are accepted by both paths too.
+    packed = array("I", everyone)
+    assert graph.pre_exists(flags, packed) == graph.pre_exists(flags, iter(everyone))
+
+
+# -------------------------------------------- differential: dense vs dict
+
+
+def _warm_chain(models, *, dense: bool, parallelism: int = 1) -> list[ModelChecker]:
+    """The checkers the incremental engine would build along ``models``."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(semantics="strict")
+    checkers: list[ModelChecker] = []
+    previous = None
+    for model in models:
+        update = cache.update(model)
+        step = product.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        checker = ModelChecker(
+            step.automaton,
+            parallelism=parallelism,
+            dense=dense,
+            warm_from=previous,
+            dirty_states=step.dirty_states if previous is not None else frozenset(),
+        )
+        checkers.append(checker)
+        previous = checker
+    return checkers
+
+
+@SETTINGS
+@given(model_evolutions(max_steps=3))
+def test_dense_solvers_equal_dict_solvers_cold(models):
+    """Same sat sets, same verdicts, same total work — the rewrite is invisible."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    for model in models:
+        composed = compose(client, cache.update(model).closure, semantics="strict")
+        dense = ModelChecker(composed, dense=True)
+        legacy = ModelChecker(composed, dense=False)
+        for formula in FORMULAS:
+            assert dense.sat(formula) == legacy.sat(formula), formula
+            assert dense.check(formula).holds == legacy.check(formula).holds
+        assert dense.stats.fixpoint_work == legacy.stats.fixpoint_work
+        assert dense.stats.dense_states == len(composed.states)
+        assert dense.stats.bitset_words == (len(composed.states) + 63) // 64
+        assert legacy.stats.dense_states == 0
+
+
+@SETTINGS
+@given(model_evolutions(min_steps=2, max_steps=4))
+def test_dense_warm_chain_equals_dict_warm_chain(models):
+    """Warm-started dense checkers mirror the dict engine along an evolution."""
+    dense_chain = _warm_chain(models, dense=True)
+    dict_chain = _warm_chain(models, dense=False)
+    for dense, legacy in zip(dense_chain, dict_chain):
+        for formula in FORMULAS:
+            assert dense.sat(formula) == legacy.sat(formula), formula
+        assert dense.stats.fixpoint_work == legacy.stats.fixpoint_work
+
+
+@SETTINGS
+@given(model_evolutions(max_steps=3), st.sampled_from([2, 4, 8]))
+def test_dense_sharding_conserves_work_and_sat_sets(models, shards):
+    """``id % K`` sharding: same sat sets and *total* work for every K.
+
+    Per-shard splits legitimately differ from the crc32 ownership of the
+    dict engine; what is conserved is the sum — every state is expanded
+    exactly once no matter who owns it.
+    """
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    for model in models:
+        composed = compose(client, cache.update(model).closure, semantics="strict")
+        lone = ModelChecker(composed, parallelism=1, dense=True)
+        sharded = ModelChecker(composed, parallelism=shards, dense=True)
+        legacy = ModelChecker(composed, parallelism=shards, dense=False)
+        for formula in FORMULAS:
+            expected = lone.sat(formula)
+            assert sharded.sat(formula) == expected, formula
+            assert legacy.sat(formula) == expected, formula
+        assert sharded.stats.fixpoint_work == lone.stats.fixpoint_work
+        assert sharded.stats.fixpoint_work == legacy.stats.fixpoint_work
+        assert sum(sharded.stats.shard_fixpoint_work) == sharded.stats.fixpoint_work
+
+
+def test_dense_inline_attribution_matches_rounds_protocol():
+    """Forcing the round-based scheduler changes nothing observable.
+
+    The inline dense solvers attribute per-shard work analytically; with
+    a forced strategy the genuine round protocol runs instead.  Both
+    must produce identical sat sets, per-shard work, and handoffs.
+    """
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    # Deterministic fixture instead of hypothesis: one rich composition.
+    closure = cache.update(_fixture_model()).closure
+    composed = compose(client, closure, semantics="strict")
+    inline = ModelChecker(composed, parallelism=4, dense=True)
+    rounds = ModelChecker(composed, parallelism=4, dense=True, strategy="sequential")
+    threads = ModelChecker(composed, parallelism=4, dense=True, strategy="thread")
+    for formula in FORMULAS:
+        expected = inline.sat(formula)
+        assert rounds.sat(formula) == expected, formula
+        assert threads.sat(formula) == expected, formula
+    assert tuple(rounds.stats.shard_fixpoint_work) == tuple(
+        inline.stats.shard_fixpoint_work
+    )
+    assert tuple(threads.stats.shard_fixpoint_work) == tuple(
+        inline.stats.shard_fixpoint_work
+    )
+    assert rounds.stats.shard_handoffs == inline.stats.shard_handoffs
+    assert threads.stats.shard_handoffs == inline.stats.shard_handoffs
+
+
+def _fixture_model():
+    from repro.automata import IncompleteAutomaton
+
+    return IncompleteAutomaton(
+        states=["q0", "q1", "q2"],
+        inputs={"ping"},
+        outputs={"pong"},
+        transitions=[
+            ("q0", ("ping",), ("pong",), "q1"),
+            ("q1", (), (), "q2"),
+            ("q2", ("ping",), (), "q0"),
+        ],
+        refusals=[("q1", ("ping",), ("pong",))],
+        initial=["q0"],
+        labels={"q0": {"p"}, "q1": {"q"}, "q2": {"p"}},
+        name="fixture",
+    )

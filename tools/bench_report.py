@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Run the incremental-loop benchmarks and write ``BENCH_loop.json``.
 
-Drives ``benchmarks/bench_incremental_loop.py`` under pytest-benchmark
-with ``--benchmark-json``, then normalizes the raw report into the
+Drives ``benchmarks/bench_incremental_loop.py`` and
+``benchmarks/bench_dense_core.py`` under pytest-benchmark with
+``--benchmark-json``, then normalizes the raw report into the
 compact, diffable shape the repository tracks::
 
     python tools/bench_report.py [--output BENCH_loop.json] [--keep-raw PATH]
@@ -26,19 +27,22 @@ import sys
 import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_incremental_loop.py"
+BENCH_FILES = (
+    REPO_ROOT / "benchmarks" / "bench_incremental_loop.py",
+    REPO_ROOT / "benchmarks" / "bench_dense_core.py",
+)
 
 #: Wall-time statistics copied verbatim from pytest-benchmark.
 _STATS = ("min", "max", "mean", "median", "stddev", "rounds", "iterations")
 
 
 def run_benchmarks(raw_path: pathlib.Path) -> None:
-    """Execute the bench module, writing pytest-benchmark's raw JSON."""
+    """Execute the bench modules, writing pytest-benchmark's raw JSON."""
     command = [
         sys.executable,
         "-m",
         "pytest",
-        str(BENCH_FILE),
+        *(str(path) for path in BENCH_FILES),
         "-q",
         "--benchmark-only",
         f"--benchmark-json={raw_path}",
@@ -98,6 +102,25 @@ def normalize(raw: dict) -> dict:
             "k4_vs_k1_speedup_median": (ck4 or {}).get("k4_vs_k1_speedup_median"),
             "checker_shard_handoffs_total": (ck4 or {}).get("checker_shard_handoffs_total"),
             "checker_fixpoint_work_total": (ck4 or {}).get("checker_fixpoint_work_total"),
+        }
+    fixpoint = report["benchmarks"].get("test_dense_fixpoint_speedup_10k")
+    convoy = report["benchmarks"].get("test_dense_convoy_checker_k4_vs_k1")
+    intern = report["benchmarks"].get("test_intern_throughput")
+    image = report["benchmarks"].get("test_predecessor_image_throughput")
+    if fixpoint is not None or convoy is not None:
+        report["dense"] = {
+            "have_numpy": (fixpoint or image or {}).get("have_numpy"),
+            "product_states": (fixpoint or {}).get("product_states"),
+            "dense_vs_dict_speedup_min": (fixpoint or {}).get("dense_vs_dict_speedup_min"),
+            "dense_vs_dict_speedup_median": (fixpoint or {}).get(
+                "dense_vs_dict_speedup_median"
+            ),
+            "speedup_floor": (fixpoint or {}).get("speedup_floor"),
+            "k4_vs_k1_best_paired": (convoy or {}).get("k4_vs_k1_best_paired"),
+            "k4_vs_k1_median_ratio": (convoy or {}).get("k4_vs_k1_median_ratio"),
+            "cold_states_per_second": (intern or {}).get("cold_states_per_second"),
+            "delta_states_per_second": (intern or {}).get("delta_states_per_second"),
+            "image_edges_per_second": (image or {}).get("image_edges_per_second"),
         }
     robust = report["benchmarks"].get("test_robust_overhead_guard")
     if robust is not None:
@@ -172,6 +195,14 @@ def main(argv: list[str] | None = None) -> None:
             f"{checker['k1_vs_sequential_best_paired']:.2f}x, "
             f"K=4 vs K=1 {checker['k4_vs_k1_speedup_min']:.2f}x (min) / "
             f"{checker['k4_vs_k1_speedup_median']:.2f}x (median)"
+        )
+    dense = report.get("dense", {})
+    if dense.get("dense_vs_dict_speedup_min") is not None:
+        print(
+            f"dense: sequential fixpoints {dense['dense_vs_dict_speedup_min']:.2f}x (min) / "
+            f"{dense['dense_vs_dict_speedup_median']:.2f}x (median) over dict solvers "
+            f"(numpy={dense['have_numpy']}), convoy checker K=4 vs K=1 best-paired "
+            f"{dense['k4_vs_k1_best_paired']:.2f}x"
         )
     robust = report.get("robust", {})
     if robust.get("robust_overhead_fraction") is not None:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate CI on the dense-core performance floors in ``BENCH_loop.json``.
+
+Reads the normalized report written by ``tools/bench_report.py`` and
+fails (exit 1) when the dense core misses its floors::
+
+    python tools/perf_gate.py BENCH_loop.json --min-speedup 3.0 --min-k4 1.0
+
+Two numbers are gated, both from the report's ``"dense"`` section:
+
+* ``dense_vs_dict_speedup_min`` — sequential dense fixpoints vs the
+  legacy dict solvers on the 10k-state product.  The floor is deliberately
+  below the tracked headline (≥5x with numpy) so scheduler noise on a
+  shared runner does not flake the job, while a real regression —
+  losing the numpy kernels, re-introducing per-layer conversions —
+  still trips it.  On a numpy-absent interpreter the honest stdlib
+  floor applies; pass ``--min-speedup`` accordingly.
+* ``k4_vs_k1_best_paired`` — the sharded checker at K=4 must beat K=1
+  in at least one paired convoy round (strictly greater than 1.0): the
+  ``id % K`` ownership makes sharding overhead-free, so losing every
+  round means the dense sharded path regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=pathlib.Path, help="normalized BENCH_loop.json")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="floor for dense_vs_dict_speedup_min (default: 3.0)",
+    )
+    parser.add_argument(
+        "--min-k4",
+        type=float,
+        default=1.0,
+        help="floor for k4_vs_k1_best_paired; the gate requires a strictly "
+        "greater value (default: 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = json.loads(args.report.read_text())
+    dense = report.get("dense")
+    if not dense:
+        print(f"perf gate: no 'dense' section in {args.report}", file=sys.stderr)
+        return 1
+
+    failures = []
+    speedup = dense.get("dense_vs_dict_speedup_min")
+    if speedup is None or speedup < args.min_speedup:
+        failures.append(
+            f"dense_vs_dict_speedup_min={speedup} below floor {args.min_speedup}"
+        )
+    k4 = dense.get("k4_vs_k1_best_paired")
+    if k4 is None or k4 <= args.min_k4:
+        failures.append(f"k4_vs_k1_best_paired={k4} not above {args.min_k4}")
+
+    if failures:
+        for failure in failures:
+            print(f"perf gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate OK: dense fixpoints {speedup:.2f}x (floor {args.min_speedup}), "
+        f"checker K=4 best-paired {k4:.3f}x (> {args.min_k4})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
