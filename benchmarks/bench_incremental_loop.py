@@ -424,6 +424,12 @@ NULL_TRACER_OVERHEAD_CEILING = 0.01
 JSONL_TRACER_OVERHEAD_CEILING = 0.10
 
 
+def _best_of(timed, repeats: int = 3) -> float:
+    """Best-of-N for a timed microbenchmark: the minimum is the least
+    noise-contaminated estimate of the true cost on a shared runner."""
+    return min(timed() for _ in range(repeats))
+
+
 def test_tracing_overhead_guard(benchmark):
     """Tracing must be free when off and cheap when on.
 
@@ -473,69 +479,93 @@ def test_tracing_overhead_guard(benchmark):
                 jsonl_times.append(time.perf_counter() - t0)
             spans_per_run = span_count[0]
 
-            # Per-span costs in both modes, with representative args.
+            # Per-span costs in both modes, with representative args —
+            # best of three timed blocks each, so a single GC pause or
+            # scheduler hiccup cannot inflate the estimate.
             cycles = 100_000
-            t0 = time.perf_counter()
-            for _ in range(cycles):
-                with NULL_TRACER.span("overhead.probe", kind="null"):
-                    pass
-            per_null_call = (time.perf_counter() - t0) / cycles
+
+            def time_null() -> float:
+                t0 = time.perf_counter()
+                for _ in range(cycles):
+                    with NULL_TRACER.span("overhead.probe", kind="null"):
+                        pass
+                return (time.perf_counter() - t0) / cycles
+
             active = Tracer(sink=sink)
-            t0 = time.perf_counter()
-            for _ in range(cycles):
-                with active.span("overhead.probe", solve="reach", domain=512):
-                    pass
-            per_active_call = (time.perf_counter() - t0) / cycles
+
+            def time_active() -> float:
+                t0 = time.perf_counter()
+                for _ in range(cycles):
+                    with active.span("overhead.probe", solve="reach", domain=512):
+                        pass
+                return (time.perf_counter() - t0) / cycles
+
+            per_null_call = _best_of(time_null)
+            per_active_call = _best_of(time_active)
         finally:
             handle.close()
             os.unlink(handle.name)
         return results, null_times, jsonl_times, spans_per_run, per_null_call, per_active_call
 
-    results, null_times, jsonl_times, spans_per_run, per_null_call, per_active_call = (
-        benchmark.pedantic(measure, rounds=1, iterations=1)
-    )
-    null_result, jsonl_result = results["null"], results["jsonl"]
-    assert null_result.verdict is jsonl_result.verdict is Verdict.PROVEN
-    assert null_result.iteration_count == jsonl_result.iteration_count >= 8
-    assert null_result.final_model == jsonl_result.final_model
-    assert spans_per_run > 0
+    # Best-of-N with one retry: a loaded CI runner can blow any single
+    # measurement; only a bound exceeded by two independent measurement
+    # passes is treated as a real regression.
+    sample = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for attempt in (1, 2):
+        results, null_times, jsonl_times, spans_per_run, per_null_call, per_active_call = sample
+        null_result, jsonl_result = results["null"], results["jsonl"]
+        assert null_result.verdict is jsonl_result.verdict is Verdict.PROVEN
+        assert null_result.iteration_count == jsonl_result.iteration_count >= 8
+        assert null_result.final_model == jsonl_result.final_model
+        assert spans_per_run > 0
 
-    null_fraction = spans_per_run * per_null_call / min(null_times)
-    jsonl_fraction = spans_per_run * per_active_call / min(null_times)
-    best_paired = min(j / n for j, n in zip(jsonl_times, null_times))
-    min_ratio = min(jsonl_times) / min(null_times)
-    benchmark.extra_info.update(
-        {
-            "mode": "tracing_overhead",
-            "convoy_ticks": SPEEDUP_TICKS,
-            "iterations": null_result.iteration_count,
-            "spans_per_run": spans_per_run,
-            "per_null_span_seconds": per_null_call,
-            "per_active_span_seconds": per_active_call,
-            "null_tracer_overhead_fraction": null_fraction,
-            "jsonl_tracer_overhead_fraction": jsonl_fraction,
-            "null_loop_seconds_min": min(null_times),
-            "jsonl_loop_seconds_min": min(jsonl_times),
-            "jsonl_vs_null_best_paired": best_paired,
-            "jsonl_vs_null_min_ratio": min_ratio,
-        }
-    )
-    assert null_fraction <= NULL_TRACER_OVERHEAD_CEILING, (
-        f"NullTracer overhead {null_fraction:.4%} of loop time exceeds the "
-        f"{NULL_TRACER_OVERHEAD_CEILING:.0%} ceiling "
-        f"({spans_per_run} spans × {per_null_call * 1e9:.0f}ns)"
-    )
-    assert jsonl_fraction <= JSONL_TRACER_OVERHEAD_CEILING, (
-        f"JSONL-streaming tracer overhead {jsonl_fraction:.2%} of loop time "
-        f"exceeds the {JSONL_TRACER_OVERHEAD_CEILING:.0%} ceiling "
-        f"({spans_per_run} spans × {per_active_call * 1e6:.1f}µs)"
-    )
-    # Gross-regression sanity bound on the end-to-end measurement only —
-    # wall-clock noise on shared runners dwarfs the asserted ceilings.
-    assert min_ratio <= 1.5, (
-        f"JSONL-streaming run {min_ratio:.2f}x the null run (min-vs-min) — "
-        f"far beyond per-span accounting; something pathological regressed"
-    )
+        null_fraction = spans_per_run * per_null_call / min(null_times)
+        jsonl_fraction = spans_per_run * per_active_call / min(null_times)
+        best_paired = min(j / n for j, n in zip(jsonl_times, null_times))
+        min_ratio = min(jsonl_times) / min(null_times)
+        benchmark.extra_info.update(
+            {
+                "mode": "tracing_overhead",
+                "convoy_ticks": SPEEDUP_TICKS,
+                "iterations": null_result.iteration_count,
+                "spans_per_run": spans_per_run,
+                "per_null_span_seconds": per_null_call,
+                "per_active_span_seconds": per_active_call,
+                "null_tracer_overhead_fraction": null_fraction,
+                "jsonl_tracer_overhead_fraction": jsonl_fraction,
+                "null_loop_seconds_min": min(null_times),
+                "jsonl_loop_seconds_min": min(jsonl_times),
+                "jsonl_vs_null_best_paired": best_paired,
+                "jsonl_vs_null_min_ratio": min_ratio,
+                "measurement_attempts": attempt,
+            }
+        )
+        within_bounds = (
+            null_fraction <= NULL_TRACER_OVERHEAD_CEILING
+            and jsonl_fraction <= JSONL_TRACER_OVERHEAD_CEILING
+            and min_ratio <= 1.5
+        )
+        if within_bounds:
+            break
+        if attempt == 1:
+            sample = measure()  # retry once off-benchmark with fresh timings
+            continue
+        assert null_fraction <= NULL_TRACER_OVERHEAD_CEILING, (
+            f"NullTracer overhead {null_fraction:.4%} of loop time exceeds the "
+            f"{NULL_TRACER_OVERHEAD_CEILING:.0%} ceiling on both attempts "
+            f"({spans_per_run} spans × {per_null_call * 1e9:.0f}ns)"
+        )
+        assert jsonl_fraction <= JSONL_TRACER_OVERHEAD_CEILING, (
+            f"JSONL-streaming tracer overhead {jsonl_fraction:.2%} of loop time "
+            f"exceeds the {JSONL_TRACER_OVERHEAD_CEILING:.0%} ceiling on both "
+            f"attempts ({spans_per_run} spans × {per_active_call * 1e6:.1f}µs)"
+        )
+        # Gross-regression sanity bound on the end-to-end measurement only —
+        # wall-clock noise on shared runners dwarfs the asserted ceilings.
+        assert min_ratio <= 1.5, (
+            f"JSONL-streaming run {min_ratio:.2f}x the null run (min-vs-min) — "
+            f"far beyond per-span accounting; something pathological regressed"
+        )
 
 
 #: Ceiling asserted by :func:`test_robust_overhead_guard`.
@@ -571,47 +601,64 @@ def test_robust_overhead_guard(benchmark):
         case = test_case_from_trace([Interaction()] * 4, name="overhead.probe")
         executor = RobustExecutor()
         cycles = 2_000
-        t0 = time.perf_counter()
-        for _ in range(cycles):
-            execute_test(component, case, port="rearRole")
-        per_raw = (time.perf_counter() - t0) / cycles
-        t0 = time.perf_counter()
-        for _ in range(cycles):
-            executor.execute(component, case, port="rearRole")
-        per_supervised = (time.perf_counter() - t0) / cycles
+
+        def time_raw() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                execute_test(component, case, port="rearRole")
+            return (time.perf_counter() - t0) / cycles
+
+        def time_supervised() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                executor.execute(component, case, port="rearRole")
+            return (time.perf_counter() - t0) / cycles
+
+        # Best-of-three per mode: one preempted block must not fake a
+        # supervision regression.
+        per_raw = _best_of(time_raw)
+        per_supervised = _best_of(time_supervised)
         return result, loop_times, per_raw, per_supervised
 
-    result, loop_times, per_raw, per_supervised = benchmark.pedantic(
-        measure, rounds=1, iterations=1
-    )
-    assert result.verdict is Verdict.PROVEN
-    assert result.iteration_count >= 8
-    # The fault-free loop retries nothing, quarantines nothing.
-    assert result.total_test_retries == 0
-    assert result.total_inconclusive == 0
-    assert result.quarantined == ()
+    # Best-of-N with one retry, mirroring the tracing guard: fail only
+    # if the ceiling is exceeded by two independent measurement passes.
+    sample = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for attempt in (1, 2):
+        result, loop_times, per_raw, per_supervised = sample
+        assert result.verdict is Verdict.PROVEN
+        assert result.iteration_count >= 8
+        # The fault-free loop retries nothing, quarantines nothing.
+        assert result.total_test_retries == 0
+        assert result.total_inconclusive == 0
+        assert result.quarantined == ()
 
-    tests_per_run = result.total_tests
-    per_test_overhead = max(per_supervised - per_raw, 0.0)
-    robust_fraction = tests_per_run * per_test_overhead / min(loop_times)
-    benchmark.extra_info.update(
-        {
-            "mode": "robust_overhead",
-            "convoy_ticks": SPEEDUP_TICKS,
-            "iterations": result.iteration_count,
-            "tests_per_run": tests_per_run,
-            "per_raw_execute_seconds": per_raw,
-            "per_supervised_execute_seconds": per_supervised,
-            "per_test_overhead_seconds": per_test_overhead,
-            "robust_overhead_fraction": robust_fraction,
-            "loop_seconds_min": min(loop_times),
-        }
-    )
-    assert robust_fraction <= ROBUST_OVERHEAD_CEILING, (
-        f"fault-free RobustExecutor overhead {robust_fraction:.2%} of loop time "
-        f"exceeds the {ROBUST_OVERHEAD_CEILING:.0%} ceiling "
-        f"({tests_per_run} tests × {per_test_overhead * 1e6:.1f}µs)"
-    )
+        tests_per_run = result.total_tests
+        per_test_overhead = max(per_supervised - per_raw, 0.0)
+        robust_fraction = tests_per_run * per_test_overhead / min(loop_times)
+        benchmark.extra_info.update(
+            {
+                "mode": "robust_overhead",
+                "convoy_ticks": SPEEDUP_TICKS,
+                "iterations": result.iteration_count,
+                "tests_per_run": tests_per_run,
+                "per_raw_execute_seconds": per_raw,
+                "per_supervised_execute_seconds": per_supervised,
+                "per_test_overhead_seconds": per_test_overhead,
+                "robust_overhead_fraction": robust_fraction,
+                "loop_seconds_min": min(loop_times),
+                "measurement_attempts": attempt,
+            }
+        )
+        if robust_fraction <= ROBUST_OVERHEAD_CEILING:
+            break
+        if attempt == 1:
+            sample = measure()  # retry once off-benchmark with fresh timings
+            continue
+        assert robust_fraction <= ROBUST_OVERHEAD_CEILING, (
+            f"fault-free RobustExecutor overhead {robust_fraction:.2%} of loop "
+            f"time exceeds the {ROBUST_OVERHEAD_CEILING:.0%} ceiling on both "
+            f"attempts ({tests_per_run} tests × {per_test_overhead * 1e6:.1f}µs)"
+        )
 
 
 def test_loop_incremental_multi_legacy(benchmark):

@@ -5,11 +5,26 @@ beginning" — swept here over seeded random deterministic components and
 random mutants of the correct chain server: for every single one, the
 synthesis verdict must equal the white-box ground truth of
 ``context ∥ M_r ⊨ φ ∧ ¬δ``.
+
+The scenario-factory sweeps below generalize the same claim across the
+generated architecture space (multi-slot, joint, planted violations,
+clocked and unclocked properties) and across the full configuration
+matrix — incremental/dense/sharded/chaos — including a scenario sized
+past ``DENSE_STATE_FLOOR`` so the adaptive dense core is differentially
+tested in both regimes.  ``tools/campaign.py`` runs the same harness at
+thousand-scenario scale.
 """
 
 from repro.automata import compose
+from repro.automata.interning import DENSE_STATE_FLOOR
 from repro.logic import ModelChecker, parse
 from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
+from repro.testing import (
+    LARGE_EVERY,
+    evaluate_scenario,
+    generate_scenario,
+    ground_truth,
+)
 from repro.workloads import (
     chain_server,
     mutate_component,
@@ -65,3 +80,47 @@ def test_mutant_sweep_soundness(benchmark):
     assert proven > 0 and violated > 0
     for seed, verdict, ground in outcomes:
         assert (verdict is Verdict.PROVEN) == ground, f"mutant seed {seed}"
+
+
+def test_scenario_matrix_soundness(benchmark):
+    """Factory scenarios × full config matrix: zero disagreements.
+
+    Every generated scenario carries a certified known answer; every
+    configuration's verdict (and the derived overall verdict) must match
+    the independently re-derived full-composition truth.
+    """
+
+    def sweep():
+        return [evaluate_scenario(generate_scenario(seed, profile="tiny"))
+                for seed in range(1, 13)]
+
+    evaluations = benchmark(sweep)
+    kinds = {evaluation.truth["scenario"] for evaluation in evaluations}
+    assert kinds == {"proven", "violation"}  # both answers represented
+    for evaluation in evaluations:
+        assert evaluation.ok, (evaluation.spec.seed, evaluation.disagreements)
+
+
+def test_scenario_dense_boundary_soundness(benchmark):
+    """A dense-floor-crossing scenario agrees across the matrix.
+
+    Seed ``LARGE_EVERY`` generates a counter client big enough that the
+    first verify iteration composes a product beyond
+    ``DENSE_STATE_FLOOR``, so dense-on, dense-off, and the adaptive
+    default are all exercised against the same ground truth.
+    """
+
+    def run():
+        scenario = generate_scenario(LARGE_EVERY, profile="default")
+        states = sum(
+            len(scenario.contexts[slot.name].states)
+            for slot in scenario.spec.slots
+        )
+        return scenario, states, evaluate_scenario(scenario)
+
+    scenario, client_states, evaluation = benchmark(run)
+    assert client_states > DENSE_STATE_FLOOR / 4  # composed product crosses it
+    assert ground_truth(scenario)["scenario"] == scenario.spec.expectation
+    assert evaluation.ok, evaluation.disagreements
+    degraded_configs = {entry.split(":")[0] for entry in evaluation.degraded}
+    assert all("chaos" in entry for entry in degraded_configs)  # only faulted configs may degrade

@@ -69,7 +69,7 @@ from .sharding import (
     select_strategy,
     shard_of,
 )
-from .transform import complete, hide, minimize, rename_signals, restrict
+from .transform import complete, hide, minimize, pad_states, rename_signals, restrict
 
 __all__ = [
     "Automaton",
@@ -139,5 +139,6 @@ __all__ = [
     "hide",
     "complete",
     "minimize",
+    "pad_states",
     "to_dot",
 ]

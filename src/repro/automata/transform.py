@@ -15,7 +15,7 @@ from ..errors import ModelError
 from .automaton import Automaton, State, Transition
 from .interaction import Interaction, InteractionUniverse
 
-__all__ = ["restrict", "rename_signals", "hide", "complete", "minimize"]
+__all__ = ["restrict", "rename_signals", "hide", "complete", "minimize", "pad_states"]
 
 
 def hide(automaton: Automaton, signals: Iterable[str], *, name: str | None = None) -> Automaton:
@@ -160,6 +160,58 @@ def complete(
         initial=automaton.initial,
         labels=labels,
         name=name if name is not None else f"{automaton.name}^c",
+    )
+
+
+def pad_states(
+    automaton: Automaton,
+    count: int,
+    *,
+    seed: int = 0,
+    prefix: str = "pad",
+    name: str | None = None,
+) -> Automaton:
+    """Add ``count`` unreachable chaff states with seeded random wiring.
+
+    The paper's "overbuilt" legacy components carry behavior the context
+    never exercises; this hook manufactures that situation for generated
+    scenarios: the pad states form their own random subgraph (strong
+    determinism preserved — at most one reaction per ``(state, inputs)``
+    pair) but are unreachable from the initial states, so the language,
+    labeling, and every verdict over the original part are untouched
+    while ``|S|`` — and with it any state-count heuristic such as the
+    dense-core floor or an assumed L* state bound — grows.
+    """
+    import random
+
+    if count < 0:
+        raise ModelError("pad count must be non-negative")
+    if count == 0:
+        return automaton
+    rng = random.Random(seed)
+    pads = [f"{prefix}{index}" for index in range(count)]
+    taken = set(automaton.states)
+    for pad in pads:
+        if pad in taken:
+            raise ModelError(f"pad state {pad!r} already exists in {automaton.name!r}")
+    input_sets = [frozenset()] + [frozenset({signal}) for signal in sorted(automaton.inputs)]
+    output_sets = [frozenset()] + [frozenset({signal}) for signal in sorted(automaton.outputs)]
+    transitions = list(automaton.transitions)
+    for pad in pads:
+        for input_set in input_sets:
+            if rng.random() < 0.5:
+                continue
+            transitions.append(
+                Transition(pad, Interaction(input_set, rng.choice(output_sets)), rng.choice(pads))
+            )
+    return Automaton(
+        states=list(automaton.states) + pads,
+        inputs=automaton.inputs,
+        outputs=automaton.outputs,
+        transitions=transitions,
+        initial=automaton.initial,
+        labels=automaton.label_map,
+        name=name if name is not None else f"{automaton.name}+{count}pad",
     )
 
 

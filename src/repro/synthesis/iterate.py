@@ -350,7 +350,8 @@ class IntegrationSynthesizer:
         self.tracer = resolve_tracer(settings.tracer)
         self.context = context
         fault_profile = settings.resolved_fault_profile()
-        if fault_profile is not None and fault_profile.active:
+        self._chaos = fault_profile is not None and fault_profile.active
+        if self._chaos:
             # Chaos harness: wrap the component so the robust executor can
             # arm seed-driven fault injection around each supervised test.
             # Transparent everywhere else (knowledge validation, probing,
@@ -727,6 +728,25 @@ class IntegrationSynthesizer:
                     # argument.  Inconclusive-only iterations are allowed to
                     # continue — the retry happens under the iteration
                     # budget, so degradation stays bounded.
+                    if self._chaos:
+                        # Under fault injection §4.4's premises fail: a
+                        # silent crash-reset inside a long output-free run
+                        # is observationally clean (nothing to contradict)
+                        # yet erases the progress the counterexample needed,
+                        # so the iteration legitimately learns nothing.  The
+                        # sound degraded answer is inconclusive, never a
+                        # crash — found by the randomized conformance
+                        # campaign on dense-floor scenarios.
+                        return SynthesisResult(
+                            verdict=Verdict.BUDGET_EXCEEDED,
+                            property=self.property,
+                            iterations=tuple(records),
+                            final_model=model,
+                            final_closure=closure,
+                            violation_witness=None,
+                            violation_kind=None,
+                            quarantined=self.quarantine.unresolved(),
+                        )
                     raise SynthesisError(
                         f"iteration {index} made no learning progress on {cex} — "
                         "this contradicts §4.4's termination argument and indicates "

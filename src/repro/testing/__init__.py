@@ -19,6 +19,25 @@ from .monitor import (
 )
 from .replay import ReplayResult, replay
 from .robust import Quarantine, RetryPolicy, RobustExecution, RobustExecutor
+from .scenario import (
+    LARGE_EVERY,
+    CampaignConfig,
+    ConfigOutcome,
+    Scenario,
+    ScenarioEvaluation,
+    ScenarioSpec,
+    SlotSpec,
+    baseline_verdicts,
+    build_scenario,
+    default_matrix,
+    evaluate_scenario,
+    full_matrix,
+    generate_scenario,
+    ground_truth,
+    run_scenario,
+    spec_fingerprint,
+)
+from .shrink import ddmin, disagreement_predicate, shrink_scenario
 from .suite import Coverage, SuiteReport, generate_suite, run_suite
 from .tracelog import parse_events, run_from_events
 from .testcase import TestCase, TestStep, test_case_from_counterexample, test_case_from_trace
@@ -55,4 +74,23 @@ __all__ = [
     "render_events",
     "parse_events",
     "run_from_events",
+    "ScenarioSpec",
+    "SlotSpec",
+    "Scenario",
+    "CampaignConfig",
+    "ConfigOutcome",
+    "ScenarioEvaluation",
+    "build_scenario",
+    "generate_scenario",
+    "ground_truth",
+    "run_scenario",
+    "default_matrix",
+    "full_matrix",
+    "evaluate_scenario",
+    "baseline_verdicts",
+    "spec_fingerprint",
+    "LARGE_EVERY",
+    "ddmin",
+    "disagreement_predicate",
+    "shrink_scenario",
 ]

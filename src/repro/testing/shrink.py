@@ -1,0 +1,228 @@
+"""Delta-debugging shrinker for failing conformance scenarios.
+
+When the campaign (:mod:`tools.campaign <tools.campaign>`) finds a
+scenario where some configuration of the synthesis loop — or a baseline
+learner — disagrees with full-composition ground truth, the raw witness
+is usually too large to read: hundreds of driver states, several slots,
+chaff padding.  :func:`shrink_scenario` minimizes it with classic ddmin
+(Zeller & Hildebrandt) over three nested granularities:
+
+1. **slots** — drop whole legacy slots (and the joint flag) while the
+   failure persists;
+2. **hidden transitions** — per slot, remove transitions of the hidden
+   component;
+3. **client transitions** — per slot, remove transitions of the driver.
+
+A candidate spec that no longer *builds* (the reduced automaton loses
+determinism, its initial state, or interface consistency) simply counts
+as non-failing, so the shrinker never needs domain knowledge about
+which reductions are structurally legal.
+
+The predicate is explicit: callers describe the disagreement they are
+chasing as ``failing(spec) -> bool``.  :func:`disagreement_predicate`
+builds the standard one (any matrix/baseline disagreement against
+freshly derived ground truth — deliberately ignoring the spec's *stored*
+expectation, which shrinking invalidates).  The shrunk spec is
+re-certified before it is returned: every slot expectation and the
+overall expectation are re-stamped from full-composition model checking,
+so committed fixtures always carry a true known answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import replace
+
+from ..errors import ModelError, SynthesisError
+from ..logic.parser import parse
+from .scenario import (
+    PROVEN,
+    VIOLATION,
+    CampaignConfig,
+    ScenarioSpec,
+    SlotSpec,
+    _slot_truth,
+    build_scenario,
+    evaluate_scenario,
+)
+
+__all__ = ["ddmin", "disagreement_predicate", "shrink_scenario"]
+
+
+def ddmin(items: Sequence, fails: Callable[[list], bool]) -> list:
+    """Zeller's ddmin: a minimal failing sublist of ``items``.
+
+    ``fails`` receives candidate sublists (in original order) and must
+    be deterministic.  The full list is assumed failing; the result is
+    1-minimal — removing any single element makes the failure vanish.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        subsets = [items[at : at + chunk] for at in range(0, len(items), chunk)]
+        reduced = False
+        for index, subset in enumerate(subsets):
+            complement = [
+                item
+                for other, subset_ in enumerate(subsets)
+                if other != index
+                for item in subset_
+            ]
+            if complement and fails(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if fails(subset):
+                items = subset
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def disagreement_predicate(
+    configs: "tuple[CampaignConfig, ...] | None" = None,
+    *,
+    with_baselines: bool = False,
+) -> Callable[[ScenarioSpec], bool]:
+    """The standard failure predicate: any matrix/baseline disagreement.
+
+    Ground truth is derived fresh for every candidate (the candidate's
+    stored expectations are stale mid-shrink and are ignored); a
+    candidate that cannot be built or run counts as non-failing.
+    """
+
+    def failing(spec: ScenarioSpec) -> bool:
+        try:
+            evaluation = evaluate_scenario(
+                build_scenario(spec), configs, with_baselines=with_baselines
+            )
+        except (ModelError, SynthesisError):
+            return False
+        real = [
+            entry
+            for entry in evaluation.disagreements
+            if not entry.startswith("spec expectation")
+        ]
+        return bool(real)
+
+    return failing
+
+
+def _with_transitions(payload: dict, transitions: list) -> dict:
+    """A copy of a serialized automaton with a reduced transition list.
+
+    States that no longer appear in any transition (and are not
+    initial) are pruned alongside, so the shrunk fixture does not carry
+    orphan states; labels follow the surviving states.
+    """
+    used = set(payload["initial"])
+    for source, _interaction, target in transitions:
+        used.add(source)
+        used.add(target)
+    return {
+        "name": payload["name"],
+        "inputs": payload["inputs"],
+        "outputs": payload["outputs"],
+        "states": [state for state in payload["states"] if state in used],
+        "initial": payload["initial"],
+        "transitions": transitions,
+        "labels": {
+            state: props
+            for state, props in payload.get("labels", {}).items()
+            if state in used
+        },
+    }
+
+
+def _restamp(spec: ScenarioSpec) -> ScenarioSpec:
+    """Re-certify expectations by full-composition model checking."""
+    scenario = build_scenario(spec)
+    slots = tuple(
+        replace(
+            slot,
+            expectation=_slot_truth(
+                scenario.contexts[slot.name],
+                scenario.hiddens[slot.name],
+                parse(slot.property),
+            ),
+        )
+        for slot in spec.slots
+    )
+    overall = (
+        PROVEN if all(slot.expectation == PROVEN for slot in slots) else VIOLATION
+    )
+    return replace(spec, slots=slots, expectation=overall)
+
+
+def shrink_scenario(
+    spec: ScenarioSpec,
+    failing: Callable[[ScenarioSpec], bool],
+    *,
+    max_passes: int = 4,
+) -> ScenarioSpec:
+    """Minimize a failing scenario spec while ``failing`` stays true.
+
+    Alternates slot-level and transition-level ddmin until a whole pass
+    makes no progress (or ``max_passes`` is hit), then re-stamps the
+    known answer.  Raises :class:`ModelError` if ``spec`` itself is not
+    failing — shrinking a passing scenario indicates a harness bug.
+    """
+    if not failing(spec):
+        raise ModelError(f"scenario {spec.name!r} is not failing; nothing to shrink")
+
+    def guarded(candidate: ScenarioSpec) -> bool:
+        try:
+            build_scenario(candidate)
+        except (ModelError, SynthesisError):
+            return False
+        return failing(candidate)
+
+    current = spec
+    for _ in range(max_passes):
+        before = current
+
+        # Pass 1: fewer slots (renaming is deliberately left alone so the
+        # surviving slot keeps its original identity in the fixture).
+        if len(current.slots) > 1:
+            kept = ddmin(
+                list(current.slots),
+                lambda slots: guarded(replace(current, slots=tuple(slots))),
+            )
+            current = replace(current, slots=tuple(kept))
+        if current.joint:
+            flat = replace(current, joint=False)
+            if guarded(flat):
+                current = flat
+
+        # Pass 2 + 3: per slot, fewer hidden then fewer client transitions.
+        for index, slot in enumerate(current.slots):
+            for field in ("hidden", "client"):
+                payload = getattr(slot, field)
+
+                def rebuilt(transitions: list) -> ScenarioSpec:
+                    reduced = replace(
+                        slot, **{field: _with_transitions(payload, transitions)}
+                    )
+                    slots = list(current.slots)
+                    slots[index] = reduced
+                    return replace(current, slots=tuple(slots))
+
+                kept = ddmin(
+                    list(payload["transitions"]),
+                    lambda transitions: guarded(rebuilt(transitions)),
+                )
+                if len(kept) < len(payload["transitions"]):
+                    current = rebuilt(kept)
+                    slot = current.slots[index]
+
+        if current == before:
+            break
+
+    return _restamp(current)

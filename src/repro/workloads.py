@@ -30,6 +30,8 @@ __all__ = [
     "mutate_component",
     "ping_client",
     "chain_server",
+    "counter_client",
+    "latency_server",
 ]
 
 
@@ -101,7 +103,9 @@ def mutate_component(
     """
     rng = random.Random(seed)
     hidden = component._hidden
-    transitions = list(hidden.transitions)
+    # ordered_transitions, not the transitions frozenset: victim selection
+    # must not depend on PYTHONHASHSEED for mutants to be reproducible.
+    transitions = list(hidden.ordered_transitions)
     if not transitions:
         raise ModelError("cannot mutate a component without transitions")
     states = sorted(hidden.states, key=repr)
@@ -149,6 +153,89 @@ def ping_client(*, name: str = "client") -> Automaton:
         labels={"idle": {f"{name}.idle"}, "waiting": {f"{name}.waiting"}},
         name=name,
     )
+
+
+def counter_client(
+    period: int,
+    *,
+    ping: str = "ping",
+    pong: str = "pong",
+    prefix: str = "client",
+    name: str | None = None,
+) -> Automaton:
+    """A strictly periodic client: ping every ``period`` steps, await pong.
+
+    Unlike :func:`ping_client` (which may idle nondeterministically) the
+    counter client is deterministic, so its state count — ``period + 1``
+    — scales the composed product directly: with ``period`` in the high
+    hundreds a scenario's very first verify iteration crosses the
+    dense-core boundary (:data:`repro.automata.interning.DENSE_STATE_FLOOR`).
+    States are labeled ``{prefix}.idle`` / ``{prefix}.waiting`` so
+    bounded-response properties read the same as for the plain client.
+    """
+    if period < 1:
+        raise ModelError("period must be positive")
+    width = len(str(period - 1))
+    idle = [f"idle{index:0{width}d}" for index in range(period)]
+    transitions = []
+    for index in range(period - 1):
+        transitions.append((idle[index], (), (), idle[index + 1]))
+    transitions.append((idle[-1], (), (ping,), "waiting"))
+    transitions.append(("waiting", (pong,), (), idle[0]))
+    transitions.append(("waiting", (), (), "waiting"))
+    labels = {state: {f"{prefix}.idle"} for state in idle}
+    labels["waiting"] = {f"{prefix}.waiting"}
+    return Automaton(
+        inputs={pong},
+        outputs={ping},
+        transitions=transitions,
+        initial=[idle[0]],
+        labels=labels,
+        name=name if name is not None else f"{prefix}(counter-{period})",
+    )
+
+
+def latency_server(
+    latencies: "Iterable[int]",
+    *,
+    ping: str = "ping",
+    pong: str = "pong",
+    name: str = "server",
+) -> LegacyComponent:
+    """A server answering round ``i``'s ping after ``latencies[i]`` periods.
+
+    Generalizes :func:`chain_server` (all latencies 1): the server cycles
+    through the rounds; in round ``i`` it consumes a ping, waits
+    ``latencies[i] - 1`` further periods, then emits the pong.  Bounded
+    response ``AG (waiting -> AF[1,B] idle)`` against a ping client holds
+    iff every latency is ``<= B`` — which is how the scenario factory
+    plants property violations with a known answer: one slow round
+    beyond the bound, reachable because the rounds cycle.
+    """
+    rounds = [int(latency) for latency in latencies]
+    if not rounds:
+        raise ModelError("need at least one round")
+    if any(latency < 1 for latency in rounds):
+        raise ModelError("latencies must be positive")
+    transitions = []
+    for index, latency in enumerate(rounds):
+        ready = f"ready{index}"
+        following = f"ready{(index + 1) % len(rounds)}"
+        transitions.append((ready, (), (), ready))
+        # Consume the ping now; emit the pong ``latency`` periods later
+        # (latency 1 is exactly chain_server's ready -> busy -> ready).
+        transitions.append((ready, (ping,), (), f"wait{index}.1"))
+        for tick in range(1, latency):
+            transitions.append((f"wait{index}.{tick}", (), (), f"wait{index}.{tick + 1}"))
+        transitions.append((f"wait{index}.{latency}", (), (pong,), following))
+    hidden = Automaton(
+        inputs={ping},
+        outputs={pong},
+        transitions=transitions,
+        initial=["ready0"],
+        name=f"{name}(latency-{'-'.join(map(str, rounds))})",
+    )
+    return LegacyComponent(hidden, name=name)
 
 
 def chain_server(length: int, *, name: str = "server") -> LegacyComponent:

@@ -433,3 +433,45 @@ def _fixture_model():
         labels={"q0": {"p"}, "q1": {"q"}, "q2": {"p"}},
         name="fixture",
     )
+
+
+def test_interner_extend_with_empty_batch_is_identity():
+    """An empty warm-start batch adds nothing and renumbers nothing."""
+    interner = StateInterner(["b", "a"])
+    snapshot = {state: interner.id_of(state) for state in ("a", "b")}
+    assert interner.extend([]) == 0
+    assert interner.extend(iter(())) == 0  # exhausted iterator, same deal
+    assert len(interner) == 2
+    for state, ident in snapshot.items():
+        assert interner.id_of(state) == ident
+    # An empty interner extended by nothing stays empty.
+    fresh = StateInterner()
+    assert fresh.extend([]) == 0
+    assert len(fresh) == 0
+
+
+def test_interner_extend_repeating_known_states_is_identity():
+    """Re-interning already-known states must not mint or move ids."""
+    interner = StateInterner(["b", "a", "c"])
+    snapshot = {state: interner.id_of(state) for state in ("a", "b", "c")}
+    # Warm-start batches that only repeat known states, with duplicates
+    # and in hostile orders.
+    for batch in (["a"], ["c", "a"], ["b", "b", "b"], ["c", "b", "a", "a"]):
+        assert interner.extend(batch) == 0
+        assert len(interner) == 3
+    for state, ident in snapshot.items():
+        assert interner.id_of(state) == ident
+
+
+def test_interner_extend_mixed_batch_keeps_known_ids_stable():
+    """A batch mixing known and fresh states: known ids pinned, fresh
+    ids appended as a contiguous repr-sorted block after the old ones."""
+    interner = StateInterner(["b", "a"])
+    assert (interner.id_of("a"), interner.id_of("b")) == (0, 1)
+    added = interner.extend(["b", "z", "a", "y", "a"])
+    assert added == 2
+    assert (interner.id_of("a"), interner.id_of("b")) == (0, 1)
+    assert (interner.id_of("y"), interner.id_of("z")) == (2, 3)
+    # A second identical batch is now a pure repeat: full identity.
+    assert interner.extend(["b", "z", "a", "y", "a"]) == 0
+    assert [interner.resolve(i) for i in range(4)] == ["a", "b", "y", "z"]

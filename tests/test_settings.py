@@ -17,6 +17,7 @@ import pytest
 from repro import railcab
 from repro.errors import SynthesisError
 from repro.integration import SynthesisSettings, integrate
+from repro.automata.interning import DENSE_STATE_FLOOR
 from repro.legacy import interface_of
 from repro.synthesis import IntegrationSynthesizer, Verdict
 from repro.synthesis.multi import MultiLegacySynthesizer
@@ -272,3 +273,36 @@ class TestIntegrateForwarding:
         result = report.placements["follower"]
         assert all(r.product_shards == 2 for r in result.iterations)
         assert all(r.checker_shards == 2 for r in result.iterations)
+
+
+# ------------------------------------------------------- dense resolution
+
+
+class TestResolvedDense:
+    """``resolved_dense`` at the exact adaptive boundary and under env."""
+
+    def test_adaptive_boundary_is_exactly_the_floor(self):
+        settings = SynthesisSettings()  # dense=None: adaptive
+        assert DENSE_STATE_FLOOR == 2048  # the documented contract
+        assert settings.resolved_dense(DENSE_STATE_FLOOR - 1) is False
+        assert settings.resolved_dense(DENSE_STATE_FLOOR) is True
+        assert settings.resolved_dense(DENSE_STATE_FLOOR + 1) is True
+
+    def test_unknown_state_count_defaults_dense(self):
+        # No size estimate: the dense core is the safe default.
+        assert SynthesisSettings().resolved_dense(None) is True
+
+    def test_env_overrides_adaptive_default(self, monkeypatch):
+        settings = SynthesisSettings()
+        monkeypatch.setenv("REPRO_DENSE", "1")
+        assert settings.resolved_dense(DENSE_STATE_FLOOR - 1) is True
+        assert settings.resolved_dense(1) is True
+        monkeypatch.setenv("REPRO_DENSE", "0")
+        assert settings.resolved_dense(DENSE_STATE_FLOOR) is False
+        assert settings.resolved_dense(10**6) is False
+
+    def test_explicit_setting_beats_env_and_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE", "0")
+        assert SynthesisSettings(dense=True).resolved_dense(1) is True
+        monkeypatch.setenv("REPRO_DENSE", "1")
+        assert SynthesisSettings(dense=False).resolved_dense(10**6) is False
