@@ -31,8 +31,25 @@ under the ``"dense"`` key of ``BENCH_loop.json``:
     attribution makes sharding overhead-free, so K>1 no longer loses
     wall-clock the way the crc32/dict protocol did.
 
+``test_dense_product_bfs_vs_dict_k1``
+    The product-BFS regime claim: the id-space exploration of
+    :class:`~repro.automata.incremental.IncrementalProduct` (interned
+    joint states, byte-flag visited buffers, ``array('I')`` edge
+    targets) must not lose to the legacy dict cache at K=1 on the
+    convoy-loop usage pattern — one cold exploration plus one
+    mostly-warm update per learning iteration.  Automata and work
+    counters are asserted identical on every paired round.
+
+``test_dense_product_convoy_k4_vs_k1``
+    The product sharding claim: K=4 dense product BFS under the
+    automatically selected strategy (the chained single-worklist
+    schedule with analytic ``id % K`` attribution at convoy scale)
+    must beat K=1 on at least one paired round — the regression this
+    guards against is the crc32/dict-era product sharding at 0.48–0.68x
+    of K=1.
+
 ``tools/bench_report.py`` normalizes this module's output into the
-``"dense"`` section of ``BENCH_loop.json``.
+``"dense"`` and ``"dense_product"`` sections of ``BENCH_loop.json``.
 """
 
 from __future__ import annotations
@@ -42,6 +59,7 @@ import time
 
 from repro import railcab
 from repro.automata import Automaton, StateInterner
+from repro.automata.incremental import IncrementalProduct
 from repro.automata.interning import HAVE_NUMPY, DenseGraph
 from repro.logic import AF, AG, AU, EF, EG, EU, Interval, ModelChecker, Not, Or, Prop
 from repro.synthesis import IntegrationSynthesizer, SynthesisSettings, Verdict
@@ -57,6 +75,11 @@ SPEEDUP_FLOOR = 5.0 if HAVE_NUMPY else 2.0
 
 #: Convoy length for the K=4 vs K=1 comparison (~70 loop iterations).
 CONVOY_TICKS = 32
+
+#: Warm updates measured after the cold exploration in the product-BFS
+#: benchmarks — the loop's pattern: one cold product per run, then one
+#: mostly-warm update per learning iteration.
+PRODUCT_WARM_UPDATES = 8
 
 
 def _synthetic_product(n: int = PRODUCT_STATES) -> Automaton:
@@ -293,5 +316,178 @@ def test_dense_convoy_checker_k4_vs_k1(benchmark):
     )
     assert best_paired > 1.0, (
         f"dense K=4 checker never beat K=1 in any paired round "
+        f"(best paired ratio {best_paired:.3f})"
+    )
+
+
+# ------------------------------------------------------ product BFS claims
+
+
+def _convoy_product() -> tuple[Automaton, Automaton]:
+    """The convoy loop's product inputs: client role x learned closure."""
+    result = IntegrationSynthesizer(
+        railcab.front_role_automaton(),
+        railcab.correct_rear_shuttle(convoy_ticks=CONVOY_TICKS),
+        railcab.PATTERN_CONSTRAINT,
+        labeler=railcab.rear_state_labeler,
+        port="rearRole",
+    ).run()
+    assert result.verdict is Verdict.PROVEN
+    return railcab.front_role_automaton(), result.final_closure
+
+
+def _product_sequence(parallelism: int, dense: bool, components, clean):
+    """One convoy-loop product lifecycle: cold BFS + warm updates."""
+    product = IncrementalProduct(
+        semantics="strict", parallelism=parallelism, dense=dense
+    )
+    t0 = time.perf_counter()
+    first = product.update(components, clean)
+    for _ in range(PRODUCT_WARM_UPDATES):
+        last = product.update(components, clean)
+    return time.perf_counter() - t0, first, last
+
+
+def test_dense_product_bfs_vs_dict_k1(benchmark):
+    """The dense product BFS must not lose to the dict cache at K=1.
+
+    Paired interleaved rounds of the convoy-loop lifecycle (one cold
+    exploration, :data:`PRODUCT_WARM_UPDATES` warm updates).  The dense
+    regime's cold pass pays one interner probe per discovered target
+    that the dict path does not, but its warm passes walk a flat entry
+    table instead of re-hashing joint tuples — over the lifecycle the
+    best paired ratio must stay at or above 1.0.  Automata and work
+    counters are asserted identical on every round.
+    """
+    client, closure = _convoy_product()
+    components = [client, closure]
+    clean = [frozenset(), frozenset()]
+
+    def measure():
+        dict_times: list[float] = []
+        dense_times: list[float] = []
+        shapes = {}
+        # Alternating in-round order, as in the K-sweep benchmarks: no
+        # systematic second-position effect can bias every paired ratio.
+        for round_index in range(9):
+            order = ((False, dict_times), (True, dense_times))
+            if round_index % 2:
+                order = tuple(reversed(order))
+            outcomes = {}
+            for dense, times in order:
+                seconds, first, last = _product_sequence(1, dense, components, clean)
+                outcomes[dense] = (first, last)
+                times.append(seconds)
+            dict_first, dict_last = outcomes[False]
+            dense_first, dense_last = outcomes[True]
+            assert dense_first.automaton == dict_first.automaton
+            assert dense_first.misses == dict_first.misses
+            assert dense_first.hits == dict_first.hits
+            assert dense_last.misses == dict_last.misses == 0
+            assert dense_last.hits == dict_last.hits
+            shapes["states"] = len(dense_first.automaton.states)
+            shapes["dense_states"] = dense_first.dense_states
+        return dict_times, dense_times, shapes
+
+    dict_times, dense_times, shapes = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    best_paired = max(a / b for a, b in zip(dict_times, dense_times))
+    benchmark.extra_info.update(
+        {
+            "convoy_ticks": CONVOY_TICKS,
+            "warm_updates": PRODUCT_WARM_UPDATES,
+            "product_states": shapes["states"],
+            "product_dense_states": shapes["dense_states"],
+            "dense_vs_dict_best_paired": best_paired,
+            "dense_vs_dict_median_ratio": statistics.median(dict_times)
+            / statistics.median(dense_times),
+            "dict_sequence_seconds_min": min(dict_times),
+            "dense_sequence_seconds_min": min(dense_times),
+        }
+    )
+    assert best_paired >= 1.0, (
+        f"dense product BFS lost every paired round to the dict cache "
+        f"(best paired ratio {best_paired:.3f})"
+    )
+
+
+def test_dense_product_convoy_k4_vs_k1(benchmark):
+    """K=4 dense product BFS (best strategy) must beat K=1 best-paired.
+
+    Same protocol as :func:`test_dense_convoy_checker_k4_vs_k1`, with
+    the *product* parallelism swept and the checker pinned at K=1 so
+    the product contribution is isolated: the full convoy loop runs at
+    K=1 and K=4 in paired interleaved rounds.  ``select_strategy``
+    resolves the convoy-scale flat workload to the chained
+    single-worklist schedule, whose analytic ``id % K`` attribution
+    prices K>1 at two modulo operations per edge — so K=4 must win at
+    least one paired loop round (best-paired ratio strictly above
+    1.0).  The regression this guards against is the crc32/dict round
+    protocol, where K=4 product sharding ran the loop at 0.48–0.68x of
+    K=1.  Verdicts, learned models, and the scheduling-independent
+    ``product_*`` record counters are asserted identical as always.
+    """
+
+    def convoy(parallelism: int):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=CONVOY_TICKS),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+            settings=SynthesisSettings(
+                incremental=True,
+                parallelism=parallelism,
+                checker_parallelism=1,
+                dense_product=True,
+            ),
+        )
+
+    def measure():
+        k1_times: list[float] = []
+        k4_times: list[float] = []
+        results = {}
+        # Alternate which side runs first within each paired round so a
+        # systematic second-position effect (allocator or cache state
+        # left behind by the first run) cannot bias every ratio the
+        # same way.
+        for round_index in range(9):
+            order = ((1, k1_times), (4, k4_times))
+            if round_index % 2:
+                order = tuple(reversed(order))
+            for parallelism, times in order:
+                t0 = time.perf_counter()
+                results[parallelism] = convoy(parallelism).run()
+                times.append(time.perf_counter() - t0)
+        return results, k1_times, k4_times
+
+    results, k1_times, k4_times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    k1, k4 = results[1], results[4]
+    assert k1.verdict is k4.verdict is Verdict.PROVEN
+    assert k1.iteration_count == k4.iteration_count
+    assert k1.final_model == k4.final_model
+    assert all(r.product_shards == 4 for r in k4.iterations)
+    for a, b in zip(k1.iterations, k4.iterations):
+        assert a.counterexample == b.counterexample
+        assert a.product_hits == b.product_hits
+        assert a.product_misses == b.product_misses
+        assert a.product_dense_states == b.product_dense_states
+        assert a.product_bitset_words == b.product_bitset_words
+
+    best_paired = max(a / b for a, b in zip(k1_times, k4_times))
+    benchmark.extra_info.update(
+        {
+            "convoy_ticks": CONVOY_TICKS,
+            "iterations": k4.iteration_count,
+            "k4_vs_k1_best_paired": best_paired,
+            "k4_vs_k1_median_ratio": statistics.median(k1_times)
+            / statistics.median(k4_times),
+            "k1_loop_seconds_min": min(k1_times),
+            "k4_loop_seconds_min": min(k4_times),
+        }
+    )
+    assert best_paired > 1.0, (
+        f"dense K=4 product BFS never beat K=1 in any paired loop round "
         f"(best paired ratio {best_paired:.3f})"
     )

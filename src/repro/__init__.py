@@ -17,10 +17,16 @@ learning the whole legacy component.  The scheme combines:
 * **learning** of the observed behavior into ever more precise safe
   abstractions, until the property is proven or a real failure found.
 
+The package root is the stable facade: ``integrate`` and
+``SynthesisSettings``, both synthesizers with their result/record
+types, ``result_to_dict`` (the versioned JSON export), and the full
+error taxonomy are re-exported here and listed in ``__all__``.
+Downstream code should import from ``repro`` directly; the deep module
+paths remain importable but are not part of the stability contract.
+
 Quickstart::
 
-    from repro import railcab
-    from repro.synthesis import IntegrationSynthesizer, Verdict
+    from repro import IntegrationSynthesizer, Verdict, railcab
 
     synthesizer = IntegrationSynthesizer(
         railcab.front_role_automaton(),          # the context M_a^c
@@ -69,6 +75,17 @@ from . import (
     workloads,
 )
 from .integration import IntegrationReport, integrate
+from .synthesis import (
+    IntegrationSynthesizer,
+    IterationRecord,
+    MultiIterationRecord,
+    MultiLegacySynthesizer,
+    MultiSynthesisResult,
+    SynthesisResult,
+    SynthesisSettings,
+    Verdict,
+    result_to_dict,
+)
 from .errors import (
     BudgetExceededError,
     CompositionError,
@@ -105,6 +122,15 @@ __all__ = [
     "codegen",
     "integrate",
     "IntegrationReport",
+    "SynthesisSettings",
+    "IntegrationSynthesizer",
+    "SynthesisResult",
+    "IterationRecord",
+    "Verdict",
+    "MultiLegacySynthesizer",
+    "MultiSynthesisResult",
+    "MultiIterationRecord",
+    "result_to_dict",
     "ReproError",
     "ModelError",
     "CompositionError",

@@ -71,6 +71,8 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         parallelism=getattr(args, "parallelism", None),
         checker_parallelism=getattr(args, "checker_parallelism", None),
         dense=getattr(args, "dense", None),
+        dense_product=getattr(args, "dense_product", None),
+        product_strategy=getattr(args, "product_strategy", None),
         retry_policy=retry_policy,
         fault_profile=fault_profile,
         tracer=tracer,
@@ -119,6 +121,23 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--no-dense", dest="dense", action="store_false",
         help="force the legacy dict/set fixpoint solvers",
+    )
+    group.add_argument(
+        "--dense-product", dest="dense_product", action="store_true", default=None,
+        help="force the product BFS over interned ids and flat shard "
+        "frontiers (default: automatic by estimated joint size, or "
+        "$REPRO_DENSE_PRODUCT; results are identical)",
+    )
+    group.add_argument(
+        "--no-dense-product", dest="dense_product", action="store_false",
+        help="force the legacy dict-cache product exploration",
+    )
+    group.add_argument(
+        "--product-strategy", dest="product_strategy", default=None,
+        choices=("sequential", "thread", "process"), metavar="STRATEGY",
+        help="force how product shard workers run: sequential, thread, or "
+        "process (default: $REPRO_PRODUCT_STRATEGY, then automatic "
+        "workload-based selection; results are identical)",
     )
     group.add_argument(
         "--test-retries", type=int, default=None, metavar="N",

@@ -43,10 +43,12 @@ from .incremental import (
 from .interaction import IDLE, Interaction, InteractionUniverse
 from .interning import (
     DENSE_ENV,
+    DENSE_PRODUCT_ENV,
     DenseGraph,
     HAVE_NUMPY,
     StateInterner,
     resolve_dense,
+    resolve_dense_product,
     shard_of_id,
 )
 from .refinement import (
@@ -61,11 +63,14 @@ from .runs import Run, Trace, enumerate_runs, enumerate_traces, run_of_transitio
 from .sharding import (
     CHECKER_PARALLELISM_ENV,
     PARALLELISM_ENV,
+    PRODUCT_STRATEGY_ENV,
+    ShardCrew,
     ShardReport,
     WorkerPool,
     get_pool,
     resolve_checker_parallelism,
     resolve_parallelism,
+    resolve_product_strategy,
     select_strategy,
     shard_of,
 )
@@ -118,17 +123,22 @@ __all__ = [
     "VerificationStep",
     "CHECKER_PARALLELISM_ENV",
     "DENSE_ENV",
+    "DENSE_PRODUCT_ENV",
     "DenseGraph",
     "HAVE_NUMPY",
     "PARALLELISM_ENV",
+    "PRODUCT_STRATEGY_ENV",
     "StateInterner",
     "resolve_checker_parallelism",
     "resolve_dense",
+    "resolve_dense_product",
     "shard_of_id",
+    "ShardCrew",
     "ShardReport",
     "WorkerPool",
     "get_pool",
     "resolve_parallelism",
+    "resolve_product_strategy",
     "select_strategy",
     "shard_of",
     "is_chaos_state",

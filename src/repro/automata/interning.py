@@ -56,6 +56,7 @@ HAVE_NUMPY = _np is not None
 
 __all__ = [
     "DENSE_ENV",
+    "DENSE_PRODUCT_ENV",
     "DENSE_STATE_FLOOR",
     "DenseGraph",
     "HAVE_NUMPY",
@@ -66,6 +67,7 @@ __all__ = [
     "mask_of_flags",
     "mask_of_ids",
     "resolve_dense",
+    "resolve_dense_product",
     "shard_of_id",
 ]
 
@@ -74,6 +76,12 @@ __all__ = [
 #: dict/set solvers, anything truthy pins the dense core); when unset,
 #: checkers pick per product size (:data:`DENSE_STATE_FLOOR`).
 DENSE_ENV = "REPRO_DENSE"
+
+#: Environment toggle for the dense *product BFS* (the id-space
+#: exploration of :class:`repro.automata.incremental.IncrementalProduct`).
+#: Deliberately separate from :data:`DENSE_ENV` so the two regimes can
+#: be pinned independently in CI; same truthiness convention.
+DENSE_PRODUCT_ENV = "REPRO_DENSE_PRODUCT"
 
 _FALSY = {"0", "false", "no", "off"}
 
@@ -107,6 +115,29 @@ def resolve_dense(value: bool | None = None, state_count: int | None = None) -> 
     if value is not None:
         return bool(value)
     raw = os.environ.get(DENSE_ENV)
+    if raw is not None:
+        return raw.strip().lower() not in _FALSY
+    if state_count is None:
+        return True
+    return state_count >= DENSE_STATE_FLOOR
+
+
+def resolve_dense_product(
+    value: bool | None = None, state_count: int | None = None
+) -> bool:
+    """Resolve the dense product-BFS toggle.
+
+    Same precedence ladder as :func:`resolve_dense`, reading
+    ``REPRO_DENSE_PRODUCT`` instead: an explicit ``value`` wins, then
+    the environment, then the size heuristic against
+    :data:`DENSE_STATE_FLOOR` (``state_count`` is the *estimated* joint
+    state bound — the product of component sizes — since the reachable
+    set is only known after the exploration this toggle selects).
+    Callers with no estimate default to dense.
+    """
+    if value is not None:
+        return bool(value)
+    raw = os.environ.get(DENSE_PRODUCT_ENV)
     if raw is not None:
         return raw.strip().lower() not in _FALSY
     if state_count is None:
@@ -199,8 +230,10 @@ class StateInterner:
     """Append-only state ↔ contiguous-id bijection.
 
     Ids are dense (``0..len-1``), assigned in repr-sorted order per
-    :meth:`extend` batch, and never change once assigned — the warm
-    checker chain shares one interner so ids survive learning steps.
+    :meth:`extend` batch (or in first-seen order via :meth:`intern_ids`
+    when the caller's iteration order is itself deterministic), and
+    never change once assigned — the warm checker chain shares one
+    interner so ids survive learning steps.
     """
 
     __slots__ = ("_ids", "_states")
@@ -241,6 +274,30 @@ class StateInterner:
             store.append(state)
             added += 1
         return added
+
+    def intern_ids(self, states: Iterable[object]) -> list[int]:
+        """Intern unknown states in first-seen order; return every id.
+
+        The discovery-order twin of :meth:`extend` for callers whose
+        iteration order is already deterministic (the product BFS walks
+        canonical ``ordered_transitions`` slices, so its discovery
+        order never depends on the hash seed): one dict probe per
+        state, no repr materialization, and the ids come back aligned
+        with the input — exactly what the flat edge-target arrays need.
+        """
+        ids = self._ids
+        store = self._states
+        out = []
+        append = out.append
+        get = ids.get
+        for state in states:
+            ident = get(state)
+            if ident is None:
+                ident = len(store)
+                ids[state] = ident
+                store.append(state)
+            append(ident)
+        return out
 
     def id_of(self, state: object) -> int:
         return self._ids[state]

@@ -57,14 +57,19 @@ from ..errors import CompositionError, TestTimeoutError
 __all__ = [
     "PARALLELISM_ENV",
     "CHECKER_PARALLELISM_ENV",
+    "PRODUCT_STRATEGY_ENV",
     "SEQUENTIAL_WORKLOAD_FLOOR",
     "PROCESS_WORKLOAD_FLOOR",
+    "FLAT_PROCESS_WORKLOAD_FLOOR",
     "Strategy",
+    "ShardCrew",
     "ShardReport",
     "WorkerPool",
+    "check_strategy",
     "get_pool",
     "resolve_parallelism",
     "resolve_checker_parallelism",
+    "resolve_product_strategy",
     "select_strategy",
     "shard_of",
 ]
@@ -80,6 +85,12 @@ PARALLELISM_ENV = "REPRO_PARALLELISM"
 #: independently of the product exploration.
 CHECKER_PARALLELISM_ENV = "REPRO_CHECKER_PARALLELISM"
 
+#: Environment variable consulted when a ``product_strategy=`` knob is
+#: left at ``None`` — lets CI force every dense product exploration
+#: through one execution strategy (e.g. ``process``) suite-wide, the
+#: same pattern as :data:`PARALLELISM_ENV`.
+PRODUCT_STRATEGY_ENV = "REPRO_PRODUCT_STRATEGY"
+
 #: Below this many (estimated) joint states to re-explore, shard workers
 #: run inline: the dirty region of a single learning step is usually a
 #: handful of states, and pool dispatch would dominate.
@@ -89,6 +100,13 @@ SEQUENTIAL_WORKLOAD_FLOOR = 64
 #: used (where ``fork`` is available): the exploration work then dwarfs
 #: the per-shard pickling of components and cache slices.
 PROCESS_WORKLOAD_FLOOR = 200_000
+
+#: The much lower process floor for *flat* shard payloads.  The dense
+#: product BFS ships frontiers as ``array('I')`` id batches and inherits
+#: the cache snapshot through ``fork`` instead of pickling per-shard
+#: dict slices, so a forked crew amortises its start-up cost orders of
+#: magnitude earlier than the legacy slice-shipping path.
+FLAT_PROCESS_WORKLOAD_FLOOR = 4096
 
 Strategy = Literal["sequential", "thread", "process"]
 
@@ -149,6 +167,19 @@ def check_strategy(strategy: str | None) -> str | None:
     return strategy
 
 
+def resolve_product_strategy(value: str | None) -> str | None:
+    """Normalize a ``product_strategy=`` knob: ``None`` defers to the environment.
+
+    Reads :data:`PRODUCT_STRATEGY_ENV` when unset; the result (or
+    ``None`` for automatic selection) is validated by
+    :func:`check_strategy`.
+    """
+    if value is None:
+        raw = os.environ.get(PRODUCT_STRATEGY_ENV, "").strip().lower()
+        value = raw or None
+    return check_strategy(value)
+
+
 def shard_of(state: object, shards: int) -> int:
     """The owning shard of a joint state, stable across processes and seeds.
 
@@ -177,13 +208,27 @@ def _fork_available() -> bool:
         return False
 
 
-def select_strategy(workload: int, parallelism: int) -> Strategy:
-    """Pick an execution strategy from the estimated re-exploration size."""
+def select_strategy(workload: int, parallelism: int, *, flat: bool = False) -> Strategy:
+    """Pick an execution strategy from the estimated re-exploration size.
+
+    ``flat=True`` marks workloads whose shard payloads are flat id
+    arrays (the dense product BFS): the process pool then engages at
+    :data:`FLAT_PROCESS_WORKLOAD_FLOOR` instead of the legacy
+    slice-shipping floor :data:`PROCESS_WORKLOAD_FLOOR`.  Flat
+    workloads below that floor stay ``sequential`` — the dense BFS has
+    a chained single-worklist schedule that attributes work to shards
+    analytically, and a thread crew can never beat it on a CPU-bound
+    pure-Python exploration (the GIL serialises the workers while the
+    level-synchronised rounds add barrier and merge overhead).  The
+    legacy dict path keeps ``thread`` as its intermediate tier because
+    its per-shard cache slices make the inline schedule cache-hostile.
+    """
     if parallelism <= 1 or workload < SEQUENTIAL_WORKLOAD_FLOOR:
         return "sequential"
-    if workload >= PROCESS_WORKLOAD_FLOOR and _fork_available():
+    floor = FLAT_PROCESS_WORKLOAD_FLOOR if flat else PROCESS_WORKLOAD_FLOOR
+    if workload >= floor and _fork_available():
         return "process"
-    return "thread"
+    return "sequential" if flat else "thread"
 
 
 @dataclass(frozen=True)
@@ -197,6 +242,72 @@ class ShardReport:
     handoffs: int  #: cross-shard target discoveries emitted by this shard
     merge_conflicts: int  #: handoffs addressed to this shard that were already claimed
     dirty_states: frozenset  #: the joint states this shard re-built (checker seeds)
+
+
+class ShardCrew:
+    """One exploration's worth of shard workers over flat id payloads.
+
+    The dense product BFS claims its workers *per update*, not per
+    round: entering the crew pins the execution strategy (with an honest
+    fallback to ``thread`` when ``process`` is requested but ``fork`` is
+    unavailable), and the forked worker pool — created lazily on the
+    first round that has more than one shard task — snapshots the
+    parent's interned entry table by copy-on-write inheritance, so the
+    per-round traffic is nothing but pickled ``array('I')`` batches and
+    flat delta records.  Lazy forking is sound because every entry a
+    worker may need to *read* was installed by a previous update (states
+    are explored at most once per update, and entries written mid-update
+    belong to states already popped from the frontier), hence is present
+    in any snapshot taken during this update.
+
+    ``map`` preserves task order for every strategy — the merge protocol
+    relies on it.  Crews must be closed (use ``with``); the forked pool
+    is terminated and joined on exit so no workers outlive the update.
+    """
+
+    def __init__(self, pool: "WorkerPool", strategy: str, workers: int) -> None:
+        self._pool = pool
+        self.requested = strategy
+        self.strategy = strategy
+        self.workers = workers
+        self._mp_pool = None
+        pool.stats["pool_crew_entries"] += 1
+        if strategy == "process" and not _fork_available():
+            self.strategy = "thread"
+            pool.stats["pool_crew_fallbacks"] += 1
+
+    def __enter__(self) -> "ShardCrew":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._mp_pool is not None:
+            self._mp_pool.terminate()
+            self._mp_pool.join()
+            self._mp_pool = None
+
+    def _forked(self):
+        if self._mp_pool is None:
+            import multiprocessing
+
+            self._mp_pool = multiprocessing.get_context("fork").Pool(self.workers)
+            self._pool.stats["pool_crew_forks"] += 1
+        return self._mp_pool
+
+    def map(
+        self, function: Callable[[_T], _R], tasks: Sequence[_T]
+    ) -> list[_R]:
+        """Run ``function`` over ``tasks``, returning results in task order."""
+        self._pool.stats["pool_map_calls"] += 1
+        self._pool.stats["pool_tasks"] += len(tasks)
+        if len(tasks) <= 1 or self.strategy == "sequential":
+            self._pool.stats["pool_inline_calls"] += 1
+            return [function(task) for task in tasks]
+        if self.strategy == "process":
+            return self._forked().map(function, tasks)
+        return self._pool.map("thread", function, tasks, workers=self.workers)
 
 
 class WorkerPool:
@@ -218,7 +329,14 @@ class WorkerPool:
             "pool_executor_creations": 0,
             "pool_deadline_calls": 0,
             "pool_deadline_timeouts": 0,
+            "pool_crew_entries": 0,
+            "pool_crew_forks": 0,
+            "pool_crew_fallbacks": 0,
         }
+
+    def crew(self, strategy: str, workers: int) -> ShardCrew:
+        """Claim a per-update :class:`ShardCrew` (see its docstring)."""
+        return ShardCrew(self, strategy, workers)
 
     def _executor(self, strategy: str, workers: int) -> Executor:
         current = self._executors.get(strategy)

@@ -287,6 +287,8 @@ def record_counters(record) -> dict[str, int | list[int]]:
     counters["product_shard_states_explored"] = list(record.product_shard_states_explored)
     counters["product_shard_handoffs"] = record.product_shard_handoffs
     counters["product_shard_merge_conflicts"] = record.product_shard_merge_conflicts
+    counters["product_dense_states"] = record.product_dense_states
+    counters["product_bitset_words"] = record.product_bitset_words
     counters["checker_fixpoint_work"] = record.checker_fixpoint_work
     counters["checker_shards"] = record.checker_shards
     counters["checker_shard_fixpoint_work"] = list(record.checker_shard_fixpoint_work)
@@ -305,10 +307,18 @@ def publish_record(registry: MetricsRegistry, record) -> None:
     one indexed counter per shard (``product_shard_states_explored[k]``),
     so the sum invariants (`sum(shards) == hits + misses`, etc.) can be
     re-checked on the registry alone.  ``product_shards`` /
-    ``checker_shards`` are configuration, not work, and land in gauges.
+    ``checker_shards`` are configuration, not work, and land in gauges,
+    as do the dense-product sizes (``product_dense_states`` /
+    ``product_bitset_words``) and ``quarantine_size``.
     """
     for name, value in record_counters(record).items():
-        if name in ("product_shards", "checker_shards", "quarantine_size"):
+        if name in (
+            "product_shards",
+            "checker_shards",
+            "quarantine_size",
+            "product_dense_states",
+            "product_bitset_words",
+        ):
             # Configuration / current-size values, not accumulated work.
             registry.set_gauge(name, value)  # type: ignore[arg-type]
         elif isinstance(value, list):

@@ -84,7 +84,8 @@ def _warn_renamed_counter(old: str, new: str, record: str = "IterationRecord") -
     import warnings
 
     warnings.warn(
-        f"{record}.{old} is deprecated; read {new} instead",
+        f"{record}.{old} is deprecated and will be removed in repro 2.0; "
+        f"read {new} instead",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -140,6 +141,12 @@ class IterationRecord:
     product_shard_states_explored: tuple[int, ...] = ()
     product_shard_handoffs: int = 0
     product_shard_merge_conflicts: int = 0
+    # Dense product-BFS sizes (zero on the legacy dict-cache path).
+    # K-independent by construction: the interner's content is the
+    # reachable set plus previously interned states, regardless of how
+    # the exploration was sharded or scheduled.
+    product_dense_states: int = 0
+    product_bitset_words: int = 0
     checker_shards: int = 1
     checker_shard_fixpoint_work: tuple[int, ...] = ()
     checker_shard_handoffs: int = 0
@@ -377,6 +384,8 @@ class IntegrationSynthesizer:
         self.parallelism = settings.resolved_parallelism()
         self.checker_parallelism = settings.resolved_checker_parallelism()
         self.dense = settings.dense
+        self.dense_product = settings.dense_product
+        self.product_strategy = settings.resolved_product_strategy()
         # Violations of properties mentioning the deadlock atom or an
         # eventuality (AF/AU) can hinge on the closure's *pessimistic
         # refusals* — a path that merely might end.  Only those need the
@@ -500,6 +509,8 @@ class IntegrationSynthesizer:
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
                 dense=self.dense,
+                dense_product=self.dense_product,
+                product_strategy=self.product_strategy,
                 tracer=tracer,
             )
             if self.incremental
@@ -582,6 +593,12 @@ class IntegrationSynthesizer:
                         ),
                         product_shard_merge_conflicts=(
                             step_stats.shard_merge_conflicts if step_stats else 0
+                        ),
+                        product_dense_states=(
+                            step_stats.product_dense_states if step_stats else 0
+                        ),
+                        product_bitset_words=(
+                            step_stats.product_bitset_words if step_stats else 0
                         ),
                         checker_shards=checker.stats.shards,
                         checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,

@@ -99,6 +99,10 @@ class MultiIterationRecord:
     product_shard_states_explored: tuple[int, ...] = ()
     product_shard_handoffs: int = 0
     product_shard_merge_conflicts: int = 0
+    # Dense product-BFS sizes (zero on the legacy dict-cache path);
+    # K-independent, like every non-per-shard product counter.
+    product_dense_states: int = 0
+    product_bitset_words: int = 0
     checker_shards: int = 1
     checker_shard_fixpoint_work: tuple[int, ...] = ()
     checker_shard_handoffs: int = 0
@@ -281,6 +285,8 @@ class MultiLegacySynthesizer:
         self.parallelism = settings.resolved_parallelism()
         self.checker_parallelism = settings.resolved_checker_parallelism()
         self.dense = settings.dense
+        self.dense_product = settings.dense_product
+        self.product_strategy = settings.resolved_product_strategy()
         self.retry_policy = settings.resolved_retry_policy()
         self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
         self.quarantine = Quarantine()
@@ -663,6 +669,8 @@ class MultiLegacySynthesizer:
                 parallelism=self.parallelism,
                 checker_parallelism=self.checker_parallelism,
                 dense=self.dense,
+                dense_product=self.dense_product,
+                product_strategy=self.product_strategy,
                 tracer=tracer,
             )
             if self.incremental
@@ -710,6 +718,12 @@ class MultiLegacySynthesizer:
                     ),
                     product_shard_merge_conflicts=(
                         step_stats.shard_merge_conflicts if step_stats else 0
+                    ),
+                    product_dense_states=(
+                        step_stats.product_dense_states if step_stats else 0
+                    ),
+                    product_bitset_words=(
+                        step_stats.product_bitset_words if step_stats else 0
                     ),
                     checker_shards=checker.stats.shards,
                     checker_shard_fixpoint_work=checker.stats.shard_fixpoint_work,

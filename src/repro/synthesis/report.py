@@ -16,6 +16,7 @@ from ..obs.metrics import record_counters
 from .iterate import SynthesisResult
 
 __all__ = [
+    "SCHEMA_VERSION",
     "render_state",
     "render_counterexample_listing",
     "render_iteration_table",
@@ -26,6 +27,11 @@ __all__ = [
     "render_counter_totals",
     "render_markdown_report",
 ]
+
+#: Version of the :func:`result_to_dict` JSON shape.  Bump the minor
+#: component when keys are added (consumers tolerate extras), the major
+#: component when keys are renamed, removed, or change meaning.
+SCHEMA_VERSION = "1.1"
 
 
 def knowledge_gaps(model, universe):
@@ -199,9 +205,12 @@ def result_to_dict(result: SynthesisResult) -> dict:
 
     Contains the verdict, the property, per-iteration statistics, and
     the violation witness (rendered states/interactions) — everything a
-    CI pipeline or report generator needs, without live objects.
+    CI pipeline or report generator needs, without live objects.  The
+    shape is versioned by the leading ``schema_version`` key (see
+    :data:`SCHEMA_VERSION`), pinned by ``tests/test_report.py``.
     """
     return {
+        "schema_version": SCHEMA_VERSION,
         "verdict": result.verdict.value,
         "property": str(result.property),
         "violation_kind": result.violation_kind,

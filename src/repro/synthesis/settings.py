@@ -22,8 +22,13 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, field, replace
 
-from ..automata.sharding import resolve_checker_parallelism, resolve_parallelism
-from ..errors import SynthesisError
+from ..automata.sharding import (
+    check_strategy,
+    resolve_checker_parallelism,
+    resolve_parallelism,
+    resolve_product_strategy,
+)
+from ..errors import CompositionError, SynthesisError
 from ..testing.faults import FaultProfile
 from ..testing.robust import RetryPolicy
 
@@ -81,6 +86,20 @@ class SynthesisSettings:
         :data:`~repro.automata.interning.DENSE_STATE_FLOOR` states up);
         ``False`` forces the legacy dict/set solvers (the differential
         oracle), ``True`` forces the dense core everywhere.
+    dense_product:
+        Run the product BFS in id space (interned joint states, flat
+        ``array('I')`` shard frontiers, ``id % K`` ownership).  Same
+        tri-state convention as ``dense``, deferring to
+        ``REPRO_DENSE_PRODUCT`` and then to the size heuristic against
+        the *estimated* joint bound; ``False`` forces the legacy
+        dict-cache exploration with crc32-of-repr ownership.
+    product_strategy:
+        Force one execution strategy (``"sequential"``, ``"thread"``,
+        ``"process"``) for the product shard workers.  ``None`` defers
+        to ``REPRO_PRODUCT_STRATEGY`` and then to the automatic
+        workload-based selection
+        (:func:`repro.automata.sharding.select_strategy`); takes effect
+        only when ``parallelism > 1``.
     retry_policy:
         The :class:`repro.testing.robust.RetryPolicy` supervising every
         test execution: retry budget, backoff, per-step/per-test
@@ -109,6 +128,8 @@ class SynthesisSettings:
     parallelism: int | None = None
     checker_parallelism: int | None = None
     dense: bool | None = None
+    dense_product: bool | None = None
+    product_strategy: str | None = None
     retry_policy: RetryPolicy | None = None
     fault_profile: FaultProfile | None = None
     tracer: object | None = field(default=None, compare=False, repr=False)
@@ -136,6 +157,15 @@ class SynthesisSettings:
             raise SynthesisError(
                 f"dense must be a bool or None, got {self.dense!r}"
             )
+        if self.dense_product is not None and not isinstance(self.dense_product, bool):
+            raise SynthesisError(
+                f"dense_product must be a bool or None, got {self.dense_product!r}"
+            )
+        if self.product_strategy is not None:
+            try:
+                check_strategy(self.product_strategy)
+            except CompositionError as error:
+                raise SynthesisError(str(error)) from None
         if self.retry_policy is not None and not isinstance(self.retry_policy, RetryPolicy):
             raise SynthesisError(
                 f"retry_policy must be a RetryPolicy, got {type(self.retry_policy).__name__}"
@@ -179,6 +209,23 @@ class SynthesisSettings:
 
         return resolve_dense(self.dense, state_count)
 
+    def resolved_dense_product(self, state_count: int | None = None) -> bool:
+        """The dense product-BFS toggle, ``REPRO_DENSE_PRODUCT`` applied.
+
+        Without a ``state_count`` the answer for auto
+        (``dense_product=None``, no environment override) is the dense
+        default; pass the estimated joint bound (the product of
+        component sizes) to get the per-update size heuristic the
+        engine itself applies.
+        """
+        from ..automata.interning import resolve_dense_product
+
+        return resolve_dense_product(self.dense_product, state_count)
+
+    def resolved_product_strategy(self) -> str | None:
+        """The forced product strategy: explicit, env, or ``None`` (auto)."""
+        return resolve_product_strategy(self.product_strategy)
+
     def resolved_retry_policy(self) -> RetryPolicy:
         """The retry policy with environment fallback applied."""
         return self.retry_policy if self.retry_policy is not None else RetryPolicy.from_env()
@@ -214,8 +261,8 @@ def merge_legacy_settings(
         return base
     names = ", ".join(sorted(updates))
     warnings.warn(
-        f"passing {names} to {owner} directly is deprecated; "
-        f"use settings=SynthesisSettings(...) instead",
+        f"passing {names} to {owner} directly is deprecated and will be "
+        f"removed in repro 2.0; use settings=SynthesisSettings(...) instead",
         DeprecationWarning,
         stacklevel=stacklevel,
     )

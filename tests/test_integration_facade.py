@@ -219,3 +219,39 @@ class TestRequireHelpers:
         )
         with pytest.raises(SynthesisError, match="integration failed"):
             failing.require_ok()
+
+
+class TestStableFacade:
+    """The package root re-exports the stable surface (and says so)."""
+
+    STABLE = (
+        "integrate",
+        "IntegrationReport",
+        "SynthesisSettings",
+        "IntegrationSynthesizer",
+        "SynthesisResult",
+        "IterationRecord",
+        "Verdict",
+        "MultiLegacySynthesizer",
+        "MultiSynthesisResult",
+        "MultiIterationRecord",
+        "result_to_dict",
+        "ReproError",
+        "SynthesisError",
+        "CompositionError",
+    )
+
+    def test_stable_names_are_in_all_and_resolve(self):
+        import repro
+
+        for name in self.STABLE:
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is not None, name
+
+    def test_facade_objects_are_the_deep_objects(self):
+        import repro
+        import repro.synthesis as synthesis
+
+        assert repro.SynthesisSettings is synthesis.SynthesisSettings
+        assert repro.IntegrationSynthesizer is synthesis.IntegrationSynthesizer
+        assert repro.result_to_dict is synthesis.result_to_dict

@@ -142,6 +142,41 @@ def test_deprecated_record_counter_aliases(runs):
         assert record.shard_merge_conflicts == record.product_shard_merge_conflicts
 
 
+def test_dense_product_loop_counters_are_parallelism_independent():
+    """The dense product BFS pins its counters record-by-record.
+
+    ``product_dense_states`` is the interner size — the union of initial
+    joint states and the targets of the (scheduling-independent) miss
+    set — so it is *not* a per-shard field: every K must report the same
+    value on every iteration, and ``product_bitset_words`` must be its
+    exact ⌈n/64⌉.  ``_assert_records_match`` pins both automatically;
+    this test additionally proves the run actually went dense.
+    """
+
+    def build(parallelism):
+        return IntegrationSynthesizer(
+            railcab.front_role_automaton(),
+            railcab.correct_rear_shuttle(convoy_ticks=2),
+            railcab.PATTERN_CONSTRAINT,
+            labeler=railcab.rear_state_labeler,
+            port="rearRole",
+            settings=SynthesisSettings(parallelism=parallelism, dense_product=True),
+        ).run()
+
+    sharded = build(4)
+    sequential = build(1)
+    assert sharded.verdict is sequential.verdict is Verdict.PROVEN
+    assert sharded.final_model == sequential.final_model
+    _assert_records_match(sharded.iterations, sequential.iterations, modulo_shards=True)
+    for run in (sharded, sequential):
+        assert all(r.product_dense_states > 0 for r in run.iterations)
+        for r in run.iterations:
+            assert r.product_bitset_words == (r.product_dense_states + 63) // 64
+    # The interner only ever grows across the learning sequence.
+    sizes = [r.product_dense_states for r in sharded.iterations]
+    assert sizes == sorted(sizes)
+
+
 def test_faulty_shuttle_violation_is_parallelism_independent():
     def build(parallelism):
         return IntegrationSynthesizer(

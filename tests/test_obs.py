@@ -176,6 +176,8 @@ class TestRecordPlumbing:
             "product_shard_states_explored",
             "product_shard_handoffs",
             "product_shard_merge_conflicts",
+            "product_dense_states",
+            "product_bitset_words",
             "checker_fixpoint_work",
             "checker_shards",
             "checker_shard_fixpoint_work",

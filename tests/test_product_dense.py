@@ -1,0 +1,390 @@
+"""Differential conformance harness for the dense (id-space) product BFS.
+
+The dense regime of :class:`IncrementalProduct` — interned joint
+states, flat ``array('I')`` shard frontiers, ``id % K`` ownership, and
+the per-update :class:`~repro.automata.sharding.ShardCrew` — claims to
+be *bit-identical* to both the legacy dict-cache exploration and
+from-scratch :func:`compose` for every shard count, execution strategy,
+and hash seed.  This file pins that claim the same way
+``tests/test_product_sharding.py`` pins the legacy sharding: the
+sequential/legacy implementation is the specification, the dense one
+the implementation under test, and hypothesis drives random model
+evolutions through both.
+
+On top of bit-identical automata, the dense regime exposes two new
+scheduling-independent counters — ``dense_states`` (interner size) and
+``bitset_words`` — which must agree across every K: the interner's
+*content* is the union of initial states and the targets of the
+(K-independent) miss set, so its size cannot depend on sharding.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    Automaton,
+    compose,
+    compose_all,
+    resolve_dense_product,
+)
+from repro.automata.incremental import ClosureCache, IncrementalProduct
+from repro.automata.interning import DENSE_PRODUCT_ENV, DENSE_STATE_FLOOR
+from repro.automata.sharding import WorkerPool
+from tests.test_incremental import (
+    TICK_UNIVERSE,
+    UNIVERSE,
+    _client,
+    model_evolutions,
+)
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _assert_identical(reference: Automaton, candidate: Automaton) -> None:
+    """Bit-identical: same states, edges, labels, *and* canonical order."""
+    assert candidate == reference
+    assert candidate.ordered_transitions == reference.ordered_transitions
+    assert candidate.label_map == reference.label_map
+    assert candidate.initial == reference.initial
+
+
+# ------------------------------------------------------------------ resolution
+
+
+def test_resolve_dense_product_explicit_wins(monkeypatch):
+    monkeypatch.setenv(DENSE_PRODUCT_ENV, "0")
+    assert resolve_dense_product(True, state_count=1) is True
+    monkeypatch.setenv(DENSE_PRODUCT_ENV, "1")
+    assert resolve_dense_product(False, state_count=10**9) is False
+
+
+def test_resolve_dense_product_env_fallback(monkeypatch):
+    monkeypatch.delenv(DENSE_PRODUCT_ENV, raising=False)
+    assert resolve_dense_product(None, state_count=DENSE_STATE_FLOOR) is True
+    assert resolve_dense_product(None, state_count=DENSE_STATE_FLOOR - 1) is False
+    assert resolve_dense_product(None, state_count=None) is True  # dense default
+    monkeypatch.setenv(DENSE_PRODUCT_ENV, "off")
+    assert resolve_dense_product(None, state_count=10**9) is False
+    monkeypatch.setenv(DENSE_PRODUCT_ENV, "1")
+    assert resolve_dense_product(None, state_count=1) is True
+
+
+# ----------------------------------------------- differential: dense vs legacy
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_dense_pair_product_equals_legacy_and_scratch(models):
+    """Dense K ∈ {1,2,4,8} ≡ legacy sequential ≡ from-scratch compose.
+
+    Also pins the scheduling-independent aggregates — hits, misses,
+    dirty set, ``dense_states``, ``bitset_words`` — across every K, and
+    the counter conservation law per K.
+    """
+    client = _client()
+    legacy_cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    legacy = IncrementalProduct(semantics="strict", dense=False)
+    caches = {
+        k: ClosureCache(UNIVERSE, deterministic_implementation=True)
+        for k in SHARD_COUNTS
+    }
+    products = {
+        k: IncrementalProduct(semantics="strict", parallelism=k, dense=True)
+        for k in SHARD_COUNTS
+    }
+    for model in models:
+        oracle_update = legacy_cache.update(model)
+        oracle = legacy.update(
+            [client, oracle_update.closure], [frozenset(), oracle_update.dirty_states]
+        )
+        assert not oracle.dense
+        reference = compose(client, oracle_update.closure, semantics="strict")
+        _assert_identical(reference, oracle.automaton)
+        aggregates = None
+        for k in SHARD_COUNTS:
+            update = caches[k].update(model)
+            step = products[k].update(
+                [client, update.closure], [frozenset(), update.dirty_states]
+            )
+            assert step.dense
+            _assert_identical(reference, step.automaton)
+            # Conservation per K: shard work sums to the hit/miss split.
+            assert len(step.shards) == k
+            assert (
+                sum(r.states_explored for r in step.shards)
+                == step.hits + step.misses
+            )
+            assert sum(r.misses for r in step.shards) == step.misses
+            assert (
+                frozenset().union(*(r.dirty_states for r in step.shards))
+                == step.dirty_states
+            )
+            # The dense counters are sizes of K-independent content.
+            assert step.dense_states == products[k].dense_states
+            assert step.bitset_words == (step.dense_states + 63) // 64
+            current = (
+                step.hits,
+                step.misses,
+                step.dirty_states,
+                step.dense_states,
+                step.bitset_words,
+            )
+            if aggregates is None:
+                aggregates = current
+            else:
+                assert current == aggregates
+        # Dense and legacy agree on the dict-level aggregates too.
+        assert aggregates[:3] == (oracle.hits, oracle.misses, oracle.dirty_states)
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_dense_warm_update_is_all_hits(models):
+    """Re-running an unchanged model re-explores without a single miss."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(semantics="strict", parallelism=4, dense=True)
+    update = None
+    for model in models:
+        update = cache.update(model)
+        product.update([client, update.closure], [frozenset(), update.dirty_states])
+    warm = product.update([client, update.closure], [frozenset(), frozenset()])
+    assert warm.misses == 0
+    assert warm.hits == len(warm.automaton.states)
+    _assert_identical(compose(client, update.closure, semantics="strict"), warm.automaton)
+
+
+@SETTINGS
+@given(model_evolutions(), st.sampled_from(["thread", "process"]))
+def test_dense_forced_strategy_equals_compose(models, strategy):
+    """Thread and forked-process crews are forced below every floor."""
+    if strategy == "process" and "fork" not in __import__(
+        "multiprocessing"
+    ).get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(
+        semantics="strict", parallelism=4, dense=True, strategy=strategy
+    )
+    for model in models:
+        update = cache.update(model)
+        step = product.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        _assert_identical(
+            compose(client, update.closure, semantics="strict"), step.automaton
+        )
+
+
+@SETTINGS
+@given(
+    model_evolutions(max_steps=3),
+    model_evolutions(universe=TICK_UNIVERSE, inp="tick", out="tock", max_steps=3),
+    st.sampled_from([2, 4, 8]),
+)
+def test_dense_nary_product_equals_compose_all(models_a, models_b, shards):
+    """Triple products (client ∥ chaos(A) ∥ chaos(B)) run dense identically."""
+    cache_a = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    cache_b = ClosureCache(TICK_UNIVERSE, deterministic_implementation=True)
+    dense = IncrementalProduct(semantics="open", parallelism=shards, dense=True)
+    legacy = IncrementalProduct(semantics="open", dense=False)
+    length = max(len(models_a), len(models_b))
+    for index in range(length):
+        up_a = cache_a.update(models_a[min(index, len(models_a) - 1)])
+        up_b = cache_b.update(models_b[min(index, len(models_b) - 1)])
+        components = [up_a.closure, up_b.closure]
+        dirty = [up_a.dirty_states, up_b.dirty_states]
+        step = dense.update(components, dirty)
+        base = legacy.update(components, dirty)
+        _assert_identical(base.automaton, step.automaton)
+        _assert_identical(compose_all(components, semantics="open"), step.automaton)
+        assert (step.hits, step.misses) == (base.hits, base.misses)
+        assert step.dirty_states == base.dirty_states
+
+
+@SETTINGS
+@given(model_evolutions(), st.sampled_from([2, 4, 8]))
+def test_dense_product_with_validation_never_falls_back(models, shards):
+    """The ``validate=True`` cross-check confirms every dense update."""
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(
+        semantics="strict", parallelism=shards, dense=True, validate=True
+    )
+    for model in models:
+        update = cache.update(model)
+        step = product.update(
+            [client, update.closure], [frozenset(), update.dirty_states]
+        )
+        assert not step.fell_back
+    assert product.fallbacks == 0
+
+
+# --------------------------------------------------------- regime migration
+
+
+@SETTINGS
+@given(model_evolutions())
+def test_mode_flip_round_trip_preserves_cache_and_results(models):
+    """dense → legacy → dense migrates the warm cache both ways.
+
+    One product instance, the toggle flipped via the environment between
+    updates (``dense=None`` re-resolves per update): results stay
+    bit-identical throughout, the interner outlives the legacy interval
+    (ids are never reassigned, so ``dense_states`` never shrinks), and
+    the migrated entries still count as cache *hits*.
+    """
+    client = _client()
+    cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+    product = IncrementalProduct(semantics="strict", parallelism=2, dense=None)
+    regimes = ["1", "0", "1", "0"]
+    saved = os.environ.get(DENSE_PRODUCT_ENV)
+    peak_dense_states = 0
+    try:
+        for index, model in enumerate(models):
+            os.environ[DENSE_PRODUCT_ENV] = regimes[index % len(regimes)]
+            update = cache.update(model)
+            step = product.update(
+                [client, update.closure], [frozenset(), update.dirty_states]
+            )
+            _assert_identical(
+                compose(client, update.closure, semantics="strict"), step.automaton
+            )
+            assert step.dense == (regimes[index % len(regimes)] == "1")
+            if step.dense:
+                assert step.dense_states >= peak_dense_states
+                peak_dense_states = step.dense_states
+            else:
+                assert step.dense_states == 0
+        # A warm re-run after the flips is all hits in either regime.
+        for regime in ("0", "1"):
+            os.environ[DENSE_PRODUCT_ENV] = regime
+            warm = product.update(
+                [client, update.closure], [frozenset(), frozenset()]
+            )
+            assert warm.misses == 0
+            _assert_identical(
+                compose(client, update.closure, semantics="strict"), warm.automaton
+            )
+    finally:
+        if saved is None:
+            os.environ.pop(DENSE_PRODUCT_ENV, None)
+        else:
+            os.environ[DENSE_PRODUCT_ENV] = saved
+
+
+# ------------------------------------------------------------------ the crew
+
+
+def test_crew_map_preserves_order_and_runs_inline_when_trivial():
+    pool = WorkerPool()
+    try:
+        with pool.crew("thread", 4) as crew:
+            tasks = list(range(16))
+            assert crew.map(lambda x: x * x, tasks) == [x * x for x in tasks]
+            inline_before = pool.stats["pool_inline_calls"]
+            assert crew.map(lambda x: -x, [7]) == [-7]  # single task: inline
+            assert pool.stats["pool_inline_calls"] == inline_before + 1
+        assert pool.stats["pool_crew_entries"] >= 1
+    finally:
+        pool.shutdown()
+
+
+def test_crew_process_strategy_falls_back_without_fork(monkeypatch):
+    from repro.automata import sharding
+
+    monkeypatch.setattr(sharding, "_fork_available", lambda: False)
+    pool = WorkerPool()
+    try:
+        with pool.crew("process", 4) as crew:
+            assert crew.requested == "process"
+            assert crew.strategy == "thread"
+            assert crew.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert pool.stats["pool_crew_fallbacks"] == 1
+        assert pool.stats["pool_crew_forks"] == 0
+    finally:
+        pool.shutdown()
+
+
+def test_crew_forked_pool_is_lazy_and_closed(monkeypatch):
+    if "fork" not in __import__("multiprocessing").get_all_start_methods():
+        pytest.skip("fork start method unavailable")
+    pool = WorkerPool()
+    try:
+        with pool.crew("process", 2) as crew:
+            assert pool.stats["pool_crew_forks"] == 0  # nothing forked yet
+            assert crew.map(len, [[1], [1, 2]]) == [1, 2]
+            assert pool.stats["pool_crew_forks"] == 1
+            assert crew.map(len, [[], [1], [1, 2]]) == [0, 1, 2]
+            assert pool.stats["pool_crew_forks"] == 1  # reused, not re-forked
+        assert crew._mp_pool is None  # closed on exit
+    finally:
+        pool.shutdown()
+
+
+# ------------------------------------------------------- hash-seed stability
+
+
+_FINGERPRINT_SCRIPT = """
+import hashlib
+from tests.test_incremental import UNIVERSE, _client
+from repro.automata import IncompleteAutomaton
+from repro.automata.incremental import ClosureCache, IncrementalProduct
+
+client = _client()
+model = IncompleteAutomaton(
+    states=["q0"], inputs={"ping"}, outputs={"pong"}, transitions=(),
+    refusals=(), initial=["q0"], labels={"q0": {"p"}}, name="M_l^0",
+)
+cache = ClosureCache(UNIVERSE, deterministic_implementation=True)
+product = IncrementalProduct(semantics="strict", parallelism=4, dense=True)
+update = cache.update(model)
+step = product.update([client, update.closure], [frozenset(), update.dirty_states])
+assert step.dense
+digest = hashlib.sha256()
+for t in step.automaton.ordered_transitions:
+    digest.update(repr((repr(t.source), sorted(t.inputs), sorted(t.outputs), repr(t.target))).encode())
+for s in sorted(step.automaton.states, key=repr):
+    digest.update(repr(sorted(step.automaton.labels(s))).encode())
+# The joint-id assignment itself must be seed-independent: same state
+# behind every id, in id order, on every interpreter.
+resolve = product._interner.resolve
+for sid in range(step.dense_states):
+    digest.update(repr(resolve(sid)).encode())
+print(digest.hexdigest())
+"""
+
+
+def test_dense_joint_ids_are_hash_seed_independent():
+    """Three fresh interpreters, three hash seeds, one id fingerprint."""
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    root = os.path.dirname(src)
+    fingerprints = set()
+    for seed in ("0", "1", "2"):
+        env = dict(
+            os.environ, PYTHONHASHSEED=seed, PYTHONPATH=src + os.pathsep + root
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=root,
+            check=True,
+        )
+        fingerprints.add(result.stdout.strip())
+    assert len(fingerprints) == 1, fingerprints

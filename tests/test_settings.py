@@ -306,3 +306,76 @@ class TestResolvedDense:
         assert SynthesisSettings(dense=True).resolved_dense(1) is True
         monkeypatch.setenv("REPRO_DENSE", "1")
         assert SynthesisSettings(dense=False).resolved_dense(10**6) is False
+
+
+class TestResolvedDenseProduct:
+    """``resolved_dense_product`` / ``resolved_product_strategy`` knobs."""
+
+    def test_defaults_and_validation(self):
+        settings = SynthesisSettings()
+        assert settings.dense_product is None
+        assert settings.product_strategy is None
+        with pytest.raises(SynthesisError):
+            SynthesisSettings(dense_product="yes")  # type: ignore[arg-type]
+        with pytest.raises(SynthesisError, match="strategy"):
+            SynthesisSettings(product_strategy="fibers")
+
+    def test_adaptive_boundary_is_exactly_the_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DENSE_PRODUCT", raising=False)
+        settings = SynthesisSettings()  # dense_product=None: adaptive
+        assert settings.resolved_dense_product(DENSE_STATE_FLOOR - 1) is False
+        assert settings.resolved_dense_product(DENSE_STATE_FLOOR) is True
+        assert settings.resolved_dense_product(None) is True  # dense default
+
+    def test_env_overrides_adaptive_default(self, monkeypatch):
+        settings = SynthesisSettings()
+        monkeypatch.setenv("REPRO_DENSE_PRODUCT", "1")
+        assert settings.resolved_dense_product(1) is True
+        monkeypatch.setenv("REPRO_DENSE_PRODUCT", "0")
+        assert settings.resolved_dense_product(10**6) is False
+
+    def test_explicit_setting_beats_env_and_size(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DENSE_PRODUCT", "0")
+        assert SynthesisSettings(dense_product=True).resolved_dense_product(1) is True
+        monkeypatch.setenv("REPRO_DENSE_PRODUCT", "1")
+        assert (
+            SynthesisSettings(dense_product=False).resolved_dense_product(10**6)
+            is False
+        )
+
+    def test_product_strategy_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PRODUCT_STRATEGY", raising=False)
+        assert SynthesisSettings().resolved_product_strategy() is None
+        assert (
+            SynthesisSettings(product_strategy="thread").resolved_product_strategy()
+            == "thread"
+        )
+        monkeypatch.setenv("REPRO_PRODUCT_STRATEGY", "process")
+        assert SynthesisSettings().resolved_product_strategy() == "process"
+        assert (
+            SynthesisSettings(product_strategy="sequential")
+            .resolved_product_strategy()
+            == "sequential"
+        )
+
+    def test_loop_results_are_knob_independent(self):
+        def build(**knobs):
+            return IntegrationSynthesizer(
+                railcab.front_role_automaton(),
+                railcab.correct_rear_shuttle(convoy_ticks=1),
+                railcab.PATTERN_CONSTRAINT,
+                labeler=railcab.rear_state_labeler,
+                port="rearRole",
+                settings=SynthesisSettings(**knobs),
+            ).run()
+
+        reference = build()
+        for knobs in (
+            {"dense_product": True},
+            {"dense_product": False},
+            {"dense_product": True, "parallelism": 4, "product_strategy": "thread"},
+        ):
+            result = build(**knobs)
+            assert result.verdict is reference.verdict is Verdict.PROVEN
+            assert result.final_model == reference.final_model
+            assert result.iteration_count == reference.iteration_count

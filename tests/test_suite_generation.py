@@ -130,6 +130,12 @@ class TestResultExport:
             labeler=railcab.rear_state_labeler,
         ).run()
         document = result_to_dict(result)
+        # The export shape is versioned; consumers key migrations off
+        # this exact value (see SCHEMA_VERSION in repro.synthesis.report).
+        from repro.synthesis.report import SCHEMA_VERSION
+
+        assert document["schema_version"] == SCHEMA_VERSION == "1.1"
+        assert list(document)[0] == "schema_version"
         assert document["verdict"] == "real-violation"
         assert document["violation_kind"] == "property"
         assert document["totals"]["iterations"] == result.iteration_count

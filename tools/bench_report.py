@@ -122,6 +122,19 @@ def normalize(raw: dict) -> dict:
             "delta_states_per_second": (intern or {}).get("delta_states_per_second"),
             "image_edges_per_second": (image or {}).get("image_edges_per_second"),
         }
+    pbfs = report["benchmarks"].get("test_dense_product_bfs_vs_dict_k1")
+    pk4 = report["benchmarks"].get("test_dense_product_convoy_k4_vs_k1")
+    if pbfs is not None or pk4 is not None:
+        report["dense_product"] = {
+            "convoy_ticks": (pbfs or pk4 or {}).get("convoy_ticks"),
+            "warm_updates": (pbfs or pk4 or {}).get("warm_updates"),
+            "product_states": (pbfs or {}).get("product_states"),
+            "product_dense_states": (pbfs or {}).get("product_dense_states"),
+            "dense_vs_dict_best_paired": (pbfs or {}).get("dense_vs_dict_best_paired"),
+            "dense_vs_dict_median_ratio": (pbfs or {}).get("dense_vs_dict_median_ratio"),
+            "k4_vs_k1_best_paired": (pk4 or {}).get("k4_vs_k1_best_paired"),
+            "k4_vs_k1_median_ratio": (pk4 or {}).get("k4_vs_k1_median_ratio"),
+        }
     robust = report["benchmarks"].get("test_robust_overhead_guard")
     if robust is not None:
         report["robust"] = {

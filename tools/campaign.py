@@ -37,7 +37,7 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.errors import ModelError, SynthesisError  # noqa: E402
+from repro import ModelError, SynthesisError  # noqa: E402
 from repro.testing import (  # noqa: E402
     build_scenario,
     default_matrix,

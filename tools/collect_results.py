@@ -16,7 +16,11 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro import railcab  # noqa: E402
+from repro import (  # noqa: E402
+    IntegrationSynthesizer,
+    MultiLegacySynthesizer,
+    railcab,
+)
 from repro.baselines import (  # noqa: E402
     LStarLearner,
     MembershipOracle,
@@ -25,7 +29,6 @@ from repro.baselines import (  # noqa: E402
     w_method_suite,
 )
 from repro.legacy import interface_of  # noqa: E402
-from repro.synthesis import IntegrationSynthesizer, MultiLegacySynthesizer  # noqa: E402
 
 
 def run_single(component, **kwargs):

@@ -6,7 +6,7 @@ fails (exit 1) when the dense core misses its floors::
 
     python tools/perf_gate.py BENCH_loop.json --min-speedup 3.0 --min-k4 1.0
 
-Two numbers are gated, both from the report's ``"dense"`` section:
+Two numbers are gated from the report's ``"dense"`` section:
 
 * ``dense_vs_dict_speedup_min`` — sequential dense fixpoints vs the
   legacy dict solvers on the 10k-state product.  The floor is deliberately
@@ -19,6 +19,20 @@ Two numbers are gated, both from the report's ``"dense"`` section:
   in at least one paired convoy round (strictly greater than 1.0): the
   ``id % K`` ownership makes sharding overhead-free, so losing every
   round means the dense sharded path regressed.
+
+And two from the ``"dense_product"`` section (the id-space product
+BFS over the convoy-loop lifecycle of one cold exploration plus warm
+updates):
+
+* ``dense_vs_dict_best_paired`` — the dense product BFS must not lose
+  to the legacy dict cache at K=1 (at or above ``--min-product``,
+  default 1.0).
+* ``k4_vs_k1_best_paired`` — K=4 under the automatically selected
+  strategy must strictly beat K=1 on at least one paired round
+  (above ``--min-product-k4``, default 1.0): the chained schedule's
+  analytic ``id % K`` attribution prices sharding at two modulo
+  operations per edge, so losing every round means the dense product
+  path regressed.
 """
 
 from __future__ import annotations
@@ -45,12 +59,30 @@ def main(argv: list[str] | None = None) -> int:
         help="floor for k4_vs_k1_best_paired; the gate requires a strictly "
         "greater value (default: 1.0)",
     )
+    parser.add_argument(
+        "--min-product",
+        type=float,
+        default=1.0,
+        help="floor for dense_product.dense_vs_dict_best_paired; the dense "
+        "product BFS must reach it (default: 1.0)",
+    )
+    parser.add_argument(
+        "--min-product-k4",
+        type=float,
+        default=1.0,
+        help="floor for dense_product.k4_vs_k1_best_paired; the gate "
+        "requires a strictly greater value (default: 1.0)",
+    )
     args = parser.parse_args(argv)
 
     report = json.loads(args.report.read_text())
     dense = report.get("dense")
     if not dense:
         print(f"perf gate: no 'dense' section in {args.report}", file=sys.stderr)
+        return 1
+    dense_product = report.get("dense_product")
+    if not dense_product:
+        print(f"perf gate: no 'dense_product' section in {args.report}", file=sys.stderr)
         return 1
 
     failures = []
@@ -62,6 +94,18 @@ def main(argv: list[str] | None = None) -> int:
     k4 = dense.get("k4_vs_k1_best_paired")
     if k4 is None or k4 <= args.min_k4:
         failures.append(f"k4_vs_k1_best_paired={k4} not above {args.min_k4}")
+    product = dense_product.get("dense_vs_dict_best_paired")
+    if product is None or product < args.min_product:
+        failures.append(
+            f"dense_product.dense_vs_dict_best_paired={product} below floor "
+            f"{args.min_product}"
+        )
+    product_k4 = dense_product.get("k4_vs_k1_best_paired")
+    if product_k4 is None or product_k4 <= args.min_product_k4:
+        failures.append(
+            f"dense_product.k4_vs_k1_best_paired={product_k4} not above "
+            f"{args.min_product_k4}"
+        )
 
     if failures:
         for failure in failures:
@@ -69,7 +113,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"perf gate OK: dense fixpoints {speedup:.2f}x (floor {args.min_speedup}), "
-        f"checker K=4 best-paired {k4:.3f}x (> {args.min_k4})"
+        f"checker K=4 best-paired {k4:.3f}x (> {args.min_k4}), "
+        f"product BFS {product:.3f}x vs dict (floor {args.min_product}), "
+        f"product K=4 best-paired {product_k4:.3f}x (> {args.min_product_k4})"
     )
     return 0
 
