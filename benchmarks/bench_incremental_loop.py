@@ -35,7 +35,10 @@ layer (``repro.obs``): the instrumentation is permanent, so the
 1% of loop time; a live JSONL-streaming tracer must stay within 10%.
 The ``robust_overhead`` guard applies the same accounting to the
 fault-tolerant test supervisor (``repro.testing.robust``): the
-fault-free supervised path must stay within 5% of loop time.
+fault-free supervised path must stay within 5% of loop time.  The
+``flight_recorder_overhead`` guard does it once more for the progress
+/ flight-recorder event sites: un-armed (the empty
+``ProgressEmitter``) below 1%, an armed in-memory ring below 5%.
 
 ``tools/bench_report.py`` normalizes this module's
 ``--benchmark-json`` output into ``BENCH_loop.json``.
@@ -69,6 +72,7 @@ def _convoy_synthesizer(
     parallelism: int | None = None,
     checker_parallelism: int | None = None,
     tracer=None,
+    flight=None,
 ) -> IntegrationSynthesizer:
     return IntegrationSynthesizer(
         railcab.front_role_automaton(),
@@ -81,6 +85,7 @@ def _convoy_synthesizer(
             parallelism=parallelism,
             checker_parallelism=checker_parallelism,
             tracer=tracer,
+            flight_recorder=flight,
         ),
     )
 
@@ -565,6 +570,125 @@ def test_tracing_overhead_guard(benchmark):
         assert min_ratio <= 1.5, (
             f"JSONL-streaming run {min_ratio:.2f}x the null run (min-vs-min) — "
             f"far beyond per-span accounting; something pathological regressed"
+        )
+
+
+#: Ceilings asserted by :func:`test_flight_recorder_overhead_guard`.
+NULL_FLIGHT_OVERHEAD_CEILING = 0.01
+ACTIVE_FLIGHT_OVERHEAD_CEILING = 0.05
+
+
+def test_flight_recorder_overhead_guard(benchmark):
+    """The flight recorder must be free when off and cheap when armed.
+
+    Like the tracing guard: the progress/flight event sites live
+    permanently in the loop, so the un-armed cost is bounded by
+    accounting — count the events an armed run records, microbenchmark
+    one emit through an empty :class:`ProgressEmitter` (the exact
+    no-consumer path every site takes by default), and pin the product
+    below 1% of loop time.  An armed in-memory ring
+    (:class:`FlightRecorder` without a directory — the ``--blackbox``
+    configuration between anomalies) is bounded the same way at 5%,
+    with the paired end-to-end ratio recorded and only sanity-bounded.
+    """
+    from repro.obs import FlightRecorder, ProgressEmitter
+
+    def measure():
+        null_times: list[float] = []
+        active_times: list[float] = []
+        results = {}
+        events_per_run = 0
+        for _ in range(5):
+            t0 = time.perf_counter()
+            results["null"] = _convoy_synthesizer(
+                incremental=True, ticks=SPEEDUP_TICKS
+            ).run()
+            null_times.append(time.perf_counter() - t0)
+            recorder = FlightRecorder(capacity=256)
+            t0 = time.perf_counter()
+            results["active"] = _convoy_synthesizer(
+                incremental=True, ticks=SPEEDUP_TICKS, flight=recorder
+            ).run()
+            active_times.append(time.perf_counter() - t0)
+            events_per_run = recorder._seq
+
+        cycles = 100_000
+        idle = ProgressEmitter()
+
+        def time_null() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                idle.emit("overhead.probe", iteration=1, tests_executed=3)
+            return (time.perf_counter() - t0) / cycles
+
+        ring = FlightRecorder(capacity=256)
+        armed = ProgressEmitter(ring)
+
+        def time_active() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                armed.emit("overhead.probe", iteration=1, tests_executed=3)
+            return (time.perf_counter() - t0) / cycles
+
+        per_null_emit = _best_of(time_null)
+        per_active_emit = _best_of(time_active)
+        return results, null_times, active_times, events_per_run, per_null_emit, per_active_emit
+
+    # Best-of-N with one retry, exactly like the tracing guard: only a
+    # ceiling exceeded by two independent measurement passes fails.
+    sample = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for attempt in (1, 2):
+        results, null_times, active_times, events_per_run, per_null_emit, per_active_emit = sample
+        null_result, active_result = results["null"], results["active"]
+        assert null_result.verdict is active_result.verdict is Verdict.PROVEN
+        assert null_result.iteration_count == active_result.iteration_count >= 8
+        assert null_result.final_model == active_result.final_model
+        assert events_per_run > 0
+
+        null_fraction = events_per_run * per_null_emit / min(null_times)
+        active_fraction = events_per_run * per_active_emit / min(null_times)
+        best_paired = min(a / n for a, n in zip(active_times, null_times))
+        min_ratio = min(active_times) / min(null_times)
+        benchmark.extra_info.update(
+            {
+                "mode": "flight_recorder_overhead",
+                "convoy_ticks": SPEEDUP_TICKS,
+                "iterations": null_result.iteration_count,
+                "events_per_run": events_per_run,
+                "per_null_emit_seconds": per_null_emit,
+                "per_active_emit_seconds": per_active_emit,
+                "null_flight_overhead_fraction": null_fraction,
+                "active_flight_overhead_fraction": active_fraction,
+                "null_loop_seconds_min": min(null_times),
+                "active_loop_seconds_min": min(active_times),
+                "active_vs_null_best_paired": best_paired,
+                "active_vs_null_min_ratio": min_ratio,
+                "measurement_attempts": attempt,
+            }
+        )
+        within_bounds = (
+            null_fraction <= NULL_FLIGHT_OVERHEAD_CEILING
+            and active_fraction <= ACTIVE_FLIGHT_OVERHEAD_CEILING
+            and min_ratio <= 1.5
+        )
+        if within_bounds:
+            break
+        if attempt == 1:
+            sample = measure()  # retry once off-benchmark with fresh timings
+            continue
+        assert null_fraction <= NULL_FLIGHT_OVERHEAD_CEILING, (
+            f"un-armed flight/progress overhead {null_fraction:.4%} of loop time "
+            f"exceeds the {NULL_FLIGHT_OVERHEAD_CEILING:.0%} ceiling on both "
+            f"attempts ({events_per_run} events × {per_null_emit * 1e9:.0f}ns)"
+        )
+        assert active_fraction <= ACTIVE_FLIGHT_OVERHEAD_CEILING, (
+            f"armed ring-recorder overhead {active_fraction:.2%} of loop time "
+            f"exceeds the {ACTIVE_FLIGHT_OVERHEAD_CEILING:.0%} ceiling on both "
+            f"attempts ({events_per_run} events × {per_active_emit * 1e6:.1f}µs)"
+        )
+        assert min_ratio <= 1.5, (
+            f"armed run {min_ratio:.2f}x the un-armed run (min-vs-min) — far "
+            f"beyond per-event accounting; something pathological regressed"
         )
 
 

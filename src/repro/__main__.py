@@ -45,6 +45,20 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         # own tracer and _export_trace writes it where the flag said.
         tracer = Tracer()
         args._tracer = tracer
+    flight = None
+    blackbox_dir = getattr(args, "blackbox", None)
+    if blackbox_dir:
+        from .obs import FlightRecorder
+
+        # Like --trace, an explicit --blackbox wins over REPRO_BLACKBOX.
+        flight = FlightRecorder(blackbox_dir)
+        args._flight = flight
+    progress = None
+    if getattr(args, "progress", False):
+        from .obs import TtyProgressSink
+
+        progress = TtyProgressSink()
+        args._progress = progress
     retry_policy = None
     test_retries = getattr(args, "test_retries", None)
     test_timeout = getattr(args, "test_timeout", None)
@@ -76,18 +90,25 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         retry_policy=retry_policy,
         fault_profile=fault_profile,
         tracer=tracer,
+        flight_recorder=flight,
+        progress=progress,
     )
 
 
 def _export_trace(args: argparse.Namespace) -> None:
-    """Write the run's trace where ``--trace`` asked, and say so."""
+    """Flush observability outputs: progress line, trace, blackbox note."""
+    progress = getattr(args, "_progress", None)
+    if progress is not None:
+        progress.close()
     tracer = getattr(args, "_tracer", None)
-    if tracer is None:
-        return
-    from .obs import write_trace
+    if tracer is not None:
+        from .obs import write_trace
 
-    write_trace(tracer, args.trace, format=args.trace_format)
-    print(f"\ntrace ({args.trace_format}) written to {args.trace}")
+        write_trace(tracer, args.trace, format=args.trace_format)
+        print(f"\ntrace ({args.trace_format}) written to {args.trace}")
+    flight = getattr(args, "_flight", None)
+    if flight is not None and flight.last_path is not None:
+        print(f"blackbox dumped to {flight.last_path} ({flight.dumps} anomalies)")
 
 
 def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +185,18 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
         help="trace file format: jsonl events or a Chrome/Perfetto "
         "trace-event JSON (default: jsonl)",
+    )
+    group.add_argument(
+        "--blackbox", metavar="DIR", default=None,
+        help="arm the flight recorder: on any anomaly dump a "
+        "self-contained blackbox.json into DIR "
+        "(see docs/observability.md; $REPRO_BLACKBOX works without "
+        "the flag)",
+    )
+    group.add_argument(
+        "--progress", action="store_true",
+        help="render a live single-line progress status to stderr "
+        "while the loop runs",
     )
 
 SHUTTLES = {

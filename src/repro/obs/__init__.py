@@ -9,19 +9,27 @@
   fixed-bucket histograms, plus the canonical ``product_*`` /
   ``checker_*`` counter plumbing shared with the reports;
 * :mod:`repro.obs.export` — JSONL and Chrome trace-event exporters,
-  the self-time fold behind ``tools/trace_report.py``, and the
-  plain-text per-iteration summary.
+  the self-time fold (and fold diff) behind ``tools/trace_report.py``,
+  and the plain-text per-iteration summary;
+* :mod:`repro.obs.progress` — typed live progress events from the
+  loop, through callback/JSONL/TTY sinks (the service streaming hook);
+* :mod:`repro.obs.flight` — the flight recorder: a bounded event ring
+  that dumps a self-contained ``blackbox.json`` on anomalies, with a
+  zero-overhead :data:`NULL_FLIGHT_RECORDER` default and
+  ``REPRO_BLACKBOX`` environment activation.
 
-Span and metric names are a stable, tested contract — see
-``docs/observability.md`` for the reference.
+Span, metric, and progress-event names are a stable, tested contract —
+see ``docs/observability.md`` for the reference.
 """
 
 from .export import (
     chrome_trace,
     encode_event,
+    fold_diff,
     fold_self_time,
     load_trace,
     metric_events,
+    render_fold_diff,
     render_fold_table,
     render_trace_summary,
     span_event,
@@ -29,6 +37,13 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
     write_trace,
+)
+from .flight import (
+    BLACKBOX_ENV,
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+    resolve_flight_recorder,
 )
 from .metrics import (
     DEFAULT_TIME_BOUNDS,
@@ -41,6 +56,14 @@ from .metrics import (
     publish_record,
     record_counters,
 )
+from .progress import (
+    PROGRESS_EVENT_NAMES,
+    CallbackProgressSink,
+    JsonlProgressSink,
+    ProgressEmitter,
+    ProgressEvent,
+    TtyProgressSink,
+)
 from .tracer import (
     NULL_TRACER,
     TRACE_ENV,
@@ -52,28 +75,41 @@ from .tracer import (
 )
 
 __all__ = [
+    "BLACKBOX_ENV",
+    "CallbackProgressSink",
     "Counter",
     "DEFAULT_TIME_BOUNDS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonlProgressSink",
     "MetricsRegistry",
+    "NULL_FLIGHT_RECORDER",
     "NULL_METRICS",
     "NULL_TRACER",
+    "NullFlightRecorder",
     "NullMetricsRegistry",
     "NullTracer",
+    "PROGRESS_EVENT_NAMES",
+    "ProgressEmitter",
+    "ProgressEvent",
     "Span",
     "TRACE_ENV",
     "TRACE_FORMAT_ENV",
     "Tracer",
+    "TtyProgressSink",
     "chrome_trace",
+    "fold_diff",
     "fold_self_time",
     "load_trace",
     "metric_events",
     "encode_event",
     "publish_record",
     "record_counters",
+    "render_fold_diff",
     "render_fold_table",
     "render_trace_summary",
+    "resolve_flight_recorder",
     "resolve_tracer",
     "span_event",
     "span_line",

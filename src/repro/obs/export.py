@@ -38,7 +38,9 @@ __all__ = [
     "write_trace",
     "load_trace",
     "fold_self_time",
+    "fold_diff",
     "render_fold_table",
+    "render_fold_diff",
     "render_trace_summary",
 ]
 
@@ -311,6 +313,58 @@ def render_fold_table(rows: Sequence[dict], *, limit: int | None = None) -> str:
         )
     if limit is not None and len(rows) > limit:
         lines.append(f"... {len(rows) - limit} more span name(s)")
+    return "\n".join(lines)
+
+
+def fold_diff(old_rows: Sequence[dict], new_rows: Sequence[dict]) -> list[dict]:
+    """Attribute a time regression to phases: diff two self-time folds.
+
+    Takes two :func:`fold_self_time` results (old and new run of the
+    same scenario) and returns one row per span name with the old/new
+    self times, their delta, and the count delta.  Rows are sorted by
+    descending absolute self-time delta, then name — the top row is
+    the phase that moved the most.  Names present in only one fold
+    diff against zero.
+    """
+    old = {row["name"]: row for row in old_rows}
+    new = {row["name"]: row for row in new_rows}
+    rows = []
+    for name in sorted(old.keys() | new.keys()):
+        old_self = old.get(name, {}).get("self", 0.0)
+        new_self = new.get(name, {}).get("self", 0.0)
+        rows.append(
+            {
+                "name": name,
+                "old_self": old_self,
+                "new_self": new_self,
+                "delta_self": new_self - old_self,
+                "old_count": old.get(name, {}).get("count", 0),
+                "new_count": new.get(name, {}).get("count", 0),
+            }
+        )
+    return sorted(rows, key=lambda row: (-abs(row["delta_self"]), row["name"]))
+
+
+def render_fold_diff(rows: Sequence[dict], *, limit: int | None = None) -> str:
+    """The phase-attribution table of :func:`fold_diff` rows."""
+    shown = list(rows if limit is None else rows[:limit])
+    header = (
+        f"{'span':<28} {'old ms':>10} {'new ms':>10} {'delta ms':>10} "
+        f"{'delta %':>8} {'count':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in shown:
+        base = row["old_self"]
+        percent = f"{100.0 * row['delta_self'] / base:>7.1f}%" if base > 0 else "     new"
+        lines.append(
+            f"{row['name']:<28} {row['old_self'] * 1e3:>10.2f} "
+            f"{row['new_self'] * 1e3:>10.2f} {row['delta_self'] * 1e3:>+10.2f} "
+            f"{percent} {row['old_count']:>5}->{row['new_count']:<5}"
+        )
+    if limit is not None and len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more span name(s)")
+    total = sum(row["delta_self"] for row in rows)
+    lines.append(f"net self-time delta: {total * 1e3:+.2f} ms")
     return "\n".join(lines)
 
 

@@ -51,6 +51,7 @@ from ..logic.compositional import assert_compositional, weaken_for_chaos
 from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import AF, AU, DEADLOCK_FREE, Deadlock, Formula
 from ..obs.metrics import publish_record
+from ..obs.progress import ProgressEmitter
 from ..obs.tracer import resolve_tracer
 from ..testing.executor import TestExecution, TestVerdict
 from ..testing.faults import FaultyComponent
@@ -366,7 +367,15 @@ class IntegrationSynthesizer:
             component = FaultyComponent.wrap(component, fault_profile, tracer=self.tracer)
         self.component = component
         self.retry_policy = settings.resolved_retry_policy()
-        self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
+        self.flight = settings.resolved_flight_recorder()
+        self.flight.bind(settings=settings)
+        self._events = ProgressEmitter(settings.progress, self.flight)
+        self.robust = RobustExecutor(
+            self.retry_policy,
+            tracer=self.tracer,
+            flight=self.flight,
+            events=self._events.emit if self._events else None,
+        )
         self.quarantine = Quarantine()
         self.property = property
         self.weakened_property = weaken_for_chaos(property)
@@ -485,6 +494,40 @@ class IntegrationSynthesizer:
                 tracer.metrics.absorb(fault_counts, prefix="fault_injected_")
         return result
 
+    def _finish(self, result: SynthesisResult) -> SynthesisResult:
+        """Emit the final verdict event (and dump degraded verdicts)."""
+        if self._events:
+            self._events.emit(
+                "verdict.reached",
+                verdict=result.verdict.value,
+                iterations=result.iteration_count,
+                quarantined=len(result.quarantined),
+            )
+        if result.verdict is Verdict.BUDGET_EXCEEDED:
+            self.flight.anomaly(
+                "budget_exceeded",
+                iterations=result.iteration_count,
+                quarantined=len(result.quarantined),
+            )
+        return result
+
+    def _quarantine_push(self, run: Run, *, probe: bool) -> bool:
+        """Quarantine a counterexample; an admission is a recorded anomaly."""
+        admitted = self.quarantine.push(run, probe=probe)
+        if admitted:
+            if self._events:
+                self._events.emit(
+                    "quarantine.admitted",
+                    quarantine_size=len(self.quarantine),
+                    probe=probe,
+                )
+            self.flight.anomaly(
+                "quarantine_admission",
+                counterexample=repr(run),
+                quarantine_size=len(self.quarantine),
+            )
+        return admitted
+
     def _run(self) -> SynthesisResult:
         tracer = self.tracer
         if self.initial_knowledge is not None:
@@ -492,12 +535,36 @@ class IntegrationSynthesizer:
         else:
             model = initial_model(self.interface, labeler=self.labeler)
         records: list[IterationRecord] = []
+        self.flight.bind(settings=self.settings, records=lambda: records)
+        self._events.emit(
+            "loop.started",
+            synthesizer="IntegrationSynthesizer",
+            max_iterations=self.max_iterations,
+            incremental=self.incremental,
+            parallelism=self.parallelism,
+            checker_parallelism=self.checker_parallelism,
+        )
 
         def note(rec: IterationRecord) -> None:
             records.append(rec)
             if tracer.enabled:
                 publish_record(tracer.metrics, rec)
                 checker.stats.publish_to(tracer.metrics)
+            if self._events:
+                self._events.emit(
+                    "iteration.finished",
+                    iteration=rec.index,
+                    property_holds=rec.property_holds,
+                    deadlock_free=rec.deadlock_free,
+                    violated=rec.violated,
+                    fast_conflict=rec.fast_conflict,
+                    tests_executed=rec.tests_executed,
+                    knowledge_gained=rec.knowledge_gained,
+                    test_retries=rec.test_retries,
+                    test_timeouts=rec.test_timeouts,
+                    tests_inconclusive=rec.tests_inconclusive,
+                    quarantine_size=rec.quarantine_size,
+                )
 
         closure: Automaton | None = None
         engine = (
@@ -519,6 +586,8 @@ class IntegrationSynthesizer:
 
         for index in range(self.max_iterations):
             with tracer.span("loop.iteration", index=index):
+                if self._events:
+                    self._events.emit("iteration.started", iteration=index)
                 if engine is not None:
                     step = engine.step([model], closure_names=[f"M_a^{index}"])
                     closure = step.closures[0]
@@ -550,6 +619,23 @@ class IntegrationSynthesizer:
                     property_result = checker.check(self.weakened_property)
                 with tracer.span("checker.check", kind="deadlock"):
                     deadlock_result = checker.check(DEADLOCK_FREE)
+                if self._events:
+                    self._events.emit(
+                        "phase.finished",
+                        iteration=index,
+                        phase="verify",
+                        property_holds=property_result.holds,
+                        deadlock_free=deadlock_result.holds,
+                        composed_states=len(composed.states),
+                        checker_fixpoint_work=checker.stats.fixpoint_work,
+                        checker_shards=checker.stats.shards,
+                        checker_shard_handoffs=checker.stats.shard_handoffs,
+                        product_hits=step_stats.product_hits if step_stats else 0,
+                        product_misses=step_stats.product_misses if step_stats else 0,
+                        product_shards=step_stats.product_shards if step_stats else 0,
+                        dirty_states=step_stats.dirty_states if step_stats else 0,
+                        affected_states=step_stats.affected_states if step_stats else 0,
+                    )
 
                 def record(
                     *,
@@ -611,15 +697,17 @@ class IntegrationSynthesizer:
 
                 if property_result.holds and deadlock_result.holds:
                     note(record(violated=None, cex=None, fast=False, scratch=None, gained=0))
-                    return SynthesisResult(
-                        verdict=Verdict.PROVEN,
-                        property=self.property,
-                        iterations=tuple(records),
-                        final_model=model,
-                        final_closure=closure,
-                        violation_witness=None,
-                        violation_kind=None,
-                        quarantined=self.quarantine.unresolved(),
+                    return self._finish(
+                        SynthesisResult(
+                            verdict=Verdict.PROVEN,
+                            property=self.property,
+                            iterations=tuple(records),
+                            final_model=model,
+                            final_closure=closure,
+                            violation_witness=None,
+                            violation_kind=None,
+                            quarantined=self.quarantine.unresolved(),
+                        )
                     )
 
                 if not property_result.holds:
@@ -659,15 +747,17 @@ class IntegrationSynthesizer:
                         note(
                             record(violated=violated, cex=fast_candidate, fast=True, scratch=None, gained=0)
                         )
-                        return SynthesisResult(
-                            verdict=Verdict.REAL_VIOLATION,
-                            property=self.property,
-                            iterations=tuple(records),
-                            final_model=model,
-                            final_closure=closure,
-                            violation_witness=fast_candidate,
-                            violation_kind=violated,
-                            quarantined=self.quarantine.unresolved(),
+                        return self._finish(
+                            SynthesisResult(
+                                verdict=Verdict.REAL_VIOLATION,
+                                property=self.property,
+                                iterations=tuple(records),
+                                final_model=model,
+                                final_closure=closure,
+                                violation_witness=fast_candidate,
+                                violation_kind=violated,
+                                quarantined=self.quarantine.unresolved(),
+                            )
                         )
 
                 scratch = _IterationScratch()
@@ -729,15 +819,17 @@ class IntegrationSynthesizer:
                     record(violated=violated, cex=cex, fast=False, scratch=scratch, gained=gained)
                 )
                 if scratch.real_violation:
-                    return SynthesisResult(
-                        verdict=Verdict.REAL_VIOLATION,
-                        property=self.property,
-                        iterations=tuple(records),
-                        final_model=model,
-                        final_closure=closure,
-                        violation_witness=cex,
-                        violation_kind=violated,
-                        quarantined=self.quarantine.unresolved(),
+                    return self._finish(
+                        SynthesisResult(
+                            verdict=Verdict.REAL_VIOLATION,
+                            property=self.property,
+                            iterations=tuple(records),
+                            final_model=model,
+                            final_closure=closure,
+                            violation_witness=cex,
+                            violation_kind=violated,
+                            quarantined=self.quarantine.unresolved(),
+                        )
                     )
                 if gained <= 0 and scratch.inconclusive == 0:
                     # An iteration that learned nothing *and* completed all
@@ -754,31 +846,42 @@ class IntegrationSynthesizer:
                         # sound degraded answer is inconclusive, never a
                         # crash — found by the randomized conformance
                         # campaign on dense-floor scenarios.
-                        return SynthesisResult(
-                            verdict=Verdict.BUDGET_EXCEEDED,
-                            property=self.property,
-                            iterations=tuple(records),
-                            final_model=model,
-                            final_closure=closure,
-                            violation_witness=None,
-                            violation_kind=None,
-                            quarantined=self.quarantine.unresolved(),
+                        self.flight.anomaly(
+                            "chaos_zero_progress",
+                            iteration=index,
+                            counterexample=repr(cex),
                         )
-                    raise SynthesisError(
+                        return self._finish(
+                            SynthesisResult(
+                                verdict=Verdict.BUDGET_EXCEEDED,
+                                property=self.property,
+                                iterations=tuple(records),
+                                final_model=model,
+                                final_closure=closure,
+                                violation_witness=None,
+                                violation_kind=None,
+                                quarantined=self.quarantine.unresolved(),
+                            )
+                        )
+                    message = (
                         f"iteration {index} made no learning progress on {cex} — "
                         "this contradicts §4.4's termination argument and indicates "
                         "a non-deterministic component or an inconsistent universe"
                     )
+                    self.flight.anomaly("synthesis_error", iteration=index, error=message)
+                    raise SynthesisError(message)
 
-        return SynthesisResult(
-            verdict=Verdict.BUDGET_EXCEEDED,
-            property=self.property,
-            iterations=tuple(records),
-            final_model=model,
-            final_closure=closure,
-            violation_witness=None,
-            violation_kind=None,
-            quarantined=self.quarantine.unresolved(),
+        return self._finish(
+            SynthesisResult(
+                verdict=Verdict.BUDGET_EXCEEDED,
+                property=self.property,
+                iterations=tuple(records),
+                final_model=model,
+                final_closure=closure,
+                violation_witness=None,
+                violation_kind=None,
+                quarantined=self.quarantine.unresolved(),
+            )
         )
 
     # -------------------------------------------------------------- helpers
@@ -846,7 +949,7 @@ class IntegrationSynthesizer:
         if outcome.inconclusive:
             scratch.inconclusive += 1
             if quarantine_run is not None:
-                self.quarantine.push(quarantine_run, probe=probe)
+                self._quarantine_push(quarantine_run, probe=probe)
             return None
         return outcome
 
@@ -876,7 +979,7 @@ class IntegrationSynthesizer:
         if not getattr(self.component, "fault_injection_active", False):
             return False
         scratch.inconclusive += 1
-        self.quarantine.push(candidate, probe=probe)
+        self._quarantine_push(candidate, probe=probe)
         return True
 
     def _replay(self, execution: TestExecution, scratch: _IterationScratch) -> ReplayResult:
@@ -969,7 +1072,7 @@ class IntegrationSynthesizer:
                 if not self._trusted(outcome):
                     # Lemma 6: no CONFIRMED verdict without a validated
                     # fault-free run.  Retry later instead of reporting.
-                    self.quarantine.push(cex, probe=False)
+                    self._quarantine_push(cex, probe=False)
                     return model
                 scratch.real_violation = True
                 scratch.violation = cex
@@ -1116,7 +1219,7 @@ class IntegrationSynthesizer:
             # The context itself is stuck: nothing the legacy component
             # does can unblock the system.
             if not self._trusted(outcome):
-                self.quarantine.push(cex, probe=True)
+                self._quarantine_push(cex, probe=True)
                 return model
             scratch.real_violation = True
             scratch.violation = cex
@@ -1165,7 +1268,7 @@ class IntegrationSynthesizer:
                 # This offer could not be decided fault-free: park the whole
                 # counterexample (undecided, not confirmed) and retry the
                 # probing in a later iteration.
-                self.quarantine.push(cex, probe=True)
+                self._quarantine_push(cex, probe=True)
                 return model
             model = self._learn_execution(model, probe_outcome, scratch)
             assert probe_outcome.execution is not None

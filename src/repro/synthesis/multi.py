@@ -48,6 +48,7 @@ from ..logic.counterexample import counterexample, counterexamples
 from ..logic.formulas import DEADLOCK_FREE, Formula
 from ..automata.sharding import get_pool
 from ..obs.metrics import publish_record
+from ..obs.progress import ProgressEmitter
 from ..obs.tracer import resolve_tracer
 from ..testing.executor import TestVerdict
 from ..testing.faults import FaultyComponent
@@ -288,7 +289,15 @@ class MultiLegacySynthesizer:
         self.dense_product = settings.dense_product
         self.product_strategy = settings.resolved_product_strategy()
         self.retry_policy = settings.resolved_retry_policy()
-        self.robust = RobustExecutor(self.retry_policy, tracer=self.tracer)
+        self.flight = settings.resolved_flight_recorder()
+        self.flight.bind(settings=settings)
+        self._events = ProgressEmitter(settings.progress, self.flight)
+        self.robust = RobustExecutor(
+            self.retry_policy,
+            tracer=self.tracer,
+            flight=self.flight,
+            events=self._events.emit if self._events else None,
+        )
         self.quarantine = Quarantine()
         fault_profile = settings.resolved_fault_profile()
         universes = universes or {}
@@ -649,9 +658,36 @@ class MultiLegacySynthesizer:
                     )
         return result
 
+    def _quarantine_push(self, run, *, probe: bool) -> bool:
+        """Quarantine a counterexample; an admission is a recorded anomaly."""
+        admitted = self.quarantine.push(run, probe=probe)
+        if admitted:
+            if self._events:
+                self._events.emit(
+                    "quarantine.admitted",
+                    quarantine_size=len(self.quarantine),
+                    probe=probe,
+                )
+            self.flight.anomaly(
+                "quarantine_admission",
+                counterexample=repr(run),
+                quarantine_size=len(self.quarantine),
+            )
+        return admitted
+
     def _run(self) -> MultiSynthesisResult:
         tracer = self.tracer
         records: list[MultiIterationRecord] = []
+        self.flight.bind(settings=self.settings, records=lambda: records)
+        self._events.emit(
+            "loop.started",
+            synthesizer="MultiLegacySynthesizer",
+            components=[slot.name for slot in self.slots],
+            max_iterations=self.max_iterations,
+            incremental=self.incremental,
+            parallelism=self.parallelism,
+            checker_parallelism=self.checker_parallelism,
+        )
 
         def note(rec: MultiIterationRecord) -> None:
             # ``checker`` late-binds to the current iteration's checker.
@@ -659,6 +695,21 @@ class MultiLegacySynthesizer:
             if tracer.enabled:
                 publish_record(tracer.metrics, rec)
                 checker.stats.publish_to(tracer.metrics)
+            if self._events:
+                self._events.emit(
+                    "iteration.finished",
+                    iteration=rec.index,
+                    property_holds=rec.property_holds,
+                    deadlock_free=rec.deadlock_free,
+                    violated=rec.violated,
+                    fast_conflict=rec.fast_conflict,
+                    tests_executed=rec.tests_executed,
+                    knowledge_gained=rec.knowledge_gained,
+                    test_retries=rec.test_retries,
+                    test_timeouts=rec.test_timeouts,
+                    tests_inconclusive=rec.tests_inconclusive,
+                    quarantine_size=rec.quarantine_size,
+                )
 
         engine = (
             IncrementalVerifier(
@@ -678,6 +729,8 @@ class MultiLegacySynthesizer:
         )
         for index in range(self.max_iterations):
             with tracer.span("loop.iteration", index=index):
+                if self._events:
+                    self._events.emit("iteration.started", iteration=index)
                 if engine is not None:
                     step = engine.step(
                         [slot.model for slot in self.slots],
@@ -701,6 +754,23 @@ class MultiLegacySynthesizer:
                     property_result = checker.check(self.weakened_property)
                 with tracer.span("checker.check", kind="deadlock"):
                     deadlock_result = checker.check(DEADLOCK_FREE)
+                if self._events:
+                    self._events.emit(
+                        "phase.finished",
+                        iteration=index,
+                        phase="verify",
+                        property_holds=property_result.holds,
+                        deadlock_free=deadlock_result.holds,
+                        composed_states=len(composed.states),
+                        checker_fixpoint_work=checker.stats.fixpoint_work,
+                        checker_shards=checker.stats.shards,
+                        checker_shard_handoffs=checker.stats.shard_handoffs,
+                        product_hits=step_stats.product_hits if step_stats else 0,
+                        product_misses=step_stats.product_misses if step_stats else 0,
+                        product_shards=step_stats.product_shards if step_stats else 0,
+                        dirty_states=step_stats.dirty_states if step_stats else 0,
+                        affected_states=step_stats.affected_states if step_stats else 0,
+                    )
                 counter_fields = dict(
                     closure_groups_reused=step_stats.closure_groups_reused if step_stats else 0,
                     closure_groups_rebuilt=step_stats.closure_groups_rebuilt if step_stats else 0,
@@ -823,7 +893,7 @@ class MultiLegacySynthesizer:
                         # quarantine the candidate for a later retry, learn
                         # nothing from it here (Lemma 6).
                         all_confirmed = False
-                        self.quarantine.push(cex, probe=False)
+                        self._quarantine_push(cex, probe=False)
                         continue
                     if not self._trusted(slot, outcome):
                         trusted = False
@@ -848,7 +918,7 @@ class MultiLegacySynthesizer:
                                 raise
                             all_confirmed = False
                             scratch.inconclusive += 1
-                            self.quarantine.push(cex, probe=False)
+                            self._quarantine_push(cex, probe=False)
 
                 # Extra batch counterexamples — and quarantined runs from
                 # earlier iterations — contribute test/learn material only;
@@ -874,7 +944,7 @@ class MultiLegacySynthesizer:
                         case = self._project_case(candidate, slot)
                         outcome = self._execute(slot, case, scratch)
                         if outcome.inconclusive:
-                            self.quarantine.push(candidate, probe=False)
+                            self._quarantine_push(candidate, probe=False)
                             continue
                         assert outcome.execution is not None
                         if (
@@ -917,7 +987,7 @@ class MultiLegacySynthesizer:
                         if undecided:
                             # A probe came back inconclusive: the deadlock is
                             # neither confirmed nor refuted.  Quarantine.
-                            self.quarantine.push(cex, probe=True)
+                            self._quarantine_push(cex, probe=True)
                         else:
                             context_state = (
                                 cex.last_state[0] if self.context is not None else None
@@ -928,7 +998,7 @@ class MultiLegacySynthesizer:
                 if real and not trusted:
                     # Lemma 6: an unvalidated execution cannot witness a real
                     # integration error; retry the candidate instead.
-                    self.quarantine.push(cex, probe=False)
+                    self._quarantine_push(cex, probe=False)
                     real = False
 
                 after = sum(slot.model.knowledge_size() for slot in self.slots)
@@ -957,10 +1027,12 @@ class MultiLegacySynthesizer:
                 if real:
                     return self._result(Verdict.REAL_VIOLATION, records, cex, violated)
                 if after <= before and scratch.inconclusive == 0:
-                    raise SynthesisError(
+                    message = (
                         f"iteration {index} made no learning progress — non-deterministic "
                         "component or inconsistent universe"
                     )
+                    self.flight.anomaly("synthesis_error", iteration=index, error=message)
+                    raise SynthesisError(message)
         return self._result(Verdict.BUDGET_EXCEEDED, records, None, None)
 
     def _result(
@@ -970,7 +1042,7 @@ class MultiLegacySynthesizer:
         witness: Run | None,
         kind: str | None,
     ) -> MultiSynthesisResult:
-        return MultiSynthesisResult(
+        result = MultiSynthesisResult(
             verdict=verdict,
             property=self.property,
             iterations=tuple(records),
@@ -979,3 +1051,17 @@ class MultiLegacySynthesizer:
             violation_kind=kind,
             quarantined=self.quarantine.unresolved(),
         )
+        if self._events:
+            self._events.emit(
+                "verdict.reached",
+                verdict=verdict.value,
+                iterations=result.iteration_count,
+                quarantined=len(result.quarantined),
+            )
+        if verdict is Verdict.BUDGET_EXCEEDED:
+            self.flight.anomaly(
+                "budget_exceeded",
+                iterations=result.iteration_count,
+                quarantined=len(result.quarantined),
+            )
+        return result

@@ -120,6 +120,21 @@ class SynthesisSettings:
         environment variable and falls back to the zero-overhead
         :data:`repro.obs.NULL_TRACER`.  Excluded from equality/repr —
         tracing observes a run, it never changes one.
+    flight_recorder:
+        A :class:`repro.obs.FlightRecorder` keeping a bounded ring of
+        recent loop events and dumping a self-contained
+        ``blackbox.json`` on anomalies (inconclusive escalations, test
+        deadline expiries, quarantine admissions, degraded verdicts).
+        ``None`` (the default) defers to the ``REPRO_BLACKBOX``
+        environment variable and falls back to the zero-overhead
+        :data:`repro.obs.NULL_FLIGHT_RECORDER`.  Excluded from
+        equality/repr like the tracer.
+    progress:
+        A progress sink — any object with an ``emit(event)`` method
+        (see :mod:`repro.obs.progress`) — receiving the loop's typed
+        live :class:`~repro.obs.ProgressEvent` stream.  ``None`` (the
+        default) emits nothing.  Excluded from equality/repr like the
+        tracer.
     """
 
     max_iterations: int | None = None
@@ -133,6 +148,8 @@ class SynthesisSettings:
     retry_policy: RetryPolicy | None = None
     fault_profile: FaultProfile | None = None
     tracer: object | None = field(default=None, compare=False, repr=False)
+    flight_recorder: object | None = field(default=None, compare=False, repr=False)
+    progress: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_iterations is not None and (
@@ -180,6 +197,19 @@ class SynthesisSettings:
             raise SynthesisError(
                 f"tracer must provide span() and metrics (see repro.obs.Tracer), "
                 f"got {type(self.tracer).__name__}"
+            )
+        if self.flight_recorder is not None and not (
+            hasattr(self.flight_recorder, "record")
+            and hasattr(self.flight_recorder, "anomaly")
+        ):
+            raise SynthesisError(
+                f"flight_recorder must provide record() and anomaly() (see "
+                f"repro.obs.FlightRecorder), got {type(self.flight_recorder).__name__}"
+            )
+        if self.progress is not None and not hasattr(self.progress, "emit"):
+            raise SynthesisError(
+                f"progress must provide emit(event) (see repro.obs.progress), "
+                f"got {type(self.progress).__name__}"
             )
 
     # ------------------------------------------------------------ resolution
@@ -233,6 +263,12 @@ class SynthesisSettings:
     def resolved_fault_profile(self) -> "FaultProfile | None":
         """The fault profile: explicit, ``REPRO_FAULT_SEED``, or none."""
         return self.fault_profile if self.fault_profile is not None else FaultProfile.from_env()
+
+    def resolved_flight_recorder(self):
+        """The flight recorder: explicit, ``REPRO_BLACKBOX``, or the null."""
+        from ..obs.flight import resolve_flight_recorder
+
+        return resolve_flight_recorder(self.flight_recorder)
 
 
 def merge_legacy_settings(

@@ -301,17 +301,31 @@ class RobustExecutor:
         policy: RetryPolicy | None = None,
         *,
         tracer=None,
+        flight=None,
+        events=None,
         pool: WorkerPool | None = None,
         clock=time.perf_counter,
         sleep=time.sleep,
     ):
+        from ..obs.flight import NULL_FLIGHT_RECORDER
         from ..obs.tracer import resolve_tracer
 
         self.policy = policy if policy is not None else RetryPolicy()
         self.tracer = resolve_tracer(tracer)
+        self.flight = flight if flight is not None else NULL_FLIGHT_RECORDER
+        # ``events`` is the owning loop's ProgressEmitter-shaped callable
+        # (``events(name, **payload)``); when absent, retry/timeout events
+        # still reach an active flight recorder's ring directly.
+        self._events = events if events else None
         self._pool = pool
         self._clock = clock
         self._sleep = sleep
+
+    def _notify(self, name: str, **payload) -> None:
+        if self._events is not None:
+            self._events(name, **payload)
+        elif self.flight.enabled:
+            self.flight.record(name, **payload)
 
     # ---------------------------------------------------------------- helpers
 
@@ -346,6 +360,7 @@ class RobustExecutor:
             for attempt in range(policy.max_attempts):
                 if attempt:
                     retries += 1
+                    self._notify("test.retry", test=testcase.name, attempt=attempt)
                     pause = policy.delay(testcase.name, attempt - 1)
                     if pause > 0:
                         self._sleep(pause)
@@ -362,6 +377,12 @@ class RobustExecutor:
                 except TestTimeoutError as error:
                     timeouts += 1
                     reason = str(error)
+                    self._notify(
+                        "test.timeout", test=testcase.name, attempt=attempt
+                    )
+                    self.flight.anomaly(
+                        "test_timeout", test=testcase.name, error=str(error)
+                    )
                 except ReplayError:
                     raise  # never expected live; do not mask a harness bug
                 except ExecutionError as error:
@@ -404,6 +425,16 @@ class RobustExecutor:
                 re_records=re_records,
             )
 
+        final_reason = reason or "retry budget exhausted"
+        self._notify("test.inconclusive", test=testcase.name, reason=final_reason)
+        self.flight.anomaly(
+            "test_inconclusive",
+            test=testcase.name,
+            detail=final_reason,
+            attempts=attempts,
+            timeouts=timeouts,
+            faults=faults,
+        )
         return RobustExecution(
             testcase=testcase,
             execution=None,
@@ -415,7 +446,7 @@ class RobustExecutor:
             faults=faults,
             replays_performed=replays,
             re_records=re_records,
-            reason=reason or "retry budget exhausted",
+            reason=final_reason,
         )
 
     def _run_live(self, component, testcase: TestCase, port: str, deadline) -> TestExecution:

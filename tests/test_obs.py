@@ -27,11 +27,13 @@ from repro.obs import (
     Tracer,
     chrome_trace,
     encode_event,
+    fold_diff,
     fold_self_time,
     load_trace,
     metric_events,
     publish_record,
     record_counters,
+    render_fold_diff,
     render_fold_table,
     render_trace_summary,
     resolve_tracer,
@@ -126,6 +128,56 @@ class TestMetricsRegistry:
         registry.absorb(stats)  # re-publishing must not double-count
         gauges = registry.as_dict()["gauges"]
         assert gauges == {"work": 10, "shards[0]": 3, "shards[1]": 4}
+
+    def test_absorb_list_valued_counters(self):
+        registry = MetricsRegistry()
+        registry.absorb(
+            {
+                "per_shard_work": [7, 0, 12.5],
+                "mixed": [1, "skip-me", True, 2],
+                "empty": [],
+            }
+        )
+        gauges = registry.as_dict()["gauges"]
+        assert gauges == {
+            "per_shard_work[0]": 7,
+            "per_shard_work[1]": 0,
+            "per_shard_work[2]": 12.5,
+            # Non-numeric and boolean elements are skipped, but the
+            # numeric elements around them keep their original indices.
+            "mixed[0]": 1,
+            "mixed[3]": 2,
+        }
+
+    def test_absorb_colliding_prefixes_last_write_wins(self):
+        registry = MetricsRegistry()
+        # Two sources whose prefixed names collide: "shard_" + "work"
+        # lands on the same gauge as an unprefixed "shard_work".  Gauge
+        # semantics (last write wins) make the collision well-defined
+        # rather than double-counted.
+        registry.absorb({"work": 10, "items": (1, 2)}, prefix="shard_")
+        registry.absorb({"shard_work": 99, "shard_items[0]": 8})
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["shard_work"] == 99
+        assert gauges["shard_items[0]"] == 8
+        assert gauges["shard_items[1]"] == 2
+        assert set(gauges) == {"shard_work", "shard_items[0]", "shard_items[1]"}
+
+    def test_histogram_exact_bucket_boundaries(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", bounds=(1.0, 2.0, 5.0))
+        # Bounds are inclusive upper bounds: an observation exactly on
+        # a bound lands in that bound's bucket, not the next one.
+        hist.observe(1.0)
+        hist.observe(2.0)
+        hist.observe(5.0)
+        hist.observe(0.0)  # at/below the first bound
+        hist.observe(5.000001)  # just past the last bound: overflow
+        snapshot = hist.as_dict()
+        assert snapshot["bounds"] == [1.0, 2.0, 5.0]
+        assert snapshot["counts"] == [2, 1, 1, 1]
+        assert snapshot["count"] == 5 == sum(snapshot["counts"])
+        assert snapshot["total"] == pytest.approx(13.000001)
 
     def test_null_registry_records_nothing(self):
         from repro.obs import NULL_METRICS
@@ -502,6 +554,43 @@ class TestFoldSelfTime:
         assert len(table.splitlines()) == 5  # header, rule, 2 rows, ellipsis
 
 
+class TestFoldDiff:
+    def test_diff_sorts_by_absolute_delta(self):
+        old = fold_self_time([_span("a", 0.0, 1.0), _span("b", 2.0, 0.5)])
+        new = fold_self_time([_span("a", 0.0, 1.1), _span("b", 2.0, 2.0)])
+        rows = fold_diff(old, new)
+        assert [row["name"] for row in rows] == ["b", "a"]  # |+1.5| > |+0.1|
+        b_row = rows[0]
+        assert b_row["old_self"] == pytest.approx(0.5)
+        assert b_row["new_self"] == pytest.approx(2.0)
+        assert b_row["delta_self"] == pytest.approx(1.5)
+        assert (b_row["old_count"], b_row["new_count"]) == (1, 1)
+
+    def test_one_sided_names_diff_against_zero(self):
+        old = fold_self_time([_span("gone", 0.0, 1.0)])
+        new = fold_self_time([_span("born", 0.0, 0.25)])
+        rows = {row["name"]: row for row in fold_diff(old, new)}
+        assert rows["gone"]["delta_self"] == pytest.approx(-1.0)
+        assert rows["gone"]["new_count"] == 0
+        assert rows["born"]["old_self"] == 0.0
+        assert rows["born"]["delta_self"] == pytest.approx(0.25)
+
+    def test_render_fold_diff_table(self):
+        old = fold_self_time([_span("steady", 0.0, 1.0)])
+        new = fold_self_time([_span("steady", 0.0, 1.5), _span("born", 2.0, 0.5)])
+        table = render_fold_diff(fold_diff(old, new))
+        assert "delta ms" in table
+        assert "new" in table  # the born row has no base to percent against
+        assert "1->1" in table
+        assert table.splitlines()[-1] == "net self-time delta: +1000.00 ms"
+
+    def test_render_fold_diff_limit(self):
+        old = fold_self_time([_span(f"s{i}", 2.0 * i, 1.0) for i in range(4)])
+        rows = fold_diff(old, [])
+        table = render_fold_diff(rows, limit=2)
+        assert "2 more span name" in table
+
+
 class TestTraceSummary:
     def test_per_iteration_rows(self):
         tracer, result = _traced_run()
@@ -589,6 +678,54 @@ class TestCommandLine:
         )
         assert "self ms" in proc.stdout
         assert "verify" in proc.stdout  # the summary table
+
+    def _trace_report(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "trace_report.py"), *args],
+            capture_output=True, text=True,
+        )
+
+    def test_trace_report_missing_file_exits_2(self, tmp_path):
+        proc = self._trace_report(str(tmp_path / "absent.jsonl"))
+        assert proc.returncode == 2
+        assert "no such file" in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1
+
+    def test_trace_report_non_trace_file_exits_2(self, tmp_path):
+        path = tmp_path / "not-a-trace.txt"
+        path.write_text("this is not a trace\n")
+        proc = self._trace_report(str(path))
+        assert proc.returncode == 2
+        assert "not a trace file" in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1
+
+    def test_trace_report_empty_trace_exits_2(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        proc = self._trace_report(str(path))
+        assert proc.returncode == 2
+        assert "no spans recorded" in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1
+
+    def test_trace_report_diff_mode(self, tmp_path):
+        old_tracer, _ = _traced_run()
+        new_tracer, _ = _traced_run(counterexamples_per_iteration=2)
+        old_path = str(tmp_path / "old.jsonl")
+        new_path = str(tmp_path / "new.jsonl")
+        write_trace(old_tracer, old_path)
+        write_trace(new_tracer, new_path)
+        proc = self._trace_report("--diff", old_path, new_path, "--top", "5")
+        assert proc.returncode == 0, proc.stderr
+        assert "delta ms" in proc.stdout
+        assert "net self-time delta" in proc.stdout
+        assert "checker.check" in proc.stdout
+
+    def test_trace_report_diff_rejects_extra_positional(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        proc = self._trace_report(str(path), "--diff", str(path), str(path))
+        assert proc.returncode == 2
+        assert "not both" in proc.stderr
 
     def test_env_activation_writes_jsonl(self, tmp_path):
         path = str(tmp_path / "env-trace.jsonl")

@@ -145,6 +145,20 @@ def normalize(raw: dict) -> dict:
             "robust_overhead_fraction": robust.get("robust_overhead_fraction"),
             "loop_seconds_min": robust.get("loop_seconds_min"),
         }
+    flight = report["benchmarks"].get("test_flight_recorder_overhead_guard")
+    if flight is not None:
+        report["flight"] = {
+            "events_per_run": flight.get("events_per_run"),
+            "per_null_emit_seconds": flight.get("per_null_emit_seconds"),
+            "null_flight_overhead_fraction": flight.get("null_flight_overhead_fraction"),
+            "active_flight_overhead_fraction": flight.get(
+                "active_flight_overhead_fraction"
+            ),
+            "active_vs_null_best_paired": flight.get("active_vs_null_best_paired"),
+            "active_vs_null_min_ratio": flight.get("active_vs_null_min_ratio"),
+            "null_loop_seconds_min": flight.get("null_loop_seconds_min"),
+            "active_loop_seconds_min": flight.get("active_loop_seconds_min"),
+        }
     traced = report["benchmarks"].get("test_tracing_overhead_guard")
     if traced is not None:
         report["traced"] = {
@@ -224,6 +238,15 @@ def main(argv: list[str] | None = None) -> None:
             f"{robust['robust_overhead_fraction']:.2%} of loop time "
             f"({robust['tests_per_run']} tests × "
             f"{robust['per_test_overhead_seconds'] * 1e6:.1f}µs)"
+        )
+    flight = report.get("flight", {})
+    if flight.get("null_flight_overhead_fraction") is not None:
+        print(
+            f"flight: null recorder overhead "
+            f"{flight['null_flight_overhead_fraction']:.4%} of loop time, "
+            f"active ring {flight['active_flight_overhead_fraction']:.2%} "
+            f"({flight['events_per_run']} events; end-to-end min-vs-min "
+            f"{flight['active_vs_null_min_ratio']:.3f}x)"
         )
     traced = report.get("traced", {})
     if traced.get("null_tracer_overhead_fraction") is not None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -47,7 +48,33 @@ from repro.testing import (  # noqa: E402
     shrink_scenario,
     spec_fingerprint,
 )
+from repro.obs import BLACKBOX_ENV, FlightRecorder  # noqa: E402
 from repro.testing.shrink import disagreement_predicate  # noqa: E402
+
+
+def dump_blackbox(directory, scenario, evaluation, record) -> pathlib.Path | None:
+    """Dump one per-seed blackbox for a disagreeing scenario.
+
+    The campaign has no single loop to arm a recorder inside (each
+    scenario runs the whole config matrix), so the blackbox here is a
+    post-hoc anomaly dump: the scenario's identity, the disagreement
+    rows, and the per-config summary — enough to replay with
+    ``--only-seed`` and diff against a healthy run.
+    """
+    recorder = FlightRecorder(directory, label=f"seed-{scenario.spec.seed}")
+    recorder.record("campaign.scenario", **{
+        key: record[key] for key in ("seed", "fingerprint", "slots", "joint", "plants")
+    })
+    for entry in evaluation.disagreements:
+        recorder.record("campaign.disagreement", entry=entry)
+    return recorder.anomaly(
+        "campaign_disagreement",
+        seed=scenario.spec.seed,
+        fingerprint=record["fingerprint"],
+        disagreements=list(evaluation.disagreements),
+        degraded=list(evaluation.degraded),
+        truth=record["truth"],
+    )
 
 
 def write_fixture(spec, disagreements, directory: pathlib.Path) -> pathlib.Path:
@@ -95,9 +122,21 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument("--report", type=pathlib.Path, default=None, help="JSON report path")
     parser.add_argument(
+        "--blackbox",
+        type=pathlib.Path,
+        default=None,
+        help="dump a per-seed blackbox-seed-N.json for every disagreement "
+        "into this directory ($REPRO_BLACKBOX works without the flag)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="record disagreements without shrinking"
     )
     arguments = parser.parse_args(argv)
+    blackbox_dir = arguments.blackbox
+    if blackbox_dir is None:
+        env_dir = os.environ.get(BLACKBOX_ENV, "").strip()
+        if env_dir:
+            blackbox_dir = pathlib.Path(env_dir)
 
     if arguments.only_seed is not None:
         seeds = [arguments.only_seed]
@@ -146,6 +185,10 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"[seed {seed}] DISAGREEMENT:", file=sys.stderr)
             for entry in evaluation.disagreements:
                 print(f"  - {entry}", file=sys.stderr)
+            if blackbox_dir is not None:
+                box = dump_blackbox(blackbox_dir, scenario, evaluation, record)
+                print(f"  blackbox: {box}", file=sys.stderr)
+                record["blackbox"] = str(box)
             if not arguments.no_shrink:
                 try:
                     shrunk = shrink_scenario(

@@ -85,38 +85,61 @@ def main(argv: list[str] | None = None) -> int:
         print(f"perf gate: no 'dense_product' section in {args.report}", file=sys.stderr)
         return 1
 
+    # One row per gated ratio: (label, measured, floor, strict?).  The
+    # table prints on pass AND fail so a green CI log still shows how
+    # much headroom each floor has left.
+    gates = [
+        (
+            "dense.dense_vs_dict_speedup_min",
+            dense.get("dense_vs_dict_speedup_min"),
+            args.min_speedup,
+            False,
+        ),
+        (
+            "dense.k4_vs_k1_best_paired",
+            dense.get("k4_vs_k1_best_paired"),
+            args.min_k4,
+            True,
+        ),
+        (
+            "dense_product.dense_vs_dict_best_paired",
+            dense_product.get("dense_vs_dict_best_paired"),
+            args.min_product,
+            False,
+        ),
+        (
+            "dense_product.k4_vs_k1_best_paired",
+            dense_product.get("k4_vs_k1_best_paired"),
+            args.min_product_k4,
+            True,
+        ),
+    ]
+
     failures = []
-    speedup = dense.get("dense_vs_dict_speedup_min")
-    if speedup is None or speedup < args.min_speedup:
-        failures.append(
-            f"dense_vs_dict_speedup_min={speedup} below floor {args.min_speedup}"
+    print(f"{'metric':<42} {'measured':>9} {'floor':>8} {'margin':>8}  verdict")
+    print("-" * 80)
+    for label, measured, floor, strict in gates:
+        passed = measured is not None and (
+            measured > floor if strict else measured >= floor
         )
-    k4 = dense.get("k4_vs_k1_best_paired")
-    if k4 is None or k4 <= args.min_k4:
-        failures.append(f"k4_vs_k1_best_paired={k4} not above {args.min_k4}")
-    product = dense_product.get("dense_vs_dict_best_paired")
-    if product is None or product < args.min_product:
-        failures.append(
-            f"dense_product.dense_vs_dict_best_paired={product} below floor "
-            f"{args.min_product}"
-        )
-    product_k4 = dense_product.get("k4_vs_k1_best_paired")
-    if product_k4 is None or product_k4 <= args.min_product_k4:
-        failures.append(
-            f"dense_product.k4_vs_k1_best_paired={product_k4} not above "
-            f"{args.min_product_k4}"
+        if not passed:
+            failures.append(
+                f"{label}={measured} "
+                + (f"not above {floor}" if strict else f"below floor {floor}")
+            )
+        shown = "missing" if measured is None else f"{measured:.3f}x"
+        margin = "-" if measured is None else f"{measured - floor:+.3f}"
+        bound = f"{'>' if strict else '>='}{floor}"
+        print(
+            f"{label:<42} {shown:>9} {bound:>8} {margin:>8}  "
+            f"{'ok' if passed else 'FAIL'}"
         )
 
     if failures:
         for failure in failures:
             print(f"perf gate FAILED: {failure}", file=sys.stderr)
         return 1
-    print(
-        f"perf gate OK: dense fixpoints {speedup:.2f}x (floor {args.min_speedup}), "
-        f"checker K=4 best-paired {k4:.3f}x (> {args.min_k4}), "
-        f"product BFS {product:.3f}x vs dict (floor {args.min_product}), "
-        f"product K=4 best-paired {product_k4:.3f}x (> {args.min_product_k4})"
-    )
+    print("perf gate OK: all floors held")
     return 0
 
 
