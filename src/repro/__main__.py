@@ -33,8 +33,8 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
 
     Flags left at their defaults defer to the environment knobs
     (``REPRO_PARALLELISM``, ``REPRO_CHECKER_PARALLELISM``,
-    ``REPRO_TRACE``, ``REPRO_TEST_RETRIES``, ``REPRO_FAULT_SEED``)
-    inside :class:`SynthesisSettings` resolution.
+    ``REPRO_TRACE``, ``REPRO_TEST_RETRIES``, ``REPRO_FAULT_SEED``,
+    ``REPRO_REMOTE``) inside :class:`SynthesisSettings` resolution.
     """
     tracer = None
     trace_path = getattr(args, "trace", None)
@@ -78,6 +78,14 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         from .testing import FaultProfile
 
         fault_profile = FaultProfile.mild(fault_seed)
+    remote = None
+    step_deadline = getattr(args, "remote_step_deadline", None)
+    if step_deadline is not None:
+        from .legacy.remote import RemotePolicy
+
+        remote = RemotePolicy(step_deadline=step_deadline)
+    elif getattr(args, "remote", False):
+        remote = True
     return SynthesisSettings(
         max_iterations=getattr(args, "max_iterations", None),
         counterexamples_per_iteration=getattr(args, "counterexamples", 1),
@@ -89,6 +97,7 @@ def _settings(args: argparse.Namespace) -> SynthesisSettings:
         product_strategy=getattr(args, "product_strategy", None),
         retry_policy=retry_policy,
         fault_profile=fault_profile,
+        remote=remote,
         tracer=tracer,
         flight_recorder=flight,
         progress=progress,
@@ -175,6 +184,20 @@ def _add_loop_flags(parser: argparse.ArgumentParser) -> None:
         help="inject seed-driven faults into the component under test "
         "(the mild chaos profile; $REPRO_FAULT_SEED works without the "
         "flag; verdicts stay identical to the fault-free run)",
+    )
+    group.add_argument(
+        "--remote", action="store_true", default=False,
+        help="run the component under test out of process behind the "
+        "supervised subprocess adapter ($REPRO_REMOTE works without "
+        "the flag; verdicts stay identical to in-process runs — see "
+        "docs/remote.md); with --fault-seed, faults are injected "
+        "inside the host process",
+    )
+    group.add_argument(
+        "--remote-step-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-operation wall-clock deadline for the remote host; "
+        "expiry SIGKILLs the process and counts as a retryable "
+        "timeout (default: 5.0; implies --remote)",
     )
     group.add_argument(
         "--trace", metavar="FILE", default=None,

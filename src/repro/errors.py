@@ -52,8 +52,9 @@ class ReplayError(ExecutionError):
 class FaultInjectionError(ExecutionError):
     """An injected fault (transient error, crash) aborted a component step.
 
-    Raised only by the seed-driven fault harness
-    (:mod:`repro.testing.faults`); production components never raise it.
+    Raised by the seed-driven fault harness (:mod:`repro.testing.faults`)
+    and by the out-of-process supervisor (:mod:`repro.legacy.remote`),
+    which maps *real* host-process failures onto the same taxonomy.
     The robust executor treats it as retryable.
     """
 
@@ -62,6 +63,30 @@ class TestTimeoutError(ExecutionError):
     """A test execution exceeded its per-step or per-test deadline."""
 
     __test__ = False  # not a pytest class, despite the name
+
+
+class RemoteComponentError(ExecutionError):
+    """An out-of-process component host failed (see :mod:`repro.legacy.remote`)."""
+
+
+class RemoteProtocolError(RemoteComponentError):
+    """The component host spoke the wire protocol wrong.
+
+    Raised fail-fast on a protocol-version mismatch during the ``hello``
+    handshake, and on garbage frames (bad length prefix, undecodable
+    JSON, malformed reply) at any later point — the host is killed
+    before this is raised, so a retry starts from a fresh process.
+    """
+
+
+class RemoteCrashError(RemoteComponentError, FaultInjectionError):
+    """The component host process died (EOF, broken pipe, hard kill).
+
+    Deliberately part of the :class:`FaultInjectionError` family: a real
+    crash lands on the same bounded-retry → replay-validate → quarantine
+    path as an injected ``CRASH_RESET``, so Lemma 6's no-false-violation
+    guarantee carries over to genuine process failures.
+    """
 
 
 class SynthesisError(ReproError):

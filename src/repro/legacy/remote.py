@@ -1,0 +1,1284 @@
+"""Out-of-process legacy components: a supervised subprocess ABI.
+
+Everything else in :mod:`repro.legacy` executes the component *in
+process*, which quietly weakens the paper's central premise: the legacy
+component is a black box that can genuinely crash, stall, or babble.
+This module restores the host/black-box boundary.  A component runs in
+its own Python subprocess behind a narrow wire protocol mirroring the
+:class:`~repro.legacy.component.LegacyComponent` contract, and the
+driver side supervises it with *real* deadlines — a hung host is
+``SIGKILL``-ed, not merely abandoned on a thread.
+
+Wire protocol (``repro.remote/1``)
+----------------------------------
+
+Frames are length-prefixed JSON: a 4-byte big-endian byte count
+followed by one sorted-key compact JSON object (UTF-8).  Requests carry
+an ``op``; replies carry ``ok`` plus op-specific fields, and every
+reply mirrors the host-side black-box counters so the proxy stays
+bit-consistent with an in-process run.  The core operations:
+
+``hello``
+    Protocol-version handshake; returns the host's version, the
+    component's structural :class:`~repro.legacy.interface.InterfaceDescription`
+    (see :func:`interface_to_wire`), and whether a fault profile is
+    armed host-side.  A version mismatch fails fast with
+    :class:`~repro.errors.RemoteProtocolError`.
+``step`` / ``reset`` / ``observe`` / ``shutdown``
+    The executable contract: execute one period, restart, observe
+    (counters, period, probe effect — with ``probe=true`` also the
+    state via ``monitor_state``), and exit cleanly.
+``load`` / ``instrument`` / ``arm`` / ``reseed`` / ``ping``
+    Auxiliary operations: ship a serialized hidden automaton plus an
+    optional :class:`~repro.testing.faults.FaultProfile` into a generic
+    host (``--serve -``), forward instrumentation and fault-arming
+    scopes (so seed-driven fault schedules consume RNG draws
+    bit-identically across the wire), restart the fault schedule, and
+    health-check pooled instances.
+
+Supervision
+-----------
+
+:class:`RemoteComponent` maps real failures onto the existing taxonomy
+so :class:`~repro.testing.robust.RobustExecutor` recovers from genuine
+crashes exactly like injected ones (Lemma 6 preserved):
+
+* per-step deadline expiry → the host is killed and
+  :class:`~repro.errors.TestTimeoutError` is raised (a *preemptive*
+  deadline — unlike the in-process cooperative step deadline, which can
+  only observe a stall after the step returns);
+* process exit / EOF / broken pipe →
+  :class:`~repro.errors.RemoteCrashError` (a
+  :class:`~repro.errors.FaultInjectionError`, hence retryable);
+* garbage frames (bad length, undecodable JSON) → the host is killed
+  and :class:`~repro.errors.RemoteProtocolError` is raised.
+
+Every kill, respawn, and protocol violation emits a ``component.*``
+progress event, a tracer span, and a flight-recorder anomaly (blackbox
+dump).  A dead host respawns lazily on the next use, replaying the
+proxy's instrumentation and arming scopes first.
+
+:class:`InstancePool` keeps a bounded set of pre-forked warm hosts with
+health-checked reuse, so workloads that need a fresh instance per run
+skip the ~hundreds-of-milliseconds interpreter start.
+
+See ``docs/remote.md`` for the frame grammar, the supervision state
+machine, and pool sizing guidance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections.abc import Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import (
+    ExecutionError,
+    ModelError,
+    RemoteComponentError,
+    RemoteCrashError,
+    RemoteProtocolError,
+    ReplayError,
+    ReproError,
+    SynthesisError,
+    TestTimeoutError,
+)
+from .component import Instrumentation, LegacyComponent, StepOutcome
+from .interface import InterfaceDescription, interface_of
+
+__all__ = [
+    "REMOTE_PROTOCOL_VERSION",
+    "REMOTE_ENV",
+    "MAX_FRAME_BYTES",
+    "RemotePolicy",
+    "resolve_remote",
+    "FrameChannel",
+    "ComponentHost",
+    "RemoteComponent",
+    "InstancePool",
+    "rehost",
+    "rehost_payload",
+    "interface_to_wire",
+    "interface_from_wire",
+    "main",
+]
+
+#: Version tag negotiated by the ``hello`` handshake.  Bump on any
+#: breaking change to frame layouts or operation semantics.
+REMOTE_PROTOCOL_VERSION = 1
+
+#: Environment variable turning on out-of-process execution suite-wide
+#: (any value other than ``0``/``false``/``no``/``off`` selects the
+#: default :class:`RemotePolicy`), mirroring ``REPRO_FAULT_SEED``.
+REMOTE_ENV = "REPRO_REMOTE"
+
+#: Upper bound on one frame body.  A length prefix beyond this is a
+#: protocol violation, not an allocation request — garbage on the pipe
+#: must never make the supervisor allocate gigabytes.
+MAX_FRAME_BYTES = 1 << 24
+
+_ENCODE = json.JSONEncoder(sort_keys=True, separators=(",", ":")).encode
+
+_HEADER = struct.Struct(">I")
+
+
+class _DeadlineExpired(Exception):
+    """Internal: a frame read ran out of time (converted by the proxy)."""
+
+
+# --------------------------------------------------------------------- wire
+
+
+def interface_to_wire(interface: InterfaceDescription) -> dict:
+    """Serialize an interface signature for the ``hello`` reply.
+
+    States follow the persistence convention: strings travel losslessly,
+    anything else is stringified via ``repr`` — the same rule
+    :mod:`repro.persistence` applies, so a rehosted automaton and its
+    interface agree on state identity.
+    """
+    initial = interface.initial_state
+    return {
+        "name": interface.name,
+        "inputs": sorted(interface.inputs),
+        "outputs": sorted(interface.outputs),
+        "initial_state": initial if isinstance(initial, str) else repr(initial),
+        "state_bound": interface.state_bound,
+    }
+
+
+def interface_from_wire(payload: dict) -> InterfaceDescription:
+    """Rebuild an :class:`InterfaceDescription` from ``hello`` data.
+
+    Inverse of :func:`interface_to_wire` for every interface whose
+    states are strings (which rehosting enforces); validation — signal
+    overlap, field types — happens in the dataclass itself.
+    """
+    if not isinstance(payload, dict):
+        raise RemoteProtocolError(
+            f"interface payload must be an object, got {type(payload).__name__}"
+        )
+    missing = {"name", "inputs", "outputs", "initial_state"} - set(payload)
+    if missing:
+        raise RemoteProtocolError(f"interface payload lacks fields {sorted(missing)}")
+    try:
+        return InterfaceDescription(
+            name=payload["name"],
+            inputs=frozenset(payload["inputs"]),
+            outputs=frozenset(payload["outputs"]),
+            initial_state=payload["initial_state"],
+            state_bound=payload.get("state_bound"),
+        )
+    except (ModelError, TypeError) as error:
+        raise RemoteProtocolError(f"malformed interface payload: {error}") from error
+
+
+class FrameChannel:
+    """Length-prefixed JSON frames over a pair of raw file descriptors.
+
+    The read side buffers in user space and waits through ``select``,
+    so a deadline bounds every read *and* an EOF (host death) wakes a
+    blocked reader immediately.  Used symmetrically: the driver wraps
+    the subprocess pipes, the host wraps its own stdio, and tests wrap
+    ``os.pipe()`` pairs in process.
+    """
+
+    def __init__(self, read_fd: int, write_fd: int):
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+        self._buffer = bytearray()
+
+    def send(self, payload: dict) -> None:
+        """Write one frame; a broken pipe means the peer died."""
+        body = _ENCODE(payload).encode("utf-8")
+        if len(body) > MAX_FRAME_BYTES:
+            raise RemoteProtocolError(
+                f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"
+            )
+        data = _HEADER.pack(len(body)) + body
+        view = memoryview(data)
+        try:
+            while view:
+                written = os.write(self._write_fd, view)
+                view = view[written:]
+        except (BrokenPipeError, OSError) as error:
+            raise RemoteCrashError(
+                f"component host pipe closed while sending {payload.get('op')!r}: {error}"
+            ) from None
+
+    def receive(self, timeout: float | None = None) -> dict:
+        """Read one frame, waiting at most ``timeout`` seconds.
+
+        Raises :class:`~repro.errors.RemoteCrashError` on EOF,
+        :class:`~repro.errors.RemoteProtocolError` on garbage, and the
+        internal deadline marker when the timeout expires.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        header = self._take(_HEADER.size, deadline)
+        (length,) = _HEADER.unpack(header)
+        if length == 0 or length > MAX_FRAME_BYTES:
+            raise RemoteProtocolError(
+                f"frame length prefix {length} is outside (0, {MAX_FRAME_BYTES}]"
+            )
+        body = self._take(length, deadline)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise RemoteProtocolError(f"undecodable frame body: {error}") from None
+        if not isinstance(payload, dict):
+            raise RemoteProtocolError(
+                f"frame body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+    def _take(self, count: int, deadline: float | None) -> bytes:
+        while len(self._buffer) < count:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _DeadlineExpired()
+                ready, _, _ = select.select([self._read_fd], [], [], remaining)
+                if not ready:
+                    raise _DeadlineExpired()
+            chunk = os.read(self._read_fd, 65536)
+            if not chunk:
+                raise RemoteCrashError("component host closed the pipe (EOF)")
+            self._buffer.extend(chunk)
+        taken = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return taken
+
+
+# --------------------------------------------------------------------- host
+
+#: Error-name wire mapping: the host replies with the nearest taxonomy
+#: class name; unknown names degrade to plain ``ExecutionError``.
+_ERROR_CLASSES = {
+    "ExecutionError": ExecutionError,
+    "ReplayError": ReplayError,
+    "ModelError": ModelError,
+    "RemoteProtocolError": RemoteProtocolError,
+    "RemoteCrashError": RemoteCrashError,
+    "RemoteComponentError": RemoteComponentError,
+}
+
+
+def _error_name(error: Exception) -> str:
+    from ..errors import FaultInjectionError
+
+    if isinstance(error, RemoteProtocolError):
+        return "RemoteProtocolError"
+    if isinstance(error, FaultInjectionError):
+        return "FaultInjectionError"
+    if isinstance(error, ReplayError):
+        return "ReplayError"
+    if isinstance(error, ModelError):
+        return "ModelError"
+    return "ExecutionError"
+
+
+def _wire_error_class(name: str):
+    from ..errors import FaultInjectionError
+
+    if name == "FaultInjectionError":
+        return FaultInjectionError
+    return _ERROR_CLASSES.get(name, ExecutionError)
+
+
+def _state_wire(state) -> str:
+    return state if isinstance(state, str) else repr(state)
+
+
+class ComponentHost:
+    """Serves one component over a :class:`FrameChannel`.
+
+    Normally run as ``python -m repro.legacy.remote --serve <factory>``
+    in a subprocess, but fully usable in process over ``os.pipe()``
+    pairs — which is how the protocol unit tests drive it.
+
+    Parameters
+    ----------
+    component:
+        The component to serve, or ``None`` to await a ``load`` frame
+        (the ``--serve -`` mode used by :func:`rehost`).  A bare
+        :class:`~repro.automata.automaton.Automaton` is wrapped in a
+        fresh :class:`~repro.legacy.component.LegacyComponent`.
+    fault_profile:
+        Optional :class:`~repro.testing.faults.FaultProfile` to arm
+        *inside the host process*: the component is wrapped in a
+        :class:`~repro.testing.faults.FaultyComponent` here, so
+        seed-driven crash-resets and hangs hit the real subprocess while
+        keeping the exact in-process draw schedule.
+    forced_version:
+        Overrides the advertised protocol version (handshake tests only).
+    """
+
+    def __init__(self, component=None, *, fault_profile=None, forced_version: int | None = None):
+        self.component = None
+        self.protocol_version = (
+            REMOTE_PROTOCOL_VERSION if forced_version is None else forced_version
+        )
+        self._instrument_scopes: list = []
+        self._armed_scopes: list = []
+        if component is not None:
+            self._install(component, fault_profile)
+
+    def _install(self, component, fault_profile) -> None:
+        from ..obs.tracer import NULL_TRACER
+        from ..testing.faults import FaultyComponent
+
+        if not hasattr(component, "step"):
+            component = LegacyComponent(component)
+        if fault_profile is not None and fault_profile.active:
+            # NULL_TRACER explicitly: the host must never pick up the
+            # driver's REPRO_TRACE file and corrupt it from a second
+            # process.
+            component = FaultyComponent.wrap(component, fault_profile, tracer=NULL_TRACER)
+        self.component = component
+        self._instrument_scopes = []
+        self._armed_scopes = []
+
+    # ------------------------------------------------------------- serving
+
+    def serve(self, channel: FrameChannel) -> int:
+        """Dispatch frames until ``shutdown``, EOF, or a garbage frame."""
+        while True:
+            try:
+                request = channel.receive(None)
+            except RemoteCrashError:
+                return 0  # driver went away: exit quietly
+            except RemoteProtocolError:
+                return 2  # desynchronized stream: cannot reply safely
+            op = request.get("op")
+            if op == "shutdown":
+                channel.send({"ok": True})
+                return 0
+            try:
+                reply = self._dispatch(op, request)
+            except ReproError as error:
+                reply = {"ok": False, "error": _error_name(error), "message": str(error)}
+            channel.send(reply)
+
+    def _status(self) -> dict:
+        component = self.component
+        return {
+            "counters": [
+                component.steps_executed,
+                component.resets,
+                component.state_probes,
+            ],
+            "period": component.period,
+        }
+
+    def _require_component(self):
+        if self.component is None:
+            raise RemoteProtocolError("no component loaded yet (send a 'load' frame first)")
+        return self.component
+
+    def _dispatch(self, op, request: dict) -> dict:
+        if op == "hello":
+            return self._hello(request)
+        if op == "load":
+            return self._load(request)
+        if op == "ping":
+            return {"ok": True, "pong": True, "loaded": self.component is not None}
+        component = self._require_component()
+        if op == "step":
+            outcome = component.step(frozenset(request.get("inputs", ())))
+            return {
+                "ok": True,
+                "period": outcome.period,
+                "inputs": sorted(outcome.inputs),
+                "outputs": sorted(outcome.outputs),
+                "blocked": outcome.blocked,
+                **self._status(),
+            }
+        if op == "reset":
+            component.reset()
+            return {"ok": True, **self._status()}
+        if op == "observe":
+            return self._observe(bool(request.get("probe", False)))
+        if op == "instrument":
+            scope = component.instrumented(
+                Instrumentation(request["level"]), live=bool(request["live"])
+            )
+            scope.__enter__()
+            self._instrument_scopes.append(scope)
+            return {"ok": True, "depth": len(self._instrument_scopes)}
+        if op == "uninstrument":
+            if not self._instrument_scopes:
+                raise RemoteProtocolError("uninstrument without a matching instrument")
+            self._instrument_scopes.pop().__exit__(None, None, None)
+            return {"ok": True, "depth": len(self._instrument_scopes)}
+        if op == "arm":
+            arm = getattr(component, "inject_faults", None)
+            scope = arm() if arm is not None else None
+            if scope is not None:
+                scope.__enter__()
+            self._armed_scopes.append(scope)
+            return {"ok": True, "depth": len(self._armed_scopes), **self._fault_status()}
+        if op == "disarm":
+            if not self._armed_scopes:
+                raise RemoteProtocolError("disarm without a matching arm")
+            scope = self._armed_scopes.pop()
+            if scope is not None:
+                scope.__exit__(None, None, None)
+            return {"ok": True, "depth": len(self._armed_scopes), **self._fault_status()}
+        if op == "reseed":
+            reseed = getattr(component, "reseed", None)
+            if reseed is not None:
+                reseed(request.get("seed"))
+            return {"ok": True}
+        raise RemoteProtocolError(f"unknown operation {op!r}")
+
+    def _hello(self, request: dict) -> dict:
+        component = self._require_component()
+        version = request.get("version")
+        if version != self.protocol_version:
+            raise RemoteProtocolError(
+                f"protocol version mismatch: driver speaks {version!r}, "
+                f"host speaks {self.protocol_version}"
+            )
+        return {
+            "ok": True,
+            "version": self.protocol_version,
+            "interface": interface_to_wire(interface_of(component)),
+            "fault_active": bool(getattr(component, "fault_injection_active", False)),
+            **self._status(),
+        }
+
+    def _load(self, request: dict) -> dict:
+        from ..persistence import automaton_from_dict
+        from ..testing.faults import FaultProfile
+
+        fault = request.get("fault")
+        profile = FaultProfile.from_wire(fault) if fault is not None else None
+        hidden = automaton_from_dict(request["automaton"])
+        component = LegacyComponent(hidden, name=request.get("name", hidden.name))
+        self._install(component, profile)
+        return {"ok": True, **self._status()}
+
+    def _fault_status(self) -> dict:
+        component = self.component
+        counts = getattr(component, "fault_counts", None)
+        return {
+            "fault_active": bool(getattr(component, "fault_injection_active", False)),
+            "fault_counts": dict(counts) if counts else None,
+        }
+
+    def _observe(self, probe: bool) -> dict:
+        component = self.component
+        reply = {
+            "ok": True,
+            "probe_effect_active": bool(component.probe_effect_active),
+            **self._fault_status(),
+        }
+        if probe:
+            reply["state"] = _state_wire(component.monitor_state())
+        reply.update(self._status())
+        return reply
+
+
+# ------------------------------------------------------------------- policy
+
+
+@dataclass(frozen=True)
+class RemotePolicy:
+    """Supervision knobs for out-of-process execution.
+
+    Parameters
+    ----------
+    step_deadline:
+        Wall-clock bound on every single operation round-trip (seconds).
+        Expiry kills the host process and raises
+        :class:`~repro.errors.TestTimeoutError` — this is the *real*
+        per-step deadline the in-process path cannot enforce.  ``None``
+        disables it (a truly hung host then blocks until killed from
+        outside).
+    spawn_timeout:
+        Bound on process start plus the ``load``/``hello`` handshake.
+    pool_size:
+        Default bound for :class:`InstancePool` (number of warm hosts
+        kept alive between leases).
+    """
+
+    step_deadline: float | None = 5.0
+    spawn_timeout: float = 30.0
+    pool_size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.step_deadline is not None and self.step_deadline <= 0:
+            raise SynthesisError(
+                f"step_deadline must be positive or None, got {self.step_deadline!r}"
+            )
+        if self.spawn_timeout <= 0:
+            raise SynthesisError(f"spawn_timeout must be positive, got {self.spawn_timeout!r}")
+        if not isinstance(self.pool_size, int) or isinstance(self.pool_size, bool) or self.pool_size < 1:
+            raise SynthesisError(f"pool_size must be a positive integer, got {self.pool_size!r}")
+
+
+def resolve_remote(value) -> RemotePolicy | None:
+    """Resolve the ``remote`` knob: policy, boolean, or environment.
+
+    Mirrors the other tri-state knobs: an explicit
+    :class:`RemotePolicy` wins, ``True`` selects the defaults,
+    ``False`` forces in-process execution, and ``None`` defers to
+    :data:`REMOTE_ENV`.
+    """
+    if isinstance(value, RemotePolicy):
+        return value
+    if value is True:
+        return RemotePolicy()
+    if value is False:
+        return None
+    if value is not None:
+        raise SynthesisError(
+            f"remote must be a RemotePolicy, a bool, or None, got {type(value).__name__}"
+        )
+    raw = os.environ.get(REMOTE_ENV, "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return None
+    return RemotePolicy()
+
+
+# -------------------------------------------------------------------- proxy
+
+
+class RemoteComponent:
+    """A supervised subprocess proxy satisfying the component contract.
+
+    Spawns ``python -m repro.legacy.remote --serve <spec>`` (or the
+    generic ``-`` host fed by a ``load`` frame), performs the ``hello``
+    handshake, and forwards every contract operation as one frame
+    round-trip under :class:`RemotePolicy` deadlines.  The black-box
+    counters (``steps_executed``, ``resets``, ``state_probes``) mirror
+    the host's absolute values from every reply.
+
+    Failure mapping and lifecycle events are described in the module
+    docstring; ``remote_stats`` carries the proxy-side lifecycle
+    counters (``component_spawns`` / ``component_kills`` /
+    ``component_respawns``).
+
+    Construction fails fast — :class:`~repro.errors.RemoteProtocolError`
+    on a version mismatch, :class:`~repro.errors.TestTimeoutError` when
+    the handshake exceeds ``spawn_timeout``.
+    """
+
+    def __init__(
+        self,
+        spec: str | None = None,
+        *,
+        payload: dict | None = None,
+        policy: RemotePolicy | None = None,
+        tracer=None,
+        flight=None,
+        events=None,
+    ):
+        from ..obs.flight import resolve_flight_recorder
+        from ..obs.tracer import resolve_tracer
+
+        if (spec is None) == (payload is None):
+            raise SynthesisError("exactly one of spec= or payload= must be given")
+        self._spec = spec
+        self._payload = payload
+        self.policy = policy if policy is not None else RemotePolicy()
+        self._tracer = resolve_tracer(tracer)
+        self._flight = resolve_flight_recorder(flight)
+        self._events = events
+        self._lock = threading.RLock()
+        self._process: subprocess.Popen | None = None
+        self._channel: FrameChannel | None = None
+        self._closed = False
+        self._death_reported = False
+        self._instrument_stack: list[tuple[str, bool]] = []
+        self._armed_depth = 0
+        # Black-box counters, mirrored from host replies.
+        self.steps_executed = 0
+        self.resets = 0
+        self.state_probes = 0
+        self._period = 0
+        self._fault_active = False
+        self._fault_counts: dict | None = None
+        self._probe_effect = False
+        self.remote_stats = {
+            "component_spawns": 0,
+            "component_kills": 0,
+            "component_respawns": 0,
+        }
+        self.name = payload.get("name", spec) if payload is not None else spec
+        self._launch(respawn=False)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _notify(self, name: str, **payload) -> None:
+        if self._events is not None:
+            self._events(name, **payload)
+        elif self._flight.enabled:
+            self._flight.record(name, **payload)
+
+    def _spawn_process(self) -> None:
+        command = [sys.executable, "-m", "repro.legacy.remote", "--serve", self._spec or "-"]
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        self._process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            close_fds=True,
+        )
+        self._channel = FrameChannel(
+            self._process.stdout.fileno(), self._process.stdin.fileno()
+        )
+
+    def _launch(self, *, respawn: bool) -> None:
+        span = "component.respawn" if respawn else "component.spawn"
+        with self._tracer.span(span, component=str(self.name)):
+            self._spawn_process()
+            timeout = self.policy.spawn_timeout
+            if self._payload is not None:
+                self._request({"op": "load", **self._payload}, timeout=timeout)
+            hello = self._request(
+                {"op": "hello", "version": REMOTE_PROTOCOL_VERSION}, timeout=timeout
+            )
+        if hello.get("version") != REMOTE_PROTOCOL_VERSION:
+            message = (
+                f"component host {self.name!r} speaks protocol "
+                f"{hello.get('version')!r}, driver speaks {REMOTE_PROTOCOL_VERSION}"
+            )
+            self._kill("protocol-version", message=message)
+            raise RemoteProtocolError(message)
+        interface = interface_from_wire(hello["interface"])
+        self.name = interface.name
+        self.inputs = interface.inputs
+        self.outputs = interface.outputs
+        self.initial_state = interface.initial_state
+        self.state_bound = interface.state_bound
+        self._fault_active = bool(hello.get("fault_active", False))
+        if respawn:
+            # Reconcile the host with the proxy's live scopes: a respawned
+            # process starts bare, but the caller may be inside
+            # instrumented()/inject_faults() blocks.
+            for level, live in self._instrument_stack:
+                self._request(
+                    {"op": "instrument", "level": level, "live": live},
+                    timeout=self.policy.step_deadline,
+                )
+            for _ in range(self._armed_depth):
+                self._request({"op": "arm"}, timeout=self.policy.step_deadline)
+            self.remote_stats["component_respawns"] += 1
+            self._notify("component.respawn", component=str(self.name), pid=self.pid)
+            self._flight.anomaly("remote_respawn", component=str(self.name), pid=self.pid)
+        else:
+            self.remote_stats["component_spawns"] += 1
+            self._notify("component.spawn", component=str(self.name), pid=self.pid)
+        self._death_reported = False
+
+    def _reap(self) -> None:
+        process = self._process
+        self._process = None
+        self._channel = None
+        if process is None:
+            return
+        for stream in (process.stdin, process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        try:
+            process.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - SIGKILL always lands
+            pass
+
+    def _kill(self, reason: str, **context) -> None:
+        """SIGKILL the host (if alive), reap it, and record the anomaly."""
+        process = self._process
+        alive = process is not None and process.poll() is None
+        if alive:
+            with self._tracer.span("component.kill", component=str(self.name), reason=reason):
+                try:
+                    process.kill()
+                except OSError:  # pragma: no cover - raced with exit
+                    pass
+            self.remote_stats["component_kills"] += 1
+            self._notify("component.kill", component=str(self.name), reason=reason)
+            self._flight.anomaly(
+                "remote_kill", component=str(self.name), reason=reason, **context
+            )
+        self._reap()
+
+    def interrupt(self, reason: str = "test-deadline") -> None:
+        """Hard-kill the host from *outside* the proxy's lock.
+
+        Called by :class:`~repro.testing.robust.RobustExecutor` when the
+        per-test deadline expires while a worker thread is still blocked
+        on a frame read: the SIGKILL turns that blocked read into an
+        immediate EOF, so the deadline genuinely preempts the process
+        instead of abandoning a thread.
+        """
+        process = self._process
+        if process is None or process.poll() is not None:
+            return
+        with self._tracer.span("component.kill", component=str(self.name), reason=reason):
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except OSError:  # pragma: no cover - raced with exit
+                return
+        self.remote_stats["component_kills"] += 1
+        self._death_reported = True
+        self._notify("component.kill", component=str(self.name), reason=reason)
+        self._flight.anomaly("remote_kill", component=str(self.name), reason=reason)
+
+    def close(self) -> None:
+        """Shut the host down (politely, then by force) and seal the proxy."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            process = self._process
+            if process is not None and process.poll() is None and self._channel is not None:
+                try:
+                    self._channel.send({"op": "shutdown"})
+                    self._channel.receive(1.0)
+                except (RemoteComponentError, _DeadlineExpired, OSError):
+                    try:
+                        process.kill()
+                    except OSError:  # pragma: no cover - raced with exit
+                        pass
+            self._reap()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "RemoteComponent":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def pid(self) -> int | None:
+        """The host process id, or ``None`` when no process is alive."""
+        return self._process.pid if self._process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.poll() is None
+
+    def ping(self) -> bool:
+        """Health-check without side effects (used by the pool)."""
+        with self._lock:
+            if self._closed or not self.alive:
+                return False
+            try:
+                self._request({"op": "ping"}, timeout=self.policy.step_deadline or 5.0)
+                return True
+            except (ExecutionError, TestTimeoutError):
+                return False
+
+    # --------------------------------------------------------------- framing
+
+    def _ensure_alive(self) -> None:
+        if self._closed:
+            raise ExecutionError(f"remote component {self.name!r} is closed")
+        if self._process is None or self._process.poll() is not None:
+            exit_code = self._process.poll() if self._process is not None else None
+            reported = self._death_reported
+            self._reap()
+            self._launch(respawn=True)
+            if not reported:
+                # The host died *between* operations — silently carrying
+                # on with the fresh (reset) instance could hand a
+                # mid-test caller outputs from the wrong state, so the
+                # death must surface as a retryable fault.  Deaths
+                # already reported (deadline kill, mid-request crash)
+                # respawn quietly: their exception did the surfacing.
+                raise RemoteCrashError(
+                    f"component host {self.name!r} died between operations "
+                    f"(exit code {exit_code}); a fresh host is up for the retry"
+                )
+
+    def _request(self, payload: dict, *, timeout: float | None) -> dict:
+        """One raw frame round-trip on the current process (no respawn)."""
+        channel = self._channel
+        op = payload.get("op")
+        try:
+            channel.send(payload)
+            reply = channel.receive(timeout)
+        except _DeadlineExpired:
+            message = (
+                f"remote {op!r} on {self.name!r} exceeded the "
+                f"{timeout:.3f}s deadline; host (pid {self.pid}) killed"
+            )
+            self._kill("step-deadline", op=op, deadline=timeout)
+            self._death_reported = True
+            raise TestTimeoutError(message) from None
+        except RemoteCrashError as error:
+            exit_code = self._process.poll() if self._process is not None else None
+            self._flight.anomaly(
+                "remote_crash",
+                component=str(self.name),
+                op=op,
+                exit_code=exit_code,
+            )
+            self._reap()
+            self._death_reported = True
+            raise RemoteCrashError(
+                f"component host {self.name!r} died during {op!r} "
+                f"(exit code {exit_code}): {error}"
+            ) from None
+        except RemoteProtocolError as error:
+            self._notify("component.violation", component=str(self.name), op=op)
+            self._kill("protocol-violation", op=op, detail=str(error))
+            self._death_reported = True
+            raise
+        if not reply.get("ok"):
+            name = reply.get("error", "ExecutionError")
+            message = reply.get("message", f"remote {op!r} failed")
+            if name == "RemoteProtocolError":
+                self._notify("component.violation", component=str(self.name), op=op)
+                self._kill("protocol-violation", op=op, detail=message)
+                self._death_reported = True
+            raise _wire_error_class(name)(message)
+        self._absorb(reply)
+        return reply
+
+    def _absorb(self, reply: dict) -> None:
+        counters = reply.get("counters")
+        if counters is not None:
+            self.steps_executed, self.resets, self.state_probes = counters
+        if "period" in reply:
+            self._period = reply["period"]
+        if "probe_effect_active" in reply:
+            self._probe_effect = bool(reply["probe_effect_active"])
+        if "fault_counts" in reply and reply["fault_counts"] is not None:
+            self._fault_counts = dict(reply["fault_counts"])
+
+    def _call(self, payload: dict, *, timeout: float | None = None) -> dict:
+        with self._lock:
+            self._ensure_alive()
+            limit = timeout if timeout is not None else self.policy.step_deadline
+            return self._request(payload, timeout=limit)
+
+    # -------------------------------------------------------------- contract
+
+    def step(self, inputs: Iterable[str] = ()) -> StepOutcome:
+        offered = inputs if type(inputs) is frozenset else frozenset(inputs)
+        reply = self._call({"op": "step", "inputs": sorted(offered)})
+        return StepOutcome(
+            reply["period"],
+            frozenset(reply["inputs"]),
+            frozenset(reply["outputs"]),
+            reply["blocked"],
+        )
+
+    def reset(self) -> None:
+        self._call({"op": "reset"})
+
+    @property
+    def period(self) -> int:
+        """The host's period as of the last reply (skew included)."""
+        return self._period
+
+    def monitor_state(self):
+        reply = self._call({"op": "observe", "probe": True})
+        return reply["state"]
+
+    @property
+    def probe_effect_active(self) -> bool:
+        self._call({"op": "observe", "probe": False})
+        return self._probe_effect
+
+    @contextmanager
+    def instrumented(self, level: Instrumentation, *, live: bool):
+        level = level if isinstance(level, Instrumentation) else Instrumentation(level)
+        with self._lock:
+            self._call({"op": "instrument", "level": level.value, "live": live})
+            self._instrument_stack.append((level.value, live))
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._instrument_stack.pop()
+                if self.alive:
+                    try:
+                        self._request(
+                            {"op": "uninstrument"}, timeout=self.policy.step_deadline
+                        )
+                    except (ExecutionError, TestTimeoutError):
+                        pass  # host lost: the respawn handshake reconciles
+
+    # ----------------------------------------------------------------- chaos
+
+    @property
+    def fault_injection_active(self) -> bool:
+        """Is a fault profile armed *host-side*?
+
+        Mirrors the host's answer from the handshake, so the fault-free
+        remote path keeps validation off and replay/test counters
+        bit-identical to in-process execution.  A genuine crash still
+        degrades soundly: it raises (aborting the attempt) instead of
+        ever producing a verdict.
+        """
+        return self._fault_active
+
+    @contextmanager
+    def inject_faults(self):
+        """Forward an arming scope to the host (no-op when it has none)."""
+        with self._lock:
+            self._call({"op": "arm"})
+            self._armed_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._armed_depth -= 1
+                if self.alive:
+                    try:
+                        self._request({"op": "disarm"}, timeout=self.policy.step_deadline)
+                    except (ExecutionError, TestTimeoutError):
+                        pass  # host lost: the respawn handshake reconciles
+
+    @property
+    def fault_counts(self) -> dict | None:
+        """Host-side fault tallies (refreshed best-effort)."""
+        if self._fault_active:
+            try:
+                self._call({"op": "observe", "probe": False})
+            except (ExecutionError, TestTimeoutError):
+                pass
+        return self._fault_counts
+
+    @property
+    def faults_injected(self) -> int:
+        counts = self.fault_counts
+        return sum(counts.values()) if counts else 0
+
+    def reseed(self, seed: int | None = None) -> None:
+        self._call({"op": "reseed", "seed": seed})
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteComponent(name={self.name!r}, pid={self.pid}, "
+            f"alive={self.alive}, fault_active={self._fault_active})"
+        )
+
+
+# --------------------------------------------------------------------- pool
+
+
+class InstancePool:
+    """A bounded pool of pre-forked, warm component hosts.
+
+    Spawning a host costs a full interpreter start (hundreds of
+    milliseconds); re-leasing a warm one costs a ``ping`` plus a
+    ``reset`` (well under a millisecond).  The pool pre-forks
+    ``size`` hosts up front, health-checks each instance on
+    :meth:`acquire` (a dead host is discarded and replaced lazily —
+    counted in ``pool_respawns``), and :meth:`release` resets a healthy
+    instance back into the free list, killing it instead when the pool
+    is already full.
+
+    Gauges (``pool_size``, ``pool_respawns``, ``pool_kills``, plus
+    ``pool_spawns``/``pool_reuses``) publish through
+    :meth:`publish_to` into a :class:`repro.obs.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        size: int | None = None,
+        policy: RemotePolicy | None = None,
+        fault_profile=None,
+        tracer=None,
+        flight=None,
+        events=None,
+    ):
+        self.policy = policy if policy is not None else RemotePolicy()
+        self.size = size if size is not None else self.policy.pool_size
+        if not isinstance(self.size, int) or isinstance(self.size, bool) or self.size < 1:
+            raise SynthesisError(f"pool size must be a positive integer, got {self.size!r}")
+        if isinstance(source, str):
+            self._spec: str | None = source
+            self._payload: dict | None = None
+            if fault_profile is not None:
+                raise SynthesisError(
+                    "fault_profile only applies to rehosted components; "
+                    "factory-served hosts arm faults via --fault-seed / REPRO_FAULT_SEED"
+                )
+        else:
+            self._spec = None
+            self._payload = rehost_payload(source, fault_profile)
+        self._tracer = tracer
+        self._flight = flight
+        self._events = events
+        self._lock = threading.Lock()
+        self._closed = False
+        self._leased: set[RemoteComponent] = set()
+        self.pool_spawns = 0
+        self.pool_reuses = 0
+        self.pool_respawns = 0
+        self.pool_kills = 0
+        self._free: list[RemoteComponent] = [self._spawn() for _ in range(self.size)]
+
+    def _spawn(self) -> RemoteComponent:
+        self.pool_spawns += 1
+        return RemoteComponent(
+            self._spec,
+            payload=self._payload,
+            policy=self.policy,
+            tracer=self._tracer,
+            flight=self._flight,
+            events=self._events,
+        )
+
+    def acquire(self) -> RemoteComponent:
+        """Lease a healthy instance, replacing dead ones lazily."""
+        with self._lock:
+            if self._closed:
+                raise SynthesisError("the instance pool is closed")
+            while self._free:
+                instance = self._free.pop()
+                if instance.ping():
+                    self.pool_reuses += 1
+                    self._leased.add(instance)
+                    return instance
+                # Health check failed: the warm host died while idle.
+                instance.close()
+                self.pool_kills += 1
+                self.pool_respawns += 1
+            instance = self._spawn()
+            self._leased.add(instance)
+            return instance
+
+    def release(self, instance: RemoteComponent) -> None:
+        """Return a lease; unhealthy or surplus instances are killed."""
+        with self._lock:
+            self._leased.discard(instance)
+            if not self._closed and len(self._free) < self.size and instance.alive:
+                try:
+                    instance.reset()
+                except (ExecutionError, TestTimeoutError):
+                    instance.close()
+                    self.pool_kills += 1
+                    return
+                self._free.append(instance)
+                return
+            if instance.alive:
+                self.pool_kills += 1
+            instance.close()
+
+    @contextmanager
+    def lease(self):
+        """``with pool.lease() as component: ...`` acquire/release scope."""
+        instance = self.acquire()
+        try:
+            yield instance
+        finally:
+            self.release(instance)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for instance in (*self._free, *self._leased):
+                instance.close()
+            self._free = []
+            self._leased = set()
+
+    def __enter__(self) -> "InstancePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def warm(self) -> int:
+        """Instances currently idle in the free list."""
+        return len(self._free)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The pool gauges (stable names, pinned by contract tests)."""
+        return {
+            "pool_size": len(self._free) + len(self._leased),
+            "pool_spawns": self.pool_spawns,
+            "pool_reuses": self.pool_reuses,
+            "pool_respawns": self.pool_respawns,
+            "pool_kills": self.pool_kills,
+        }
+
+    def publish_to(self, registry) -> None:
+        """Set the pool gauges on a :class:`repro.obs.MetricsRegistry`."""
+        for name, value in self.stats.items():
+            registry.set_gauge(name, value)
+
+
+# ------------------------------------------------------------------ rehost
+
+
+def rehost_payload(component, fault_profile=None) -> dict:
+    """The ``load`` frame shipping an in-process component to a host.
+
+    Unwraps a :class:`~repro.testing.faults.FaultyComponent` (its
+    profile moves to the host so injection happens inside the real
+    process), serializes the hidden automaton via
+    :mod:`repro.persistence`, and refuses components whose states are
+    not strings — stringifying them would silently change the learned
+    state identities, and refusing beats diverging.
+    """
+    from ..persistence import automaton_to_dict
+    from ..testing.faults import FaultyComponent
+
+    if isinstance(component, FaultyComponent):
+        if fault_profile is None:
+            fault_profile = component.profile
+        component = component.inner
+    if not hasattr(component, "step"):
+        component = LegacyComponent(component)
+    hidden = getattr(component, "_hidden", None)
+    if hidden is None:
+        raise SynthesisError(
+            f"component {getattr(component, 'name', component)!r} is not backed by a "
+            "hidden automaton and cannot be rehosted; serve custom components "
+            "directly via ComponentHost / --serve <factory>"
+        )
+    non_str = sorted(repr(state) for state in hidden.states if not isinstance(state, str))
+    if non_str:
+        raise SynthesisError(
+            f"component {component.name!r} has non-string states {non_str[:3]}; "
+            "the wire protocol would stringify them and change learned state "
+            "identities — rename the states or serve via a factory spec"
+        )
+    fault = (
+        fault_profile.as_wire()
+        if fault_profile is not None and fault_profile.active
+        else None
+    )
+    return {
+        "automaton": automaton_to_dict(hidden),
+        "name": component.name,
+        "fault": fault,
+    }
+
+
+def rehost(
+    component,
+    policy: RemotePolicy | None = None,
+    *,
+    fault_profile=None,
+    tracer=None,
+    flight=None,
+    events=None,
+) -> RemoteComponent:
+    """Wrap an in-process component as a supervised subprocess.
+
+    The demo adapter behind ``SynthesisSettings(remote=...)``: the
+    component's hidden automaton travels to a generic host in a
+    ``load`` frame and the returned :class:`RemoteComponent` satisfies
+    the same contract, with verdicts bit-identical to in-process
+    execution on fault-free runs.
+    """
+    return RemoteComponent(
+        payload=rehost_payload(component, fault_profile),
+        policy=policy,
+        tracer=tracer,
+        flight=flight,
+        events=events,
+    )
+
+
+# --------------------------------------------------------------------- main
+
+
+def _resolve_factory(spec: str):
+    """Import ``module:attr`` and call it if callable."""
+    import importlib
+
+    module_name, _, attribute = spec.partition(":")
+    if not module_name or not attribute:
+        raise SynthesisError(
+            f"factory spec must look like 'package.module:callable', got {spec!r}"
+        )
+    module = importlib.import_module(module_name)
+    target = module
+    for part in attribute.split("."):
+        target = getattr(target, part)
+    return target() if callable(target) else target
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.legacy.remote --serve <factory>`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.legacy.remote",
+        description="Serve a legacy component over the repro.remote/1 frame protocol.",
+    )
+    parser.add_argument(
+        "--serve",
+        required=True,
+        metavar="FACTORY",
+        help="'package.module:callable' producing a component (or an automaton), "
+        "or '-' to await a load frame on stdin",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm the mild chaos profile inside this host process "
+        "(REPRO_FAULT_SEED works without the flag; an explicit fault "
+        "profile in a load frame wins over both)",
+    )
+    parser.add_argument(
+        "--force-protocol-version", type=int, default=None, help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+
+    # Claim the frame channel before any user code can print: stray
+    # stdout writes (a chatty factory, a debug print) must go to stderr,
+    # never corrupt the frame stream.
+    frame_out = os.dup(sys.stdout.fileno())
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    sys.stdout = sys.stderr
+    channel = FrameChannel(sys.stdin.fileno(), frame_out)
+
+    component = None
+    profile = None
+    if args.serve != "-":
+        from ..testing.faults import FaultProfile
+
+        component = _resolve_factory(args.serve)
+        if args.fault_seed is not None:
+            profile = FaultProfile.mild(args.fault_seed)
+        else:
+            profile = FaultProfile.from_env()
+    host = ComponentHost(
+        component,
+        fault_profile=profile,
+        forced_version=args.force_protocol_version,
+    )
+    return host.serve(channel)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

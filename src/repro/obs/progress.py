@@ -57,6 +57,13 @@ PROGRESS_EVENT_NAMES = frozenset(
         "test.timeout",
         "test.inconclusive",
         "anomaly.recorded",
+        # Out-of-process component lifecycle (repro.legacy.remote): a
+        # host spawned, SIGKILL-ed (deadline/violation), respawned after
+        # a crash, or caught speaking the wire protocol wrong.
+        "component.spawn",
+        "component.kill",
+        "component.respawn",
+        "component.violation",
     }
 )
 

@@ -43,7 +43,13 @@ from ..automata.incremental import IncrementalVerifier
 from ..automata.interaction import Interaction, InteractionUniverse
 from ..automata.runs import Run
 from ..automata.sharding import get_pool
-from ..errors import LearningError, SynthesisError
+from ..errors import (
+    FaultInjectionError,
+    LearningError,
+    RemoteComponentError,
+    SynthesisError,
+    TestTimeoutError,
+)
 from ..legacy.component import LegacyComponent
 from ..legacy.interface import InterfaceDescription, interface_of
 from ..logic.checker import ModelChecker
@@ -357,9 +363,30 @@ class IntegrationSynthesizer:
         self.settings = settings
         self.tracer = resolve_tracer(settings.tracer)
         self.context = context
+        self.flight = settings.resolved_flight_recorder()
+        self.flight.bind(settings=settings)
+        self._events = ProgressEmitter(settings.progress, self.flight)
         fault_profile = settings.resolved_fault_profile()
         self._chaos = fault_profile is not None and fault_profile.active
-        if self._chaos:
+        remote_policy = settings.resolved_remote()
+        # Imported lazily so spawned component hosts (which import the
+        # ``repro`` package) do not load ``legacy.remote`` twice.
+        from ..legacy.remote import RemoteComponent, rehost
+
+        if remote_policy is not None and not isinstance(component, RemoteComponent):
+            # Out-of-process rehosting: the component — and, under chaos,
+            # its fault schedule — moves into a supervised subprocess.
+            # Fault-free verdicts stay bit-identical to in-process runs;
+            # real crashes and hangs surface as retryable faults.
+            component = rehost(
+                component,
+                remote_policy,
+                fault_profile=fault_profile if self._chaos else None,
+                tracer=self.tracer,
+                flight=self.flight,
+                events=self._events.emit if self._events else None,
+            )
+        elif self._chaos and not isinstance(component, RemoteComponent):
             # Chaos harness: wrap the component so the robust executor can
             # arm seed-driven fault injection around each supervised test.
             # Transparent everywhere else (knowledge validation, probing,
@@ -367,9 +394,6 @@ class IntegrationSynthesizer:
             component = FaultyComponent.wrap(component, fault_profile, tracer=self.tracer)
         self.component = component
         self.retry_policy = settings.resolved_retry_policy()
-        self.flight = settings.resolved_flight_recorder()
-        self.flight.bind(settings=settings)
-        self._events = ProgressEmitter(settings.progress, self.flight)
         self.robust = RobustExecutor(
             self.retry_policy,
             tracer=self.tracer,
@@ -492,6 +516,9 @@ class IntegrationSynthesizer:
             fault_counts = getattr(self.component, "fault_counts", None)
             if fault_counts:
                 tracer.metrics.absorb(fault_counts, prefix="fault_injected_")
+            remote_stats = getattr(self.component, "remote_stats", None)
+            if remote_stats:
+                tracer.metrics.absorb(remote_stats, prefix="remote_")
         return result
 
     def _finish(self, result: SynthesisResult) -> SynthesisResult:
@@ -809,6 +836,19 @@ class IntegrationSynthesizer:
                             raise
                         position += len(group)
                         continue  # a later counterexample went stale mid-batch
+                    except (FaultInjectionError, TestTimeoutError, RemoteComponentError):
+                        # A real out-of-process failure (crash, hang kill,
+                        # protocol violation) escaped the supervised test
+                        # window — e.g. during probing or a learning
+                        # replay, where in-process fault injection cannot
+                        # fire.  Sound degradation, exactly as for an
+                        # inconclusive test: quarantine the counterexample
+                        # for a later retry against a fresh host, never
+                        # abort the loop or report a violation.
+                        scratch.inconclusive += 1
+                        self._quarantine_push(candidate, probe=probing)
+                        position += len(group)
+                        continue
                     if scratch.real_violation:
                         cex = scratch.violation if scratch.violation is not None else candidate
                         break

@@ -39,7 +39,13 @@ from ..automata.incomplete import IncompleteAutomaton
 from ..automata.incremental import IncrementalVerifier
 from ..automata.interaction import Interaction, InteractionUniverse
 from ..automata.runs import Run
-from ..errors import LearningError, SynthesisError
+from ..errors import (
+    FaultInjectionError,
+    LearningError,
+    RemoteComponentError,
+    SynthesisError,
+    TestTimeoutError,
+)
 from ..legacy.component import LegacyComponent
 from ..legacy.interface import interface_of
 from ..logic.checker import ModelChecker
@@ -300,20 +306,37 @@ class MultiLegacySynthesizer:
         )
         self.quarantine = Quarantine()
         fault_profile = settings.resolved_fault_profile()
+        remote_policy = settings.resolved_remote()
+        # Lazy for the same reason as in IntegrationSynthesizer: spawned
+        # component hosts import ``repro`` without loading the adapter.
+        from ..legacy.remote import RemoteComponent, rehost
+
         universes = universes or {}
         labelers = labelers or {}
         offset = 1 if context is not None else 0
         self.slots: list[_Slot] = []
         for position, component in enumerate(components):
+            slot_profile = None
             if fault_profile is not None and fault_profile.active:
                 # Each slot gets its own fault schedule (seed offset by
                 # position) so one seed exercises distinct chaos per slot.
                 from dataclasses import replace as _replace
 
-                component = FaultyComponent.wrap(
+                slot_profile = _replace(fault_profile, seed=fault_profile.seed + position)
+            if remote_policy is not None and not isinstance(component, RemoteComponent):
+                # One supervised subprocess per slot; under chaos the
+                # slot's fault schedule is armed inside that host.
+                component = rehost(
                     component,
-                    _replace(fault_profile, seed=fault_profile.seed + position),
+                    remote_policy,
+                    fault_profile=slot_profile,
                     tracer=self.tracer,
+                    flight=self.flight,
+                    events=self._events.emit if self._events else None,
+                )
+            elif slot_profile is not None and not isinstance(component, RemoteComponent):
+                component = FaultyComponent.wrap(
+                    component, slot_profile, tracer=self.tracer
                 )
             interface = interface_of(component)
             universe = universes.get(component.name, interface.universe())
@@ -656,6 +679,11 @@ class MultiLegacySynthesizer:
                     tracer.metrics.absorb(
                         fault_counts, prefix=f"fault_injected_{slot.name}_"
                     )
+                remote_stats = getattr(slot.component, "remote_stats", None)
+                if remote_stats:
+                    tracer.metrics.absorb(
+                        remote_stats, prefix=f"remote_{slot.name}_"
+                    )
         return result
 
     def _quarantine_push(self, run, *, probe: bool) -> bool:
@@ -919,6 +947,17 @@ class MultiLegacySynthesizer:
                             all_confirmed = False
                             scratch.inconclusive += 1
                             self._quarantine_push(cex, probe=False)
+                        except (
+                            FaultInjectionError,
+                            TestTimeoutError,
+                            RemoteComponentError,
+                        ):
+                            # The host process failed during the learning
+                            # replay (unreachable in-process): undecided,
+                            # never a verdict — same path as inconclusive.
+                            all_confirmed = False
+                            scratch.inconclusive += 1
+                            self._quarantine_push(cex, probe=False)
 
                 # Extra batch counterexamples — and quarantined runs from
                 # earlier iterations — contribute test/learn material only;
@@ -953,13 +992,21 @@ class MultiLegacySynthesizer:
                         ):
                             continue
                         staged.append((slot, outcome))
-                    replayed = self._batch_replays(
-                        [
-                            (position, slot, outcome.execution.recording)
-                            for position, (slot, outcome) in enumerate(staged)
-                            if outcome.replay is None
-                        ]
-                    )
+                    try:
+                        replayed = self._batch_replays(
+                            [
+                                (position, slot, outcome.execution.recording)
+                                for position, (slot, outcome) in enumerate(staged)
+                                if outcome.replay is None
+                            ]
+                        )
+                    except (FaultInjectionError, TestTimeoutError, RemoteComponentError):
+                        # A host died during the batched replays: this
+                        # candidate is learning material only, so retry it
+                        # later against a fresh host.
+                        scratch.inconclusive += 1
+                        self._quarantine_push(candidate, probe=False)
+                        continue
                     for position, (slot, outcome) in enumerate(staged):
                         try:
                             if self._learn_execution(
@@ -969,6 +1016,10 @@ class MultiLegacySynthesizer:
                         except LearningError:
                             # Later candidates may contradict knowledge the
                             # earlier ones just merged; skipping is sound.
+                            continue
+                        except (FaultInjectionError, TestTimeoutError, RemoteComponentError):
+                            scratch.inconclusive += 1
+                            self._quarantine_push(candidate, probe=False)
                             continue
 
                 real = False

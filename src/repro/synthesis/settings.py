@@ -28,9 +28,16 @@ from ..automata.sharding import (
     resolve_parallelism,
     resolve_product_strategy,
 )
+from typing import TYPE_CHECKING
+
 from ..errors import CompositionError, SynthesisError
 from ..testing.faults import FaultProfile
 from ..testing.robust import RetryPolicy
+
+if TYPE_CHECKING:  # runtime imports stay lazy so the component host
+    # entry point (``python -m repro.legacy.remote``) is not imported
+    # twice through the ``repro`` package graph.
+    from ..legacy.remote import RemotePolicy
 
 __all__ = ["SynthesisSettings"]
 
@@ -114,6 +121,18 @@ class SynthesisSettings:
         mild profile and the default retry budget, verdicts and learned
         models stay bit-identical to the fault-free run — faults only
         cost retries (see ``docs/robustness.md``).
+    remote:
+        Run the component under test *out of process* behind the
+        supervised subprocess adapter (:mod:`repro.legacy.remote`).  A
+        :class:`repro.legacy.RemotePolicy` sets the per-step deadline,
+        spawn timeout, and pool size; ``True`` selects the default
+        policy; ``False`` forces in-process execution; ``None`` (the
+        default) defers to the ``REPRO_REMOTE`` environment variable.
+        Fault-free verdicts and iteration records are bit-identical to
+        in-process execution — the adapter only changes *where* the
+        component runs and what a real crash or hang can do (see
+        ``docs/remote.md``).  When combined with ``fault_profile``, the
+        faults are injected *inside* the host process.
     tracer:
         A :class:`repro.obs.Tracer` receiving spans and metrics from the
         run.  ``None`` (the default) defers to the ``REPRO_TRACE``
@@ -147,6 +166,7 @@ class SynthesisSettings:
     product_strategy: str | None = None
     retry_policy: RetryPolicy | None = None
     fault_profile: FaultProfile | None = None
+    remote: RemotePolicy | bool | None = None
     tracer: object | None = field(default=None, compare=False, repr=False)
     flight_recorder: object | None = field(default=None, compare=False, repr=False)
     progress: object | None = field(default=None, compare=False, repr=False)
@@ -191,6 +211,14 @@ class SynthesisSettings:
             raise SynthesisError(
                 f"fault_profile must be a FaultProfile, got {type(self.fault_profile).__name__}"
             )
+        if self.remote is not None and not isinstance(self.remote, bool):
+            from ..legacy.remote import RemotePolicy
+
+            if not isinstance(self.remote, RemotePolicy):
+                raise SynthesisError(
+                    f"remote must be a RemotePolicy, a bool, or None, got "
+                    f"{type(self.remote).__name__}"
+                )
         if self.tracer is not None and not (
             hasattr(self.tracer, "span") and hasattr(self.tracer, "metrics")
         ):
@@ -263,6 +291,12 @@ class SynthesisSettings:
     def resolved_fault_profile(self) -> "FaultProfile | None":
         """The fault profile: explicit, ``REPRO_FAULT_SEED``, or none."""
         return self.fault_profile if self.fault_profile is not None else FaultProfile.from_env()
+
+    def resolved_remote(self) -> "RemotePolicy | None":
+        """The remote policy: explicit, ``REPRO_REMOTE``, or in-process."""
+        from ..legacy.remote import resolve_remote
+
+        return resolve_remote(self.remote)
 
     def resolved_flight_recorder(self):
         """The flight recorder: explicit, ``REPRO_BLACKBOX``, or the null."""

@@ -194,6 +194,30 @@ class FaultProfile:
             ) from None
         return cls.mild(seed)
 
+    # ------------------------------------------------------------------ wire
+
+    def as_wire(self) -> dict:
+        """A JSON-safe dict shipping the profile to a component host.
+
+        Every field is a scalar, so the representation is lossless and
+        the host-side schedule (rebuilt via :meth:`from_wire` with the
+        same seed) consumes RNG draws bit-identically to an in-process
+        :class:`FaultyComponent` — crash-resets and hangs injected
+        *inside* the subprocess stay seed-reproducible across the wire.
+        """
+        return {field_info.name: getattr(self, field_info.name) for field_info in fields(self)}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "FaultProfile":
+        """Rebuild a profile from :meth:`as_wire` output (validating)."""
+        if not isinstance(payload, dict):
+            raise ModelError(f"fault profile payload must be a dict, got {type(payload).__name__}")
+        known = {field_info.name for field_info in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ModelError(f"unknown fault profile fields {sorted(unknown)}")
+        return cls(**payload)
+
     # ------------------------------------------------------------- inspection
 
     def rate_of(self, kind: FaultKind) -> float:

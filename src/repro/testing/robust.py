@@ -42,6 +42,7 @@ from ..automata.sharding import WorkerPool, get_pool
 from ..errors import (
     ExecutionError,
     FaultInjectionError,
+    RemoteComponentError,
     ReplayError,
     SynthesisError,
     TestTimeoutError,
@@ -200,9 +201,16 @@ class _StepDeadline:
     """Transparent proxy enforcing a per-step wall-clock deadline.
 
     Cooperative by design: the deadline is checked after each step
-    returns.  That cannot interrupt a truly unbounded stall (the
-    per-test pool deadline exists for those) but it deterministically
-    converts every injected hang into a
+    returns.  In-process, that is the strongest guarantee available —
+    a truly unbounded stall can only be *abandoned* (the per-test pool
+    deadline leaves the worker thread behind), never preempted, because
+    Python threads cannot be killed.  Preemptive per-step deadlines —
+    where the stalled component is actually terminated — require the
+    out-of-process adapter: :class:`repro.legacy.remote.RemoteComponent`
+    enforces ``RemotePolicy.step_deadline`` by ``SIGKILL``-ing the host
+    process (covered by the blocking-step regression test in
+    ``tests/test_robust.py``).  This proxy still deterministically
+    converts every injected (bounded) hang into a
     :class:`~repro.errors.TestTimeoutError`.
     """
 
@@ -383,6 +391,13 @@ class RobustExecutor:
                     self.flight.anomaly(
                         "test_timeout", test=testcase.name, error=str(error)
                     )
+                    # Out-of-process components expose ``interrupt()``:
+                    # SIGKILL the host so an abandoned worker thread's
+                    # blocked read turns into an immediate EOF and the
+                    # deadline genuinely preempts the stalled process.
+                    interrupt = getattr(component, "interrupt", None)
+                    if interrupt is not None:
+                        interrupt("test-deadline")
                 except ReplayError:
                     raise  # never expected live; do not mask a harness bug
                 except ExecutionError as error:
@@ -412,6 +427,21 @@ class RobustExecutor:
                 re_records += 1
                 reason = str(error)
                 continue  # corrupted recording: re-record from scratch
+            except (TestTimeoutError, FaultInjectionError, RemoteComponentError) as error:
+                # A *real* failure mid-validation (the host process died
+                # or hung during the replay — unreachable in-process,
+                # where the replay path injects only divergences).  The
+                # recording is untrusted and the component state is
+                # gone: count the failure and re-record from scratch so
+                # the round budget still bounds total work.
+                if isinstance(error, TestTimeoutError):
+                    timeouts += 1
+                else:
+                    faults += 1
+                replays += 1
+                re_records += 1
+                reason = str(error)
+                continue
             return RobustExecution(
                 testcase=testcase,
                 execution=execution,

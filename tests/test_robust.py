@@ -689,3 +689,47 @@ class TestLoopUnderChaos:
             SynthesisSettings(retry_policy="twice")
         with pytest.raises(SynthesisError):
             SynthesisSettings(fault_profile="mild")
+
+
+# ------------------------------------------- real deadlines need a process
+
+
+class TestRealDeadlinePreemption:
+    """S1 regression: only the subprocess adapter can *preempt* a stall.
+
+    The in-process ``RetryPolicy.step_timeout`` is cooperative — it
+    observes a stall only after the step returns, so a truly blocking
+    ``step()`` would hang the worker thread forever (the per-test
+    deadline can abandon the thread, never reclaim it).  Out of
+    process, the same stall is SIGKILL-ed at the configured deadline.
+    """
+
+    def test_blocking_step_is_killed_within_the_deadline(self):
+        import time
+
+        from repro.legacy.remote import RemotePolicy, rehost
+
+        # hang_rate=1.0: every armed live step blocks for 60 seconds —
+        # genuinely, inside the host process, not via a checked flag.
+        profile = dataclasses.replace(
+            FaultProfile.single(FaultKind.HANG, 1.0, seed=7), hang_seconds=60.0
+        )
+        deadline = 0.4
+        policy = RetryPolicy(max_attempts=2, replay_attempts=1, record_rounds=1)
+        with rehost(
+            server_component(),
+            RemotePolicy(step_deadline=deadline, spawn_timeout=60.0),
+            fault_profile=profile,
+        ) as component:
+            start = time.monotonic()
+            outcome = RobustExecutor(policy).execute(component, happy_case(), port="srv")
+            elapsed = time.monotonic() - start
+            # Every attempt stalled and was preempted: without the kill
+            # this test would sit for 60 seconds per attempt.
+            assert outcome.verdict is TestVerdict.INCONCLUSIVE
+            assert outcome.timeouts >= 1
+            assert component.remote_stats["component_kills"] >= 1
+            assert component.remote_stats["component_respawns"] >= 1
+            budget = policy.max_attempts * policy.record_rounds + 2
+            assert elapsed < profile.hang_seconds
+            assert elapsed < budget * (deadline + 5.0)

@@ -145,6 +145,16 @@ def normalize(raw: dict) -> dict:
             "robust_overhead_fraction": robust.get("robust_overhead_fraction"),
             "loop_seconds_min": robust.get("loop_seconds_min"),
         }
+    remote = report["benchmarks"].get("test_remote_overhead_guard")
+    if remote is not None:
+        report["remote"] = {
+            "per_local_step_seconds": remote.get("per_local_step_seconds"),
+            "per_remote_step_seconds": remote.get("per_remote_step_seconds"),
+            "per_step_overhead_seconds": remote.get("per_step_overhead_seconds"),
+            "cold_spawn_seconds": remote.get("cold_spawn_seconds"),
+            "warm_acquire_seconds": remote.get("warm_acquire_seconds"),
+            "warm_vs_cold_ratio": remote.get("warm_vs_cold_ratio"),
+        }
     flight = report["benchmarks"].get("test_flight_recorder_overhead_guard")
     if flight is not None:
         report["flight"] = {
@@ -238,6 +248,17 @@ def main(argv: list[str] | None = None) -> None:
             f"{robust['robust_overhead_fraction']:.2%} of loop time "
             f"({robust['tests_per_run']} tests × "
             f"{robust['per_test_overhead_seconds'] * 1e6:.1f}µs)"
+        )
+    remote = report.get("remote", {})
+    if remote.get("per_step_overhead_seconds") is not None:
+        print(
+            f"remote: warm per-step RPC overhead "
+            f"{remote['per_step_overhead_seconds'] * 1e6:.0f}µs "
+            f"(local {remote['per_local_step_seconds'] * 1e6:.0f}µs → remote "
+            f"{remote['per_remote_step_seconds'] * 1e6:.0f}µs), warm acquire "
+            f"{remote['warm_acquire_seconds'] * 1e3:.1f}ms vs cold spawn "
+            f"{remote['cold_spawn_seconds'] * 1e3:.1f}ms "
+            f"({remote['warm_vs_cold_ratio']:.3f}x)"
         )
     flight = report.get("flight", {})
     if flight.get("null_flight_overhead_fraction") is not None:
